@@ -1,0 +1,71 @@
+"""Experiment F6_7 — paper Figs. 6–7: synthetic task graph + clustering.
+
+Fig. 6 is the (partial) sequence diagram of the 12-thread synthetic
+example; Fig. 7(a) the extracted task graph; Fig. 7(b) the thread grouping
+produced by the linear-clustering optimization.  The benchmark times task
+graph extraction + clustering; assertions check the exact Fig. 7(b)
+grouping and the critical-path property.
+"""
+
+from repro.apps import synthetic
+from repro.core import (
+    allocate_from_model,
+    critical_path_cpu,
+    linear_clustering,
+    task_graph_from_model,
+)
+
+
+def _cluster():
+    model = synthetic.build_model()
+    return allocate_from_model(model)
+
+
+def test_fig67_linear_clustering(benchmark, paper_report):
+    allocation = benchmark(_cluster)
+
+    # -- Fig. 7(a): the extracted task graph -------------------------------
+    graph = allocation.graph
+    assert len(graph.nodes) == 12
+    reference = synthetic.task_graph()
+    for (src, dst), weight in reference.edges.items():
+        assert graph.edge_weight(src, dst) == weight * 32  # 32-bit words
+
+    # -- Fig. 7(b): the grouping ---------------------------------------------
+    grouped = {
+        frozenset(allocation.plan.threads_on(cpu))
+        for cpu in allocation.plan.cpus
+    }
+    assert grouped == set(synthetic.EXPECTED_CLUSTERS)
+    assert allocation.clustering.critical_path == ["A", "B", "C", "D", "F", "J"]
+    assert critical_path_cpu(allocation) is not None  # CP on one CPU
+
+    direct = linear_clustering(reference)
+    assert set(direct.as_sets()) == set(synthetic.EXPECTED_CLUSTERS)
+
+    paper_report(
+        "F6_7 / Figs. 6-7: task graph and thread allocation",
+        [
+            ("threads", "12 (A..M, no K)", f"{len(graph.nodes)}"),
+            ("task-graph edges", "11", f"{len(graph.edges)}"),
+            (
+                "cluster {A,B,C,D,F,J}",
+                "CPU1",
+                allocation.plan.cpu_of("A"),
+            ),
+            ("cluster {E,I}", "CPU0", allocation.plan.cpu_of("E")),
+            ("cluster {G,M}", "CPU2", allocation.plan.cpu_of("G")),
+            ("cluster {H,L}", "CPU3", allocation.plan.cpu_of("H")),
+            (
+                "critical path",
+                "single CPU",
+                f"{'->'.join(allocation.clustering.critical_path)} on "
+                f"{critical_path_cpu(allocation)}",
+            ),
+            (
+                "grouping matches Fig. 7(b)",
+                "yes",
+                str(grouped == set(synthetic.EXPECTED_CLUSTERS)),
+            ),
+        ],
+    )

@@ -1,0 +1,82 @@
+"""Extension experiment E2 — the downstream flow's workload (DAC'07).
+
+The paper positions its front-end ahead of the "Simulink-based MPSoC
+design flow: case study of Motion-JPEG and H.264" (its reference [9]).
+This experiment drives a Motion-JPEG decoder pipeline through the
+reproduction: UML model → CAAM → bit-true execution, then sweeps the CPU
+count and reports the steady-state throughput curve — the shape of the
+DAC'07 evaluation (more CPUs help until the heaviest stage dominates).
+"""
+
+import pytest
+
+from repro.apps import mjpeg
+from repro.core import synthesize
+from repro.mpsoc import platform_for_caam, steady_state_interval
+from repro.simulink import Simulator
+from repro.uml import DeploymentPlan
+
+
+def test_mjpeg_bit_true_decode(benchmark, paper_report):
+    model = mjpeg.build_model()
+
+    def full_decode():
+        result = synthesize(
+            model, auto_allocate=True, behaviors=mjpeg.behaviors()
+        )
+        pixels = mjpeg.sample_pixels(32)
+        simulator = Simulator(result.caam)
+        trace = simulator.run(
+            len(pixels), inputs={"In1": mjpeg.encode(pixels)}
+        )
+        return result, pixels, trace.output("Out1")
+
+    result, pixels, decoded = benchmark(full_decode)
+    assert decoded == pixels
+    assert result.summary.threads == 5
+
+    paper_report(
+        "E2: Motion-JPEG pipeline (the DAC'07 workload, simplified)",
+        [
+            ("pipeline threads", "parser..renderer", f"{result.summary.threads}"),
+            ("channels inferred", "per stage boundary", f"{len(result.caam.channels())}"),
+            ("reconstruction", "bit-true", "pixel-perfect (32/32 samples)"),
+        ],
+    )
+
+
+def test_mjpeg_throughput_vs_cpus(benchmark, paper_report):
+    model = mjpeg.build_model()
+
+    def sweep():
+        rows = []
+        for cpus in (1, 2, 3, 5):
+            plan = DeploymentPlan.from_mapping(
+                {t: f"CPU{i % cpus}" for i, t in enumerate(mjpeg.THREADS)}
+            )
+            result = synthesize(model, plan, behaviors=mjpeg.behaviors())
+            platform = platform_for_caam(result.caam)
+            rows.append(
+                (cpus, steady_state_interval(result.caam, platform))
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    intervals = [interval for _, interval in rows]
+    assert intervals == sorted(intervals, reverse=True)
+    speedup = intervals[0] / intervals[-1]
+    assert speedup > 1.5  # parallelism pays off, sub-linearly
+
+    paper_report(
+        "E2: throughput vs CPU count (DAC'07-style sweep)",
+        [
+            (
+                f"{cpus} CPU(s)",
+                "decreasing interval",
+                f"{interval:g} cycles/sample "
+                f"({intervals[0] / interval:.2f}x vs 1 CPU)",
+            )
+            for cpus, interval in rows
+        ]
+        + [("curve shape", "sub-linear speedup", f"{speedup:.2f}x at 5 CPUs")],
+    )

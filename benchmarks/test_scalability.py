@@ -1,0 +1,65 @@
+"""Experiment A3 — scalability of the synthesis flow.
+
+The paper reports no timing numbers; this experiment characterizes the
+reproduction: synthesis time as a function of model size (threads ×
+messages).  Growth should be near-linear in the number of messages — the
+mapping is a single sweep; channel inference and barrier detection are
+linear-ish in blocks + lines for these topologies.
+"""
+
+import pytest
+
+from repro.core import synthesize
+from repro.uml import DeploymentPlan, ModelBuilder
+
+
+def _pipeline_model(threads: int, ops_per_thread: int):
+    """A pipeline of ``threads`` stages, each with local work."""
+    b = ModelBuilder(f"pipe{threads}x{ops_per_thread}")
+    names = [f"T{i}" for i in range(threads)]
+    for name in names:
+        b.thread(name)
+    b.io_device("Dev")
+    sd = b.interaction("main")
+    for position, name in enumerate(names):
+        if position == 0:
+            sd.call(name, "Dev", "getSource", result="v0")
+            last = "v0"
+        else:
+            sd.call(name, names[position - 1], f"getS{position}", result=f"r{position}")
+            last = f"r{position}"
+        for op in range(ops_per_thread):
+            sd.call(
+                name,
+                name,
+                f"op{position}_{op}",
+                args=[last],
+                result=f"w{position}_{op}",
+            )
+            last = f"w{position}_{op}"
+        if position + 1 < len(names):
+            sd.call(name, names[position + 1], f"setS{position + 1}", args=[last])
+        else:
+            sd.call(name, "Dev", "setSink", args=[last])
+    plan = DeploymentPlan.from_mapping(
+        {name: f"CPU{i % 4}" for i, name in enumerate(names)}
+    )
+    return b.build(), plan
+
+
+@pytest.mark.parametrize("threads,ops", [(2, 4), (8, 8), (16, 16), (32, 16)])
+def test_scalability_synthesis(benchmark, threads, ops, paper_report):
+    model, plan = _pipeline_model(threads, ops)
+    result = benchmark(synthesize, model, plan, validate=False)
+    summary = result.summary
+    assert summary.threads == threads
+    assert summary.sfunctions == threads * ops
+
+    paper_report(
+        f"A3: scalability — {threads} threads x {ops} ops",
+        [
+            ("threads", "n/a", f"{summary.threads}"),
+            ("blocks generated", "n/a", f"{summary.total_blocks}"),
+            ("channels", "n/a", f"{summary.intra_cpu_channels + summary.inter_cpu_channels}"),
+        ],
+    )

@@ -1,0 +1,62 @@
+"""Performance characterization of the dataflow simulator.
+
+Not a paper figure — this documents the substrate's execution speed so
+downstream users can size their runs: steps/second on the crane CAAM and
+on the synthetic 12-thread CAAM.
+"""
+
+import pytest
+
+from repro.apps import crane, synthetic
+from repro.core import synthesize
+from repro.simulink import Simulator
+
+
+@pytest.fixture(scope="module")
+def crane_caam():
+    return synthesize(crane.build_model(), behaviors=crane.behaviors()).caam
+
+
+@pytest.fixture(scope="module")
+def synthetic_caam():
+    return synthesize(
+        synthetic.build_model(), auto_allocate=True,
+        behaviors=synthetic.behaviors(),
+    ).caam
+
+
+def test_simulator_throughput_crane(benchmark, crane_caam, paper_report):
+    simulator = Simulator(crane_caam)
+    stimulus = {
+        "In1": [0.0] * 100, "In2": [0.0] * 100, "In3": [5.0] * 100
+    }
+
+    def run_100_steps():
+        simulator.reset()
+        return simulator.run(100, inputs=stimulus)
+
+    trace = benchmark(run_100_steps)
+    assert trace.steps == 100
+    blocks = crane_caam.count_blocks()
+    paper_report(
+        "simulator throughput (crane, per 100 steps)",
+        [
+            ("blocks", "n/a", f"{blocks}"),
+            ("steps", "n/a", "100 per round"),
+        ],
+    )
+
+
+def test_simulator_throughput_synthetic(benchmark, synthetic_caam, paper_report):
+    simulator = Simulator(synthetic_caam)
+
+    def run_100_steps():
+        simulator.reset()
+        return simulator.run(100)
+
+    trace = benchmark(run_100_steps)
+    assert trace.steps == 100
+    paper_report(
+        "simulator throughput (synthetic 12-thread, per 100 steps)",
+        [("blocks", "n/a", f"{synthetic_caam.count_blocks()}")],
+    )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Crane control system (paper §5.1): synthesis + closed-loop simulation.
+
+Reproduces the paper's first case study: three threads specified by
+sequence diagrams, all deployed on one CPU, with a feedback cycle in the
+control thread T3 that the §4.2.2 optimization must break by automatically
+inserting a UnitDelay (the Delay of the paper's Fig. 5).
+
+The example then closes the loop: the generated CAAM (running in the
+dataflow simulator) controls the numeric crane plant, driving the car
+toward the commanded position.
+
+Run:  python examples/crane_control.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import crane
+from repro.core import synthesize
+from repro.simulink import Simulator, is_executable
+
+
+def main() -> None:
+    model = crane.build_model()
+    print("=== Synthesis with temporal barriers disabled (what goes wrong) ===")
+    broken = synthesize(model, behaviors=crane.behaviors(), insert_barriers=False)
+    executable, cycle = is_executable(broken.caam)
+    print(f"  executable: {executable}")
+    if cycle:
+        print(f"  deadlocked cycle: {' -> '.join(cycle)}")
+
+    print("\n=== Synthesis with the full optimization pipeline ===")
+    result = synthesize(model, behaviors=crane.behaviors())
+    print(f"  {result.summary}")
+    for barrier in result.optimization.barriers.inserted:
+        print(
+            f"  inserted {barrier.delay_path} breaking "
+            f"{barrier.broken_edge[0]} -> {barrier.broken_edge[1]}"
+        )
+    executable, _ = is_executable(result.caam)
+    print(f"  executable: {executable}")
+
+    print("\n=== Closed-loop run: CAAM controller + numeric crane plant ===")
+    simulator = Simulator(result.caam)
+    plant = crane.CranePlant()
+    target = 5.0
+    print(f"  target position: {target} m")
+    print(f"  {'step':>5} {'car pos [m]':>12} {'sway [rad]':>11} {'motor [V]':>10}")
+    voltage = 0.0
+    for step in range(300):
+        trace = simulator.run(
+            1,
+            inputs={
+                "In1": [plant.xc],      # getPosition
+                "In2": [plant.alpha],   # getAngle
+                "In3": [target],        # getCommand
+            },
+        )
+        voltage = trace.output("Out1")[0]
+        plant.step(voltage)
+        if step % 50 == 0 or step == 299:
+            print(
+                f"  {step:>5} {plant.xc:>12.3f} {plant.alpha:>11.4f} "
+                f"{voltage:>10.3f}"
+            )
+    print(
+        f"\n  final car position {plant.xc:.2f} m "
+        f"(moved {'toward' if plant.xc > 0 else 'away from'} the target); "
+        f"motor voltage stayed within ±{crane.V_MAX} V"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Design-space exploration — the paper's future work, realized.
+
+"As future work, we plan to integrate an estimation step in the proposed
+development flow to automatically determine the best partitioning and
+mapping solution.  This would avoid the need for the designer to specify
+the deployment and partition the system into threads, while supporting
+design space exploration."
+
+This example:
+
+1. takes a *monolithic* model (one thread doing everything) and
+   automatically partitions it into pipeline threads;
+2. explores thread→CPU allocations with the fast cost estimator;
+3. prints the (makespan, CPU count) Pareto front;
+4. synthesizes the chosen design and cross-checks the estimate against
+   the full CAAM schedule.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.core import synthesize, task_graph_from_model
+from repro.dse import (
+    estimate_allocation,
+    explore,
+    pareto_front,
+    partition_thread,
+)
+from repro.mpsoc import platform_for_caam, schedule_caam
+from repro.uml import ModelBuilder
+
+
+def build_monolithic_model():
+    """A single thread running an 8-stage signal chain."""
+    b = ModelBuilder("signal_chain")
+    b.thread("Main")
+    b.io_device("Adc")
+    sd = b.interaction("main")
+    sd.call("Main", "Adc", "getSample", result="v0")
+    stages = [
+        "window",
+        "fft",
+        "mag",
+        "threshold",
+        "cluster",
+        "track",
+        "classify",
+        "report",
+    ]
+    for index, stage in enumerate(stages):
+        sd.call("Main", "Main", stage, args=[f"v{index}"], result=f"v{index + 1}")
+    sd.call("Main", "Adc", "setResult", args=[f"v{len(stages)}"])
+    return b.build()
+
+
+def main() -> None:
+    model = build_monolithic_model()
+    print("=== 1. Automatic thread partitioning ===")
+    print("monolithic: 1 thread, 8 pipeline stages")
+    partitioned = partition_thread(model, "Main", 4)
+    threads = [
+        i.name
+        for i in partitioned.all_instances()
+        if i.has_stereotype("SASchedRes") and i.name != "Main"
+    ]
+    print(f"partitioned into: {threads}")
+    interaction = partitioned.interaction("main_partitioned")
+    handoffs = [
+        m for m in interaction.messages() if m.is_send and m.is_inter_thread
+    ]
+    print(f"inserted hand-off channels: {[m.channel_name for m in handoffs]}")
+
+    print("\n=== 2. Explore allocations (fast estimator) ===")
+    graph = task_graph_from_model(partitioned)
+    candidates = explore(graph)
+    print(f"evaluated {len(candidates)} candidate allocation(s)")
+    for candidate in candidates[:5]:
+        print(f"  {candidate}")
+
+    print("\n=== 3. Pareto fronts under both objectives ===")
+    print("  latency objective (one-iteration makespan):")
+    front = pareto_front(candidates)
+    for candidate in front:
+        print(
+            f"    {candidate.cpu_count} CPU(s): {candidate.makespan:g} cycles"
+        )
+    print("  throughput objective (steady-state interval; streaming):")
+    throughput_candidates = explore(graph, objective="throughput")
+    throughput_front = pareto_front(
+        throughput_candidates, objective="throughput"
+    )
+    for candidate in throughput_front:
+        print(
+            f"    {candidate.cpu_count} CPU(s): "
+            f"{candidate.interval:g} cycles/sample"
+        )
+    front = throughput_front  # pick the streaming trade-off below
+
+    print("\n=== 4. Synthesize the chosen design ===")
+    chosen = front[-1]  # most parallel Pareto point
+    print(f"chosen: {chosen}")
+    result = synthesize(partitioned, chosen.plan)
+    print(f"  {result.summary}")
+    platform = platform_for_caam(result.caam)
+    schedule = schedule_caam(result.caam, platform)
+    estimate = estimate_allocation(graph, chosen.plan)
+    print(f"  estimated makespan: {estimate.makespan_cycles:g} cycles")
+    print(f"  full CAAM schedule: {schedule.makespan:g} cycles")
+    print("  schedule:")
+    for line in schedule.gantt().splitlines():
+        print(f"    {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's didactic example (Fig. 3), end to end.
+
+Builds the UML model (deployment + sequence diagram), runs the synthesis
+flow (mapping §4.1 + channel inference §4.2.1 + barriers §4.2.2), prints
+the CAAM census, executes the generated model in the dataflow simulator,
+and writes the ``.mdl`` artifact.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.apps import didactic
+from repro.core import synthesize
+from repro.simulink import Simulator, validate_caam
+
+
+def main() -> None:
+    print("=== 1. Build the UML model (Fig. 3a/3b) ===")
+    model = didactic.build_model()
+    print(f"model {model.name!r}:")
+    print(f"  classes:      {[c.name for c in model.all_classes()]}")
+    print(f"  threads:      {[i.name for i in model.all_instances() if i.has_stereotype('SASchedRes')]}")
+    print(f"  processors:   {[n.name for n in model.nodes]}")
+    print(f"  interactions: {[i.name for i in model.interactions]}")
+
+    print("\n=== 2-3. Synthesize the Simulink CAAM (Fig. 3c) ===")
+    result = synthesize(model, behaviors=didactic.behaviors())
+    print(f"  {result.summary}")
+    for cpu in result.caam.cpus():
+        threads = [t.name for t in cpu.thread_subsystems()]
+        print(f"  {cpu.name}: threads {threads}")
+    problems = validate_caam(result.caam)
+    print(f"  CAAM structural check: {'OK' if not problems else problems}")
+
+    from repro.simulink import render_tree
+
+    print("\ngenerated hierarchy (the textual Fig. 3c):")
+    for line in render_tree(result.caam).splitlines():
+        print(f"  {line}")
+
+    print("\n=== 4. Execute the generated model ===")
+    simulator = Simulator(result.caam)
+    # One system input (the <<IO>> read in T3), one system output (T2).
+    trace = simulator.run(5, inputs={"In1": [1, 2, 3, 4, 5]})
+    for name, samples in trace.outputs.items():
+        print(f"  {name}: {samples}")
+
+    print("\n=== 5. Emit the .mdl artifact ===")
+    path = os.path.join(tempfile.gettempdir(), "didactic.mdl")
+    result.write_mdl(path)
+    print(f"  wrote {path} ({len(result.mdl_text)} bytes)")
+    print("\nfirst lines of the .mdl file:")
+    for line in result.mdl_text.splitlines()[:12]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""XMI interchange: edit in an external UML tool, synthesize from the file.
+
+The paper's tool consumes models from "MagicDraw or other EMF/UML compliant
+tool" via XMI.  This example round-trips the synthetic 12-thread model
+through an XMI file — exactly the artifact an external editor would hand
+the synthesis tool — and shows the synthesis result is identical.
+
+Run:  python examples/xmi_interchange.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.apps import synthetic
+from repro.core import synthesize
+from repro.uml import read_xmi, validate_model, write_xmi
+
+
+def main() -> None:
+    model = synthetic.build_model()
+    path = os.path.join(tempfile.gettempdir(), "synthetic.uml.xmi")
+
+    print(f"=== Export to XMI: {path} ===")
+    write_xmi(model, path)
+    size = os.path.getsize(path)
+    print(f"  {size} bytes")
+    with open(path, encoding="utf-8") as handle:
+        for line in handle.read().splitlines()[:10]:
+            print(f"  {line}")
+
+    print("\n=== Re-import and validate ===")
+    loaded = read_xmi(path)
+    issues = validate_model(loaded)
+    print(f"  interactions: {[i.name for i in loaded.interactions]}")
+    print(
+        f"  messages: {sum(len(i.messages()) for i in loaded.interactions)}"
+    )
+    print(f"  validation issues: {[str(i) for i in issues] or 'none'}")
+
+    print("\n=== Synthesize from both and compare ===")
+    original = synthesize(model, auto_allocate=True)
+    reloaded = synthesize(loaded, auto_allocate=True)
+    print(f"  original: {original.summary}")
+    print(f"  reloaded: {reloaded.summary}")
+    print(f"  identical census: {original.summary == reloaded.summary}")
+    print(
+        f"  identical .mdl text: {original.mdl_text == reloaded.mdl_text}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Case-study models: the paper's didactic example (Fig. 3), the crane
+control system (§5.1) and the 12-thread synthetic example (§5.2)."""
+
+from . import crane, didactic, mjpeg, synthetic
+
+__all__ = ["crane", "didactic", "mjpeg", "synthetic"]

@@ -1,0 +1,59 @@
+"""FSM back-end: UML state machines → C/Java (control-flow leg of Fig. 1).
+
+"The UML-based code generation can be used to generate code for event-based
+(control-flow) subsystems, using available tools that generate code from
+state diagrams or FSM-like models."  Each state machine of the UML model is
+flattened (:func:`repro.fsm.from_uml.fsm_from_state_machine`) and emitted
+in the requested language.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..fsm.codegen import generate_c, generate_java
+from ..fsm.from_uml import fsm_from_state_machine
+from ..uml.deployment import DeploymentPlan
+from ..uml.model import Model
+
+
+class FsmBackendError(Exception):
+    """Raised when FSM code generation is not applicable."""
+
+
+class FsmBackend:
+    """Generates FSM code for every state machine of the model."""
+
+    name = "fsm"
+
+    def __init__(self, language: str = "c") -> None:
+        if language not in ("c", "java"):
+            raise FsmBackendError(
+                f"unsupported FSM target language {language!r}"
+            )
+        self.language = language
+
+    def generate(
+        self, model: Model, plan: Optional[DeploymentPlan] = None
+    ) -> Dict[str, str]:
+        """Return ``{filename: source}`` for each state machine."""
+        if not model.state_machines:
+            raise FsmBackendError(
+                f"model {model.name!r} has no state machines; the FSM "
+                f"back-end handles the control-flow subsystems only"
+            )
+        artifacts: Dict[str, str] = {}
+        for machine in model.state_machines:
+            fsm = fsm_from_state_machine(machine)
+            if self.language == "c":
+                artifacts[f"{fsm.name}.c"] = generate_c(fsm)
+            else:
+                class_name = _camel(fsm.name)
+                artifacts[f"{class_name}.java"] = generate_java(fsm, class_name)
+        return artifacts
+
+
+def _camel(name: str) -> str:
+    import re
+
+    return "".join(p.capitalize() for p in re.split(r"[_\W]+", name) if p)

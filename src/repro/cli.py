@@ -1,0 +1,390 @@
+"""Command-line interface.
+
+The paper's tool is driven from an UML editor; this CLI is the headless
+equivalent — it consumes XMI files (the interchange artifact any EMF/UML
+tool exports) and drives every stage of the flow:
+
+::
+
+    repro demo crane crane.xmi          # export a case-study model as XMI
+    repro validate crane.xmi            # UML well-formedness report
+    repro allocate crane.xmi            # task graph + linear clustering
+    repro synthesize crane.xmi -o crane.mdl --summary
+    repro codegen crane.xmi --backend java -o gen/
+    repro explore crane.xmi --max-cpus 4
+    repro simulate crane.mdl --steps 10 --input In1=1,2,3
+
+Every command returns a non-zero exit status on failure, making the CLI
+usable from build scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+
+class CliError(Exception):
+    """Raised for user-facing CLI failures (bad input, bad arguments)."""
+
+
+def _load_model(path: str):
+    from .uml.xmi import read_xmi
+
+    if not os.path.exists(path):
+        raise CliError(f"no such file: {path}")
+    return read_xmi(path)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .apps import crane, didactic, mjpeg, synthetic
+    from .uml.xmi import write_xmi
+
+    factories = {
+        "didactic": didactic.build_model,
+        "crane": crane.build_model,
+        "synthetic": synthetic.build_model,
+        "mjpeg": mjpeg.build_model,
+    }
+    try:
+        model = factories[args.name]()
+    except KeyError:
+        raise CliError(
+            f"unknown demo {args.name!r}; pick one of {sorted(factories)}"
+        ) from None
+    write_xmi(model, args.output)
+    print(f"wrote {args.output} ({os.path.getsize(args.output)} bytes)")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .uml.validate import validate_model
+
+    model = _load_model(args.model)
+    issues = validate_model(model, require_deployment=args.require_deployment)
+    for issue in issues:
+        print(issue)
+    errors = [i for i in issues if i.severity == "error"]
+    if not issues:
+        print(f"model {model.name!r}: OK")
+    return 1 if errors else 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    from .core.allocation import allocate_from_model
+    from .core.taskgraph import task_graph_from_model
+
+    model = _load_model(args.model)
+    graph = task_graph_from_model(model)
+    print(f"task graph: {len(graph.nodes)} threads, {len(graph.edges)} edges")
+    for (src, dst), weight in sorted(graph.edges.items()):
+        print(f"  {src} -> {dst}: {weight:g} bits/iteration")
+    allocation = allocate_from_model(model)
+    print(allocation.summary())
+    print(
+        "critical path: "
+        + " -> ".join(allocation.clustering.critical_path)
+    )
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from .core.flow import synthesize
+
+    model = _load_model(args.model)
+    result = synthesize(
+        model,
+        auto_allocate=args.auto_allocate,
+        infer_channels=not args.no_channels,
+        insert_barriers=not args.no_barriers,
+        strict=args.strict,
+        validate=not args.no_validate,
+    )
+    result.write_mdl(args.output)
+    print(f"wrote {args.output} ({len(result.mdl_text)} bytes)")
+    if args.intermediate:
+        with open(args.intermediate, "w", encoding="utf-8") as handle:
+            handle.write(result.intermediate_xml)
+        print(f"wrote {args.intermediate}")
+    if args.summary:
+        print(result.summary)
+        if result.barriers_inserted:
+            print(f"temporal barriers inserted: {result.barriers_inserted}")
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from .backends import FsmBackend, JavaBackend, KpnBackend, SimulinkBackend
+
+    factories = {
+        "simulink": lambda: SimulinkBackend(auto_allocate=args.auto_allocate),
+        "java": JavaBackend,
+        "kpn": KpnBackend,
+        "fsm": lambda: FsmBackend(args.language),
+    }
+    try:
+        backend = factories[args.backend]()
+    except KeyError:
+        raise CliError(
+            f"unknown backend {args.backend!r}; pick one of {sorted(factories)}"
+        ) from None
+    model = _load_model(args.model)
+    artifacts = backend.generate(model)
+    os.makedirs(args.output, exist_ok=True)
+    for filename, content in artifacts.items():
+        path = os.path.join(args.output, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        print(f"wrote {path} ({len(content)} bytes)")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .dse.partition import partition_thread
+    from .uml.xmi import write_xmi
+
+    model = _load_model(args.model)
+    partitioned = partition_thread(
+        model, args.thread, args.count, interaction_name=args.interaction
+    )
+    write_xmi(partitioned, args.output)
+    threads = [
+        i.name
+        for i in partitioned.all_instances()
+        if i.has_stereotype("SASchedRes") and i.name.startswith(args.thread + "_p")
+    ]
+    print(f"wrote {args.output}: {args.thread} split into {threads}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .uml.plantuml import model_to_plantuml
+
+    model = _load_model(args.model)
+    artifacts = model_to_plantuml(model)
+    if not artifacts:
+        print("model has no diagrams to render", file=sys.stderr)
+        return 1
+    os.makedirs(args.output, exist_ok=True)
+    for filename, content in artifacts.items():
+        path = os.path.join(args.output, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .core.taskgraph import task_graph_from_model
+    from .dse.explore import explore, pareto_front
+
+    model = _load_model(args.model)
+    graph = task_graph_from_model(model)
+    candidates = explore(
+        graph, max_cpus=args.max_cpus, objective=args.objective
+    )
+    print(f"evaluated {len(candidates)} candidate allocation(s)")
+    print(f"Pareto front ({args.objective} vs CPU count):")
+    for candidate in pareto_front(candidates, objective=args.objective):
+        print(f"  {candidate}")
+    return 0
+
+
+def _parse_stimulus(pairs: Sequence[str]) -> Dict[str, List[float]]:
+    stimulus: Dict[str, List[float]] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise CliError(
+                f"bad --input {pair!r}; expected NAME=v1,v2,..."
+            )
+        name, _, values = pair.partition("=")
+        try:
+            stimulus[name] = [float(v) for v in values.split(",") if v]
+        except ValueError:
+            raise CliError(f"bad sample values in --input {pair!r}") from None
+    return stimulus
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .simulink.mdl import read_mdl
+    from .simulink.simulator import AlgebraicLoopError, Simulator
+
+    if not os.path.exists(args.model):
+        raise CliError(f"no such file: {args.model}")
+    model = read_mdl(args.model)
+    try:
+        simulator = Simulator(model, monitor=args.monitor or [])
+    except AlgebraicLoopError as exc:
+        print(f"deadlock: {exc}", file=sys.stderr)
+        return 1
+    trace = simulator.run(args.steps, inputs=_parse_stimulus(args.input))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_csv())
+        print(f"wrote {args.csv}")
+        return 0
+    for name, samples in trace.outputs.items():
+        print(f"{name}: {', '.join(f'{s:g}' for s in samples)}")
+    for path, samples in trace.signals.items():
+        print(f"{path}: {', '.join(f'{s:g}' for s in samples)}")
+    if not trace.outputs and not trace.signals:
+        print("(model has no root-level output ports; use --monitor)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser assembly
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "UML front-end for heterogeneous embedded-software code "
+            "generation (DATE 2008 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="export a case-study model as XMI")
+    p.add_argument("name", help="didactic | crane | synthetic | mjpeg")
+    p.add_argument("output", help="XMI file to write")
+    p.set_defaults(handler=_cmd_demo)
+
+    p = sub.add_parser("validate", help="check UML well-formedness")
+    p.add_argument("model", help="XMI input file")
+    p.add_argument(
+        "--require-deployment",
+        action="store_true",
+        help="also require every thread to be deployed",
+    )
+    p.set_defaults(handler=_cmd_validate)
+
+    p = sub.add_parser("allocate", help="task graph + linear clustering")
+    p.add_argument("model", help="XMI input file")
+    p.set_defaults(handler=_cmd_allocate)
+
+    p = sub.add_parser("synthesize", help="UML -> Simulink CAAM (.mdl)")
+    p.add_argument("model", help="XMI input file")
+    p.add_argument("-o", "--output", required=True, help=".mdl output file")
+    p.add_argument(
+        "--intermediate", help="also write the step-2 E-core XML here"
+    )
+    p.add_argument(
+        "--auto-allocate",
+        action="store_true",
+        help="ignore the deployment diagram; cluster automatically (§4.2.3)",
+    )
+    p.add_argument(
+        "--no-channels", action="store_true", help="skip §4.2.1 inference"
+    )
+    p.add_argument(
+        "--no-barriers", action="store_true", help="skip §4.2.2 barriers"
+    )
+    p.add_argument(
+        "--no-validate", action="store_true", help="skip UML validation"
+    )
+    p.add_argument(
+        "--strict", action="store_true", help="treat inference warnings as errors"
+    )
+    p.add_argument(
+        "--summary", action="store_true", help="print the CAAM census"
+    )
+    p.set_defaults(handler=_cmd_synthesize)
+
+    p = sub.add_parser("codegen", help="run a code-generation back-end")
+    p.add_argument("model", help="XMI input file")
+    p.add_argument(
+        "--backend",
+        required=True,
+        help="simulink | java | kpn | fsm",
+    )
+    p.add_argument(
+        "--language", default="c", help="fsm back-end language (c | java)"
+    )
+    p.add_argument(
+        "--auto-allocate", action="store_true", help="simulink back-end only"
+    )
+    p.add_argument("-o", "--output", required=True, help="output directory")
+    p.set_defaults(handler=_cmd_codegen)
+
+    p = sub.add_parser(
+        "render", help="export the model's diagrams as PlantUML"
+    )
+    p.add_argument("model", help="XMI input file")
+    p.add_argument("-o", "--output", required=True, help="output directory")
+    p.set_defaults(handler=_cmd_render)
+
+    p = sub.add_parser("explore", help="design-space exploration")
+    p.add_argument("model", help="XMI input file")
+    p.add_argument("--max-cpus", type=int, help="CPU budget")
+    p.add_argument(
+        "--objective",
+        default="latency",
+        choices=("latency", "throughput"),
+        help="optimize one-iteration latency or pipeline throughput",
+    )
+    p.set_defaults(handler=_cmd_explore)
+
+    p = sub.add_parser("simulate", help="execute a .mdl model")
+    p.add_argument("model", help=".mdl input file")
+    p.add_argument("--steps", type=int, default=10, help="steps to run")
+    p.add_argument(
+        "--input",
+        action="append",
+        default=[],
+        metavar="NAME=v1,v2,...",
+        help="stimulus for a root Inport (repeatable)",
+    )
+    p.add_argument(
+        "--monitor",
+        action="append",
+        default=[],
+        metavar="BLOCK/PATH",
+        help="trace a block's first output (repeatable)",
+    )
+    p.add_argument("--csv", help="write the traces to a CSV file")
+    p.set_defaults(handler=_cmd_simulate)
+
+    p = sub.add_parser(
+        "partition", help="split a thread into pipeline threads (future work)"
+    )
+    p.add_argument("model", help="XMI input file")
+    p.add_argument("thread", help="thread to split")
+    p.add_argument("count", type=int, help="number of pipeline threads")
+    p.add_argument("-o", "--output", required=True, help="XMI output file")
+    p.add_argument(
+        "--interaction", help="diagram to partition (when ambiguous)"
+    )
+    p.set_defaults(handler=_cmd_partition)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # surface library errors with a clean message
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Automatic thread allocation (paper §4.2.3).
+
+Wraps task-graph extraction and linear clustering into the optimization
+pass that replaces the designer's deployment diagram: each cluster becomes
+one processor, so "the deployment diagram is unnecessary when generating
+the Simulink CAAM from an UML model".
+
+CPU naming: clusters are sorted deterministically (descending size, then by
+first thread name) and named ``CPU0``, ``CPU1``, ...  The paper's figure
+labels (CPU0..CPU3) are equally arbitrary; benchmarks compare cluster
+*contents*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..uml.deployment import DeploymentPlan
+from ..uml.model import Model
+from ..uml.sequence import Interaction
+from .clustering import (
+    ClusteringResult,
+    inter_cluster_communication,
+    linear_clustering,
+)
+from .taskgraph import TaskGraph, build_task_graph
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of the automatic allocation pass."""
+
+    plan: DeploymentPlan
+    clustering: ClusteringResult
+    graph: TaskGraph
+
+    @property
+    def cpu_count(self) -> int:
+        return len(self.plan.cpus)
+
+    @property
+    def inter_cpu_traffic(self) -> float:
+        """Communication volume crossing CPU boundaries under this plan."""
+        return inter_cluster_communication(
+            self.graph, [self.plan.threads_on(cpu) for cpu in self.plan.cpus]
+        )
+
+    def summary(self) -> str:
+        """One-line description of the CPU groups and traffic."""
+        groups = ", ".join(
+            f"{cpu}={{{', '.join(sorted(self.plan.threads_on(cpu)))}}}"
+            for cpu in self.plan.cpus
+        )
+        return (
+            f"{self.cpu_count} CPUs: {groups}; inter-CPU traffic "
+            f"{self.inter_cpu_traffic:g} bits/iteration"
+        )
+
+
+def plan_from_clusters(clusters: Sequence[Sequence[str]]) -> DeploymentPlan:
+    """Build a deployment plan naming sorted clusters ``CPU0..CPUn-1``."""
+    ordered = sorted(clusters, key=lambda c: (-len(c), sorted(c)[0] if c else ""))
+    plan = DeploymentPlan()
+    for position, cluster in enumerate(ordered):
+        cpu = f"CPU{position}"
+        plan.add_cpu(cpu)
+        for thread in sorted(cluster):
+            plan.assign(thread, cpu)
+    return plan
+
+
+def allocate_threads(graph: TaskGraph) -> AllocationResult:
+    """Cluster a task graph and derive the deployment plan."""
+    clustering = linear_clustering(graph)
+    plan = plan_from_clusters(clustering.clusters)
+    return AllocationResult(plan=plan, clustering=clustering, graph=graph)
+
+
+def allocate_from_interactions(
+    interactions: Sequence[Interaction],
+) -> AllocationResult:
+    """Extract the task graph from sequence diagrams and allocate."""
+    graph = build_task_graph(interactions)
+    return allocate_threads(graph)
+
+
+def allocate_from_model(model: Model) -> AllocationResult:
+    """Allocate the threads of a whole UML model."""
+    return allocate_from_interactions(model.interactions)
+
+
+def critical_path_cpu(result: AllocationResult) -> Optional[str]:
+    """The CPU hosting the critical path, or ``None`` when threads of the
+    critical path are split (which linear clustering never does — asserted
+    by the property tests)."""
+    cpus = {
+        result.plan.cpu_of(thread)
+        for thread in result.clustering.critical_path
+        if result.plan.has_thread(thread)
+    }
+    if len(cpus) == 1:
+        return next(iter(cpus))
+    return None

@@ -1,0 +1,198 @@
+"""Temporal-barrier insertion (paper §4.2.2).
+
+"When describing a dataflow model, cyclic paths need to be found and
+temporal barriers are required to avoid deadlocks. ... Our tool
+automatically detects the cyclic paths and inserts a Simulink UnitDelay
+block in the data link where the loop is detected."
+
+The detector (:func:`repro.simulink.validate.find_cycles`) flattens the
+hierarchy and reports strongly-connected components of direct-feedthrough
+blocks.  For each component this pass picks one member edge, locates the
+concrete :class:`~repro.simulink.model.Line` carrying its final hop (the
+line whose destination is the primitive consumer port — it always exists in
+the consumer's own system), splits it, and inserts a ``UnitDelay``.  The
+pass repeats until the model is cycle-free; each insertion strictly breaks
+at least one loop so termination is bounded by the initial cycle count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..simulink.model import Block, Port, SimulinkError, SimulinkModel, flatten
+from ..simulink.validate import find_cycles
+
+#: Safety bound on insertion iterations (defensive; see module docstring).
+MAX_PASSES = 1000
+
+
+class BarrierError(SimulinkError):
+    """Raised when a detected loop cannot be broken."""
+
+
+@dataclass
+class InsertedBarrier:
+    """Record of one inserted UnitDelay."""
+
+    delay_path: str
+    system_name: str
+    broken_edge: Tuple[str, str]  # (source block path, destination block path)
+
+
+@dataclass
+class BarrierReport:
+    """Outcome of the barrier pass."""
+
+    inserted: List[InsertedBarrier] = field(default_factory=list)
+    cycles_found: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.inserted)
+
+
+def insert_temporal_barriers(
+    model: SimulinkModel, initial_condition: float = 0.0
+) -> BarrierReport:
+    """Break every algebraic loop by inserting ``UnitDelay`` blocks.
+
+    Returns a report of the insertions; the model is modified in place.
+    """
+    report = BarrierReport()
+    for _ in range(MAX_PASSES):
+        cycles = find_cycles(model)
+        if not cycles:
+            return report
+        report.cycles_found += len(cycles)
+        # Break one cycle per pass; re-detect afterwards because one
+        # insertion may dissolve several overlapping cycles at once.
+        cycle = cycles[0]
+        barrier = _break_cycle(model, cycle, initial_condition)
+        report.inserted.append(barrier)
+    raise BarrierError(
+        f"barrier insertion did not converge after {MAX_PASSES} passes"
+    )
+
+
+def _break_cycle(
+    model: SimulinkModel, cycle: List[Block], initial_condition: float
+) -> InsertedBarrier:
+    """Insert a UnitDelay on one edge internal to the given component."""
+    edge = _find_component_edge(model, cycle)
+    if edge is None:
+        raise BarrierError(
+            "no breakable edge found in cycle through "
+            + " -> ".join(b.path for b in cycle)
+        )
+    src_port, dst_port = edge
+    system, line, dst_port = _shallowest_hop(dst_port)
+    if line is None:
+        raise BarrierError(
+            f"no concrete line drives {dst_port!r}; cannot insert barrier"
+        )
+    delay_name = _unique_delay_name(system)
+    delay = Block(
+        delay_name,
+        "UnitDelay",
+        inputs=1,
+        outputs=1,
+        parameters={"InitialCondition": initial_condition, "AutoInserted": True},
+    )
+    system.add(delay)
+    # Split the line: the delay takes over this destination only; other
+    # branches of the line keep their direct connection.
+    line.destinations.remove(dst_port)
+    if not line.destinations:
+        system.disconnect(line)
+        system.connect(line.source, delay.input(1))
+    else:
+        system.connect(line.source, delay.input(1))
+    system.connect(delay.output(1), dst_port)
+    return InsertedBarrier(
+        delay_path=delay.path,
+        system_name=system.name,
+        broken_edge=(src_port.block.path, dst_port.block.path),
+    )
+
+
+def _find_component_edge(
+    model: SimulinkModel, cycle: List[Block]
+) -> Optional[Tuple[Port, Port]]:
+    """A flat edge whose two endpoints both lie in the component.
+
+    Among candidates, prefer the edge whose *shallowest concrete hop* sits
+    highest in the hierarchy: the inserted Delay then lands between
+    subsystems (e.g. between ``control`` and ``limiter`` in the crane's
+    T3, as the paper's Fig. 5 draws it) rather than inside one of them.
+    """
+    members = {id(block) for block in cycle}
+    _, edges = flatten(model)
+    best: Optional[Tuple[Port, Port]] = None
+    best_depth = None
+    for src, dst in edges:
+        if id(src.block) not in members or id(dst.block) not in members:
+            continue
+        system, line, _ = _shallowest_hop(dst)
+        if line is None:
+            continue
+        depth = _system_depth(system)
+        if best_depth is None or depth < best_depth:
+            best, best_depth = (src, dst), depth
+    return best
+
+
+def _shallowest_hop(dst_port: Port):
+    """Walk the chain of concrete lines delivering ``dst_port``'s signal
+    and return the shallowest hop as ``(system, line, destination_port)``.
+
+    A flat (hierarchy-crossing) edge is realized by a chain of lines: the
+    final hop inside the consumer's system, possibly preceded by hops at
+    enclosing levels entering through ``Inport`` boundary blocks.  Breaking
+    ANY hop breaks the loop; we pick the one highest in the hierarchy.
+    """
+    chain = []
+    port = dst_port
+    while True:
+        system = port.block.parent
+        if system is None:
+            break
+        line = system.driver_of(port)
+        if line is None:
+            break
+        chain.append((system, line, port))
+        source_block = line.source.block
+        if (
+            source_block.block_type == "Inport"
+            and system.owner_block is not None
+        ):
+            owner = system.owner_block
+            position = owner.inport_blocks().index(source_block) + 1
+            if owner.parent is None:
+                break
+            port = owner.input(position)
+            continue
+        break
+    if not chain:
+        return dst_port.block.parent, None, dst_port
+    return min(chain, key=lambda hop: _system_depth(hop[0]))
+
+
+def _system_depth(system) -> int:
+    depth = 0
+    while system is not None and system.owner_block is not None:
+        depth += 1
+        system = system.owner_block.parent
+    return depth
+
+
+def _unique_delay_name(system) -> str:
+    base = "Delay"
+    if not system.has_block(base):
+        return base
+    suffix = 1
+    while True:
+        suffix += 1
+        name = f"{base}{suffix}"
+        if not system.has_block(name):
+            return name

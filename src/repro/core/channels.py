@@ -1,0 +1,312 @@
+"""Communication-channel inference (paper §4.2.1).
+
+"In the Simulink CAAM, the communication is explicitly represented by
+communication channels that can be either inter-subsystem (inter-SS) or
+intra-subsystem (intra-SS).  When the communicating threads are in
+different CPUs, an inter-SS channel is required.  Otherwise, an intra-SS
+channel is instantiated. ... At present, we use two different protocols,
+the SWFIFO for intra-SS channels and the GFIFO for inter-SS ones.  Our
+tool instantiates communication channels and sets their parameters."
+
+This pass consumes the :class:`~repro.core.mapping.MappingResult` (the CAAM
+plus pending channel requests) and materializes each channel:
+
+- **intra-CPU** (producer and consumer threads co-located): a ``SWFIFO``
+  channel block inside the CPU-SS, wired Thread-SS out → channel →
+  Thread-SS in;
+- **inter-CPU**: boundary ports are punched through both CPU subsystems
+  and a ``GFIFO`` channel block is placed at the CAAM top level.
+
+It also materializes the system-level IO ports requested by ``<<IO>>``
+accesses: a chain root port ↔ CPU-SS port ↔ Thread-SS port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..simulink.caam import (
+    GFIFO,
+    SWFIFO,
+    CaamModel,
+    CpuSubsystem,
+    ThreadSubsystem,
+    make_channel,
+)
+from ..simulink.model import Block, Port
+from .mapping import ChannelRequest, IoRequest, MappingError, MappingResult, ThreadScope
+
+
+@dataclass
+class ChannelReport:
+    """What the inference pass created (feeds Fig. 8 benchmarks)."""
+
+    intra_cpu: List[ChannelRequest] = field(default_factory=list)
+    inter_cpu: List[ChannelRequest] = field(default_factory=list)
+    system_inputs: List[IoRequest] = field(default_factory=list)
+    system_outputs: List[IoRequest] = field(default_factory=list)
+
+    @property
+    def intra_count(self) -> int:
+        return len(self.intra_cpu)
+
+    @property
+    def inter_count(self) -> int:
+        return len(self.inter_cpu)
+
+
+def infer_channels(result: MappingResult) -> ChannelReport:
+    """Materialize all pending channels and IO ports of a mapping result."""
+    report = ChannelReport()
+    caam = result.caam
+    for request in result.unique_channel_requests():
+        producer_cpu = result.plan.cpu_of(request.producer)
+        consumer_cpu = result.plan.cpu_of(request.consumer)
+        _ensure_endpoints(result, request)
+        if producer_cpu == consumer_cpu:
+            _wire_intra(caam, result, request)
+            report.intra_cpu.append(request)
+        else:
+            _wire_inter(caam, result, request)
+            report.inter_cpu.append(request)
+    io_in_count = 0
+    io_out_count = 0
+    for request in result.io_requests:
+        if request.direction == "in":
+            io_in_count += 1
+            _wire_system_input(caam, result, request, io_in_count)
+            report.system_inputs.append(request)
+        else:
+            io_out_count += 1
+            _wire_system_output(caam, result, request, io_out_count)
+            report.system_outputs.append(request)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Endpoint preparation
+# ---------------------------------------------------------------------------
+
+
+def _ensure_endpoints(result: MappingResult, request: ChannelRequest) -> None:
+    """Guarantee both thread subsystems expose ports for the channel.
+
+    The side that *initiated* the communication already has its port (the
+    mapping created it from the Set/Get message).  The opposite side may
+    need inference: the paper's example binds the producing variable by
+    name ("the same argument r is also used by the dec method, indicating
+    that the value produced by this method must be sent to T3").
+    """
+    producer_scope = result.scope(request.producer)
+    if request.channel not in producer_scope.send_ports:
+        _infer_send_port(producer_scope, request, result)
+    consumer_scope = result.scope(request.consumer)
+    if request.channel not in consumer_scope.receive_ports:
+        _infer_receive_port(consumer_scope, request, result)
+
+
+def _infer_send_port(
+    scope: ThreadScope, request: ChannelRequest, result: MappingResult
+) -> None:
+    outport = scope.subsystem.add_outport(
+        scope.unique_name(f"{request.channel}_out")
+    )
+    scope.send_ports[request.channel] = (outport, request.channel)
+    producer = scope.producer_of(request.channel)
+    if producer is None:
+        # Fall back: a thread with exactly one unexported produced variable
+        # sends that one; otherwise warn and ground the port so the
+        # generated model stays executable.
+        candidates = [
+            (var, port)
+            for var, port in scope.producers.items()
+            if port.block.block_type not in ("Inport",)
+        ]
+        if len(candidates) == 1:
+            producer = candidates[0][1]
+        else:
+            result.warnings.append(
+                f"thread {scope.name!r}: cannot infer the variable feeding "
+                f"channel {request.channel!r}; grounding the port to 0"
+            )
+            ground = scope.subsystem.system.add(
+                Block(
+                    scope.unique_name(f"ground_{request.channel}"),
+                    "Constant",
+                    inputs=0,
+                    outputs=1,
+                    parameters={"Value": 0.0},
+                )
+            )
+            producer = ground.output(1)
+    scope.subsystem.system.connect(producer, outport.input(1))
+
+
+def _infer_receive_port(
+    scope: ThreadScope, request: ChannelRequest, result: MappingResult
+) -> None:
+    inport = scope.subsystem.add_inport(scope.unique_name(request.channel))
+    scope.receive_ports[request.channel] = (inport, request.channel)
+    scope.bind(request.channel, inport.output(1))
+
+
+# ---------------------------------------------------------------------------
+# Wiring
+# ---------------------------------------------------------------------------
+
+
+def _thread_out_port(
+    result: MappingResult, thread: str, channel: str
+) -> Port:
+    scope = result.scope(thread)
+    outport_block, _ = scope.send_ports[channel]
+    return scope.subsystem.outport_named(outport_block.name)
+
+
+def _thread_in_port(result: MappingResult, thread: str, channel: str) -> Port:
+    scope = result.scope(thread)
+    inport_block, _ = scope.receive_ports[channel]
+    return scope.subsystem.inport_named(inport_block.name)
+
+
+def _channel_name(caam_system, base: str) -> str:
+    name = f"ch_{base}"
+    suffix = 1
+    while caam_system.has_block(name):
+        suffix += 1
+        name = f"ch_{base}_{suffix}"
+    return name
+
+
+def _wire_intra(
+    caam: CaamModel, result: MappingResult, request: ChannelRequest
+) -> None:
+    cpu = caam.cpu_of_thread(request.producer)
+    channel = make_channel(
+        _channel_name(cpu.system, f"{request.producer}_{request.channel}"),
+        SWFIFO,
+        request.width_bits,
+    )
+    cpu.system.add(channel)
+    cpu.system.connect(
+        _thread_out_port(result, request.producer, request.channel),
+        channel.input(1),
+    )
+    cpu.system.connect(
+        channel.output(1),
+        _thread_in_port(result, request.consumer, request.channel),
+    )
+
+
+def _wire_inter(
+    caam: CaamModel, result: MappingResult, request: ChannelRequest
+) -> None:
+    producer_cpu = caam.cpu_of_thread(request.producer)
+    consumer_cpu = caam.cpu_of_thread(request.consumer)
+
+    # Punch the producer CPU boundary: Thread-SS out -> CPU-SS Outport.
+    cpu_out = producer_cpu.add_outport(
+        _boundary_name(producer_cpu, f"{request.producer}_{request.channel}")
+    )
+    producer_cpu.system.connect(
+        _thread_out_port(result, request.producer, request.channel),
+        cpu_out.input(1),
+    )
+    # Punch the consumer CPU boundary: CPU-SS Inport -> Thread-SS in.
+    cpu_in = consumer_cpu.add_inport(
+        _boundary_name(consumer_cpu, f"{request.consumer}_{request.channel}")
+    )
+    consumer_cpu.system.connect(
+        cpu_in.output(1),
+        _thread_in_port(result, request.consumer, request.channel),
+    )
+    # Top-level GFIFO channel between the CPU subsystems.
+    channel = make_channel(
+        _channel_name(
+            caam.root, f"{request.producer}_{request.consumer}_{request.channel}"
+        ),
+        GFIFO,
+        request.width_bits,
+    )
+    caam.root.add(channel)
+    caam.root.connect(
+        producer_cpu.outport_named(cpu_out.name), channel.input(1)
+    )
+    caam.root.connect(
+        channel.output(1), consumer_cpu.inport_named(cpu_in.name)
+    )
+
+
+def _boundary_name(cpu: CpuSubsystem, base: str) -> str:
+    name = base
+    suffix = 1
+    while cpu.system.has_block(name):
+        suffix += 1
+        name = f"{base}_{suffix}"
+    return name
+
+
+def _wire_system_input(
+    caam: CaamModel, result: MappingResult, request: IoRequest, index: int
+) -> None:
+    """Environment read: root Inport -> CPU-SS -> Thread-SS."""
+    scope = result.scope(request.thread)
+    channel_key = f"io_{request.channel}"
+    if channel_key not in scope.receive_ports:
+        raise MappingError(
+            f"thread {request.thread!r} has no IO receive port for "
+            f"{request.channel!r}"
+        )
+    cpu = caam.cpu_of_thread(request.thread)
+    root_in = Block(
+        _root_port_name(caam, f"In{index}"),
+        "Inport",
+        inputs=0,
+        outputs=1,
+        parameters={"Port": index, "IoChannel": request.channel},
+    )
+    caam.root.add(root_in)
+    cpu_in = cpu.add_inport(_boundary_name(cpu, f"io_{request.channel}"))
+    cpu.system.connect(
+        cpu_in.output(1),
+        _thread_in_port(result, request.thread, channel_key),
+    )
+    caam.root.connect(root_in.output(1), cpu.inport_named(cpu_in.name))
+
+
+def _wire_system_output(
+    caam: CaamModel, result: MappingResult, request: IoRequest, index: int
+) -> None:
+    """Environment write: Thread-SS -> CPU-SS -> root Outport."""
+    scope = result.scope(request.thread)
+    channel_key = f"io_{request.channel}"
+    if channel_key not in scope.send_ports:
+        raise MappingError(
+            f"thread {request.thread!r} has no IO send port for "
+            f"{request.channel!r}"
+        )
+    cpu = caam.cpu_of_thread(request.thread)
+    root_out = Block(
+        _root_port_name(caam, f"Out{index}"),
+        "Outport",
+        inputs=1,
+        outputs=0,
+        parameters={"Port": index, "IoChannel": request.channel},
+    )
+    caam.root.add(root_out)
+    cpu_out = cpu.add_outport(_boundary_name(cpu, f"io_{request.channel}_out"))
+    cpu.system.connect(
+        _thread_out_port(result, request.thread, channel_key),
+        cpu_out.input(1),
+    )
+    caam.root.connect(cpu.outport_named(cpu_out.name), root_out.input(1))
+
+
+def _root_port_name(caam: CaamModel, base: str) -> str:
+    name = base
+    suffix = 1
+    while caam.root.has_block(name):
+        suffix += 1
+        name = f"{base}_{suffix}"
+    return name

@@ -1,0 +1,183 @@
+"""Linear clustering of task graphs.
+
+Paper §4.2.3 allocates threads to processors with "an algorithm based on
+Linear Clustering [Gerasoulis & Yang, TPDS 1993]", which "separates
+parallel tasks into different clusters and groups threads with more data
+dependencies into the same cluster" and "allocates all threads that are in
+the system critical path to the same processor".
+
+The classic algorithm, implemented here:
+
+1. Mark every node *unexamined*.
+2. Find the **critical path** of the sub-graph induced by the unexamined
+   nodes — the path maximizing the sum of node (computation) weights plus
+   edge (communication) weights along it.
+3. Merge the nodes of that path into one cluster (linearizing them removes
+   their mutual communication cost) and mark them examined.
+4. Repeat from 2 until every node is clustered.
+
+Thread communication graphs extracted from sequence diagrams may be cyclic
+(mutual Set/Get between threads); we first condense strongly-connected
+components — mutually-communicating threads belong on the same CPU anyway —
+and cluster the resulting DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .taskgraph import TaskGraph, TaskGraphError
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of a clustering pass.
+
+    ``clusters`` are thread-name sets in discovery order (first = the
+    cluster holding the original critical path).  ``critical_path`` is the
+    node order of that first path.
+    """
+
+    clusters: List[List[str]]
+    critical_path: List[str]
+
+    def cluster_of(self, thread: str) -> int:
+        """Index of the cluster containing ``thread``."""
+        for position, cluster in enumerate(self.clusters):
+            if thread in cluster:
+                return position
+        raise TaskGraphError(f"thread {thread!r} is in no cluster")
+
+    def as_sets(self) -> List[frozenset]:
+        """Clusters as order-insensitive frozensets (for comparisons)."""
+        return [frozenset(c) for c in self.clusters]
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+
+def critical_path(
+    graph: TaskGraph, allowed: Optional[Set[str]] = None
+) -> Tuple[List[str], float]:
+    """Longest (node+edge)-weighted path over ``allowed`` nodes of a DAG.
+
+    Returns ``(path, length)``; the empty path has length 0.  Ties are
+    broken deterministically by node name.
+    """
+    if allowed is None:
+        allowed = set(graph.node_weights)
+    order = graph.topological_order()
+    if order is None:
+        raise TaskGraphError("critical_path requires an acyclic task graph")
+    best_to: Dict[str, float] = {}
+    parent: Dict[str, Optional[str]] = {}
+    for node in order:
+        if node not in allowed:
+            continue
+        weight = graph.node_weights[node]
+        best_to.setdefault(node, weight)
+        parent.setdefault(node, None)
+        for (src, dst), edge_weight in sorted(graph.edges.items()):
+            if src != node or dst not in allowed:
+                continue
+            candidate = best_to[node] + edge_weight + graph.node_weights[dst]
+            if candidate > best_to.get(dst, float("-inf")):
+                best_to[dst] = candidate
+                parent[dst] = node
+    if not best_to:
+        return [], 0.0
+    end = max(sorted(best_to), key=lambda n: best_to[n])
+    path: List[str] = []
+    node: Optional[str] = end
+    while node is not None:
+        path.append(node)
+        node = parent[node]
+    path.reverse()
+    return path, best_to[end]
+
+
+def linear_clustering(graph: TaskGraph) -> ClusteringResult:
+    """Run linear clustering; handles cyclic graphs via SCC condensation."""
+    if graph.is_dag():
+        dag = graph
+        member_of = {n: n for n in graph.node_weights}
+    else:
+        dag, member_of = graph.condensation()
+
+    remaining: Set[str] = set(dag.node_weights)
+    clusters: List[List[str]] = []
+    first_path: List[str] = []
+    while remaining:
+        path, _length = critical_path(dag, allowed=remaining)
+        if not path:
+            # Isolated leftovers (no edges): one cluster per node.
+            for node in sorted(remaining):
+                clusters.append(_expand([node], member_of))
+            remaining.clear()
+            break
+        if not first_path:
+            first_path = _expand(path, member_of)
+        clusters.append(_expand(path, member_of))
+        remaining.difference_update(path)
+    return ClusteringResult(clusters=clusters, critical_path=first_path)
+
+
+def _expand(super_nodes: Sequence[str], member_of: Dict[str, str]) -> List[str]:
+    """Expand condensation super-nodes back to original thread names."""
+    reverse: Dict[str, List[str]] = {}
+    for original, label in member_of.items():
+        reverse.setdefault(label, []).append(original)
+    result: List[str] = []
+    for label in super_nodes:
+        result.extend(sorted(reverse.get(label, [label])))
+    return result
+
+
+def inter_cluster_communication(
+    graph: TaskGraph, clusters: Sequence[Sequence[str]]
+) -> float:
+    """Total edge weight crossing cluster boundaries.
+
+    This is the quantity the allocation optimization minimizes ("allocates
+    threads with more data dependencies in the same processor, in order to
+    reduce the inter-processor communication").
+    """
+    cluster_of: Dict[str, int] = {}
+    for position, cluster in enumerate(clusters):
+        for thread in cluster:
+            if thread in cluster_of:
+                raise TaskGraphError(
+                    f"thread {thread!r} appears in multiple clusters"
+                )
+            cluster_of[thread] = position
+    total = 0.0
+    for (src, dst), weight in graph.edges.items():
+        if cluster_of.get(src) != cluster_of.get(dst):
+            total += weight
+    return total
+
+
+def round_robin_clusters(graph: TaskGraph, count: int) -> List[List[str]]:
+    """Baseline allocation: threads dealt round-robin over ``count`` CPUs."""
+    if count < 1:
+        raise TaskGraphError(f"cluster count must be >= 1, got {count}")
+    clusters: List[List[str]] = [[] for _ in range(count)]
+    for position, node in enumerate(sorted(graph.node_weights)):
+        clusters[position % count].append(node)
+    return [c for c in clusters if c]
+
+
+def random_clusters(
+    graph: TaskGraph, count: int, seed: int = 0
+) -> List[List[str]]:
+    """Baseline allocation: uniform random assignment (seeded)."""
+    import random
+
+    if count < 1:
+        raise TaskGraphError(f"cluster count must be >= 1, got {count}")
+    rng = random.Random(seed)
+    clusters: List[List[str]] = [[] for _ in range(count)]
+    for node in sorted(graph.node_weights):
+        clusters[rng.randrange(count)].append(node)
+    return [c for c in clusters if c]

@@ -1,0 +1,195 @@
+"""End-to-end design flow (paper Figs. 1 and 2).
+
+:func:`synthesize` is the library's front door: it drives the four steps of
+the paper's mapping flow —
+
+1. the UML model (built programmatically or read from XMI);
+2. model-to-model transformation against the Simulink CAAM meta-model
+   (:mod:`repro.core.mapping`), with thread allocation taken from the
+   deployment diagram or computed by linear clustering (§4.2.3);
+3. optimization: channel inference (§4.2.1) and temporal-barrier insertion
+   (§4.2.2);
+4. model-to-text generation of the ``.mdl`` file.
+
+The heterogeneous back-ends of Fig. 1 (FSM code generation for control-flow
+subsystems, multithreaded Java when no Simulink compiler is available, KPN)
+live in :mod:`repro.backends` and reuse steps 1–3 of this flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..simulink.caam import CaamModel, CaamSummary, validate_caam
+from ..simulink.ecore import to_ecore_string
+from ..simulink.mdl import to_mdl
+from ..uml.deployment import DeploymentPlan
+from ..uml.model import Model
+from ..uml.validate import check_model
+from .allocation import AllocationResult, allocate_from_model
+from .mapping import MappingError, MappingResult, map_model
+from .optimize import OptimizationPipeline, OptimizationReport
+
+
+class FlowError(Exception):
+    """Raised when the synthesis flow cannot complete."""
+
+
+@dataclass
+class SynthesisResult:
+    """Everything produced by one run of the flow."""
+
+    caam: CaamModel
+    plan: DeploymentPlan
+    mapping: MappingResult
+    optimization: OptimizationReport
+    allocation: Optional[AllocationResult] = None
+    #: Intermediate artifact of step 2 (E-core XML, pre-optimization).
+    intermediate_xml: str = ""
+
+    @property
+    def mdl_text(self) -> str:
+        """The final ``.mdl`` artifact (step 4)."""
+        return to_mdl(self.caam)
+
+    @property
+    def summary(self) -> CaamSummary:
+        return self.caam.summary()
+
+    @property
+    def warnings(self) -> List[str]:
+        return list(self.mapping.warnings)
+
+    @property
+    def barriers_inserted(self) -> int:
+        barriers = self.optimization.barriers
+        return barriers.count if barriers is not None else 0
+
+    def write_mdl(self, path: str) -> None:
+        """Write the final ``.mdl`` artifact to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.mdl_text)
+
+    def mapping_report(self) -> str:
+        """Human-readable trace of the model-to-model transformation.
+
+        One line per trace link: which rule fired, the UML source element
+        and the Simulink element it produced — the MDE audit trail the
+        paper's QVT/ATL tooling would provide.
+        """
+        lines = [f"mapping report for {self.caam.name!r}"]
+        for link in self.mapping.context.trace.links():
+            source = getattr(link.source, "qualified_name", "") or getattr(
+                link.source, "name", ""
+            ) or repr(link.source)
+            operation = getattr(link.source, "operation", None)
+            if operation:
+                sender = getattr(link.source.sender, "name", "?")
+                receiver = getattr(link.source.receiver, "name", "?")
+                source = f"{sender}->{receiver}.{operation}"
+            target = getattr(link.target, "path", None) or getattr(
+                link.target, "name", repr(link.target)
+            )
+            lines.append(f"  [{link.rule:<20}] {source} -> {target}")
+        lines.append(f"  ({len(self.mapping.context.trace)} trace links)")
+        return "\n".join(lines)
+
+
+def resolve_plan(
+    model: Model, plan: Optional[DeploymentPlan] = None, *, auto_allocate: bool = False
+) -> (DeploymentPlan, Optional[AllocationResult]):
+    """Determine the thread→CPU allocation.
+
+    Priority: an explicit ``plan`` argument, then the model's deployment
+    diagram, then (with ``auto_allocate`` or when no diagram exists) the
+    automatic linear-clustering allocation — "the use of this algorithm
+    makes the deployment diagram unnecessary".
+    """
+    if plan is not None:
+        return plan, None
+    if not auto_allocate and model.nodes:
+        derived = DeploymentPlan.from_nodes(model.nodes)
+        if len(derived):
+            return derived, None
+    allocation = allocate_from_model(model)
+    if not len(allocation.plan):
+        raise FlowError(
+            "no deployment information: the model has neither <<SAengine>> "
+            "nodes nor thread communication to cluster"
+        )
+    return allocation.plan, allocation
+
+
+def synthesize(
+    model: Model,
+    plan: Optional[DeploymentPlan] = None,
+    *,
+    auto_allocate: bool = False,
+    behaviors: Optional[Dict[str, Callable]] = None,
+    infer_channels: bool = True,
+    insert_barriers: bool = True,
+    layout: bool = True,
+    validate: bool = True,
+    strict: bool = False,
+    name: Optional[str] = None,
+) -> SynthesisResult:
+    """Run the full UML → Simulink CAAM synthesis flow.
+
+    Parameters
+    ----------
+    model:
+        The source UML model.
+    plan:
+        Explicit thread→CPU allocation; overrides both the deployment
+        diagram and the automatic allocation.
+    auto_allocate:
+        Ignore the deployment diagram and run the §4.2.3 clustering.
+    behaviors:
+        ``{operation name: callable}`` — executable behaviour attached to
+        the generated S-functions.
+    infer_channels / insert_barriers:
+        Toggle the §4.2.1 / §4.2.2 optimization passes (the ablation
+        benchmarks switch these off).
+    layout:
+        Assign diagram positions to every generated block so the emitted
+        ``.mdl`` opens as a readable diagram.
+    validate:
+        Run UML well-formedness checks before mapping.
+    strict:
+        Escalate mapping inference warnings to errors.
+    name:
+        Name of the generated CAAM (defaults to the UML model name).
+    """
+    if validate:
+        check_model(model)
+    resolved_plan, allocation = resolve_plan(
+        model, plan, auto_allocate=auto_allocate
+    )
+    mapping = map_model(
+        model, resolved_plan, name=name, behaviors=behaviors, strict=strict
+    )
+    intermediate = to_ecore_string(mapping.caam)
+    pipeline = OptimizationPipeline(
+        infer_channels_enabled=infer_channels, insert_barriers=insert_barriers
+    )
+    optimization = pipeline.run(mapping)
+    if layout:
+        from ..simulink.layout import layout_model
+
+        layout_model(mapping.caam)
+    return SynthesisResult(
+        caam=mapping.caam,
+        plan=resolved_plan,
+        mapping=mapping,
+        optimization=optimization,
+        allocation=allocation,
+        intermediate_xml=intermediate,
+    )
+
+
+def synthesize_to_mdl(model: Model, path: str, **kwargs: object) -> SynthesisResult:
+    """Synthesize and write the ``.mdl`` file in one call."""
+    result = synthesize(model, **kwargs)  # type: ignore[arg-type]
+    result.write_mdl(path)
+    return result

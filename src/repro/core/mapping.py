@@ -1,0 +1,983 @@
+"""UML → Simulink CAAM mapping rules (paper §4.1).
+
+The mapping consumes the UML *deployment* view (a resolved
+:class:`~repro.uml.deployment.DeploymentPlan`, from either a deployment
+diagram or the automatic allocation of §4.2.3) and the *behavioural* view
+(sequence diagrams) and produces a CAAM:
+
+====================================================  =======================
+UML construction                                      Simulink CAAM element
+====================================================  =======================
+``<<SAengine>>`` node                                 CPU subsystem (CPU-SS)
+``<<SASchedRes>>`` thread                             Thread subsystem
+call to a passive object's method                     S-function block
+call to ``Platform.<predefined>``                     pre-defined block
+call to ``Platform.<other>``                          S-function block
+*in* parameters / *out*+*return* parameters           block in / out ports
+shared argument/result variables                      data lines
+``Set``/``Get`` call to another thread                send/receive port (+
+                                                      channel, see §4.2.1)
+``get``/``set`` call to an ``<<IO>>`` object          system in/out port
+====================================================  =======================
+
+The mapping is executed as a rule-based model-to-model transformation over
+the engine in :mod:`repro.transform.engine` — one rule per row of the table
+above — producing a :class:`MappingResult` carrying the CAAM, the trace
+links, and the *pending* channel/IO requests that the optimization passes
+(:mod:`repro.core.channels`) materialize.
+
+Note on the ``<<IO>>`` direction: the paper states "methods with the prefix
+get and set are used to indicate the reading and writing operations and ...
+they are mapped to system's input and output ports"; we map reads (``get``)
+to system *inputs* and writes (``set``) to system *outputs* accordingly.
+(The worked example's prose assigns ``getValue`` an output port; we follow
+the rule statement, and note the discrepancy in EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..simulink.blocks import platform_block_for
+from ..simulink.caam import CaamModel, CpuSubsystem, ThreadSubsystem
+from ..simulink.model import Block, Port
+from ..transform.engine import Transformation, TransformationContext
+from ..uml.builder import PLATFORM_OBJECT
+from ..uml.deployment import DeploymentPlan
+from ..uml.model import Model, Operation, ParameterDirection
+from ..uml.sequence import Interaction, Lifeline, Message
+
+
+class MappingError(Exception):
+    """Raised when the UML model cannot be mapped."""
+
+
+@dataclass(frozen=True)
+class ChannelRequest:
+    """A pending inter-thread communication channel (one per direction).
+
+    Created from every inter-thread ``Set``/``Get`` message; §4.2.1 decides
+    the protocol from the producer/consumer CPU placement.
+    """
+
+    producer: str
+    consumer: str
+    channel: str
+    width_bits: int
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.producer, self.consumer, self.channel)
+
+
+@dataclass(frozen=True)
+class IoRequest:
+    """A pending system-level IO port."""
+
+    thread: str
+    direction: str  # "in" (environment -> system) or "out"
+    channel: str
+    variable: str
+    width_bits: int
+
+
+@dataclass
+class ThreadScope:
+    """Per-thread mapping state: the Thread-SS plus the dataflow tables."""
+
+    name: str
+    subsystem: ThreadSubsystem
+    #: Dataflow variable -> producing port inside the thread system.
+    producers: Dict[str, Port] = field(default_factory=dict)
+    #: Channel name -> (inner Inport block, bound variable).
+    receive_ports: Dict[str, Tuple[Block, str]] = field(default_factory=dict)
+    #: Channel name -> (inner Outport block, source variable).
+    send_ports: Dict[str, Tuple[Block, str]] = field(default_factory=dict)
+    #: Pending (port, variable) input connections resolved at scope close.
+    pending_inputs: List[Tuple[Port, str]] = field(default_factory=list)
+    _name_counts: Dict[str, int] = field(default_factory=dict)
+
+    def unique_name(self, base: str) -> str:
+        """Uniquify a block name within the thread system."""
+        count = self._name_counts.get(base, 0)
+        self._name_counts[base] = count + 1
+        return base if count == 0 else f"{base}_{count + 1}"
+
+    def bind(self, variable: str, port: Port) -> None:
+        """Record that ``variable`` is produced at ``port``."""
+        self.producers[variable] = port
+
+    def producer_of(self, variable: str) -> Optional[Port]:
+        """Port producing ``variable``, or ``None`` when unbound."""
+        return self.producers.get(variable)
+
+
+@dataclass
+class MappingResult:
+    """Output of the mapping transformation (pre-optimization)."""
+
+    caam: CaamModel
+    plan: DeploymentPlan
+    scopes: Dict[str, ThreadScope]
+    channel_requests: List[ChannelRequest]
+    io_requests: List[IoRequest]
+    context: TransformationContext
+    warnings: List[str] = field(default_factory=list)
+
+    def scope(self, thread: str) -> ThreadScope:
+        """The :class:`ThreadScope` of a mapped thread."""
+        try:
+            return self.scopes[thread]
+        except KeyError:
+            raise MappingError(f"no thread scope for {thread!r}") from None
+
+    def unique_channel_requests(self) -> List[ChannelRequest]:
+        """Channel requests deduplicated by (producer, consumer, channel)."""
+        seen = set()
+        unique: List[ChannelRequest] = []
+        for request in self.channel_requests:
+            if request.key not in seen:
+                seen.add(request.key)
+                unique.append(request)
+        return unique
+
+
+# ---------------------------------------------------------------------------
+# Rule helpers
+# ---------------------------------------------------------------------------
+
+
+class _MappingState:
+    """Mutable state shared by all rules (stored in context options)."""
+
+    def __init__(
+        self,
+        caam: CaamModel,
+        plan: DeploymentPlan,
+        behaviors: Dict[str, Callable],
+        strict: bool,
+    ) -> None:
+        self.caam = caam
+        self.plan = plan
+        self.behaviors = behaviors
+        self.strict = strict
+        self.scopes: Dict[str, ThreadScope] = {}
+        self.channel_requests: List[ChannelRequest] = []
+        self.io_requests: List[IoRequest] = []
+        self.warnings: List[str] = []
+        self.io_in_count = 0
+        self.io_out_count = 0
+
+    # -- structure ---------------------------------------------------------
+    def cpu_for(self, thread: str) -> CpuSubsystem:
+        cpu_name = self.plan.cpu_of(thread)
+        try:
+            return self.caam.cpu(cpu_name)
+        except Exception:
+            return self.caam.add_cpu(cpu_name)
+
+    def scope_for(self, thread: str) -> ThreadScope:
+        if thread not in self.scopes:
+            cpu = self.cpu_for(thread)
+            subsystem = ThreadSubsystem(thread)
+            cpu.system.add(subsystem)
+            self.scopes[thread] = ThreadScope(thread, subsystem)
+        return self.scopes[thread]
+
+    def warn(self, message: str) -> None:
+        if self.strict:
+            raise MappingError(message)
+        self.warnings.append(message)
+
+
+def _state(context: TransformationContext) -> _MappingState:
+    return context.options["state"]
+
+
+def _is_platform(lifeline: Lifeline) -> bool:
+    return (
+        lifeline.name == PLATFORM_OBJECT
+        or (
+            lifeline.instance is not None
+            and lifeline.instance.name == PLATFORM_OBJECT
+        )
+    )
+
+
+def _is_local_computation(message: Message) -> bool:
+    """A thread invoking a passive object / Platform / itself."""
+    if not message.sender.is_thread:
+        return False
+    if message.is_io_access:
+        return False
+    if message.is_inter_thread:
+        return False
+    return True
+
+
+def _operation_ports(
+    message: Message, operation: Optional[Operation]
+) -> Tuple[int, int]:
+    """(inputs, outputs) of the block for a method call (paper §4.1:
+    parameter directions become ports)."""
+    if operation is not None and operation.parameters:
+        return len(operation.inputs()), len(operation.outputs())
+    inputs = len(message.arguments)
+    outputs = 1 if message.result else 0
+    return inputs, outputs
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def _rule_thread_to_subsystem(
+    lifeline: Lifeline, context: TransformationContext
+) -> Optional[ThreadSubsystem]:
+    """``<<SASchedRes>>`` thread → Thread-SS inside its CPU-SS."""
+    state = _state(context)
+    if not state.plan.has_thread(lifeline.name):
+        state.warn(
+            f"thread {lifeline.name!r} has no CPU assignment; skipping"
+        )
+        return None
+    scope = state.scope_for(lifeline.name)
+    if lifeline.instance is not None:
+        priority = lifeline.instance.tagged_value("SASchedRes", "SAPriority")
+        if priority is not None:
+            scope.subsystem.parameters["SAPriority"] = int(str(priority))
+    return scope.subsystem
+
+
+#: Platform blocks that accept trailing *literal* arguments as block
+#: parameters, in order: ``gain(x, 2.5)`` → Gain with ``Gain = 2.5``.
+_PARAM_CONVENTIONS = {
+    "Gain": ("Gain",),
+    "Saturation": ("LowerLimit", "UpperLimit"),
+    "UnitDelay": ("InitialCondition",),
+    "Relay": (
+        "OnSwitchValue",
+        "OffSwitchValue",
+        "OnOutputValue",
+        "OffOutputValue",
+    ),
+    "Quantizer": ("QuantizationInterval",),
+    "DeadZone": ("Start", "End"),
+    "DiscreteIntegrator": ("InitialCondition", "SampleTime"),
+    "DiscreteFilter": ("Pole", "InitialCondition"),
+    "RateLimiter": ("RisingSlewLimit", "FallingSlewLimit"),
+}
+
+
+def _platform_block(
+    scope: ThreadScope, message: Message
+) -> Optional[Tuple[Block, int]]:
+    """Pre-defined block for a ``Platform`` call, or ``None``.
+
+    Returns ``(block, wired_argument_count)``: trailing literal arguments
+    consumed as block parameters are excluded from the dataflow wiring.
+    """
+    spec = platform_block_for(message.operation)
+    if spec is None:
+        return None
+    block_type, parameters, default_inputs = spec
+    args = list(message.arguments)
+    wired = args
+    param_names = _PARAM_CONVENTIONS.get(block_type)
+    if param_names and len(args) > default_inputs:
+        extra = args[default_inputs:]
+        if all(not a.is_variable for a in extra):
+            for name, argument in zip(param_names, extra):
+                parameters[name] = float(argument.value)
+            wired = args[:default_inputs]
+    inputs = len(wired) or default_inputs
+    signs = parameters.get("Inputs")
+    if isinstance(signs, str) and len(signs) != inputs:
+        # Stretch/trim the sign string to the actual argument count.
+        if len(set(signs)) == 1:
+            parameters["Inputs"] = signs[0] * inputs
+        else:
+            parameters["Inputs"] = (signs + "+" * inputs)[:inputs]
+    block = Block(
+        scope.unique_name(message.operation),
+        block_type,
+        inputs=inputs,
+        outputs=1,
+        parameters=parameters,
+    )
+    return block, len(wired)
+
+
+def _rule_call_to_block(
+    message: Message, context: TransformationContext
+) -> Optional[Block]:
+    """Method call on a passive object / Platform → Simulink block."""
+    state = _state(context)
+    scope = state.scopes.get(message.sender.name)
+    if scope is None:
+        state.warn(
+            f"message {message.operation!r} sent by unmapped thread "
+            f"{message.sender.name!r}; skipping"
+        )
+        return None
+    operation = message.resolved_operation()
+    wire_count: Optional[int] = None
+
+    if _is_platform(message.receiver):
+        platform = _platform_block(scope, message)
+        if platform is not None:
+            block, wire_count = platform
+        else:
+            block = _sfunction_block(scope, message, operation, state)
+    else:
+        behaviour = _behavior_interaction(message, operation)
+        if behaviour is not None and operation is not None:
+            block = _behavior_subsystem(
+                scope, message, operation, behaviour, state
+            )
+        else:
+            block = _sfunction_block(scope, message, operation, state)
+
+    scope.subsystem.system.add(block)
+    _wire_call(scope, message, block, state, wire_count)
+    return block
+
+
+def _behavior_interaction(
+    message: Message, operation: Optional[Operation]
+) -> Optional[Interaction]:
+    """The interaction describing the called operation's *internal*
+    behaviour, when the designer modelled one.
+
+    Convention: the operation's body references a UML interaction
+    (``body_language == "uml"``, ``body`` = interaction name).  Such
+    operations map to **hierarchical subsystems** whose content is
+    generated from the behaviour diagram — this is how the paper's crane
+    Fig. 5 shows ``control`` as a subsystem "with its behavior detailed"
+    rather than a flat S-function.
+    """
+    if operation is None or operation.body_language != "uml":
+        return None
+    model = message.receiver.instance.model if message.receiver.instance else None
+    if model is None:
+        return None
+    try:
+        return model.interaction(operation.body or "")
+    except Exception:
+        return None
+
+
+def _behavior_subsystem(
+    scope: ThreadScope,
+    message: Message,
+    operation: Operation,
+    behaviour: Interaction,
+    state: _MappingState,
+) -> Block:
+    """Build a hierarchical subsystem from an operation's behaviour diagram.
+
+    The subsystem interface follows the operation signature (§4.1: in
+    parameters → input ports, return → output port).  Inside, the
+    behaviour diagram's messages are mapped with the same block rules; the
+    variable named ``result`` (or the last produced variable) drives the
+    output port.
+    """
+    from ..simulink.model import SubSystem
+
+    sub = SubSystem(scope.unique_name(message.operation))
+    inner = ThreadScope(sub.name, sub)  # reuse the wiring machinery
+    for param in operation.inputs():
+        inport = sub.add_inport(inner.unique_name(param.name))
+        inner.bind(param.name, inport.output(1))
+    for nested in behaviour.messages():
+        nested_operation = nested.resolved_operation()
+        wire_count = None
+        if _is_platform(nested.receiver):
+            platform = _platform_block(inner, nested)
+            if platform is not None:
+                block, wire_count = platform
+            else:
+                block = _sfunction_block(inner, nested, nested_operation, state)
+        else:
+            block = _sfunction_block(inner, nested, nested_operation, state)
+        sub.system.add(block)
+        _wire_call(inner, nested, block, state, wire_count)
+    # Resolve deferred reads inside the behaviour (same escape hatch).
+    for port, variable in inner.pending_inputs:
+        producer = inner.producer_of(variable)
+        if producer is None:
+            state.warn(
+                f"behaviour {behaviour.name!r}: variable {variable!r} has "
+                f"no producer; exposing it as an input port"
+            )
+            extra = sub.add_inport(inner.unique_name(variable))
+            inner.bind(variable, extra.output(1))
+            producer = extra.output(1)
+        sub.system.connect(producer, port)
+    inner.pending_inputs.clear()
+    # Output port: the 'result' variable, else the last produced one.
+    outputs = [v for v in inner.producers if v not in {p.name for p in operation.inputs()}]
+    out_var = "result" if "result" in inner.producers else (outputs[-1] if outputs else None)
+    if operation.return_parameter is not None and out_var is not None:
+        outport = sub.add_outport(inner.unique_name("out"))
+        sub.system.connect(inner.producers[out_var], outport.input(1))
+    return sub
+
+
+def _sfunction_block(
+    scope: ThreadScope,
+    message: Message,
+    operation: Optional[Operation],
+    state: _MappingState,
+) -> Block:
+    """Instantiate a user-defined S-function for a method call."""
+    inputs, outputs = _operation_ports(message, operation)
+    if operation is None or not operation.parameters:
+        # Untyped call: the argument list defines the input ports.
+        inputs = max(inputs, len(message.arguments))
+    outputs = max(outputs, 1 if message.result else 0)
+    parameters: Dict[str, object] = {"FunctionName": message.operation}
+    if operation is not None and operation.body:
+        parameters["Source"] = operation.body
+        parameters["SourceLanguage"] = operation.body_language or "c"
+    callback = state.behaviors.get(message.operation)
+    if callback is not None:
+        parameters["callback"] = callback
+    return Block(
+        scope.unique_name(message.operation),
+        "S-Function",
+        inputs=inputs,
+        outputs=max(outputs, 1),
+        parameters=parameters,
+    )
+
+
+def _wire_call(
+    scope: ThreadScope,
+    message: Message,
+    block: Block,
+    state: _MappingState,
+    wire_count: "Optional[int]" = None,
+) -> None:
+    """Wire arguments to ports per the §4.1 direction rules.
+
+    - *in* arguments drive block input ports (variables through data lines,
+      literals through Constant blocks);
+    - arguments aligned with *out* parameters BIND their variable to the
+      corresponding block output port ("the direction of method parameters
+      (in/out) and the return are translated to input and output ports");
+    - the return value binds the result variable to output port 1.
+
+    Out-parameter alignment happens when the operation is resolved and the
+    message passes one argument per non-return parameter; otherwise every
+    argument is treated as an input.  ``wire_count`` limits how many
+    leading arguments are dataflow inputs (the rest were consumed as block
+    parameters of a pre-defined block).
+    """
+    system = scope.subsystem.system
+    arguments = message.arguments
+    if wire_count is not None:
+        arguments = arguments[:wire_count]
+
+    operation = message.resolved_operation()
+    directions = None
+    if operation is not None:
+        declared = [
+            p for p in operation.parameters
+            if p.direction is not ParameterDirection.RETURN
+        ]
+        if any(
+            p.direction is ParameterDirection.OUT for p in declared
+        ) and len(arguments) == len(declared):
+            directions = [p.direction for p in declared]
+
+    has_return = (
+        operation.return_parameter is not None
+        if operation is not None
+        else bool(message.result)
+    )
+    # Output-port numbering: return (when present) is port 1, OUT
+    # parameters follow in declaration order.
+    next_output = 2 if has_return else 1
+
+    input_position = 0
+    for index, argument in enumerate(arguments):
+        direction = (
+            directions[index] if directions is not None else ParameterDirection.IN
+        )
+        if direction is ParameterDirection.OUT:
+            if not argument.is_variable:
+                state.warn(
+                    f"call {message.operation!r}: out-argument {index + 1} "
+                    f"must be a variable; ignored"
+                )
+                continue
+            if next_output <= block.num_outputs:
+                scope.bind(str(argument.value), block.output(next_output))
+            next_output += 1
+            continue
+        input_position += 1
+        if input_position > block.num_inputs:
+            state.warn(
+                f"call {message.operation!r}: argument {index + 1} exceeds "
+                f"block inputs; ignored"
+            )
+            continue
+        if argument.is_variable:
+            variable = str(argument.value)
+            producer = scope.producer_of(variable)
+            if producer is not None:
+                system.connect(producer, block.input(input_position))
+            else:
+                scope.pending_inputs.append(
+                    (block.input(input_position), variable)
+                )
+        else:
+            constant = system.add(
+                Block(
+                    scope.unique_name(f"const_{argument.value}"),
+                    "Constant",
+                    inputs=0,
+                    outputs=1,
+                    parameters={"Value": float(argument.value)},
+                )
+            )
+            system.connect(constant.output(1), block.input(input_position))
+    if message.result and block.num_outputs >= 1:
+        scope.bind(message.result, block.output(1))
+
+
+def _rule_inter_thread_message(
+    message: Message, context: TransformationContext
+) -> Optional[Block]:
+    """``Set``/``Get`` between threads → send/receive ports + channel
+    request (channel materialization happens in §4.2.1 inference)."""
+    state = _state(context)
+    channel = message.channel_name
+    width = message.data_width_bits()
+    if message.is_receive:
+        producer_thread = message.receiver.name
+        consumer_thread = message.sender.name
+    elif message.is_send:
+        producer_thread = message.sender.name
+        consumer_thread = message.receiver.name
+    else:
+        state.warn(
+            f"inter-thread message {message.operation!r} lacks the Set/Get "
+            f"naming convention; no channel inferred"
+        )
+        return None
+    if not (
+        state.plan.has_thread(producer_thread)
+        and state.plan.has_thread(consumer_thread)
+    ):
+        state.warn(
+            f"channel {channel!r} references unmapped thread(s) "
+            f"{producer_thread!r}/{consumer_thread!r}; skipping"
+        )
+        return None
+    state.channel_requests.append(
+        ChannelRequest(producer_thread, consumer_thread, channel, width)
+    )
+
+    created: Optional[Block] = None
+    if message.is_receive:
+        # The Get side names the consumer's local variable; the producer
+        # side is inferred later by §4.2.1 (it may have an explicit Set, or
+        # a variable named after the channel).
+        created = _ensure_receive_port(
+            state.scope_for(consumer_thread),
+            channel,
+            message.result or channel,
+        )
+    if message.is_send:
+        argument = message.arguments[0] if message.arguments else None
+        variable = (
+            str(argument.value)
+            if argument is not None and argument.is_variable
+            else channel
+        )
+        created = _ensure_send_port(
+            state.scope_for(producer_thread), channel, variable, state
+        )
+        # Sends also imply the consumer's receive port, bound to the
+        # channel name so consumer-side reads of that name resolve.
+        _ensure_receive_port(
+            state.scope_for(consumer_thread), channel, channel
+        )
+    return created
+
+
+def _ensure_receive_port(
+    scope: ThreadScope, channel: str, variable: str
+) -> Block:
+    """Receive side: an Inport on the Thread-SS bound to the result var."""
+    if channel in scope.receive_ports:
+        inport, _ = scope.receive_ports[channel]
+    else:
+        inport = scope.subsystem.add_inport(scope.unique_name(channel))
+        scope.receive_ports[channel] = (inport, variable)
+    scope.bind(variable, inport.output(1))
+    if channel not in scope.producers:
+        # Reads of the bare channel name also resolve to the received data.
+        scope.bind(channel, inport.output(1))
+    return inport
+
+
+def _ensure_send_port(
+    scope: ThreadScope, channel: str, variable: str, state: _MappingState
+) -> Block:
+    """Send side: an Outport on the Thread-SS fed by the data variable."""
+    if channel in scope.send_ports:
+        return scope.send_ports[channel][0]
+    outport = scope.subsystem.add_outport(
+        scope.unique_name(f"{channel}_out" if channel else "out")
+    )
+    scope.send_ports[channel] = (outport, variable)
+    producer = scope.producer_of(variable)
+    if producer is not None:
+        scope.subsystem.system.connect(producer, outport.input(1))
+    else:
+        scope.pending_inputs.append((outport.input(1), variable))
+    return outport
+
+
+def _rule_io_message(
+    message: Message, context: TransformationContext
+) -> Optional[Block]:
+    """Call on an ``<<IO>>`` object → system-level port request."""
+    state = _state(context)
+    thread = message.sender.name
+    if not state.plan.has_thread(thread):
+        state.warn(
+            f"IO access {message.operation!r} from unmapped thread "
+            f"{thread!r}; skipping"
+        )
+        return None
+    scope = state.scope_for(thread)
+    channel = message.channel_name
+    width = message.data_width_bits()
+    if message.is_receive:
+        variable = message.result or channel
+        state.io_requests.append(
+            IoRequest(thread, "in", channel, variable, width)
+        )
+        return _ensure_receive_port(scope, f"io_{channel}", variable)
+    if message.is_send:
+        argument = message.arguments[0] if message.arguments else None
+        variable = (
+            str(argument.value)
+            if argument is not None and argument.is_variable
+            else channel
+        )
+        state.io_requests.append(
+            IoRequest(thread, "out", channel, variable, width)
+        )
+        return _ensure_send_port(scope, f"io_{channel}", variable, state)
+    state.warn(
+        f"IO access {message.operation!r} lacks the get/set naming "
+        f"convention; no system port inferred"
+    )
+    return None
+
+
+def _rule_alt_fragment(
+    fragment, context: TransformationContext
+) -> Optional[Block]:
+    """``alt``/``opt`` combined fragment → Switch-selected dataflow.
+
+    The paper's one-to-one mapping covers straight-line interactions; this
+    rule extends it to alternatives: each operand's messages are mapped
+    with the ordinary block rules, and every variable that ends up bound
+    by more than one operand is merged through a Simulink ``Switch`` whose
+    control input is the operand guard (by convention a dataflow variable;
+    nonzero selects the guarded branch).  ``opt`` merges the operand's
+    bindings with the variable's previous producer.
+    """
+    from ..uml.sequence import InteractionOperator
+
+    state = _state(context)
+    operand_messages = [list(_flattened_operand(op)) for op in fragment.operands]
+    senders = {
+        m.sender.name for msgs in operand_messages for m in msgs if m.sender
+    }
+    if len(senders) != 1:
+        state.warn(
+            "alt/opt fragment spans multiple sender threads; mapping its "
+            "messages without Switch selection"
+        )
+        for msgs in operand_messages:
+            for message in msgs:
+                _dispatch_message(message, context)
+        return None
+    (sender,) = senders
+    if not state.plan.has_thread(sender):
+        state.warn(
+            f"alt/opt fragment sent by unmapped thread {sender!r}; skipping"
+        )
+        return None
+    scope = state.scope_for(sender)
+
+    baseline = dict(scope.producers)
+    branch_bindings = []  # (guard, {var: port})
+    for operand, msgs in zip(fragment.operands, operand_messages):
+        scope.producers = dict(baseline)
+        for message in msgs:
+            _dispatch_message(message, context)
+        changed = {
+            var: port
+            for var, port in scope.producers.items()
+            if baseline.get(var) is not port
+        }
+        branch_bindings.append((operand.guard.strip(), changed))
+    scope.producers = dict(baseline)
+
+    # Fold branches into Switch chains per variable, last operand first.
+    variables = []
+    for _, bindings in branch_bindings:
+        for var in bindings:
+            if var not in variables:
+                variables.append(var)
+    system = scope.subsystem.system
+    last_switch: Optional[Block] = None
+    is_opt = fragment.operator is InteractionOperator.OPT
+    for var in variables:
+        default_port = baseline.get(var)
+        # Unguarded (else) branch provides the fallback when present.
+        current = default_port
+        for guard, bindings in reversed(branch_bindings):
+            if var in bindings and not _is_guard(guard):
+                current = bindings[var]
+        for guard, bindings in reversed(branch_bindings):
+            if var not in bindings or not _is_guard(guard):
+                continue
+            switch = Block(
+                scope.unique_name(f"select_{var}"),
+                "Switch",
+                inputs=3,
+                outputs=1,
+                parameters={"Threshold": 0.5, "Criteria": ">="},
+            )
+            system.add(switch)
+            system.connect(bindings[var], switch.input(1))
+            guard_producer = scope.producer_of(guard)
+            if guard_producer is not None:
+                system.connect(guard_producer, switch.input(2))
+            else:
+                scope.pending_inputs.append((switch.input(2), guard))
+            if current is not None:
+                system.connect(current, switch.input(3))
+            else:
+                state.warn(
+                    f"alt/opt: variable {var!r} has no else-branch or "
+                    f"prior value; grounding the fallback to 0"
+                )
+                ground = system.add(
+                    Block(
+                        scope.unique_name(f"default_{var}"),
+                        "Constant",
+                        inputs=0,
+                        outputs=1,
+                        parameters={"Value": 0.0},
+                    )
+                )
+                system.connect(ground.output(1), switch.input(3))
+            current = switch.output(1)
+            last_switch = switch
+        if current is not None:
+            scope.bind(var, current)
+    del is_opt
+    return last_switch
+
+
+def _is_guard(guard: str) -> bool:
+    return bool(guard) and guard.lower() != "else"
+
+
+def _flattened_operand(operand):
+    from ..uml.sequence import CombinedFragment, Message
+
+    for nested in operand.fragments:
+        if isinstance(nested, Message):
+            yield nested
+        elif isinstance(nested, CombinedFragment):
+            yield from _flattened(nested)
+
+
+def _dispatch_message(message: Message, context: TransformationContext) -> None:
+    """Apply the ordinary message rules to one message (priority order)."""
+    if message.sender.is_thread and message.is_io_access:
+        _rule_io_message(message, context)
+    elif message.is_inter_thread:
+        _rule_inter_thread_message(message, context)
+    elif _is_local_computation(message):
+        _rule_call_to_block(message, context)
+
+
+def _close_scopes(context: TransformationContext) -> None:
+    """Resolve pending variable reads after every message was processed.
+
+    A variable read before (or without) a producer in the thread's own
+    diagrams is surfaced as an extra Thread-SS Inport — the "inference"
+    escape hatch; strict mode turns these into errors instead.
+    """
+    state = _state(context)
+    for scope in state.scopes.values():
+        for port, variable in scope.pending_inputs:
+            producer = scope.producer_of(variable)
+            if producer is None:
+                state.warn(
+                    f"thread {scope.name!r}: variable {variable!r} has no "
+                    f"producer; exposing it as an input port"
+                )
+                inport = scope.subsystem.add_inport(
+                    scope.unique_name(variable)
+                )
+                scope.bind(variable, inport.output(1))
+                producer = inport.output(1)
+            scope.subsystem.system.connect(producer, port)
+        scope.pending_inputs.clear()
+
+
+# ---------------------------------------------------------------------------
+# Transformation assembly
+# ---------------------------------------------------------------------------
+
+
+def build_transformation() -> Transformation:
+    """Assemble the §4.1 rule set in priority order."""
+    transformation = Transformation("uml2caam", exclusive=True)
+    transformation.add_rule(
+        _as_rule(
+            "thread2subsystem",
+            Lifeline,
+            _rule_thread_to_subsystem,
+            guard=lambda l: l.is_thread,
+        )
+    )
+    transformation.add_rule(
+        _as_rule(
+            "io2systemport",
+            Message,
+            _rule_io_message,
+            guard=lambda m: m.sender.is_thread and m.is_io_access,
+        )
+    )
+    transformation.add_rule(
+        _as_rule(
+            "interthread2channel",
+            Message,
+            _rule_inter_thread_message,
+            guard=lambda m: m.is_inter_thread,
+        )
+    )
+    transformation.add_rule(
+        _as_rule(
+            "call2block",
+            Message,
+            _rule_call_to_block,
+            guard=_is_local_computation,
+        )
+    )
+    from ..uml.sequence import CombinedFragment
+
+    transformation.add_rule(
+        _as_rule("alt2switch", CombinedFragment, _rule_alt_fragment)
+    )
+    return transformation
+
+
+def _as_rule(name, source_type, fn, guard=None):
+    from ..transform.engine import Rule
+
+    return Rule(name, source_type, fn, guard)
+
+
+def _sweep_elements(interactions: Sequence[Interaction]):
+    """Element iteration order: all thread lifelines first (so every
+    Thread-SS exists), then messages in diagram order per interaction.
+
+    ``alt``/``opt`` combined fragments are yielded atomically — the
+    alternative-mapping rule turns them into Switch-selected dataflow —
+    while other fragments (loops) contribute their flattened messages.
+    """
+    from ..uml.sequence import CombinedFragment, InteractionOperator
+
+    for interaction in interactions:
+        for lifeline in interaction.thread_lifelines():
+            yield lifeline
+    for interaction in interactions:
+        for fragment in interaction.fragments:
+            if isinstance(fragment, CombinedFragment) and fragment.operator in (
+                InteractionOperator.ALT,
+                InteractionOperator.OPT,
+            ):
+                yield fragment
+            elif isinstance(fragment, CombinedFragment):
+                for message in _flattened(fragment):
+                    yield message
+            else:
+                yield fragment
+
+
+def _flattened(fragment):
+    from ..uml.sequence import CombinedFragment, Message
+
+    for operand in fragment.operands:
+        for nested in operand.fragments:
+            if isinstance(nested, Message):
+                yield nested
+            elif isinstance(nested, CombinedFragment):
+                yield from _flattened(nested)
+
+
+def map_model(
+    model: Model,
+    plan: DeploymentPlan,
+    *,
+    name: Optional[str] = None,
+    behaviors: Optional[Dict[str, Callable]] = None,
+    strict: bool = False,
+) -> MappingResult:
+    """Run the §4.1 mapping: UML model + deployment plan → CAAM.
+
+    Parameters
+    ----------
+    model:
+        The UML source model (interactions drive the thread layers).
+    plan:
+        The thread→CPU allocation (diagram-derived or computed).
+    behaviors:
+        Optional ``{operation name: python callable}`` attached to generated
+        S-functions as executable behaviour (our substitution for the
+        paper's compiled C code).
+    strict:
+        Raise :class:`MappingError` on inference warnings instead of
+        collecting them.
+    """
+    if not model.interactions:
+        raise MappingError(
+            "model has no interactions; thread behaviour is required "
+            "(paper: 'the designer needs to ... describe thread behavior "
+            "using sequence diagrams')"
+        )
+    caam = CaamModel(name or model.name or "caam")
+    for cpu_name in plan.cpus:
+        caam.add_cpu(cpu_name)
+    state = _MappingState(caam, plan, dict(behaviors or {}), strict)
+    transformation = build_transformation()
+    context = transformation.run(
+        _sweep_elements(model.interactions), caam, options={"state": state}
+    )
+    _close_scopes(context)
+    return MappingResult(
+        caam=caam,
+        plan=plan,
+        scopes=state.scopes,
+        channel_requests=state.channel_requests,
+        io_requests=state.io_requests,
+        context=context,
+        warnings=state.warnings,
+    )

@@ -1,0 +1,66 @@
+"""Optimization-pass pipeline (paper §4.2, step 3 of Fig. 2).
+
+"The third step receives as input the model resulting from the
+model-to-model transformation ... and performs some optimizations before
+generating the final Simulink model.  During the optimization step, our
+tool can perform three types of optimizations: inference of communication
+channels, loop detection, and thread allocation."
+
+Thread allocation runs *before* the structural mapping (it decides the CPU
+topology) and is exposed from :mod:`repro.core.allocation`; this module
+pipelines the two post-mapping passes — channel inference and temporal
+barriers — and leaves room for user-registered extra passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .barriers import BarrierReport, insert_temporal_barriers
+from .channels import ChannelReport, infer_channels
+from .mapping import MappingResult
+
+#: An optimization pass: consumes the mapping result, returns a report.
+OptimizationPass = Callable[[MappingResult], object]
+
+
+@dataclass
+class OptimizationReport:
+    """Reports of every executed pass."""
+
+    channels: Optional[ChannelReport] = None
+    barriers: Optional[BarrierReport] = None
+    extra: List[object] = field(default_factory=list)
+
+
+class OptimizationPipeline:
+    """Ordered optimization passes over a mapping result.
+
+    The default pipeline is the paper's: channel inference first (it adds
+    data links that may close cycles), then loop detection + barrier
+    insertion.  Additional passes (e.g. the ablation variants in the
+    benchmarks) are appended with :meth:`add_pass`.
+    """
+
+    def __init__(
+        self, *, infer_channels_enabled: bool = True, insert_barriers: bool = True
+    ) -> None:
+        self.infer_channels_enabled = infer_channels_enabled
+        self.insert_barriers = insert_barriers
+        self._extra: List[OptimizationPass] = []
+
+    def add_pass(self, pass_: OptimizationPass) -> None:
+        """Append a user-defined pass run after the built-in ones."""
+        self._extra.append(pass_)
+
+    def run(self, result: MappingResult) -> OptimizationReport:
+        """Execute the enabled passes over a mapping result."""
+        report = OptimizationReport()
+        if self.infer_channels_enabled:
+            report.channels = infer_channels(result)
+        if self.insert_barriers:
+            report.barriers = insert_temporal_barriers(result.caam)
+        for pass_ in self._extra:
+            report.extra.append(pass_(result))
+        return report

@@ -1,0 +1,37 @@
+"""Design-space exploration — the paper's future-work section, implemented.
+
+- :mod:`.estimate` — fast allocation-cost estimation on the task graph;
+- :mod:`.explore` — exhaustive / greedy exploration and Pareto filtering;
+- :mod:`.partition` — automatic splitting of one thread into a pipeline.
+"""
+
+from .estimate import (
+    CostEstimate,
+    EstimationError,
+    default_platform,
+    estimate_allocation,
+)
+from .explore import (
+    Candidate,
+    ExplorationError,
+    exhaustive_explore,
+    explore,
+    greedy_explore,
+    pareto_front,
+)
+from .partition import PartitionError, partition_thread
+
+__all__ = [
+    "Candidate",
+    "CostEstimate",
+    "EstimationError",
+    "ExplorationError",
+    "PartitionError",
+    "default_platform",
+    "estimate_allocation",
+    "exhaustive_explore",
+    "explore",
+    "greedy_explore",
+    "pareto_front",
+    "partition_thread",
+]

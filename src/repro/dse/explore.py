@@ -1,0 +1,281 @@
+"""Design-space exploration over thread allocations (paper future work).
+
+"This would avoid the need for the designer to specify the deployment ...
+while supporting design space exploration."
+
+Given a task graph (extracted from the sequence diagrams), the explorer
+searches thread→CPU allocations using the fast estimator of
+:mod:`repro.dse.estimate`:
+
+- :func:`exhaustive_explore` enumerates every set partition (Bell-number
+  growth; practical to ~10 threads) — ground truth for small systems;
+- :func:`greedy_explore` seeds with linear clustering and hill-climbs by
+  single-thread moves and cluster merges (deterministic);
+- :func:`pareto_front` filters candidates to the (objective, CPU count)
+  Pareto-optimal set — the designer picks the preferred trade-off.
+
+Two objectives are supported: ``latency`` (one-iteration makespan) and
+``throughput`` (steady-state initiation interval — the right goal for
+streaming pipelines, where latency-optimal solutions collapse onto one
+CPU).
+
+Every explorer returns :class:`Candidate` objects carrying the plan and its
+estimate, best-first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.allocation import plan_from_clusters
+from ..core.clustering import linear_clustering
+from ..core.taskgraph import TaskGraph
+from ..mpsoc.platform import Platform
+from ..uml.deployment import DeploymentPlan
+from .estimate import CostEstimate, default_platform, estimate_allocation
+
+
+class ExplorationError(Exception):
+    """Raised on infeasible exploration requests."""
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One explored allocation with its estimated cost."""
+
+    plan: DeploymentPlan
+    estimate: CostEstimate
+    objective: str = "latency"
+
+    @property
+    def makespan(self) -> float:
+        """Latency of one iteration (cycles)."""
+        return self.estimate.makespan_cycles
+
+    @property
+    def interval(self) -> float:
+        """Steady-state initiation interval (cycles/sample)."""
+        return self.estimate.interval_cycles
+
+    @property
+    def metric(self) -> float:
+        """The figure of merit under this candidate's objective."""
+        return self.estimate.metric(self.objective)
+
+    @property
+    def cpu_count(self) -> int:
+        """Number of CPUs the plan uses."""
+        return self.estimate.cpu_count
+
+    def __str__(self) -> str:
+        groups = ", ".join(
+            f"{cpu}={{{','.join(sorted(self.plan.threads_on(cpu)))}}}"
+            for cpu in self.plan.cpus
+        )
+        return f"{self.estimate} :: {groups}"
+
+
+def _set_partitions(items: Sequence[str]) -> Iterator[List[List[str]]]:
+    """Enumerate all set partitions of ``items`` (restricted-growth)."""
+    items = list(items)
+    if not items:
+        yield []
+        return
+
+    def grow(index: int, groups: List[List[str]]):
+        if index == len(items):
+            yield [list(g) for g in groups]
+            return
+        item = items[index]
+        for group in groups:
+            group.append(item)
+            yield from grow(index + 1, groups)
+            group.pop()
+        groups.append([item])
+        yield from grow(index + 1, groups)
+        groups.pop()
+
+    yield from grow(1, [[items[0]]])
+
+
+def _evaluate(
+    graph: TaskGraph,
+    clusters: Sequence[Sequence[str]],
+    platform: Optional[Platform],
+    cycles_per_unit: float,
+    objective: str = "latency",
+) -> Candidate:
+    plan = plan_from_clusters(clusters)
+    estimate = estimate_allocation(
+        graph, plan, platform, cycles_per_unit=cycles_per_unit
+    )
+    return Candidate(plan=plan, estimate=estimate, objective=objective)
+
+
+def exhaustive_explore(
+    graph: TaskGraph,
+    *,
+    max_cpus: Optional[int] = None,
+    platform: Optional[Platform] = None,
+    cycles_per_unit: float = 50.0,
+    limit_threads: int = 10,
+    objective: str = "latency",
+) -> List[Candidate]:
+    """Evaluate every set partition of the threads (small systems only).
+
+    Returns all candidates sorted by (objective metric, cpu_count).
+    ``objective``: ``"latency"`` minimizes one-iteration makespan,
+    ``"throughput"`` minimizes the steady-state initiation interval (the
+    right goal for streaming pipelines).
+    """
+    threads = sorted(graph.node_weights)
+    if len(threads) > limit_threads:
+        raise ExplorationError(
+            f"exhaustive exploration over {len(threads)} threads would "
+            f"enumerate too many partitions; use greedy_explore"
+        )
+    candidates: List[Candidate] = []
+    for clusters in _set_partitions(threads):
+        if max_cpus is not None and len(clusters) > max_cpus:
+            continue
+        candidates.append(
+            _evaluate(graph, clusters, platform, cycles_per_unit, objective)
+        )
+    candidates.sort(key=lambda c: (c.metric, c.cpu_count))
+    return candidates
+
+
+def greedy_explore(
+    graph: TaskGraph,
+    *,
+    max_cpus: Optional[int] = None,
+    platform: Optional[Platform] = None,
+    cycles_per_unit: float = 50.0,
+    max_iterations: int = 200,
+    objective: str = "latency",
+) -> List[Candidate]:
+    """Hill-climb from the linear-clustering seed.
+
+    Moves: relocate one thread to another (or a fresh) cluster; merge two
+    clusters.  Accepts a move when it strictly improves (makespan,
+    cpu_count) lexicographically.  Returns the visited local optima plus
+    the seed, best-first.
+    """
+    seed_clusters = [
+        list(c) for c in linear_clustering(graph).clusters
+    ]
+    if max_cpus is not None:
+        while len(seed_clusters) > max_cpus:
+            # Merge the two smallest clusters until within budget.
+            seed_clusters.sort(key=len)
+            seed_clusters[1].extend(seed_clusters[0])
+            seed_clusters.pop(0)
+    visited: List[Candidate] = []
+    current = _evaluate(
+        graph, seed_clusters, platform, cycles_per_unit, objective
+    )
+    visited.append(current)
+    clusters = [list(c) for c in seed_clusters]
+
+    for _ in range(max_iterations):
+        best_move: Optional[Tuple[List[List[str]], Candidate]] = None
+        for variant in _neighbourhood(clusters, max_cpus):
+            candidate = _evaluate(
+                graph, variant, platform, cycles_per_unit, objective
+            )
+            key = (candidate.metric, candidate.cpu_count)
+            current_key = (current.metric, current.cpu_count)
+            if key < current_key and (
+                best_move is None
+                or key < (best_move[1].metric, best_move[1].cpu_count)
+            ):
+                best_move = (variant, candidate)
+        if best_move is None:
+            break
+        clusters = [list(c) for c in best_move[0]]
+        current = best_move[1]
+        visited.append(current)
+
+    visited.sort(key=lambda c: (c.metric, c.cpu_count))
+    return visited
+
+
+def _neighbourhood(
+    clusters: List[List[str]], max_cpus: Optional[int]
+) -> Iterator[List[List[str]]]:
+    """Single-thread moves and pairwise merges of a clustering."""
+    count = len(clusters)
+    for source_index in range(count):
+        for thread in clusters[source_index]:
+            # Move to every other existing cluster.
+            for target_index in range(count):
+                if target_index == source_index:
+                    continue
+                variant = [list(c) for c in clusters]
+                variant[source_index].remove(thread)
+                variant[target_index].append(thread)
+                yield [c for c in variant if c]
+            # Move to a fresh cluster.
+            if len(clusters[source_index]) > 1 and (
+                max_cpus is None or count + 1 <= max_cpus
+            ):
+                variant = [list(c) for c in clusters]
+                variant[source_index].remove(thread)
+                variant.append([thread])
+                yield variant
+    for a, b in itertools.combinations(range(count), 2):
+        variant = [list(c) for i, c in enumerate(clusters) if i not in (a, b)]
+        variant.append(list(clusters[a]) + list(clusters[b]))
+        yield variant
+
+
+def pareto_front(
+    candidates: Iterable[Candidate], objective: str = "latency"
+) -> List[Candidate]:
+    """The (objective metric, cpu_count) Pareto-optimal subset.
+
+    Among candidates with identical keys one representative is kept; the
+    front is sorted by CPU count.
+    """
+    unique: Dict[Tuple[float, int], Candidate] = {}
+    for candidate in candidates:
+        key = (candidate.estimate.metric(objective), candidate.cpu_count)
+        unique.setdefault(key, candidate)
+    front: List[Candidate] = []
+    for candidate in unique.values():
+        if not any(
+            other.estimate.dominates(candidate.estimate, objective)
+            for other in unique.values()
+        ):
+            front.append(candidate)
+    front.sort(key=lambda c: (c.cpu_count, c.estimate.metric(objective)))
+    return front
+
+
+def explore(
+    graph: TaskGraph,
+    *,
+    exhaustive_threshold: int = 8,
+    max_cpus: Optional[int] = None,
+    platform: Optional[Platform] = None,
+    cycles_per_unit: float = 50.0,
+    objective: str = "latency",
+) -> List[Candidate]:
+    """Front door: exhaustive when small, greedy otherwise."""
+    if len(graph.node_weights) <= exhaustive_threshold:
+        return exhaustive_explore(
+            graph,
+            max_cpus=max_cpus,
+            platform=platform,
+            cycles_per_unit=cycles_per_unit,
+            objective=objective,
+        )
+    return greedy_explore(
+        graph,
+        max_cpus=max_cpus,
+        platform=platform,
+        cycles_per_unit=cycles_per_unit,
+        objective=objective,
+    )

@@ -1,0 +1,183 @@
+"""Automatic thread partitioning (paper future work).
+
+"Currently, the designer needs to partition the system into threads ...
+As future work ... This would avoid the need for the designer to specify
+the deployment and partition the system into threads."
+
+:func:`partition_thread` takes a model in which one thread performs a long
+computation (a single sequence diagram of local operations and IO accesses)
+and splits it into ``k`` pipeline threads:
+
+1. the thread's messages are cut into ``k`` contiguous segments with
+   balanced operation counts (contiguity preserves the data order);
+2. each segment is re-homed onto a fresh thread ``<T>_p0 .. <T>_p{k-1}``;
+3. every dataflow variable produced in one segment and consumed in a later
+   one becomes an inter-thread ``set``-message (→ a channel after mapping);
+4. the original diagram is replaced by the partitioned one.
+
+The input model is left untouched: the function works on a copy obtained
+through the XMI round trip (the same interchange an external tool would
+use), so both variants can be synthesized and compared — which is exactly
+what the DSE benchmarks do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..uml.model import InstanceSpecification, Model
+from ..uml.sequence import Interaction, Lifeline, Message
+from ..uml.stereotypes import SA_SCHED_RES
+from ..uml.xmi import from_xmi_string, to_xmi_string
+
+
+class PartitionError(Exception):
+    """Raised when a model cannot be partitioned."""
+
+
+def partition_thread(
+    model: Model,
+    thread: str,
+    k: int,
+    *,
+    interaction_name: Optional[str] = None,
+) -> Model:
+    """Split ``thread`` into ``k`` pipeline threads; returns a new model."""
+    if k < 1:
+        raise PartitionError(f"partition count must be >= 1, got {k}")
+    copy = from_xmi_string(to_xmi_string(model))
+    interaction = (
+        copy.interaction(interaction_name)
+        if interaction_name
+        else _single_interaction_of(copy, thread)
+    )
+    lifeline = interaction.lifeline(thread)
+    messages = [m for m in interaction.messages() if m.sender is lifeline]
+    if not messages:
+        raise PartitionError(
+            f"thread {thread!r} sends no messages in "
+            f"interaction {interaction.name!r}"
+        )
+    foreign = [m for m in interaction.messages() if m.sender is not lifeline]
+    if foreign:
+        raise PartitionError(
+            f"interaction {interaction.name!r} has messages from other "
+            f"senders; partition_thread handles single-thread diagrams"
+        )
+    if k > len(messages):
+        raise PartitionError(
+            f"cannot split {len(messages)} operation(s) into {k} threads"
+        )
+
+    segments = _balanced_segments(messages, k)
+    part_names = [f"{thread}_p{i}" for i in range(k)]
+    part_instances: List[InstanceSpecification] = []
+    for name in part_names:
+        instance = InstanceSpecification(name)
+        instance.apply_stereotype(SA_SCHED_RES)
+        copy.add(instance)
+        part_instances.append(instance)
+
+    new_interaction = Interaction(f"{interaction.name}_partitioned")
+    copy.add_interaction(new_interaction)
+    part_lifelines = [
+        new_interaction.add_lifeline(Lifeline(name, instance=inst))
+        for name, inst in zip(part_names, part_instances)
+    ]
+
+    produced_in: Dict[str, int] = {}
+    for index, segment in enumerate(segments):
+        for message in segment:
+            for var in message.variables_written():
+                produced_in[var] = index
+
+    #: (producer segment, consumer segment, variable) pairs needing channels.
+    handoffs: Set[Tuple[int, int, str]] = set()
+    for index, segment in enumerate(segments):
+        for message in segment:
+            for var in message.variables_read():
+                origin = produced_in.get(var)
+                if origin is not None and origin != index:
+                    if origin > index:
+                        raise PartitionError(
+                            f"variable {var!r} would flow backwards from "
+                            f"segment {origin} to {index}; the diagram is "
+                            f"not pipeline-partitionable"
+                        )
+                    handoffs.add((origin, index, var))
+
+    for index, segment in enumerate(segments):
+        sender = part_lifelines[index]
+        for message in segment:
+            receiver = _rehome_receiver(
+                new_interaction, message, lifeline, sender
+            )
+            new_interaction.add_message(
+                Message(
+                    sender,
+                    receiver,
+                    message.operation,
+                    arguments=list(message.arguments),
+                    result=message.result,
+                    sort=message.sort,
+                )
+            )
+        for origin, target, var in sorted(handoffs):
+            if origin == index:
+                new_interaction.add_message(
+                    Message(
+                        sender,
+                        part_lifelines[target],
+                        f"set_{var}",
+                        arguments=[var],
+                    )
+                )
+
+    copy.interactions.remove(interaction)
+    return copy
+
+
+def _single_interaction_of(model: Model, thread: str) -> Interaction:
+    owning = [
+        interaction
+        for interaction in model.interactions
+        if any(ll.name == thread for ll in interaction.lifelines)
+    ]
+    if len(owning) != 1:
+        raise PartitionError(
+            f"thread {thread!r} appears in {len(owning)} interactions; "
+            f"name the one to partition explicitly"
+        )
+    return owning[0]
+
+
+def _balanced_segments(
+    messages: List[Message], k: int
+) -> List[List[Message]]:
+    """Cut the message list into k contiguous, size-balanced segments."""
+    total = len(messages)
+    base, remainder = divmod(total, k)
+    segments: List[List[Message]] = []
+    start = 0
+    for index in range(k):
+        size = base + (1 if index < remainder else 0)
+        segments.append(messages[start : start + size])
+        start += size
+    return segments
+
+
+def _rehome_receiver(
+    interaction: Interaction,
+    message: Message,
+    original: Lifeline,
+    new_sender: Lifeline,
+) -> Lifeline:
+    """Map the original receiver lifeline into the new interaction."""
+    if message.receiver is original:
+        return new_sender  # self-call stays local to the new thread
+    instance = message.receiver.instance
+    if instance is None:
+        raise PartitionError(
+            f"receiver {message.receiver.name!r} has no instance"
+        )
+    return interaction.lifeline_for(instance)

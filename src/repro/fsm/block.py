@@ -1,0 +1,100 @@
+"""Embed an FSM as a chart block inside a Simulink model.
+
+Simulink composes dataflow with state machines through Stateflow charts;
+this module provides the equivalent bridge for our substrate: an FSM
+wrapped as a *stateful S-Function* block, so a control-flow subsystem can
+live inside the generated dataflow model and both execute under the one
+simulator (instead of the two-simulator co-execution of
+``examples/hybrid_thermostat.py``).
+
+The chart block's contract:
+
+- inputs: numeric signals, translated to FSM events by an
+  ``event function`` ``events(inputs) -> str`` (one event per step; return
+  ``""`` for none);
+- outputs: the values of selected FSM variables after the dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..simulink.model import Block
+from .model import Fsm
+from .simulator import FsmSimulator
+
+EventFunction = Callable[[Sequence[float]], str]
+
+
+def chart_block(
+    name: str,
+    fsm: Fsm,
+    inputs: int,
+    event_function: EventFunction,
+    output_variables: Sequence[str],
+) -> Block:
+    """Create a chart block executing ``fsm`` inside a Simulink model.
+
+    Parameters
+    ----------
+    name:
+        Block name.
+    fsm:
+        The machine to embed (validated on first execution).
+    inputs:
+        Number of numeric input signals.
+    event_function:
+        Maps one step's input samples to an event name (or ``""``).
+    output_variables:
+        FSM variables exposed as output ports, in order.
+    """
+    variables = list(output_variables)
+    for variable in variables:
+        if variable not in fsm.variables:
+            raise KeyError(
+                f"chart {name!r}: FSM {fsm.name!r} has no variable "
+                f"{variable!r}; declare it with add_variable()"
+            )
+
+    def step(state: Optional[FsmSimulator], in_values: List[float]):
+        if state is None:
+            state = FsmSimulator(fsm)
+        event = event_function(in_values)
+        state.step(event or "")
+        outputs = [float(state.variables[v]) for v in variables]
+        return outputs, state
+
+    return Block(
+        name,
+        "S-Function",
+        inputs=inputs,
+        outputs=len(variables),
+        parameters={
+            "FunctionName": f"chart_{fsm.name}",
+            "Stateful": True,
+            "callback": step,
+            "ChartStates": ",".join(fsm.states),
+        },
+    )
+
+
+def threshold_events(
+    *rules: "tuple",
+) -> EventFunction:
+    """Build an event function from ``(predicate, event)`` rules.
+
+    The first rule whose predicate holds on the input samples wins::
+
+        events = threshold_events(
+            (lambda ins: ins[0] > 2.0, "too_cold"),
+            (lambda ins: abs(ins[0]) < 0.5, "comfortable"),
+        )
+    """
+
+    def events(in_values: Sequence[float]) -> str:
+        for predicate, event in rules:
+            if predicate(in_values):
+                return event
+        return ""
+
+    return events

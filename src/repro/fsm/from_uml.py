@@ -1,0 +1,159 @@
+"""Lower UML state machines to flat FSMs.
+
+This is the "Translation → FSM model" edge of the paper's Fig. 1/Fig. 2:
+the UML model is transformed against an FSM meta-model, then handed to
+conventional code generators.
+
+The lowering flattens composite states: a composite state is replaced by
+its sub-states, with
+
+- transitions *into* the composite redirected to its initial sub-state, and
+- transitions *out of* the composite replicated from every sub-state
+  (standard UML semantics: an outer transition applies at any depth).
+
+State names are qualified ``Outer_Inner`` when flattening introduces
+collisions.  Entry/exit/do activities become FSM entry/exit actions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..uml.statemachine import (
+    FinalState,
+    Pseudostate,
+    PseudostateKind,
+    Region,
+    State,
+    StateMachine,
+    Transition,
+    Vertex,
+)
+from .model import Fsm, FsmError
+
+
+def fsm_from_state_machine(machine: StateMachine) -> Fsm:
+    """Flatten a UML state machine into an executable :class:`Fsm`."""
+    if not machine.regions:
+        raise FsmError(f"state machine {machine.name!r} has no region")
+    if len(machine.regions) > 1:
+        raise FsmError(
+            f"state machine {machine.name!r} has {len(machine.regions)} "
+            f"top-level regions; orthogonal top-level regions are not "
+            f"supported by the flattening"
+        )
+    fsm = Fsm(machine.name or "fsm")
+    lowering = _Lowering(fsm)
+    region = machine.regions[0]
+    lowering.flatten_region(region, prefix="")
+    initial = lowering.initial_of(region, prefix="")
+    if initial is None:
+        raise FsmError(
+            f"state machine {machine.name!r} has no initial pseudostate"
+        )
+    fsm.initial = initial
+    for transition in machine.all_transitions():
+        lowering.lower_transition(transition)
+    return fsm
+
+
+class _Lowering:
+    def __init__(self, fsm: Fsm) -> None:
+        self.fsm = fsm
+        #: Leaf UML state -> flat FSM state name.
+        self.flat_name: Dict[int, str] = {}
+        #: Composite UML state -> names of its flattened leaf states.
+        self.leaves: Dict[int, List[str]] = {}
+        #: Composite UML state -> flat name of its initial leaf.
+        self.entry_leaf: Dict[int, str] = {}
+
+    # -- states -----------------------------------------------------------
+    def flatten_region(self, region: Region, prefix: str) -> None:
+        for vertex in region.vertices:
+            if isinstance(vertex, Pseudostate):
+                continue
+            if not isinstance(vertex, State):
+                continue
+            self._flatten_state(vertex, prefix)
+
+    def _flatten_state(self, state: State, prefix: str) -> List[str]:
+        name = prefix + state.name if prefix else state.name
+        if state.is_composite:
+            collected: List[str] = []
+            for region in state.regions:
+                if len(state.regions) > 1:
+                    raise FsmError(
+                        f"orthogonal regions in state {state.name!r} are "
+                        f"not supported by the flattening"
+                    )
+                self.flatten_region(region, prefix=name + "_")
+                for vertex in region.vertices:
+                    if isinstance(vertex, State):
+                        collected.extend(self._leaves_of(vertex))
+                entry = self.initial_of(region, prefix=name + "_")
+                if entry is None:
+                    raise FsmError(
+                        f"composite state {state.name!r} has no initial "
+                        f"pseudostate"
+                    )
+                self.entry_leaf[id(state)] = entry
+            self.leaves[id(state)] = collected
+            return collected
+        flat = name
+        actions = []
+        if state.entry:
+            actions.append(state.entry)
+        if state.do:
+            actions.append(state.do)
+        self.fsm.add_state(
+            flat,
+            entry="; ".join(actions),
+            exit=state.exit or "",
+            final=isinstance(state, FinalState),
+        )
+        self.flat_name[id(state)] = flat
+        self.leaves[id(state)] = [flat]
+        return [flat]
+
+    def _leaves_of(self, state: State) -> List[str]:
+        return self.leaves.get(id(state), [])
+
+    def initial_of(self, region: Region, prefix: str) -> Optional[str]:
+        """Flat name of the state entered via the region's initial vertex."""
+        initial = region.initial()
+        if initial is None:
+            return None
+        for transition in initial.outgoing:
+            target = transition.target
+            if isinstance(target, State):
+                return self._entry_name(target)
+        return None
+
+    def _entry_name(self, state: State) -> str:
+        if state.is_composite:
+            return self.entry_leaf[id(state)]
+        return self.flat_name[id(state)]
+
+    # -- transitions ----------------------------------------------------------
+    def lower_transition(self, transition: Transition) -> None:
+        source = transition.source
+        target = transition.target
+        if isinstance(source, Pseudostate):
+            # Initial transitions were consumed by initial_of; choice and
+            # junction pseudostates are lowered by their incoming
+            # transitions' callers (not supported as standalone here).
+            return
+        if not isinstance(source, State) or not isinstance(target, State):
+            return
+        source_names = self._leaves_of(source)
+        target_name = self._entry_name(target)
+        for source_name in source_names:
+            if self.fsm.states[source_name].is_final:
+                continue
+            self.fsm.add_transition(
+                source_name,
+                target_name,
+                event=transition.trigger,
+                guard=transition.guard,
+                action=transition.effect,
+            )

@@ -1,0 +1,180 @@
+"""FSM execution engine.
+
+Executes a flat :class:`~repro.fsm.model.Fsm` against an event sequence.
+Guards and actions are evaluated over the machine's variables with a
+restricted expression evaluator (same safety posture as the template
+engine: library-authored strings, loud failures).
+
+Run-to-completion semantics: after consuming an event (or on a ``step``
+with no event), enabled completion (ε) transitions keep firing until none
+is enabled or a fixpoint bound is hit (guarding against ε-cycles).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .model import Fsm, FsmError, FsmTransition
+
+#: Matches ``name =`` (assignment) but not ``name ==`` (comparison).
+_ASSIGN_RE = re.compile(r"^([A-Za-z_]\w*)\s*=(?!=)")
+
+_SAFE_BUILTINS = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "int": int,
+    "float": float,
+    "bool": bool,
+    "round": round,
+    "True": True,
+    "False": False,
+}
+
+#: Bound on chained ε-transitions per step (run-to-completion safety net).
+MAX_COMPLETION_CHAIN = 64
+
+
+class FsmRuntimeError(FsmError):
+    """Raised on execution failures (bad guard/action, ε-livelock...)."""
+
+
+@dataclass
+class TraceEntry:
+    """One fired transition in an execution trace."""
+
+    step: int
+    event: str
+    transition: FsmTransition
+    variables: Dict[str, float] = field(default_factory=dict)
+
+
+class FsmSimulator:
+    """Stateful executor for one FSM instance."""
+
+    def __init__(self, fsm: Fsm) -> None:
+        problems = fsm.validate()
+        errors = [p for p in problems if "unreachable" not in p]
+        if errors:
+            raise FsmRuntimeError(
+                "cannot execute invalid FSM:\n"
+                + "\n".join(f"  - {p}" for p in errors)
+            )
+        self.fsm = fsm
+        self.current: str = fsm.initial  # type: ignore[assignment]
+        self.variables: Dict[str, float] = dict(fsm.variables)
+        self.trace: List[TraceEntry] = []
+        self._step_count = 0
+        self._run_actions(self.fsm.state(self.current).entry)
+
+    # -- expression handling ----------------------------------------------
+    def _eval_guard(self, guard: str) -> bool:
+        if not guard:
+            return True
+        try:
+            return bool(
+                eval(  # noqa: S307 - restricted, library-authored
+                    guard, {"__builtins__": _SAFE_BUILTINS}, self.variables
+                )
+            )
+        except Exception as exc:
+            raise FsmRuntimeError(f"guard {guard!r} failed: {exc}") from exc
+
+    def _run_actions(self, actions: str) -> None:
+        if not actions:
+            return
+        for statement in actions.split(";"):
+            statement = statement.strip()
+            if not statement:
+                continue
+            assignment = _ASSIGN_RE.match(statement)
+            if assignment:
+                name = assignment.group(1)
+                expression = statement[assignment.end():]
+                try:
+                    value = eval(  # noqa: S307 - restricted
+                        expression,
+                        {"__builtins__": _SAFE_BUILTINS},
+                        self.variables,
+                    )
+                except Exception as exc:
+                    raise FsmRuntimeError(
+                        f"action {statement!r} failed: {exc}"
+                    ) from exc
+                self.variables[name] = value
+            else:
+                # Expression statements (e.g. emit-style calls) are evaluated
+                # for effect; unknown names fail loudly.
+                try:
+                    eval(  # noqa: S307 - restricted
+                        statement,
+                        {"__builtins__": _SAFE_BUILTINS},
+                        self.variables,
+                    )
+                except Exception as exc:
+                    raise FsmRuntimeError(
+                        f"action {statement!r} failed: {exc}"
+                    ) from exc
+
+    # -- stepping ------------------------------------------------------------
+    def _enabled(self, event: str) -> Optional[FsmTransition]:
+        for transition in self.fsm.transitions_from(self.current):
+            if transition.event != event:
+                continue
+            if self._eval_guard(transition.guard):
+                return transition
+        return None
+
+    def _fire(self, transition: FsmTransition, event: str) -> None:
+        self._run_actions(self.fsm.state(self.current).exit)
+        self._run_actions(transition.action)
+        self.current = transition.target
+        self._run_actions(self.fsm.state(self.current).entry)
+        self.trace.append(
+            TraceEntry(
+                self._step_count, event, transition, dict(self.variables)
+            )
+        )
+
+    def _run_to_completion(self) -> None:
+        for _ in range(MAX_COMPLETION_CHAIN):
+            transition = self._enabled("")
+            if transition is None:
+                return
+            self._fire(transition, "")
+        raise FsmRuntimeError(
+            f"ε-transition livelock detected in state {self.current!r}"
+        )
+
+    def step(self, event: str = "") -> str:
+        """Consume one event (or ε) and return the resulting state name.
+
+        Events not enabled in the current state are discarded (UML's
+        implicit-consumption semantics).
+        """
+        self._step_count += 1
+        if event:
+            transition = self._enabled(event)
+            if transition is not None:
+                self._fire(transition, event)
+        self._run_to_completion()
+        return self.current
+
+    def run(self, events: Sequence[str]) -> List[str]:
+        """Feed an event sequence; returns the state after each event."""
+        return [self.step(event) for event in events]
+
+    @property
+    def in_final_state(self) -> bool:
+        return self.fsm.state(self.current).is_final
+
+
+def simulate(
+    fsm: Fsm, events: Sequence[str]
+) -> Tuple[List[str], Dict[str, float]]:
+    """One-shot convenience: run ``events``; return (state list, variables)."""
+    simulator = FsmSimulator(fsm)
+    states = simulator.run(events)
+    return states, simulator.variables

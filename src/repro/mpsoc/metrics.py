@@ -1,0 +1,123 @@
+"""Communication and load metrics of a CAAM on a platform.
+
+These metrics quantify the effect of the paper's optimizations: channel
+census by protocol, per-iteration communication cycles (the quantity the
+§4.2.3 allocation minimizes), and per-CPU computational load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..simulink.caam import GFIFO, SWFIFO, CaamModel, is_channel
+from ..simulink.model import Block, SubSystem
+from .platform import Platform
+
+
+#: Block types that carry no computation (structure/IO only).
+_STRUCTURAL_TYPES = {"Inport", "Outport", "SubSystem", "CommChannel", "Terminator"}
+
+
+@dataclass
+class CommunicationCost:
+    """Per-iteration communication cost breakdown."""
+
+    intra_cycles: float = 0.0
+    inter_cycles: float = 0.0
+    intra_channels: int = 0
+    inter_channels: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        return self.intra_cycles + self.inter_cycles
+
+    def __str__(self) -> str:
+        return (
+            f"{self.inter_channels} GFIFO ({self.inter_cycles:g} cyc) + "
+            f"{self.intra_channels} SWFIFO ({self.intra_cycles:g} cyc) = "
+            f"{self.total_cycles:g} cycles/iteration"
+        )
+
+
+def communication_cost(caam: CaamModel, platform: Platform) -> CommunicationCost:
+    """Cycles spent on channel transfers per model iteration."""
+    cost = CommunicationCost()
+    for channel in caam.channels():
+        protocol = str(channel.parameters.get("Protocol", SWFIFO))
+        width = int(channel.parameters.get("DataWidthBits", 32))
+        cycles = platform.channel_cost(protocol, width)
+        if protocol == GFIFO:
+            cost.inter_cycles += cycles
+            cost.inter_channels += 1
+        else:
+            cost.intra_cycles += cycles
+            cost.intra_channels += 1
+    return cost
+
+
+def functional_blocks(subsystem: SubSystem) -> List[Block]:
+    """Non-structural blocks inside a subsystem (recursively)."""
+    return [
+        block
+        for block in subsystem.system.walk_blocks()
+        if block.block_type not in _STRUCTURAL_TYPES
+    ]
+
+
+@dataclass
+class LoadReport:
+    """Computation distribution over the CPUs."""
+
+    blocks_per_cpu: Dict[str, int] = field(default_factory=dict)
+    cycles_per_cpu: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_cycles(self) -> float:
+        return max(self.cycles_per_cpu.values(), default=0.0)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.cycles_per_cpu.values())
+
+    @property
+    def balance(self) -> float:
+        """Load balance in [0, 1]: average load / maximum load."""
+        if not self.cycles_per_cpu or self.max_cycles == 0:
+            return 1.0
+        average = self.total_cycles / len(self.cycles_per_cpu)
+        return average / self.max_cycles
+
+
+def load_report(caam: CaamModel, platform: Platform) -> LoadReport:
+    """Per-CPU computation census and cycle estimate."""
+    report = LoadReport()
+    for cpu in caam.cpus():
+        blocks = functional_blocks(cpu)
+        processor = platform.processor(cpu.name)
+        report.blocks_per_cpu[cpu.name] = len(blocks)
+        report.cycles_per_cpu[cpu.name] = float(
+            len(blocks) * processor.cycles_per_block
+        )
+    return report
+
+
+@dataclass
+class IterationEstimate:
+    """Combined per-iteration cost estimate of a CAAM."""
+
+    computation_cycles: float
+    communication: CommunicationCost
+
+    @property
+    def total_cycles(self) -> float:
+        return self.computation_cycles + self.communication.total_cycles
+
+
+def iteration_estimate(caam: CaamModel, platform: Platform) -> IterationEstimate:
+    """Sequential upper bound: all computation plus all communication."""
+    load = load_report(caam, platform)
+    return IterationEstimate(
+        computation_cycles=load.total_cycles,
+        communication=communication_cost(caam, platform),
+    )

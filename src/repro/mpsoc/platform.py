@@ -1,0 +1,102 @@
+"""MPSoC platform model.
+
+The paper's CAAM feeds a "Simulink-based MPSoC design flow" (Huang et al.,
+DAC 2007) that generates hardware and software for a multiprocessor
+platform.  This module models the platform abstraction that flow needs:
+processors, the shared bus, and the communication cost parameters that make
+the §4.2.3 claim measurable — "the cost for intra-CPU communication is
+lower than the cost for communication between different CPUs".
+
+Costs are expressed in cycles: executing one functional block costs
+``cycles_per_block``; moving one 32-bit word over an intra-CPU SWFIFO costs
+``intra_word_cycles``; over the inter-CPU GFIFO (bus transaction),
+``inter_word_cycles``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..simulink.caam import CaamModel
+
+
+class PlatformError(Exception):
+    """Raised on inconsistent platform descriptions."""
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One processing element."""
+
+    name: str
+    clock_mhz: float = 100.0
+    cycles_per_block: int = 50
+
+
+@dataclass(frozen=True)
+class Bus:
+    """The shared interconnect carrying GFIFO traffic."""
+
+    name: str = "bus"
+    #: Cycles to transfer one 32-bit word between CPUs.
+    word_cycles: int = 10
+    #: Fixed per-transfer arbitration latency in cycles.
+    latency_cycles: int = 20
+
+
+@dataclass
+class Platform:
+    """A multiprocessor platform."""
+
+    processors: List[Processor] = field(default_factory=list)
+    bus: Bus = field(default_factory=Bus)
+    #: Cycles to move one word through an intra-CPU SWFIFO.
+    intra_word_cycles: int = 1
+
+    def processor(self, name: str) -> Processor:
+        """Look up a processor by name."""
+        for processor in self.processors:
+            if processor.name == name:
+                return processor
+        raise PlatformError(f"platform has no processor {name!r}")
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.processors]
+
+    def channel_cost(self, protocol: str, width_bits: int) -> float:
+        """Cycles to move one sample of ``width_bits`` over a channel."""
+        words = max(1, (int(width_bits) + 31) // 32)
+        if protocol == "GFIFO":
+            return self.bus.latency_cycles + words * self.bus.word_cycles
+        return words * self.intra_word_cycles
+
+    @property
+    def inter_intra_ratio(self) -> float:
+        """How much more expensive a one-word bus transfer is."""
+        return (
+            self.bus.latency_cycles + self.bus.word_cycles
+        ) / self.intra_word_cycles
+
+
+def platform_for_caam(
+    caam: CaamModel,
+    *,
+    clock_mhz: float = 100.0,
+    cycles_per_block: int = 50,
+    bus: Optional[Bus] = None,
+    intra_word_cycles: int = 1,
+) -> Platform:
+    """Derive a platform with one processor per CPU subsystem."""
+    processors = [
+        Processor(cpu.name, clock_mhz, cycles_per_block)
+        for cpu in caam.cpus()
+    ]
+    if not processors:
+        raise PlatformError("CAAM has no CPU subsystems")
+    return Platform(
+        processors=processors,
+        bus=bus or Bus(),
+        intra_word_cycles=intra_word_cycles,
+    )

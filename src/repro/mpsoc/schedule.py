@@ -1,0 +1,244 @@
+"""Static scheduling of a CAAM on an MPSoC platform.
+
+Estimates the makespan of one model iteration: threads are tasks, channels
+are precedence edges with communication delays (cheap intra-CPU, expensive
+inter-CPU), and each CPU executes its threads sequentially.  The scheduler
+is classic list scheduling with fixed thread→CPU placement — enough to
+compare deployment plans, which is what the §4.2.3 ablation needs: the
+linear-clustering allocation should beat round-robin/random placements
+because it keeps the critical path on one CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..simulink.caam import GFIFO, CaamModel
+from .metrics import functional_blocks
+from .platform import Platform
+
+
+class ScheduleError(Exception):
+    """Raised when a schedule cannot be constructed."""
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One thread's slot in the schedule."""
+
+    thread: str
+    cpu: str
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class Schedule:
+    """A complete static schedule of one iteration."""
+
+    tasks: List[ScheduledTask] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return max((task.finish for task in self.tasks), default=0.0)
+
+    def task(self, thread: str) -> ScheduledTask:
+        """The scheduled slot of ``thread``."""
+        for task in self.tasks:
+            if task.thread == thread:
+                return task
+        raise ScheduleError(f"no scheduled task for thread {thread!r}")
+
+    def by_cpu(self) -> Dict[str, List[ScheduledTask]]:
+        """Tasks grouped per CPU, sorted by start time."""
+        grouped: Dict[str, List[ScheduledTask]] = {}
+        for task in self.tasks:
+            grouped.setdefault(task.cpu, []).append(task)
+        for tasks in grouped.values():
+            tasks.sort(key=lambda t: t.start)
+        return grouped
+
+    def gantt(self) -> str:
+        """Small textual Gantt chart for reports."""
+        lines = []
+        for cpu, tasks in sorted(self.by_cpu().items()):
+            slots = ", ".join(
+                f"{t.thread}[{t.start:g}..{t.finish:g}]" for t in tasks
+            )
+            lines.append(f"{cpu}: {slots}")
+        return "\n".join(lines)
+
+
+def _caam_dependencies(caam: CaamModel) -> List[Tuple[str, str, str, int]]:
+    """(producer thread, consumer thread, protocol, width) per channel.
+
+    Reconstructed from the channel wiring: the channel input is driven by a
+    thread (or CPU boundary port) and its output feeds another.
+    """
+    dependencies: List[Tuple[str, str, str, int]] = []
+    thread_names = {t.name for t in caam.threads()}
+
+    def trace_thread(system, port, direction: str) -> Optional[str]:
+        """Follow one hop from a channel to the adjacent thread name."""
+        block = port.block
+        if block.name in thread_names:
+            return block.name
+        # CPU boundary port: dig one level (Inport/Outport inside the CPU).
+        from ..simulink.caam import is_cpu_subsystem
+        from ..simulink.model import SubSystem
+
+        if isinstance(block, SubSystem) and is_cpu_subsystem(block):
+            if direction == "producer":
+                inner = block.outport_blocks()[port.index - 1]
+                driver = block.system.driver_of(inner.input(1))
+                if driver is not None and driver.source.block.name in thread_names:
+                    return driver.source.block.name
+            else:
+                inner = block.inport_blocks()[port.index - 1]
+                for line in block.system.lines_from(inner):
+                    for dest in line.destinations:
+                        if dest.block.name in thread_names:
+                            return dest.block.name
+        return None
+
+    for channel in caam.channels():
+        system = channel.parent
+        assert system is not None
+        protocol = str(channel.parameters.get("Protocol", "SWFIFO"))
+        width = int(channel.parameters.get("DataWidthBits", 32))
+        producer: Optional[str] = None
+        consumer: Optional[str] = None
+        driver = system.driver_of(channel.input(1))
+        if driver is not None:
+            producer = trace_thread(system, driver.source, "producer")
+        for line in system.lines_from(channel):
+            for dest in line.destinations:
+                consumer = consumer or trace_thread(system, dest, "consumer")
+        if producer and consumer:
+            dependencies.append((producer, consumer, protocol, width))
+    return dependencies
+
+
+def schedule_caam(caam: CaamModel, platform: Platform) -> Schedule:
+    """List-schedule one iteration of the CAAM on the platform.
+
+    Thread execution time = functional blocks × ``cycles_per_block`` of its
+    CPU.  A consumer may start only after every producer has finished plus
+    the channel delay.  Cyclic dependencies (feedback over the §4.2.2
+    delays) are broken by ignoring back edges found via a DFS order.
+    """
+    threads = caam.threads()
+    cpu_of = {t.name: caam.cpu_of_thread(t.name).name for t in threads}
+    duration = {
+        t.name: len(functional_blocks(t))
+        * platform.processor(cpu_of[t.name]).cycles_per_block
+        for t in threads
+    }
+    dependencies = _caam_dependencies(caam)
+    edges: Dict[str, List[Tuple[str, float]]] = {t.name: [] for t in threads}
+    indegree: Dict[str, int] = {t.name: 0 for t in threads}
+    seen_edges = set()
+    for producer, consumer, protocol, width in dependencies:
+        key = (producer, consumer)
+        if key in seen_edges or producer == consumer:
+            continue
+        seen_edges.add(key)
+        delay = platform.channel_cost(protocol, width)
+        edges[producer].append((consumer, delay))
+        indegree[consumer] += 1
+
+    # UML-SPT SAPriority (propagated onto the Thread-SS by the mapping)
+    # orders simultaneously-ready threads: higher priority first.
+    priority = {
+        t.name: int(t.parameters.get("SAPriority", 0)) for t in threads
+    }
+
+    # Break cycles deterministically (lowest-rank stuck node is forced
+    # ready) — feedback edges only exist through §4.2.2 delays.
+    order = _topological_with_cycle_breaking(edges, indegree, priority)
+
+    cpu_available: Dict[str, float] = {}
+    earliest: Dict[str, float] = {name: 0.0 for name in duration}
+    tasks: List[ScheduledTask] = []
+    for thread in order:
+        cpu = cpu_of[thread]
+        start = max(earliest[thread], cpu_available.get(cpu, 0.0))
+        finish = start + duration[thread]
+        cpu_available[cpu] = finish
+        tasks.append(ScheduledTask(thread, cpu, start, finish))
+        for consumer, delay in edges[thread]:
+            earliest[consumer] = max(earliest[consumer], finish + delay)
+    return Schedule(tasks=tasks)
+
+
+def _topological_with_cycle_breaking(
+    edges: Dict[str, List[Tuple[str, float]]],
+    indegree: Dict[str, int],
+    priority: Optional[Dict[str, int]] = None,
+) -> List[str]:
+    """Tasks in dependency order.
+
+    Ready tasks are ranked by (descending SAPriority, name); cycles are
+    broken by forcing the best-ranked stuck node ready.
+    """
+    priority = priority or {}
+
+    def rank(name: str) -> Tuple[int, str]:
+        return (-priority.get(name, 0), name)
+
+    indegree = dict(indegree)
+    remaining = set(indegree)
+    order: List[str] = []
+    while remaining:
+        ready = sorted(
+            (n for n in remaining if indegree[n] == 0), key=rank
+        )
+        if not ready:
+            victim = sorted(remaining, key=rank)[0]
+            indegree[victim] = 0
+            ready = [victim]
+        node = ready[0]
+        remaining.discard(node)
+        order.append(node)
+        for consumer, _ in edges[node]:
+            if consumer in remaining and indegree[consumer] > 0:
+                indegree[consumer] -= 1
+    return order
+
+
+def steady_state_interval(caam: CaamModel, platform: Platform) -> float:
+    """Steady-state initiation interval of a pipelined CAAM (cycles/sample).
+
+    With every thread processing sample *k+1* while its consumer handles
+    sample *k*, throughput is bounded by the busiest processor: its
+    per-iteration computation plus the channel transfers it drives.  This
+    is the quantity the DAC'07 Motion-JPEG study sweeps against the CPU
+    count — more CPUs help until one stage dominates.
+    """
+    threads = caam.threads()
+    cpu_of = {t.name: caam.cpu_of_thread(t.name).name for t in threads}
+    busy: Dict[str, float] = {c.name: 0.0 for c in caam.cpus()}
+    for thread in threads:
+        cpu = cpu_of[thread.name]
+        busy[cpu] += (
+            len(functional_blocks(thread))
+            * platform.processor(cpu).cycles_per_block
+        )
+    for producer, _consumer, protocol, width in _caam_dependencies(caam):
+        busy[cpu_of[producer]] += platform.channel_cost(protocol, width)
+    return max(busy.values(), default=0.0)
+
+
+def compare_plans(
+    caams: Dict[str, CaamModel], platform_of: Dict[str, Platform]
+) -> Dict[str, float]:
+    """Makespans of several synthesized variants (ablation helper)."""
+    return {
+        label: schedule_caam(caam, platform_of[label]).makespan
+        for label, caam in caams.items()
+    }

@@ -1,0 +1,131 @@
+"""Simulink substrate.
+
+A pure-Python replacement for the proprietary MATLAB/Simulink dependency:
+block-diagram metamodel, CAAM architecture layer, executable block library,
+``.mdl`` and E-core serialization, a fixed-step dataflow simulator, and
+structural validation.
+"""
+
+from . import blocks_ext  # noqa: F401 - registers the extended library
+from .blocks import (
+    PLATFORM_BLOCKS,
+    BlockSemantics,
+    SemanticsError,
+    has_semantics,
+    is_feedthrough,
+    platform_block_for,
+    register,
+    semantics_for,
+)
+from .caam import (
+    CPU_ROLE,
+    GFIFO,
+    ROLE_PARAM,
+    SWFIFO,
+    THREAD_ROLE,
+    CaamError,
+    CaamModel,
+    CaamSummary,
+    CpuSubsystem,
+    ThreadSubsystem,
+    is_channel,
+    is_cpu_subsystem,
+    is_thread_subsystem,
+    make_channel,
+    validate_caam,
+)
+from .compare import diff_models, models_equivalent
+from .ecore import (
+    EcoreError,
+    from_ecore_string,
+    read_ecore,
+    to_ecore_string,
+    write_ecore,
+)
+from .layout import layout_model, layout_system, overlaps, positions
+from .mdl import MdlError, from_mdl, read_mdl, to_mdl, write_mdl
+from .render import render_tree
+from .model import (
+    Block,
+    Line,
+    Port,
+    PortError,
+    SimulinkError,
+    SimulinkModel,
+    SubSystem,
+    System,
+    flatten,
+)
+from .simulator import (
+    AlgebraicLoopError,
+    SimulationError,
+    SimulationResult,
+    Simulator,
+    UnconnectedInputError,
+    is_executable,
+    run_model,
+)
+from .validate import find_cycles, unconnected_inputs, validate_model, validate_structure
+
+__all__ = [
+    "AlgebraicLoopError",
+    "Block",
+    "BlockSemantics",
+    "CPU_ROLE",
+    "CaamError",
+    "CaamModel",
+    "CaamSummary",
+    "CpuSubsystem",
+    "EcoreError",
+    "GFIFO",
+    "Line",
+    "MdlError",
+    "PLATFORM_BLOCKS",
+    "Port",
+    "PortError",
+    "ROLE_PARAM",
+    "SWFIFO",
+    "SemanticsError",
+    "SimulationError",
+    "SimulationResult",
+    "SimulinkError",
+    "SimulinkModel",
+    "Simulator",
+    "SubSystem",
+    "System",
+    "THREAD_ROLE",
+    "ThreadSubsystem",
+    "UnconnectedInputError",
+    "diff_models",
+    "find_cycles",
+    "flatten",
+    "from_ecore_string",
+    "from_mdl",
+    "has_semantics",
+    "is_channel",
+    "is_cpu_subsystem",
+    "is_executable",
+    "is_feedthrough",
+    "is_thread_subsystem",
+    "layout_model",
+    "layout_system",
+    "overlaps",
+    "positions",
+    "make_channel",
+    "models_equivalent",
+    "platform_block_for",
+    "read_ecore",
+    "read_mdl",
+    "render_tree",
+    "register",
+    "run_model",
+    "semantics_for",
+    "to_ecore_string",
+    "to_mdl",
+    "unconnected_inputs",
+    "validate_caam",
+    "validate_model",
+    "validate_structure",
+    "write_ecore",
+    "write_mdl",
+]

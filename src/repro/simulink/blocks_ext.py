@@ -1,0 +1,316 @@
+"""Extended Simulink block library.
+
+Widens the executable block set beyond the core arithmetic of
+:mod:`repro.simulink.blocks`: signal routing (``Switch``, ``MinMax``,
+``Merge``-style selection), discrete dynamics (``DiscreteIntegrator``,
+``DiscreteFilter`` first-order low-pass, ``RateLimiter``), nonlinearities
+(``DeadZone``, ``Quantizer``, ``Sign``), logic (``Logic``,
+``RelationalOperator``), and math (``Sqrt``, ``Trigonometry``,
+``MathFunction``).
+
+Importing :mod:`repro.simulink` registers everything here; the
+``PLATFORM_BLOCKS`` additions below make the new types reachable from UML
+``Platform`` calls (paper §4.1's pre-defined component convention).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .blocks import (
+    PLATFORM_BLOCKS,
+    BlockSemantics,
+    SemanticsError,
+    register,
+)
+from .model import Block
+
+Number = float
+
+
+def _step_switch(block: Block, inputs: Sequence[Number], state: object):
+    """Simulink Switch: out = in1 if in2 passes the threshold else in3."""
+    threshold = float(block.parameters.get("Threshold", 0.0))
+    criteria = str(block.parameters.get("Criteria", ">="))
+    control = inputs[1]
+    if criteria == ">=":
+        take_first = control >= threshold
+    elif criteria == ">":
+        take_first = control > threshold
+    elif criteria == "~=0":
+        take_first = control != 0.0
+    else:
+        raise SemanticsError(
+            f"Switch block {block.name!r}: unknown criteria {criteria!r}"
+        )
+    return [inputs[0] if take_first else inputs[2]], state
+
+
+def _step_minmax(block: Block, inputs: Sequence[Number], state: object):
+    function = str(block.parameters.get("Function", "min")).lower()
+    if function == "min":
+        return [min(inputs)], state
+    if function == "max":
+        return [max(inputs)], state
+    raise SemanticsError(
+        f"MinMax block {block.name!r}: unknown function {function!r}"
+    )
+
+
+def _step_sign(block: Block, inputs: Sequence[Number], state: object):
+    value = inputs[0]
+    return [0.0 if value == 0 else math.copysign(1.0, value)], state
+
+
+def _step_dead_zone(block: Block, inputs: Sequence[Number], state: object):
+    start = float(block.parameters.get("Start", -0.5))
+    end = float(block.parameters.get("End", 0.5))
+    value = inputs[0]
+    if value < start:
+        return [value - start], state
+    if value > end:
+        return [value - end], state
+    return [0.0], state
+
+
+def _step_quantizer(block: Block, inputs: Sequence[Number], state: object):
+    interval = float(block.parameters.get("QuantizationInterval", 1.0))
+    if interval <= 0:
+        raise SemanticsError(
+            f"Quantizer block {block.name!r}: interval must be positive"
+        )
+    return [interval * round(inputs[0] / interval)], state
+
+
+def _step_discrete_integrator(
+    block: Block, inputs: Sequence[Number], state: object
+):
+    """Forward-Euler discrete integrator: y[k] = state; state += T*u[k]."""
+    gain = float(block.parameters.get("GainValue", 1.0))
+    sample = float(block.parameters.get("SampleTime", 1.0))
+    accumulated = float(state)
+    return [accumulated], accumulated + gain * sample * inputs[0]
+
+
+def _integrator_initial(block: Block) -> object:
+    return float(block.parameters.get("InitialCondition", 0.0))
+
+
+def _step_discrete_filter(block: Block, inputs: Sequence[Number], state: object):
+    """First-order low-pass: y[k] = a*y[k-1] + (1-a)*u[k], 0 <= a < 1.
+
+    Output is the *previous* filtered value so the block is usable inside
+    feedback loops (non-feedthrough, like UnitDelay).
+    """
+    a = float(block.parameters.get("Pole", 0.5))
+    previous = float(state)
+    return [previous], a * previous + (1.0 - a) * inputs[0]
+
+
+def _filter_initial(block: Block) -> object:
+    return float(block.parameters.get("InitialCondition", 0.0))
+
+
+def _step_rate_limiter(block: Block, inputs: Sequence[Number], state: object):
+    rising = float(block.parameters.get("RisingSlewLimit", 1.0))
+    falling = float(block.parameters.get("FallingSlewLimit", -1.0))
+    previous = float(state)
+    delta = inputs[0] - previous
+    delta = min(max(delta, falling), rising)
+    value = previous + delta
+    return [value], value
+
+
+def _step_logic(block: Block, inputs: Sequence[Number], state: object):
+    operator = str(block.parameters.get("Operator", "AND")).upper()
+    bits = [value != 0.0 for value in inputs]
+    if operator == "AND":
+        result = all(bits)
+    elif operator == "OR":
+        result = any(bits)
+    elif operator == "NOT":
+        result = not bits[0]
+    elif operator == "XOR":
+        result = sum(bits) % 2 == 1
+    elif operator == "NAND":
+        result = not all(bits)
+    elif operator == "NOR":
+        result = not any(bits)
+    else:
+        raise SemanticsError(
+            f"Logic block {block.name!r}: unknown operator {operator!r}"
+        )
+    return [1.0 if result else 0.0], state
+
+
+def _step_relational(block: Block, inputs: Sequence[Number], state: object):
+    operator = str(block.parameters.get("Operator", "<="))
+    a, b = inputs[0], inputs[1]
+    table = {
+        "==": a == b,
+        "~=": a != b,
+        "<": a < b,
+        "<=": a <= b,
+        ">": a > b,
+        ">=": a >= b,
+    }
+    try:
+        result = table[operator]
+    except KeyError:
+        raise SemanticsError(
+            f"RelationalOperator block {block.name!r}: unknown operator "
+            f"{operator!r}"
+        ) from None
+    return [1.0 if result else 0.0], state
+
+
+def _step_sqrt(block: Block, inputs: Sequence[Number], state: object):
+    value = inputs[0]
+    if value < 0:
+        raise SemanticsError(
+            f"Sqrt block {block.name!r}: negative input {value}"
+        )
+    return [math.sqrt(value)], state
+
+
+def _step_trigonometry(block: Block, inputs: Sequence[Number], state: object):
+    operator = str(block.parameters.get("Operator", "sin")).lower()
+    functions = {
+        "sin": math.sin,
+        "cos": math.cos,
+        "tan": math.tan,
+        "asin": math.asin,
+        "acos": math.acos,
+        "atan": math.atan,
+    }
+    try:
+        fn = functions[operator]
+    except KeyError:
+        raise SemanticsError(
+            f"Trigonometry block {block.name!r}: unknown operator "
+            f"{operator!r}"
+        ) from None
+    return [fn(inputs[0])], state
+
+
+def _step_math_function(block: Block, inputs: Sequence[Number], state: object):
+    operator = str(block.parameters.get("Operator", "exp")).lower()
+    value = inputs[0]
+    if operator == "exp":
+        return [math.exp(value)], state
+    if operator == "log":
+        if value <= 0:
+            raise SemanticsError(
+                f"MathFunction block {block.name!r}: log of {value}"
+            )
+        return [math.log(value)], state
+    if operator == "square":
+        return [value * value], state
+    if operator == "reciprocal":
+        if value == 0:
+            raise SemanticsError(
+                f"MathFunction block {block.name!r}: reciprocal of zero"
+            )
+        return [1.0 / value], state
+    if operator == "mod":
+        return [math.fmod(value, inputs[1])], state
+    raise SemanticsError(
+        f"MathFunction block {block.name!r}: unknown operator {operator!r}"
+    )
+
+
+def _step_lookup(block: Block, inputs: Sequence[Number], state: object):
+    """1-D lookup table with linear interpolation and end clamping."""
+    xs = block.parameters.get("InputValues")
+    ys = block.parameters.get("OutputValues")
+    if isinstance(xs, str):
+        xs = [float(v) for v in xs.split(",")]
+    if isinstance(ys, str):
+        ys = [float(v) for v in ys.split(",")]
+    if not xs or not ys or len(xs) != len(ys):
+        raise SemanticsError(
+            f"Lookup block {block.name!r}: InputValues/OutputValues must "
+            f"be non-empty and the same length"
+        )
+    value = inputs[0]
+    if value <= xs[0]:
+        return [float(ys[0])], state
+    if value >= xs[-1]:
+        return [float(ys[-1])], state
+    for left in range(len(xs) - 1):
+        if xs[left] <= value <= xs[left + 1]:
+            span = xs[left + 1] - xs[left]
+            fraction = 0.0 if span == 0 else (value - xs[left]) / span
+            return [ys[left] + fraction * (ys[left + 1] - ys[left])], state
+    raise SemanticsError(
+        f"Lookup block {block.name!r}: InputValues must be ascending"
+    )
+
+
+def _zero(block: Block) -> object:
+    return 0.0
+
+
+register(BlockSemantics("Switch", True, _step_switch, default_inputs=3))
+register(BlockSemantics("MinMax", True, _step_minmax, default_inputs=2))
+register(BlockSemantics("Signum", True, _step_sign))
+register(BlockSemantics("DeadZone", True, _step_dead_zone))
+register(BlockSemantics("Quantizer", True, _step_quantizer))
+register(
+    BlockSemantics(
+        "DiscreteIntegrator",
+        False,
+        _step_discrete_integrator,
+        initial_state=_integrator_initial,
+    )
+)
+register(
+    BlockSemantics(
+        "DiscreteFilter",
+        False,
+        _step_discrete_filter,
+        initial_state=_filter_initial,
+    )
+)
+register(
+    BlockSemantics(
+        "RateLimiter", False, _step_rate_limiter, initial_state=_zero
+    )
+)
+register(BlockSemantics("Logic", True, _step_logic, default_inputs=2))
+register(
+    BlockSemantics(
+        "RelationalOperator", True, _step_relational, default_inputs=2
+    )
+)
+register(BlockSemantics("Sqrt", True, _step_sqrt))
+register(BlockSemantics("Trigonometry", True, _step_trigonometry))
+register(BlockSemantics("MathFunction", True, _step_math_function))
+register(BlockSemantics("Lookup", True, _step_lookup))
+
+# Make the new components reachable from UML Platform calls (§4.1).
+PLATFORM_BLOCKS.update(
+    {
+        "switch": ("Switch", {"Threshold": 0.0}, 3),
+        "min": ("MinMax", {"Function": "min"}, 2),
+        "max": ("MinMax", {"Function": "max"}, 2),
+        "sign": ("Signum", {}, 1),
+        "deadzone": ("DeadZone", {}, 1),
+        "quantizer": ("Quantizer", {"QuantizationInterval": 1.0}, 1),
+        "integrator": ("DiscreteIntegrator", {"InitialCondition": 0.0}, 1),
+        "lowpass": ("DiscreteFilter", {"Pole": 0.5}, 1),
+        "ratelimiter": ("RateLimiter", {}, 1),
+        "and": ("Logic", {"Operator": "AND"}, 2),
+        "or": ("Logic", {"Operator": "OR"}, 2),
+        "not": ("Logic", {"Operator": "NOT"}, 1),
+        "xor": ("Logic", {"Operator": "XOR"}, 2),
+        "compare": ("RelationalOperator", {"Operator": "<="}, 2),
+        "sqrt": ("Sqrt", {}, 1),
+        "sin": ("Trigonometry", {"Operator": "sin"}, 1),
+        "cos": ("Trigonometry", {"Operator": "cos"}, 1),
+        "exp": ("MathFunction", {"Operator": "exp"}, 1),
+        "log": ("MathFunction", {"Operator": "log"}, 1),
+        "square": ("MathFunction", {"Operator": "square"}, 1),
+    }
+)

@@ -1,0 +1,272 @@
+"""Simulink CAAM (Combined Architecture Algorithm Model).
+
+The CAAM is the input format of the Simulink-based MPSoC design flow the
+paper targets (Huang et al., DAC 2007): a conventional Simulink model whose
+hierarchy additionally encodes the *architecture* —
+
+- the top level contains one **CPU subsystem** (CPU-SS) per processor plus
+  the **inter-CPU communication channels** (protocol ``GFIFO``);
+- each CPU-SS contains one **Thread subsystem** (Thread-SS) per thread
+  mapped to that processor plus the **intra-CPU channels** (``SWFIFO``);
+- each Thread-SS contains the thread's algorithm as ordinary Simulink
+  blocks (the *thread layer*).
+
+This module provides typed wrappers over :class:`~repro.simulink.model.SubSystem`
+for the two architecture levels, the channel block, and queries used by the
+benchmarks (channel census, architecture summary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .model import Block, Port, SimulinkError, SimulinkModel, SubSystem
+
+#: Protocol used for channels between threads on the same CPU (paper §4.2.1).
+SWFIFO = "SWFIFO"
+#: Protocol used for channels between threads on different CPUs.
+GFIFO = "GFIFO"
+
+#: Parameter key marking the architecture role of a subsystem.
+ROLE_PARAM = "CaamRole"
+CPU_ROLE = "cpu"
+THREAD_ROLE = "thread"
+
+
+class CaamError(SimulinkError):
+    """Raised on malformed CAAM structures."""
+
+
+class CpuSubsystem(SubSystem):
+    """A CPU subsystem (CPU-SS) at the CAAM top level."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, parameters={ROLE_PARAM: CPU_ROLE})
+
+    def thread_subsystems(self) -> List["ThreadSubsystem"]:
+        """The Thread-SS blocks inside this CPU."""
+        return [
+            b for b in self.system.blocks if isinstance(b, ThreadSubsystem)
+        ]
+
+    def thread(self, name: str) -> "ThreadSubsystem":
+        """Look up a thread subsystem by name."""
+        for thread in self.thread_subsystems():
+            if thread.name == name:
+                return thread
+        raise CaamError(f"CPU {self.name!r} has no thread subsystem {name!r}")
+
+
+class ThreadSubsystem(SubSystem):
+    """A thread subsystem (Thread-SS) inside a CPU-SS."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, parameters={ROLE_PARAM: THREAD_ROLE})
+
+
+def make_channel(name: str, protocol: str, data_width_bits: int = 32) -> Block:
+    """Create a communication-channel block.
+
+    The channel is a 1-in/1-out block whose ``Protocol`` parameter records
+    the selected communication protocol (``SWFIFO`` intra-CPU, ``GFIFO``
+    inter-CPU) and whose ``DataWidthBits`` parameter carries the transferred
+    data volume for the MPSoC cost model.
+    """
+    if protocol not in (SWFIFO, GFIFO):
+        raise CaamError(f"unknown channel protocol {protocol!r}")
+    return Block(
+        name,
+        "CommChannel",
+        inputs=1,
+        outputs=1,
+        parameters={"Protocol": protocol, "DataWidthBits": data_width_bits},
+    )
+
+
+def is_cpu_subsystem(block: Block) -> bool:
+    """Whether a block is a CPU subsystem (CAAM role)."""
+    return (
+        isinstance(block, SubSystem)
+        and block.parameters.get(ROLE_PARAM) == CPU_ROLE
+    )
+
+
+def is_thread_subsystem(block: Block) -> bool:
+    """Whether a block is a thread subsystem (CAAM role)."""
+    return (
+        isinstance(block, SubSystem)
+        and block.parameters.get(ROLE_PARAM) == THREAD_ROLE
+    )
+
+
+def is_channel(block: Block) -> bool:
+    """Whether a block is a communication channel."""
+    return block.block_type == "CommChannel"
+
+
+class CaamModel(SimulinkModel):
+    """A Simulink model with CAAM architecture structure.
+
+    Provides construction helpers that keep the two-level hierarchy
+    consistent and census queries used by validation and the benchmarks.
+    """
+
+    def __init__(self, name: str, sample_time: float = 1.0) -> None:
+        super().__init__(name, sample_time)
+
+    # -- construction --------------------------------------------------------
+    def add_cpu(self, name: str) -> CpuSubsystem:
+        """Add a CPU subsystem at the top level."""
+        cpu = CpuSubsystem(name)
+        self.root.add(cpu)
+        return cpu
+
+    def add_thread(self, cpu_name: str, thread_name: str) -> ThreadSubsystem:
+        """Add a thread subsystem inside the named CPU."""
+        cpu = self.cpu(cpu_name)
+        thread = ThreadSubsystem(thread_name)
+        cpu.system.add(thread)
+        return thread
+
+    # -- queries ---------------------------------------------------------------
+    def cpus(self) -> List[CpuSubsystem]:
+        """Top-level CPU subsystems, in insertion order."""
+        return [b for b in self.root.blocks if isinstance(b, CpuSubsystem)]
+
+    def cpu(self, name: str) -> CpuSubsystem:
+        """Look up a CPU subsystem by name."""
+        for cpu in self.cpus():
+            if cpu.name == name:
+                return cpu
+        raise CaamError(f"CAAM has no CPU subsystem named {name!r}")
+
+    def threads(self) -> List[ThreadSubsystem]:
+        """Every thread subsystem across all CPUs."""
+        result: List[ThreadSubsystem] = []
+        for cpu in self.cpus():
+            result.extend(cpu.thread_subsystems())
+        return result
+
+    def thread(self, name: str) -> ThreadSubsystem:
+        """Look up a thread subsystem by name."""
+        for thread in self.threads():
+            if thread.name == name:
+                return thread
+        raise CaamError(f"CAAM has no thread subsystem named {name!r}")
+
+    def cpu_of_thread(self, thread_name: str) -> CpuSubsystem:
+        """The CPU subsystem hosting the named thread."""
+        for cpu in self.cpus():
+            for thread in cpu.thread_subsystems():
+                if thread.name == thread_name:
+                    return cpu
+        raise CaamError(f"CAAM has no thread subsystem named {thread_name!r}")
+
+    def channels(self, protocol: Optional[str] = None) -> List[Block]:
+        """All channel blocks (optionally filtered by protocol)."""
+        result = [b for b in self.all_blocks() if is_channel(b)]
+        if protocol is not None:
+            result = [
+                b for b in result if b.parameters.get("Protocol") == protocol
+            ]
+        return result
+
+    def inter_cpu_channels(self) -> List[Block]:
+        """Top-level GFIFO channel blocks."""
+        return self.channels(GFIFO)
+
+    def intra_cpu_channels(self) -> List[Block]:
+        """SWFIFO channel blocks inside CPU subsystems."""
+        return self.channels(SWFIFO)
+
+    def summary(self) -> "CaamSummary":
+        """Structural census (the quantities the paper's figures show)."""
+        return CaamSummary(
+            cpus=len(self.cpus()),
+            threads=len(self.threads()),
+            inter_cpu_channels=len(self.inter_cpu_channels()),
+            intra_cpu_channels=len(self.intra_cpu_channels()),
+            delays=len(self.blocks_of_type("UnitDelay")),
+            sfunctions=len(self.blocks_of_type("S-Function")),
+            total_blocks=self.count_blocks(),
+        )
+
+
+@dataclass(frozen=True)
+class CaamSummary:
+    """Structural census of a CAAM — the quantities the paper's figures show."""
+
+    cpus: int
+    threads: int
+    inter_cpu_channels: int
+    intra_cpu_channels: int
+    delays: int
+    sfunctions: int
+    total_blocks: int
+
+    def __str__(self) -> str:
+        return (
+            f"CAAM: {self.cpus} CPU-SS, {self.threads} Thread-SS, "
+            f"{self.inter_cpu_channels} inter-CPU (GFIFO) + "
+            f"{self.intra_cpu_channels} intra-CPU (SWFIFO) channels, "
+            f"{self.delays} UnitDelay(s), {self.sfunctions} S-function(s), "
+            f"{self.total_blocks} blocks total"
+        )
+
+
+def validate_caam(model: CaamModel) -> List[str]:
+    """Check CAAM structural rules; returns human-readable violations.
+
+    Rules:
+
+    - top level contains only CPU subsystems, channels and model IO ports;
+    - every channel protocol matches its level: ``GFIFO`` at the top level,
+      ``SWFIFO`` inside CPU subsystems;
+    - CPU subsystems contain only thread subsystems, channels and ports;
+    - every channel has its input and output connected.
+    """
+    problems: List[str] = []
+    for block in model.root.blocks:
+        if is_cpu_subsystem(block) or is_channel(block):
+            continue
+        if block.block_type in ("Inport", "Outport"):
+            continue
+        problems.append(
+            f"top level contains non-architecture block {block.name!r} "
+            f"({block.block_type})"
+        )
+    for channel in model.channels():
+        system = channel.parent
+        assert system is not None
+        protocol = channel.parameters.get("Protocol")
+        at_top = system is model.root
+        if at_top and protocol != GFIFO:
+            problems.append(
+                f"top-level channel {channel.name!r} must be {GFIFO}, "
+                f"found {protocol!r}"
+            )
+        if not at_top:
+            owner = system.owner_block
+            if owner is not None and is_cpu_subsystem(owner) and protocol != SWFIFO:
+                problems.append(
+                    f"intra-CPU channel {channel.name!r} must be {SWFIFO}, "
+                    f"found {protocol!r}"
+                )
+        if system.driver_of(channel.input(1)) is None:
+            problems.append(f"channel {channel.name!r} has no producer")
+        if not any(
+            line.source.block is channel for line in system.lines
+        ):
+            problems.append(f"channel {channel.name!r} has no consumer")
+    for cpu in model.cpus():
+        for block in cpu.system.blocks:
+            if is_thread_subsystem(block) or is_channel(block):
+                continue
+            if block.block_type in ("Inport", "Outport"):
+                continue
+            problems.append(
+                f"CPU {cpu.name!r} contains non-architecture block "
+                f"{block.name!r} ({block.block_type})"
+            )
+    return problems

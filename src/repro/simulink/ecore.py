@@ -1,0 +1,182 @@
+"""E-core style XML serialization of Simulink models.
+
+The paper's step 2 produces "an XML file, which conforms to the Simulink
+CAAM meta-model ... represented using the E-core format (XML-like)"; step 3
+consumes this intermediate and optimizes it before the final ``.mdl``
+emission.  This module writes and reads that intermediate artifact so the
+full four-step pipeline of Fig. 2 is observable (and the optimization pass
+can, like the paper's tool, run on the persisted intermediate).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List
+
+from .caam import CPU_ROLE, THREAD_ROLE, ROLE_PARAM, CaamModel, CpuSubsystem, ThreadSubsystem
+from .model import Block, SimulinkError, SimulinkModel, SubSystem, System
+
+ECORE_NS = "http://repro.example.org/caam/1.0"
+
+
+class EcoreError(SimulinkError):
+    """Raised on malformed E-core input."""
+
+
+def to_ecore_string(model: SimulinkModel) -> str:
+    """Serialize a model to E-core style XML."""
+    root = ET.Element("caam:Model")
+    root.set("xmlns:caam", ECORE_NS)
+    root.set("name", model.name)
+    for key, value in sorted(model.parameters.items()):
+        if isinstance(value, (bool, int, float, str)):
+            param = ET.SubElement(root, "parameter")
+            param.set("key", key)
+            param.set("value", str(value))
+            param.set("type", type(value).__name__)
+    _write_system(root, model.root)
+    _indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def write_ecore(model: SimulinkModel, path: str) -> None:
+    """Serialize a model to an E-core XML file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_ecore_string(model))
+
+
+def _write_system(parent: ET.Element, system: System) -> None:
+    el = ET.SubElement(parent, "system")
+    el.set("name", system.name)
+    for block in system.blocks:
+        bel = ET.SubElement(el, "block")
+        bel.set("name", block.name)
+        bel.set("type", block.block_type)
+        bel.set("inputs", str(block.num_inputs))
+        bel.set("outputs", str(block.num_outputs))
+        for key, value in sorted(block.parameters.items()):
+            if isinstance(value, (bool, int, float, str)):
+                pel = ET.SubElement(bel, "parameter")
+                pel.set("key", key)
+                pel.set("value", str(value))
+                pel.set("type", type(value).__name__)
+        if isinstance(block, SubSystem):
+            _write_system(bel, block.system)
+    for line in system.lines:
+        lel = ET.SubElement(el, "line")
+        lel.set("srcBlock", line.source.block.name)
+        lel.set("srcPort", str(line.source.index))
+        for dest in line.destinations:
+            del_ = ET.SubElement(lel, "destination")
+            del_.set("dstBlock", dest.block.name)
+            del_.set("dstPort", str(dest.index))
+
+
+def _indent(element: ET.Element, level: int = 0) -> None:
+    pad = "\n" + "  " * level
+    if len(element):
+        if not element.text or not element.text.strip():
+            element.text = pad + "  "
+        for child in element:
+            _indent(child, level + 1)
+            if not child.tail or not child.tail.strip():
+                child.tail = pad + "  "
+        if not element[-1].tail or not element[-1].tail.strip():
+            element[-1].tail = pad
+    elif level and (not element.tail or not element.tail.strip()):
+        element.tail = pad
+
+
+def _parse_typed(value: str, type_name: str) -> object:
+    if type_name == "bool":
+        return value == "True"
+    if type_name == "int":
+        return int(value)
+    if type_name == "float":
+        return float(value)
+    return value
+
+
+def from_ecore_string(text: str) -> SimulinkModel:
+    """Parse E-core XML back into a model (CAAM when CPU roles present)."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise EcoreError(f"invalid XML: {exc}") from exc
+    name = root.get("name", "model")
+    system_el = root.find("system")
+    if system_el is None:
+        raise EcoreError("no <system> element under model root")
+    has_cpus = any(
+        _block_role(block_el) == CPU_ROLE
+        for block_el in system_el.findall("block")
+    )
+    model: SimulinkModel = CaamModel(name) if has_cpus else SimulinkModel(name)
+    for pel in root.findall("parameter"):
+        model.parameters[pel.get("key", "")] = _parse_typed(
+            pel.get("value", ""), pel.get("type", "str")
+        )
+    _fill_system(model.root, system_el)
+    return model
+
+
+def read_ecore(path: str) -> SimulinkModel:
+    """Read a model from an E-core XML file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_ecore_string(handle.read())
+
+
+def _block_role(block_el: ET.Element) -> str:
+    for pel in block_el.findall("parameter"):
+        if pel.get("key") == ROLE_PARAM:
+            return pel.get("value", "")
+    return ""
+
+
+def _fill_system(system: System, el: ET.Element) -> None:
+    for bel in el.findall("block"):
+        system.add(_build_block(bel))
+    for lel in el.findall("line"):
+        source = system.block(lel.get("srcBlock", "")).output(
+            int(lel.get("srcPort", "1"))
+        )
+        destinations = []
+        for del_ in lel.findall("destination"):
+            dst = system.block(del_.get("dstBlock", ""))
+            destinations.append(dst.input(int(del_.get("dstPort", "1"))))
+        if not destinations:
+            raise EcoreError(
+                f"line from {lel.get('srcBlock')!r} has no destination"
+            )
+        system.connect(source, *destinations)
+
+
+def _build_block(bel: ET.Element) -> Block:
+    name = bel.get("name", "")
+    block_type = bel.get("type", "")
+    parameters: Dict[str, object] = {}
+    for pel in bel.findall("parameter"):
+        parameters[pel.get("key", "")] = _parse_typed(
+            pel.get("value", ""), pel.get("type", "str")
+        )
+    if block_type == "SubSystem":
+        role = parameters.get(ROLE_PARAM)
+        if role == CPU_ROLE:
+            sub: SubSystem = CpuSubsystem(name)
+        elif role == THREAD_ROLE:
+            sub = ThreadSubsystem(name)
+        else:
+            sub = SubSystem(name)
+        sub.parameters.update(parameters)
+        inner = bel.find("system")
+        if inner is not None:
+            _fill_system(sub.system, inner)
+        sub.sync_ports()
+        return sub
+    return Block(
+        name,
+        block_type,
+        inputs=int(bel.get("inputs", "1")),
+        outputs=int(bel.get("outputs", "1")),
+        parameters=parameters,
+    )

@@ -1,0 +1,498 @@
+"""Simulink model metamodel.
+
+This is our substitution for proprietary MATLAB/Simulink: a block-diagram
+metamodel with hierarchical subsystems, typed ports and signal lines, close
+enough to Simulink's ``.mdl`` structure that :mod:`repro.simulink.mdl` can
+write and re-read real-looking model files, and rich enough that
+:mod:`repro.simulink.simulator` can execute the diagrams.
+
+Structure
+---------
+- :class:`SimulinkModel` owns a root :class:`System`.
+- A :class:`System` contains :class:`Block` instances and :class:`Line`
+  signal connections.  Block names are unique per system.
+- A :class:`SubSystem` is a block that owns a nested system; its external
+  interface is defined by the ``Inport``/``Outport`` blocks inside it, in
+  port-number order (exactly Simulink's convention).
+- A :class:`Line` runs from one output :class:`Port` to one or more input
+  ports (branching).
+
+Blocks are identified by *path*: ``"top/CPU1/T1/calc"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class SimulinkError(Exception):
+    """Base class for Simulink metamodel errors."""
+
+
+class PortError(SimulinkError):
+    """Raised on invalid port references or connections."""
+
+
+class Port:
+    """One port of a block: ``(block, direction, index)``; index is 1-based."""
+
+    __slots__ = ("block", "direction", "index")
+
+    def __init__(self, block: "Block", direction: str, index: int) -> None:
+        if direction not in ("in", "out"):
+            raise PortError(f"invalid port direction {direction!r}")
+        if index < 1:
+            raise PortError(f"port index must be >= 1, got {index}")
+        self.block = block
+        self.direction = direction
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Port):
+            return NotImplemented
+        return (
+            self.block is other.block
+            and self.direction == other.direction
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.block), self.direction, self.index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.block.name}.{self.direction}{self.index}>"
+
+
+class Block:
+    """A Simulink block.
+
+    Parameters
+    ----------
+    name:
+        Block name, unique within its owning system.
+    block_type:
+        Simulink ``BlockType`` string (``"Gain"``, ``"Sum"``, ``"SubSystem"``,
+        ``"S-Function"``, ...).  Semantics are resolved through
+        :mod:`repro.simulink.blocks`.
+    inputs, outputs:
+        Port counts.
+    parameters:
+        Block parameters, serialized into the ``.mdl`` file.  Values may be
+        numbers, strings or Python callables (callables are used by the
+        executable S-function substitution and are skipped by serializers).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        block_type: str,
+        inputs: int = 1,
+        outputs: int = 1,
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if not name:
+            raise SimulinkError("block name must be non-empty")
+        if "/" in name:
+            raise SimulinkError(f"block name {name!r} must not contain '/'")
+        self.name = name
+        self.block_type = block_type
+        self.num_inputs = inputs
+        self.num_outputs = outputs
+        self.parameters: Dict[str, object] = dict(parameters or {})
+        self.parent: Optional["System"] = None
+
+    # -- ports ---------------------------------------------------------------
+    def input(self, index: int = 1) -> Port:
+        """The ``index``-th input port (1-based)."""
+        if index > self.num_inputs:
+            raise PortError(
+                f"block {self.name!r} has {self.num_inputs} input(s), "
+                f"requested in{index}"
+            )
+        return Port(self, "in", index)
+
+    def output(self, index: int = 1) -> Port:
+        """The ``index``-th output port (1-based)."""
+        if index > self.num_outputs:
+            raise PortError(
+                f"block {self.name!r} has {self.num_outputs} output(s), "
+                f"requested out{index}"
+            )
+        return Port(self, "out", index)
+
+    def inputs(self) -> List[Port]:
+        """All input ports."""
+        return [self.input(i) for i in range(1, self.num_inputs + 1)]
+
+    def outputs(self) -> List[Port]:
+        """All output ports."""
+        return [self.output(i) for i in range(1, self.num_outputs + 1)]
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """Slash-separated path from the model root."""
+        parts: List[str] = [self.name]
+        system = self.parent
+        while system is not None and system.owner_block is not None:
+            parts.append(system.owner_block.name)
+            system = system.owner_block.parent
+        if system is not None:
+            parts.append(system.name)
+        return "/".join(reversed(parts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block {self.block_type} {self.path}>"
+
+
+class Line:
+    """A signal line from a source output port to destination input ports."""
+
+    def __init__(self, source: Port, *destinations: Port, name: str = "") -> None:
+        if source.direction != "out":
+            raise PortError(f"line source must be an output port, got {source!r}")
+        if not destinations:
+            raise PortError("line needs at least one destination")
+        for dest in destinations:
+            if dest.direction != "in":
+                raise PortError(
+                    f"line destination must be an input port, got {dest!r}"
+                )
+        self.source = source
+        self.destinations: List[Port] = list(destinations)
+        self.name = name
+
+    def add_destination(self, dest: Port) -> None:
+        """Branch the line to one more input port."""
+        if dest.direction != "in":
+            raise PortError(f"line destination must be an input port, got {dest!r}")
+        self.destinations.append(dest)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dests = ", ".join(
+            f"{d.block.name}.in{d.index}" for d in self.destinations
+        )
+        return f"<Line {self.source.block.name}.out{self.source.index} -> {dests}>"
+
+
+class System:
+    """A (sub)system: a container of blocks and lines."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: List[Block] = []
+        self.lines: List[Line] = []
+        #: The SubSystem block owning this system (None for the model root).
+        self.owner_block: Optional["SubSystem"] = None
+
+    # -- construction --------------------------------------------------------
+    def add(self, block: Block) -> Block:
+        """Add a block; names must be unique per system."""
+        if any(b.name == block.name for b in self.blocks):
+            raise SimulinkError(
+                f"system {self.name!r} already contains a block named "
+                f"{block.name!r}"
+            )
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def connect(self, source: Port, *destinations: Port, name: str = "") -> Line:
+        """Connect ports with a new line (ports must belong to this system's
+        blocks).  If the source already drives a line, the destinations are
+        added as branches of that line instead."""
+        for port in (source, *destinations):
+            if port.block.parent is not self:
+                raise PortError(
+                    f"port {port!r} does not belong to system {self.name!r}"
+                )
+        for dest in destinations:
+            existing_driver = self.driver_of(dest)
+            if existing_driver is not None:
+                raise PortError(
+                    f"input {dest!r} is already driven by "
+                    f"{existing_driver.source!r}"
+                )
+        for line in self.lines:
+            if line.source == source:
+                for dest in destinations:
+                    line.add_destination(dest)
+                return line
+        line = Line(source, *destinations, name=name)
+        self.lines.append(line)
+        return line
+
+    def disconnect(self, line: Line) -> None:
+        """Remove a line from the system."""
+        self.lines.remove(line)
+
+    # -- queries ---------------------------------------------------------------
+    def block(self, name: str) -> Block:
+        """Look up a block by name."""
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise SimulinkError(f"system {self.name!r} has no block named {name!r}")
+
+    def has_block(self, name: str) -> bool:
+        """Whether a block with this name exists."""
+        return any(b.name == name for b in self.blocks)
+
+    def blocks_of_type(self, block_type: str) -> List[Block]:
+        """Blocks with the given ``BlockType``."""
+        return [b for b in self.blocks if b.block_type == block_type]
+
+    def driver_of(self, port: Port) -> Optional[Line]:
+        """The line driving an input port, or ``None``."""
+        for line in self.lines:
+            if port in line.destinations:
+                return line
+        return None
+
+    def lines_from(self, block: Block) -> List[Line]:
+        """Lines whose source is a port of ``block``."""
+        return [l for l in self.lines if l.source.block is block]
+
+    def subsystems(self) -> List["SubSystem"]:
+        """The SubSystem blocks directly in this system."""
+        return [b for b in self.blocks if isinstance(b, SubSystem)]
+
+    def walk_blocks(self) -> Iterator[Block]:
+        """Yield every block in this system and nested subsystems."""
+        for block in self.blocks:
+            yield block
+            if isinstance(block, SubSystem):
+                yield from block.system.walk_blocks()
+
+    def walk_systems(self) -> Iterator["System"]:
+        """Yield this system and every nested one."""
+        yield self
+        for block in self.blocks:
+            if isinstance(block, SubSystem):
+                yield from block.system.walk_systems()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<System {self.name!r}: {len(self.blocks)} blocks, "
+            f"{len(self.lines)} lines>"
+        )
+
+
+class SubSystem(Block):
+    """A hierarchical subsystem block.
+
+    Its port counts are derived from the ``Inport``/``Outport`` blocks of the
+    nested system; use :meth:`add_inport`/:meth:`add_outport` (or add the
+    port blocks manually and call :meth:`sync_ports`).
+    """
+
+    def __init__(self, name: str, parameters: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(name, "SubSystem", inputs=0, outputs=0, parameters=parameters)
+        self.system = System(name)
+        self.system.owner_block = self
+
+    # -- interface management --------------------------------------------------
+    def add_inport(self, name: str) -> Block:
+        """Add an ``Inport`` block inside and grow the external interface."""
+        port_number = len(self.inport_blocks()) + 1
+        block = Block(
+            name, "Inport", inputs=0, outputs=1, parameters={"Port": port_number}
+        )
+        self.system.add(block)
+        self.sync_ports()
+        return block
+
+    def add_outport(self, name: str) -> Block:
+        """Add an ``Outport`` block inside and grow the interface."""
+        port_number = len(self.outport_blocks()) + 1
+        block = Block(
+            name, "Outport", inputs=1, outputs=0, parameters={"Port": port_number}
+        )
+        self.system.add(block)
+        self.sync_ports()
+        return block
+
+    def inport_blocks(self) -> List[Block]:
+        """Inner Inport blocks in port-number order."""
+        ports = self.system.blocks_of_type("Inport")
+        return sorted(ports, key=lambda b: int(b.parameters.get("Port", 1)))
+
+    def outport_blocks(self) -> List[Block]:
+        """Inner Outport blocks in port-number order."""
+        ports = self.system.blocks_of_type("Outport")
+        return sorted(ports, key=lambda b: int(b.parameters.get("Port", 1)))
+
+    def sync_ports(self) -> None:
+        """Recompute external port counts from the inner port blocks."""
+        self.num_inputs = len(self.inport_blocks())
+        self.num_outputs = len(self.outport_blocks())
+
+    def inport_named(self, name: str) -> Port:
+        """External input port corresponding to the inner Inport ``name``."""
+        for position, block in enumerate(self.inport_blocks(), start=1):
+            if block.name == name:
+                return self.input(position)
+        raise PortError(f"subsystem {self.name!r} has no inport {name!r}")
+
+    def outport_named(self, name: str) -> Port:
+        """External output port for the inner Outport ``name``."""
+        for position, block in enumerate(self.outport_blocks(), start=1):
+            if block.name == name:
+                return self.output(position)
+        raise PortError(f"subsystem {self.name!r} has no outport {name!r}")
+
+
+class SimulinkModel:
+    """A complete Simulink model: a named root system plus solver settings."""
+
+    def __init__(self, name: str, sample_time: float = 1.0) -> None:
+        self.name = name
+        self.root = System(name)
+        self.sample_time = sample_time
+        self.parameters: Dict[str, object] = {
+            "Solver": "FixedStepDiscrete",
+            "FixedStep": sample_time,
+        }
+
+    # -- path addressing -------------------------------------------------------
+    def find(self, path: str) -> Block:
+        """Resolve a slash path (``"model/CPU1/T1/calc"``) to a block.
+
+        The leading model-name segment is optional.
+        """
+        parts = path.split("/")
+        if parts and parts[0] == self.name:
+            parts = parts[1:]
+        if not parts:
+            raise SimulinkError(f"path {path!r} does not name a block")
+        system = self.root
+        block: Optional[Block] = None
+        for i, part in enumerate(parts):
+            block = system.block(part)
+            if i < len(parts) - 1:
+                if not isinstance(block, SubSystem):
+                    raise SimulinkError(
+                        f"path segment {part!r} is not a subsystem"
+                    )
+                system = block.system
+        assert block is not None
+        return block
+
+    def all_blocks(self) -> List[Block]:
+        """Every block in the model, depth first."""
+        return list(self.root.walk_blocks())
+
+    def all_systems(self) -> List[System]:
+        """Every system (root plus nested), depth first."""
+        return list(self.root.walk_systems())
+
+    def blocks_of_type(self, block_type: str) -> List[Block]:
+        """All blocks of a given ``BlockType``, model-wide."""
+        return [b for b in self.all_blocks() if b.block_type == block_type]
+
+    def count_blocks(self, block_type: Optional[str] = None) -> int:
+        """Number of blocks (optionally of one type)."""
+        if block_type is None:
+            return len(self.all_blocks())
+        return len(self.blocks_of_type(block_type))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimulinkModel {self.name!r}: {self.count_blocks()} blocks>"
+
+
+def flatten(model: SimulinkModel) -> Tuple[List[Block], List[Tuple[Port, Port]]]:
+    """Flatten the hierarchy into primitive blocks and port-to-port edges.
+
+    Subsystem boundaries are dissolved: a connection into a subsystem's
+    external input k is rewired to whatever the k-th inner ``Inport`` block
+    drives, and similarly for outputs.  The result is the flat signal graph
+    the simulator and the cycle detector operate on.
+
+    Returns
+    -------
+    (blocks, edges):
+        ``blocks`` are all non-structural primitive blocks (subsystems and
+        Inport/Outport blocks of *inner* systems excluded; root-level
+        Inport/Outport blocks are kept as model-level IO). ``edges`` are
+        ``(source_output_port, destination_input_port)`` pairs between
+        primitive blocks.
+    """
+    primitive: List[Block] = []
+    for block in model.root.walk_blocks():
+        if isinstance(block, SubSystem):
+            continue
+        if block.block_type in ("Inport", "Outport") and block.parent is not model.root:
+            continue
+        primitive.append(block)
+
+    # A hierarchy-crossing connection is visible both from the outer line and
+    # from the inner line touching the boundary port; resolving both yields
+    # the same primitive edge, so deduplicate while preserving order.
+    edges: List[Tuple[Port, Port]] = []
+    seen = set()
+    for system in model.root.walk_systems():
+        for line in system.lines:
+            for dest in line.destinations:
+                for resolved_src in _resolve_source(line.source):
+                    for resolved_dst in _resolve_destinations(dest, model):
+                        edge = (resolved_src, resolved_dst)
+                        if edge not in seen:
+                            seen.add(edge)
+                            edges.append(edge)
+    return primitive, edges
+
+
+def _resolve_source(port: Port) -> List[Port]:
+    """Resolve a line source to the primitive output port(s) producing it."""
+    block = port.block
+    if isinstance(block, SubSystem):
+        # Output k of a subsystem is produced by whatever drives the k-th
+        # inner Outport block.
+        outports = block.outport_blocks()
+        inner = outports[port.index - 1]
+        driver = block.system.driver_of(inner.input(1))
+        if driver is None:
+            return []
+        return _resolve_source(driver.source)
+    if block.block_type == "Inport" and block.parent is not None:
+        owner = block.parent.owner_block
+        if owner is not None:
+            # Source is an inner Inport: resolve to whatever drives the
+            # corresponding external input of the owning subsystem.
+            position = owner.inport_blocks().index(block) + 1
+            outer_system = owner.parent
+            if outer_system is None:
+                return []
+            driver = outer_system.driver_of(owner.input(position))
+            if driver is None:
+                return []
+            return _resolve_source(driver.source)
+    return [port]
+
+
+def _resolve_destinations(port: Port, model: SimulinkModel) -> List[Port]:
+    """Resolve a line destination to primitive input port(s) consuming it."""
+    block = port.block
+    if isinstance(block, SubSystem):
+        inports = block.inport_blocks()
+        inner = inports[port.index - 1]
+        result: List[Port] = []
+        for line in block.system.lines_from(inner):
+            for dest in line.destinations:
+                result.extend(_resolve_destinations(dest, model))
+        return result
+    if block.block_type == "Outport" and block.parent is not None:
+        owner = block.parent.owner_block
+        if owner is not None:
+            position = owner.outport_blocks().index(block) + 1
+            outer_system = owner.parent
+            if outer_system is None:
+                return []
+            result = []
+            for line in outer_system.lines_from(owner):
+                if line.source.index != position:
+                    continue
+                for dest in line.destinations:
+                    result.extend(_resolve_destinations(dest, model))
+            return result
+    return [port]

@@ -1,0 +1,92 @@
+"""Textual rendering of Simulink models.
+
+The paper's evaluation *shows* its results as diagrams (Figs. 3(c), 5, 8).
+:func:`render_tree` is the textual analogue: the block hierarchy with CAAM
+roles, channel protocols and wiring, so benchmark output and bug reports
+can show the generated structure at a glance::
+
+    crane  [CAAM]
+    +- CPU1  <<CPU-SS>>
+    |  +- T1  <<Thread-SS>>  (2 in, 0 out)
+    |  |  +- io_position  [Inport]
+    |  |  ...
+    |  +- ch_T1_xc  [CommChannel SWFIFO]
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .caam import CaamModel, is_channel, is_cpu_subsystem, is_thread_subsystem
+from .model import Block, SimulinkModel, SubSystem, System
+
+
+def render_tree(model: SimulinkModel, *, wiring: bool = False) -> str:
+    """Render the model hierarchy as an ASCII tree.
+
+    With ``wiring`` true, each system's signal lines are listed after its
+    blocks.
+    """
+    lines: List[str] = []
+    tag = "  [CAAM]" if isinstance(model, CaamModel) else ""
+    lines.append(f"{model.name}{tag}")
+    _render_system(model.root, lines, prefix="", wiring=wiring)
+    return "\n".join(lines) + "\n"
+
+
+def _render_system(
+    system: System, lines: List[str], prefix: str, wiring: bool
+) -> None:
+    entries: List[object] = list(system.blocks)
+    if wiring and system.lines:
+        entries.append("<wiring>")
+    for position, entry in enumerate(entries):
+        last = position == len(entries) - 1
+        connector = "`- " if last else "+- "
+        child_prefix = prefix + ("   " if last else "|  ")
+        if entry == "<wiring>":
+            lines.append(f"{prefix}{connector}wiring:")
+            for line in system.lines:
+                dests = ", ".join(
+                    f"{d.block.name}.in{d.index}" for d in line.destinations
+                )
+                lines.append(
+                    f"{child_prefix}{line.source.block.name}."
+                    f"out{line.source.index} -> {dests}"
+                )
+            continue
+        block = entry
+        lines.append(f"{prefix}{connector}{_describe(block)}")
+        if isinstance(block, SubSystem):
+            _render_system(block.system, lines, child_prefix, wiring)
+
+
+def _describe(block: Block) -> str:
+    if is_cpu_subsystem(block):
+        return f"{block.name}  <<CPU-SS>>"
+    if is_thread_subsystem(block):
+        return (
+            f"{block.name}  <<Thread-SS>>  "
+            f"({block.num_inputs} in, {block.num_outputs} out)"
+        )
+    if is_channel(block):
+        protocol = block.parameters.get("Protocol", "?")
+        width = block.parameters.get("DataWidthBits", "?")
+        return f"{block.name}  [CommChannel {protocol}, {width} bits]"
+    if isinstance(block, SubSystem):
+        return f"{block.name}  [SubSystem]"
+    details = ""
+    if block.block_type == "Gain":
+        details = f" Gain={block.parameters.get('Gain')}"
+    elif block.block_type == "Sum":
+        details = f" {block.parameters.get('Inputs')!r}"
+    elif block.block_type == "Constant":
+        details = f" Value={block.parameters.get('Value')}"
+    elif block.block_type == "S-Function":
+        details = f" {block.parameters.get('FunctionName', '')}"
+    elif block.block_type == "UnitDelay" and block.parameters.get(
+        "AutoInserted"
+    ):
+        details = " (auto-inserted)"
+    return f"{block.name}  [{block.block_type}{details}]"

@@ -1,0 +1,337 @@
+"""Discrete-time dataflow execution of Simulink models.
+
+This simulator is what makes the generated CAAMs *executable* without
+MATLAB: it flattens the hierarchy, orders blocks by their combinational
+(direct-feedthrough) dependencies, and steps the model with fixed-step
+synchronous-dataflow semantics.
+
+Deadlock semantics (central to the paper's §4.2.2): a cycle in which every
+block is direct-feedthrough has no valid evaluation order — the simulator
+raises :class:`AlgebraicLoopError` naming the blocks on the cycle.  After
+the temporal-barrier pass has inserted a ``UnitDelay`` into each such cycle
+the model schedules and runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from . import blocks as libblocks
+from .model import Block, Port, SimulinkError, SimulinkModel, flatten
+
+
+class SimulationError(SimulinkError):
+    """Base class for simulation failures."""
+
+
+class AlgebraicLoopError(SimulationError):
+    """A cycle of direct-feedthrough blocks prevents scheduling.
+
+    ``cycle`` holds the block paths on one offending cycle.
+    """
+
+    def __init__(self, cycle: List[str]) -> None:
+        super().__init__(
+            "algebraic loop (dataflow deadlock) through blocks: "
+            + " -> ".join(cycle)
+        )
+        self.cycle = cycle
+
+
+class UnconnectedInputError(SimulationError):
+    """An input port has no driver."""
+
+
+@dataclass
+class SimulationResult:
+    """Traces recorded over a run.
+
+    ``outputs`` maps root-level Outport block names to their sample lists;
+    ``scopes`` maps Scope block paths to recorded histories; ``signals``
+    maps monitored block paths to their (first) output traces.
+    """
+
+    steps: int
+    outputs: Dict[str, List[float]] = field(default_factory=dict)
+    scopes: Dict[str, List[object]] = field(default_factory=dict)
+    signals: Dict[str, List[float]] = field(default_factory=dict)
+
+    def output(self, name: str) -> List[float]:
+        """Samples recorded at the named root Outport."""
+        try:
+            return self.outputs[name]
+        except KeyError:
+            raise SimulationError(f"no recorded output {name!r}") from None
+
+    def signal(self, path: str) -> List[float]:
+        """Samples of a monitored block path."""
+        try:
+            return self.signals[path]
+        except KeyError:
+            raise SimulationError(f"no monitored signal {path!r}") from None
+
+    def to_csv(self) -> str:
+        """All recorded traces as CSV (step, outputs..., signals...)."""
+        columns = list(self.outputs) + list(self.signals)
+        series = [self.outputs[c] for c in self.outputs] + [
+            self.signals[c] for c in self.signals
+        ]
+        lines = ["step," + ",".join(columns)]
+        for step in range(self.steps):
+            row = [str(step)]
+            for samples in series:
+                row.append(
+                    f"{samples[step]:g}" if step < len(samples) else ""
+                )
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+
+class Simulator:
+    """Fixed-step simulator for a :class:`SimulinkModel`.
+
+    Parameters
+    ----------
+    model:
+        The model to execute.
+    monitor:
+        Optional block paths whose first output should be traced.
+    """
+
+    def __init__(
+        self, model: SimulinkModel, monitor: Optional[Sequence[str]] = None
+    ) -> None:
+        self.model = model
+        self.monitor = list(monitor or [])
+        self._blocks, edges = flatten(model)
+        self._in_edges: Dict[Block, Dict[int, Port]] = {}
+        for src, dst in edges:
+            slot = self._in_edges.setdefault(dst.block, {})
+            if dst.index in slot:
+                raise SimulationError(
+                    f"input {dst!r} is driven by multiple sources"
+                )
+            slot[dst.index] = src
+        self._order = self._schedule()
+        self._plan = self._compile_plan()
+        self._state: Dict[Block, object] = {}
+        self.reset()
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self) -> List[Block]:
+        """Topologically order blocks along direct-feedthrough edges."""
+        successors: Dict[Block, List[Block]] = {b: [] for b in self._blocks}
+        indegree: Dict[Block, int] = {b: 0 for b in self._blocks}
+        for dst_block, sources in self._in_edges.items():
+            if dst_block not in indegree:
+                continue
+            if not libblocks.is_feedthrough(dst_block):
+                continue
+            for src in sources.values():
+                if src.block not in successors:
+                    continue
+                successors[src.block].append(dst_block)
+                indegree[dst_block] += 1
+        ready = [b for b in self._blocks if indegree[b] == 0]
+        ordered: List[Block] = []
+        while ready:
+            block = ready.pop(0)
+            ordered.append(block)
+            for succ in successors[block]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(ordered) != len(self._blocks):
+            remaining = [b for b in self._blocks if indegree[b] > 0]
+            cycle = _find_cycle(remaining, self._in_edges)
+            raise AlgebraicLoopError([b.path for b in cycle])
+        return ordered
+
+    def _compile_plan(self) -> List[tuple]:
+        """Precompute per-block execution records for the hot loop.
+
+        Each record is ``(block, kind, semantics, sources)`` where ``kind``
+        is 0 = root Inport (stimulus), 1 = feedthrough, 2 = stateful, and
+        ``sources`` is the ordered tuple of ``(src_block, src_index)`` keys
+        for the block's inputs (``None`` marks an unconnected input, which
+        raises on first execution).
+        """
+        plan: List[tuple] = []
+        for block in self._order:
+            if block.block_type == "Inport" and block.parent is self.model.root:
+                plan.append((block, 0, None, ()))
+                continue
+            semantics = libblocks.semantics_for(block.block_type)
+            sources = self._in_edges.get(block, {})
+            keys = tuple(
+                (
+                    (sources[i].block, sources[i].index)
+                    if i in sources
+                    else None
+                )
+                for i in range(1, block.num_inputs + 1)
+            )
+            kind = 1 if libblocks.is_feedthrough(block) else 2
+            plan.append((block, kind, semantics, keys))
+        return plan
+
+    # -- execution --------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset all block states to their initial values."""
+        self._state = {}
+        for block in self._blocks:
+            if libblocks.has_semantics(block.block_type):
+                semantics = libblocks.semantics_for(block.block_type)
+                self._state[block] = semantics.initial_state(block)
+            else:
+                self._state[block] = None
+
+    def run(
+        self,
+        steps: int,
+        inputs: Optional[Mapping[str, Sequence[float]]] = None,
+    ) -> SimulationResult:
+        """Run ``steps`` fixed-size steps.
+
+        ``inputs`` maps root-level Inport block names to stimulus sample
+        sequences (missing samples default to 0.0).
+        """
+        if steps < 0:
+            raise SimulationError(f"steps must be >= 0, got {steps}")
+        inputs = dict(inputs or {})
+        result = SimulationResult(steps=steps)
+        root_outports = [
+            b
+            for b in self._blocks
+            if b.block_type == "Outport" and b.parent is self.model.root
+        ]
+        for outport in root_outports:
+            result.outputs[outport.name] = []
+        for path in self.monitor:
+            result.signals[path] = []
+        monitored = {path: self.model.find(path) for path in self.monitor}
+
+        state = self._state
+        for step_index in range(steps):
+            values: Dict[Tuple[Block, int], float] = {}
+            # Output phase: evaluate in feedthrough-topological order.  A
+            # non-feedthrough block's outputs depend only on its state, so
+            # its (possibly not-yet-computed) inputs are passed as zeros and
+            # its state update is deferred to the update phase below.
+            stateful: List[tuple] = []
+            for record in self._plan:
+                block, kind, semantics, keys = record
+                if kind == 0:
+                    # Root Inports are model stimulus, fed externally.
+                    samples = inputs.get(block.name, ())
+                    values[(block, 1)] = (
+                        float(samples[step_index])
+                        if step_index < len(samples)
+                        else 0.0
+                    )
+                    continue
+                if kind == 1:
+                    in_values = self._gather(block, keys, values)
+                    outputs, new_state = semantics.step(
+                        block, in_values, state[block]
+                    )
+                    state[block] = new_state
+                else:
+                    outputs, _ = semantics.step(
+                        block, [0.0] * block.num_inputs, state[block]
+                    )
+                    stateful.append(record)
+                for position, value in enumerate(outputs, start=1):
+                    values[(block, position)] = value
+            # Update phase: every signal value is now available; commit the
+            # state transitions of the stateful blocks.
+            for block, _kind, semantics, keys in stateful:
+                in_values = self._gather(block, keys, values)
+                _, new_state = semantics.step(block, in_values, state[block])
+                state[block] = new_state
+
+            for outport in root_outports:
+                sources = self._in_edges.get(outport, {})
+                src = sources.get(1)
+                sample = values.get((src.block, src.index), 0.0) if src else 0.0
+                result.outputs[outport.name].append(sample)
+            for path, block in monitored.items():
+                result.signals[path].append(values.get((block, 1), 0.0))
+
+        for block in self._blocks:
+            if block.block_type == "Scope":
+                result.scopes[block.path] = list(self._state[block] or [])
+        return result
+
+    def _gather(
+        self,
+        block: Block,
+        keys,
+        values: Dict[Tuple[Block, int], float],
+    ) -> List[float]:
+        gathered: List[float] = []
+        for index, key in enumerate(keys, start=1):
+            if key is None:
+                raise UnconnectedInputError(
+                    f"input {index} of block {block.path!r} is not connected"
+                )
+            try:
+                gathered.append(values[key])
+            except KeyError:
+                raise SimulationError(
+                    f"internal scheduling error: value of {key[0].path}."
+                    f"out{key[1]} not available when evaluating "
+                    f"{block.path!r}"
+                ) from None
+        return gathered
+
+
+def _find_cycle(
+    remaining: List[Block], in_edges: Dict[Block, Dict[int, Port]]
+) -> List[Block]:
+    """Extract one cycle among blocks that could not be scheduled."""
+    remaining_set = set(remaining)
+    if not remaining:
+        return []
+    start = remaining[0]
+    path: List[Block] = []
+    seen: Dict[Block, int] = {}
+    node = start
+    while node not in seen:
+        seen[node] = len(path)
+        path.append(node)
+        predecessors = [
+            p.block
+            for p in in_edges.get(node, {}).values()
+            if p.block in remaining_set
+        ]
+        if not predecessors:
+            return path
+        node = predecessors[0]
+    cycle = path[seen[node]:]
+    cycle.reverse()
+    return cycle
+
+
+def run_model(
+    model: SimulinkModel,
+    steps: int,
+    inputs: Optional[Mapping[str, Sequence[float]]] = None,
+    monitor: Optional[Sequence[str]] = None,
+) -> SimulationResult:
+    """Convenience one-shot: build a :class:`Simulator` and run it."""
+    return Simulator(model, monitor=monitor).run(steps, inputs=inputs)
+
+
+def is_executable(model: SimulinkModel) -> Tuple[bool, Optional[List[str]]]:
+    """Check whether the model schedules (no algebraic loops).
+
+    Returns ``(True, None)`` or ``(False, cycle_block_paths)``.  Used by the
+    barrier benchmarks to show models deadlock before §4.2.2 and run after.
+    """
+    try:
+        Simulator(model)
+    except AlgebraicLoopError as exc:
+        return False, exc.cycle
+    return True, None

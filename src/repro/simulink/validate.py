@@ -1,0 +1,166 @@
+"""Structural validation of Simulink models.
+
+Used by the synthesis flow before emitting ``.mdl`` text and by the tests
+as a model invariant: port-arity consistency, unique names, fully-wired
+inputs, subsystem interface consistency, and cyclic-path reporting (the
+input to the §4.2.2 temporal-barrier pass).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from . import blocks as libblocks
+from .model import Block, Port, SimulinkModel, SubSystem, flatten
+
+
+def validate_structure(model: SimulinkModel) -> List[str]:
+    """Check structural well-formedness; returns human-readable problems."""
+    problems: List[str] = []
+    for system in model.all_systems():
+        seen: Set[str] = set()
+        for block in system.blocks:
+            if block.name in seen:
+                problems.append(
+                    f"duplicate block name {block.name!r} in system "
+                    f"{system.name!r}"
+                )
+            seen.add(block.name)
+            if isinstance(block, SubSystem):
+                expected = (
+                    len(block.inport_blocks()),
+                    len(block.outport_blocks()),
+                )
+                if (block.num_inputs, block.num_outputs) != expected:
+                    problems.append(
+                        f"subsystem {block.path!r} interface "
+                        f"({block.num_inputs}, {block.num_outputs}) does not "
+                        f"match inner ports {expected}"
+                    )
+        for line in system.lines:
+            for port in (line.source, *line.destinations):
+                if port.block not in system.blocks:
+                    problems.append(
+                        f"line in system {system.name!r} references foreign "
+                        f"block {port.block.name!r}"
+                    )
+        # Each input port must be driven at most once.
+        drive_count: Dict[Tuple[int, int], int] = {}
+        for line in system.lines:
+            for dest in line.destinations:
+                key = (id(dest.block), dest.index)
+                drive_count[key] = drive_count.get(key, 0) + 1
+        for line in system.lines:
+            for dest in line.destinations:
+                if drive_count[(id(dest.block), dest.index)] > 1:
+                    problems.append(
+                        f"input {dest.index} of {dest.block.path!r} has "
+                        f"multiple drivers"
+                    )
+    return problems
+
+
+def unconnected_inputs(model: SimulinkModel) -> List[Port]:
+    """Primitive-level input ports with no driver after flattening."""
+    blocks, edges = flatten(model)
+    driven: Set[Tuple[int, int]] = {
+        (id(dst.block), dst.index) for _, dst in edges
+    }
+    missing: List[Port] = []
+    for block in blocks:
+        if block.block_type == "Inport":
+            continue  # root-level Inports are fed externally
+        for index in range(1, block.num_inputs + 1):
+            if (id(block), index) not in driven:
+                missing.append(block.input(index))
+    return missing
+
+
+def find_cycles(model: SimulinkModel) -> List[List[Block]]:
+    """Find elementary cycles of *direct-feedthrough* blocks.
+
+    Cycles through a non-feedthrough block (``UnitDelay`` etc.) are already
+    broken and not reported.  This is the detector the temporal-barrier
+    pass runs (paper §4.2.2: "our tool automatically detects the cyclic
+    paths and inserts a Simulink UnitDelay block in the data link where the
+    loop is detected").
+    """
+    blocks, edges = flatten(model)
+    adjacency: Dict[Block, List[Block]] = {b: [] for b in blocks}
+    for src, dst in edges:
+        if src.block in adjacency and dst.block in adjacency:
+            if libblocks.is_feedthrough(dst.block) and dst.block is not src.block:
+                adjacency[src.block].append(dst.block)
+            elif dst.block is src.block and libblocks.is_feedthrough(dst.block):
+                adjacency[src.block].append(dst.block)
+
+    # Tarjan SCC; every SCC with more than one node (or a self-loop) holds
+    # at least one cycle.
+    index_counter = [0]
+    stack: List[Block] = []
+    lowlink: Dict[Block, int] = {}
+    index: Dict[Block, int] = {}
+    on_stack: Set[int] = set()
+    sccs: List[List[Block]] = []
+
+    def strongconnect(node: Block) -> None:
+        work = [(node, iter(adjacency[node]))]
+        index[node] = lowlink[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack.add(id(node))
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(id(succ))
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if id(succ) in on_stack:
+                    lowlink[current] = min(lowlink[current], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index[current]:
+                scc: List[Block] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(id(member))
+                    scc.append(member)
+                    if member is current:
+                        break
+                scc.reverse()
+                sccs.append(scc)
+
+    for block in blocks:
+        if block not in index:
+            strongconnect(block)
+
+    cycles: List[List[Block]] = []
+    for scc in sccs:
+        if len(scc) > 1:
+            cycles.append(scc)
+        elif scc and scc[0] in adjacency[scc[0]]:
+            cycles.append(scc)
+    return cycles
+
+
+def validate_model(model: SimulinkModel) -> List[str]:
+    """Full validation: structure + wiring + schedulability report."""
+    problems = validate_structure(model)
+    for port in unconnected_inputs(model):
+        problems.append(
+            f"input {port.index} of block {port.block.path!r} is unconnected"
+        )
+    for cycle in find_cycles(model):
+        names = " -> ".join(b.path for b in cycle)
+        problems.append(f"algebraic loop: {names}")
+    return problems

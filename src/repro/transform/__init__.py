@@ -1,0 +1,23 @@
+"""Model-transformation substrate: rule engine, trace links, templates.
+
+Replaces the paper's smartQVT/ATL dependency with an explicit rule-based
+model-to-model engine (:mod:`.engine`), trace-link storage (:mod:`.trace`)
+and a line-oriented model-to-text template engine (:mod:`.text`).
+"""
+
+from .engine import Rule, Transformation, TransformationContext, TransformationError
+from .text import Template, TemplateError, render
+from .trace import TraceError, TraceLink, TraceStore
+
+__all__ = [
+    "Rule",
+    "Template",
+    "TemplateError",
+    "TraceError",
+    "TraceLink",
+    "TraceStore",
+    "Transformation",
+    "TransformationContext",
+    "TransformationError",
+    "render",
+]

@@ -1,0 +1,215 @@
+"""Model-to-text template engine.
+
+The paper's step 4 is a model-to-text transformation ("from the optimized
+model, a Simulink mdl file is generated using model-to-text transformation").
+The ``.mdl`` writer uses a dedicated serializer, but the code-generation
+back-ends (Java threads, FSM C code, KPN) share this small line-oriented
+template engine:
+
+- ``${expression}`` substitutes a Python expression evaluated against the
+  template variables;
+- lines starting with ``%for name in expr:`` / ``%if expr:`` / ``%elif`` /
+  ``%else:`` / ``%end`` provide control flow;
+- everything else is literal text, indentation preserved.
+
+Example::
+
+    tmpl = Template('''
+    %for thread in threads:
+    class ${thread.name} extends Thread {
+    }
+    %end
+    ''')
+    source = tmpl.render(threads=[...])
+
+The engine deliberately evaluates expressions with ``eval`` over a
+*restricted* namespace (no builtins beyond an allow-list): templates are
+authored by this library, not by untrusted users, but the restriction keeps
+accidents loud.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+
+class TemplateError(Exception):
+    """Raised on malformed templates or failing expressions."""
+
+
+_SAFE_BUILTINS = {
+    "len": len,
+    "str": str,
+    "int": int,
+    "float": float,
+    "repr": repr,
+    "enumerate": enumerate,
+    "sorted": sorted,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "range": range,
+    "zip": zip,
+    "abs": abs,
+}
+
+_EXPR_RE = re.compile(r"\$\{([^}]*)\}")
+
+
+class _Node:
+    def render(self, out: List[str], scope: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+
+class _TextNode(_Node):
+    def __init__(self, line: str) -> None:
+        self.line = line
+
+    def render(self, out: List[str], scope: Dict[str, Any]) -> None:
+        def substitute(match: "re.Match[str]") -> str:
+            return str(_eval(match.group(1), scope))
+
+        out.append(_EXPR_RE.sub(substitute, self.line))
+
+
+class _ForNode(_Node):
+    def __init__(self, var: str, expr: str) -> None:
+        self.var = var
+        self.expr = expr
+        self.body: List[_Node] = []
+
+    def render(self, out: List[str], scope: Dict[str, Any]) -> None:
+        iterable = _eval(self.expr, scope)
+        for value in iterable:
+            inner = dict(scope)
+            if "," in self.var:
+                names = [n.strip() for n in self.var.split(",")]
+                values = list(value)
+                if len(names) != len(values):
+                    raise TemplateError(
+                        f"cannot unpack {len(values)} values into "
+                        f"{len(names)} names in %for"
+                    )
+                inner.update(zip(names, values))
+            else:
+                inner[self.var] = value
+            for node in self.body:
+                node.render(out, inner)
+
+
+class _IfNode(_Node):
+    def __init__(self, expr: str) -> None:
+        #: (condition or None for %else, body) in order.
+        self.branches: List[tuple] = [(expr, [])]
+
+    def add_branch(self, expr: Optional[str]) -> None:
+        self.branches.append((expr, []))
+
+    @property
+    def current_body(self) -> List[_Node]:
+        return self.branches[-1][1]
+
+    def render(self, out: List[str], scope: Dict[str, Any]) -> None:
+        for condition, body in self.branches:
+            if condition is None or _eval(condition, scope):
+                for node in body:
+                    node.render(out, scope)
+                return
+
+
+def _eval(expression: str, scope: Dict[str, Any]) -> Any:
+    try:
+        return eval(  # noqa: S307 - restricted namespace, library-authored
+            expression, {"__builtins__": _SAFE_BUILTINS}, scope
+        )
+    except Exception as exc:
+        raise TemplateError(
+            f"error evaluating {expression!r}: {exc}"
+        ) from exc
+
+
+_FOR_RE = re.compile(r"^%\s*for\s+(.+?)\s+in\s+(.+?):\s*$")
+_IF_RE = re.compile(r"^%\s*if\s+(.+?):\s*$")
+_ELIF_RE = re.compile(r"^%\s*elif\s+(.+?):\s*$")
+_ELSE_RE = re.compile(r"^%\s*else\s*:\s*$")
+_END_RE = re.compile(r"^%\s*end\s*$")
+
+
+class Template:
+    """A compiled template.  See module docstring for the syntax."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._root: List[_Node] = []
+        self._compile()
+
+    def _compile(self) -> None:
+        lines = self.source.split("\n")
+        # Trim one leading/trailing blank line so triple-quoted templates
+        # read naturally.
+        if lines and not lines[0].strip():
+            lines = lines[1:]
+        if lines and not lines[-1].strip():
+            lines = lines[:-1]
+
+        stack: List[List[_Node]] = [self._root]
+        if_stack: List[_IfNode] = []
+        open_kinds: List[str] = []
+        for number, raw in enumerate(lines, start=1):
+            stripped = raw.strip()
+            if stripped.startswith("%"):
+                match = _FOR_RE.match(stripped)
+                if match:
+                    node = _ForNode(match.group(1).strip(), match.group(2))
+                    stack[-1].append(node)
+                    stack.append(node.body)
+                    open_kinds.append("for")
+                    continue
+                match = _IF_RE.match(stripped)
+                if match:
+                    node = _IfNode(match.group(1))
+                    stack[-1].append(node)
+                    stack.append(node.current_body)
+                    if_stack.append(node)
+                    open_kinds.append("if")
+                    continue
+                match = _ELIF_RE.match(stripped)
+                if match:
+                    if not if_stack or open_kinds[-1] != "if":
+                        raise TemplateError(f"line {number}: %elif without %if")
+                    if_stack[-1].add_branch(match.group(1))
+                    stack[-1] = if_stack[-1].current_body
+                    continue
+                if _ELSE_RE.match(stripped):
+                    if not if_stack or open_kinds[-1] != "if":
+                        raise TemplateError(f"line {number}: %else without %if")
+                    if_stack[-1].add_branch(None)
+                    stack[-1] = if_stack[-1].current_body
+                    continue
+                if _END_RE.match(stripped):
+                    if len(stack) == 1:
+                        raise TemplateError(f"line {number}: %end without block")
+                    kind = open_kinds.pop()
+                    if kind == "if":
+                        if_stack.pop()
+                    stack.pop()
+                    continue
+                raise TemplateError(
+                    f"line {number}: unrecognized directive {stripped!r}"
+                )
+            stack[-1].append(_TextNode(raw))
+        if len(stack) != 1:
+            raise TemplateError("unterminated %for/%if block")
+
+    def render(self, **variables: Any) -> str:
+        """Render with the given variables; returns the text."""
+        out: List[str] = []
+        for node in self._root:
+            node.render(out, dict(variables))
+        return "\n".join(out) + "\n"
+
+
+def render(source: str, **variables: Any) -> str:
+    """One-shot compile-and-render convenience."""
+    return Template(source).render(**variables)

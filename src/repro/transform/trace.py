@@ -1,0 +1,99 @@
+"""Transformation traceability.
+
+Model-driven engineering tools keep *trace links* between source and target
+elements so later rules (and humans) can resolve "what did this UML element
+become?".  The paper's flow is explicitly model-driven ("this is a
+model-to-model transformation, following a model-driven engineering
+approach"), and the channel-inference pass needs exactly this: it looks up
+the Thread-SS created for each thread lifeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+
+class TraceError(Exception):
+    """Raised on missing or ambiguous trace resolution."""
+
+
+@dataclass(frozen=True)
+class TraceLink:
+    """One source→target correspondence created by a rule."""
+
+    rule: str
+    source: Any
+    target: Any
+    role: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TraceLink {self.rule}: {self.source!r} -> {self.target!r}"
+            + (f" ({self.role})" if self.role else "")
+            + ">"
+        )
+
+
+class TraceStore:
+    """Indexed collection of trace links.
+
+    Sources are indexed by identity (``id()``) so metamodel elements need
+    not be hashable; an optional ``role`` distinguishes multiple targets
+    created from one source (e.g. a thread maps to both a Thread-SS and its
+    send port).
+    """
+
+    def __init__(self) -> None:
+        self._links: List[TraceLink] = []
+        self._by_source: Dict[Tuple[int, str], List[TraceLink]] = {}
+        # Keep sources alive so id() keys stay valid.
+        self._retained: List[Any] = []
+
+    def add(self, rule: str, source: Any, target: Any, role: str = "") -> TraceLink:
+        """Record a source→target link created by ``rule``."""
+        link = TraceLink(rule, source, target, role)
+        self._links.append(link)
+        self._retained.append(source)
+        self._by_source.setdefault((id(source), role), []).append(link)
+        return link
+
+    def links(self) -> List[TraceLink]:
+        """All links, in creation order."""
+        return list(self._links)
+
+    def targets(self, source: Any, role: str = "") -> List[Any]:
+        """Every target created from ``source`` (with ``role``)."""
+        return [
+            link.target for link in self._by_source.get((id(source), role), [])
+        ]
+
+    def resolve(self, source: Any, role: str = "") -> Any:
+        """The unique target created from ``source`` (with ``role``)."""
+        found = self.targets(source, role)
+        if not found:
+            raise TraceError(
+                f"no trace target for {source!r}"
+                + (f" with role {role!r}" if role else "")
+            )
+        if len(found) > 1:
+            raise TraceError(
+                f"ambiguous trace for {source!r}: {len(found)} targets"
+            )
+        return found[0]
+
+    def try_resolve(self, source: Any, role: str = "") -> Optional[Any]:
+        """The unique target, or ``None`` when absent/ambiguous."""
+        found = self.targets(source, role)
+        return found[0] if len(found) == 1 else None
+
+    def has(self, source: Any, role: str = "") -> bool:
+        """Whether any link exists for ``source`` (with ``role``)."""
+        return bool(self._by_source.get((id(source), role)))
+
+    def by_rule(self, rule: str) -> List[TraceLink]:
+        """Links created by the named rule."""
+        return [link for link in self._links if link.rule == rule]
+
+    def __len__(self) -> int:
+        return len(self._links)

@@ -1,0 +1,386 @@
+"""Fluent builder for UML models.
+
+The paper's designers draw models in MagicDraw; our substitution is a
+programmatic builder that reads like the diagrams.  A complete Fig. 3 model
+fits in a screenful::
+
+    b = ModelBuilder("didactic")
+    dec = b.passive_class("Dec").op("dec", inputs=["x:int"], returns="int").done()
+    t1 = b.thread("T1")
+    ...
+    cpu1 = b.processor("CPU1", threads=["T1", "T2"])
+    sd = b.interaction("main")
+    sd.call("T1", "Dec1", "dec", args=["x"], result="r2")
+
+The builder owns a :class:`repro.uml.model.Model` (``.model``) and keeps
+name-indexed registries so later statements can reference earlier elements
+by plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .deployment import CommunicationPath, Node
+from .model import (
+    Class,
+    InstanceSpecification,
+    Model,
+    Operation,
+    Parameter,
+    ParameterDirection,
+    Type,
+    UmlError,
+    UnknownElementError,
+)
+from .sequence import (
+    CombinedFragment,
+    Interaction,
+    InteractionOperand,
+    InteractionOperator,
+    Lifeline,
+    Message,
+    MessageSort,
+)
+from .stereotypes import IO, SA_SCHED_RES
+
+#: Name of the special object representing the Simulink block library; method
+#: calls on it instantiate pre-defined blocks (paper §4.1).
+PLATFORM_OBJECT = "Platform"
+
+
+class BuilderError(UmlError):
+    """Raised on inconsistent builder usage."""
+
+
+def _parse_typed(spec: str) -> (str, Optional[str]):
+    """Parse a ``name:type`` spec into its two parts."""
+    if ":" in spec:
+        name, _, tname = spec.partition(":")
+        return name.strip(), tname.strip()
+    return spec.strip(), None
+
+
+class OperationBuilder:
+    """Builds one operation; returned by :meth:`ClassBuilder.op`."""
+
+    def __init__(self, parent: "ClassBuilder", operation: Operation) -> None:
+        self._parent = parent
+        self.operation = operation
+
+    def param(
+        self,
+        spec: str,
+        direction: Union[str, ParameterDirection] = ParameterDirection.IN,
+    ) -> "OperationBuilder":
+        """Add a parameter from a ``name:type`` spec."""
+        if isinstance(direction, str):
+            direction = ParameterDirection(direction)
+        name, tname = _parse_typed(spec)
+        ptype = self._parent._builder._type(tname) if tname else None
+        self.operation.add_parameter(Parameter(name, ptype, direction))
+        return self
+
+    def body(self, source: str, language: str = "c") -> "OperationBuilder":
+        """Attach a behaviour body (becomes the S-function source)."""
+        self.operation.body = source
+        self.operation.body_language = language
+        return self
+
+    def done(self) -> "ClassBuilder":
+        """Return to the owning class builder."""
+        return self._parent
+
+
+class ClassBuilder:
+    """Builds one class; returned by :meth:`ModelBuilder.passive_class`."""
+
+    def __init__(self, builder: "ModelBuilder", cls: Class) -> None:
+        self._builder = builder
+        self.cls = cls
+
+    def op(
+        self,
+        name: str,
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        returns: Optional[str] = None,
+    ) -> OperationBuilder:
+        """Declare an operation with in/out/return parameters."""
+        operation = Operation(name)
+        self.cls.add_operation(operation)
+        ob = OperationBuilder(self, operation)
+        for spec in inputs:
+            ob.param(spec, ParameterDirection.IN)
+        for spec in outputs:
+            ob.param(spec, ParameterDirection.OUT)
+        if returns is not None:
+            rtype = self._builder._type(returns)
+            operation.add_parameter(
+                Parameter("return", rtype, ParameterDirection.RETURN)
+            )
+        return ob
+
+    def attr(self, spec: str, default: Optional[object] = None) -> "ClassBuilder":
+        """Declare an attribute from a ``name:type`` spec."""
+        from .model import Property
+
+        name, tname = _parse_typed(spec)
+        ptype = self._builder._type(tname) if tname else None
+        self.cls.add_property(Property(name, ptype, default))
+        return self
+
+    def done(self) -> "ModelBuilder":
+        """Return to the model builder."""
+        return self._builder
+
+
+class InteractionBuilder:
+    """Builds one sequence diagram; returned by
+    :meth:`ModelBuilder.interaction`."""
+
+    def __init__(self, builder: "ModelBuilder", interaction: Interaction) -> None:
+        self._builder = builder
+        self.interaction = interaction
+
+    def _lifeline(self, participant: str) -> Lifeline:
+        try:
+            return self.interaction.lifeline(participant)
+        except UnknownElementError:
+            instance = self._builder._instance_or_platform(participant)
+            return self.interaction.add_lifeline(
+                Lifeline(participant, instance=instance)
+            )
+
+    def call(
+        self,
+        sender: str,
+        receiver: str,
+        operation: str,
+        args: Sequence[Union[str, int, float, bool]] = (),
+        result: Optional[str] = None,
+        sort: MessageSort = MessageSort.SYNCH_CALL,
+    ) -> Message:
+        """Add a call message ``sender -> receiver: result = op(args)``."""
+        message = Message(
+            self._lifeline(sender),
+            self._lifeline(receiver),
+            operation,
+            arguments=list(args),
+            result=result,
+            sort=sort,
+        )
+        self.interaction.add_message(message)
+        return message
+
+    def loop(self, iterations: Optional[int] = None, guard: str = "") -> "FragmentBuilder":
+        """Open a ``loop`` fragment (optionally bounded)."""
+        fragment = CombinedFragment(InteractionOperator.LOOP, iterations=iterations)
+        operand = InteractionOperand(guard)
+        fragment.add_operand(operand)
+        self.interaction.add_fragment(fragment)
+        return FragmentBuilder(self, operand)
+
+    def alt(self, *guards: str) -> List["FragmentBuilder"]:
+        """Open an ``alt`` fragment with one operand per guard.
+
+        An empty guard (or ``"else"``) marks the fallback branch::
+
+            then_branch, else_branch = sd.alt("cond", "else")
+            then_branch.call(...)
+            else_branch.call(...)
+        """
+        if not guards:
+            raise BuilderError("alt needs at least one guarded operand")
+        fragment = CombinedFragment(InteractionOperator.ALT)
+        builders = []
+        for guard in guards:
+            operand = InteractionOperand(guard)
+            fragment.add_operand(operand)
+            builders.append(FragmentBuilder(self, operand))
+        self.interaction.add_fragment(fragment)
+        return builders
+
+    def opt(self, guard: str) -> "FragmentBuilder":
+        """Open an ``opt`` fragment (a guarded optional branch)."""
+        fragment = CombinedFragment(InteractionOperator.OPT)
+        operand = InteractionOperand(guard)
+        fragment.add_operand(operand)
+        self.interaction.add_fragment(fragment)
+        return FragmentBuilder(self, operand)
+
+    def par(self, operands: int = 2) -> List["FragmentBuilder"]:
+        """Open a ``par`` fragment with the given number of operands.
+
+        Dataflow is inherently concurrent, so the mapping treats parallel
+        operands exactly like sequential messages; the fragment documents
+        the designer's intent and survives the XMI round trip.
+        """
+        if operands < 1:
+            raise BuilderError("par needs at least one operand")
+        fragment = CombinedFragment(InteractionOperator.PAR)
+        builders = []
+        for _ in range(operands):
+            operand = InteractionOperand()
+            fragment.add_operand(operand)
+            builders.append(FragmentBuilder(self, operand))
+        self.interaction.add_fragment(fragment)
+        return builders
+
+    def done(self) -> "ModelBuilder":
+        """Return to the model builder."""
+        return self._builder
+
+
+class FragmentBuilder:
+    """Adds messages inside a combined-fragment operand."""
+
+    def __init__(self, parent: InteractionBuilder, operand: InteractionOperand) -> None:
+        self._parent = parent
+        self._operand = operand
+
+    def call(
+        self,
+        sender: str,
+        receiver: str,
+        operation: str,
+        args: Sequence[Union[str, int, float, bool]] = (),
+        result: Optional[str] = None,
+    ) -> Message:
+        """Add a call message inside this operand."""
+        message = Message(
+            self._parent._lifeline(sender),
+            self._parent._lifeline(receiver),
+            operation,
+            arguments=list(args),
+            result=result,
+        )
+        self._operand.add(message)
+        return message
+
+    def done(self) -> InteractionBuilder:
+        """Return to the interaction builder."""
+        return self._parent
+
+
+class ModelBuilder:
+    """Top-level fluent builder.  See the module docstring for an example."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.model = Model(name)
+        self._classes: Dict[str, ClassBuilder] = {}
+        self._instances: Dict[str, InstanceSpecification] = {}
+        self._nodes: Dict[str, Node] = {}
+        self._platform: Optional[InstanceSpecification] = None
+
+    # -- types & classes ------------------------------------------------------
+    def _type(self, name: str) -> Type:
+        for cls_builder in self._classes.values():
+            if cls_builder.cls.name == name:
+                return cls_builder.cls
+        return self.model.primitive(name)
+
+    def passive_class(self, name: str) -> ClassBuilder:
+        """Declare a passive class (instances become Simulink blocks)."""
+        return self._class(name, is_active=False)
+
+    def active_class(self, name: str) -> ClassBuilder:
+        """Declare an active class (instances own a thread of control)."""
+        return self._class(name, is_active=True)
+
+    def _class(self, name: str, is_active: bool) -> ClassBuilder:
+        if name in self._classes:
+            raise BuilderError(f"class {name!r} already declared")
+        cls = Class(name, is_active=is_active)
+        self.model.add(cls)
+        builder = ClassBuilder(self, cls)
+        self._classes[name] = builder
+        return builder
+
+    # -- instances --------------------------------------------------------------
+    def instance(
+        self, name: str, classifier: Optional[str] = None
+    ) -> InstanceSpecification:
+        """Declare an object (instance specification)."""
+        if name in self._instances:
+            raise BuilderError(f"instance {name!r} already declared")
+        if classifier and classifier not in self._classes:
+            raise BuilderError(f"unknown classifier {classifier!r}")
+        cls = self._classes[classifier].cls if classifier else None
+        instance = InstanceSpecification(name, classifier=cls)
+        self.model.add(instance)
+        self._instances[name] = instance
+        return instance
+
+    def thread(
+        self,
+        name: str,
+        classifier: Optional[str] = None,
+        priority: Optional[int] = None,
+    ) -> InstanceSpecification:
+        """Declare a thread: an instance stereotyped ``<<SASchedRes>>``.
+
+        ``priority`` fills the UML-SPT ``SAPriority`` tagged value; the
+        MPSoC scheduler uses it to order ready threads (higher first).
+        """
+        instance = self.instance(name, classifier)
+        if priority is None:
+            instance.apply_stereotype(SA_SCHED_RES)
+        else:
+            instance.apply_stereotype(SA_SCHED_RES, SAPriority=priority)
+        return instance
+
+    def io_device(self, name: str, classifier: Optional[str] = None) -> InstanceSpecification:
+        """Declare an ``<<IO>>`` object modelling the environment."""
+        instance = self.instance(name, classifier)
+        instance.apply_stereotype(IO)
+        return instance
+
+    def _instance_or_platform(self, name: str) -> InstanceSpecification:
+        if name == PLATFORM_OBJECT:
+            return self.platform()
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise BuilderError(
+                f"participant {name!r} was not declared; use .thread(), "
+                f".instance() or .io_device() first"
+            ) from None
+
+    def platform(self) -> InstanceSpecification:
+        """The special ``Platform`` object (the Simulink block library)."""
+        if self._platform is None:
+            self._platform = InstanceSpecification(PLATFORM_OBJECT)
+            self.model.add(self._platform)
+            self._instances[PLATFORM_OBJECT] = self._platform
+        return self._platform
+
+    # -- deployment ----------------------------------------------------------
+    def processor(
+        self, name: str, threads: Sequence[str] = ()
+    ) -> Node:
+        """Declare a ``<<SAengine>>`` node and deploy threads onto it."""
+        if name in self._nodes:
+            raise BuilderError(f"node {name!r} already declared")
+        node = Node(name, processor=True)
+        self.model.add_node(node)
+        self._nodes[name] = node
+        for thread_name in threads:
+            node.deploy(self._instances[thread_name])
+        return node
+
+    def bus(self, a: str, b: str, name: str = "bus") -> CommunicationPath:
+        """Connect two declared nodes with a communication path."""
+        return CommunicationPath(self._nodes[a], self._nodes[b], name)
+
+    # -- behaviour ---------------------------------------------------------------
+    def interaction(self, name: str) -> InteractionBuilder:
+        """Open a sequence diagram."""
+        interaction = Interaction(name)
+        self.model.add_interaction(interaction)
+        return InteractionBuilder(self, interaction)
+
+    # -- results -------------------------------------------------------------------
+    def build(self) -> Model:
+        """Return the completed model (also available as ``.model``)."""
+        return self.model

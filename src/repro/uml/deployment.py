@@ -1,0 +1,178 @@
+"""Deployment diagrams.
+
+The paper's deployment diagram (Fig. 3(a)) defines the number of processors
+and allocates threads onto them: ``<<SAengine>>``-stereotyped nodes are
+CPUs, and the ``<<SASchedRes>>``-stereotyped artifacts deployed on them are
+the system threads.  Nodes are connected by communication paths (the bus).
+
+When the thread-allocation optimization (paper §4.2.3) is enabled, the
+deployment diagram becomes optional — :class:`DeploymentPlan` is then
+computed by :mod:`repro.core.allocation` instead of read from the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .model import (
+    Element,
+    InstanceSpecification,
+    NamedElement,
+    UmlError,
+    UnknownElementError,
+)
+from .stereotypes import SA_ENGINE, SA_SCHED_RES
+
+
+class DeploymentError(UmlError):
+    """Raised on malformed deployment specifications."""
+
+
+class Node(NamedElement):
+    """A deployment node.  Stereotype ``<<SAengine>>`` marks processors."""
+
+    def __init__(self, name: str = "", *, processor: bool = False) -> None:
+        super().__init__(name)
+        if processor:
+            self.apply_stereotype(SA_ENGINE)
+        self.deployed: List[InstanceSpecification] = []
+        self.paths: List["CommunicationPath"] = []
+
+    @property
+    def is_processor(self) -> bool:
+        return self.has_stereotype(SA_ENGINE)
+
+    def deploy(self, instance: InstanceSpecification) -> InstanceSpecification:
+        """Deploy an instance (a thread) onto this node.
+
+        Deploying automatically applies ``<<SASchedRes>>`` so the instance
+        is recognized as a thread by the mapping rules.
+        """
+        if instance in self.deployed:
+            return instance
+        if not instance.has_stereotype(SA_SCHED_RES):
+            instance.apply_stereotype(SA_SCHED_RES)
+        self.deployed.append(instance)
+        return instance
+
+    def threads(self) -> List[InstanceSpecification]:
+        """Deployed instances stereotyped ``<<SASchedRes>>``."""
+        return [i for i in self.deployed if i.has_stereotype(SA_SCHED_RES)]
+
+    def owned_elements(self) -> Iterator[Element]:
+        return iter(self.paths)
+
+
+class CommunicationPath(NamedElement):
+    """A physical link (bus) between two nodes."""
+
+    def __init__(self, a: Node, b: Node, name: str = "bus") -> None:
+        super().__init__(name)
+        if a is b:
+            raise DeploymentError("communication path must join distinct nodes")
+        self.ends: Tuple[Node, Node] = (a, b)
+        a.paths.append(self)
+        self.owner = a
+
+    def connects(self, node: Node) -> bool:
+        """Whether ``node`` is one of the path ends."""
+        return node in self.ends
+
+    def other_end(self, node: Node) -> Node:
+        """The opposite end of the path from ``node``."""
+        if node is self.ends[0]:
+            return self.ends[1]
+        if node is self.ends[1]:
+            return self.ends[0]
+        raise DeploymentError(f"node {node.name!r} is not an end of {self.name!r}")
+
+
+class DeploymentPlan:
+    """A resolved thread→processor allocation.
+
+    This is the common currency between the two allocation sources the
+    paper supports: a designer-drawn deployment diagram, or the automatic
+    linear-clustering optimization.  The mapping pass (``repro.core.mapping``)
+    consumes only this class, so both sources are interchangeable.
+    """
+
+    def __init__(self) -> None:
+        self._cpu_of: Dict[str, str] = {}
+        self._cpus: List[str] = []
+
+    # -- construction --------------------------------------------------------
+    def add_cpu(self, cpu: str) -> None:
+        """Declare a CPU (idempotent; preserves order)."""
+        if cpu not in self._cpus:
+            self._cpus.append(cpu)
+
+    def assign(self, thread: str, cpu: str) -> None:
+        """Assign a thread (by name) to a CPU (by name)."""
+        self.add_cpu(cpu)
+        previous = self._cpu_of.get(thread)
+        if previous is not None and previous != cpu:
+            raise DeploymentError(
+                f"thread {thread!r} is already assigned to {previous!r}"
+            )
+        self._cpu_of[thread] = cpu
+
+    @classmethod
+    def from_nodes(cls, nodes: List[Node]) -> "DeploymentPlan":
+        """Extract the plan from ``<<SAengine>>`` deployment nodes."""
+        plan = cls()
+        for node in nodes:
+            if not node.is_processor:
+                continue
+            plan.add_cpu(node.name)
+            for thread in node.threads():
+                plan.assign(thread.name, node.name)
+        return plan
+
+    @classmethod
+    def from_mapping(cls, mapping: Dict[str, str]) -> "DeploymentPlan":
+        """Build a plan from a ``{thread: cpu}`` dictionary."""
+        plan = cls()
+        for thread, cpu in mapping.items():
+            plan.assign(thread, cpu)
+        return plan
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def cpus(self) -> List[str]:
+        return list(self._cpus)
+
+    @property
+    def threads(self) -> List[str]:
+        return list(self._cpu_of)
+
+    def cpu_of(self, thread: str) -> str:
+        """The CPU assigned to ``thread`` (raises when unassigned)."""
+        try:
+            return self._cpu_of[thread]
+        except KeyError:
+            raise UnknownElementError(
+                f"no CPU assignment for thread {thread!r}"
+            ) from None
+
+    def has_thread(self, thread: str) -> bool:
+        """Whether ``thread`` has an assignment."""
+        return thread in self._cpu_of
+
+    def threads_on(self, cpu: str) -> List[str]:
+        """Threads assigned to ``cpu``."""
+        return [t for t, c in self._cpu_of.items() if c == cpu]
+
+    def co_located(self, thread_a: str, thread_b: str) -> bool:
+        """Whether two threads share a CPU (→ intra-CPU channel)."""
+        return self.cpu_of(thread_a) == self.cpu_of(thread_b)
+
+    def as_mapping(self) -> Dict[str, str]:
+        """The plan as a plain ``{thread: cpu}`` dict."""
+        return dict(self._cpu_of)
+
+    def __len__(self) -> int:
+        return len(self._cpu_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        groups = {cpu: self.threads_on(cpu) for cpu in self._cpus}
+        return f"<DeploymentPlan {groups}>"

@@ -1,0 +1,605 @@
+"""Core UML metamodel elements.
+
+This module implements the subset of the UML 2.x abstract syntax needed by
+the paper's design flow: classifiers and their features (classes, operations,
+parameters, properties), instance specifications (the objects that appear on
+sequence-diagram lifelines), packages, and the model root.
+
+The metamodel is deliberately plain — dataclass-like Python objects with
+explicit ownership links — because every downstream consumer (the
+model-to-model transformation engine, the XMI serializer, the mapping rules)
+walks the abstract syntax directly.  There is no reflective EMF-style layer;
+``repro.transform`` provides generic traversal instead.
+
+Identity
+--------
+Every element carries an ``xmi_id``.  Ids are unique within a model and are
+stable across XMI round-trips; they are generated deterministically from a
+per-model counter so that two runs over the same builder script produce
+identical files (important for the golden-file tests).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards for type checkers
+    from .sequence import Interaction
+    from .deployment import Node
+    from .statemachine import StateMachine
+    from .activity import Activity
+
+
+class UmlError(Exception):
+    """Base class for all UML metamodel errors."""
+
+
+class DuplicateNameError(UmlError):
+    """Raised when a uniquely-named element would be created twice."""
+
+
+class UnknownElementError(UmlError):
+    """Raised when a lookup by name or id fails."""
+
+
+class ParameterDirection(enum.Enum):
+    """Direction of an :class:`Parameter`.
+
+    The UML-to-Simulink mapping translates *in* parameters to block input
+    ports, *out*/*return* parameters to block output ports (paper §4.1).
+    """
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+    RETURN = "return"
+
+    @property
+    def is_input(self) -> bool:
+        """``True`` when data flows *into* the invoked operation."""
+        return self in (ParameterDirection.IN, ParameterDirection.INOUT)
+
+    @property
+    def is_output(self) -> bool:
+        """``True`` when data flows *out of* the invoked operation."""
+        return self in (
+            ParameterDirection.OUT,
+            ParameterDirection.INOUT,
+            ParameterDirection.RETURN,
+        )
+
+
+class VisibilityKind(enum.Enum):
+    """UML visibility for named elements."""
+
+    PUBLIC = "public"
+    PRIVATE = "private"
+    PROTECTED = "protected"
+    PACKAGE = "package"
+
+
+class Element:
+    """Root of the UML element hierarchy.
+
+    Attributes
+    ----------
+    xmi_id:
+        Identifier unique within the owning :class:`Model`.  Assigned on
+        attachment to a model (or eagerly via :meth:`Model.register`).
+    owner:
+        The composite parent, or ``None`` for the model root.
+    stereotypes:
+        Mapping from applied stereotype name to its tagged values, e.g.
+        ``{"SAengine": {"SAschedulingPolicy": "fixed"}}``.  Stereotype
+        application is validated against a profile by
+        :mod:`repro.uml.stereotypes`.
+    """
+
+    def __init__(self) -> None:
+        self.xmi_id: Optional[str] = None
+        self.owner: Optional[Element] = None
+        self.stereotypes: Dict[str, Dict[str, object]] = {}
+
+    # -- stereotype helpers -------------------------------------------------
+    def apply_stereotype(self, name: str, **tags: object) -> "Element":
+        """Apply stereotype ``name`` with tagged values; returns ``self``."""
+        values = self.stereotypes.setdefault(name, {})
+        values.update(tags)
+        return self
+
+    def has_stereotype(self, name: str) -> bool:
+        """Return whether stereotype ``name`` is applied to this element."""
+        return name in self.stereotypes
+
+    def tagged_value(self, stereotype: str, tag: str, default: object = None) -> object:
+        """Return a tagged value of an applied stereotype, or ``default``."""
+        return self.stereotypes.get(stereotype, {}).get(tag, default)
+
+    # -- ownership helpers ---------------------------------------------------
+    def owned_elements(self) -> Iterator["Element"]:
+        """Yield direct children.  Subclasses override to expose contents."""
+        return iter(())
+
+    def walk(self) -> Iterator["Element"]:
+        """Yield this element and every transitively owned element."""
+        yield self
+        for child in self.owned_elements():
+            yield from child.walk()
+
+    @property
+    def model(self) -> Optional["Model"]:
+        """The :class:`Model` this element is (transitively) owned by."""
+        node: Optional[Element] = self
+        while node is not None:
+            if isinstance(node, Model):
+                return node
+            node = node.owner
+        return None
+
+
+class NamedElement(Element):
+    """An element with a (possibly qualified) name."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__()
+        self.name = name
+        self.visibility = VisibilityKind.PUBLIC
+
+    @property
+    def qualified_name(self) -> str:
+        """Dot-separated path from the model root, e.g. ``model.pkg.Class``."""
+        parts: List[str] = []
+        node: Optional[Element] = self
+        while node is not None:
+            if isinstance(node, NamedElement) and node.name:
+                parts.append(node.name)
+            node = node.owner
+        return ".".join(reversed(parts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.qualified_name or '?'}>"
+
+
+class Type(NamedElement):
+    """Abstract classifier usable as the type of a typed element."""
+
+
+class PrimitiveType(Type):
+    """A primitive data type (``int``, ``double``, ...).
+
+    ``width_bits`` is used by the task-graph extractor to weight edges by
+    transferred data volume (paper §4.2.3 uses "amount of transferred data"
+    as the edge cost).
+    """
+
+    #: Default widths for well-known primitive names, in bits.
+    DEFAULT_WIDTHS = {
+        "bool": 1,
+        "boolean": 1,
+        "char": 8,
+        "byte": 8,
+        "short": 16,
+        "int": 32,
+        "integer": 32,
+        "long": 64,
+        "float": 32,
+        "double": 64,
+        "real": 64,
+        "string": 256,
+        "void": 0,
+    }
+
+    def __init__(self, name: str, width_bits: Optional[int] = None) -> None:
+        super().__init__(name)
+        if width_bits is None:
+            width_bits = self.DEFAULT_WIDTHS.get(name.lower(), 32)
+        self.width_bits = width_bits
+
+    @property
+    def width_words(self) -> int:
+        """Width rounded up to 32-bit words (minimum 1 for non-void)."""
+        if self.width_bits == 0:
+            return 0
+        return max(1, (self.width_bits + 31) // 32)
+
+
+class ArrayType(Type):
+    """A fixed-length homogeneous array type."""
+
+    def __init__(self, element_type: Type, length: int, name: str = "") -> None:
+        if length < 0:
+            raise UmlError(f"array length must be non-negative, got {length}")
+        super().__init__(name or f"{element_type.name}[{length}]")
+        self.element_type = element_type
+        self.length = length
+
+    @property
+    def width_bits(self) -> int:
+        base = getattr(self.element_type, "width_bits", 32)
+        return base * self.length
+
+
+class TypedElement(NamedElement):
+    """A named element with an optional type."""
+
+    def __init__(self, name: str = "", type: Optional[Type] = None) -> None:
+        super().__init__(name)
+        self.type = type
+
+    @property
+    def data_width_bits(self) -> int:
+        """Data width of this element's type in bits (32 when untyped)."""
+        if self.type is None:
+            return 32
+        return int(getattr(self.type, "width_bits", 32))
+
+
+class Parameter(TypedElement):
+    """A parameter of an :class:`Operation`."""
+
+    def __init__(
+        self,
+        name: str = "",
+        type: Optional[Type] = None,
+        direction: ParameterDirection = ParameterDirection.IN,
+        default: Optional[object] = None,
+    ) -> None:
+        super().__init__(name, type)
+        self.direction = direction
+        self.default = default
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tname = self.type.name if self.type else "?"
+        return f"<Parameter {self.direction.value} {self.name}: {tname}>"
+
+
+class Operation(NamedElement):
+    """A behavioral feature of a :class:`Class`.
+
+    The mapping rules inspect operations through the convenience views
+    :meth:`inputs`, :meth:`outputs` and :attr:`return_parameter`.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.parameters: List[Parameter] = []
+        self.is_abstract = False
+        #: Optional behaviour body (a language/source pair), used by the
+        #: S-function generator to attach C code to user-defined blocks.
+        self.body_language: Optional[str] = None
+        self.body: Optional[str] = None
+
+    def add_parameter(self, parameter: Parameter) -> Parameter:
+        """Append a parameter and register it with the model."""
+        parameter.owner = self
+        self.parameters.append(parameter)
+        model = self.model
+        if model is not None:
+            model.register(parameter)
+        return parameter
+
+    def parameter(self, name: str) -> Parameter:
+        """Look up an owned parameter by name."""
+        for param in self.parameters:
+            if param.name == name:
+                return param
+        raise UnknownElementError(f"operation {self.name!r} has no parameter {name!r}")
+
+    def inputs(self) -> List[Parameter]:
+        """Parameters with an *in* flavour (``in``/``inout``)."""
+        return [p for p in self.parameters if p.direction.is_input]
+
+    def outputs(self) -> List[Parameter]:
+        """Parameters with an *out* flavour (``out``/``inout``/``return``)."""
+        return [p for p in self.parameters if p.direction.is_output]
+
+    @property
+    def return_parameter(self) -> Optional[Parameter]:
+        for param in self.parameters:
+            if param.direction is ParameterDirection.RETURN:
+                return param
+        return None
+
+    def owned_elements(self) -> Iterator[Element]:
+        return iter(self.parameters)
+
+    @property
+    def owning_class(self) -> Optional["Class"]:
+        return self.owner if isinstance(self.owner, Class) else None
+
+
+class Property(TypedElement):
+    """A structural feature (attribute) of a :class:`Class`."""
+
+    def __init__(
+        self,
+        name: str = "",
+        type: Optional[Type] = None,
+        default: Optional[object] = None,
+        is_static: bool = False,
+    ) -> None:
+        super().__init__(name, type)
+        self.default = default
+        self.is_static = is_static
+
+
+class Class(Type):
+    """A UML class.
+
+    ``is_active`` marks classes whose instances own a thread of control —
+    the paper's threads are instances of active classes stereotyped
+    ``<<SASchedRes>>`` on the deployment side.
+    """
+
+    def __init__(self, name: str = "", is_active: bool = False) -> None:
+        super().__init__(name)
+        self.is_active = is_active
+        self.operations: List[Operation] = []
+        self.properties: List[Property] = []
+        self.generalizations: List["Class"] = []
+
+    def add_operation(self, operation: Operation) -> Operation:
+        """Add an operation; names must be unique per class."""
+        if any(op.name == operation.name for op in self.operations):
+            raise DuplicateNameError(
+                f"class {self.name!r} already has operation {operation.name!r}"
+            )
+        operation.owner = self
+        self.operations.append(operation)
+        model = self.model
+        if model is not None:
+            for element in operation.walk():
+                model.register(element)
+        return operation
+
+    def add_property(self, prop: Property) -> Property:
+        """Add a property; names must be unique per class."""
+        if any(p.name == prop.name for p in self.properties):
+            raise DuplicateNameError(
+                f"class {self.name!r} already has property {prop.name!r}"
+            )
+        prop.owner = self
+        self.properties.append(prop)
+        model = self.model
+        if model is not None:
+            model.register(prop)
+        return prop
+
+    def operation(self, name: str) -> Operation:
+        """Look up an operation by name, searching superclasses too."""
+        for op in self.operations:
+            if op.name == name:
+                return op
+        for general in self.generalizations:
+            try:
+                return general.operation(name)
+            except UnknownElementError:
+                continue
+        raise UnknownElementError(f"class {self.name!r} has no operation {name!r}")
+
+    def has_operation(self, name: str) -> bool:
+        """Whether the class (or a superclass) declares ``name``."""
+        try:
+            self.operation(name)
+            return True
+        except UnknownElementError:
+            return False
+
+    def all_operations(self) -> List[Operation]:
+        """Own operations followed by inherited ones (duplicates removed)."""
+        seen = set()
+        result: List[Operation] = []
+        for op in self.operations:
+            seen.add(op.name)
+            result.append(op)
+        for general in self.generalizations:
+            for op in general.all_operations():
+                if op.name not in seen:
+                    seen.add(op.name)
+                    result.append(op)
+        return result
+
+    def owned_elements(self) -> Iterator[Element]:
+        return itertools.chain(self.operations, self.properties)
+
+
+class InstanceSpecification(NamedElement):
+    """An instance of a classifier — the *object* behind a lifeline.
+
+    Sequence-diagram lifelines reference instance specifications; the
+    deployment diagram allocates (active) instances onto nodes.
+    """
+
+    def __init__(self, name: str = "", classifier: Optional[Class] = None) -> None:
+        super().__init__(name)
+        self.classifier = classifier
+        self.slots: Dict[str, object] = {}
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the instance owns a control thread (active classifier)."""
+        return bool(self.classifier and self.classifier.is_active)
+
+    def classifier_operation(self, name: str) -> Optional[Operation]:
+        """Resolve an operation on the classifier, ``None`` when untyped."""
+        if self.classifier is None:
+            return None
+        try:
+            return self.classifier.operation(name)
+        except UnknownElementError:
+            return None
+
+
+class Package(NamedElement):
+    """A namespace grouping packageable elements."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.packaged: List[NamedElement] = []
+
+    def add(self, element: NamedElement) -> NamedElement:
+        """Add a packageable element (class, instance, nested package...)."""
+        element.owner = self
+        self.packaged.append(element)
+        model = self.model
+        if model is not None:
+            for item in element.walk():
+                model.register(item)
+        return element
+
+    def classes(self) -> List[Class]:
+        """Directly packaged classes."""
+        return [e for e in self.packaged if isinstance(e, Class)]
+
+    def instances(self) -> List[InstanceSpecification]:
+        """Directly packaged instance specifications."""
+        return [e for e in self.packaged if isinstance(e, InstanceSpecification)]
+
+    def find(self, name: str) -> NamedElement:
+        """Look up a direct member by name."""
+        for element in self.packaged:
+            if element.name == name:
+                return element
+        raise UnknownElementError(f"package {self.name!r} has no element {name!r}")
+
+    def owned_elements(self) -> Iterator[Element]:
+        return iter(self.packaged)
+
+
+class Model(Package):
+    """The root of a UML model.
+
+    Owns the primitive-type library, packaged elements, and the behavioural
+    diagrams the design flow consumes: interactions (sequence diagrams),
+    deployment nodes, state machines, and activities.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        super().__init__(name)
+        self._id_counter = itertools.count(1)
+        self._elements_by_id: Dict[str, Element] = {}
+        self.primitive_types: Dict[str, PrimitiveType] = {}
+        self.interactions: List["Interaction"] = []
+        self.nodes: List["Node"] = []
+        self.state_machines: List["StateMachine"] = []
+        self.activities: List["Activity"] = []
+        self.applied_profiles: List[str] = []
+        self.register(self)
+
+    # -- identity ------------------------------------------------------------
+    def register(self, element: Element) -> str:
+        """Assign (or confirm) an ``xmi_id`` and index the element."""
+        if element.xmi_id is None:
+            element.xmi_id = f"id{next(self._id_counter):05d}"
+        existing = self._elements_by_id.get(element.xmi_id)
+        if existing is not None and existing is not element:
+            raise UmlError(f"duplicate xmi id {element.xmi_id!r}")
+        self._elements_by_id[element.xmi_id] = element
+        return element.xmi_id
+
+    def by_id(self, xmi_id: str) -> Element:
+        """Resolve an element by its ``xmi_id``."""
+        try:
+            return self._elements_by_id[xmi_id]
+        except KeyError:
+            raise UnknownElementError(f"no element with id {xmi_id!r}") from None
+
+    def advance_id_counter(self, beyond: int) -> None:
+        """Ensure generated ids are numbered strictly above ``beyond``.
+
+        Deserializers call this after loading a file so elements added
+        later cannot collide with ids read from it.
+        """
+        self._id_counter = itertools.count(beyond + 1)
+
+    # -- primitive types -----------------------------------------------------
+    def primitive(self, name: str) -> PrimitiveType:
+        """Return (creating on demand) the primitive type called ``name``."""
+        if name not in self.primitive_types:
+            ptype = PrimitiveType(name)
+            ptype.owner = self
+            self.register(ptype)
+            self.primitive_types[name] = ptype
+        return self.primitive_types[name]
+
+    # -- diagram containers ----------------------------------------------------
+    def add_interaction(self, interaction: "Interaction") -> "Interaction":
+        """Attach an interaction (sequence diagram) to the model."""
+        interaction.owner = self
+        self.interactions.append(interaction)
+        for element in interaction.walk():
+            self.register(element)
+        return interaction
+
+    def add_node(self, node: "Node") -> "Node":
+        """Attach a deployment node to the model."""
+        node.owner = self
+        self.nodes.append(node)
+        for element in node.walk():
+            self.register(element)
+        return node
+
+    def add_state_machine(self, machine: "StateMachine") -> "StateMachine":
+        """Attach a state machine to the model."""
+        machine.owner = self
+        self.state_machines.append(machine)
+        for element in machine.walk():
+            self.register(element)
+        return machine
+
+    def add_activity(self, activity: "Activity") -> "Activity":
+        """Attach an activity to the model."""
+        activity.owner = self
+        self.activities.append(activity)
+        for element in activity.walk():
+            self.register(element)
+        return activity
+
+    # -- lookups ----------------------------------------------------------------
+    def all_classes(self) -> List[Class]:
+        """Every class anywhere in the model."""
+        return [e for e in self.walk() if isinstance(e, Class)]
+
+    def all_instances(self) -> List[InstanceSpecification]:
+        """Every instance specification anywhere in the model."""
+        return [e for e in self.walk() if isinstance(e, InstanceSpecification)]
+
+    def instance(self, name: str) -> InstanceSpecification:
+        """Look up an instance by name, model-wide."""
+        for inst in self.all_instances():
+            if inst.name == name:
+                return inst
+        raise UnknownElementError(f"model has no instance named {name!r}")
+
+    def class_named(self, name: str) -> Class:
+        """Look up a class by name, model-wide."""
+        for cls in self.all_classes():
+            if cls.name == name:
+                return cls
+        raise UnknownElementError(f"model has no class named {name!r}")
+
+    def interaction(self, name: str) -> "Interaction":
+        """Look up an interaction by name."""
+        for interaction in self.interactions:
+            if interaction.name == name:
+                return interaction
+        raise UnknownElementError(f"model has no interaction named {name!r}")
+
+    def owned_elements(self) -> Iterator[Element]:
+        return itertools.chain(
+            self.primitive_types.values(),
+            self.packaged,
+            self.interactions,
+            self.nodes,
+            self.state_machines,
+            self.activities,
+        )
+
+
+def elements_of_type(root: Element, kind: type) -> Iterable[Element]:
+    """Yield every element under ``root`` that is an instance of ``kind``."""
+    for element in root.walk():
+        if isinstance(element, kind):
+            yield element

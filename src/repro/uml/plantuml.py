@@ -1,0 +1,190 @@
+"""PlantUML export of UML models.
+
+The paper's designers look at their diagrams in MagicDraw; our programmatic
+models deserve the same inspectability.  This module renders the three
+diagram kinds the flow consumes as PlantUML text (viewable with any
+PlantUML renderer, or pasted into plantuml.com):
+
+- sequence diagrams (:func:`interaction_to_plantuml`) — participants keep
+  their role colouring: threads, ``<<IO>>`` objects, the ``Platform``
+  library;
+- deployment diagrams (:func:`deployment_to_plantuml`) — ``<<SAengine>>``
+  nodes with their deployed threads and bus links;
+- state machines (:func:`state_machine_to_plantuml`) — including composite
+  states.
+
+:func:`model_to_plantuml` bundles everything into one text per diagram,
+and the CLI exposes it as ``repro render``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .builder import PLATFORM_OBJECT
+from .model import Model
+from .sequence import CombinedFragment, Interaction, Message
+from .statemachine import (
+    FinalState,
+    Pseudostate,
+    PseudostateKind,
+    Region,
+    State,
+    StateMachine,
+)
+
+
+def interaction_to_plantuml(interaction: Interaction) -> str:
+    """Render one sequence diagram as PlantUML."""
+    lines = [f"@startuml", f"title {interaction.name}"]
+    for lifeline in interaction.lifelines:
+        if lifeline.is_thread:
+            lines.append(
+                f'participant "{lifeline.name}" as {_ident(lifeline.name)} '
+                f"<<SASchedRes>>"
+            )
+        elif lifeline.is_io:
+            lines.append(
+                f'entity "{lifeline.name}" as {_ident(lifeline.name)} <<IO>>'
+            )
+        elif lifeline.name == PLATFORM_OBJECT:
+            lines.append(
+                f'collections "{lifeline.name}" as {_ident(lifeline.name)}'
+            )
+        else:
+            lines.append(
+                f'participant "{lifeline.name}" as {_ident(lifeline.name)}'
+            )
+    _render_fragments(interaction.fragments, lines)
+    lines.append("@enduml")
+    return "\n".join(lines) + "\n"
+
+
+def _render_fragments(fragments, lines: List[str]) -> None:
+    for fragment in fragments:
+        if isinstance(fragment, Message):
+            lines.append(_message_line(fragment))
+        elif isinstance(fragment, CombinedFragment):
+            keyword = fragment.operator.value
+            first = True
+            for operand in fragment.operands:
+                guard = operand.guard or ""
+                if first:
+                    label = f" {guard}" if guard else (
+                        f" {fragment.iterations}x"
+                        if fragment.iterations
+                        else ""
+                    )
+                    lines.append(f"{keyword}{label}")
+                    first = False
+                else:
+                    lines.append(f"else {guard}".rstrip())
+                _render_fragments(operand.fragments, lines)
+            lines.append("end")
+
+
+def _message_line(message: Message) -> str:
+    args = ", ".join(str(a.value) for a in message.arguments)
+    assign = f"{message.result} = " if message.result else ""
+    arrow = "->" if message.sender is not message.receiver else "->"
+    return (
+        f"{_ident(message.sender.name)} {arrow} "
+        f"{_ident(message.receiver.name)}: {assign}{message.operation}({args})"
+    )
+
+
+def deployment_to_plantuml(model: Model) -> str:
+    """Render the deployment view (nodes, threads, buses)."""
+    lines = ["@startuml", f"title {model.name} deployment"]
+    for node in model.nodes:
+        stereotype = " <<SAengine>>" if node.is_processor else ""
+        lines.append(f'node "{node.name}"{stereotype} {{')
+        for thread in node.threads():
+            lines.append(
+                f'  artifact "{thread.name}" as '
+                f"{_ident(node.name)}_{_ident(thread.name)} <<SASchedRes>>"
+            )
+        lines.append("}")
+    for node in model.nodes:
+        for path in node.paths:
+            a, b = path.ends
+            lines.append(f'"{a.name}" -- "{b.name}" : {path.name}')
+    lines.append("@enduml")
+    return "\n".join(lines) + "\n"
+
+
+def state_machine_to_plantuml(machine: StateMachine) -> str:
+    """Render a state machine (composite states become nested blocks)."""
+    lines = ["@startuml", f"title {machine.name}"]
+    for region in machine.regions:
+        _render_region(region, lines, indent="")
+    lines.append("@enduml")
+    return "\n".join(lines) + "\n"
+
+
+def _render_region(region: Region, lines: List[str], indent: str) -> None:
+    for vertex in region.vertices:
+        if isinstance(vertex, Pseudostate):
+            continue
+        if isinstance(vertex, FinalState):
+            continue  # rendered via transitions to [*]
+        if isinstance(vertex, State) and vertex.is_composite:
+            lines.append(f'{indent}state "{vertex.name}" as {_ident(vertex.name)} {{')
+            for nested in vertex.regions:
+                _render_region(nested, lines, indent + "  ")
+            lines.append(f"{indent}}}")
+        elif isinstance(vertex, State):
+            lines.append(f'{indent}state "{vertex.name}" as {_ident(vertex.name)}')
+            if vertex.entry:
+                lines.append(
+                    f"{indent}{_ident(vertex.name)} : entry / {vertex.entry}"
+                )
+            if vertex.exit:
+                lines.append(
+                    f"{indent}{_ident(vertex.name)} : exit / {vertex.exit}"
+                )
+    initial = region.initial()
+    if initial is not None:
+        for transition in initial.outgoing:
+            target = transition.target
+            lines.append(f"{indent}[*] --> {_ident(target.name)}")
+    for transition in region.transitions:
+        if isinstance(transition.source, Pseudostate):
+            continue
+        label_parts = []
+        if transition.trigger:
+            label_parts.append(transition.trigger)
+        if transition.guard:
+            label_parts.append(f"[{transition.guard}]")
+        if transition.effect:
+            label_parts.append(f"/ {transition.effect}")
+        label = f" : {' '.join(label_parts)}" if label_parts else ""
+        target_name = (
+            "[*]"
+            if isinstance(transition.target, FinalState)
+            else _ident(transition.target.name)
+        )
+        lines.append(
+            f"{indent}{_ident(transition.source.name)} --> "
+            f"{target_name}{label}"
+        )
+
+
+def model_to_plantuml(model: Model) -> Dict[str, str]:
+    """Every diagram of the model as ``{filename: plantuml text}``."""
+    artifacts: Dict[str, str] = {}
+    for interaction in model.interactions:
+        artifacts[f"sd_{interaction.name}.puml"] = interaction_to_plantuml(
+            interaction
+        )
+    if model.nodes:
+        artifacts["deployment.puml"] = deployment_to_plantuml(model)
+    for machine in model.state_machines:
+        artifacts[f"sm_{machine.name}.puml"] = state_machine_to_plantuml(
+            machine
+        )
+    return artifacts
+
+
+def _ident(name: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in name)

@@ -1,0 +1,445 @@
+"""Interactions (UML sequence diagrams).
+
+The paper captures each thread's behaviour with a sequence diagram: the
+thread's lifeline invokes operations on passive objects (which become
+Simulink blocks), on other threads (which become communication channels) and
+on ``<<IO>>`` objects (which become system ports).
+
+Dataflow is expressed through *argument variables*: when a message carries an
+argument with the same name as the result variable of an earlier message, a
+data link is implied between the producing and consuming blocks (paper §4.1:
+"The r1 argument is passed from calc to mult, thus a connection is
+instantiated between these ports").
+
+Example
+-------
+The didactic example of the paper's Fig. 3(b) is written as::
+
+    t1 = Lifeline("T1", instance=t1_obj)
+    interaction.add_message(Message(t1, dec_ll, "dec", arguments=["x"],
+                                    result="r2"))
+    interaction.add_message(Message(t1, platform_ll, "mult",
+                                    arguments=["r1", "r2"], result="r3"))
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from .model import (
+    Element,
+    InstanceSpecification,
+    NamedElement,
+    Operation,
+    UmlError,
+    UnknownElementError,
+)
+
+
+class SequenceError(UmlError):
+    """Raised on malformed interactions."""
+
+
+class MessageSort(enum.Enum):
+    """Kind of message (UML ``MessageSort`` subset)."""
+
+    SYNCH_CALL = "synchCall"
+    ASYNCH_CALL = "asynchCall"
+    REPLY = "reply"
+    CREATE = "createMessage"
+    DELETE = "deleteMessage"
+
+
+class Lifeline(NamedElement):
+    """A participant in an interaction, representing an instance."""
+
+    def __init__(
+        self, name: str = "", instance: Optional[InstanceSpecification] = None
+    ) -> None:
+        super().__init__(name or (instance.name if instance else ""))
+        self.instance = instance
+
+    @property
+    def is_thread(self) -> bool:
+        """Whether this lifeline represents a thread (active instance or
+        ``<<SASchedRes>>``-stereotyped instance)."""
+        if self.instance is None:
+            return False
+        from .stereotypes import is_thread
+
+        return self.instance.is_active or is_thread(self.instance)
+
+    @property
+    def is_io(self) -> bool:
+        """Whether this lifeline represents the external environment."""
+        if self.instance is None:
+            return False
+        from .stereotypes import is_io
+
+        return is_io(self.instance) or (
+            self.instance.classifier is not None
+            and is_io(self.instance.classifier)
+        )
+
+
+Literal = Union[int, float, bool, str]
+
+
+class Argument:
+    """An actual argument of a message.
+
+    Either a *variable reference* (``is_variable`` true, linking dataflow
+    between messages) or a *literal* constant.
+    """
+
+    def __init__(self, value: Literal, is_variable: Optional[bool] = None) -> None:
+        self.value = value
+        if is_variable is None:
+            is_variable = isinstance(value, str) and value.isidentifier()
+        self.is_variable = is_variable
+
+    @property
+    def variable(self) -> Optional[str]:
+        return str(self.value) if self.is_variable else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "var" if self.is_variable else "lit"
+        return f"<Argument {kind} {self.value!r}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Argument):
+            return NotImplemented
+        return (self.value, self.is_variable) == (other.value, other.is_variable)
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.is_variable))
+
+
+def _coerce_argument(value: Union[Argument, Literal]) -> Argument:
+    return value if isinstance(value, Argument) else Argument(value)
+
+
+class Message(Element):
+    """A message between two lifelines.
+
+    Parameters
+    ----------
+    sender, receiver:
+        The lifelines at the message ends.  Self-messages (``sender is
+        receiver``) model local computation of a thread.
+    operation:
+        Name of the invoked operation.  Resolution against the receiver's
+        classifier happens lazily via :meth:`resolved_operation`.
+    arguments:
+        Actual arguments; strings that look like identifiers are treated as
+        dataflow variables, everything else as literals.
+    result:
+        Name of the variable the return value is assigned to, if any.
+    """
+
+    def __init__(
+        self,
+        sender: Lifeline,
+        receiver: Lifeline,
+        operation: str,
+        arguments: Optional[Sequence[Union[Argument, Literal]]] = None,
+        result: Optional[str] = None,
+        sort: MessageSort = MessageSort.SYNCH_CALL,
+    ) -> None:
+        super().__init__()
+        if not operation:
+            raise SequenceError("message needs a non-empty operation name")
+        self.sender = sender
+        self.receiver = receiver
+        self.operation = operation
+        self.arguments: List[Argument] = [
+            _coerce_argument(a) for a in (arguments or [])
+        ]
+        self.result = result
+        self.sort = sort
+
+    # -- classification helpers (paper §4.1 naming conventions) ------------
+    @property
+    def is_send(self) -> bool:
+        """Inter-thread *send*: operation name prefixed ``Set``/``set``."""
+        return self.operation.lower().startswith("set")
+
+    @property
+    def is_receive(self) -> bool:
+        """Inter-thread *receive*: operation name prefixed ``Get``/``get``."""
+        return self.operation.lower().startswith("get")
+
+    @property
+    def channel_name(self) -> str:
+        """Channel identity for Set/Get pairs: the suffix after the prefix.
+
+        ``setValue``/``getValue`` both map to channel ``value``.
+        """
+        name = self.operation
+        for prefix in ("Set", "set", "Get", "get"):
+            if name.startswith(prefix):
+                return name[len(prefix):].lstrip("_").lower() or "data"
+        return name.lower()
+
+    @property
+    def is_inter_thread(self) -> bool:
+        """True when both ends are distinct thread lifelines."""
+        return (
+            self.sender is not self.receiver
+            and self.sender.is_thread
+            and self.receiver.is_thread
+        )
+
+    @property
+    def is_io_access(self) -> bool:
+        """True when the receiver models the external environment."""
+        return self.receiver.is_io
+
+    def resolved_operation(self) -> Optional[Operation]:
+        """The :class:`Operation` on the receiver's classifier, if typed."""
+        if self.receiver.instance is None:
+            return None
+        return self.receiver.instance.classifier_operation(self.operation)
+
+    def variables_read(self) -> List[str]:
+        """Dataflow variables consumed by this message (its var arguments)."""
+        return [a.variable for a in self.arguments if a.is_variable]  # type: ignore[misc]
+
+    def variables_written(self) -> List[str]:
+        """Dataflow variables produced by this message (its result)."""
+        return [self.result] if self.result else []
+
+    def data_width_bits(self) -> int:
+        """Estimated transferred data width in bits.
+
+        Uses the resolved operation's parameter and return types when
+        available; falls back to 32 bits per argument plus 32 for a result.
+        This weight feeds the task-graph edge costs (paper §4.2.3).
+        """
+        operation = self.resolved_operation()
+        if operation is not None and operation.parameters:
+            width = sum(p.data_width_bits for p in operation.inputs())
+            ret = operation.return_parameter
+            if ret is not None:
+                width += ret.data_width_bits
+            for out in operation.outputs():
+                if out.direction.value != "return":
+                    width += out.data_width_bits
+            if width:
+                return width
+        width = 32 * len(self.arguments)
+        if self.result:
+            width += 32
+        return width or 32
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        args = ", ".join(str(a.value) for a in self.arguments)
+        assign = f"{self.result} = " if self.result else ""
+        return (
+            f"<Message {self.sender.name}->{self.receiver.name}: "
+            f"{assign}{self.operation}({args})>"
+        )
+
+
+class InteractionOperator(enum.Enum):
+    """Combined-fragment operators (UML subset)."""
+
+    LOOP = "loop"
+    ALT = "alt"
+    OPT = "opt"
+    PAR = "par"
+
+
+class InteractionOperand(Element):
+    """One operand of a combined fragment (guard + nested fragments)."""
+
+    def __init__(self, guard: str = "") -> None:
+        super().__init__()
+        self.guard = guard
+        self.fragments: List[Element] = []
+
+    def add(self, fragment: Element) -> Element:
+        """Nest a message or fragment inside this operand."""
+        fragment.owner = self
+        self.fragments.append(fragment)
+        model = self.model
+        if model is not None:
+            for element in fragment.walk():
+                model.register(element)
+        return fragment
+
+    def owned_elements(self) -> Iterator[Element]:
+        return iter(self.fragments)
+
+
+class CombinedFragment(Element):
+    """A combined fragment (``loop``, ``alt``, ``opt``, ``par``)."""
+
+    def __init__(
+        self,
+        operator: InteractionOperator,
+        operands: Optional[Sequence[InteractionOperand]] = None,
+        iterations: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.operator = operator
+        self.operands: List[InteractionOperand] = []
+        #: Loop bound when statically known (used for edge-cost scaling).
+        self.iterations = iterations
+        for operand in operands or []:
+            self.add_operand(operand)
+
+    def add_operand(self, operand: InteractionOperand) -> InteractionOperand:
+        """Append an operand to the fragment."""
+        operand.owner = self
+        self.operands.append(operand)
+        model = self.model
+        if model is not None:
+            for element in operand.walk():
+                model.register(element)
+        return operand
+
+    def owned_elements(self) -> Iterator[Element]:
+        return iter(self.operands)
+
+
+class Interaction(NamedElement):
+    """A sequence diagram: lifelines plus an ordered fragment list."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.lifelines: List[Lifeline] = []
+        self.fragments: List[Element] = []
+
+    # -- construction --------------------------------------------------------
+    def add_lifeline(self, lifeline: Lifeline) -> Lifeline:
+        """Add a lifeline; names must be unique per interaction."""
+        if any(ll.name == lifeline.name for ll in self.lifelines):
+            raise SequenceError(
+                f"interaction {self.name!r} already has lifeline "
+                f"{lifeline.name!r}"
+            )
+        lifeline.owner = self
+        self.lifelines.append(lifeline)
+        model = self.model
+        if model is not None:
+            model.register(lifeline)
+        return lifeline
+
+    def lifeline(self, name: str) -> Lifeline:
+        """Look up a lifeline by name."""
+        for lifeline in self.lifelines:
+            if lifeline.name == name:
+                return lifeline
+        raise UnknownElementError(
+            f"interaction {self.name!r} has no lifeline {name!r}"
+        )
+
+    def lifeline_for(self, instance: InstanceSpecification) -> Lifeline:
+        """Return (creating on demand) the lifeline covering ``instance``."""
+        for lifeline in self.lifelines:
+            if lifeline.instance is instance:
+                return lifeline
+        return self.add_lifeline(Lifeline(instance.name, instance=instance))
+
+    def add_message(self, message: Message) -> Message:
+        """Append a message (its ends must be covered lifelines)."""
+        self._check_ends(message)
+        message.owner = self
+        self.fragments.append(message)
+        model = self.model
+        if model is not None:
+            model.register(message)
+        return message
+
+    def add_fragment(self, fragment: CombinedFragment) -> CombinedFragment:
+        """Append a combined fragment (checking lifeline coverage)."""
+        for message in _messages_under(fragment):
+            self._check_ends(message)
+        fragment.owner = self
+        self.fragments.append(fragment)
+        model = self.model
+        if model is not None:
+            for element in fragment.walk():
+                model.register(element)
+        return fragment
+
+    def _check_ends(self, message: Message) -> None:
+        for end in (message.sender, message.receiver):
+            if end not in self.lifelines:
+                raise SequenceError(
+                    f"message {message.operation!r} references lifeline "
+                    f"{end.name!r} not covered by interaction {self.name!r}"
+                )
+
+    # -- queries ---------------------------------------------------------------
+    def messages(self, *, flatten: bool = True) -> List[Message]:
+        """All messages in diagram order.
+
+        With ``flatten`` true (default), messages inside combined fragments
+        are included (each loop body once).
+        """
+        result: List[Message] = []
+        for fragment in self.fragments:
+            if isinstance(fragment, Message):
+                result.append(fragment)
+            elif flatten and isinstance(fragment, CombinedFragment):
+                result.extend(_messages_under(fragment))
+        return result
+
+    def messages_from(self, lifeline: Lifeline) -> List[Message]:
+        """Messages sent by ``lifeline``, in diagram order."""
+        return [m for m in self.messages() if m.sender is lifeline]
+
+    def messages_to(self, lifeline: Lifeline) -> List[Message]:
+        """Messages received by ``lifeline``, in diagram order."""
+        return [m for m in self.messages() if m.receiver is lifeline]
+
+    def thread_lifelines(self) -> List[Lifeline]:
+        """Lifelines representing threads."""
+        return [ll for ll in self.lifelines if ll.is_thread]
+
+    def message_multiplicity(self, message: Message) -> int:
+        """Static repetition count of a message (loop bounds multiplied)."""
+        count = 1
+        node: Optional[Element] = message.owner
+        while node is not None and node is not self:
+            if isinstance(node, CombinedFragment):
+                if (
+                    node.operator is InteractionOperator.LOOP
+                    and node.iterations
+                ):
+                    count *= node.iterations
+            node = node.owner
+        return count
+
+    def owned_elements(self) -> Iterator[Element]:
+        import itertools
+
+        return itertools.chain(self.lifelines, self.fragments)
+
+
+def _messages_under(fragment: CombinedFragment) -> List[Message]:
+    result: List[Message] = []
+    for operand in fragment.operands:
+        for nested in operand.fragments:
+            if isinstance(nested, Message):
+                result.append(nested)
+            elif isinstance(nested, CombinedFragment):
+                result.extend(_messages_under(nested))
+    return result
+
+
+def dataflow_pairs(interactions: Sequence[Interaction]) -> Dict[str, List[Message]]:
+    """Index messages by the dataflow variables they touch.
+
+    Returns a mapping ``variable -> [messages reading or writing it]`` in
+    diagram order, used by the mapping pass to wire data links.
+    """
+    index: Dict[str, List[Message]] = {}
+    for interaction in interactions:
+        for message in interaction.messages():
+            for var in message.variables_read() + message.variables_written():
+                index.setdefault(var, []).append(message)
+    return index

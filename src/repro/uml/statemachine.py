@@ -1,0 +1,228 @@
+"""UML state machines.
+
+The paper's design flow (Fig. 1) routes control-flow subsystems through
+"UML tool code generation" from state diagrams / FSM-like models.  This
+module provides the UML state-machine abstract syntax; the mapping onto the
+flat FSM metamodel that the code generators consume lives in
+:mod:`repro.fsm.from_uml`.
+
+Supported subset: composite/simple/initial/final states, transitions with
+trigger/guard/effect, entry/exit/do activities, and hierarchical regions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterator, List, Optional
+
+from .model import Element, NamedElement, UmlError, UnknownElementError
+
+
+class StateMachineError(UmlError):
+    """Raised on malformed state machines."""
+
+
+class PseudostateKind(enum.Enum):
+    """Kinds of pseudostates (subset)."""
+
+    INITIAL = "initial"
+    CHOICE = "choice"
+    JUNCTION = "junction"
+
+
+class Vertex(NamedElement):
+    """A node in a state-machine region (state or pseudostate)."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.incoming: List["Transition"] = []
+        self.outgoing: List["Transition"] = []
+
+    @property
+    def container(self) -> Optional["Region"]:
+        return self.owner if isinstance(self.owner, Region) else None
+
+
+class Pseudostate(Vertex):
+    """A transient vertex (initial, choice, junction)."""
+
+    def __init__(
+        self, kind: PseudostateKind = PseudostateKind.INITIAL, name: str = ""
+    ) -> None:
+        super().__init__(name or kind.value)
+        self.kind = kind
+
+
+class State(Vertex):
+    """A (possibly composite) state."""
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        entry: Optional[str] = None,
+        exit: Optional[str] = None,
+        do: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        self.entry = entry
+        self.exit = exit
+        self.do = do
+        self.regions: List["Region"] = []
+
+    @property
+    def is_composite(self) -> bool:
+        return bool(self.regions)
+
+    def add_region(self, region: "Region") -> "Region":
+        """Nest a region, making this state composite."""
+        region.owner = self
+        self.regions.append(region)
+        model = self.model
+        if model is not None:
+            for element in region.walk():
+                model.register(element)
+        return region
+
+    def owned_elements(self) -> Iterator[Element]:
+        return iter(self.regions)
+
+
+class FinalState(State):
+    """A final state — no outgoing transitions allowed."""
+
+
+class Transition(Element):
+    """A transition between vertices.
+
+    ``trigger`` is an event name (empty for completion transitions),
+    ``guard`` a boolean expression over FSM variables, ``effect`` an action
+    script executed on firing.
+    """
+
+    def __init__(
+        self,
+        source: Vertex,
+        target: Vertex,
+        trigger: str = "",
+        guard: str = "",
+        effect: str = "",
+    ) -> None:
+        super().__init__()
+        if isinstance(source, FinalState):
+            raise StateMachineError(
+                f"final state {source.name!r} cannot have outgoing transitions"
+            )
+        self.source = source
+        self.target = target
+        self.trigger = trigger
+        self.guard = guard
+        self.effect = effect
+        source.outgoing.append(self)
+        target.incoming.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.trigger or "ε"
+        if self.guard:
+            label += f"[{self.guard}]"
+        return f"<Transition {self.source.name}-{label}->{self.target.name}>"
+
+
+class Region(NamedElement):
+    """An orthogonal region containing vertices and transitions."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.vertices: List[Vertex] = []
+        self.transitions: List[Transition] = []
+
+    def add_vertex(self, vertex: Vertex) -> Vertex:
+        """Add a vertex; names must be unique per region."""
+        if any(v.name == vertex.name for v in self.vertices):
+            raise StateMachineError(
+                f"region {self.name!r} already has vertex {vertex.name!r}"
+            )
+        vertex.owner = self
+        self.vertices.append(vertex)
+        model = self.model
+        if model is not None:
+            for element in vertex.walk():
+                model.register(element)
+        return vertex
+
+    def add_transition(self, transition: Transition) -> Transition:
+        """Add a transition owned by this region."""
+        transition.owner = self
+        self.transitions.append(transition)
+        model = self.model
+        if model is not None:
+            model.register(transition)
+        return transition
+
+    def vertex(self, name: str) -> Vertex:
+        """Look up a vertex by name."""
+        for vertex in self.vertices:
+            if vertex.name == name:
+                return vertex
+        raise UnknownElementError(f"region {self.name!r} has no vertex {name!r}")
+
+    def initial(self) -> Optional[Pseudostate]:
+        """The initial pseudostate, or ``None``."""
+        for vertex in self.vertices:
+            if (
+                isinstance(vertex, Pseudostate)
+                and vertex.kind is PseudostateKind.INITIAL
+            ):
+                return vertex
+        return None
+
+    def states(self) -> List[State]:
+        """The (non-pseudo) states of the region."""
+        return [v for v in self.vertices if isinstance(v, State)]
+
+    def owned_elements(self) -> Iterator[Element]:
+        return itertools.chain(self.vertices, self.transitions)
+
+
+class StateMachine(NamedElement):
+    """A state machine with one or more (top-level) regions."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.regions: List[Region] = []
+
+    def add_region(self, region: Region) -> Region:
+        """Append a (top-level) region."""
+        region.owner = self
+        self.regions.append(region)
+        model = self.model
+        if model is not None:
+            for element in region.walk():
+                model.register(element)
+        return region
+
+    def main_region(self) -> Region:
+        """The first region, created on demand."""
+        if not self.regions:
+            return self.add_region(Region("main"))
+        return self.regions[0]
+
+    def all_states(self) -> List[State]:
+        """Every state at any depth."""
+        return [e for e in self.walk() if isinstance(e, State)]
+
+    def all_transitions(self) -> List[Transition]:
+        """Every transition at any depth."""
+        return [e for e in self.walk() if isinstance(e, Transition)]
+
+    def events(self) -> List[str]:
+        """Distinct non-empty trigger names, in first-seen order."""
+        seen: List[str] = []
+        for transition in self.all_transitions():
+            if transition.trigger and transition.trigger not in seen:
+                seen.append(transition.trigger)
+        return seen
+
+    def owned_elements(self) -> Iterator[Element]:
+        return iter(self.regions)

@@ -1,0 +1,184 @@
+"""Profiles and stereotypes.
+
+The paper annotates the UML model with a small subset of the UML Profile for
+Schedulability, Performance and Time (UML-SPT):
+
+- ``<<SAengine>>`` marks deployment nodes that are processors;
+- ``<<SASchedRes>>`` marks schedulable resources — the system threads;
+
+and defines one new stereotype:
+
+- ``<<IO>>`` marks objects that stand for the external environment; method
+  calls on them with ``get``/``set`` prefixes become system-level input and
+  output ports in the generated Simulink model (paper §4.1).
+
+This module provides a light profile registry so stereotype applications can
+be validated (catching e.g. ``<<SAEngine>>`` typos early) and so new profiles
+can be registered by users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .model import Element, UmlError
+
+
+class StereotypeError(UmlError):
+    """Raised on invalid stereotype applications."""
+
+
+@dataclass
+class StereotypeDefinition:
+    """Definition of a stereotype within a profile.
+
+    Parameters
+    ----------
+    name:
+        Stereotype name as written between guillemets.
+    metaclasses:
+        Names of metamodel classes the stereotype may extend (empty means
+        any element).
+    tags:
+        Allowed tagged-value names.
+    """
+
+    name: str
+    metaclasses: Sequence[str] = ()
+    tags: Sequence[str] = ()
+
+    def applicable_to(self, element: Element) -> bool:
+        """Whether the stereotype may extend ``element``'s metaclass."""
+        if not self.metaclasses:
+            return True
+        bases = {cls.__name__ for cls in type(element).__mro__}
+        return any(meta in bases for meta in self.metaclasses)
+
+
+@dataclass
+class Profile:
+    """A named collection of stereotype definitions."""
+
+    name: str
+    stereotypes: Dict[str, StereotypeDefinition] = field(default_factory=dict)
+
+    def define(self, definition: StereotypeDefinition) -> StereotypeDefinition:
+        """Register a stereotype definition in this profile."""
+        self.stereotypes[definition.name] = definition
+        return definition
+
+    def stereotype(self, name: str) -> StereotypeDefinition:
+        """Look up a stereotype definition by name."""
+        try:
+            return self.stereotypes[name]
+        except KeyError:
+            raise StereotypeError(
+                f"profile {self.name!r} does not define stereotype {name!r}"
+            ) from None
+
+
+#: Name of the processor stereotype (UML-SPT execution engine).
+SA_ENGINE = "SAengine"
+#: Name of the thread / schedulable-resource stereotype (UML-SPT).
+SA_SCHED_RES = "SASchedRes"
+#: Name of the paper's new external-environment stereotype.
+IO = "IO"
+
+
+def spt_profile() -> Profile:
+    """Build the UML-SPT subset profile used by the paper."""
+    profile = Profile("SPT")
+    profile.define(
+        StereotypeDefinition(
+            SA_ENGINE,
+            metaclasses=("Node",),
+            tags=("SARate", "SASchedulingPolicy", "SAClockFrequency"),
+        )
+    )
+    profile.define(
+        StereotypeDefinition(
+            SA_SCHED_RES,
+            metaclasses=("InstanceSpecification", "Class", "Artifact"),
+            tags=("SAPriority", "SAAbsDeadline"),
+        )
+    )
+    return profile
+
+
+def io_profile() -> Profile:
+    """Build the profile holding the paper's ``<<IO>>`` stereotype."""
+    profile = Profile("EmbeddedIO")
+    profile.define(
+        StereotypeDefinition(
+            IO,
+            metaclasses=("InstanceSpecification", "Class"),
+            tags=("device", "direction"),
+        )
+    )
+    return profile
+
+
+class ProfileRegistry:
+    """Registry of profiles available to a model.
+
+    ``validate_application`` is consulted by :mod:`repro.uml.validate` to
+    reject unknown stereotypes and applications to the wrong metaclass.
+    """
+
+    def __init__(self, profiles: Optional[Sequence[Profile]] = None) -> None:
+        self._profiles: Dict[str, Profile] = {}
+        for profile in profiles if profiles is not None else (spt_profile(), io_profile()):
+            self.register(profile)
+
+    def register(self, profile: Profile) -> Profile:
+        """Add a profile to the registry."""
+        self._profiles[profile.name] = profile
+        return profile
+
+    def profiles(self) -> List[Profile]:
+        """All registered profiles."""
+        return list(self._profiles.values())
+
+    def lookup(self, stereotype_name: str) -> Optional[StereotypeDefinition]:
+        """Find a stereotype definition across profiles, or ``None``."""
+        for profile in self._profiles.values():
+            if stereotype_name in profile.stereotypes:
+                return profile.stereotypes[stereotype_name]
+        return None
+
+    def validate_application(self, element: Element, stereotype_name: str) -> None:
+        """Raise :class:`StereotypeError` if the application is illegal."""
+        definition = self.lookup(stereotype_name)
+        if definition is None:
+            raise StereotypeError(f"unknown stereotype {stereotype_name!r}")
+        if not definition.applicable_to(element):
+            raise StereotypeError(
+                f"stereotype {stereotype_name!r} is not applicable to "
+                f"{type(element).__name__}"
+            )
+        applied = element.stereotypes.get(stereotype_name, {})
+        for tag in applied:
+            if definition.tags and tag not in definition.tags:
+                raise StereotypeError(
+                    f"stereotype {stereotype_name!r} has no tag {tag!r}"
+                )
+
+
+#: Registry with the paper's default profiles pre-registered.
+DEFAULT_REGISTRY = ProfileRegistry()
+
+
+def is_processor(element: Element) -> bool:
+    """True when the element is stereotyped as a processor."""
+    return element.has_stereotype(SA_ENGINE)
+
+
+def is_thread(element: Element) -> bool:
+    """True when the element is stereotyped as a schedulable resource."""
+    return element.has_stereotype(SA_SCHED_RES)
+
+
+def is_io(element: Element) -> bool:
+    """True when the element represents the external environment."""
+    return element.has_stereotype(IO)

@@ -1,0 +1,209 @@
+"""Well-formedness checks for UML models.
+
+The synthesis tool refuses malformed inputs early with precise diagnostics
+rather than producing broken Simulink models.  ``validate_model`` collects
+every violation (it does not stop at the first), mirroring how modelling
+tools report batched diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .deployment import DeploymentPlan
+from .model import Model, UmlError
+from .sequence import Interaction, Message
+from .stereotypes import DEFAULT_REGISTRY, ProfileRegistry, StereotypeError
+
+
+class ValidationError(UmlError):
+    """Raised by :func:`check_model` when a model has violations."""
+
+    def __init__(self, issues: List["Issue"]) -> None:
+        super().__init__(
+            "model validation failed:\n"
+            + "\n".join(f"  - {issue}" for issue in issues)
+        )
+        self.issues = issues
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.location}: {self.message}"
+
+
+def validate_model(
+    model: Model,
+    registry: Optional[ProfileRegistry] = None,
+    *,
+    require_deployment: bool = False,
+) -> List[Issue]:
+    """Validate a model; returns the list of issues (possibly empty).
+
+    Checks performed:
+
+    - every applied stereotype exists in the profile registry and is
+      applicable to its element's metaclass;
+    - every message resolves to an operation of its receiver's classifier
+      (warning when the receiver is untyped, as for ``Platform``);
+    - message argument counts match the resolved operation's inputs;
+    - dataflow variables are produced before they are consumed within each
+      interaction;
+    - Set/Get naming is used only between threads or on ``<<IO>>`` objects
+      (warning otherwise);
+    - with ``require_deployment``, every thread lifeline appearing in an
+      interaction is allocated to a processor node.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    issues: List[Issue] = []
+    _check_stereotypes(model, registry, issues)
+    for interaction in model.interactions:
+        _check_interaction(interaction, issues)
+    _check_behavior_references(model, issues)
+    if require_deployment:
+        _check_deployment(model, issues)
+    return issues
+
+
+def check_model(model: Model, registry: Optional[ProfileRegistry] = None,
+                *, require_deployment: bool = False) -> None:
+    """Validate and raise :class:`ValidationError` on any *error* issue."""
+    issues = validate_model(
+        model, registry, require_deployment=require_deployment
+    )
+    errors = [i for i in issues if i.severity == "error"]
+    if errors:
+        raise ValidationError(errors)
+
+
+def _check_stereotypes(
+    model: Model, registry: ProfileRegistry, issues: List[Issue]
+) -> None:
+    for element in model.walk():
+        for name in element.stereotypes:
+            try:
+                registry.validate_application(element, name)
+            except StereotypeError as exc:
+                location = getattr(element, "qualified_name", "") or repr(element)
+                issues.append(Issue("error", location, str(exc)))
+
+
+def _check_interaction(interaction: Interaction, issues: List[Issue]) -> None:
+    where = f"interaction {interaction.name!r}"
+    produced: set = set()
+    for message in interaction.messages():
+        _check_message(interaction, message, issues)
+        for var in message.variables_read():
+            if var not in produced:
+                # Variables may legitimately arrive from IO reads or channel
+                # receives in *other* diagrams; only flag a warning here.
+                issues.append(
+                    Issue(
+                        "warning",
+                        where,
+                        f"variable {var!r} read by {message.operation!r} "
+                        f"before any producer in this diagram",
+                    )
+                )
+        produced.update(message.variables_written())
+
+
+def _check_message(
+    interaction: Interaction, message: Message, issues: List[Issue]
+) -> None:
+    where = (
+        f"interaction {interaction.name!r}, message "
+        f"{message.sender.name}->{message.receiver.name}.{message.operation}"
+    )
+    receiver_instance = message.receiver.instance
+    if receiver_instance is None:
+        issues.append(
+            Issue("error", where, "receiver lifeline has no instance")
+        )
+        return
+    operation = message.resolved_operation()
+    if receiver_instance.classifier is None:
+        # Untyped objects (e.g. Platform, bare thread objects) are allowed;
+        # their operations are interpreted by naming conventions.
+        pass
+    elif operation is None:
+        issues.append(
+            Issue(
+                "error",
+                where,
+                f"classifier {receiver_instance.classifier.name!r} has no "
+                f"operation {message.operation!r}",
+            )
+        )
+    else:
+        expected = len(operation.inputs())
+        # Messages may also pass one argument per out parameter (the
+        # variable receiving that output), so both arities are legal.
+        with_outs = len(
+            [p for p in operation.parameters if p.direction.value != "return"]
+        )
+        actual = len(message.arguments)
+        if actual not in {expected, with_outs}:
+            issues.append(
+                Issue(
+                    "error",
+                    where,
+                    f"operation {operation.name!r} expects {expected} "
+                    f"input argument(s), message provides {actual}",
+                )
+            )
+    if (message.is_send or message.is_receive) and not (
+        message.is_inter_thread or message.is_io_access
+    ):
+        if message.sender is not message.receiver:
+            issues.append(
+                Issue(
+                    "warning",
+                    where,
+                    "Set/Get naming convention used on a non-thread, "
+                    "non-IO receiver; no channel will be inferred",
+                )
+            )
+
+
+def _check_behavior_references(model: Model, issues: List[Issue]) -> None:
+    """Operations whose body names a UML behaviour interaction must
+    reference one that exists (otherwise the mapping silently falls back
+    to an S-function — worth a warning)."""
+    names = {interaction.name for interaction in model.interactions}
+    for cls in model.all_classes():
+        for operation in cls.operations:
+            if operation.body_language != "uml":
+                continue
+            if (operation.body or "") not in names:
+                issues.append(
+                    Issue(
+                        "warning",
+                        f"class {cls.name!r}, operation {operation.name!r}",
+                        f"behaviour interaction {operation.body!r} not "
+                        f"found; the call will map to an S-function",
+                    )
+                )
+
+
+def _check_deployment(model: Model, issues: List[Issue]) -> None:
+    plan = DeploymentPlan.from_nodes(model.nodes)
+    for interaction in model.interactions:
+        for lifeline in interaction.thread_lifelines():
+            if not plan.has_thread(lifeline.name):
+                issues.append(
+                    Issue(
+                        "error",
+                        f"interaction {interaction.name!r}",
+                        f"thread {lifeline.name!r} is not deployed on any "
+                        f"<<SAengine>> node",
+                    )
+                )

@@ -1,0 +1,713 @@
+"""XMI 2.x import and export.
+
+The paper's tool chain consumes UML models exported by EMF/UML-compliant
+editors (MagicDraw) as XMI.  This module writes and reads an XMI dialect
+that follows the Eclipse UML2 conventions closely enough to be recognizable
+(``xmi:XMI`` envelope, ``uml:Model`` root, ``packagedElement`` children with
+``xmi:type`` discriminators, stereotype applications as sibling elements
+referencing their base element).
+
+The serializer is *complete* for the metamodel subset in this package: a
+model written with :func:`write_xmi` and re-read with :func:`read_xmi` is
+structurally identical (verified by hypothesis round-trip tests).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional
+
+from .activity import (
+    Activity,
+    ActivityEdge,
+    ActivityNode,
+    ActivityNodeKind,
+    CallAction,
+    ObjectNode,
+)
+from .deployment import CommunicationPath, Node
+from .model import (
+    Class,
+    InstanceSpecification,
+    Model,
+    NamedElement,
+    Operation,
+    Parameter,
+    ParameterDirection,
+    PrimitiveType,
+    Property,
+    UmlError,
+)
+from .sequence import (
+    Argument,
+    CombinedFragment,
+    Interaction,
+    InteractionOperand,
+    InteractionOperator,
+    Lifeline,
+    Message,
+    MessageSort,
+)
+from .statemachine import (
+    FinalState,
+    Pseudostate,
+    PseudostateKind,
+    Region,
+    State,
+    StateMachine,
+    Transition,
+    Vertex,
+)
+
+XMI_NS = "http://www.omg.org/spec/XMI/20131001"
+UML_NS = "http://www.eclipse.org/uml2/5.0.0/UML"
+PROFILE_NS = "http://repro.example.org/profiles/1.0"
+
+_NSMAP = {"xmi": XMI_NS, "uml": UML_NS, "profile": PROFILE_NS}
+
+
+class XmiError(UmlError):
+    """Raised on malformed XMI input."""
+
+
+def _q(prefix: str, tag: str) -> str:
+    return f"{{{_NSMAP[prefix]}}}{tag}"
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+class _Writer:
+    def __init__(self, model: Model) -> None:
+        self.model = model
+        self.root = ET.Element(_q("xmi", "XMI"))
+        self.root.set(_q("xmi", "version"), "2.5")
+        self.stereo_parent = self.root
+
+    def write(self) -> ET.Element:
+        model_el = ET.SubElement(self.root, _q("uml", "Model"))
+        self._named(model_el, self.model)
+        for ptype in self.model.primitive_types.values():
+            el = self._packaged(model_el, ptype, "uml:PrimitiveType")
+            el.set("widthBits", str(ptype.width_bits))
+        for element in self.model.packaged:
+            self._packageable(model_el, element)
+        for node in self.model.nodes:
+            self._node(model_el, node)
+        for interaction in self.model.interactions:
+            self._interaction(model_el, interaction)
+        for machine in self.model.state_machines:
+            self._state_machine(model_el, machine)
+        for activity in self.model.activities:
+            self._activity(model_el, activity)
+        self._stereotype_applications()
+        return self.root
+
+    # -- helpers ----------------------------------------------------------
+    def _named(self, el: ET.Element, element: NamedElement) -> None:
+        el.set(_q("xmi", "id"), element.xmi_id or "")
+        if element.name:
+            el.set("name", element.name)
+
+    def _packaged(
+        self, parent: ET.Element, element: NamedElement, xmi_type: str
+    ) -> ET.Element:
+        el = ET.SubElement(parent, "packagedElement")
+        el.set(_q("xmi", "type"), xmi_type)
+        self._named(el, element)
+        return el
+
+    def _packageable(self, parent: ET.Element, element: NamedElement) -> None:
+        if isinstance(element, Class):
+            self._class(parent, element)
+        elif isinstance(element, InstanceSpecification):
+            self._instance(parent, element)
+        elif isinstance(element, PrimitiveType):
+            el = self._packaged(parent, element, "uml:PrimitiveType")
+            el.set("widthBits", str(element.width_bits))
+        else:
+            raise XmiError(
+                f"cannot serialize packageable element {element!r}"
+            )
+
+    def _class(self, parent: ET.Element, cls: Class) -> None:
+        el = self._packaged(parent, cls, "uml:Class")
+        if cls.is_active:
+            el.set("isActive", "true")
+        for prop in cls.properties:
+            pel = ET.SubElement(el, "ownedAttribute")
+            self._named(pel, prop)
+            if prop.type is not None:
+                pel.set("type", prop.type.xmi_id or "")
+            if prop.default is not None:
+                pel.set("default", repr(prop.default))
+        for op in cls.operations:
+            oel = ET.SubElement(el, "ownedOperation")
+            self._named(oel, op)
+            if op.body is not None:
+                bel = ET.SubElement(oel, "ownedBehavior")
+                bel.set("language", op.body_language or "c")
+                bel.text = op.body
+            for param in op.parameters:
+                pel = ET.SubElement(oel, "ownedParameter")
+                self._named(pel, param)
+                pel.set("direction", param.direction.value)
+                if param.type is not None:
+                    pel.set("type", param.type.xmi_id or "")
+
+    def _instance(self, parent: ET.Element, inst: InstanceSpecification) -> None:
+        el = self._packaged(parent, inst, "uml:InstanceSpecification")
+        if inst.classifier is not None:
+            el.set("classifier", inst.classifier.xmi_id or "")
+
+    def _node(self, parent: ET.Element, node: Node) -> None:
+        el = self._packaged(parent, node, "uml:Node")
+        for instance in node.deployed:
+            dep = ET.SubElement(el, "deployment")
+            dep.set("deployedArtifact", instance.xmi_id or "")
+        for path in node.paths:
+            pel = ET.SubElement(el, "communicationPath")
+            self._named(pel, path)
+            pel.set("end", (path.ends[1].xmi_id or ""))
+
+    def _interaction(self, parent: ET.Element, interaction: Interaction) -> None:
+        el = self._packaged(parent, interaction, "uml:Interaction")
+        for lifeline in interaction.lifelines:
+            lel = ET.SubElement(el, "lifeline")
+            self._named(lel, lifeline)
+            if lifeline.instance is not None:
+                lel.set("represents", lifeline.instance.xmi_id or "")
+        for fragment in interaction.fragments:
+            self._fragment(el, fragment)
+
+    def _fragment(self, parent: ET.Element, fragment: object) -> None:
+        if isinstance(fragment, Message):
+            self._message(parent, fragment)
+        elif isinstance(fragment, CombinedFragment):
+            fel = ET.SubElement(parent, "fragment")
+            fel.set(_q("xmi", "type"), "uml:CombinedFragment")
+            fel.set(_q("xmi", "id"), fragment.xmi_id or "")
+            fel.set("interactionOperator", fragment.operator.value)
+            if fragment.iterations is not None:
+                fel.set("iterations", str(fragment.iterations))
+            for operand in fragment.operands:
+                oel = ET.SubElement(fel, "operand")
+                oel.set(_q("xmi", "id"), operand.xmi_id or "")
+                if operand.guard:
+                    oel.set("guard", operand.guard)
+                for nested in operand.fragments:
+                    self._fragment(oel, nested)
+        else:
+            raise XmiError(f"cannot serialize fragment {fragment!r}")
+
+    def _message(self, parent: ET.Element, message: Message) -> None:
+        mel = ET.SubElement(parent, "message")
+        mel.set(_q("xmi", "id"), message.xmi_id or "")
+        mel.set("name", message.operation)
+        mel.set("messageSort", message.sort.value)
+        mel.set("sendEvent", message.sender.xmi_id or "")
+        mel.set("receiveEvent", message.receiver.xmi_id or "")
+        if message.result:
+            mel.set("result", message.result)
+        for argument in message.arguments:
+            ael = ET.SubElement(mel, "argument")
+            if argument.is_variable:
+                ael.set("kind", "variable")
+                ael.set("value", str(argument.value))
+            else:
+                ael.set("kind", "literal")
+                ael.set("value", repr(argument.value))
+
+    def _state_machine(self, parent: ET.Element, machine: StateMachine) -> None:
+        el = self._packaged(parent, machine, "uml:StateMachine")
+        for region in machine.regions:
+            self._region(el, region)
+
+    def _region(self, parent: ET.Element, region: Region) -> None:
+        rel = ET.SubElement(parent, "region")
+        self._named(rel, region)
+        for vertex in region.vertices:
+            vel = ET.SubElement(rel, "subvertex")
+            if isinstance(vertex, Pseudostate):
+                vel.set(_q("xmi", "type"), "uml:Pseudostate")
+                vel.set("kind", vertex.kind.value)
+            elif isinstance(vertex, FinalState):
+                vel.set(_q("xmi", "type"), "uml:FinalState")
+            else:
+                vel.set(_q("xmi", "type"), "uml:State")
+            self._named(vel, vertex)
+            if isinstance(vertex, State):
+                if vertex.entry:
+                    vel.set("entry", vertex.entry)
+                if vertex.exit:
+                    vel.set("exit", vertex.exit)
+                if vertex.do:
+                    vel.set("doActivity", vertex.do)
+                for region2 in vertex.regions:
+                    self._region(vel, region2)
+        for transition in region.transitions:
+            tel = ET.SubElement(rel, "transition")
+            tel.set(_q("xmi", "id"), transition.xmi_id or "")
+            tel.set("source", transition.source.xmi_id or "")
+            tel.set("target", transition.target.xmi_id or "")
+            if transition.trigger:
+                tel.set("trigger", transition.trigger)
+            if transition.guard:
+                tel.set("guard", transition.guard)
+            if transition.effect:
+                tel.set("effect", transition.effect)
+
+    def _activity(self, parent: ET.Element, activity: Activity) -> None:
+        el = self._packaged(parent, activity, "uml:Activity")
+        if activity.performer is not None:
+            el.set("performer", activity.performer.xmi_id or "")
+        for node in activity.nodes:
+            nel = ET.SubElement(el, "node")
+            self._named(nel, node)
+            nel.set("kind", node.kind.value)
+            if isinstance(node, CallAction):
+                nel.set(_q("xmi", "type"), "uml:CallOperationAction")
+                nel.set("operation", node.operation)
+                if node.target is not None:
+                    nel.set("target", node.target.xmi_id or "")
+                if node.result:
+                    nel.set("result", node.result)
+                for arg in node.arguments:
+                    ael = ET.SubElement(nel, "argument")
+                    ael.set("value", arg)
+            elif isinstance(node, ObjectNode):
+                nel.set(_q("xmi", "type"), "uml:CentralBufferNode")
+            else:
+                nel.set(_q("xmi", "type"), "uml:ActivityNode")
+        for edge in activity.edges:
+            eel = ET.SubElement(el, "edge")
+            eel.set(_q("xmi", "id"), edge.xmi_id or "")
+            eel.set("source", edge.source.xmi_id or "")
+            eel.set("target", edge.target.xmi_id or "")
+            if edge.guard:
+                eel.set("guard", edge.guard)
+
+    def _stereotype_applications(self) -> None:
+        for element in self.model.walk():
+            for name, tags in element.stereotypes.items():
+                sel = ET.SubElement(self.stereo_parent, _q("profile", name))
+                sel.set("base_Element", element.xmi_id or "")
+                for tag, value in tags.items():
+                    sel.set(tag, str(value))
+
+
+def to_xmi_string(model: Model) -> str:
+    """Serialize a model to an XMI string."""
+    for prefix, uri in _NSMAP.items():
+        ET.register_namespace(prefix, uri)
+    root = _Writer(model).write()
+    _indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def write_xmi(model: Model, path: str) -> None:
+    """Serialize a model to an XMI file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_xmi_string(model))
+
+
+def _indent(element: ET.Element, level: int = 0) -> None:
+    pad = "\n" + "  " * level
+    if len(element):
+        if not element.text or not element.text.strip():
+            element.text = pad + "  "
+        for child in element:
+            _indent(child, level + 1)
+            if not child.tail or not child.tail.strip():
+                child.tail = pad + "  "
+        if not element[-1].tail or not element[-1].tail.strip():
+            element[-1].tail = pad
+    elif level and (not element.tail or not element.tail.strip()):
+        element.tail = pad
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+class _Reader:
+    def __init__(self, root: ET.Element) -> None:
+        self.root = root
+        self.model: Optional[Model] = None
+        self.by_id: Dict[str, object] = {}
+        self._deferred: List = []
+
+    def read(self) -> Model:
+        model_el = self.root.find(_q("uml", "Model"))
+        if model_el is None:
+            raise XmiError("no uml:Model element found")
+        self.model = Model(model_el.get("name", "model"))
+        # The fresh model pre-registers itself; rebind its id to the file's.
+        self._rebind_id(self.model, model_el)
+        for child in model_el:
+            self._model_child(child)
+        for fixup in self._deferred:
+            fixup()
+        self._read_stereotypes()
+        # New elements added to the loaded model must not reuse file ids.
+        numeric = [
+            int(key[2:])
+            for key in self.by_id
+            if key.startswith("id") and key[2:].isdigit()
+        ]
+        self.model.advance_id_counter(max(numeric, default=0))
+        return self.model
+
+    def _rebind_id(self, element, el: ET.Element) -> None:
+        xmi_id = el.get(_q("xmi", "id"))
+        if xmi_id:
+            element.xmi_id = xmi_id
+            self.by_id[xmi_id] = element
+
+    def _ref(self, xmi_id: Optional[str]):
+        if not xmi_id:
+            return None
+        try:
+            return self.by_id[xmi_id]
+        except KeyError:
+            raise XmiError(f"dangling reference {xmi_id!r}") from None
+
+    def _model_child(self, el: ET.Element) -> None:
+        if el.tag != "packagedElement":
+            return
+        xmi_type = el.get(_q("xmi", "type"), "")
+        handler = {
+            "uml:PrimitiveType": self._read_primitive,
+            "uml:Class": self._read_class,
+            "uml:InstanceSpecification": self._read_instance,
+            "uml:Node": self._read_node,
+            "uml:Interaction": self._read_interaction,
+            "uml:StateMachine": self._read_state_machine,
+            "uml:Activity": self._read_activity,
+        }.get(xmi_type)
+        if handler is None:
+            raise XmiError(f"unsupported packagedElement type {xmi_type!r}")
+        handler(el)
+
+    def _read_primitive(self, el: ET.Element) -> None:
+        assert self.model is not None
+        name = el.get("name", "")
+        ptype = PrimitiveType(name, int(el.get("widthBits", "32")))
+        ptype.owner = self.model
+        ptype.xmi_id = el.get(_q("xmi", "id"))
+        self.model.register(ptype)
+        self.model.primitive_types[name] = ptype
+        self.by_id[ptype.xmi_id or ""] = ptype
+
+    def _read_class(self, el: ET.Element) -> None:
+        assert self.model is not None
+        cls = Class(el.get("name", ""), is_active=el.get("isActive") == "true")
+        cls.xmi_id = el.get(_q("xmi", "id"))
+        self.model.add(cls)
+        self.by_id[cls.xmi_id or ""] = cls
+        for ael in el.findall("ownedAttribute"):
+            prop = Property(ael.get("name", ""))
+            prop.xmi_id = ael.get(_q("xmi", "id"))
+            default = ael.get("default")
+            if default is not None:
+                prop.default = _parse_literal(default)
+            cls.add_property(prop)
+            self.by_id[prop.xmi_id or ""] = prop
+            type_ref = ael.get("type")
+            if type_ref:
+                self._deferred.append(
+                    lambda p=prop, r=type_ref: setattr(p, "type", self._ref(r))
+                )
+        for oel in el.findall("ownedOperation"):
+            operation = Operation(oel.get("name", ""))
+            operation.xmi_id = oel.get(_q("xmi", "id"))
+            cls.add_operation(operation)
+            self.by_id[operation.xmi_id or ""] = operation
+            bel = oel.find("ownedBehavior")
+            if bel is not None:
+                operation.body = bel.text or ""
+                operation.body_language = bel.get("language", "c")
+            for pel in oel.findall("ownedParameter"):
+                param = Parameter(
+                    pel.get("name", ""),
+                    direction=ParameterDirection(pel.get("direction", "in")),
+                )
+                param.xmi_id = pel.get(_q("xmi", "id"))
+                operation.add_parameter(param)
+                self.by_id[param.xmi_id or ""] = param
+                type_ref = pel.get("type")
+                if type_ref:
+                    self._deferred.append(
+                        lambda p=param, r=type_ref: setattr(
+                            p, "type", self._ref(r)
+                        )
+                    )
+
+    def _read_instance(self, el: ET.Element) -> None:
+        assert self.model is not None
+        inst = InstanceSpecification(el.get("name", ""))
+        inst.xmi_id = el.get(_q("xmi", "id"))
+        self.model.add(inst)
+        self.by_id[inst.xmi_id or ""] = inst
+        classifier_ref = el.get("classifier")
+        if classifier_ref:
+            self._deferred.append(
+                lambda i=inst, r=classifier_ref: setattr(
+                    i, "classifier", self._ref(r)
+                )
+            )
+
+    def _read_node(self, el: ET.Element) -> None:
+        assert self.model is not None
+        node = Node(el.get("name", ""))
+        node.xmi_id = el.get(_q("xmi", "id"))
+        self.model.add_node(node)
+        self.by_id[node.xmi_id or ""] = node
+        for dep in el.findall("deployment"):
+            ref = dep.get("deployedArtifact", "")
+            self._deferred.append(
+                lambda n=node, r=ref: n.deployed.append(self._ref(r))
+            )
+        for pel in el.findall("communicationPath"):
+            end_ref = pel.get("end", "")
+            name = pel.get("name", "bus")
+            path_id = pel.get(_q("xmi", "id"))
+
+            def connect(n=node, r=end_ref, nm=name, pid=path_id) -> None:
+                other = self._ref(r)
+                path = CommunicationPath(n, other, nm)
+                path.xmi_id = pid
+                assert self.model is not None
+                self.model.register(path)
+
+            self._deferred.append(connect)
+
+    def _read_interaction(self, el: ET.Element) -> None:
+        assert self.model is not None
+        interaction = Interaction(el.get("name", ""))
+        interaction.xmi_id = el.get(_q("xmi", "id"))
+        self.model.add_interaction(interaction)
+        self.by_id[interaction.xmi_id or ""] = interaction
+        for lel in el.findall("lifeline"):
+            lifeline = Lifeline(lel.get("name", ""))
+            lifeline.xmi_id = lel.get(_q("xmi", "id"))
+            interaction.add_lifeline(lifeline)
+            self.by_id[lifeline.xmi_id or ""] = lifeline
+            represents = lel.get("represents")
+            if represents:
+                self._deferred.append(
+                    lambda l=lifeline, r=represents: setattr(
+                        l, "instance", self._ref(r)
+                    )
+                )
+        for child in el:
+            if child.tag == "message":
+                interaction.add_message(self._read_message(child))
+            elif child.tag == "fragment":
+                interaction.add_fragment(self._read_fragment(child))
+
+    def _read_message(self, el: ET.Element) -> Message:
+        sender = self._ref(el.get("sendEvent"))
+        receiver = self._ref(el.get("receiveEvent"))
+        arguments = []
+        for ael in el.findall("argument"):
+            value = ael.get("value", "")
+            if ael.get("kind") == "variable":
+                arguments.append(Argument(value, is_variable=True))
+            else:
+                arguments.append(
+                    Argument(_parse_literal(value), is_variable=False)
+                )
+        message = Message(
+            sender,
+            receiver,
+            el.get("name", ""),
+            arguments=arguments,
+            result=el.get("result"),
+            sort=MessageSort(el.get("messageSort", "synchCall")),
+        )
+        message.xmi_id = el.get(_q("xmi", "id"))
+        if message.xmi_id:
+            self.by_id[message.xmi_id] = message
+        return message
+
+    def _read_fragment(self, el: ET.Element) -> CombinedFragment:
+        iterations = el.get("iterations")
+        fragment = CombinedFragment(
+            InteractionOperator(el.get("interactionOperator", "loop")),
+            iterations=int(iterations) if iterations else None,
+        )
+        fragment.xmi_id = el.get(_q("xmi", "id"))
+        if fragment.xmi_id:
+            self.by_id[fragment.xmi_id] = fragment
+        for oel in el.findall("operand"):
+            operand = InteractionOperand(oel.get("guard", ""))
+            operand.xmi_id = oel.get(_q("xmi", "id"))
+            fragment.add_operand(operand)
+            if operand.xmi_id:
+                self.by_id[operand.xmi_id] = operand
+            for child in oel:
+                if child.tag == "message":
+                    operand.add(self._read_message(child))
+                elif child.tag == "fragment":
+                    operand.add(self._read_fragment(child))
+        return fragment
+
+    def _read_state_machine(self, el: ET.Element) -> None:
+        assert self.model is not None
+        machine = StateMachine(el.get("name", ""))
+        machine.xmi_id = el.get(_q("xmi", "id"))
+        self.model.add_state_machine(machine)
+        self.by_id[machine.xmi_id or ""] = machine
+        for rel in el.findall("region"):
+            machine.add_region(self._read_region(rel))
+
+    def _read_region(self, rel: ET.Element) -> Region:
+        region = Region(rel.get("name", ""))
+        region.xmi_id = rel.get(_q("xmi", "id"))
+        if region.xmi_id:
+            self.by_id[region.xmi_id] = region
+        for vel in rel.findall("subvertex"):
+            xmi_type = vel.get(_q("xmi", "type"), "uml:State")
+            vertex: Vertex
+            if xmi_type == "uml:Pseudostate":
+                vertex = Pseudostate(
+                    PseudostateKind(vel.get("kind", "initial")),
+                    vel.get("name", ""),
+                )
+            elif xmi_type == "uml:FinalState":
+                vertex = FinalState(vel.get("name", ""))
+            else:
+                vertex = State(
+                    vel.get("name", ""),
+                    entry=vel.get("entry"),
+                    exit=vel.get("exit"),
+                    do=vel.get("doActivity"),
+                )
+            vertex.xmi_id = vel.get(_q("xmi", "id"))
+            region.add_vertex(vertex)
+            if vertex.xmi_id:
+                self.by_id[vertex.xmi_id] = vertex
+            if isinstance(vertex, State):
+                for nested in vel.findall("region"):
+                    vertex.add_region(self._read_region(nested))
+        for tel in rel.findall("transition"):
+            source = self._ref(tel.get("source"))
+            target = self._ref(tel.get("target"))
+            transition = Transition(
+                source,
+                target,
+                trigger=tel.get("trigger", ""),
+                guard=tel.get("guard", ""),
+                effect=tel.get("effect", ""),
+            )
+            transition.xmi_id = tel.get(_q("xmi", "id"))
+            region.add_transition(transition)
+            if transition.xmi_id:
+                self.by_id[transition.xmi_id] = transition
+        return region
+
+    def _read_activity(self, el: ET.Element) -> None:
+        assert self.model is not None
+        activity = Activity(el.get("name", ""))
+        activity.xmi_id = el.get(_q("xmi", "id"))
+        self.model.add_activity(activity)
+        self.by_id[activity.xmi_id or ""] = activity
+        performer = el.get("performer")
+        if performer:
+            self._deferred.append(
+                lambda a=activity, r=performer: setattr(
+                    a, "performer", self._ref(r)
+                )
+            )
+        for nel in el.findall("node"):
+            xmi_type = nel.get(_q("xmi", "type"), "uml:ActivityNode")
+            node: ActivityNode
+            if xmi_type == "uml:CallOperationAction":
+                node = CallAction(
+                    nel.get("name", ""),
+                    operation=nel.get("operation", ""),
+                    arguments=[a.get("value", "") for a in nel.findall("argument")],
+                    result=nel.get("result"),
+                )
+                target = nel.get("target")
+                if target:
+                    self._deferred.append(
+                        lambda n=node, r=target: setattr(
+                            n, "target", self._ref(r)
+                        )
+                    )
+            elif xmi_type == "uml:CentralBufferNode":
+                node = ObjectNode(nel.get("name", ""))
+            else:
+                node = ActivityNode(
+                    nel.get("name", ""),
+                    ActivityNodeKind(nel.get("kind", "action")),
+                )
+            node.xmi_id = nel.get(_q("xmi", "id"))
+            activity.add_node(node)
+            if node.xmi_id:
+                self.by_id[node.xmi_id] = node
+        for eel in el.findall("edge"):
+            edge = ActivityEdge(
+                self._ref(eel.get("source")),
+                self._ref(eel.get("target")),
+                guard=eel.get("guard", ""),
+            )
+            edge.xmi_id = eel.get(_q("xmi", "id"))
+            activity.add_edge(edge)
+
+    def _read_stereotypes(self) -> None:
+        profile_prefix = f"{{{PROFILE_NS}}}"
+        for el in self.root:
+            if not el.tag.startswith(profile_prefix):
+                continue
+            name = el.tag[len(profile_prefix):]
+            base = el.get("base_Element", "")
+            element = self._ref(base)
+            tags = {
+                key: value
+                for key, value in el.attrib.items()
+                if key != "base_Element"
+            }
+            element.apply_stereotype(name, **tags)
+
+
+def _parse_literal(text: str):
+    """Parse a repr'd literal back to a Python value."""
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    return text
+
+
+def from_xmi_string(text: str) -> Model:
+    """Parse an XMI string into a :class:`Model`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmiError(f"invalid XML: {exc}") from exc
+    if root.tag != _q("xmi", "XMI"):
+        raise XmiError(f"unexpected root element {root.tag!r}")
+    return _Reader(root).read()
+
+
+def read_xmi(path: str) -> Model:
+    """Read a model from an XMI file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_xmi_string(handle.read())

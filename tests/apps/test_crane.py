@@ -1,0 +1,153 @@
+"""Case-study tests: the crane control system (paper §5.1)."""
+
+import pytest
+
+from repro.apps import crane
+from repro.simulink import Simulator, is_executable, validate_caam
+
+
+class TestModelStructure:
+    def test_three_threads_one_cpu(self, crane_model):
+        """Paper: 'We divide the system into three threads ... the three
+        threads were mapped to the same processor.'"""
+        from repro.uml import DeploymentPlan
+
+        plan = DeploymentPlan.from_nodes(crane_model.nodes)
+        assert set(plan.threads) == {"T1", "T2", "T3"}
+        assert len(plan.cpus) == 1
+
+    def test_one_diagram_per_thread(self, crane_model):
+        """Paper: 'each one is specified using UML sequence diagrams' —
+        plus the behaviour diagrams of the control/limiter subsystems."""
+        names = [i.name for i in crane_model.interactions]
+        assert names[:3] == ["T1_sensing", "T2_jobcontrol", "T3_control"]
+        assert "control_behavior" in names
+        assert "limiter_behavior" in names
+
+
+class TestSynthesis:
+    def test_caam_census(self, crane_result):
+        summary = crane_result.summary
+        assert summary.cpus == 1
+        assert summary.threads == 3
+        assert summary.intra_cpu_channels == 3  # xc, alpha, ref
+        assert summary.inter_cpu_channels == 0
+
+    def test_exactly_one_delay_auto_inserted_in_t3(self, crane_result):
+        """Fig. 5: 'a Delay that is automatically inserted' in T3."""
+        assert crane_result.barriers_inserted == 1
+        barrier = crane_result.optimization.barriers.inserted[0]
+        assert barrier.delay_path == "crane/CPU1/T3/Delay"
+        t3 = crane_result.caam.thread("T3")
+        delays = t3.system.blocks_of_type("UnitDelay")
+        assert len(delays) == 1
+        assert delays[0].parameters.get("AutoInserted") is True
+
+    def test_t3_matches_fig5_structure(self, crane_result):
+        """Fig. 5: T3 is 'composed of one S-function and two subsystems
+        and a Delay that is automatically inserted'."""
+        t3 = crane_result.caam.thread("T3")
+        assert t3.system.block("control").block_type == "SubSystem"
+        assert t3.system.block("limiter").block_type == "SubSystem"
+        assert t3.system.block("estimate").block_type == "S-Function"
+        assert t3.system.block("sub").block_type == "Sum"
+        assert t3.system.block("sub").parameters["Inputs"] == "+-"
+        assert len(t3.system.blocks_of_type("SubSystem")) == 2
+        assert len(t3.system.blocks_of_type("S-Function")) == 1
+        assert len(t3.system.blocks_of_type("UnitDelay")) == 1
+
+    def test_control_subsystem_behavior_detailed(self, crane_result):
+        """'The subsystem control has its behavior detailed' — generated
+        from the control_behavior interaction: a PD law with velocity
+        estimation (UnitDelay + difference) and sway compensation."""
+        control = crane_result.caam.thread("T3").system.block("control")
+        inner = control.system
+        assert len(inner.blocks_of_type("Gain")) == 5
+        assert len(inner.blocks_of_type("Sum")) == 4  # dx + three subtractions
+        assert len(inner.blocks_of_type("UnitDelay")) == 1  # velocity memory
+        gains = {
+            float(b.parameters["Gain"]) for b in inner.blocks_of_type("Gain")
+        }
+        assert gains == {crane.KP, crane.KV, crane.KA, crane.KR, 1.0 / crane.DT}
+
+    def test_limiter_subsystem_saturates(self, crane_result):
+        limiter = crane_result.caam.thread("T3").system.block("limiter")
+        sat = limiter.system.blocks_of_type("Saturation")[0]
+        assert sat.parameters["LowerLimit"] == -crane.V_MAX
+        assert sat.parameters["UpperLimit"] == crane.V_MAX
+
+    def test_without_barriers_model_deadlocks(self, crane_model):
+        from repro.core import synthesize
+
+        broken = synthesize(
+            crane_model, behaviors=crane.behaviors(), insert_barriers=False
+        )
+        executable, cycle = is_executable(broken.caam)
+        assert not executable
+        assert all(path.startswith("crane/CPU1/T3/") for path in cycle)
+
+    def test_delay_inserted_between_subsystems(self, crane_result):
+        """The Delay sits at T3 level (between the subsystems), exactly
+        where Fig. 5 draws it — not inside control or limiter."""
+        barrier = crane_result.optimization.barriers.inserted[0]
+        assert barrier.system_name == "T3"
+        assert barrier.delay_path == "crane/CPU1/T3/Delay"
+
+    def test_caam_well_formed(self, crane_result):
+        assert validate_caam(crane_result.caam) == []
+
+    def test_system_io(self, crane_result):
+        root = crane_result.caam.root
+        assert len(root.blocks_of_type("Inport")) == 3
+        assert len(root.blocks_of_type("Outport")) == 1
+
+
+class TestClosedLoop:
+    def test_motor_voltage_saturates(self, crane_result):
+        simulator = Simulator(crane_result.caam)
+        trace = simulator.run(
+            50,
+            inputs={
+                "In1": [0.0] * 50,       # position
+                "In2": [0.0] * 50,       # angle
+                "In3": [100.0] * 50,     # absurd command
+            },
+        )
+        assert all(abs(v) <= crane.V_MAX for v in trace.output("Out1"))
+
+    def test_car_moves_toward_target(self):
+        from repro.core import synthesize
+
+        result = synthesize(crane.build_model(), behaviors=crane.behaviors())
+        simulator = Simulator(result.caam)
+        plant = crane.CranePlant()
+        target = 5.0
+        for _ in range(100):
+            trace = simulator.run(
+                1,
+                inputs={
+                    "In1": [plant.xc],
+                    "In2": [plant.alpha],
+                    "In3": [target],
+                },
+            )
+            plant.step(trace.output("Out1")[0])
+        assert plant.xc > 1.0  # moved decisively toward the target
+
+    def test_plant_dynamics_sane(self):
+        plant = crane.CranePlant()
+        for _ in range(10):
+            plant.step(1.0)
+        assert plant.xc > 0  # positive voltage moves the car forward
+        plant2 = crane.CranePlant()
+        for _ in range(10):
+            plant2.step(0.0)
+        assert plant2.xc == 0  # no input, no motion
+
+    def test_load_position_combines_car_and_sway(self):
+        plant = crane.CranePlant()
+        plant.xc = 2.0
+        plant.alpha = 0.1
+        assert plant.load_position == pytest.approx(
+            2.0 + plant.length * 0.09983, rel=1e-3
+        )

@@ -1,0 +1,91 @@
+"""Case-study tests: the didactic Fig. 3 example."""
+
+import pytest
+
+from repro.apps import didactic
+from repro.simulink import GFIFO, SWFIFO, Simulator, validate_caam
+from repro.uml import DeploymentPlan, validate_model
+
+
+class TestModel:
+    def test_deployment_matches_figure(self, didactic_model):
+        plan = DeploymentPlan.from_nodes(didactic_model.nodes)
+        assert plan.as_mapping() == {"T1": "CPU1", "T2": "CPU1", "T3": "CPU2"}
+
+    def test_model_validates(self, didactic_model):
+        assert [
+            i for i in validate_model(didactic_model) if i.severity == "error"
+        ] == []
+
+
+class TestCaamStructure:
+    def test_architecture_census(self, didactic_result):
+        summary = didactic_result.summary
+        assert summary.cpus == 2
+        assert summary.threads == 3
+        assert summary.inter_cpu_channels == 1
+        assert summary.intra_cpu_channels == 1
+        assert summary.sfunctions == 3  # calc, dec, filter
+
+    def test_mult_becomes_product_block(self, didactic_result):
+        t1 = didactic_result.caam.thread("T1")
+        assert t1.system.block("mult").block_type == "Product"
+
+    def test_dec_becomes_sfunction(self, didactic_result):
+        t1 = didactic_result.caam.thread("T1")
+        assert t1.system.block("dec").block_type == "S-Function"
+
+    def test_calc_ports_follow_signature(self, didactic_result):
+        """'The a parameter from calc method and its return are mapped to
+        an input port and an output port in the calc S-function.'"""
+        calc = didactic_result.caam.thread("T1").system.block("calc")
+        assert calc.num_inputs == 1
+        assert calc.num_outputs == 1
+
+    def test_r_arguments_wired(self, didactic_result):
+        """'The r1 argument is passed from calc to mult, thus a connection
+        is instantiated between these ports.'"""
+        system = didactic_result.caam.thread("T1").system
+        mult = system.block("mult")
+        sources = {
+            system.driver_of(mult.input(i)).source.block.name
+            for i in (1, 2)
+        }
+        assert sources == {"calc", "dec"}
+
+    def test_inter_cpu_channel_is_gfifo(self, didactic_result):
+        channel = didactic_result.caam.inter_cpu_channels()[0]
+        assert channel.parameters["Protocol"] == GFIFO
+        assert channel.parent is didactic_result.caam.root
+
+    def test_intra_cpu_channel_is_swfifo(self, didactic_result):
+        channel = didactic_result.caam.intra_cpu_channels()[0]
+        assert channel.parameters["Protocol"] == SWFIFO
+        assert channel.parent is didactic_result.caam.cpu("CPU1").system
+
+    def test_system_ports(self, didactic_result):
+        root = didactic_result.caam.root
+        assert [b.name for b in root.blocks_of_type("Inport")] == ["In1"]
+        assert [b.name for b in root.blocks_of_type("Outport")] == ["Out1"]
+
+    def test_caam_well_formed(self, didactic_result):
+        assert validate_caam(didactic_result.caam) == []
+
+    def test_no_mapping_warnings(self, didactic_result):
+        assert didactic_result.warnings == []
+
+
+class TestExecution:
+    def test_executable_and_deterministic(self, didactic_result):
+        simulator = Simulator(didactic_result.caam)
+        trace = simulator.run(4, inputs={"In1": [2, 4, 6, 8]})
+        # T3: filter(v) = v/2 ; T1: r2 = dec(x) = x-1 ; T2: out = gain(r2).
+        # x arrives through the channel from T3's filter output.
+        expected = [0.5 * v - 1.0 for v in (2, 4, 6, 8)]
+        assert trace.output("Out1") == expected
+
+    def test_mdl_round_trip_preserves_behaviour_structure(self, didactic_result):
+        from repro.simulink import from_mdl
+
+        loaded = from_mdl(didactic_result.mdl_text)
+        assert loaded.summary() == didactic_result.caam.summary()

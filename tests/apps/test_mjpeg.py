@@ -1,0 +1,98 @@
+"""Case-study tests: the Motion-JPEG decoder pipeline (DAC'07 workload)."""
+
+import pytest
+
+from repro.apps import mjpeg
+from repro.core import synthesize
+from repro.mpsoc import platform_for_caam, steady_state_interval
+from repro.simulink import Simulator, validate_caam
+from repro.uml import DeploymentPlan
+
+
+@pytest.fixture(scope="module")
+def result():
+    return synthesize(
+        mjpeg.build_model(), auto_allocate=True, behaviors=mjpeg.behaviors()
+    )
+
+
+class TestCodec:
+    def test_encode_is_inverse_of_decode_math(self):
+        pixels = mjpeg.sample_pixels(32)
+        stream = mjpeg.encode(pixels)
+        decoded = [
+            min(
+                max(
+                    mjpeg.IDCT_GAIN
+                    * (
+                        mjpeg.Q_STEP
+                        * (
+                            mjpeg.VLD_SCALE * (s - mjpeg.HEADER_OFFSET)
+                            + mjpeg.VLD_BIAS
+                        )
+                    )
+                    + mjpeg.PIXEL_BIAS,
+                    0.0,
+                ),
+                255.0,
+            )
+            for s in stream
+        ]
+        assert decoded == pixels
+
+    def test_sample_pixels_in_range(self):
+        assert all(0 <= p <= 255 for p in mjpeg.sample_pixels(64))
+
+
+class TestPipeline:
+    def test_five_thread_pipeline(self, result):
+        assert result.summary.threads == 5
+        assert {t.name for t in result.caam.threads()} == set(mjpeg.THREADS)
+        assert result.warnings == []
+        assert validate_caam(result.caam) == []
+
+    def test_four_channels_in_chain(self, result):
+        total = len(result.caam.channels())
+        assert total == 4  # one hand-off per pipeline stage boundary
+
+    def test_pixel_perfect_reconstruction(self, result):
+        pixels = mjpeg.sample_pixels(16)
+        simulator = Simulator(result.caam)
+        trace = simulator.run(len(pixels), inputs={"In1": mjpeg.encode(pixels)})
+        assert trace.output("Out1") == pixels
+
+    def test_renderer_clamps_out_of_range(self, result):
+        simulator = Simulator(result.caam)
+        # A wildly out-of-range coefficient must clamp to [0, 255].
+        trace = simulator.run(1, inputs={"In1": [10_000.0]})
+        assert trace.output("Out1") == [255.0]
+        simulator.reset()
+        trace = simulator.run(1, inputs={"In1": [-10_000.0]})
+        assert trace.output("Out1") == [0.0]
+
+
+class TestThroughputSweep:
+    def test_more_cpus_never_hurt_throughput(self):
+        model = mjpeg.build_model()
+        intervals = []
+        for cpus in (1, 2, 3, 5):
+            plan = DeploymentPlan.from_mapping(
+                {t: f"CPU{i % cpus}" for i, t in enumerate(mjpeg.THREADS)}
+            )
+            result = synthesize(model, plan, behaviors=mjpeg.behaviors())
+            platform = platform_for_caam(result.caam)
+            intervals.append(steady_state_interval(result.caam, platform))
+        assert intervals == sorted(intervals, reverse=True)
+        assert intervals[-1] < intervals[0]  # 5 CPUs beat 1 CPU
+
+    def test_throughput_bounded_by_heaviest_stage(self):
+        model = mjpeg.build_model()
+        plan = DeploymentPlan.from_mapping(
+            {t: f"CPU{i}" for i, t in enumerate(mjpeg.THREADS)}
+        )
+        result = synthesize(model, plan, behaviors=mjpeg.behaviors())
+        platform = platform_for_caam(result.caam)
+        interval = steady_state_interval(result.caam, platform)
+        # No CPU holds more than 2 functional blocks (100 cyc) + a GFIFO
+        # transfer (30 cyc).
+        assert interval <= 130.0

@@ -1,0 +1,84 @@
+"""Case-study tests: the 12-thread synthetic example (paper §5.2)."""
+
+import pytest
+
+from repro.apps import synthetic
+from repro.core import (
+    allocate_from_model,
+    inter_cluster_communication,
+    linear_clustering,
+    round_robin_clusters,
+    task_graph_from_model,
+)
+from repro.simulink import GFIFO, is_executable, validate_caam
+
+
+class TestTaskGraph:
+    def test_twelve_threads_no_k(self):
+        graph = synthetic.task_graph()
+        assert len(graph.nodes) == 12
+        assert "K" not in graph.nodes
+
+    def test_graph_is_dag(self):
+        assert synthetic.task_graph().is_dag()
+
+    def test_extracted_graph_proportional_to_figure(self, synthetic_model):
+        extracted = task_graph_from_model(synthetic_model)
+        reference = synthetic.task_graph()
+        for (src, dst), weight in reference.edges.items():
+            assert extracted.edge_weight(src, dst) == weight * 32
+
+
+class TestClustering:
+    def test_fig7b_grouping(self):
+        """Fig. 7(b): {A,B,C,D,F,J} {E,I} {G,M} {H,L}."""
+        result = linear_clustering(synthetic.task_graph())
+        assert set(result.as_sets()) == set(synthetic.EXPECTED_CLUSTERS)
+
+    def test_four_clusters_from_sequence_diagram(self, synthetic_model):
+        allocation = allocate_from_model(synthetic_model)
+        grouped = {
+            frozenset(allocation.plan.threads_on(cpu))
+            for cpu in allocation.plan.cpus
+        }
+        assert grouped == set(synthetic.EXPECTED_CLUSTERS)
+
+    def test_critical_path_is_heavy_chain(self):
+        result = linear_clustering(synthetic.task_graph())
+        assert result.critical_path == ["A", "B", "C", "D", "F", "J"]
+
+    def test_clustering_beats_round_robin(self, synthetic_model):
+        graph = task_graph_from_model(synthetic_model)
+        clustered = linear_clustering(graph).clusters
+        baseline = round_robin_clusters(graph, len(clustered))
+        assert inter_cluster_communication(
+            graph, clustered
+        ) < inter_cluster_communication(graph, baseline)
+
+
+class TestCaam:
+    def test_fig8_top_level(self, synthetic_result):
+        """Fig. 8: four CPU subsystems communicating through inter-SS
+        channels."""
+        caam = synthetic_result.caam
+        assert len(caam.cpus()) == 4
+        inter = caam.inter_cpu_channels()
+        assert len(inter) == 3  # A->E, B->G, C->H cross cluster boundaries
+        assert all(c.parameters["Protocol"] == GFIFO for c in inter)
+
+    def test_intra_cluster_channels_swfifo(self, synthetic_result):
+        # 11 edges total, 3 inter -> 8 intra.
+        assert len(synthetic_result.caam.intra_cpu_channels()) == 8
+
+    def test_every_thread_mapped(self, synthetic_result):
+        names = {t.name for t in synthetic_result.caam.threads()}
+        assert names == set(synthetic.THREADS)
+
+    def test_caam_well_formed(self, synthetic_result):
+        assert validate_caam(synthetic_result.caam) == []
+
+    def test_executable(self, synthetic_result):
+        assert is_executable(synthetic_result.caam)[0]
+
+    def test_sfunction_per_thread(self, synthetic_result):
+        assert synthetic_result.summary.sfunctions == 12

@@ -1,0 +1,61 @@
+"""Unit tests for the FSM back-end."""
+
+import pytest
+
+from repro.backends import FsmBackend, FsmBackendError
+from repro.uml import (
+    ModelBuilder,
+    Pseudostate,
+    State,
+    StateMachine,
+    Transition,
+)
+
+
+def _model_with_machine():
+    b = ModelBuilder("ctrl")
+    machine = StateMachine("mode_switch")
+    region = machine.main_region()
+    init = region.add_vertex(Pseudostate())
+    off = region.add_vertex(State("off"))
+    on = region.add_vertex(State("on"))
+    region.add_transition(Transition(init, off))
+    region.add_transition(Transition(off, on, trigger="power"))
+    region.add_transition(Transition(on, off, trigger="power"))
+    b.model.add_state_machine(machine)
+    return b.build()
+
+
+class TestFsmBackend:
+    def test_c_generation(self):
+        backend = FsmBackend("c")
+        artifacts = backend.generate(_model_with_machine())
+        assert list(artifacts) == ["mode_switch.c"]
+        assert "STATE_OFF" in artifacts["mode_switch.c"]
+        assert "EVENT_POWER" in artifacts["mode_switch.c"]
+
+    def test_java_generation(self):
+        backend = FsmBackend("java")
+        artifacts = backend.generate(_model_with_machine())
+        assert list(artifacts) == ["ModeSwitch.java"]
+        assert "public class ModeSwitch" in artifacts["ModeSwitch.java"]
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(FsmBackendError):
+            FsmBackend("cobol")
+
+    def test_model_without_machines_rejected(self):
+        b = ModelBuilder("empty")
+        with pytest.raises(FsmBackendError, match="no state machines"):
+            FsmBackend().generate(b.build())
+
+    def test_multiple_machines_one_file_each(self):
+        model = _model_with_machine()
+        machine2 = StateMachine("second")
+        region = machine2.main_region()
+        init = region.add_vertex(Pseudostate())
+        only = region.add_vertex(State("only"))
+        region.add_transition(Transition(init, only))
+        model.add_state_machine(machine2)
+        artifacts = FsmBackend().generate(model)
+        assert set(artifacts) == {"mode_switch.c", "second.c"}

@@ -1,0 +1,125 @@
+"""Unit tests for the KPN back-end."""
+
+import pytest
+
+from repro.backends import (
+    KpnBackend,
+    KpnChannel,
+    KpnError,
+    KpnNetwork,
+    KpnProcess,
+)
+from repro.uml import ModelBuilder
+
+
+def _pipeline_network():
+    network = KpnNetwork("pipe")
+    network.add_process(KpnProcess("P1"))
+    network.add_process(KpnProcess("P2"))
+    network.add_channel(KpnChannel("in", "", "P1"))
+    network.add_channel(KpnChannel("mid", "P1", "P2"))
+    network.add_channel(KpnChannel("out", "P2", ""))
+    return network
+
+
+class TestNetworkStructure:
+    def test_channels_update_process_ports(self):
+        network = _pipeline_network()
+        assert network.processes["P1"].inputs == ["in"]
+        assert network.processes["P1"].outputs == ["mid"]
+        assert [c.name for c in network.network_inputs()] == ["in"]
+        assert [c.name for c in network.network_outputs()] == ["out"]
+
+    def test_duplicates_rejected(self):
+        network = _pipeline_network()
+        with pytest.raises(KpnError):
+            network.add_process(KpnProcess("P1"))
+        with pytest.raises(KpnError):
+            network.add_channel(KpnChannel("in", "", "P1"))
+
+
+class TestExecution:
+    def test_default_behaviour_copies_sum(self):
+        network = _pipeline_network()
+        outputs = network.run(3, inputs={"in": [1.0, 2.0, 3.0]})
+        assert outputs["out"] == [1.0, 2.0, 3.0]
+
+    def test_custom_behaviour(self):
+        network = _pipeline_network()
+        network.processes["P1"].behavior = lambda ins: {
+            "mid": ins["in"] * 10
+        }
+        outputs = network.run(2, inputs={"in": [1.0, 2.0]})
+        assert outputs["out"] == [10.0, 20.0]
+
+    def test_missing_stimulus_padded_with_zero(self):
+        network = _pipeline_network()
+        outputs = network.run(2, inputs={"in": [5.0]})
+        assert outputs["out"] == [5.0, 0.0]
+
+    def test_blocking_read_semantics(self):
+        """A process with two inputs fires only when both hold tokens."""
+        network = KpnNetwork("join")
+        network.add_process(KpnProcess("J"))
+        network.add_channel(KpnChannel("a", "", "J"))
+        network.add_channel(KpnChannel("b", "", "J"))
+        network.add_channel(KpnChannel("o", "J", ""))
+        outputs = network.run(1, inputs={"a": [1.0], "b": [2.0]})
+        assert outputs["o"] == [3.0]
+
+    def test_source_processes_fire_once_per_round(self):
+        network = KpnNetwork("src")
+        network.add_process(KpnProcess("S", behavior=lambda ins: {"o": 7.0}))
+        network.add_channel(KpnChannel("o", "S", ""))
+        outputs = network.run(3)
+        assert outputs["o"] == [7.0, 7.0, 7.0]
+
+
+class TestBackend:
+    def test_network_built_from_uml(self, crane_model):
+        backend = KpnBackend()
+        network = backend.build_network(crane_model)
+        assert set(network.processes) == {"T1", "T2", "T3"}
+        # 3 inter-thread channels + 3 env inputs + 1 env output
+        assert len(network.channels) == 7
+
+    def test_generate_emits_dot(self, crane_model):
+        artifacts = KpnBackend().generate(crane_model)
+        dot = artifacts["crane.kpn.dot"]
+        assert dot.startswith("digraph crane")
+        assert '"T1" -> "T3"' in dot
+        assert "ENV_IN" in dot and "ENV_OUT" in dot
+
+    def test_crane_network_is_live(self, crane_model):
+        backend = KpnBackend()
+        network = backend.build_network(crane_model)
+        stim = {c.name: [1.0, 1.0] for c in network.network_inputs()}
+        outputs = network.run(2, inputs=stim)
+        voltage = outputs["out_T3_voltage"]
+        assert len(voltage) == 2
+
+
+class TestCGeneration:
+    def test_c_artifact_emitted(self, crane_model):
+        artifacts = KpnBackend().generate(crane_model)
+        assert "crane_kpn.c" in artifacts
+        source = artifacts["crane_kpn.c"]
+        assert '#include "kpn_runtime.h"' in source
+
+    def test_process_functions_and_channels(self, crane_model):
+        source = KpnBackend().generate(crane_model)["crane_kpn.c"]
+        for thread in ("T1", "T2", "T3"):
+            assert f"static void process_{thread}(void)" in source
+            assert f'kpn_register(process_{thread}, "{thread}");' in source
+        assert "static kpn_channel ch_T1_T3_xc;" in source
+
+    def test_blocking_reads_and_writes(self, crane_model):
+        source = KpnBackend().generate(crane_model)["crane_kpn.c"]
+        # T3 reads its three input channels and writes the env output.
+        assert "kpn_read(&ch_T1_T3_xc)" in source
+        assert "kpn_read(&ch_T2_T3_ref)" in source
+        assert "kpn_write(&ch_out_T3_voltage" in source
+
+    def test_balanced_braces(self, crane_model):
+        source = KpnBackend().generate(crane_model)["crane_kpn.c"]
+        assert source.count("{") == source.count("}")

@@ -1,0 +1,32 @@
+"""Unit tests for the Simulink back-end façade."""
+
+from repro.apps import didactic
+from repro.backends import SimulinkBackend
+from repro.simulink import from_mdl
+
+
+class TestSimulinkBackend:
+    def test_generates_mdl_and_intermediate(self, didactic_model):
+        backend = SimulinkBackend(behaviors=didactic.behaviors())
+        artifacts = backend.generate(didactic_model)
+        assert set(artifacts) == {"didactic.mdl", "didactic.caam.xml"}
+        assert artifacts["didactic.mdl"].startswith("Model {")
+        assert "caam:Model" in artifacts["didactic.caam.xml"]
+
+    def test_mdl_artifact_parses(self, didactic_model):
+        backend = SimulinkBackend()
+        artifacts = backend.generate(didactic_model)
+        loaded = from_mdl(artifacts["didactic.mdl"])
+        assert loaded.name == "didactic"
+
+    def test_last_result_exposed(self, didactic_model):
+        backend = SimulinkBackend()
+        backend.generate(didactic_model)
+        assert backend.last_result is not None
+        assert backend.last_result.summary.cpus == 2
+
+    def test_auto_allocation_mode(self, synthetic_model):
+        backend = SimulinkBackend(auto_allocate=True)
+        artifacts = backend.generate(synthetic_model)
+        assert backend.last_result.summary.cpus == 4
+        assert "synthetic.mdl" in artifacts

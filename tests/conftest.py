@@ -1,0 +1,42 @@
+"""Shared fixtures: the paper's case-study models and synthesized CAAMs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import crane, didactic, synthetic
+from repro.core import synthesize
+
+
+@pytest.fixture()
+def didactic_model():
+    return didactic.build_model()
+
+
+@pytest.fixture()
+def crane_model():
+    return crane.build_model()
+
+
+@pytest.fixture()
+def synthetic_model():
+    return synthetic.build_model()
+
+
+@pytest.fixture(scope="session")
+def didactic_result():
+    return synthesize(didactic.build_model(), behaviors=didactic.behaviors())
+
+
+@pytest.fixture(scope="session")
+def crane_result():
+    return synthesize(crane.build_model(), behaviors=crane.behaviors())
+
+
+@pytest.fixture(scope="session")
+def synthetic_result():
+    return synthesize(
+        synthetic.build_model(),
+        auto_allocate=True,
+        behaviors=synthetic.behaviors(),
+    )

@@ -1,0 +1,75 @@
+"""Unit tests for automatic thread allocation (repro.core.allocation)."""
+
+import pytest
+
+from repro.core import (
+    TaskGraph,
+    allocate_from_interactions,
+    allocate_from_model,
+    allocate_threads,
+    critical_path_cpu,
+    plan_from_clusters,
+)
+
+
+def _graph():
+    graph = TaskGraph()
+    graph.add_edge("A", "B", 10)
+    graph.add_edge("C", "D", 9)
+    return graph
+
+
+class TestPlanFromClusters:
+    def test_deterministic_naming(self):
+        plan = plan_from_clusters([["C"], ["A", "B"]])
+        # bigger cluster first -> CPU0
+        assert plan.cpu_of("A") == "CPU0"
+        assert plan.cpu_of("C") == "CPU1"
+
+    def test_ties_broken_by_first_thread(self):
+        plan = plan_from_clusters([["Z"], ["A"]])
+        assert plan.cpu_of("A") == "CPU0"
+        assert plan.cpu_of("Z") == "CPU1"
+
+
+class TestAllocateThreads:
+    def test_result_carries_everything(self):
+        result = allocate_threads(_graph())
+        assert result.cpu_count == 2
+        assert set(result.plan.threads) == {"A", "B", "C", "D"}
+        assert result.graph is not None
+
+    def test_inter_cpu_traffic_computed(self):
+        result = allocate_threads(_graph())
+        assert result.inter_cpu_traffic == 0  # both chains intact
+
+    def test_summary_mentions_groups(self):
+        text = allocate_threads(_graph()).summary()
+        assert "CPU0" in text and "bits/iteration" in text
+
+    def test_critical_path_cpu(self):
+        result = allocate_threads(_graph())
+        assert critical_path_cpu(result) == result.plan.cpu_of("A")
+
+
+class TestFromModel:
+    def test_synthetic_model_allocation(self, synthetic_model):
+        from repro.apps.synthetic import EXPECTED_CLUSTERS
+
+        result = allocate_from_model(synthetic_model)
+        grouped = {
+            frozenset(result.plan.threads_on(cpu)) for cpu in result.plan.cpus
+        }
+        assert grouped == set(EXPECTED_CLUSTERS)
+
+    def test_from_interactions_equivalent(self, synthetic_model):
+        direct = allocate_from_interactions(synthetic_model.interactions)
+        via_model = allocate_from_model(synthetic_model)
+        assert direct.plan.as_mapping() == via_model.plan.as_mapping()
+
+    def test_crane_single_chain_lands_on_few_cpus(self, crane_model):
+        result = allocate_from_model(crane_model)
+        # T1/T2 both feed T3 heavily; the critical chain shares a CPU.
+        assert result.plan.co_located("T1", "T3") or result.plan.co_located(
+            "T2", "T3"
+        )

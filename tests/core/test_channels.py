@@ -1,0 +1,185 @@
+"""Unit tests for channel inference §4.2.1 (repro.core.channels)."""
+
+import pytest
+
+from repro.core import infer_channels, map_model
+from repro.simulink import GFIFO, SWFIFO
+from repro.uml import DeploymentPlan, ModelBuilder
+
+
+def _plan(**mapping):
+    return DeploymentPlan.from_mapping(mapping)
+
+
+def _two_thread_model(op_on_t1="setValue"):
+    b = ModelBuilder("m")
+    b.thread("T1")
+    b.thread("T2")
+    sd = b.interaction("main")
+    sd.call("T1", "T1", "src", result="v")
+    sd.call("T1", "T2", op_on_t1, args=["v"])
+    return b.build()
+
+
+class TestProtocolSelection:
+    def test_same_cpu_gives_swfifo(self):
+        result = map_model(_two_thread_model(), _plan(T1="CPU1", T2="CPU1"))
+        report = infer_channels(result)
+        assert report.intra_count == 1
+        assert report.inter_count == 0
+        channel = result.caam.channels()[0]
+        assert channel.parameters["Protocol"] == SWFIFO
+        assert channel.parent is result.caam.cpu("CPU1").system
+
+    def test_different_cpus_gives_gfifo_at_top(self):
+        result = map_model(_two_thread_model(), _plan(T1="CPU1", T2="CPU2"))
+        report = infer_channels(result)
+        assert report.inter_count == 1
+        channel = result.caam.channels()[0]
+        assert channel.parameters["Protocol"] == GFIFO
+        assert channel.parent is result.caam.root
+
+    def test_didactic_has_one_of_each(self, didactic_result):
+        """Fig. 3(c): one inter-SS and one intra-SS channel."""
+        assert len(didactic_result.caam.inter_cpu_channels()) == 1
+        assert len(didactic_result.caam.intra_cpu_channels()) == 1
+
+    def test_channel_width_carried(self):
+        result = map_model(_two_thread_model(), _plan(T1="CPU1", T2="CPU1"))
+        infer_channels(result)
+        channel = result.caam.channels()[0]
+        assert channel.parameters["DataWidthBits"] == 32
+
+
+class TestWiring:
+    def test_intra_channel_connects_thread_ports(self):
+        result = map_model(_two_thread_model(), _plan(T1="CPU1", T2="CPU1"))
+        infer_channels(result)
+        cpu = result.caam.cpu("CPU1")
+        channel = cpu.system.blocks_of_type("CommChannel")[0]
+        driver = cpu.system.driver_of(channel.input(1))
+        assert driver.source.block.name == "T1"
+        consumers = [
+            dest.block.name
+            for line in cpu.system.lines_from(channel)
+            for dest in line.destinations
+        ]
+        assert consumers == ["T2"]
+
+    def test_inter_channel_punches_cpu_boundaries(self):
+        result = map_model(_two_thread_model(), _plan(T1="CPU1", T2="CPU2"))
+        infer_channels(result)
+        caam = result.caam
+        cpu1 = caam.cpu("CPU1")
+        cpu2 = caam.cpu("CPU2")
+        assert cpu1.num_outputs == 1
+        assert cpu2.num_inputs == 1
+        # The boundary ports are wired through inside the CPUs.
+        boundary_out = cpu1.outport_blocks()[0]
+        assert cpu1.system.driver_of(boundary_out.input(1)) is not None
+
+    def test_flattened_dataflow_reaches_consumer(self):
+        from repro.simulink import flatten
+
+        result = map_model(_two_thread_model(), _plan(T1="CPU1", T2="CPU2"))
+        infer_channels(result)
+        _, edges = flatten(result.caam)
+        # src (in T1) -> channel -> (nothing, T2 receive port unconsumed)
+        names = {(s.block.name, d.block.name) for s, d in edges}
+        assert any(src == "src" for src, _ in names)
+
+
+class TestProducerInference:
+    def test_get_only_channel_uses_single_candidate(self):
+        """Consumer Gets; producer never Sets: its only produced variable
+        is inferred as the channel source (the paper's 'inference')."""
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        sd = b.interaction("main")
+        sd.call("T2", "T2", "work", result="data")
+        sd.call("T1", "T2", "getValue", result="x")
+        result = map_model(b.build(), _plan(T1="CPU1", T2="CPU1"))
+        infer_channels(result)
+        t2 = result.caam.thread("T2")
+        outport = t2.outport_blocks()[0]
+        line = t2.system.driver_of(outport.input(1))
+        assert line is not None
+        assert line.source.block.name == "work"
+
+    def test_variable_named_after_channel_preferred(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        sd = b.interaction("main")
+        sd.call("T2", "T2", "w1", result="value")
+        sd.call("T2", "T2", "w2", result="other")
+        sd.call("T1", "T2", "getValue", result="x")
+        result = map_model(b.build(), _plan(T1="CPU1", T2="CPU1"))
+        infer_channels(result)
+        t2 = result.caam.thread("T2")
+        outport = t2.outport_blocks()[0]
+        line = t2.system.driver_of(outport.input(1))
+        assert line.source.block.name == "w1"
+
+    def test_ambiguous_producer_warns(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        sd = b.interaction("main")
+        sd.call("T2", "T2", "w1", result="a")
+        sd.call("T2", "T2", "w2", result="b")
+        sd.call("T1", "T2", "getValue", result="x")
+        result = map_model(b.build(), _plan(T1="CPU1", T2="CPU1"))
+        infer_channels(result)
+        assert any("cannot infer" in w for w in result.warnings)
+
+
+class TestSystemIo:
+    def test_system_input_chain(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.io_device("Dev")
+        sd = b.interaction("main")
+        sd.call("T1", "Dev", "getSample", result="x")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        report = infer_channels(result)
+        assert len(report.system_inputs) == 1
+        root_inports = result.caam.root.blocks_of_type("Inport")
+        assert [b_.name for b_ in root_inports] == ["In1"]
+        cpu = result.caam.cpu("CPU1")
+        assert cpu.num_inputs == 1
+
+    def test_system_output_chain(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.io_device("Dev")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="y")
+        sd.call("T1", "Dev", "setActuator", args=["y"])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        report = infer_channels(result)
+        assert len(report.system_outputs) == 1
+        root_outports = result.caam.root.blocks_of_type("Outport")
+        assert [b_.name for b_ in root_outports] == ["Out1"]
+
+    def test_multiple_ios_numbered(self, crane_result):
+        root = crane_result.caam.root
+        inports = sorted(b.name for b in root.blocks_of_type("Inport"))
+        assert inports == ["In1", "In2", "In3"]
+        assert [b.name for b in root.blocks_of_type("Outport")] == ["Out1"]
+
+    def test_io_executes_end_to_end(self):
+        from repro.simulink import run_model
+
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.io_device("Dev")
+        sd = b.interaction("main")
+        sd.call("T1", "Dev", "getSample", result="x")
+        sd.call("T1", "Platform", "gain", args=["x"], result="y")
+        sd.call("T1", "Dev", "setOut", args=["y"])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        infer_channels(result)
+        trace = run_model(result.caam, 3, inputs={"In1": [1, 2, 3]})
+        assert trace.output("Out1") == [1.0, 2.0, 3.0]

@@ -1,0 +1,201 @@
+"""Unit + property tests for linear clustering (repro.core.clustering)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TaskGraph,
+    TaskGraphError,
+    critical_path,
+    inter_cluster_communication,
+    linear_clustering,
+    random_clusters,
+    round_robin_clusters,
+)
+
+
+def _chain(*weights):
+    graph = TaskGraph()
+    for index, weight in enumerate(weights):
+        graph.add_edge(f"n{index}", f"n{index + 1}", weight)
+    return graph
+
+
+class TestCriticalPath:
+    def test_simple_chain(self):
+        graph = _chain(5, 5)
+        path, length = critical_path(graph)
+        assert path == ["n0", "n1", "n2"]
+        assert length == 3 * 1.0 + 10  # three unit nodes + edges
+
+    def test_branching_picks_heavier(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 10)
+        graph.add_edge("A", "C", 2)
+        path, _ = critical_path(graph)
+        assert path == ["A", "B"]
+
+    def test_allowed_restricts_search(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 10)
+        graph.add_edge("C", "D", 5)
+        path, _ = critical_path(graph, allowed={"C", "D"})
+        assert path == ["C", "D"]
+
+    def test_node_weights_count(self):
+        graph = TaskGraph()
+        graph.add_node("heavy", 100)
+        graph.add_edge("A", "B", 10)
+        path, _ = critical_path(graph)
+        assert path == ["heavy"]
+
+    def test_cyclic_graph_rejected(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 1)
+        graph.add_edge("B", "A", 1)
+        with pytest.raises(TaskGraphError):
+            critical_path(graph)
+
+    def test_empty_graph(self):
+        path, length = critical_path(TaskGraph())
+        assert path == [] and length == 0.0
+
+
+class TestLinearClustering:
+    def test_chain_collapses_to_one_cluster(self):
+        result = linear_clustering(_chain(5, 5, 5))
+        assert len(result.clusters) == 1
+        assert set(result.clusters[0]) == {"n0", "n1", "n2", "n3"}
+
+    def test_parallel_branches_separated(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 10)
+        graph.add_edge("C", "D", 9)
+        result = linear_clustering(graph)
+        assert result.as_sets() == [
+            frozenset({"A", "B"}),
+            frozenset({"C", "D"}),
+        ]
+
+    def test_critical_path_recorded(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 10)
+        graph.add_edge("C", "D", 1)
+        result = linear_clustering(graph)
+        assert result.critical_path == ["A", "B"]
+
+    def test_cyclic_threads_co_clustered(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 1)
+        graph.add_edge("B", "A", 1)
+        graph.add_edge("X", "Y", 5)
+        result = linear_clustering(graph)
+        cluster_of_a = result.cluster_of("A")
+        assert result.cluster_of("B") == cluster_of_a
+
+    def test_isolated_nodes_get_own_clusters(self):
+        graph = TaskGraph()
+        graph.add_node("lonely1")
+        graph.add_node("lonely2")
+        result = linear_clustering(graph)
+        assert len(result.clusters) == 2
+
+    def test_cluster_of_unknown_raises(self):
+        result = linear_clustering(_chain(1))
+        with pytest.raises(TaskGraphError):
+            result.cluster_of("ghost")
+
+    def test_paper_synthetic_example(self):
+        """Fig. 7: the 12-thread graph clusters exactly as published."""
+        from repro.apps.synthetic import EXPECTED_CLUSTERS, task_graph
+
+        result = linear_clustering(task_graph())
+        assert set(result.as_sets()) == set(EXPECTED_CLUSTERS)
+        assert result.critical_path == ["A", "B", "C", "D", "F", "J"]
+
+
+class TestInterClusterCommunication:
+    def test_counts_crossing_edges_only(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 10)
+        graph.add_edge("B", "C", 5)
+        assert inter_cluster_communication(graph, [["A", "B"], ["C"]]) == 5
+        assert inter_cluster_communication(graph, [["A", "B", "C"]]) == 0
+
+    def test_duplicate_membership_rejected(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 1)
+        with pytest.raises(TaskGraphError):
+            inter_cluster_communication(graph, [["A"], ["A", "B"]])
+
+
+class TestBaselines:
+    def test_round_robin_partitions_everything(self):
+        graph = _chain(1, 1, 1)
+        clusters = round_robin_clusters(graph, 2)
+        flattened = sorted(t for c in clusters for t in c)
+        assert flattened == sorted(graph.nodes)
+
+    def test_random_is_seeded(self):
+        graph = _chain(1, 1, 1)
+        assert random_clusters(graph, 2, seed=7) == random_clusters(
+            graph, 2, seed=7
+        )
+
+    def test_bad_count_rejected(self):
+        graph = _chain(1)
+        with pytest.raises(TaskGraphError):
+            round_robin_clusters(graph, 0)
+        with pytest.raises(TaskGraphError):
+            random_clusters(graph, 0)
+
+
+_node_names = [f"t{i}" for i in range(8)]
+
+
+@st.composite
+def _random_dags(draw):
+    graph = TaskGraph()
+    count = draw(st.integers(min_value=2, max_value=8))
+    names = _node_names[:count]
+    for name in names:
+        graph.add_node(name, draw(st.integers(1, 5)))
+    # Edges only forward in index order => acyclic.
+    for i in range(count):
+        for j in range(i + 1, count):
+            if draw(st.booleans()):
+                graph.add_edge(names[i], names[j], draw(st.integers(1, 20)))
+    return graph
+
+
+class TestClusteringProperties:
+    @given(_random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_clusters_partition_the_nodes(self, graph):
+        result = linear_clustering(graph)
+        flattened = sorted(t for c in result.clusters for t in c)
+        assert flattened == sorted(graph.nodes)
+
+    @given(_random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_critical_path_stays_in_one_cluster(self, graph):
+        """The paper's §4.2.3 observation: 'this algorithm allocates all
+        threads that are in the system critical path to the same
+        processor'."""
+        result = linear_clustering(graph)
+        if not result.critical_path:
+            return
+        clusters = {result.cluster_of(t) for t in result.critical_path}
+        assert len(clusters) == 1
+
+    @given(_random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_than_no_clustering(self, graph):
+        """Inter-cluster traffic is at most the total traffic (sanity) and
+        zero when everything landed in one cluster."""
+        result = linear_clustering(graph)
+        crossing = inter_cluster_communication(graph, result.clusters)
+        assert 0 <= crossing <= graph.total_communication()
+        if len(result.clusters) == 1:
+            assert crossing == 0

@@ -1,0 +1,610 @@
+"""Unit tests for the §4.1 mapping rules (repro.core.mapping)."""
+
+import pytest
+
+from repro.core import MappingError, map_model
+from repro.simulink import GFIFO, SWFIFO
+from repro.uml import DeploymentPlan, ModelBuilder
+
+
+def _plan(**mapping):
+    return DeploymentPlan.from_mapping(mapping)
+
+
+def _single_thread_model():
+    b = ModelBuilder("m")
+    b.thread("T1")
+    b.instance("Obj")
+    sd = b.interaction("main")
+    return b, sd
+
+
+class TestStructureRules:
+    def test_cpu_and_thread_subsystems_created(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "f")
+        sd.call("T2", "T2", "g")
+        result = map_model(b.build(), _plan(T1="CPU1", T2="CPU2"))
+        assert [c.name for c in result.caam.cpus()] == ["CPU1", "CPU2"]
+        assert result.caam.cpu_of_thread("T1").name == "CPU1"
+        assert result.caam.cpu_of_thread("T2").name == "CPU2"
+
+    def test_thread_subsystem_created_once_across_interactions(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        sd1 = b.interaction("a")
+        sd1.call("T1", "T1", "f")
+        sd2 = b.interaction("b")
+        sd2.call("T1", "T1", "g")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        assert len(result.caam.threads()) == 1
+        thread = result.caam.thread("T1")
+        assert thread.system.has_block("f") and thread.system.has_block("g")
+
+    def test_model_without_interactions_rejected(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        with pytest.raises(MappingError, match="no interactions"):
+            map_model(b.build(), _plan(T1="CPU1"))
+
+    def test_empty_cpu_still_materialized(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "T1", "f")
+        plan = _plan(T1="CPU1")
+        plan.add_cpu("CPU_SPARE")
+        result = map_model(b.build(), plan)
+        assert {c.name for c in result.caam.cpus()} == {"CPU1", "CPU_SPARE"}
+
+
+class TestBlockRules:
+    def test_passive_object_call_becomes_sfunction(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "Obj", "process", args=["x"], result="y")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        block = result.caam.thread("T1").system.block("process")
+        assert block.block_type == "S-Function"
+        assert block.parameters["FunctionName"] == "process"
+
+    def test_platform_predefined_becomes_library_block(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "T1", "src", result="a")
+        sd.call("T1", "T1", "src2", result="b")
+        sd.call("T1", "Platform", "mult", args=["a", "b"], result="c")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        block = result.caam.thread("T1").system.block("mult")
+        assert block.block_type == "Product"
+
+    def test_platform_unknown_method_becomes_sfunction(self):
+        """Paper: 'When the method name does not match the pre-defined
+        component names, a user-defined Simulink block called S-function is
+        instantiated.'"""
+        b, sd = _single_thread_model()
+        sd.call("T1", "Platform", "fancyDsp", args=[1.0], result="y")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        block = result.caam.thread("T1").system.block("fancyDsp")
+        assert block.block_type == "S-Function"
+
+    def test_sum_sign_string_stretched_to_arity(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "Platform", "add", args=[1.0, 2.0, 3.0], result="s")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        block = result.caam.thread("T1").system.block("add")
+        assert block.parameters["Inputs"] == "+++"
+        assert block.num_inputs == 3
+
+    def test_repeated_operation_names_uniquified(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "Obj", "f", result="a")
+        sd.call("T1", "Obj", "f", result="b")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        system = result.caam.thread("T1").system
+        assert system.has_block("f") and system.has_block("f_2")
+
+    def test_operation_body_carried_as_source(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").op("f", inputs=["x:int"], returns="int").body(
+            "return x * 2;", "c"
+        )
+        b.thread("T1")
+        b.instance("Obj", "C")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="x")
+        sd.call("T1", "Obj", "f", args=["x"], result="y")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        block = result.caam.thread("T1").system.block("f")
+        assert block.parameters["Source"] == "return x * 2;"
+
+    def test_behavior_callback_attached(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "Obj", "f", result="y")
+        fn = lambda: 3.0  # noqa: E731
+        result = map_model(b.build(), _plan(T1="CPU1"), behaviors={"f": fn})
+        block = result.caam.thread("T1").system.block("f")
+        assert block.parameters["callback"] is fn
+
+
+class TestWiringRules:
+    def test_parameter_directions_become_ports(self):
+        """Paper: 'The direction of method parameters (in/out) and the
+        return are translated to input and output ports.'"""
+        b = ModelBuilder("m")
+        b.passive_class("C").op(
+            "f", inputs=["a:int", "b:int"], returns="int"
+        )
+        b.thread("T1")
+        b.instance("Obj", "C")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "s1", result="x")
+        sd.call("T1", "T1", "s2", result="y")
+        sd.call("T1", "Obj", "f", args=["x", "y"], result="z")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        block = result.caam.thread("T1").system.block("f")
+        assert block.num_inputs == 2
+        assert block.num_outputs == 1
+
+    def test_shared_variable_becomes_data_link(self):
+        """Paper: 'The r1 argument is passed from calc to mult, thus a
+        connection is instantiated between these ports.'"""
+        b, sd = _single_thread_model()
+        sd.call("T1", "Obj", "calc", result="r1")
+        sd.call("T1", "Obj", "use", args=["r1"])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        system = result.caam.thread("T1").system
+        calc = system.block("calc")
+        use = system.block("use")
+        line = system.driver_of(use.input(1))
+        assert line is not None
+        assert line.source.block is calc
+
+    def test_variable_consumed_twice_branches(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "Obj", "calc", result="r")
+        sd.call("T1", "Obj", "u1", args=["r"])
+        sd.call("T1", "Obj", "u2", args=["r"])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        system = result.caam.thread("T1").system
+        lines = system.lines_from(system.block("calc"))
+        assert len(lines) == 1
+        assert len(lines[0].destinations) == 2
+
+    def test_literal_argument_becomes_constant(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "Obj", "f", args=[3.5])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        system = result.caam.thread("T1").system
+        constants = system.blocks_of_type("Constant")
+        assert len(constants) == 1
+        assert constants[0].parameters["Value"] == 3.5
+
+    def test_unproduced_variable_becomes_inport_with_warning(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "Obj", "f", args=["ghost"])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        thread = result.caam.thread("T1")
+        assert any(
+            block.name == "ghost" for block in thread.inport_blocks()
+        )
+        assert any("ghost" in w for w in result.warnings)
+
+    def test_strict_mode_escalates_warnings(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "Obj", "f", args=["ghost"])
+        with pytest.raises(MappingError, match="ghost"):
+            map_model(b.build(), _plan(T1="CPU1"), strict=True)
+
+
+class TestChannelRules:
+    def test_set_records_request_and_ports(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="v")
+        sd.call("T1", "T2", "setValue", args=["v"])
+        result = map_model(b.build(), _plan(T1="CPU1", T2="CPU1"))
+        requests = result.unique_channel_requests()
+        assert len(requests) == 1
+        assert (requests[0].producer, requests[0].consumer) == ("T1", "T2")
+        assert requests[0].channel == "value"
+        assert "value" in result.scope("T1").send_ports
+        assert "value" in result.scope("T2").receive_ports
+
+    def test_get_records_reverse_request(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        sd = b.interaction("main")
+        sd.call("T1", "T2", "getValue", result="x")
+        result = map_model(b.build(), _plan(T1="CPU1", T2="CPU2"))
+        request = result.unique_channel_requests()[0]
+        assert (request.producer, request.consumer) == ("T2", "T1")
+
+    def test_matching_set_get_deduplicated(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="v")
+        sd.call("T1", "T2", "setValue", args=["v"])
+        sd.call("T2", "T1", "getValue", result="w")
+        result = map_model(b.build(), _plan(T1="CPU1", T2="CPU1"))
+        assert len(result.channel_requests) == 2
+        assert len(result.unique_channel_requests()) == 1
+
+    def test_non_prefixed_inter_thread_message_warns(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        sd = b.interaction("main")
+        sd.call("T1", "T2", "compute", args=[1.0])
+        result = map_model(b.build(), _plan(T1="CPU1", T2="CPU1"))
+        assert result.unique_channel_requests() == []
+        assert any("Set/Get" in w for w in result.warnings)
+
+
+class TestIoRules:
+    def test_get_on_io_requests_system_input(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.io_device("Dev")
+        sd = b.interaction("main")
+        sd.call("T1", "Dev", "getSample", result="x")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        assert len(result.io_requests) == 1
+        request = result.io_requests[0]
+        assert request.direction == "in"
+        assert request.channel == "sample"
+        assert request.variable == "x"
+
+    def test_set_on_io_requests_system_output(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.io_device("Dev")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="y")
+        sd.call("T1", "Dev", "setActuator", args=["y"])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        request = result.io_requests[0]
+        assert request.direction == "out"
+        assert request.variable == "y"
+
+    def test_io_without_prefix_warns(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.io_device("Dev")
+        sd = b.interaction("main")
+        sd.call("T1", "Dev", "toggle")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        assert result.io_requests == []
+        assert any("get/set naming" in w for w in result.warnings)
+
+
+class TestUnmappedThreads:
+    def test_message_from_unmapped_thread_skipped_with_warning(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("Ghost")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "f")
+        sd.call("Ghost", "Ghost", "g")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        assert len(result.caam.threads()) == 1
+        assert any("Ghost" in w for w in result.warnings)
+
+    def test_channel_to_unmapped_thread_skipped(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("Ghost")
+        sd = b.interaction("main")
+        sd.call("T1", "Ghost", "setX", args=[1.0])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        assert result.unique_channel_requests() == []
+
+
+class TestPlatformParameterArguments:
+    """Trailing literal arguments of pre-defined blocks become block
+    parameters (``gain(x, 2.5)`` → Gain with Gain=2.5)."""
+
+    def test_gain_parameter(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "T1", "src", result="x")
+        sd.call("T1", "Platform", "gain", args=["x", 2.5], result="y")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        gain = result.caam.thread("T1").system.block("gain")
+        assert gain.parameters["Gain"] == 2.5
+        assert gain.num_inputs == 1
+        # No Constant block was created for the literal.
+        assert result.caam.thread("T1").system.blocks_of_type("Constant") == []
+
+    def test_saturation_limits(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "T1", "src", result="x")
+        sd.call("T1", "Platform", "saturation", args=["x", -3.0, 3.0], result="y")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        sat = result.caam.thread("T1").system.block("saturation")
+        assert sat.parameters["LowerLimit"] == -3.0
+        assert sat.parameters["UpperLimit"] == 3.0
+
+    def test_delay_initial_condition(self):
+        b, sd = _single_thread_model()
+        sd.call("T1", "T1", "src", result="x")
+        sd.call("T1", "Platform", "delay", args=["x", 7.0], result="y")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        delay = result.caam.thread("T1").system.block("delay")
+        assert delay.parameters["InitialCondition"] == 7.0
+
+    def test_variable_extra_args_stay_inputs(self):
+        # Product has no parameter convention: both args remain inputs.
+        b, sd = _single_thread_model()
+        sd.call("T1", "T1", "s1", result="a")
+        sd.call("T1", "Platform", "mult", args=["a", 4.0], result="y")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        product = result.caam.thread("T1").system.block("mult")
+        assert product.num_inputs == 2
+        constants = result.caam.thread("T1").system.blocks_of_type("Constant")
+        assert len(constants) == 1  # literal wired through a Constant
+
+
+class TestBehaviorSubsystems:
+    """Operations whose body references a UML interaction map to
+    hierarchical subsystems (the crane Fig. 5 'control' case)."""
+
+    def _model(self):
+        from repro.uml import ModelBuilder
+
+        b = ModelBuilder("m")
+        b.passive_class("C").op(
+            "twice_plus", inputs=["x:double"], returns="double"
+        ).body("beh", "uml")
+        b.thread("T1")
+        b.instance("Obj", "C")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="x")
+        sd.call("T1", "Obj", "twice_plus", args=["x"], result="y")
+        sd.call("T1", "Platform", "abs", args=["y"], result="z")
+        beh = b.interaction("beh")
+        beh.call("Obj", "Platform", "gain", args=["x", 2.0], result="t")
+        beh.call("Obj", "Platform", "add", args=["t", "t"], result="result")
+        return b.build()
+
+    def test_subsystem_created_with_signature_ports(self):
+        result = map_model(self._model(), _plan(T1="CPU1"))
+        block = result.caam.thread("T1").system.block("twice_plus")
+        assert block.block_type == "SubSystem"
+        assert block.num_inputs == 1
+        assert block.num_outputs == 1
+
+    def test_inner_blocks_generated(self):
+        result = map_model(self._model(), _plan(T1="CPU1"))
+        sub = result.caam.thread("T1").system.block("twice_plus")
+        assert len(sub.system.blocks_of_type("Gain")) == 1
+        assert len(sub.system.blocks_of_type("Sum")) == 1
+
+    def test_executes_with_block_semantics(self):
+        from repro.core import infer_channels, insert_temporal_barriers
+        from repro.simulink import Simulator
+
+        result = map_model(
+            self._model(), _plan(T1="CPU1"), behaviors={"src": lambda: 3.0}
+        )
+        infer_channels(result)
+        insert_temporal_barriers(result.caam)
+        simulator = Simulator(result.caam, monitor=["m/CPU1/T1/abs"])
+        trace = simulator.run(1)
+        # twice_plus(3) = 2*3 + 2*3 = 12; abs(12) = 12.
+        assert trace.signal("m/CPU1/T1/abs") == [12.0]
+
+    def test_missing_behaviour_interaction_falls_back_to_sfunction(self):
+        from repro.uml import ModelBuilder
+
+        b = ModelBuilder("m")
+        b.passive_class("C").op("f", returns="double").body("ghost", "uml")
+        b.thread("T1")
+        b.instance("Obj", "C")
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "f", result="y")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        block = result.caam.thread("T1").system.block("f")
+        assert block.block_type == "S-Function"
+
+
+class TestAlternativeFragments:
+    """alt/opt combined fragments → Switch-selected dataflow."""
+
+    def _alt_model(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "sense", result="cond")
+        sd.call("T1", "Obj", "base", result="x")
+        then_branch, else_branch = sd.alt("cond", "else")
+        then_branch.call("T1", "Platform", "gain", args=["x", 2.0], result="y")
+        else_branch.call("T1", "Platform", "gain", args=["x", 3.0], result="y")
+        sd.call("T1", "Obj", "consume", args=["y"])
+        return b.build()
+
+    def test_switch_created_for_conflicting_variable(self):
+        result = map_model(self._alt_model(), _plan(T1="CPU1"))
+        system = result.caam.thread("T1").system
+        switches = system.blocks_of_type("Switch")
+        assert len(switches) == 1
+        assert switches[0].name == "select_y"
+
+    def test_switch_wiring(self):
+        result = map_model(self._alt_model(), _plan(T1="CPU1"))
+        system = result.caam.thread("T1").system
+        switch = system.blocks_of_type("Switch")[0]
+        first = system.driver_of(switch.input(1)).source.block
+        control = system.driver_of(switch.input(2)).source.block
+        fallback = system.driver_of(switch.input(3)).source.block
+        assert first.block_type == "Gain" and first.parameters["Gain"] == 2.0
+        assert control.name == "sense"
+        assert fallback.parameters["Gain"] == 3.0
+
+    def test_consumer_reads_switch_output(self):
+        result = map_model(self._alt_model(), _plan(T1="CPU1"))
+        system = result.caam.thread("T1").system
+        consume = system.block("consume")
+        driver = system.driver_of(consume.input(1))
+        assert driver.source.block.block_type == "Switch"
+
+    def test_alt_executes_both_ways(self):
+        from repro.core import infer_channels, insert_temporal_barriers
+        from repro.simulink import Simulator
+
+        behaviors = {
+            "sense": lambda: 1.0,
+            "base": lambda: 10.0,
+            "consume": lambda y: y,
+        }
+        result = map_model(
+            self._alt_model(), _plan(T1="CPU1"), behaviors=behaviors
+        )
+        infer_channels(result)
+        insert_temporal_barriers(result.caam)
+        simulator = Simulator(result.caam, monitor=["m/CPU1/T1/consume"])
+        assert simulator.run(1).signal("m/CPU1/T1/consume") == [20.0]
+
+        behaviors["sense"] = lambda: 0.0
+        result2 = map_model(
+            self._alt_model(), _plan(T1="CPU1"), behaviors=behaviors
+        )
+        infer_channels(result2)
+        simulator2 = Simulator(result2.caam, monitor=["m/CPU1/T1/consume"])
+        assert simulator2.run(1).signal("m/CPU1/T1/consume") == [30.0]
+
+    def test_opt_merges_with_previous_binding(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "sense", result="cond")
+        sd.call("T1", "Obj", "base", result="x")
+        branch = sd.opt("cond")
+        branch.call("T1", "Platform", "gain", args=["x", 5.0], result="x")
+        sd.call("T1", "Obj", "consume", args=["x"])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        system = result.caam.thread("T1").system
+        switch = system.blocks_of_type("Switch")[0]
+        fallback = system.driver_of(switch.input(3)).source.block
+        assert fallback.name == "base"  # prior producer of x
+
+    def test_missing_fallback_grounded_with_warning(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "sense", result="cond")
+        branch = sd.opt("cond")
+        branch.call("T1", "Obj", "maybe", result="fresh")
+        sd.call("T1", "Obj", "consume", args=["fresh"])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        assert any("grounding the fallback" in w for w in result.warnings)
+        system = result.caam.thread("T1").system
+        switch = system.blocks_of_type("Switch")[0]
+        fallback = system.driver_of(switch.input(3)).source.block
+        assert fallback.block_type == "Constant"
+
+    def test_multi_sender_alt_falls_back_with_warning(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        then_branch, else_branch = sd.alt("c", "else")
+        then_branch.call("T1", "Obj", "f", result="v")
+        else_branch.call("T2", "Obj", "g", result="w")
+        result = map_model(b.build(), _plan(T1="CPU1", T2="CPU1"))
+        assert any("spans multiple sender threads" in w for w in result.warnings)
+        assert result.caam.thread("T1").system.has_block("f")
+        assert result.caam.thread("T2").system.has_block("g")
+
+    def test_three_way_alt_chains_switches(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "c1", result="g1")
+        sd.call("T1", "Obj", "c2", result="g2")
+        sd.call("T1", "Obj", "base", result="x")
+        b1, b2, b3 = sd.alt("g1", "g2", "else")
+        b1.call("T1", "Platform", "gain", args=["x", 1.0], result="y")
+        b2.call("T1", "Platform", "gain", args=["x", 2.0], result="y")
+        b3.call("T1", "Platform", "gain", args=["x", 3.0], result="y")
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        system = result.caam.thread("T1").system
+        assert len(system.blocks_of_type("Switch")) == 2
+
+
+class TestOutParameterWiring:
+    """Arguments aligned with *out* parameters bind to output ports."""
+
+    def _model(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").op(
+            "split",
+            inputs=["x:double"],
+            outputs=["hi:double", "lo:double"],
+            returns="double",
+        )
+        b.thread("T1")
+        b.instance("Obj", "C")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="x")
+        sd.call("T1", "Obj", "split", args=["x", "h", "l"], result="avg")
+        sd.call("T1", "Platform", "sub", args=["h", "l"], result="d")
+        return b.build()
+
+    def test_block_has_ports_for_outs_and_return(self):
+        result = map_model(self._model(), _plan(T1="CPU1"))
+        block = result.caam.thread("T1").system.block("split")
+        assert block.num_inputs == 1
+        assert block.num_outputs == 3  # return + hi + lo
+
+    def test_out_variables_bound_to_output_ports(self):
+        result = map_model(self._model(), _plan(T1="CPU1"))
+        scope = result.scope("T1")
+        split = result.caam.thread("T1").system.block("split")
+        assert scope.producer_of("avg") == split.output(1)  # return
+        assert scope.producer_of("h") == split.output(2)
+        assert scope.producer_of("l") == split.output(3)
+
+    def test_consumers_wired_from_out_ports(self):
+        result = map_model(self._model(), _plan(T1="CPU1"))
+        system = result.caam.thread("T1").system
+        sub = system.block("sub")
+        assert system.driver_of(sub.input(1)).source.index == 2
+        assert system.driver_of(sub.input(2)).source.index == 3
+
+    def test_literal_out_argument_warns(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").op("f", inputs=["x:int"], outputs=["y:int"])
+        b.thread("T1")
+        b.instance("Obj", "C")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="x")
+        sd.call("T1", "Obj", "f", args=["x", 42])
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        assert any("out-argument" in w for w in result.warnings)
+
+    def test_inputs_only_call_still_accepted(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").op("f", inputs=["x:int"], outputs=["y:int"])
+        b.thread("T1")
+        b.instance("Obj", "C")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="x")
+        sd.call("T1", "Obj", "f", args=["x"])  # out param not mentioned
+        result = map_model(b.build(), _plan(T1="CPU1"))
+        block = result.caam.thread("T1").system.block("f")
+        assert block.num_inputs == 1
+
+    def test_validation_accepts_both_arities(self):
+        from repro.uml import validate_model
+
+        issues = validate_model(self._model())
+        assert not [i for i in issues if i.severity == "error"]

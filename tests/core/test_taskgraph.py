@@ -1,0 +1,150 @@
+"""Unit tests for task-graph extraction (repro.core.taskgraph)."""
+
+import pytest
+
+from repro.core import TaskGraph, build_task_graph, producer_consumer, task_graph_from_model
+from repro.uml import ModelBuilder
+
+
+class TestTaskGraph:
+    def test_add_edge_accumulates(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 10)
+        graph.add_edge("A", "B", 5)
+        assert graph.edge_weight("A", "B") == 15
+
+    def test_self_edges_dropped(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "A", 10)
+        assert graph.edges == {}
+
+    def test_successors_predecessors(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 1)
+        graph.add_edge("A", "C", 1)
+        assert set(graph.successors("A")) == {"B", "C"}
+        assert graph.predecessors("B") == ["A"]
+
+    def test_topological_order_of_dag(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 1)
+        graph.add_edge("B", "C", 1)
+        order = graph.topological_order()
+        assert order.index("A") < order.index("B") < order.index("C")
+        assert graph.is_dag()
+
+    def test_cyclic_graph_has_no_topological_order(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 1)
+        graph.add_edge("B", "A", 1)
+        assert graph.topological_order() is None
+        assert not graph.is_dag()
+
+    def test_total_communication(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 3)
+        graph.add_edge("B", "C", 4)
+        assert graph.total_communication() == 7
+
+
+class TestCondensation:
+    def test_scc_merged(self):
+        graph = TaskGraph()
+        graph.add_edge("A", "B", 1)
+        graph.add_edge("B", "A", 1)
+        graph.add_edge("B", "C", 5)
+        dag, member_of = graph.condensation()
+        assert dag.is_dag()
+        assert member_of["A"] == member_of["B"]
+        assert member_of["C"] != member_of["A"]
+        # inter-SCC edge survives with its weight
+        assert dag.edge_weight(member_of["B"], member_of["C"]) == 5
+
+    def test_node_weights_summed(self):
+        graph = TaskGraph()
+        graph.add_node("A", 2)
+        graph.add_node("B", 3)
+        graph.add_edge("A", "B", 1)
+        graph.add_edge("B", "A", 1)
+        dag, member_of = graph.condensation()
+        assert dag.node_weights[member_of["A"]] == 5
+
+
+class TestProducerConsumer:
+    def _messages(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        get = sd.call("T1", "T2", "getValue", result="x")
+        set_ = sd.call("T1", "T2", "setOther", args=["x"])
+        local = sd.call("T1", "Obj", "calc", args=["x"])
+        return get, set_, local
+
+    def test_get_reverses_direction(self):
+        get, _, _ = self._messages()
+        assert producer_consumer(get) == ("T2", "T1")
+
+    def test_set_keeps_direction(self):
+        _, set_, _ = self._messages()
+        assert producer_consumer(set_) == ("T1", "T2")
+
+    def test_local_call_is_not_communication(self):
+        _, _, local = self._messages()
+        assert producer_consumer(local) is None
+
+
+class TestExtraction:
+    def test_edges_weighted_by_width_and_multiplicity(self):
+        b = ModelBuilder("m")
+        b.thread("A")
+        b.thread("B")
+        sd = b.interaction("main")
+        loop = sd.loop(iterations=10)
+        loop.call("A", "B", "setX", args=["v"])  # 32 bits * 10
+        graph = build_task_graph(b.model.interactions)
+        assert graph.edge_weight("A", "B") == 320
+
+    def test_both_directions_accumulate_separately(self):
+        b = ModelBuilder("m")
+        b.thread("A")
+        b.thread("B")
+        sd = b.interaction("main")
+        sd.call("A", "B", "setX", args=["v"])
+        sd.call("A", "B", "getY", result="w")
+        graph = build_task_graph(b.model.interactions)
+        assert graph.edge_weight("A", "B") == 32
+        assert graph.edge_weight("B", "A") == 32  # untyped get: one result
+
+    def test_node_weight_counts_local_operations(self):
+        b = ModelBuilder("m")
+        b.thread("A")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        sd.call("A", "Obj", "f1", result="a")
+        sd.call("A", "Obj", "f2", args=["a"])
+        graph = build_task_graph(b.model.interactions)
+        assert graph.node_weights["A"] == 2
+
+    def test_threads_without_messages_still_nodes(self):
+        b = ModelBuilder("m")
+        b.thread("A")
+        b.thread("B")
+        sd = b.interaction("main")
+        sd.call("A", "A", "noop")
+        # B appears on no message but was declared in the interaction? No -
+        # lifelines only exist if referenced, so B is absent.
+        graph = build_task_graph(b.model.interactions)
+        assert "B" not in graph.node_weights
+
+    def test_from_model_wrapper(self, synthetic_model):
+        graph = task_graph_from_model(synthetic_model)
+        assert len(graph.nodes) == 12
+
+    def test_synthetic_matches_figure(self, synthetic_model):
+        from repro.apps.synthetic import EDGES
+
+        graph = task_graph_from_model(synthetic_model)
+        for producer, consumer, weight in EDGES:
+            assert graph.edge_weight(producer, consumer) == weight * 32

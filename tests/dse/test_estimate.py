@@ -1,0 +1,102 @@
+"""Unit tests for allocation-cost estimation (repro.dse.estimate)."""
+
+import pytest
+
+from repro.core import TaskGraph
+from repro.dse import CostEstimate, EstimationError, estimate_allocation
+from repro.uml import DeploymentPlan
+
+
+def _graph():
+    graph = TaskGraph()
+    graph.add_node("A", 1)
+    graph.add_node("B", 1)
+    graph.add_edge("A", "B", 32)
+    return graph
+
+
+def _plan(**mapping):
+    return DeploymentPlan.from_mapping(mapping)
+
+
+class TestEstimate:
+    def test_single_cpu_serializes(self):
+        estimate = estimate_allocation(
+            _graph(), _plan(A="CPU0", B="CPU0"), cycles_per_unit=50
+        )
+        # A then B on one CPU: 50 + 1 (SWFIFO word) + 50.
+        assert estimate.makespan_cycles == 101
+        assert estimate.cpu_count == 1
+        assert estimate.intra_cpu_cycles == 1
+        assert estimate.inter_cpu_cycles == 0
+
+    def test_two_cpus_pay_bus_latency(self):
+        estimate = estimate_allocation(
+            _graph(), _plan(A="CPU0", B="CPU1"), cycles_per_unit=50
+        )
+        # A finishes at 50, GFIFO costs 20+10, B runs 50 -> 130.
+        assert estimate.makespan_cycles == 130
+        assert estimate.inter_cpu_cycles == 30
+        assert estimate.cpu_count == 2
+
+    def test_parallel_threads_overlap(self):
+        graph = TaskGraph()
+        graph.add_node("A", 1)
+        graph.add_node("B", 1)
+        estimate = estimate_allocation(
+            graph, _plan(A="CPU0", B="CPU1"), cycles_per_unit=50
+        )
+        assert estimate.makespan_cycles == 50
+        same = estimate_allocation(
+            graph, _plan(A="CPU0", B="CPU0"), cycles_per_unit=50
+        )
+        assert same.makespan_cycles == 100
+
+    def test_missing_thread_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_allocation(_graph(), _plan(A="CPU0"))
+
+    def test_cyclic_graph_condensed(self):
+        graph = TaskGraph()
+        graph.add_node("A", 1)
+        graph.add_node("B", 1)
+        graph.add_edge("A", "B", 32)
+        graph.add_edge("B", "A", 32)
+        estimate = estimate_allocation(
+            graph, _plan(A="CPU0", B="CPU0"), cycles_per_unit=50
+        )
+        assert estimate.makespan_cycles == 100
+
+    def test_dominates(self):
+        fast_small = CostEstimate(100, 0, 0, 0, 1)
+        slow_small = CostEstimate(200, 0, 0, 0, 1)
+        fast_big = CostEstimate(100, 0, 0, 0, 2)
+        assert fast_small.dominates(slow_small)
+        assert fast_small.dominates(fast_big)
+        assert not fast_big.dominates(fast_small)
+        assert not fast_small.dominates(fast_small)
+
+    def test_agrees_with_full_caam_schedule_ordering(self):
+        """The estimator must rank allocations like the full CAAM schedule
+        (on the paper's synthetic example)."""
+        from repro.apps import synthetic
+        from repro.core import plan_from_clusters, round_robin_clusters, synthesize
+        from repro.mpsoc import platform_for_caam, schedule_caam
+
+        graph = synthetic.task_graph()
+        model = synthetic.build_model()
+        clustered = synthesize(model, auto_allocate=True)
+        rr_plan = plan_from_clusters(round_robin_clusters(graph, 4))
+        scattered = synthesize(model, rr_plan)
+
+        est_lc = estimate_allocation(graph, clustered.plan)
+        est_rr = estimate_allocation(graph, rr_plan)
+        full_lc = schedule_caam(
+            clustered.caam, platform_for_caam(clustered.caam)
+        ).makespan
+        full_rr = schedule_caam(
+            scattered.caam, platform_for_caam(scattered.caam)
+        ).makespan
+        assert (est_lc.makespan_cycles <= est_rr.makespan_cycles) == (
+            full_lc <= full_rr
+        )

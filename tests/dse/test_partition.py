@@ -1,0 +1,116 @@
+"""Unit tests for automatic thread partitioning (repro.dse.partition)."""
+
+import pytest
+
+from repro.core import synthesize
+from repro.dse import PartitionError, partition_thread
+from repro.simulink import run_model
+from repro.uml import ModelBuilder
+
+
+def _monolithic_model(ops: int = 4):
+    b = ModelBuilder("mono")
+    b.thread("T")
+    b.io_device("Dev")
+    sd = b.interaction("main")
+    sd.call("T", "Dev", "getIn", result="v0")
+    for index in range(ops):
+        sd.call("T", "T", f"f{index}", args=[f"v{index}"], result=f"v{index + 1}")
+    sd.call("T", "Dev", "setOut", args=[f"v{ops}"])
+    return b.build()
+
+
+class TestPartitioning:
+    def test_new_threads_created(self):
+        model = partition_thread(_monolithic_model(), "T", 2)
+        threads = {
+            i.name
+            for i in model.all_instances()
+            if i.has_stereotype("SASchedRes")
+        }
+        assert {"T_p0", "T_p1"} <= threads
+
+    def test_original_interaction_replaced(self):
+        model = partition_thread(_monolithic_model(), "T", 2)
+        names = [i.name for i in model.interactions]
+        assert "main" not in names
+        assert "main_partitioned" in names
+
+    def test_handoff_messages_inserted(self):
+        model = partition_thread(_monolithic_model(), "T", 2)
+        interaction = model.interaction("main_partitioned")
+        sends = [m for m in interaction.messages() if m.is_send and m.is_inter_thread]
+        assert len(sends) == 1
+        assert sends[0].sender.name == "T_p0"
+        assert sends[0].receiver.name == "T_p1"
+
+    def test_original_model_untouched(self):
+        original = _monolithic_model()
+        before = [i.name for i in original.interactions]
+        partition_thread(original, "T", 3)
+        assert [i.name for i in original.interactions] == before
+
+    def test_balanced_segment_sizes(self):
+        model = partition_thread(_monolithic_model(ops=5), "T", 3)
+        interaction = model.interaction("main_partitioned")
+        counts = {}
+        for message in interaction.messages():
+            if not (message.is_send and message.is_inter_thread):
+                counts[message.sender.name] = counts.get(message.sender.name, 0) + 1
+        sizes = sorted(counts.values())
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partitioned_model_synthesizes_and_runs(self):
+        model = partition_thread(_monolithic_model(ops=3), "T", 3)
+        behaviors = {f"f{i}": (lambda v, inc=i: v + inc + 1) for i in range(3)}
+        result = synthesize(model, auto_allocate=True, behaviors=behaviors)
+        assert result.warnings == []
+        trace = run_model(result.caam, 2, inputs={"In1": [10.0, 20.0]})
+        # f0 adds 1, f1 adds 2, f2 adds 3 -> +6 overall.
+        assert trace.output("Out1") == [16.0, 26.0]
+
+    def test_numeric_equivalence_with_monolith(self):
+        behaviors = {f"f{i}": (lambda v, k=i: 2.0 * v - k) for i in range(4)}
+        mono = synthesize(
+            _monolithic_model(), auto_allocate=True, behaviors=behaviors
+        )
+        split = synthesize(
+            partition_thread(_monolithic_model(), "T", 2),
+            auto_allocate=True,
+            behaviors=behaviors,
+        )
+        stim = {"In1": [1.0, 2.0, 3.0]}
+        assert (
+            run_model(mono.caam, 3, inputs=stim).output("Out1")
+            == run_model(split.caam, 3, inputs=stim).output("Out1")
+        )
+
+
+class TestErrors:
+    def test_bad_count(self):
+        with pytest.raises(PartitionError):
+            partition_thread(_monolithic_model(), "T", 0)
+
+    def test_more_parts_than_operations(self):
+        with pytest.raises(PartitionError, match="cannot split"):
+            partition_thread(_monolithic_model(ops=1), "T", 9)
+
+    def test_multi_sender_interaction_rejected(self):
+        b = ModelBuilder("multi")
+        b.thread("T")
+        b.thread("U")
+        sd = b.interaction("main")
+        sd.call("T", "T", "f")
+        sd.call("U", "U", "g")
+        with pytest.raises(PartitionError, match="other senders"):
+            partition_thread(b.build(), "T", 1, interaction_name="main")
+
+    def test_ambiguous_interaction_needs_name(self):
+        b = ModelBuilder("two")
+        b.thread("T")
+        sd1 = b.interaction("one")
+        sd1.call("T", "T", "f")
+        sd2 = b.interaction("two")
+        sd2.call("T", "T", "g")
+        with pytest.raises(PartitionError, match="appears in 2"):
+            partition_thread(b.build(), "T", 1)

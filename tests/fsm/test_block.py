@@ -1,0 +1,101 @@
+"""Unit tests for FSM chart blocks (repro.fsm.block)."""
+
+import pytest
+
+from repro.fsm import Fsm, chart_block, threshold_events
+from repro.simulink import Block, SimulinkModel, run_model
+
+
+def _thermostat_fsm():
+    fsm = Fsm("mode")
+    fsm.add_state("off", entry="heater = 0", initial=True)
+    fsm.add_state("on", entry="heater = 1")
+    fsm.add_variable("heater", 0.0)
+    fsm.add_transition("off", "on", event="cold")
+    fsm.add_transition("on", "off", event="warm")
+    return fsm
+
+
+class TestChartBlock:
+    def test_unknown_output_variable_rejected(self):
+        with pytest.raises(KeyError, match="no variable"):
+            chart_block("c", _thermostat_fsm(), 1, lambda ins: "", ["ghost"])
+
+    def test_chart_runs_inside_a_model(self):
+        model = SimulinkModel("m")
+        source = model.root.add(
+            Block("In1", "Inport", inputs=0, outputs=1, parameters={"Port": 1})
+        )
+        chart = model.root.add(
+            chart_block(
+                "mode",
+                _thermostat_fsm(),
+                inputs=1,
+                event_function=threshold_events(
+                    (lambda ins: ins[0] < 18.0, "cold"),
+                    (lambda ins: ins[0] > 22.0, "warm"),
+                ),
+                output_variables=["heater"],
+            )
+        )
+        out = model.root.add(
+            Block("Out1", "Outport", inputs=1, outputs=0, parameters={"Port": 1})
+        )
+        model.root.connect(source.output(), chart.input())
+        model.root.connect(chart.output(), out.input())
+        trace = run_model(
+            model, 5, inputs={"In1": [15.0, 19.0, 25.0, 25.0, 10.0]}
+        )
+        # cold->on, no event->on, warm->off, warm->off, cold->on
+        assert trace.output("Out1") == [1.0, 1.0, 0.0, 0.0, 1.0]
+
+    def test_chart_state_survives_run_calls_and_reset(self):
+        from repro.simulink import Simulator
+
+        model = SimulinkModel("m")
+        source = model.root.add(
+            Block("In1", "Inport", inputs=0, outputs=1, parameters={"Port": 1})
+        )
+        chart = model.root.add(
+            chart_block(
+                "mode",
+                _thermostat_fsm(),
+                inputs=1,
+                event_function=threshold_events(
+                    (lambda ins: ins[0] < 0, "cold")
+                ),
+                output_variables=["heater"],
+            )
+        )
+        model.root.connect(source.output(), chart.input())
+        simulator = Simulator(model, monitor=["m/mode"])
+        assert simulator.run(1, inputs={"In1": [-1]}).signal("m/mode") == [1.0]
+        # State persists: stays on without further events.
+        assert simulator.run(1, inputs={"In1": [5]}).signal("m/mode") == [1.0]
+        simulator.reset()
+        assert simulator.run(1, inputs={"In1": [5]}).signal("m/mode") == [0.0]
+
+    def test_chart_serializes_without_callback(self):
+        from repro.simulink import from_mdl, to_mdl
+
+        model = SimulinkModel("m")
+        model.root.add(
+            chart_block(
+                "mode", _thermostat_fsm(), 1, lambda ins: "", ["heater"]
+            )
+        )
+        loaded = from_mdl(to_mdl(model))
+        block = loaded.root.block("mode")
+        assert block.parameters["ChartStates"] == "off,on"
+        assert "callback" not in block.parameters
+
+
+class TestThresholdEvents:
+    def test_first_matching_rule_wins(self):
+        events = threshold_events(
+            (lambda ins: ins[0] > 10, "high"),
+            (lambda ins: ins[0] > 5, "medium"),
+        )
+        assert events([20.0]) == "high"
+        assert events([7.0]) == "medium"
+        assert events([1.0]) == ""

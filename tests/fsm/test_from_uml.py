@@ -1,0 +1,126 @@
+"""Unit tests for UML state-machine flattening (repro.fsm.from_uml)."""
+
+import pytest
+
+from repro.fsm import FsmError, FsmSimulator, fsm_from_state_machine
+from repro.uml import (
+    FinalState,
+    Pseudostate,
+    Region,
+    State,
+    StateMachine,
+    Transition,
+)
+
+
+def _flat_machine():
+    machine = StateMachine("flat")
+    region = machine.main_region()
+    init = region.add_vertex(Pseudostate())
+    a = region.add_vertex(State("A", entry="x = 1"))
+    b = region.add_vertex(State("B", do="x = x + 1"))
+    end = region.add_vertex(FinalState("end"))
+    region.add_transition(Transition(init, a))
+    region.add_transition(Transition(a, b, trigger="go", guard="x > 0"))
+    region.add_transition(Transition(b, end, trigger="stop", effect="x = 0"))
+    return machine
+
+
+def _composite_machine():
+    machine = StateMachine("comp")
+    region = machine.main_region()
+    init = region.add_vertex(Pseudostate())
+    idle = region.add_vertex(State("idle"))
+    work = region.add_vertex(State("work"))
+    inner = work.add_region(Region("phases"))
+    iinit = inner.add_vertex(Pseudostate())
+    p1 = inner.add_vertex(State("p1"))
+    p2 = inner.add_vertex(State("p2"))
+    inner.add_transition(Transition(iinit, p1))
+    inner.add_transition(Transition(p1, p2, trigger="next"))
+    region.add_transition(Transition(init, idle))
+    region.add_transition(Transition(idle, work, trigger="start"))
+    region.add_transition(Transition(work, idle, trigger="abort"))
+    return machine
+
+
+class TestFlatLowering:
+    def test_states_and_initial(self):
+        fsm = fsm_from_state_machine(_flat_machine())
+        assert set(fsm.states) == {"A", "B", "end"}
+        assert fsm.initial == "A"
+        assert fsm.states["end"].is_final
+
+    def test_transitions_carry_trigger_guard_effect(self):
+        fsm = fsm_from_state_machine(_flat_machine())
+        go = [t for t in fsm.transitions if t.event == "go"][0]
+        assert go.guard == "x > 0"
+        stop = [t for t in fsm.transitions if t.event == "stop"][0]
+        assert stop.action == "x = 0"
+
+    def test_entry_and_do_merged(self):
+        fsm = fsm_from_state_machine(_flat_machine())
+        assert fsm.states["A"].entry == "x = 1"
+        assert fsm.states["B"].entry == "x = x + 1"
+
+    def test_result_is_executable(self):
+        fsm = fsm_from_state_machine(_flat_machine())
+        fsm.add_variable("x", 0.0)
+        simulator = FsmSimulator(fsm)
+        assert simulator.run(["go", "stop"]) == ["B", "end"]
+
+
+class TestCompositeLowering:
+    def test_composite_flattened_with_qualified_names(self):
+        fsm = fsm_from_state_machine(_composite_machine())
+        assert set(fsm.states) == {"idle", "work_p1", "work_p2"}
+
+    def test_entering_composite_lands_on_initial_leaf(self):
+        fsm = fsm_from_state_machine(_composite_machine())
+        start = [t for t in fsm.transitions if t.event == "start"][0]
+        assert (start.source, start.target) == ("idle", "work_p1")
+
+    def test_leaving_composite_replicated_from_all_leaves(self):
+        fsm = fsm_from_state_machine(_composite_machine())
+        aborts = [t for t in fsm.transitions if t.event == "abort"]
+        assert {t.source for t in aborts} == {"work_p1", "work_p2"}
+        assert all(t.target == "idle" for t in aborts)
+
+    def test_execution_through_hierarchy(self):
+        fsm = fsm_from_state_machine(_composite_machine())
+        simulator = FsmSimulator(fsm)
+        assert simulator.run(["start", "next", "abort"]) == [
+            "work_p1",
+            "work_p2",
+            "idle",
+        ]
+
+
+class TestErrors:
+    def test_machine_without_region(self):
+        with pytest.raises(FsmError, match="no region"):
+            fsm_from_state_machine(StateMachine("empty"))
+
+    def test_machine_without_initial(self):
+        machine = StateMachine("m")
+        machine.main_region().add_vertex(State("lonely"))
+        with pytest.raises(FsmError, match="no initial"):
+            fsm_from_state_machine(machine)
+
+    def test_orthogonal_top_regions_unsupported(self):
+        machine = StateMachine("m")
+        machine.add_region(Region("r1"))
+        machine.add_region(Region("r2"))
+        with pytest.raises(FsmError, match="orthogonal"):
+            fsm_from_state_machine(machine)
+
+    def test_composite_without_inner_initial(self):
+        machine = StateMachine("m")
+        region = machine.main_region()
+        init = region.add_vertex(Pseudostate())
+        comp = region.add_vertex(State("comp"))
+        inner = comp.add_region(Region("inner"))
+        inner.add_vertex(State("leaf"))
+        region.add_transition(Transition(init, comp))
+        with pytest.raises(FsmError, match="initial"):
+            fsm_from_state_machine(machine)

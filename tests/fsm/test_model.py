@@ -1,0 +1,110 @@
+"""Unit tests for the flat FSM metamodel (repro.fsm.model)."""
+
+import pytest
+
+from repro.fsm import Fsm, FsmError
+
+
+def _machine():
+    fsm = Fsm("m")
+    fsm.add_state("a", initial=True)
+    fsm.add_state("b")
+    fsm.add_state("c", final=True)
+    fsm.add_transition("a", "b", event="go")
+    fsm.add_transition("b", "c", event="stop")
+    return fsm
+
+
+class TestConstruction:
+    def test_first_state_becomes_initial(self):
+        fsm = Fsm("m")
+        fsm.add_state("only")
+        assert fsm.initial == "only"
+
+    def test_explicit_initial_overrides(self):
+        fsm = Fsm("m")
+        fsm.add_state("a")
+        fsm.add_state("b", initial=True)
+        assert fsm.initial == "b"
+
+    def test_duplicate_state_rejected(self):
+        fsm = Fsm("m")
+        fsm.add_state("a")
+        with pytest.raises(FsmError):
+            fsm.add_state("a")
+
+    def test_transition_needs_existing_states(self):
+        fsm = Fsm("m")
+        fsm.add_state("a")
+        with pytest.raises(FsmError):
+            fsm.add_transition("a", "ghost")
+        with pytest.raises(FsmError):
+            fsm.add_transition("ghost", "a")
+
+    def test_final_state_cannot_source_transitions(self):
+        fsm = _machine()
+        with pytest.raises(FsmError):
+            fsm.add_transition("c", "a", event="reset")
+
+    def test_event_alphabet_collected_in_order(self):
+        fsm = _machine()
+        assert fsm.events == ["go", "stop"]
+
+    def test_epsilon_not_in_alphabet(self):
+        fsm = Fsm("m")
+        fsm.add_state("a")
+        fsm.add_state("b")
+        fsm.add_transition("a", "b")
+        assert fsm.events == []
+
+
+class TestQueries:
+    def test_transitions_from(self):
+        fsm = _machine()
+        assert len(fsm.transitions_from("a")) == 1
+        assert fsm.transitions_from("c") == []
+
+    def test_reachability(self):
+        fsm = _machine()
+        fsm.add_state("island")
+        assert fsm.reachable_states() == ["a", "b", "c"]
+        assert fsm.unreachable_states() == ["island"]
+
+    def test_transition_label(self):
+        fsm = Fsm("m")
+        fsm.add_state("a")
+        fsm.add_state("b")
+        t = fsm.add_transition("a", "b", event="go", guard="x > 0", action="x = 0")
+        assert t.label() == "go [x > 0] / x = 0"
+        t2 = fsm.add_transition("a", "b")
+        assert t2.label() == "ε"
+
+
+class TestValidation:
+    def test_clean_machine(self):
+        assert _machine().validate() == []
+
+    def test_no_initial_flagged(self):
+        fsm = Fsm("m")
+        assert any("no initial" in p for p in fsm.validate())
+
+    def test_nondeterminism_flagged(self):
+        fsm = Fsm("m")
+        fsm.add_state("a")
+        fsm.add_state("b")
+        fsm.add_transition("a", "b", event="go")
+        fsm.add_transition("a", "a", event="go")
+        assert any("nondeterministic" in p for p in fsm.validate())
+
+    def test_different_guards_not_flagged(self):
+        fsm = Fsm("m")
+        fsm.add_state("a")
+        fsm.add_state("b")
+        fsm.add_transition("a", "b", event="go", guard="x > 0")
+        fsm.add_transition("a", "a", event="go", guard="x <= 0")
+        assert not any("nondeterministic" in p for p in fsm.validate())
+
+    def test_unreachable_flagged(self):
+        fsm = _machine()
+        fsm.add_state("island")
+        assert any("unreachable" in p for p in fsm.validate())

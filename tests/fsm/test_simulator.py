@@ -1,0 +1,155 @@
+"""Unit tests for FSM execution (repro.fsm.simulator)."""
+
+import pytest
+
+from repro.fsm import Fsm, FsmRuntimeError, FsmSimulator, simulate
+
+
+def _counter():
+    fsm = Fsm("counter")
+    fsm.add_state("idle", initial=True)
+    fsm.add_state("busy", entry="runs = runs + 1")
+    fsm.add_variable("count", 0.0)
+    fsm.add_variable("runs", 0.0)
+    fsm.add_transition("idle", "busy", event="start", action="count = 0")
+    fsm.add_transition(
+        "busy", "busy", event="tick", guard="count < 3", action="count = count + 1"
+    )
+    fsm.add_transition("busy", "idle", event="tick", guard="count >= 3")
+    return fsm
+
+
+class TestStepping:
+    def test_event_sequence(self):
+        states, variables = simulate(
+            _counter(), ["start", "tick", "tick", "tick", "tick"]
+        )
+        assert states == ["busy", "busy", "busy", "busy", "idle"]
+        assert variables["count"] == 3
+
+    def test_unknown_event_discarded(self):
+        simulator = FsmSimulator(_counter())
+        assert simulator.step("bogus") == "idle"
+
+    def test_entry_actions_run_on_entering(self):
+        simulator = FsmSimulator(_counter())
+        simulator.step("start")
+        assert simulator.variables["runs"] == 1
+
+    def test_initial_entry_action_runs(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", entry="x = 42", initial=True)
+        fsm.add_variable("x", 0.0)
+        simulator = FsmSimulator(fsm)
+        assert simulator.variables["x"] == 42
+
+    def test_exit_actions(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", exit="left = 1", initial=True)
+        fsm.add_state("b")
+        fsm.add_variable("left", 0.0)
+        fsm.add_transition("a", "b", event="go")
+        simulator = FsmSimulator(fsm)
+        simulator.step("go")
+        assert simulator.variables["left"] == 1
+
+    def test_trace_records_firings(self):
+        simulator = FsmSimulator(_counter())
+        simulator.run(["start", "tick"])
+        assert len(simulator.trace) == 2
+        assert simulator.trace[0].event == "start"
+        assert simulator.trace[1].transition.action == "count = count + 1"
+
+    def test_in_final_state(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", initial=True)
+        fsm.add_state("end", final=True)
+        fsm.add_transition("a", "end", event="die")
+        simulator = FsmSimulator(fsm)
+        assert not simulator.in_final_state
+        simulator.step("die")
+        assert simulator.in_final_state
+
+
+class TestCompletionTransitions:
+    def test_epsilon_chains_run_to_completion(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", initial=True)
+        fsm.add_state("b")
+        fsm.add_state("c")
+        fsm.add_transition("a", "b", event="go")
+        fsm.add_transition("b", "c")  # completion transition
+        simulator = FsmSimulator(fsm)
+        assert simulator.step("go") == "c"
+
+    def test_guarded_epsilon(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", initial=True)
+        fsm.add_state("b")
+        fsm.add_variable("x", 0.0)
+        fsm.add_transition("a", "b", guard="x > 0")
+        simulator = FsmSimulator(fsm)
+        assert simulator.step() == "a"  # guard false: stays
+        simulator.variables["x"] = 1.0
+        assert simulator.step() == "b"
+
+    def test_epsilon_livelock_detected(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", initial=True)
+        fsm.add_state("b")
+        fsm.add_transition("a", "b")
+        fsm.add_transition("b", "a")
+        simulator = FsmSimulator.__new__(FsmSimulator)  # skip init validation
+        simulator.fsm = fsm
+        simulator.current = "a"
+        simulator.variables = {}
+        simulator.trace = []
+        simulator._step_count = 0
+        with pytest.raises(FsmRuntimeError, match="livelock"):
+            simulator.step()
+
+
+class TestGuardsAndActions:
+    def test_comparison_in_action_is_not_assignment(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", initial=True)
+        fsm.add_state("b")
+        fsm.add_variable("x", 1.0)
+        fsm.add_transition("a", "b", event="go", action="x == 2")
+        simulator = FsmSimulator(fsm)
+        simulator.step("go")
+        assert simulator.variables["x"] == 1.0  # unchanged
+
+    def test_multiple_statements(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", initial=True)
+        fsm.add_state("b")
+        fsm.add_variable("x", 0.0)
+        fsm.add_variable("y", 0.0)
+        fsm.add_transition("a", "b", event="go", action="x = 1; y = x + 1")
+        simulator = FsmSimulator(fsm)
+        simulator.step("go")
+        assert (simulator.variables["x"], simulator.variables["y"]) == (1, 2)
+
+    def test_bad_guard_raises(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", initial=True)
+        fsm.add_state("b")
+        fsm.add_transition("a", "b", event="go", guard="undefined_var > 0")
+        simulator = FsmSimulator(fsm)
+        with pytest.raises(FsmRuntimeError, match="guard"):
+            simulator.step("go")
+
+    def test_bad_action_raises(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", initial=True)
+        fsm.add_state("b")
+        fsm.add_transition("a", "b", event="go", action="x = ghost + 1")
+        simulator = FsmSimulator(fsm)
+        with pytest.raises(FsmRuntimeError, match="action"):
+            simulator.step("go")
+
+    def test_invalid_fsm_rejected_at_construction(self):
+        fsm = Fsm("m")  # no states at all
+        with pytest.raises(FsmRuntimeError):
+            FsmSimulator(fsm)

@@ -1,0 +1,72 @@
+"""Every example script must run cleanly end to end.
+
+Examples are user-facing documentation; this test executes each one in a
+subprocess (so ``__main__`` guards and prints behave exactly as for a
+user) and fails on any non-zero exit.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+_EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_every_example_is_covered():
+    assert len(_EXAMPLES) >= 9
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout[-2000:]}\n"
+        f"{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script} printed nothing"
+
+
+class TestExampleContent:
+    """Spot-check the claims each example's output makes."""
+
+    def _run(self, script):
+        return subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        ).stdout
+
+    def test_quickstart_shows_caam_census(self):
+        out = self._run("quickstart.py")
+        assert "2 CPU-SS" in out
+        assert ".mdl" in out
+
+    def test_crane_reports_barrier_and_regulation(self):
+        out = self._run("crane_control.py")
+        assert "deadlocked cycle" in out
+        assert "inserted crane/CPU1/T3/Delay" in out
+        assert "moved toward" in out
+
+    def test_synthetic_matches_paper_grouping(self):
+        out = self._run("synthetic_mpsoc.py")
+        assert "matches the paper's grouping: True" in out
+
+    def test_mjpeg_is_pixel_perfect(self):
+        out = self._run("mjpeg_decoder.py")
+        assert "pixel-perfect:   True" in out
+
+    def test_xmi_interchange_identical(self):
+        out = self._run("xmi_interchange.py")
+        assert "identical .mdl text: True" in out

@@ -1,0 +1,105 @@
+"""Failure injection: corrupted inputs must fail loudly and precisely.
+
+Parsers (XMI, MDL, E-core) receive truncated, mangled and garbage inputs;
+the contract is that they raise their *documented* error types (never an
+unrelated ``AttributeError``/``IndexError`` leaking from internals) and
+never return a half-built model silently.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import didactic
+from repro.simulink import MdlError, from_mdl
+from repro.simulink.ecore import EcoreError, from_ecore_string
+from repro.uml import XmiError, from_xmi_string, to_xmi_string
+from repro.core import synthesize
+
+
+@pytest.fixture(scope="module")
+def xmi_text():
+    return to_xmi_string(didactic.build_model())
+
+
+@pytest.fixture(scope="module")
+def mdl_text():
+    return synthesize(didactic.build_model()).mdl_text
+
+
+@pytest.fixture(scope="module")
+def ecore_text():
+    return synthesize(didactic.build_model()).intermediate_xml
+
+
+class TestTruncation:
+    def test_truncated_xmi(self, xmi_text):
+        for cut in (10, len(xmi_text) // 3, len(xmi_text) - 20):
+            with pytest.raises(XmiError):
+                from_xmi_string(xmi_text[:cut])
+
+    def test_truncated_mdl(self, mdl_text):
+        for cut in (5, len(mdl_text) // 2, len(mdl_text) - 10):
+            with pytest.raises(MdlError):
+                from_mdl(mdl_text[:cut])
+
+    def test_truncated_ecore(self, ecore_text):
+        for cut in (5, len(ecore_text) // 2):
+            with pytest.raises(EcoreError):
+                from_ecore_string(ecore_text[:cut])
+
+
+class TestMangledReferences:
+    def test_dangling_xmi_reference(self, xmi_text):
+        mangled = xmi_text.replace('classifier="id', 'classifier="zz', 1)
+        if mangled == xmi_text:
+            pytest.skip("no classifier reference in this model")
+        with pytest.raises(XmiError, match="dangling reference"):
+            from_xmi_string(mangled)
+
+    def test_mdl_line_to_missing_block(self, mdl_text):
+        mangled = mdl_text.replace('SrcBlock "calc"', 'SrcBlock "ghost"', 1)
+        assert mangled != mdl_text
+        with pytest.raises(Exception) as excinfo:
+            from_mdl(mangled)
+        # SimulinkError hierarchy, not a random internal failure.
+        from repro.simulink import SimulinkError
+
+        assert isinstance(excinfo.value, SimulinkError)
+
+    def test_mdl_duplicate_block_name(self, mdl_text):
+        # Renaming one block to collide with another must be rejected.
+        mangled = mdl_text.replace('Name "dec"', 'Name "calc"', 1)
+        assert mangled != mdl_text
+        from repro.simulink import SimulinkError
+
+        with pytest.raises(SimulinkError):
+            from_mdl(mangled)
+
+
+class TestGarbage:
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_random_text_never_crashes_xmi(self, text):
+        try:
+            from_xmi_string(text)
+        except XmiError:
+            pass  # the documented failure mode
+
+    @given(st.text(alphabet="ModelSystemBlock{}\"[]#\n ", max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_random_text_never_crashes_mdl(self, text):
+        from repro.simulink import SimulinkError
+
+        try:
+            from_mdl(text)
+        except (MdlError, SimulinkError):
+            pass
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_binary_rejected_by_xmi(self, blob):
+        try:
+            from_xmi_string(blob.decode("latin-1"))
+        except XmiError:
+            pass

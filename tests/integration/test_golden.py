@@ -1,0 +1,54 @@
+"""Golden-file tests: generated artifacts must match checked-in copies.
+
+These catch accidental drift in the serializers and the mapping — any
+intentional change to the generated output must update the golden files
+(regenerate with the snippet in each test's failure message).
+"""
+
+import os
+
+import pytest
+
+from repro.apps import didactic
+from repro.core import synthesize
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+
+def _golden(name: str) -> str:
+    with open(os.path.join(GOLDEN_DIR, name), encoding="utf-8") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def result():
+    return synthesize(didactic.build_model())
+
+
+class TestGoldenArtifacts:
+    def test_mdl_matches_golden(self, result):
+        assert result.mdl_text == _golden("didactic.mdl"), (
+            "generated .mdl drifted from tests/golden/didactic.mdl; if the "
+            "change is intentional, regenerate the golden file"
+        )
+
+    def test_intermediate_matches_golden(self, result):
+        assert result.intermediate_xml == _golden("didactic.caam.xml")
+
+    def test_synthesis_is_deterministic(self):
+        first = synthesize(didactic.build_model())
+        second = synthesize(didactic.build_model())
+        assert first.mdl_text == second.mdl_text
+        assert first.intermediate_xml == second.intermediate_xml
+
+
+class TestCraneGolden:
+    def test_crane_mdl_matches_golden(self):
+        from repro.apps import crane
+
+        result = synthesize(crane.build_model(), behaviors=crane.behaviors())
+        assert result.mdl_text == _golden("crane.mdl"), (
+            "generated crane .mdl drifted from tests/golden/crane.mdl "
+            "(covers hierarchical mapping + barrier insertion); regenerate "
+            "if intentional"
+        )

@@ -1,0 +1,97 @@
+"""Integration test: heterogeneous co-execution (dataflow CAAM + FSM).
+
+Mirrors examples/hybrid_thermostat.py — the paper's core motivation is
+systems composed of subsystems with different models of computation; this
+test checks the two generated executables actually cooperate: the FSM's
+mode gates the plant, the dataflow pipeline feeds the FSM's events, and
+the closed loop regulates.
+"""
+
+import math
+
+import pytest
+
+from repro.core import synthesize
+from repro.fsm import FsmSimulator, fsm_from_state_machine
+from repro.simulink import Simulator
+from repro.uml import (
+    ModelBuilder,
+    Pseudostate,
+    State,
+    StateMachine,
+    Transition,
+)
+
+
+def _build_model():
+    b = ModelBuilder("thermostat")
+    b.thread("Acquire")
+    b.thread("Demand")
+    b.io_device("Hw")
+    b.processor("CPU1", threads=["Acquire", "Demand"])
+    sd = b.interaction("main")
+    sd.call("Acquire", "Hw", "getTemperature", result="raw")
+    sd.call("Acquire", "Platform", "lowpass", args=["raw", 0.6], result="temp")
+    sd.call("Acquire", "Demand", "setTemp", args=["temp"])
+    sd.call("Demand", "Hw", "getSetpoint", result="target")
+    sd.call("Demand", "Platform", "sub", args=["target", "temp"], result="err")
+    sd.call("Demand", "Platform", "gain", args=["err", 1.5], result="demand")
+    sd.call("Demand", "Hw", "setDemand", args=["demand"])
+
+    machine = StateMachine("mode")
+    region = machine.main_region()
+    init = region.add_vertex(Pseudostate())
+    off = region.add_vertex(State("off", entry="heater = 0"))
+    heating = region.add_vertex(State("heating", entry="heater = 1"))
+    region.add_transition(Transition(init, off))
+    region.add_transition(Transition(off, heating, trigger="too_cold"))
+    region.add_transition(Transition(heating, off, trigger="comfortable"))
+    b.model.add_state_machine(machine)
+    return b.build()
+
+
+class TestHybridCoExecution:
+    def test_one_model_yields_both_subsystems(self):
+        model = _build_model()
+        dataflow = synthesize(model)
+        fsm = fsm_from_state_machine(model.state_machines[0])
+        assert dataflow.summary.threads == 2
+        assert set(fsm.states) == {"off", "heating"}
+
+    def test_closed_loop_regulates(self):
+        model = _build_model()
+        dataflow = synthesize(model)
+        fsm = fsm_from_state_machine(model.state_machines[0])
+        fsm.add_variable("heater", 0.0)
+        caam_sim = Simulator(dataflow.caam)
+        fsm_sim = FsmSimulator(fsm)
+
+        target = 21.0
+        room = 14.0
+        modes = set()
+        for step in range(80):
+            room += 0.12 * (16.0 - room)
+            room += 0.9 * fsm_sim.variables["heater"]
+            noisy = room + 0.3 * math.sin(1.7 * step)
+            trace = caam_sim.run(1, inputs={"In1": [noisy], "In2": [target]})
+            demand = trace.output("Out1")[0]
+            if demand > 2.0:
+                event = "too_cold"
+            elif abs(demand) < 0.5:
+                event = "comfortable"
+            else:
+                event = ""
+            modes.add(fsm_sim.step(event))
+        assert modes == {"off", "heating"}  # the supervisor actually switched
+        assert 18.0 < room < 24.0  # and the loop regulates near the target
+
+    def test_without_fsm_room_stays_cold(self):
+        """Ablation: without the supervisor the heater never turns on."""
+        model = _build_model()
+        dataflow = synthesize(model)
+        caam_sim = Simulator(dataflow.caam)
+        room = 14.0
+        for step in range(80):
+            room += 0.12 * (16.0 - room)
+            caam_sim.run(1, inputs={"In1": [room], "In2": [21.0]})
+        assert room < 17.0

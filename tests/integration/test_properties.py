@@ -1,0 +1,147 @@
+"""Cross-module property-based tests (hypothesis).
+
+Random UML models are synthesized end-to-end; the invariants asserted here
+are the paper's implicit correctness conditions:
+
+- the generated CAAM is structurally valid (architecture rules hold);
+- after the §4.2.2 pass the model always schedules (no deadlock);
+- channel protocols always match thread placement (§4.2.1);
+- the ``.mdl`` artifact round-trips losslessly;
+- the automatic allocation never splits the critical path.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import synthesize
+from repro.simulink import from_mdl, is_executable, validate_caam
+from repro.uml import DeploymentPlan, ModelBuilder
+
+_THREADS = ["T1", "T2", "T3", "T4"]
+
+
+@st.composite
+def _random_systems(draw):
+    """A random multi-thread UML model plus a random deployment."""
+    b = ModelBuilder("rnd")
+    thread_count = draw(st.integers(min_value=1, max_value=4))
+    threads = _THREADS[:thread_count]
+    for thread in threads:
+        b.thread(thread)
+    b.io_device("Dev")
+    sd = b.interaction("main")
+    # Every thread produces a local value first (gives channels a source).
+    for thread in threads:
+        sd.call(thread, thread, f"work{thread}", result=f"v{thread}")
+    # Random communications.
+    count = draw(st.integers(min_value=0, max_value=8))
+    for i in range(count):
+        sender = draw(st.sampled_from(threads))
+        kind = draw(st.sampled_from(["send", "get", "io_in", "io_out", "calc"]))
+        if kind == "send" and thread_count > 1:
+            receiver = draw(
+                st.sampled_from([t for t in threads if t != sender])
+            )
+            sd.call(sender, receiver, f"setCh{i}", args=[f"v{sender}"])
+        elif kind == "get" and thread_count > 1:
+            receiver = draw(
+                st.sampled_from([t for t in threads if t != sender])
+            )
+            sd.call(sender, receiver, f"getV{receiver}", result=f"g{i}")
+        elif kind == "io_in":
+            sd.call(sender, "Dev", f"getIn{i}", result=f"x{i}")
+        elif kind == "io_out":
+            sd.call(sender, "Dev", f"setOut{i}", args=[f"v{sender}"])
+        else:
+            sd.call(sender, sender, f"calc{i}", args=[f"v{sender}"], result=f"c{i}")
+    # Occasionally wrap a conditional computation in an alt fragment.
+    if draw(st.booleans()):
+        owner = draw(st.sampled_from(threads))
+        then_branch, else_branch = sd.alt(f"v{owner}", "else")
+        then_branch.call(owner, "Dev", "getAltIn", result="altv")
+        else_branch.call(owner, owner, "altB", result="altv")
+        sd.call(owner, owner, "useAlt", args=["altv"])
+    cpu_count = draw(st.integers(min_value=1, max_value=3))
+    mapping = {
+        thread: f"CPU{draw(st.integers(0, cpu_count - 1))}"
+        for thread in threads
+    }
+    return b.build(), DeploymentPlan.from_mapping(mapping)
+
+
+class TestSynthesisInvariants:
+    @given(_random_systems())
+    @settings(max_examples=50, deadline=None)
+    def test_caam_always_structurally_valid(self, system):
+        model, plan = system
+        result = synthesize(model, plan, validate=False)
+        assert validate_caam(result.caam) == []
+
+    @given(_random_systems())
+    @settings(max_examples=50, deadline=None)
+    def test_barrier_pass_guarantees_schedulability(self, system):
+        model, plan = system
+        result = synthesize(model, plan, validate=False)
+        executable, cycle = is_executable(result.caam)
+        assert executable, f"deadlock through {cycle}"
+
+    @given(_random_systems())
+    @settings(max_examples=50, deadline=None)
+    def test_channel_protocols_match_placement(self, system):
+        model, plan = system
+        result = synthesize(model, plan, validate=False)
+        for channel in result.caam.intra_cpu_channels():
+            assert channel.parent is not result.caam.root
+        for channel in result.caam.inter_cpu_channels():
+            assert channel.parent is result.caam.root
+
+    @given(_random_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_mdl_round_trip_lossless(self, system):
+        model, plan = system
+        result = synthesize(model, plan, validate=False)
+        loaded = from_mdl(result.mdl_text)
+        from repro.simulink import diff_models, to_mdl
+
+        assert diff_models(result.caam, loaded) == []
+        assert to_mdl(loaded) == result.mdl_text
+
+    @given(_random_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_every_planned_thread_materialized(self, system):
+        model, plan = system
+        result = synthesize(model, plan, validate=False)
+        produced = {t.name for t in result.caam.threads()}
+        assert produced == set(plan.threads)
+
+    @given(_random_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_auto_allocation_keeps_critical_path_together(self, system):
+        from repro.core import allocate_from_model, critical_path_cpu
+
+        model, _ = system
+        allocation = allocate_from_model(model)
+        if allocation.clustering.critical_path:
+            assert critical_path_cpu(allocation) is not None
+
+    @given(_random_systems())
+    @settings(max_examples=25, deadline=None)
+    def test_layout_never_overlaps(self, system):
+        from repro.simulink.layout import overlaps
+
+        model, plan = system
+        result = synthesize(model, plan, validate=False)
+        for inner in result.caam.all_systems():
+            assert overlaps(inner) == []
+
+    @given(_random_systems())
+    @settings(max_examples=25, deadline=None)
+    def test_generated_model_runs_three_steps(self, system):
+        from repro.simulink import Simulator
+
+        model, plan = system
+        result = synthesize(model, plan, validate=False)
+        simulator = Simulator(result.caam)
+        trace = simulator.run(3)
+        assert trace.steps == 3

@@ -1,0 +1,113 @@
+"""Unit tests for multithreaded C generation from CAAMs."""
+
+import pytest
+
+from repro.core import synthesize
+from repro.mpsoc import CodegenError, generate_all, generate_cpu_source
+from repro.mpsoc.codegen import _dataflow_order
+from repro.simulink import Block, CaamModel
+from repro.uml import DeploymentPlan, ModelBuilder
+
+
+class TestGeneratedStructure:
+    def test_one_source_per_cpu(self, didactic_result):
+        sources = generate_all(didactic_result.caam)
+        assert set(sources) == {"CPU1", "CPU2"}
+
+    def test_thread_functions_present(self, didactic_result):
+        source = generate_cpu_source(didactic_result.caam, "CPU1")
+        assert "void thread_T1(void)" in source
+        assert "void thread_T2(void)" in source
+        assert 'rt_register_thread(thread_T1, "T1");' in source
+
+    def test_sfunction_calls_emitted(self, didactic_result):
+        source = generate_cpu_source(didactic_result.caam, "CPU1")
+        assert "calc(" in source
+        assert "dec(" in source
+
+    def test_product_block_lowered_to_multiplication(self, didactic_result):
+        source = generate_cpu_source(didactic_result.caam, "CPU1")
+        assert " * " in source  # mult block
+
+    def test_channel_reads_use_protocol_flavour(self, didactic_result):
+        cpu1 = generate_cpu_source(didactic_result.caam, "CPU1")
+        cpu2 = generate_cpu_source(didactic_result.caam, "CPU2")
+        # T1 receives the inter-CPU 'value' channel -> gfifo_read.
+        assert "gfifo_read(" in cpu1
+        # T1 -> T2 intra-CPU channel -> swfifo on both ends.
+        assert "swfifo_write(" in cpu1 or "swfifo_read(" in cpu1
+        # T3 sends inter-CPU -> gfifo_write.
+        assert "gfifo_write(" in cpu2
+
+    def test_io_ports_use_io_flavour(self, crane_result):
+        source = generate_cpu_source(crane_result.caam, "CPU1")
+        assert "io_read(" in source
+        assert "io_write(" in source
+
+    def test_delay_state_variables(self, crane_result):
+        source = generate_cpu_source(crane_result.caam, "CPU1")
+        assert "Delay_state" in source
+        # State update happens after output usage.
+        read_pos = source.index("= Delay_state;")
+        update_pos = source.index("Delay_state =", read_pos + 1)
+        assert update_pos > read_pos
+
+    def test_balanced_braces(self, crane_result):
+        source = generate_cpu_source(crane_result.caam, "CPU1")
+        assert source.count("{") == source.count("}")
+
+
+class TestDataflowOrder:
+    def test_topological_over_feedthrough(self):
+        caam = CaamModel("c")
+        caam.add_cpu("CPU1")
+        thread = caam.add_thread("CPU1", "T")
+        a = thread.system.add(Block("a", "Constant", inputs=0))
+        b = thread.system.add(Block("b", "Gain"))
+        thread.system.connect(a.output(), b.input())
+        order = [blk.name for blk in _dataflow_order(thread.system)]
+        assert order.index("a") < order.index("b")
+
+    def test_algebraic_loop_rejected(self):
+        caam = CaamModel("c")
+        caam.add_cpu("CPU1")
+        thread = caam.add_thread("CPU1", "T")
+        a = thread.system.add(Block("a", "Gain"))
+        b = thread.system.add(Block("b", "Gain"))
+        thread.system.connect(a.output(), b.input())
+        thread.system.connect(b.output(), a.input())
+        with pytest.raises(CodegenError, match="algebraic loop"):
+            generate_cpu_source(caam, "CPU1")
+
+    def test_delay_breaks_order_requirement(self):
+        caam = CaamModel("c")
+        caam.add_cpu("CPU1")
+        thread = caam.add_thread("CPU1", "T")
+        a = thread.system.add(Block("a", "Gain"))
+        z = thread.system.add(Block("z", "UnitDelay"))
+        thread.system.connect(a.output(), z.input())
+        thread.system.connect(z.output(), a.input())
+        source = generate_cpu_source(caam, "CPU1")
+        assert "z_state" in source
+
+
+class TestGenericBlocks:
+    def test_unknown_block_type_gets_step_call(self):
+        caam = CaamModel("c")
+        caam.add_cpu("CPU1")
+        thread = caam.add_thread("CPU1", "T")
+        thread.system.add(Block("odd", "Quantizer"))
+        source = generate_cpu_source(caam, "CPU1")
+        assert "quantizer_step(" in source
+
+    def test_sum_with_signs(self):
+        caam = CaamModel("c")
+        caam.add_cpu("CPU1")
+        thread = caam.add_thread("CPU1", "T")
+        a = thread.system.add(Block("a", "Constant", inputs=0, parameters={"Value": 1}))
+        b = thread.system.add(Block("b", "Constant", inputs=0, parameters={"Value": 2}))
+        s = thread.system.add(Block("s", "Sum", inputs=2, parameters={"Inputs": "+-"}))
+        thread.system.connect(a.output(), s.input(1))
+        thread.system.connect(b.output(), s.input(2))
+        source = generate_cpu_source(caam, "CPU1")
+        assert "a_o1 - b_o1" in source

@@ -1,0 +1,98 @@
+"""Unit tests for CAAM metrics (repro.mpsoc.metrics)."""
+
+import pytest
+
+from repro.mpsoc import (
+    communication_cost,
+    functional_blocks,
+    iteration_estimate,
+    load_report,
+    platform_for_caam,
+)
+from repro.simulink import Block, CaamModel, GFIFO, SWFIFO, make_channel
+
+
+def _caam_with_channels():
+    caam = CaamModel("c")
+    cpu = caam.add_cpu("CPU1")
+    caam.add_cpu("CPU2")
+    thread = caam.add_thread("CPU1", "T1")
+    thread.system.add(Block("f", "S-Function"))
+    thread.system.add(Block("g", "Gain"))
+    sw = make_channel("sw", SWFIFO, 32)
+    cpu.system.add(sw)
+    gf = make_channel("gf", GFIFO, 64)
+    caam.root.add(gf)
+    return caam
+
+
+class TestCommunicationCost:
+    def test_breakdown_by_protocol(self):
+        caam = _caam_with_channels()
+        platform = platform_for_caam(caam)
+        cost = communication_cost(caam, platform)
+        assert cost.intra_channels == 1
+        assert cost.inter_channels == 1
+        assert cost.intra_cycles == 1  # one word over SWFIFO
+        assert cost.inter_cycles == 40  # 20 latency + 2 words * 10
+        assert cost.total_cycles == 41
+        assert "GFIFO" in str(cost)
+
+    def test_didactic_costs(self, didactic_result):
+        platform = platform_for_caam(didactic_result.caam)
+        cost = communication_cost(didactic_result.caam, platform)
+        assert cost.inter_channels == 1
+        assert cost.intra_channels == 1
+        assert cost.inter_cycles > cost.intra_cycles
+
+
+class TestFunctionalBlocks:
+    def test_structural_blocks_excluded(self):
+        caam = _caam_with_channels()
+        thread = caam.thread("T1")
+        thread.add_inport("in")
+        blocks = functional_blocks(thread)
+        assert {b.name for b in blocks} == {"f", "g"}
+
+    def test_nested_subsystems_counted(self):
+        from repro.simulink import SubSystem
+
+        caam = _caam_with_channels()
+        thread = caam.thread("T1")
+        nested = SubSystem("inner")
+        thread.system.add(nested)
+        nested.system.add(Block("deep", "Gain"))
+        blocks = functional_blocks(thread)
+        assert "deep" in {b.name for b in blocks}
+
+
+class TestLoadReport:
+    def test_per_cpu_blocks_and_cycles(self):
+        caam = _caam_with_channels()
+        platform = platform_for_caam(caam, cycles_per_block=10)
+        report = load_report(caam, platform)
+        assert report.blocks_per_cpu == {"CPU1": 2, "CPU2": 0}
+        assert report.cycles_per_cpu == {"CPU1": 20.0, "CPU2": 0.0}
+        assert report.max_cycles == 20.0
+        assert report.total_cycles == 20.0
+
+    def test_balance_perfect_when_equal(self, synthetic_result):
+        platform = platform_for_caam(synthetic_result.caam)
+        report = load_report(synthetic_result.caam, platform)
+        assert 0.0 < report.balance <= 1.0
+
+    def test_balance_of_empty_report(self):
+        caam = CaamModel("c")
+        caam.add_cpu("CPU1")
+        platform = platform_for_caam(caam)
+        assert load_report(caam, platform).balance == 1.0
+
+
+class TestIterationEstimate:
+    def test_combines_computation_and_communication(self):
+        caam = _caam_with_channels()
+        platform = platform_for_caam(caam, cycles_per_block=10)
+        estimate = iteration_estimate(caam, platform)
+        assert estimate.computation_cycles == 20.0
+        assert estimate.communication.total_cycles == 41
+        assert estimate.total_cycles == 61.0

@@ -1,0 +1,70 @@
+"""Unit tests for the MPSoC platform model."""
+
+import pytest
+
+from repro.mpsoc import Bus, Platform, PlatformError, Processor, platform_for_caam
+from repro.simulink import CaamModel
+
+
+class TestPlatform:
+    def _platform(self):
+        return Platform(
+            processors=[Processor("CPU1"), Processor("CPU2")],
+            bus=Bus(word_cycles=10, latency_cycles=20),
+            intra_word_cycles=1,
+        )
+
+    def test_processor_lookup(self):
+        platform = self._platform()
+        assert platform.processor("CPU1").name == "CPU1"
+        with pytest.raises(PlatformError):
+            platform.processor("CPU9")
+        assert platform.names == ["CPU1", "CPU2"]
+
+    def test_intra_channel_cost_scales_with_words(self):
+        platform = self._platform()
+        assert platform.channel_cost("SWFIFO", 32) == 1
+        assert platform.channel_cost("SWFIFO", 64) == 2
+        assert platform.channel_cost("SWFIFO", 33) == 2  # rounds up
+
+    def test_inter_channel_cost_has_latency(self):
+        platform = self._platform()
+        assert platform.channel_cost("GFIFO", 32) == 30  # 20 + 1*10
+        assert platform.channel_cost("GFIFO", 64) == 40
+
+    def test_zero_width_still_one_word(self):
+        platform = self._platform()
+        assert platform.channel_cost("SWFIFO", 0) == 1
+
+    def test_inter_intra_ratio(self):
+        platform = self._platform()
+        assert platform.inter_intra_ratio == 30.0
+
+    def test_paper_cost_ordering(self):
+        """§4.2.3: 'the cost for intra-CPU communication is lower than the
+        cost for communication between different CPUs' — for every width."""
+        platform = self._platform()
+        for width in (1, 32, 64, 256, 1024):
+            assert platform.channel_cost("SWFIFO", width) < platform.channel_cost(
+                "GFIFO", width
+            )
+
+
+class TestPlatformForCaam:
+    def test_one_processor_per_cpu_subsystem(self, synthetic_result):
+        platform = platform_for_caam(synthetic_result.caam)
+        assert len(platform.processors) == 4
+        assert set(platform.names) == {
+            c.name for c in synthetic_result.caam.cpus()
+        }
+
+    def test_empty_caam_rejected(self):
+        with pytest.raises(PlatformError):
+            platform_for_caam(CaamModel("empty"))
+
+    def test_parameters_forwarded(self, didactic_result):
+        platform = platform_for_caam(
+            didactic_result.caam, clock_mhz=200.0, cycles_per_block=10
+        )
+        assert platform.processors[0].clock_mhz == 200.0
+        assert platform.processors[0].cycles_per_block == 10

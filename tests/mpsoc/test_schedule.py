@@ -1,0 +1,141 @@
+"""Unit tests for static CAAM scheduling (repro.mpsoc.schedule)."""
+
+import pytest
+
+from repro.core import synthesize
+from repro.mpsoc import (
+    Schedule,
+    ScheduleError,
+    ScheduledTask,
+    platform_for_caam,
+    schedule_caam,
+)
+from repro.uml import DeploymentPlan, ModelBuilder
+
+
+def _pipeline_model():
+    b = ModelBuilder("pipe")
+    b.thread("A")
+    b.thread("B")
+    sd = b.interaction("main")
+    sd.call("A", "A", "work", result="v")
+    sd.call("A", "B", "setData", args=["v"])
+    sd.call("B", "B", "consume", args=["data"])
+    return b.build()
+
+
+class TestSchedule:
+    def test_consumer_starts_after_producer_plus_delay(self):
+        model = _pipeline_model()
+        result = synthesize(model, DeploymentPlan.from_mapping({"A": "CPU1", "B": "CPU2"}))
+        platform = platform_for_caam(result.caam, cycles_per_block=10)
+        schedule = schedule_caam(result.caam, platform)
+        a = schedule.task("A")
+        b = schedule.task("B")
+        # A runs 10 cycles (1 block), GFIFO costs 20+10=30 -> B starts at 40.
+        assert a.finish == 10
+        assert b.start == 40
+        assert schedule.makespan == b.finish
+
+    def test_same_cpu_sequentializes(self):
+        model = _pipeline_model()
+        result = synthesize(model, DeploymentPlan.from_mapping({"A": "CPU1", "B": "CPU1"}))
+        platform = platform_for_caam(result.caam, cycles_per_block=10)
+        schedule = schedule_caam(result.caam, platform)
+        a, b = schedule.task("A"), schedule.task("B")
+        assert b.start >= a.finish
+        # SWFIFO is cheap: starts at 11 (10 compute + 1 word).
+        assert b.start == 11
+
+    def test_by_cpu_grouping_and_gantt(self, synthetic_result):
+        platform = platform_for_caam(synthetic_result.caam)
+        schedule = schedule_caam(synthetic_result.caam, platform)
+        grouped = schedule.by_cpu()
+        assert set(grouped) == {c.name for c in synthetic_result.caam.cpus()}
+        gantt = schedule.gantt()
+        assert all(cpu in gantt for cpu in grouped)
+
+    def test_no_overlap_per_cpu(self, synthetic_result):
+        platform = platform_for_caam(synthetic_result.caam)
+        schedule = schedule_caam(synthetic_result.caam, platform)
+        for tasks in schedule.by_cpu().values():
+            for earlier, later in zip(tasks, tasks[1:]):
+                assert later.start >= earlier.finish
+
+    def test_unknown_task_lookup(self):
+        schedule = Schedule(tasks=[ScheduledTask("A", "CPU1", 0, 5)])
+        assert schedule.task("A").duration == 5
+        with pytest.raises(ScheduleError):
+            schedule.task("Z")
+
+    def test_empty_schedule_makespan_zero(self):
+        assert Schedule().makespan == 0.0
+
+    def test_feedback_channels_do_not_deadlock_scheduler(self, crane_result):
+        platform = platform_for_caam(crane_result.caam)
+        schedule = schedule_caam(crane_result.caam, platform)
+        assert len(schedule.tasks) == 3
+        assert schedule.makespan > 0
+
+
+class TestAllocationAblation:
+    def test_clustered_beats_scattered(self, synthetic_model):
+        """Placing the critical path on one CPU (linear clustering) must
+        give a makespan no worse than scattering it (round-robin)."""
+        from repro.apps.synthetic import THREADS
+        from repro.core import synthesize
+
+        clustered = synthesize(synthetic_model, auto_allocate=True)
+        scattered_plan = DeploymentPlan.from_mapping(
+            {t: f"CPU{i % 4}" for i, t in enumerate(THREADS)}
+        )
+        scattered = synthesize(synthetic_model, scattered_plan)
+        p1 = platform_for_caam(clustered.caam)
+        p2 = platform_for_caam(scattered.caam)
+        makespan_clustered = schedule_caam(clustered.caam, p1).makespan
+        makespan_scattered = schedule_caam(scattered.caam, p2).makespan
+        assert makespan_clustered <= makespan_scattered
+
+
+class TestPriorityScheduling:
+    def _model(self, high_priority_thread):
+        from repro.uml import ModelBuilder
+
+        b = ModelBuilder("prio")
+        b.thread("A", priority=9 if high_priority_thread == "A" else 1)
+        b.thread("B", priority=9 if high_priority_thread == "B" else 1)
+        sd = b.interaction("main")
+        sd.call("A", "A", "workA", result="x")
+        sd.call("B", "B", "workB", result="y")
+        return b.build()
+
+    def test_sapriority_reaches_thread_subsystem(self):
+        from repro.core import synthesize
+
+        result = synthesize(
+            self._model("A"), DeploymentPlan.from_mapping({"A": "C", "B": "C"})
+        )
+        assert result.caam.thread("A").parameters["SAPriority"] == 9
+        assert result.caam.thread("B").parameters["SAPriority"] == 1
+
+    @pytest.mark.parametrize("winner", ["A", "B"])
+    def test_high_priority_thread_scheduled_first(self, winner):
+        from repro.core import synthesize
+
+        result = synthesize(
+            self._model(winner),
+            DeploymentPlan.from_mapping({"A": "C", "B": "C"}),
+        )
+        platform = platform_for_caam(result.caam)
+        schedule = schedule_caam(result.caam, platform)
+        assert schedule.task(winner).start == 0
+
+    def test_priority_survives_mdl_round_trip(self):
+        from repro.core import synthesize
+        from repro.simulink import from_mdl
+
+        result = synthesize(
+            self._model("B"), DeploymentPlan.from_mapping({"A": "C", "B": "C"})
+        )
+        loaded = from_mdl(result.mdl_text)
+        assert loaded.thread("B").parameters["SAPriority"] == 9

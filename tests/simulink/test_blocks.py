@@ -1,0 +1,210 @@
+"""Unit tests for block semantics (repro.simulink.blocks)."""
+
+import pytest
+
+from repro.simulink import (
+    Block,
+    SemanticsError,
+    has_semantics,
+    is_feedthrough,
+    platform_block_for,
+    semantics_for,
+)
+from repro.simulink.blocks import register, BlockSemantics
+
+
+def _step(block, inputs, state=None):
+    semantics = semantics_for(block.block_type)
+    if state is None:
+        state = semantics.initial_state(block)
+    return semantics.step(block, inputs, state)
+
+
+class TestArithmeticBlocks:
+    def test_constant(self):
+        block = Block("c", "Constant", inputs=0, parameters={"Value": 3.5})
+        outputs, _ = _step(block, [])
+        assert outputs == [3.5]
+
+    def test_gain(self):
+        block = Block("g", "Gain", parameters={"Gain": -2.0})
+        assert _step(block, [4.0])[0] == [-8.0]
+
+    def test_sum_with_signs(self):
+        block = Block("s", "Sum", inputs=3, parameters={"Inputs": "+-+"})
+        assert _step(block, [5.0, 2.0, 1.0])[0] == [4.0]
+
+    def test_sum_sign_mismatch_raises(self):
+        block = Block("s", "Sum", inputs=2, parameters={"Inputs": "+"})
+        with pytest.raises(SemanticsError):
+            _step(block, [1.0, 2.0])
+
+    def test_sum_accepts_pipe_separators(self):
+        block = Block("s", "Sum", inputs=2, parameters={"Inputs": "|+-"})
+        assert _step(block, [3.0, 1.0])[0] == [2.0]
+
+    def test_product(self):
+        block = Block("p", "Product", inputs=3)
+        assert _step(block, [2.0, 3.0, 4.0])[0] == [24.0]
+
+    def test_abs_and_saturation(self):
+        assert _step(Block("a", "Abs"), [-3.0])[0] == [3.0]
+        sat = Block(
+            "s", "Saturation", parameters={"LowerLimit": -1.0, "UpperLimit": 1.0}
+        )
+        assert _step(sat, [5.0])[0] == [1.0]
+        assert _step(sat, [-5.0])[0] == [-1.0]
+        assert _step(sat, [0.5])[0] == [0.5]
+
+
+class TestStatefulBlocks:
+    def test_unit_delay_outputs_previous_input(self):
+        block = Block("z", "UnitDelay", parameters={"InitialCondition": 9.0})
+        semantics = semantics_for("UnitDelay")
+        state = semantics.initial_state(block)
+        outputs, state = semantics.step(block, [1.0], state)
+        assert outputs == [9.0]
+        outputs, state = semantics.step(block, [2.0], state)
+        assert outputs == [1.0]
+
+    def test_relay_hysteresis(self):
+        block = Block(
+            "r",
+            "Relay",
+            parameters={
+                "OnSwitchValue": 1.0,
+                "OffSwitchValue": -1.0,
+                "OnOutputValue": 10.0,
+                "OffOutputValue": 0.0,
+            },
+        )
+        semantics = semantics_for("Relay")
+        state = semantics.initial_state(block)
+        outputs, state = semantics.step(block, [0.0], state)
+        assert outputs == [0.0]  # below on-point, stays off
+        outputs, state = semantics.step(block, [1.5], state)
+        assert outputs == [10.0]  # switches on
+        outputs, state = semantics.step(block, [0.0], state)
+        assert outputs == [10.0]  # hysteresis: still on
+        outputs, state = semantics.step(block, [-2.0], state)
+        assert outputs == [0.0]  # below off-point, switches off
+
+    def test_sine_source_advances_time(self):
+        block = Block("s", "Sin", inputs=0, parameters={"Amplitude": 1.0})
+        semantics = semantics_for("Sin")
+        state = semantics.initial_state(block)
+        first, state = semantics.step(block, [], state)
+        second, state = semantics.step(block, [], state)
+        assert first != second
+
+    def test_step_source(self):
+        block = Block(
+            "st", "Step", inputs=0, parameters={"Time": 2, "Before": 0, "After": 5}
+        )
+        semantics = semantics_for("Step")
+        state = semantics.initial_state(block)
+        values = []
+        for _ in range(4):
+            out, state = semantics.step(block, [], state)
+            values.append(out[0])
+        assert values == [0.0, 0.0, 5.0, 5.0]
+
+
+class TestSFunction:
+    def test_stateless_callback(self):
+        block = Block(
+            "f", "S-Function", inputs=2, parameters={"callback": lambda a, b: a - b}
+        )
+        assert _step(block, [5.0, 3.0])[0] == [2.0]
+
+    def test_tuple_returning_callback(self):
+        block = Block(
+            "f",
+            "S-Function",
+            inputs=1,
+            outputs=2,
+            parameters={"callback": lambda x: (x, -x)},
+        )
+        assert _step(block, [2.0])[0] == [2.0, -2.0]
+
+    def test_stateful_callback(self):
+        def accumulate(state, inputs):
+            state = (state or 0.0) + inputs[0]
+            return [state], state
+
+        block = Block(
+            "acc",
+            "S-Function",
+            parameters={"callback": accumulate, "Stateful": True},
+        )
+        semantics = semantics_for("S-Function")
+        state = semantics.initial_state(block)
+        out, state = semantics.step(block, [2.0], state)
+        out, state = semantics.step(block, [3.0], state)
+        assert out == [5.0]
+
+    def test_placeholder_without_callback_sums_inputs(self):
+        block = Block("f", "S-Function", inputs=2)
+        assert _step(block, [1.0, 2.0])[0] == [3.0]
+
+
+class TestCommChannel:
+    def test_channel_is_pass_through(self):
+        block = Block("ch", "CommChannel")
+        assert _step(block, [7.0])[0] == [7.0]
+
+    def test_channel_is_feedthrough(self):
+        assert is_feedthrough(Block("ch", "CommChannel"))
+
+
+class TestFeedthroughPredicate:
+    def test_sources_and_sinks_never_feedthrough(self):
+        assert not is_feedthrough(Block("c", "Constant", inputs=0))
+        assert not is_feedthrough(
+            Block("o", "Outport", inputs=1, outputs=0)
+        )
+
+    def test_delay_not_feedthrough(self):
+        assert not is_feedthrough(Block("z", "UnitDelay"))
+
+    def test_unknown_type_conservatively_feedthrough(self):
+        assert is_feedthrough(Block("x", "FancyUnknown"))
+
+
+class TestRegistry:
+    def test_unknown_semantics_raises(self):
+        with pytest.raises(SemanticsError):
+            semantics_for("NoSuchBlockType")
+
+    def test_has_semantics(self):
+        assert has_semantics("Gain")
+        assert not has_semantics("NoSuchBlockType")
+
+    def test_register_custom_type(self):
+        register(
+            BlockSemantics(
+                "Negate", True, lambda b, i, s: ([-i[0]], s)
+            )
+        )
+        assert has_semantics("Negate")
+        assert _step(Block("n", "Negate"), [3.0])[0] == [-3.0]
+
+
+class TestPlatformLibrary:
+    def test_known_methods(self):
+        block_type, params, inputs = platform_block_for("mult")
+        assert block_type == "Product" and inputs == 2
+        block_type, params, _ = platform_block_for("sub")
+        assert block_type == "Sum" and params["Inputs"] == "+-"
+
+    def test_lookup_is_case_insensitive(self):
+        assert platform_block_for("Mult")[0] == "Product"
+
+    def test_unknown_method_returns_none(self):
+        assert platform_block_for("fancyDsp") is None
+
+    def test_returned_params_are_copies(self):
+        _, params1, _ = platform_block_for("add")
+        params1["Inputs"] = "mutated"
+        _, params2, _ = platform_block_for("add")
+        assert params2["Inputs"] == "++"

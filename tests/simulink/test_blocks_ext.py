@@ -1,0 +1,253 @@
+"""Unit tests for the extended block library (repro.simulink.blocks_ext)."""
+
+import math
+
+import pytest
+
+import repro.simulink  # noqa: F401 - triggers extended registration
+from repro.simulink import (
+    Block,
+    SemanticsError,
+    platform_block_for,
+    semantics_for,
+)
+
+
+def _step(block, inputs, state=None):
+    semantics = semantics_for(block.block_type)
+    if state is None:
+        state = semantics.initial_state(block)
+    return semantics.step(block, inputs, state)
+
+
+class TestRouting:
+    def test_switch_threshold(self):
+        block = Block("sw", "Switch", inputs=3, parameters={"Threshold": 0.5})
+        assert _step(block, [10.0, 1.0, 20.0])[0] == [10.0]
+        assert _step(block, [10.0, 0.0, 20.0])[0] == [20.0]
+
+    def test_switch_criteria_nonzero(self):
+        block = Block(
+            "sw", "Switch", inputs=3, parameters={"Criteria": "~=0"}
+        )
+        assert _step(block, [1.0, 0.0, 2.0])[0] == [2.0]
+        assert _step(block, [1.0, -3.0, 2.0])[0] == [1.0]
+
+    def test_switch_bad_criteria(self):
+        block = Block("sw", "Switch", inputs=3, parameters={"Criteria": "??"})
+        with pytest.raises(SemanticsError):
+            _step(block, [1.0, 1.0, 2.0])
+
+    def test_minmax(self):
+        low = Block("m", "MinMax", inputs=3, parameters={"Function": "min"})
+        high = Block("m", "MinMax", inputs=3, parameters={"Function": "max"})
+        assert _step(low, [3.0, 1.0, 2.0])[0] == [1.0]
+        assert _step(high, [3.0, 1.0, 2.0])[0] == [3.0]
+
+
+class TestNonlinearities:
+    def test_sign(self):
+        block = Block("s", "Signum")
+        assert _step(block, [-4.0])[0] == [-1.0]
+        assert _step(block, [0.0])[0] == [0.0]
+        assert _step(block, [9.0])[0] == [1.0]
+
+    def test_dead_zone(self):
+        block = Block(
+            "dz", "DeadZone", parameters={"Start": -1.0, "End": 1.0}
+        )
+        assert _step(block, [0.5])[0] == [0.0]
+        assert _step(block, [2.0])[0] == [1.0]
+        assert _step(block, [-3.0])[0] == [-2.0]
+
+    def test_quantizer(self):
+        block = Block(
+            "q", "Quantizer", parameters={"QuantizationInterval": 0.5}
+        )
+        assert _step(block, [1.26])[0] == [1.5]
+        assert _step(block, [1.1])[0] == [1.0]
+
+    def test_quantizer_bad_interval(self):
+        block = Block(
+            "q", "Quantizer", parameters={"QuantizationInterval": 0.0}
+        )
+        with pytest.raises(SemanticsError):
+            _step(block, [1.0])
+
+
+class TestDiscreteDynamics:
+    def test_integrator_accumulates(self):
+        block = Block(
+            "i",
+            "DiscreteIntegrator",
+            parameters={"InitialCondition": 1.0, "SampleTime": 0.5},
+        )
+        semantics = semantics_for("DiscreteIntegrator")
+        state = semantics.initial_state(block)
+        out, state = semantics.step(block, [2.0], state)
+        assert out == [1.0]  # initial condition first
+        out, state = semantics.step(block, [2.0], state)
+        assert out == [2.0]  # 1 + 0.5*2
+
+    def test_lowpass_converges(self):
+        block = Block("f", "DiscreteFilter", parameters={"Pole": 0.5})
+        semantics = semantics_for("DiscreteFilter")
+        state = semantics.initial_state(block)
+        value = 0.0
+        for _ in range(30):
+            out, state = semantics.step(block, [1.0], state)
+            value = out[0]
+        assert value == pytest.approx(1.0, abs=1e-6)
+
+    def test_rate_limiter_clamps_slew(self):
+        block = Block(
+            "r",
+            "RateLimiter",
+            parameters={"RisingSlewLimit": 0.5, "FallingSlewLimit": -0.5},
+        )
+        semantics = semantics_for("RateLimiter")
+        state = semantics.initial_state(block)
+        out, state = semantics.step(block, [10.0], state)
+        assert out == [0.5]
+        out, state = semantics.step(block, [10.0], state)
+        assert out == [1.0]
+        out, state = semantics.step(block, [-10.0], state)
+        assert out == [0.5]
+
+
+class TestLogicAndRelational:
+    @pytest.mark.parametrize(
+        "operator,inputs,expected",
+        [
+            ("AND", [1.0, 1.0], 1.0),
+            ("AND", [1.0, 0.0], 0.0),
+            ("OR", [0.0, 1.0], 1.0),
+            ("NOT", [0.0], 1.0),
+            ("XOR", [1.0, 1.0], 0.0),
+            ("NAND", [1.0, 1.0], 0.0),
+            ("NOR", [0.0, 0.0], 1.0),
+        ],
+    )
+    def test_logic_table(self, operator, inputs, expected):
+        block = Block(
+            "l", "Logic", inputs=len(inputs), parameters={"Operator": operator}
+        )
+        assert _step(block, inputs)[0] == [expected]
+
+    def test_logic_bad_operator(self):
+        block = Block("l", "Logic", inputs=2, parameters={"Operator": "IMPLIES"})
+        with pytest.raises(SemanticsError):
+            _step(block, [1.0, 1.0])
+
+    @pytest.mark.parametrize(
+        "operator,a,b,expected",
+        [
+            ("==", 2.0, 2.0, 1.0),
+            ("~=", 2.0, 2.0, 0.0),
+            ("<", 1.0, 2.0, 1.0),
+            (">=", 2.0, 2.0, 1.0),
+        ],
+    )
+    def test_relational(self, operator, a, b, expected):
+        block = Block(
+            "r", "RelationalOperator", inputs=2, parameters={"Operator": operator}
+        )
+        assert _step(block, [a, b])[0] == [expected]
+
+
+class TestMath:
+    def test_sqrt(self):
+        assert _step(Block("s", "Sqrt"), [9.0])[0] == [3.0]
+        with pytest.raises(SemanticsError):
+            _step(Block("s", "Sqrt"), [-1.0])
+
+    def test_trigonometry(self):
+        block = Block("t", "Trigonometry", parameters={"Operator": "cos"})
+        assert _step(block, [0.0])[0] == [1.0]
+
+    def test_math_function_variants(self):
+        assert _step(
+            Block("m", "MathFunction", parameters={"Operator": "square"}),
+            [3.0],
+        )[0] == [9.0]
+        assert _step(
+            Block("m", "MathFunction", parameters={"Operator": "exp"}), [0.0]
+        )[0] == [1.0]
+        with pytest.raises(SemanticsError):
+            _step(
+                Block("m", "MathFunction", parameters={"Operator": "log"}),
+                [0.0],
+            )
+        with pytest.raises(SemanticsError):
+            _step(
+                Block(
+                    "m", "MathFunction", parameters={"Operator": "reciprocal"}
+                ),
+                [0.0],
+            )
+
+
+class TestLookup:
+    def test_interpolation_and_clamping(self):
+        block = Block(
+            "lut",
+            "Lookup",
+            parameters={
+                "InputValues": "0, 1, 2",
+                "OutputValues": "0, 10, 40",
+            },
+        )
+        assert _step(block, [0.5])[0] == [5.0]
+        assert _step(block, [1.5])[0] == [25.0]
+        assert _step(block, [-1.0])[0] == [0.0]
+        assert _step(block, [9.0])[0] == [40.0]
+
+    def test_mismatched_tables(self):
+        block = Block(
+            "lut",
+            "Lookup",
+            parameters={"InputValues": "0, 1", "OutputValues": "0"},
+        )
+        with pytest.raises(SemanticsError):
+            _step(block, [0.5])
+
+
+class TestPlatformIntegration:
+    def test_new_methods_reachable(self):
+        assert platform_block_for("lowpass")[0] == "DiscreteFilter"
+        assert platform_block_for("integrator")[0] == "DiscreteIntegrator"
+        assert platform_block_for("switch")[0] == "Switch"
+        assert platform_block_for("max")[0] == "MinMax"
+
+    def test_uml_to_extended_block(self):
+        from repro.core import map_model
+        from repro.uml import DeploymentPlan, ModelBuilder
+
+        b = ModelBuilder("m")
+        b.thread("T1")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="x")
+        sd.call("T1", "Platform", "lowpass", args=["x", 0.8], result="y")
+        result = map_model(
+            b.build(), DeploymentPlan.from_mapping({"T1": "CPU1"})
+        )
+        block = result.caam.thread("T1").system.block("lowpass")
+        assert block.block_type == "DiscreteFilter"
+        assert block.parameters["Pole"] == 0.8
+
+    def test_extended_blocks_in_simulation(self):
+        from repro.simulink import SimulinkModel, run_model
+
+        model = SimulinkModel("m")
+        const = model.root.add(
+            Block("c", "Constant", inputs=0, parameters={"Value": 1.0})
+        )
+        integ = model.root.add(
+            Block("i", "DiscreteIntegrator", parameters={"SampleTime": 1.0})
+        )
+        out = model.root.add(
+            Block("Out1", "Outport", inputs=1, outputs=0, parameters={"Port": 1})
+        )
+        model.root.connect(const.output(), integ.input())
+        model.root.connect(integ.output(), out.input())
+        assert run_model(model, 4).output("Out1") == [0.0, 1.0, 2.0, 3.0]

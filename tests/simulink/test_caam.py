@@ -1,0 +1,125 @@
+"""Unit tests for the CAAM layer (repro.simulink.caam)."""
+
+import pytest
+
+from repro.simulink import (
+    Block,
+    CaamError,
+    CaamModel,
+    CpuSubsystem,
+    GFIFO,
+    SWFIFO,
+    ThreadSubsystem,
+    is_channel,
+    is_cpu_subsystem,
+    is_thread_subsystem,
+    make_channel,
+    validate_caam,
+)
+
+
+def _minimal_caam():
+    caam = CaamModel("c")
+    cpu1 = caam.add_cpu("CPU1")
+    cpu2 = caam.add_cpu("CPU2")
+    t1 = caam.add_thread("CPU1", "T1")
+    t2 = caam.add_thread("CPU2", "T2")
+    return caam, cpu1, cpu2, t1, t2
+
+
+class TestConstruction:
+    def test_add_cpu_and_thread(self):
+        caam, cpu1, cpu2, t1, t2 = _minimal_caam()
+        assert [c.name for c in caam.cpus()] == ["CPU1", "CPU2"]
+        assert caam.thread("T1") is t1
+        assert caam.cpu_of_thread("T2") is cpu2
+
+    def test_unknown_lookups_raise(self):
+        caam, *_ = _minimal_caam()
+        with pytest.raises(CaamError):
+            caam.cpu("CPU9")
+        with pytest.raises(CaamError):
+            caam.thread("T9")
+        with pytest.raises(CaamError):
+            caam.cpu_of_thread("T9")
+
+    def test_role_predicates(self):
+        caam, cpu1, _, t1, _ = _minimal_caam()
+        assert is_cpu_subsystem(cpu1)
+        assert is_thread_subsystem(t1)
+        assert not is_cpu_subsystem(t1)
+        assert not is_thread_subsystem(cpu1)
+
+
+class TestChannels:
+    def test_make_channel_parameters(self):
+        channel = make_channel("ch", SWFIFO, 64)
+        assert is_channel(channel)
+        assert channel.parameters["Protocol"] == SWFIFO
+        assert channel.parameters["DataWidthBits"] == 64
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(CaamError):
+            make_channel("ch", "MAGICFIFO")
+
+    def test_channel_census(self):
+        caam, cpu1, cpu2, t1, t2 = _minimal_caam()
+        intra = make_channel("sw", SWFIFO)
+        cpu1.system.add(intra)
+        inter = make_channel("gf", GFIFO)
+        caam.root.add(inter)
+        assert len(caam.channels()) == 2
+        assert caam.intra_cpu_channels() == [intra]
+        assert caam.inter_cpu_channels() == [inter]
+
+
+class TestSummary:
+    def test_summary_counts(self):
+        caam, cpu1, cpu2, t1, t2 = _minimal_caam()
+        t1.system.add(Block("f", "S-Function"))
+        t1.system.add(Block("z", "UnitDelay"))
+        summary = caam.summary()
+        assert summary.cpus == 2
+        assert summary.threads == 2
+        assert summary.sfunctions == 1
+        assert summary.delays == 1
+        assert "2 CPU-SS" in str(summary)
+
+
+class TestValidation:
+    def test_clean_caam_validates(self, didactic_result):
+        assert validate_caam(didactic_result.caam) == []
+
+    def test_wrong_protocol_at_top_level_flagged(self):
+        caam, cpu1, cpu2, t1, t2 = _minimal_caam()
+        bad = make_channel("bad", SWFIFO)
+        caam.root.add(bad)
+        problems = validate_caam(caam)
+        assert any("must be GFIFO" in p for p in problems)
+
+    def test_wrong_protocol_in_cpu_flagged(self):
+        caam, cpu1, *_ = _minimal_caam()
+        bad = make_channel("bad", GFIFO)
+        cpu1.system.add(bad)
+        problems = validate_caam(caam)
+        assert any("must be SWFIFO" in p for p in problems)
+
+    def test_unconnected_channel_flagged(self):
+        caam, cpu1, *_ = _minimal_caam()
+        orphan = make_channel("orphan", SWFIFO)
+        cpu1.system.add(orphan)
+        problems = validate_caam(caam)
+        assert any("no producer" in p for p in problems)
+        assert any("no consumer" in p for p in problems)
+
+    def test_stray_block_at_top_level_flagged(self):
+        caam, *_ = _minimal_caam()
+        caam.root.add(Block("stray", "Gain"))
+        problems = validate_caam(caam)
+        assert any("non-architecture block" in p for p in problems)
+
+    def test_stray_block_in_cpu_flagged(self):
+        caam, cpu1, *_ = _minimal_caam()
+        cpu1.system.add(Block("stray", "Gain"))
+        problems = validate_caam(caam)
+        assert any("non-architecture block 'stray'" in p for p in problems)

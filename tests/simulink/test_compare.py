@@ -1,0 +1,93 @@
+"""Unit tests for structural model comparison (repro.simulink.compare)."""
+
+import pytest
+
+from repro.simulink import (
+    Block,
+    SimulinkModel,
+    SubSystem,
+    diff_models,
+    from_mdl,
+    models_equivalent,
+    to_mdl,
+)
+
+
+def _model():
+    model = SimulinkModel("m")
+    sub = SubSystem("S")
+    model.root.add(sub)
+    inp = sub.add_inport("in")
+    g = sub.system.add(Block("g", "Gain", parameters={"Gain": 2.0}))
+    sub.system.connect(inp.output(), g.input())
+    c = model.root.add(Block("c", "Constant", inputs=0, parameters={"Value": 1.0}))
+    model.root.connect(c.output(), sub.input(1))
+    return model
+
+
+class TestEquivalence:
+    def test_identical_models(self):
+        assert models_equivalent(_model(), _model())
+        assert diff_models(_model(), _model()) == []
+
+    def test_mdl_round_trip_equivalent(self, crane_result):
+        loaded = from_mdl(to_mdl(crane_result.caam))
+        assert models_equivalent(crane_result.caam, loaded), diff_models(
+            crane_result.caam, loaded
+        )
+
+    def test_ecore_round_trip_equivalent(self, synthetic_result):
+        from repro.simulink import from_ecore_string, to_ecore_string
+
+        loaded = from_ecore_string(to_ecore_string(synthetic_result.caam))
+        assert models_equivalent(synthetic_result.caam, loaded)
+
+
+class TestDifferences:
+    def test_missing_block_reported(self):
+        left, right = _model(), _model()
+        right.root.add(Block("extra", "Gain"))
+        diffs = diff_models(left, right)
+        assert any("'extra' only in right" in d for d in diffs)
+
+    def test_type_change_reported(self):
+        left, right = _model(), _model()
+        right.root.block("c").block_type = "Step"
+        assert any("type" in d for d in diff_models(left, right))
+
+    def test_parameter_change_reported(self):
+        left, right = _model(), _model()
+        right.find("S/g").parameters["Gain"] = 9.0
+        diffs = diff_models(left, right)
+        assert any("'Gain'" in d and "9.0" in d for d in diffs)
+
+    def test_nested_difference_has_path(self):
+        left, right = _model(), _model()
+        right.find("S/g").parameters["Gain"] = 9.0
+        assert any(d.startswith("m/S/g") for d in diff_models(left, right))
+
+    def test_wiring_change_reported(self):
+        left, right = _model(), _model()
+        line = right.root.lines[0]
+        right.root.disconnect(line)
+        diffs = diff_models(left, right)
+        assert any("connection" in d and "only in left" in d for d in diffs)
+
+    def test_port_count_change_reported(self):
+        left, right = _model(), _model()
+        right.root.block("c").num_outputs = 2
+        assert any("ports" in d for d in diff_models(left, right))
+
+    def test_model_name_and_params(self):
+        left = _model()
+        right = _model()
+        right.name = "other"
+        right.parameters["FixedStep"] = 9.0
+        diffs = diff_models(left, right)
+        assert any("model name" in d for d in diffs)
+        assert any("model parameters" in d for d in diffs)
+
+    def test_callables_ignored(self):
+        left, right = _model(), _model()
+        right.find("S/g").parameters["callback"] = lambda x: x
+        assert models_equivalent(left, right)

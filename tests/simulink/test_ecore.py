@@ -1,0 +1,88 @@
+"""Unit tests for E-core XML serialization (repro.simulink.ecore)."""
+
+import pytest
+
+from repro.simulink import (
+    Block,
+    CaamModel,
+    EcoreError,
+    SimulinkModel,
+    SubSystem,
+    from_ecore_string,
+    run_model,
+    to_ecore_string,
+)
+
+
+def _model():
+    model = SimulinkModel("m")
+    sub = SubSystem("S")
+    model.root.add(sub)
+    inp = sub.add_inport("in")
+    outp = sub.add_outport("out")
+    g = sub.system.add(Block("g", "Gain", parameters={"Gain": 4.0}))
+    sub.system.connect(inp.output(), g.input())
+    sub.system.connect(g.output(), outp.input())
+    c = model.root.add(Block("c", "Constant", inputs=0, parameters={"Value": 1.0}))
+    o = model.root.add(Block("Out1", "Outport", inputs=1, outputs=0, parameters={"Port": 1}))
+    model.root.connect(c.output(), sub.input(1))
+    model.root.connect(sub.output(1), o.input())
+    return model
+
+
+class TestRoundTrip:
+    def test_structure_and_behaviour(self):
+        loaded = from_ecore_string(to_ecore_string(_model()))
+        assert loaded.count_blocks() == 6
+        assert run_model(loaded, 2).output("Out1") == [4.0, 4.0]
+
+    def test_parameter_types_preserved(self):
+        model = SimulinkModel("m")
+        model.root.add(
+            Block(
+                "b",
+                "Gain",
+                parameters={"I": 3, "F": 2.5, "S": "text", "B": True},
+            )
+        )
+        loaded = from_ecore_string(to_ecore_string(model))
+        params = loaded.root.block("b").parameters
+        assert params["I"] == 3 and isinstance(params["I"], int)
+        assert params["F"] == 2.5 and isinstance(params["F"], float)
+        assert params["S"] == "text"
+        assert params["B"] is True
+
+    def test_caam_detection(self, didactic_result):
+        loaded = from_ecore_string(to_ecore_string(didactic_result.caam))
+        assert isinstance(loaded, CaamModel)
+        assert loaded.summary() == didactic_result.caam.summary()
+
+    def test_model_parameters_survive(self):
+        model = _model()
+        model.parameters["FixedStep"] = 0.25
+        loaded = from_ecore_string(to_ecore_string(model))
+        assert loaded.parameters["FixedStep"] == 0.25
+
+    def test_idempotent(self):
+        once = to_ecore_string(_model())
+        assert to_ecore_string(from_ecore_string(once)) == once
+
+
+class TestErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(EcoreError, match="invalid XML"):
+            from_ecore_string("<oops")
+
+    def test_missing_system(self):
+        with pytest.raises(EcoreError, match="no <system>"):
+            from_ecore_string('<caam:Model xmlns:caam="x" name="m"/>')
+
+    def test_line_without_destination(self):
+        text = """<caam:Model xmlns:caam="x" name="m">
+  <system name="m">
+    <block name="g" type="Gain" inputs="1" outputs="1"/>
+    <line srcBlock="g" srcPort="1"/>
+  </system>
+</caam:Model>"""
+        with pytest.raises(EcoreError, match="no destination"):
+            from_ecore_string(text)

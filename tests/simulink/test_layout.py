@@ -1,0 +1,83 @@
+"""Unit tests for the automatic layout pass (repro.simulink.layout)."""
+
+import pytest
+
+from repro.simulink import (
+    Block,
+    SimulinkModel,
+    from_mdl,
+    layout_model,
+    layout_system,
+    overlaps,
+    positions,
+    to_mdl,
+)
+
+
+def _chain_model():
+    model = SimulinkModel("m")
+    c = model.root.add(Block("c", "Constant", inputs=0))
+    g = model.root.add(Block("g", "Gain"))
+    o = model.root.add(Block("Out1", "Outport", inputs=1, outputs=0, parameters={"Port": 1}))
+    model.root.connect(c.output(), g.input())
+    model.root.connect(g.output(), o.input())
+    return model
+
+
+class TestLayout:
+    def test_every_block_gets_a_position(self):
+        model = _chain_model()
+        layout_model(model)
+        assert len(positions(model.root)) == 3
+
+    def test_dataflow_goes_left_to_right(self):
+        model = _chain_model()
+        layout_model(model)
+        boxes = positions(model.root)
+        assert boxes["c"][0] < boxes["g"][0] < boxes["Out1"][0]
+
+    def test_no_overlapping_boxes(self):
+        model = _chain_model()
+        layout_model(model)
+        assert overlaps(model.root) == []
+
+    def test_parallel_blocks_stack_vertically(self):
+        model = SimulinkModel("m")
+        a = model.root.add(Block("a", "Constant", inputs=0))
+        b = model.root.add(Block("b", "Constant", inputs=0))
+        layout_system(model.root)
+        boxes = positions(model.root)
+        assert boxes["a"][0] == boxes["b"][0]
+        assert boxes["a"][3] <= boxes["b"][1]  # no vertical overlap
+
+    def test_cyclic_system_still_lays_out(self):
+        model = SimulinkModel("m")
+        a = model.root.add(Block("a", "Gain"))
+        b = model.root.add(Block("b", "Gain"))
+        model.root.connect(a.output(), b.input())
+        model.root.connect(b.output(), a.input())
+        layout_system(model.root)
+        assert overlaps(model.root) == []
+
+    def test_height_scales_with_ports(self):
+        model = SimulinkModel("m")
+        small = model.root.add(Block("small", "Gain"))
+        wide = model.root.add(Block("wide", "Sum", inputs=4))
+        layout_system(model.root)
+        boxes = positions(model.root)
+        assert (boxes["wide"][3] - boxes["wide"][1]) > (
+            boxes["small"][3] - boxes["small"][1]
+        )
+
+    def test_positions_survive_mdl_round_trip(self):
+        model = _chain_model()
+        layout_model(model)
+        loaded = from_mdl(to_mdl(model))
+        assert positions(loaded.root) == positions(model.root)
+
+    def test_caam_layout_recursive(self, didactic_result):
+        layout_model(didactic_result.caam)
+        for system in didactic_result.caam.all_systems():
+            if system.blocks:
+                assert overlaps(system) == []
+                assert len(positions(system)) == len(system.blocks)

@@ -1,0 +1,206 @@
+"""Unit tests for the Simulink metamodel (repro.simulink.model)."""
+
+import pytest
+
+from repro.simulink import (
+    Block,
+    PortError,
+    SimulinkError,
+    SimulinkModel,
+    SubSystem,
+    flatten,
+)
+
+
+def _gain(name="g", gain=2.0):
+    return Block(name, "Gain", parameters={"Gain": gain})
+
+
+class TestBlock:
+    def test_name_constraints(self):
+        with pytest.raises(SimulinkError):
+            Block("", "Gain")
+        with pytest.raises(SimulinkError):
+            Block("a/b", "Gain")
+
+    def test_port_accessors(self):
+        block = Block("s", "Sum", inputs=2)
+        assert block.input(2).index == 2
+        assert len(block.inputs()) == 2
+        assert len(block.outputs()) == 1
+
+    def test_out_of_range_port_rejected(self):
+        block = Block("g", "Gain")
+        with pytest.raises(PortError):
+            block.input(2)
+        with pytest.raises(PortError):
+            block.output(5)
+
+    def test_path(self):
+        model = SimulinkModel("m")
+        sub = SubSystem("S")
+        model.root.add(sub)
+        inner = sub.system.add(_gain())
+        assert inner.path == "m/S/g"
+        assert sub.path == "m/S"
+
+
+class TestSystem:
+    def test_duplicate_block_name_rejected(self):
+        model = SimulinkModel("m")
+        model.root.add(_gain("a"))
+        with pytest.raises(SimulinkError):
+            model.root.add(_gain("a"))
+
+    def test_connect_and_driver_lookup(self):
+        model = SimulinkModel("m")
+        a = model.root.add(_gain("a"))
+        b = model.root.add(_gain("b"))
+        line = model.root.connect(a.output(), b.input())
+        assert model.root.driver_of(b.input()) is line
+        assert model.root.driver_of(a.input()) is None
+
+    def test_connect_merges_branches_on_same_source(self):
+        model = SimulinkModel("m")
+        a = model.root.add(_gain("a"))
+        b = model.root.add(_gain("b"))
+        c = model.root.add(_gain("c"))
+        line1 = model.root.connect(a.output(), b.input())
+        line2 = model.root.connect(a.output(), c.input())
+        assert line1 is line2
+        assert len(line1.destinations) == 2
+        assert len(model.root.lines) == 1
+
+    def test_double_driving_an_input_rejected(self):
+        model = SimulinkModel("m")
+        a = model.root.add(_gain("a"))
+        b = model.root.add(_gain("b"))
+        c = model.root.add(_gain("c"))
+        model.root.connect(a.output(), c.input())
+        with pytest.raises(PortError, match="already driven"):
+            model.root.connect(b.output(), c.input())
+
+    def test_connect_rejects_foreign_ports(self):
+        model = SimulinkModel("m")
+        a = model.root.add(_gain("a"))
+        foreign = _gain("f")
+        with pytest.raises(PortError):
+            model.root.connect(a.output(), foreign.input())
+
+    def test_block_lookup(self):
+        model = SimulinkModel("m")
+        a = model.root.add(_gain("a"))
+        assert model.root.block("a") is a
+        assert model.root.has_block("a")
+        with pytest.raises(SimulinkError):
+            model.root.block("zz")
+
+
+class TestSubSystem:
+    def test_ports_grow_with_port_blocks(self):
+        sub = SubSystem("S")
+        assert sub.num_inputs == 0
+        sub.add_inport("In1")
+        sub.add_inport("In2")
+        sub.add_outport("Out1")
+        assert (sub.num_inputs, sub.num_outputs) == (2, 1)
+
+    def test_port_blocks_sorted_by_port_number(self):
+        sub = SubSystem("S")
+        sub.add_inport("first")
+        sub.add_inport("second")
+        assert [b.name for b in sub.inport_blocks()] == ["first", "second"]
+        assert sub.inport_blocks()[1].parameters["Port"] == 2
+
+    def test_named_port_resolution(self):
+        sub = SubSystem("S")
+        sub.add_inport("a")
+        sub.add_inport("b")
+        assert sub.inport_named("b").index == 2
+        with pytest.raises(PortError):
+            sub.inport_named("zz")
+        sub.add_outport("o")
+        assert sub.outport_named("o").index == 1
+
+
+class TestPathLookup:
+    def _hier(self):
+        model = SimulinkModel("m")
+        cpu = SubSystem("CPU1")
+        model.root.add(cpu)
+        thread = SubSystem("T1")
+        cpu.system.add(thread)
+        thread.system.add(_gain("calc"))
+        return model
+
+    def test_find_with_and_without_model_prefix(self):
+        model = self._hier()
+        assert model.find("m/CPU1/T1/calc").name == "calc"
+        assert model.find("CPU1/T1/calc").name == "calc"
+
+    def test_find_rejects_path_through_primitive(self):
+        model = self._hier()
+        with pytest.raises(SimulinkError):
+            model.find("CPU1/T1/calc/deeper")
+
+    def test_counting_helpers(self):
+        model = self._hier()
+        assert model.count_blocks() == 3
+        assert model.count_blocks("Gain") == 1
+        assert len(model.all_systems()) == 3
+
+
+class TestFlatten:
+    def test_flatten_dissolves_boundaries(self):
+        model = SimulinkModel("m")
+        sub = SubSystem("S")
+        model.root.add(sub)
+        inp = sub.add_inport("In1")
+        outp = sub.add_outport("Out1")
+        inner = sub.system.add(_gain("inner"))
+        sub.system.connect(inp.output(), inner.input())
+        sub.system.connect(inner.output(), outp.input())
+        src = model.root.add(Block("c", "Constant", inputs=0))
+        dst = model.root.add(_gain("after"))
+        model.root.connect(src.output(), sub.input(1))
+        model.root.connect(sub.output(1), dst.input())
+        blocks, edges = flatten(model)
+        names = {b.name for b in blocks}
+        assert names == {"c", "inner", "after"}
+        edge_names = {(s.block.name, d.block.name) for s, d in edges}
+        assert edge_names == {("c", "inner"), ("inner", "after")}
+
+    def test_flatten_keeps_root_ports(self):
+        model = SimulinkModel("m")
+        inp = model.root.add(
+            Block("In1", "Inport", inputs=0, outputs=1, parameters={"Port": 1})
+        )
+        out = model.root.add(
+            Block("Out1", "Outport", inputs=1, outputs=0, parameters={"Port": 1})
+        )
+        model.root.connect(inp.output(), out.input())
+        blocks, edges = flatten(model)
+        assert {b.name for b in blocks} == {"In1", "Out1"}
+        assert len(edges) == 1
+
+    def test_flatten_unconnected_subsystem_port(self):
+        model = SimulinkModel("m")
+        sub = SubSystem("S")
+        model.root.add(sub)
+        sub.add_inport("In1")  # nothing inside consumes it
+        src = model.root.add(Block("c", "Constant", inputs=0))
+        model.root.connect(src.output(), sub.input(1))
+        blocks, edges = flatten(model)
+        assert edges == []
+
+    def test_flatten_dedupes_boundary_edges(self):
+        model = SimulinkModel("m")
+        sub = SubSystem("S")
+        model.root.add(sub)
+        inp = sub.add_inport("In1")
+        inner = sub.system.add(_gain("inner"))
+        sub.system.connect(inp.output(), inner.input())
+        src = model.root.add(Block("c", "Constant", inputs=0))
+        model.root.connect(src.output(), sub.input(1))
+        _, edges = flatten(model)
+        assert len(edges) == 1

@@ -1,0 +1,58 @@
+"""Unit tests for the ASCII tree renderer (repro.simulink.render)."""
+
+import pytest
+
+from repro.simulink import (
+    Block,
+    CaamModel,
+    SimulinkModel,
+    SubSystem,
+    SWFIFO,
+    make_channel,
+    render_tree,
+)
+
+
+class TestRenderTree:
+    def test_plain_model(self):
+        model = SimulinkModel("m")
+        model.root.add(Block("g", "Gain", parameters={"Gain": 2.0}))
+        text = render_tree(model)
+        assert text.startswith("m\n")
+        assert "g  [Gain Gain=2.0]" in text
+        assert "[CAAM]" not in text
+
+    def test_caam_roles_annotated(self, didactic_result):
+        text = render_tree(didactic_result.caam)
+        assert text.startswith("didactic  [CAAM]")
+        assert "CPU1  <<CPU-SS>>" in text
+        assert "T1  <<Thread-SS>>" in text
+        assert "[CommChannel GFIFO" in text
+        assert "[CommChannel SWFIFO" in text
+        assert "mult  [Product]" in text
+
+    def test_auto_inserted_delay_marked(self, crane_result):
+        text = render_tree(crane_result.caam)
+        assert "Delay  [UnitDelay (auto-inserted)]" in text
+
+    def test_wiring_listing(self):
+        model = SimulinkModel("m")
+        a = model.root.add(Block("a", "Constant", inputs=0))
+        b = model.root.add(Block("b", "Gain"))
+        model.root.connect(a.output(), b.input())
+        text = render_tree(model, wiring=True)
+        assert "wiring:" in text
+        assert "a.out1 -> b.in1" in text
+
+    def test_nested_indentation(self):
+        model = SimulinkModel("m")
+        outer = SubSystem("outer")
+        model.root.add(outer)
+        inner = SubSystem("inner")
+        outer.system.add(inner)
+        inner.system.add(Block("deep", "Gain"))
+        text = render_tree(model)
+        lines = text.splitlines()
+        deep_line = next(l for l in lines if "deep" in l)
+        assert deep_line.startswith("   " * 0 + "|") or deep_line.startswith("   ")
+        assert deep_line.index("deep") > 6  # indented at depth 3

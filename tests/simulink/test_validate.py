@@ -1,0 +1,120 @@
+"""Unit tests for Simulink model validation (repro.simulink.validate)."""
+
+import pytest
+
+from repro.simulink import (
+    Block,
+    SimulinkModel,
+    SubSystem,
+    find_cycles,
+    unconnected_inputs,
+    validate_model,
+    validate_structure,
+)
+
+
+class TestStructure:
+    def test_clean_model(self):
+        model = SimulinkModel("m")
+        a = model.root.add(Block("a", "Constant", inputs=0))
+        b = model.root.add(Block("b", "Gain"))
+        model.root.connect(a.output(), b.input())
+        assert validate_structure(model) == []
+
+    def test_subsystem_interface_mismatch_flagged(self):
+        model = SimulinkModel("m")
+        sub = SubSystem("S")
+        model.root.add(sub)
+        sub.add_inport("in")
+        sub.num_inputs = 5  # corrupt the derived interface
+        problems = validate_structure(model)
+        assert any("interface" in p for p in problems)
+
+    def test_foreign_block_line_flagged(self):
+        model = SimulinkModel("m")
+        a = model.root.add(Block("a", "Constant", inputs=0))
+        b = model.root.add(Block("b", "Gain"))
+        line = model.root.connect(a.output(), b.input())
+        model.root.blocks.remove(b)  # b now foreign to the system
+        problems = validate_structure(model)
+        assert any("foreign block" in p for p in problems)
+
+
+class TestWiring:
+    def test_unconnected_inputs_reported(self):
+        model = SimulinkModel("m")
+        model.root.add(Block("g", "Gain"))
+        ports = unconnected_inputs(model)
+        assert len(ports) == 1
+        assert ports[0].block.name == "g"
+
+    def test_root_inports_exempt(self):
+        model = SimulinkModel("m")
+        model.root.add(
+            Block("In1", "Inport", inputs=0, outputs=1, parameters={"Port": 1})
+        )
+        assert unconnected_inputs(model) == []
+
+    def test_validate_model_reports_unconnected(self):
+        model = SimulinkModel("m")
+        model.root.add(Block("g", "Gain"))
+        problems = validate_model(model)
+        assert any("unconnected" in p for p in problems)
+
+
+class TestCycles:
+    def test_simple_cycle_found(self):
+        model = SimulinkModel("m")
+        a = model.root.add(Block("a", "Gain"))
+        b = model.root.add(Block("b", "Gain"))
+        model.root.connect(a.output(), b.input())
+        model.root.connect(b.output(), a.input())
+        cycles = find_cycles(model)
+        assert len(cycles) == 1
+        assert {blk.name for blk in cycles[0]} == {"a", "b"}
+
+    def test_self_loop_found(self):
+        model = SimulinkModel("m")
+        a = model.root.add(Block("a", "Gain"))
+        model.root.connect(a.output(), a.input())
+        cycles = find_cycles(model)
+        assert [[b.name for b in c] for c in cycles] == [["a"]]
+
+    def test_delay_breaks_cycle(self):
+        model = SimulinkModel("m")
+        a = model.root.add(Block("a", "Gain"))
+        z = model.root.add(Block("z", "UnitDelay"))
+        model.root.connect(a.output(), z.input())
+        model.root.connect(z.output(), a.input())
+        assert find_cycles(model) == []
+
+    def test_two_independent_cycles(self):
+        model = SimulinkModel("m")
+        for prefix in ("x", "y"):
+            a = model.root.add(Block(f"{prefix}a", "Gain"))
+            b = model.root.add(Block(f"{prefix}b", "Gain"))
+            model.root.connect(a.output(), b.input())
+            model.root.connect(b.output(), a.input())
+        assert len(find_cycles(model)) == 2
+
+    def test_cycle_across_hierarchy(self):
+        model = SimulinkModel("m")
+        sub = SubSystem("S")
+        model.root.add(sub)
+        sin = sub.add_inport("in")
+        sout = sub.add_outport("out")
+        g = sub.system.add(Block("g", "Gain"))
+        sub.system.connect(sin.output(), g.input())
+        sub.system.connect(g.output(), sout.input())
+        back = model.root.add(Block("back", "Gain"))
+        model.root.connect(sub.output(1), back.input())
+        model.root.connect(back.output(), sub.input(1))
+        cycles = find_cycles(model)
+        assert len(cycles) == 1
+        assert {blk.name for blk in cycles[0]} == {"g", "back"}
+
+    def test_validate_model_reports_loop(self):
+        model = SimulinkModel("m")
+        a = model.root.add(Block("a", "Gain"))
+        model.root.connect(a.output(), a.input())
+        assert any("algebraic loop" in p for p in validate_model(model))

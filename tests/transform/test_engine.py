@@ -1,0 +1,168 @@
+"""Unit tests for the model-to-model rule engine (repro.transform.engine)."""
+
+import pytest
+
+from repro.transform import (
+    Rule,
+    TraceError,
+    Transformation,
+    TransformationContext,
+)
+
+
+class Source:
+    def __init__(self, name, kind="plain"):
+        self.name = name
+        self.kind = kind
+
+
+class Special(Source):
+    pass
+
+
+class Target:
+    def __init__(self, label):
+        self.label = label
+
+
+class TestRuleMatching:
+    def test_type_and_guard(self):
+        rule = Rule(
+            "r", Source, lambda e, c: None, guard=lambda e: e.kind == "x"
+        )
+        assert rule.matches(Source("a", "x"))
+        assert not rule.matches(Source("a", "y"))
+        assert not rule.matches(object())
+
+    def test_subclass_matches(self):
+        rule = Rule("r", Source, lambda e, c: None)
+        assert rule.matches(Special("s"))
+
+
+class TestExecution:
+    def test_exclusive_fires_first_matching_rule_only(self):
+        transformation = Transformation("t", exclusive=True)
+        fired = []
+        transformation.add_rule(
+            Rule("first", Source, lambda e, c: fired.append("first"))
+        )
+        transformation.add_rule(
+            Rule("second", Source, lambda e, c: fired.append("second"))
+        )
+        transformation.run([Source("a")], target=None)
+        assert fired == ["first"]
+
+    def test_non_exclusive_fires_all(self):
+        transformation = Transformation("t", exclusive=False)
+        fired = []
+        transformation.add_rule(
+            Rule("first", Source, lambda e, c: fired.append("first"))
+        )
+        transformation.add_rule(
+            Rule("second", Source, lambda e, c: fired.append("second"))
+        )
+        transformation.run([Source("a")], target=None)
+        assert fired == ["first", "second"]
+
+    def test_unmatched_elements_skipped(self):
+        transformation = Transformation("t")
+        transformation.add_rule(
+            Rule("only_special", Special, lambda e, c: Target(e.name))
+        )
+        context = transformation.run([Source("a"), Special("s")], target=None)
+        assert len(context.trace) == 1
+
+    def test_decorator_registration(self):
+        transformation = Transformation("t")
+
+        @transformation.rule("make", Source)
+        def make(element, context):
+            return Target(element.name)
+
+        context = transformation.run([Source("a")], target=None)
+        assert context.trace.by_rule("make")[0].target.label == "a"
+
+
+class TestTraceIntegration:
+    def test_targets_are_trace_linked(self):
+        transformation = Transformation("t")
+        transformation.add_rule(Rule("make", Source, lambda e, c: Target(e.name)))
+        source = Source("a")
+        context = transformation.run([source], target=None)
+        assert context.resolve(source).label == "a"
+
+    def test_list_results_create_multiple_links(self):
+        transformation = Transformation("t")
+        transformation.add_rule(
+            Rule("make2", Source, lambda e, c: [Target("x"), Target("y")])
+        )
+        source = Source("a")
+        context = transformation.run([source], target=None)
+        assert len(context.trace.targets(source)) == 2
+        with pytest.raises(TraceError, match="ambiguous"):
+            context.resolve(source)
+
+    def test_none_results_not_linked(self):
+        transformation = Transformation("t")
+        transformation.add_rule(Rule("skip", Source, lambda e, c: None))
+        source = Source("a")
+        context = transformation.run([source], target=None)
+        assert not context.trace.has(source)
+        assert context.try_resolve(source) is None
+
+    def test_late_resolution_between_rules(self):
+        transformation = Transformation("t")
+        transformation.add_rule(
+            Rule(
+                "special",
+                Special,
+                lambda e, c: Target("special:" + e.name),
+            )
+        )
+
+        seen = []
+
+        def resolve_rule(element, context):
+            # Resolves what the earlier sweep element produced.
+            seen.append(context.resolve(element.ref).label)
+
+        class RefElement:
+            def __init__(self, ref):
+                self.ref = ref
+
+        transformation.add_rule(Rule("use", RefElement, resolve_rule))
+        special = Special("s")
+        transformation.run([special, RefElement(special)], target=None)
+        assert seen == ["special:s"]
+
+
+class TestDeferred:
+    def test_deferred_actions_run_after_sweep(self):
+        transformation = Transformation("t")
+        order = []
+
+        def rule_fn(element, context):
+            order.append(f"rule:{element.name}")
+            context.defer(lambda c: order.append(f"deferred:{element.name}"))
+
+        transformation.add_rule(Rule("r", Source, rule_fn))
+        transformation.run([Source("a"), Source("b")], target=None)
+        assert order == ["rule:a", "rule:b", "deferred:a", "deferred:b"]
+
+    def test_deferred_can_enqueue_more(self):
+        context = TransformationContext(target=None)
+        order = []
+        context.defer(
+            lambda c: (order.append(1), c.defer(lambda c2: order.append(2)))
+        )
+        context.run_deferred()
+        assert order == [1, 2]
+
+    def test_options_passed_through(self):
+        transformation = Transformation("t")
+        seen = {}
+        transformation.add_rule(
+            Rule("r", Source, lambda e, c: seen.update(c.options))
+        )
+        transformation.run([Source("a")], target=None, options={"k": 1})
+        assert seen == {"k": 1}

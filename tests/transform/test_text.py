@@ -1,0 +1,151 @@
+"""Unit tests for the template engine (repro.transform.text)."""
+
+import pytest
+
+from repro.transform import Template, TemplateError, render
+
+
+class TestSubstitution:
+    def test_simple_expression(self):
+        assert render("hello ${name}", name="world") == "hello world\n"
+
+    def test_multiple_expressions_per_line(self):
+        assert render("${a} + ${b} = ${a + b}", a=1, b=2) == "1 + 2 = 3\n"
+
+    def test_attribute_and_index_access(self):
+        class Obj:
+            value = 10
+
+        assert render("${o.value} ${xs[1]}", o=Obj(), xs=[1, 2]) == "10 2\n"
+
+    def test_safe_builtins_available(self):
+        assert render("${len(xs)}", xs=[1, 2, 3]) == "3\n"
+
+    def test_unsafe_builtins_unavailable(self):
+        with pytest.raises(TemplateError):
+            render("${open('/etc/passwd')}")
+
+    def test_failing_expression_raises_with_context(self):
+        with pytest.raises(TemplateError, match="nope"):
+            render("${nope}")
+
+    def test_literal_text_untouched(self):
+        assert render("no placeholders { }") == "no placeholders { }\n"
+
+
+class TestControlFlow:
+    def test_for_loop(self):
+        out = render(
+            """
+%for x in items:
+- ${x}
+%end
+""",
+            items=[1, 2],
+        )
+        assert out == "- 1\n- 2\n"
+
+    def test_for_with_unpacking(self):
+        out = render(
+            """
+%for k, v in pairs:
+${k}=${v}
+%end
+""",
+            pairs=[("a", 1), ("b", 2)],
+        )
+        assert out == "a=1\nb=2\n"
+
+    def test_unpack_arity_mismatch(self):
+        template = Template(
+            """
+%for a, b in pairs:
+x
+%end
+"""
+        )
+        with pytest.raises(TemplateError, match="unpack"):
+            template.render(pairs=[(1, 2, 3)])
+
+    def test_if_elif_else(self):
+        template = Template(
+            """
+%if x > 0:
+positive
+%elif x < 0:
+negative
+%else:
+zero
+%end
+"""
+        )
+        assert template.render(x=5) == "positive\n"
+        assert template.render(x=-5) == "negative\n"
+        assert template.render(x=0) == "zero\n"
+
+    def test_nested_blocks(self):
+        out = render(
+            """
+%for row in rows:
+%if row:
+row: ${row}
+%end
+%end
+""",
+            rows=[1, 0, 2],
+        )
+        assert out == "row: 1\nrow: 2\n"
+
+    def test_loop_scope_does_not_leak(self):
+        out = render(
+            """
+%for x in [1]:
+${x}
+%end
+${outer}
+""",
+            outer="kept",
+        )
+        assert out == "1\nkept\n"
+
+    def test_indentation_preserved(self):
+        out = render(
+            """
+%for x in [1]:
+    indented ${x}
+%end
+"""
+        )
+        assert out == "    indented 1\n"
+
+
+class TestErrors:
+    def test_unterminated_block(self):
+        with pytest.raises(TemplateError, match="unterminated"):
+            Template("%for x in items:")
+
+    def test_end_without_block(self):
+        with pytest.raises(TemplateError, match="%end without block"):
+            Template("%end")
+
+    def test_else_without_if(self):
+        with pytest.raises(TemplateError, match="%else without %if"):
+            Template("%else:")
+
+    def test_elif_without_if(self):
+        with pytest.raises(TemplateError, match="%elif without %if"):
+            Template("%elif x:")
+
+    def test_unknown_directive(self):
+        with pytest.raises(TemplateError, match="unrecognized directive"):
+            Template("%while True:")
+
+    def test_else_directly_inside_for_rejected(self):
+        with pytest.raises(TemplateError, match="%else without %if"):
+            Template(
+                """
+%for x in xs:
+%else:
+%end
+"""
+            )

@@ -1,0 +1,70 @@
+"""Unit tests for trace links (repro.transform.trace)."""
+
+import pytest
+
+from repro.transform import TraceError, TraceStore
+
+
+class Thing:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestTraceStore:
+    def test_add_and_resolve(self):
+        store = TraceStore()
+        source, target = Thing("s"), Thing("t")
+        store.add("rule", source, target)
+        assert store.resolve(source) is target
+        assert store.has(source)
+        assert len(store) == 1
+
+    def test_roles_partition_targets(self):
+        store = TraceStore()
+        source = Thing("s")
+        store.add("rule", source, Thing("a"), role="subsystem")
+        store.add("rule", source, Thing("b"), role="port")
+        assert store.resolve(source, "subsystem").name == "a"
+        assert store.resolve(source, "port").name == "b"
+        assert not store.has(source)  # no role-less link
+
+    def test_missing_resolution_raises(self):
+        store = TraceStore()
+        with pytest.raises(TraceError, match="no trace target"):
+            store.resolve(Thing("s"))
+
+    def test_ambiguous_resolution_raises(self):
+        store = TraceStore()
+        source = Thing("s")
+        store.add("rule", source, Thing("a"))
+        store.add("rule", source, Thing("b"))
+        with pytest.raises(TraceError, match="ambiguous"):
+            store.resolve(source)
+        assert store.try_resolve(source) is None
+        assert len(store.targets(source)) == 2
+
+    def test_try_resolve_unique(self):
+        store = TraceStore()
+        source = Thing("s")
+        store.add("rule", source, Thing("a"))
+        assert store.try_resolve(source).name == "a"
+
+    def test_by_rule_filter(self):
+        store = TraceStore()
+        store.add("r1", Thing("a"), Thing("x"))
+        store.add("r2", Thing("b"), Thing("y"))
+        assert len(store.by_rule("r1")) == 1
+        assert store.by_rule("r1")[0].rule == "r1"
+
+    def test_unhashable_sources_supported(self):
+        store = TraceStore()
+        source = {"not": "hashable"}
+        store.add("rule", source, Thing("t"))
+        assert store.resolve(source).name == "t"
+
+    def test_identity_not_equality(self):
+        store = TraceStore()
+        a1, a2 = Thing("same"), Thing("same")
+        store.add("rule", a1, Thing("t1"))
+        assert store.has(a1)
+        assert not store.has(a2)

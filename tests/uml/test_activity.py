@@ -1,0 +1,118 @@
+"""Unit tests for activity diagrams and their lowering (repro.uml.activity)."""
+
+import pytest
+
+from repro.uml import (
+    ActivityEdge,
+    Activity,
+    ActivityNode,
+    ActivityNodeKind,
+    CallAction,
+    InstanceSpecification,
+    Model,
+    ObjectNode,
+    interaction_from_activity,
+)
+from repro.uml.activity import ActivityError
+from repro.uml.stereotypes import SA_SCHED_RES
+
+
+def _thread_instance(name: str) -> InstanceSpecification:
+    inst = InstanceSpecification(name)
+    inst.apply_stereotype(SA_SCHED_RES)
+    return inst
+
+
+def _linear_activity():
+    performer = _thread_instance("T1")
+    target = InstanceSpecification("Obj")
+    activity = Activity("behaviour", performer=performer)
+    a = activity.add_node(CallAction("read", target, "getSample", result="x"))
+    b = activity.add_node(
+        CallAction("proc", target, "process", arguments=["x"], result="y")
+    )
+    c = activity.add_node(CallAction("write", target, "setOut", arguments=["y"]))
+    activity.add_edge(ActivityEdge(a, b))
+    activity.add_edge(ActivityEdge(b, c))
+    return activity, performer
+
+
+class TestActivityStructure:
+    def test_duplicate_node_rejected(self):
+        activity = Activity("a")
+        activity.add_node(ActivityNode("n"))
+        with pytest.raises(ActivityError):
+            activity.add_node(ActivityNode("n"))
+
+    def test_edge_with_foreign_node_rejected(self):
+        activity = Activity("a")
+        n1 = activity.add_node(ActivityNode("n1"))
+        stray = ActivityNode("stray")
+        with pytest.raises(ActivityError):
+            activity.add_edge(ActivityEdge(n1, stray))
+
+    def test_object_flow_detection(self):
+        activity = Activity("a")
+        action = activity.add_node(ActivityNode("act"))
+        buffer = activity.add_node(ObjectNode("buf"))
+        edge = activity.add_edge(ActivityEdge(action, buffer))
+        assert edge.is_object_flow
+
+    def test_actions_in_order_is_topological(self):
+        activity, _ = _linear_activity()
+        names = [a.name for a in activity.actions_in_order()]
+        assert names == ["read", "proc", "write"]
+
+    def test_cyclic_control_flow_rejected(self):
+        activity = Activity("a")
+        n1 = activity.add_node(ActivityNode("n1"))
+        n2 = activity.add_node(ActivityNode("n2"))
+        activity.add_edge(ActivityEdge(n1, n2))
+        activity.add_edge(ActivityEdge(n2, n1))
+        with pytest.raises(ActivityError, match="cyclic"):
+            activity.actions_in_order()
+
+
+class TestLowering:
+    def test_lowering_produces_equivalent_interaction(self):
+        activity, performer = _linear_activity()
+        interaction = interaction_from_activity(activity)
+        messages = interaction.messages()
+        assert [m.operation for m in messages] == [
+            "getSample",
+            "process",
+            "setOut",
+        ]
+        assert messages[0].result == "x"
+        assert messages[1].variables_read() == ["x"]
+        assert all(m.sender.instance is performer for m in messages)
+
+    def test_lowering_without_performer_rejected(self):
+        activity = Activity("orphan")
+        with pytest.raises(ActivityError, match="performer"):
+            interaction_from_activity(activity)
+
+    def test_untargeted_action_becomes_self_message(self):
+        performer = _thread_instance("T1")
+        activity = Activity("a", performer=performer)
+        activity.add_node(CallAction("local", operation="compute", result="r"))
+        interaction = interaction_from_activity(activity)
+        message = interaction.messages()[0]
+        assert message.sender is message.receiver
+
+    def test_lowered_activity_feeds_the_mapping(self):
+        """The paper's future-work path: activity → interaction → CAAM."""
+        from repro.core import synthesize
+        from repro.uml import DeploymentPlan
+
+        performer = _thread_instance("T1")
+        model = Model("from_activity")
+        model.add(performer)
+        activity = Activity("beh", performer=performer)
+        a = activity.add_node(CallAction("calc", operation="calc", result="y"))
+        model.add_activity(activity)
+        model.add_interaction(interaction_from_activity(activity))
+        plan = DeploymentPlan.from_mapping({"T1": "CPU1"})
+        result = synthesize(model, plan)
+        assert result.caam.thread("T1") is not None
+        assert result.summary.sfunctions == 1

@@ -1,0 +1,232 @@
+"""Unit tests for the fluent model builder (repro.uml.builder)."""
+
+import pytest
+
+from repro.uml import (
+    BuilderError,
+    ModelBuilder,
+    ParameterDirection,
+    PLATFORM_OBJECT,
+)
+
+
+class TestClasses:
+    def test_passive_class_with_operation(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").op("f", inputs=["x:int"], returns="int")
+        cls = b.model.class_named("C")
+        op = cls.operation("f")
+        assert not cls.is_active
+        assert [p.name for p in op.inputs()] == ["x"]
+        assert op.return_parameter.type.name == "int"
+
+    def test_active_class(self):
+        b = ModelBuilder("m")
+        b.active_class("T")
+        assert b.model.class_named("T").is_active
+
+    def test_duplicate_class_rejected(self):
+        b = ModelBuilder("m")
+        b.passive_class("C")
+        with pytest.raises(BuilderError):
+            b.passive_class("C")
+
+    def test_operation_body(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").op("f").body("return 1;", "c")
+        assert b.model.class_named("C").operation("f").body == "return 1;"
+
+    def test_attributes(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").attr("gain:double", default=2.0)
+        prop = b.model.class_named("C").properties[0]
+        assert prop.name == "gain" and prop.default == 2.0
+
+    def test_class_types_resolve_before_primitives(self):
+        b = ModelBuilder("m")
+        b.passive_class("Payload")
+        b.passive_class("C").op("f", inputs=["p:Payload"])
+        param = b.model.class_named("C").operation("f").inputs()[0]
+        assert param.type is b.model.class_named("Payload")
+
+    def test_out_parameters(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").op("f", inputs=["a:int"], outputs=["b:int"])
+        op = b.model.class_named("C").operation("f")
+        assert op.outputs()[0].direction is ParameterDirection.OUT
+
+
+class TestInstancesAndDeployment:
+    def test_thread_gets_stereotype(self):
+        b = ModelBuilder("m")
+        t = b.thread("T1")
+        assert t.has_stereotype("SASchedRes")
+
+    def test_io_device_gets_stereotype(self):
+        b = ModelBuilder("m")
+        d = b.io_device("Dev")
+        assert d.has_stereotype("IO")
+
+    def test_duplicate_instance_rejected(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        with pytest.raises(BuilderError):
+            b.instance("T1")
+
+    def test_instance_with_unknown_classifier_rejected(self):
+        b = ModelBuilder("m")
+        with pytest.raises(BuilderError):
+            b.instance("o", "Missing")
+
+    def test_processor_deploys_threads(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        node = b.processor("CPU1", threads=["T1", "T2"])
+        assert node.is_processor
+        assert [t.name for t in node.threads()] == ["T1", "T2"]
+
+    def test_duplicate_processor_rejected(self):
+        b = ModelBuilder("m")
+        b.processor("CPU1")
+        with pytest.raises(BuilderError):
+            b.processor("CPU1")
+
+    def test_bus_connects_processors(self):
+        b = ModelBuilder("m")
+        b.processor("CPU1")
+        b.processor("CPU2")
+        path = b.bus("CPU1", "CPU2")
+        assert path.ends[0].name == "CPU1"
+        assert path.ends[1].name == "CPU2"
+
+
+class TestInteractions:
+    def test_call_creates_lifelines_on_demand(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        msg = sd.call("T1", "Obj", "f", args=["x", 3], result="r")
+        assert msg.sender.name == "T1"
+        assert msg.arguments[0].is_variable
+        assert not msg.arguments[1].is_variable
+        assert msg.result == "r"
+
+    def test_undeclared_participant_rejected(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        sd = b.interaction("main")
+        with pytest.raises(BuilderError):
+            sd.call("T1", "Ghost", "f")
+
+    def test_platform_is_implicit(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        sd = b.interaction("main")
+        msg = sd.call("T1", PLATFORM_OBJECT, "mult", args=["a", "b"])
+        assert msg.receiver.instance is b.platform()
+
+    def test_loop_fragment(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        sd = b.interaction("main")
+        loop = sd.loop(iterations=7)
+        msg = loop.call("T1", "T2", "setX", args=["v"])
+        interaction = b.model.interaction("main")
+        assert interaction.message_multiplicity(msg) == 7
+
+    def test_same_instance_shared_across_interactions(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        sd1 = b.interaction("a")
+        sd2 = b.interaction("b")
+        m1 = sd1.call("T1", "T1", "f")
+        m2 = sd2.call("T1", "T1", "g")
+        assert m1.sender.instance is m2.sender.instance
+
+
+class TestAltOptBuilders:
+    def test_alt_creates_one_operand_per_guard(self):
+        from repro.uml import InteractionOperator
+
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        branches = sd.alt("cond", "else")
+        assert len(branches) == 2
+        fragment = b.model.interaction("main").fragments[0]
+        assert fragment.operator is InteractionOperator.ALT
+        assert [op.guard for op in fragment.operands] == ["cond", "else"]
+
+    def test_alt_needs_a_guard(self):
+        b = ModelBuilder("m")
+        sd = b.interaction("main")
+        with pytest.raises(BuilderError):
+            sd.alt()
+
+    def test_opt_single_operand(self):
+        from repro.uml import InteractionOperator
+
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        branch = sd.opt("cond")
+        branch.call("T1", "Obj", "maybe")
+        fragment = b.model.interaction("main").fragments[0]
+        assert fragment.operator is InteractionOperator.OPT
+        assert len(fragment.operands) == 1
+        assert fragment.operands[0].fragments[0].operation == "maybe"
+
+    def test_alt_messages_flattened_into_interaction(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        then_branch, else_branch = sd.alt("c", "else")
+        then_branch.call("T1", "Obj", "yes")
+        else_branch.call("T1", "Obj", "no")
+        ops = [m.operation for m in b.model.interaction("main").messages()]
+        assert ops == ["yes", "no"]
+
+
+class TestParBuilder:
+    def test_par_operands(self):
+        from repro.uml import InteractionOperator
+
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        left, right = sd.par(2)
+        left.call("T1", "Obj", "a")
+        right.call("T1", "Obj", "b")
+        fragment = b.model.interaction("main").fragments[0]
+        assert fragment.operator is InteractionOperator.PAR
+        assert len(fragment.operands) == 2
+
+    def test_par_needs_operands(self):
+        b = ModelBuilder("m")
+        sd = b.interaction("main")
+        with pytest.raises(BuilderError):
+            sd.par(0)
+
+    def test_par_messages_map_like_sequential_ones(self):
+        from repro.core import map_model
+        from repro.uml import DeploymentPlan
+
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.instance("Obj")
+        sd = b.interaction("main")
+        left, right = sd.par(2)
+        left.call("T1", "Obj", "a", result="x")
+        right.call("T1", "Obj", "bb", result="y")
+        result = map_model(
+            b.build(), DeploymentPlan.from_mapping({"T1": "CPU1"})
+        )
+        system = result.caam.thread("T1").system
+        assert system.has_block("a") and system.has_block("bb")

@@ -1,0 +1,111 @@
+"""Unit tests for deployment diagrams (repro.uml.deployment)."""
+
+import pytest
+
+from repro.uml import (
+    CommunicationPath,
+    DeploymentError,
+    DeploymentPlan,
+    InstanceSpecification,
+    Node,
+    UnknownElementError,
+)
+from repro.uml.stereotypes import SA_SCHED_RES
+
+
+class TestNode:
+    def test_processor_flag_applies_stereotype(self):
+        assert Node("cpu", processor=True).is_processor
+        assert not Node("plain").is_processor
+
+    def test_deploy_marks_instance_as_thread(self):
+        node = Node("cpu", processor=True)
+        inst = InstanceSpecification("T1")
+        node.deploy(inst)
+        assert inst.has_stereotype(SA_SCHED_RES)
+        assert node.threads() == [inst]
+
+    def test_deploy_is_idempotent(self):
+        node = Node("cpu", processor=True)
+        inst = InstanceSpecification("T1")
+        node.deploy(inst)
+        node.deploy(inst)
+        assert node.deployed == [inst]
+
+
+class TestCommunicationPath:
+    def test_connects_two_nodes(self):
+        a, b = Node("a"), Node("b")
+        path = CommunicationPath(a, b)
+        assert path.connects(a) and path.connects(b)
+        assert path.other_end(a) is b
+        assert path.other_end(b) is a
+
+    def test_self_path_rejected(self):
+        a = Node("a")
+        with pytest.raises(DeploymentError):
+            CommunicationPath(a, a)
+
+    def test_other_end_of_foreign_node_rejected(self):
+        a, b, c = Node("a"), Node("b"), Node("c")
+        path = CommunicationPath(a, b)
+        with pytest.raises(DeploymentError):
+            path.other_end(c)
+
+
+class TestDeploymentPlan:
+    def test_assign_and_query(self):
+        plan = DeploymentPlan()
+        plan.assign("T1", "CPU1")
+        plan.assign("T2", "CPU1")
+        plan.assign("T3", "CPU2")
+        assert plan.cpu_of("T1") == "CPU1"
+        assert sorted(plan.threads_on("CPU1")) == ["T1", "T2"]
+        assert plan.co_located("T1", "T2")
+        assert not plan.co_located("T1", "T3")
+        assert len(plan) == 3
+
+    def test_conflicting_assignment_rejected(self):
+        plan = DeploymentPlan()
+        plan.assign("T1", "CPU1")
+        with pytest.raises(DeploymentError):
+            plan.assign("T1", "CPU2")
+
+    def test_reassignment_to_same_cpu_is_fine(self):
+        plan = DeploymentPlan()
+        plan.assign("T1", "CPU1")
+        plan.assign("T1", "CPU1")
+        assert len(plan) == 1
+
+    def test_unknown_thread_raises(self):
+        plan = DeploymentPlan()
+        with pytest.raises(UnknownElementError):
+            plan.cpu_of("T9")
+        assert not plan.has_thread("T9")
+
+    def test_cpu_order_preserved(self):
+        plan = DeploymentPlan()
+        plan.assign("T1", "CPU2")
+        plan.assign("T2", "CPU1")
+        assert plan.cpus == ["CPU2", "CPU1"]
+
+    def test_from_nodes_reads_saengine_only(self):
+        cpu = Node("CPU1", processor=True)
+        plain = Node("Disk")  # not a processor
+        t1 = InstanceSpecification("T1")
+        t2 = InstanceSpecification("T2")
+        cpu.deploy(t1)
+        plain.deploy(t2)
+        plan = DeploymentPlan.from_nodes([cpu, plain])
+        assert plan.as_mapping() == {"T1": "CPU1"}
+
+    def test_from_mapping_round_trip(self):
+        source = {"T1": "CPU1", "T2": "CPU2"}
+        plan = DeploymentPlan.from_mapping(source)
+        assert plan.as_mapping() == source
+
+    def test_add_cpu_without_threads(self):
+        plan = DeploymentPlan()
+        plan.add_cpu("CPU1")
+        assert plan.cpus == ["CPU1"]
+        assert plan.threads_on("CPU1") == []

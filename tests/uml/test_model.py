@@ -1,0 +1,224 @@
+"""Unit tests for the core UML metamodel (repro.uml.model)."""
+
+import pytest
+
+from repro.uml import (
+    ArrayType,
+    Class,
+    DuplicateNameError,
+    InstanceSpecification,
+    Model,
+    Operation,
+    Package,
+    Parameter,
+    ParameterDirection,
+    PrimitiveType,
+    Property,
+    UmlError,
+    UnknownElementError,
+)
+from repro.uml.model import elements_of_type
+
+
+class TestParameterDirection:
+    def test_in_is_input_only(self):
+        assert ParameterDirection.IN.is_input
+        assert not ParameterDirection.IN.is_output
+
+    def test_return_is_output_only(self):
+        assert ParameterDirection.RETURN.is_output
+        assert not ParameterDirection.RETURN.is_input
+
+    def test_inout_is_both(self):
+        assert ParameterDirection.INOUT.is_input
+        assert ParameterDirection.INOUT.is_output
+
+
+class TestPrimitiveType:
+    def test_known_width_defaults(self):
+        assert PrimitiveType("int").width_bits == 32
+        assert PrimitiveType("double").width_bits == 64
+        assert PrimitiveType("bool").width_bits == 1
+
+    def test_unknown_name_defaults_to_32(self):
+        assert PrimitiveType("mystery").width_bits == 32
+
+    def test_explicit_width_overrides(self):
+        assert PrimitiveType("int", width_bits=16).width_bits == 16
+
+    def test_width_words_rounds_up(self):
+        assert PrimitiveType("double").width_words == 2
+        assert PrimitiveType("bool").width_words == 1
+        assert PrimitiveType("void").width_words == 0
+
+    def test_case_insensitive_lookup(self):
+        assert PrimitiveType("Double").width_bits == 64
+
+
+class TestArrayType:
+    def test_width_is_element_times_length(self):
+        arr = ArrayType(PrimitiveType("int"), 8)
+        assert arr.width_bits == 256
+        assert arr.name == "int[8]"
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(UmlError):
+            ArrayType(PrimitiveType("int"), -1)
+
+
+class TestOperation:
+    def _op(self):
+        op = Operation("calc")
+        op.add_parameter(Parameter("a", PrimitiveType("int"), ParameterDirection.IN))
+        op.add_parameter(Parameter("b", PrimitiveType("int"), ParameterDirection.OUT))
+        op.add_parameter(
+            Parameter("return", PrimitiveType("int"), ParameterDirection.RETURN)
+        )
+        return op
+
+    def test_inputs_and_outputs_views(self):
+        op = self._op()
+        assert [p.name for p in op.inputs()] == ["a"]
+        assert [p.name for p in op.outputs()] == ["b", "return"]
+
+    def test_return_parameter(self):
+        op = self._op()
+        assert op.return_parameter is not None
+        assert op.return_parameter.direction is ParameterDirection.RETURN
+
+    def test_parameter_lookup(self):
+        op = self._op()
+        assert op.parameter("a").name == "a"
+        with pytest.raises(UnknownElementError):
+            op.parameter("missing")
+
+    def test_parameters_are_owned(self):
+        op = self._op()
+        assert all(p.owner is op for p in op.parameters)
+
+
+class TestClass:
+    def test_duplicate_operation_rejected(self):
+        cls = Class("C")
+        cls.add_operation(Operation("f"))
+        with pytest.raises(DuplicateNameError):
+            cls.add_operation(Operation("f"))
+
+    def test_duplicate_property_rejected(self):
+        cls = Class("C")
+        cls.add_property(Property("x"))
+        with pytest.raises(DuplicateNameError):
+            cls.add_property(Property("x"))
+
+    def test_operation_lookup_searches_superclasses(self):
+        base = Class("Base")
+        base.add_operation(Operation("inherited"))
+        derived = Class("Derived")
+        derived.generalizations.append(base)
+        assert derived.operation("inherited").name == "inherited"
+        assert derived.has_operation("inherited")
+        assert not derived.has_operation("missing")
+
+    def test_all_operations_deduplicates_overrides(self):
+        base = Class("Base")
+        base.add_operation(Operation("f"))
+        base.add_operation(Operation("g"))
+        derived = Class("Derived")
+        derived.add_operation(Operation("f"))  # override
+        derived.generalizations.append(base)
+        names = [op.name for op in derived.all_operations()]
+        assert names == ["f", "g"]
+        assert derived.all_operations()[0].owner is derived
+
+
+class TestInstanceSpecification:
+    def test_active_follows_classifier(self):
+        passive = InstanceSpecification("o", Class("C"))
+        active = InstanceSpecification("t", Class("T", is_active=True))
+        assert not passive.is_active
+        assert active.is_active
+
+    def test_untyped_instance_not_active(self):
+        assert not InstanceSpecification("x").is_active
+
+    def test_classifier_operation_resolution(self):
+        cls = Class("C")
+        cls.add_operation(Operation("f"))
+        inst = InstanceSpecification("o", cls)
+        assert inst.classifier_operation("f") is not None
+        assert inst.classifier_operation("g") is None
+        assert InstanceSpecification("u").classifier_operation("f") is None
+
+
+class TestModel:
+    def test_register_assigns_unique_ids(self):
+        model = Model("m")
+        a = model.add(Class("A"))
+        b = model.add(Class("B"))
+        assert a.xmi_id != b.xmi_id
+        assert model.by_id(a.xmi_id) is a
+
+    def test_by_id_unknown_raises(self):
+        model = Model("m")
+        with pytest.raises(UnknownElementError):
+            model.by_id("nope")
+
+    def test_primitive_types_are_interned(self):
+        model = Model("m")
+        assert model.primitive("int") is model.primitive("int")
+
+    def test_qualified_names(self):
+        model = Model("m")
+        pkg = model.add(Package("pkg"))
+        cls = pkg.add(Class("C"))
+        assert cls.qualified_name == "m.pkg.C"
+
+    def test_walk_covers_nested_elements(self):
+        model = Model("m")
+        pkg = model.add(Package("pkg"))
+        cls = pkg.add(Class("C"))
+        op = Operation("f")
+        cls.add_operation(op)
+        walked = list(model.walk())
+        assert cls in walked and op in walked
+
+    def test_elements_of_type(self):
+        model = Model("m")
+        model.add(Class("A"))
+        model.add(Class("B"))
+        model.add(InstanceSpecification("i"))
+        assert len(list(elements_of_type(model, Class))) == 2
+
+    def test_class_named_and_instance_lookup(self):
+        model = Model("m")
+        model.add(Class("A"))
+        model.add(InstanceSpecification("i"))
+        assert model.class_named("A").name == "A"
+        assert model.instance("i").name == "i"
+        with pytest.raises(UnknownElementError):
+            model.class_named("missing")
+        with pytest.raises(UnknownElementError):
+            model.instance("missing")
+
+    def test_elements_added_later_get_registered(self):
+        model = Model("m")
+        cls = model.add(Class("A"))
+        op = cls.add_operation(Operation("late"))
+        assert op.xmi_id is not None
+        assert model.by_id(op.xmi_id) is op
+
+
+class TestStereotypeApplication:
+    def test_apply_and_query(self):
+        cls = Class("C")
+        cls.apply_stereotype("SAengine", SARate=100)
+        assert cls.has_stereotype("SAengine")
+        assert cls.tagged_value("SAengine", "SARate") == 100
+        assert cls.tagged_value("SAengine", "missing", 7) == 7
+        assert cls.tagged_value("other", "x") is None
+
+    def test_reapplication_merges_tags(self):
+        cls = Class("C")
+        cls.apply_stereotype("S", a=1)
+        cls.apply_stereotype("S", b=2)
+        assert cls.stereotypes["S"] == {"a": 1, "b": 2}

@@ -1,0 +1,131 @@
+"""Unit tests for PlantUML export (repro.uml.plantuml)."""
+
+import pytest
+
+from repro.uml import (
+    ModelBuilder,
+    Pseudostate,
+    Region,
+    State,
+    StateMachine,
+    Transition,
+    deployment_to_plantuml,
+    interaction_to_plantuml,
+    model_to_plantuml,
+    state_machine_to_plantuml,
+)
+from repro.uml.statemachine import FinalState
+
+
+def _model():
+    b = ModelBuilder("sys")
+    b.thread("T1")
+    b.thread("T2")
+    b.instance("Obj")
+    b.io_device("Dev")
+    b.processor("CPU1", threads=["T1"])
+    b.processor("CPU2", threads=["T2"])
+    b.bus("CPU1", "CPU2")
+    sd = b.interaction("main")
+    sd.call("T1", "Dev", "getIn", result="x")
+    sd.call("T1", "Platform", "gain", args=["x", 2.0], result="y")
+    loop = sd.loop(iterations=3)
+    loop.call("T1", "T2", "setValue", args=["y"])
+    then_branch, else_branch = sd.alt("y", "else")
+    then_branch.call("T2", "Obj", "hot")
+    else_branch.call("T2", "Obj", "cold")
+    return b.build()
+
+
+class TestSequenceExport:
+    def test_roles_stereotyped(self):
+        text = interaction_to_plantuml(_model().interaction("main"))
+        assert text.startswith("@startuml")
+        assert text.rstrip().endswith("@enduml")
+        assert 'participant "T1" as T1 <<SASchedRes>>' in text
+        assert 'entity "Dev" as Dev <<IO>>' in text
+        assert 'collections "Platform"' in text
+
+    def test_messages_with_assignment_and_args(self):
+        text = interaction_to_plantuml(_model().interaction("main"))
+        assert "T1 -> Dev: x = getIn()" in text
+        assert "T1 -> Platform: y = gain(x, 2.0)" in text
+
+    def test_loop_fragment_rendered(self):
+        text = interaction_to_plantuml(_model().interaction("main"))
+        assert "loop 3x" in text
+        assert text.count("end") >= 2  # loop + alt
+
+    def test_alt_fragment_rendered(self):
+        text = interaction_to_plantuml(_model().interaction("main"))
+        assert "alt y" in text
+        assert "else else" in text or "else" in text
+
+
+class TestDeploymentExport:
+    def test_nodes_threads_and_bus(self):
+        text = deployment_to_plantuml(_model())
+        assert 'node "CPU1" <<SAengine>>' in text
+        assert 'artifact "T1"' in text
+        assert '"CPU1" -- "CPU2" : bus' in text
+
+
+class TestStateMachineExport:
+    def test_states_and_transitions(self):
+        machine = StateMachine("sm")
+        region = machine.main_region()
+        init = region.add_vertex(Pseudostate())
+        a = region.add_vertex(State("a", entry="x = 1"))
+        b = region.add_vertex(State("b"))
+        end = region.add_vertex(FinalState("end"))
+        region.add_transition(Transition(init, a))
+        region.add_transition(Transition(a, b, trigger="go", guard="x > 0"))
+        region.add_transition(Transition(b, end, trigger="stop"))
+        text = state_machine_to_plantuml(machine)
+        assert "[*] --> a" in text
+        assert "a : entry / x = 1" in text
+        assert "a --> b : go [x > 0]" in text
+        assert "b --> [*] : stop" in text
+
+    def test_composite_states_nested(self):
+        machine = StateMachine("sm")
+        region = machine.main_region()
+        init = region.add_vertex(Pseudostate())
+        comp = region.add_vertex(State("comp"))
+        inner = comp.add_region(Region("inner"))
+        iinit = inner.add_vertex(Pseudostate())
+        leaf = inner.add_vertex(State("leaf"))
+        inner.add_transition(Transition(iinit, leaf))
+        region.add_transition(Transition(init, comp))
+        text = state_machine_to_plantuml(machine)
+        assert 'state "comp" as comp {' in text
+        assert 'state "leaf" as leaf' in text
+
+
+class TestModelBundle:
+    def test_one_file_per_diagram(self):
+        model = _model()
+        machine = StateMachine("modes")
+        region = machine.main_region()
+        init = region.add_vertex(Pseudostate())
+        only = region.add_vertex(State("only"))
+        region.add_transition(Transition(init, only))
+        model.add_state_machine(machine)
+        artifacts = model_to_plantuml(model)
+        assert set(artifacts) == {
+            "sd_main.puml",
+            "deployment.puml",
+            "sm_modes.puml",
+        }
+        assert all(text.startswith("@startuml") for text in artifacts.values())
+
+    def test_cli_render(self, tmp_path):
+        from repro.cli import main
+        from repro.uml import write_xmi
+
+        xmi = tmp_path / "m.xmi"
+        write_xmi(_model(), str(xmi))
+        out = tmp_path / "diagrams"
+        assert main(["render", str(xmi), "-o", str(out)]) == 0
+        assert (out / "sd_main.puml").exists()
+        assert (out / "deployment.puml").exists()

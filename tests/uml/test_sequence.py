@@ -1,0 +1,239 @@
+"""Unit tests for interactions (repro.uml.sequence)."""
+
+import pytest
+
+from repro.uml import (
+    Argument,
+    Class,
+    CombinedFragment,
+    InstanceSpecification,
+    Interaction,
+    InteractionOperand,
+    InteractionOperator,
+    Lifeline,
+    Message,
+    Model,
+    Operation,
+    Parameter,
+    ParameterDirection,
+    SequenceError,
+    UnknownElementError,
+    dataflow_pairs,
+)
+from repro.uml.stereotypes import IO, SA_SCHED_RES
+
+
+def _thread(name: str) -> Lifeline:
+    instance = InstanceSpecification(name)
+    instance.apply_stereotype(SA_SCHED_RES)
+    return Lifeline(name, instance=instance)
+
+
+def _passive(name: str) -> Lifeline:
+    return Lifeline(name, instance=InstanceSpecification(name))
+
+
+class TestArgument:
+    def test_identifier_string_is_variable(self):
+        assert Argument("x").is_variable
+        assert Argument("x").variable == "x"
+
+    def test_numbers_are_literals(self):
+        assert not Argument(42).is_variable
+        assert Argument(42).variable is None
+
+    def test_non_identifier_strings_are_literals(self):
+        assert not Argument("3x+1").is_variable
+
+    def test_explicit_override(self):
+        assert not Argument("x", is_variable=False).is_variable
+
+    def test_equality_and_hash(self):
+        assert Argument("x") == Argument("x")
+        assert Argument("x") != Argument("x", is_variable=False)
+        assert len({Argument("x"), Argument("x")}) == 1
+
+
+class TestMessageClassification:
+    def test_set_get_prefixes(self):
+        t1, t2 = _thread("T1"), _thread("T2")
+        send = Message(t1, t2, "setValue", arguments=["v"])
+        recv = Message(t1, t2, "getValue", result="v")
+        assert send.is_send and not send.is_receive
+        assert recv.is_receive and not recv.is_send
+
+    def test_channel_name_strips_prefix_and_lowercases(self):
+        t1, t2 = _thread("T1"), _thread("T2")
+        assert Message(t1, t2, "setValue").channel_name == "value"
+        assert Message(t1, t2, "getValue").channel_name == "value"
+        assert Message(t1, t2, "set_pos").channel_name == "pos"
+        assert Message(t1, t2, "compute").channel_name == "compute"
+
+    def test_bare_set_defaults_channel_to_data(self):
+        t1, t2 = _thread("T1"), _thread("T2")
+        assert Message(t1, t2, "set").channel_name == "data"
+
+    def test_inter_thread_requires_two_threads(self):
+        t1, t2 = _thread("T1"), _thread("T2")
+        passive = _passive("Obj")
+        assert Message(t1, t2, "setX").is_inter_thread
+        assert not Message(t1, passive, "setX").is_inter_thread
+        assert not Message(t1, t1, "setX").is_inter_thread
+
+    def test_io_access(self):
+        t1 = _thread("T1")
+        io_instance = InstanceSpecification("Dev")
+        io_instance.apply_stereotype(IO)
+        io = Lifeline("Dev", instance=io_instance)
+        assert Message(t1, io, "getSample").is_io_access
+        assert not Message(t1, _passive("P"), "getSample").is_io_access
+
+    def test_io_via_classifier_stereotype(self):
+        cls = Class("Device")
+        cls.apply_stereotype(IO)
+        lifeline = Lifeline("d", instance=InstanceSpecification("d", cls))
+        assert lifeline.is_io
+
+    def test_empty_operation_rejected(self):
+        t1, t2 = _thread("T1"), _thread("T2")
+        with pytest.raises(SequenceError):
+            Message(t1, t2, "")
+
+
+class TestMessageDataflow:
+    def test_variables_read_and_written(self):
+        t1, t2 = _thread("T1"), _thread("T2")
+        msg = Message(t1, t2, "f", arguments=["a", 3, "b"], result="r")
+        assert msg.variables_read() == ["a", "b"]
+        assert msg.variables_written() == ["r"]
+
+    def test_data_width_untyped_counts_args_and_result(self):
+        t1, t2 = _thread("T1"), _thread("T2")
+        assert Message(t1, t2, "f", arguments=["a"], result="r").data_width_bits() == 64
+        assert Message(t1, t2, "f").data_width_bits() == 32
+
+    def test_data_width_uses_operation_signature(self):
+        model = Model("m")
+        cls = model.add(Class("C"))
+        op = Operation("f")
+        cls.add_operation(op)
+        op.add_parameter(
+            Parameter("x", model.primitive("double"), ParameterDirection.IN)
+        )
+        op.add_parameter(
+            Parameter("return", model.primitive("double"), ParameterDirection.RETURN)
+        )
+        inst = model.add(InstanceSpecification("o", cls))
+        receiver = Lifeline("o", instance=inst)
+        msg = Message(_thread("T1"), receiver, "f", arguments=["v"], result="r")
+        assert msg.data_width_bits() == 128  # 64-bit in + 64-bit return
+
+
+class TestInteraction:
+    def _interaction(self):
+        interaction = Interaction("sd")
+        t1 = interaction.add_lifeline(_thread("T1"))
+        t2 = interaction.add_lifeline(_thread("T2"))
+        obj = interaction.add_lifeline(_passive("Obj"))
+        return interaction, t1, t2, obj
+
+    def test_duplicate_lifeline_rejected(self):
+        interaction, t1, _, _ = self._interaction()
+        with pytest.raises(SequenceError):
+            interaction.add_lifeline(Lifeline("T1"))
+
+    def test_message_ends_must_be_covered(self):
+        interaction, t1, _, _ = self._interaction()
+        foreign = _thread("T9")
+        with pytest.raises(SequenceError):
+            interaction.add_message(Message(t1, foreign, "f"))
+
+    def test_messages_in_diagram_order(self):
+        interaction, t1, t2, obj = self._interaction()
+        interaction.add_message(Message(t1, obj, "a"))
+        interaction.add_message(Message(t1, t2, "setB", arguments=["x"]))
+        assert [m.operation for m in interaction.messages()] == ["a", "setB"]
+
+    def test_messages_from_and_to(self):
+        interaction, t1, t2, obj = self._interaction()
+        interaction.add_message(Message(t1, obj, "a"))
+        interaction.add_message(Message(t2, obj, "b"))
+        assert len(interaction.messages_from(t1)) == 1
+        assert len(interaction.messages_to(obj)) == 2
+
+    def test_thread_lifelines_excludes_passive(self):
+        interaction, t1, t2, obj = self._interaction()
+        assert interaction.thread_lifelines() == [t1, t2]
+
+    def test_lifeline_lookup(self):
+        interaction, t1, _, _ = self._interaction()
+        assert interaction.lifeline("T1") is t1
+        with pytest.raises(UnknownElementError):
+            interaction.lifeline("nope")
+
+    def test_lifeline_for_creates_on_demand(self):
+        interaction, *_ = self._interaction()
+        inst = InstanceSpecification("New")
+        lifeline = interaction.lifeline_for(inst)
+        assert lifeline.instance is inst
+        assert interaction.lifeline_for(inst) is lifeline
+
+
+class TestCombinedFragments:
+    def test_loop_messages_flattened(self):
+        interaction = Interaction("sd")
+        t1 = interaction.add_lifeline(_thread("T1"))
+        t2 = interaction.add_lifeline(_thread("T2"))
+        fragment = CombinedFragment(InteractionOperator.LOOP, iterations=5)
+        operand = InteractionOperand("i < 5")
+        fragment.add_operand(operand)
+        msg = Message(t1, t2, "setX", arguments=["v"])
+        operand.add(msg)
+        interaction.add_fragment(fragment)
+        assert msg in interaction.messages()
+        assert msg not in interaction.messages(flatten=False)
+
+    def test_message_multiplicity_multiplies_nested_loops(self):
+        interaction = Interaction("sd")
+        t1 = interaction.add_lifeline(_thread("T1"))
+        t2 = interaction.add_lifeline(_thread("T2"))
+        outer = CombinedFragment(InteractionOperator.LOOP, iterations=3)
+        outer_op = InteractionOperand()
+        outer.add_operand(outer_op)
+        inner = CombinedFragment(InteractionOperator.LOOP, iterations=4)
+        inner_op = InteractionOperand()
+        inner.add_operand(inner_op)
+        msg = Message(t1, t2, "setX", arguments=["v"])
+        inner_op.add(msg)
+        outer_op.add(inner)
+        interaction.add_fragment(outer)
+        assert interaction.message_multiplicity(msg) == 12
+
+    def test_plain_message_multiplicity_is_one(self):
+        interaction = Interaction("sd")
+        t1 = interaction.add_lifeline(_thread("T1"))
+        t2 = interaction.add_lifeline(_thread("T2"))
+        msg = interaction.add_message(Message(t1, t2, "setX"))
+        assert interaction.message_multiplicity(msg) == 1
+
+    def test_fragment_checks_lifeline_coverage(self):
+        interaction = Interaction("sd")
+        t1 = interaction.add_lifeline(_thread("T1"))
+        foreign = _thread("T9")
+        fragment = CombinedFragment(InteractionOperator.LOOP)
+        operand = InteractionOperand()
+        fragment.add_operand(operand)
+        operand.add(Message(t1, foreign, "setX"))
+        with pytest.raises(SequenceError):
+            interaction.add_fragment(fragment)
+
+
+class TestDataflowPairs:
+    def test_index_by_variable(self):
+        interaction = Interaction("sd")
+        t1 = interaction.add_lifeline(_thread("T1"))
+        obj = interaction.add_lifeline(_passive("Obj"))
+        m1 = interaction.add_message(Message(t1, obj, "f", result="x"))
+        m2 = interaction.add_message(Message(t1, obj, "g", arguments=["x"]))
+        index = dataflow_pairs([interaction])
+        assert index["x"] == [m1, m2]

@@ -1,0 +1,92 @@
+"""Unit tests for UML state machines (repro.uml.statemachine)."""
+
+import pytest
+
+from repro.uml import (
+    FinalState,
+    Model,
+    Pseudostate,
+    PseudostateKind,
+    Region,
+    State,
+    StateMachine,
+    StateMachineError,
+    Transition,
+    UnknownElementError,
+)
+
+
+def _simple_machine():
+    machine = StateMachine("sm")
+    region = machine.main_region()
+    initial = region.add_vertex(Pseudostate())
+    a = region.add_vertex(State("A", entry="x = 1"))
+    b = region.add_vertex(State("B"))
+    final = region.add_vertex(FinalState("end"))
+    region.add_transition(Transition(initial, a))
+    region.add_transition(Transition(a, b, trigger="go", guard="x > 0"))
+    region.add_transition(Transition(b, final, trigger="stop"))
+    return machine, region, a, b, final
+
+
+class TestStructure:
+    def test_main_region_created_on_demand(self):
+        machine = StateMachine("sm")
+        region = machine.main_region()
+        assert machine.regions == [region]
+        assert machine.main_region() is region
+
+    def test_duplicate_vertex_name_rejected(self):
+        region = Region("r")
+        region.add_vertex(State("A"))
+        with pytest.raises(StateMachineError):
+            region.add_vertex(State("A"))
+
+    def test_vertex_lookup(self):
+        machine, region, a, *_ = _simple_machine()
+        assert region.vertex("A") is a
+        with pytest.raises(UnknownElementError):
+            region.vertex("Z")
+
+    def test_initial_pseudostate_found(self):
+        machine, region, *_ = _simple_machine()
+        initial = region.initial()
+        assert initial is not None
+        assert initial.kind is PseudostateKind.INITIAL
+
+    def test_final_state_cannot_have_outgoing(self):
+        machine, region, a, b, final = _simple_machine()
+        with pytest.raises(StateMachineError):
+            Transition(final, a)
+
+    def test_transitions_update_vertex_links(self):
+        machine, region, a, b, _ = _simple_machine()
+        assert any(t.target is b for t in a.outgoing)
+        assert any(t.source is a for t in b.incoming)
+
+
+class TestQueries:
+    def test_all_states_and_transitions(self):
+        machine, *_ = _simple_machine()
+        assert {s.name for s in machine.all_states()} == {"A", "B", "end"}
+        assert len(machine.all_transitions()) == 3
+
+    def test_events_in_first_seen_order(self):
+        machine, *_ = _simple_machine()
+        assert machine.events() == ["go", "stop"]
+
+    def test_composite_state(self):
+        machine = StateMachine("sm")
+        region = machine.main_region()
+        composite = region.add_vertex(State("C"))
+        inner = composite.add_region(Region("inner"))
+        inner.add_vertex(State("C1"))
+        assert composite.is_composite
+        assert "C1" in {s.name for s in machine.all_states()}
+
+    def test_model_registration(self):
+        model = Model("m")
+        machine, *_ = _simple_machine()
+        model.add_state_machine(machine)
+        assert machine.xmi_id is not None
+        assert all(s.xmi_id is not None for s in machine.all_states())

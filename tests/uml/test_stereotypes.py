@@ -1,0 +1,100 @@
+"""Unit tests for profiles and stereotypes (repro.uml.stereotypes)."""
+
+import pytest
+
+from repro.uml import (
+    InstanceSpecification,
+    Node,
+    Profile,
+    ProfileRegistry,
+    StereotypeDefinition,
+    StereotypeError,
+    io_profile,
+    is_io,
+    is_processor,
+    is_thread,
+    spt_profile,
+)
+from repro.uml.stereotypes import IO, SA_ENGINE, SA_SCHED_RES
+
+
+class TestProfiles:
+    def test_spt_profile_defines_paper_stereotypes(self):
+        profile = spt_profile()
+        assert SA_ENGINE in profile.stereotypes
+        assert SA_SCHED_RES in profile.stereotypes
+
+    def test_io_profile_defines_io(self):
+        assert IO in io_profile().stereotypes
+
+    def test_unknown_stereotype_lookup_raises(self):
+        with pytest.raises(StereotypeError):
+            spt_profile().stereotype("Nope")
+
+
+class TestApplicability:
+    def test_saengine_applies_to_nodes_only(self):
+        definition = spt_profile().stereotype(SA_ENGINE)
+        assert definition.applicable_to(Node("cpu"))
+        assert not definition.applicable_to(InstanceSpecification("x"))
+
+    def test_empty_metaclasses_means_any(self):
+        definition = StereotypeDefinition("Anything")
+        assert definition.applicable_to(Node("n"))
+        assert definition.applicable_to(InstanceSpecification("i"))
+
+
+class TestRegistry:
+    def test_default_registry_validates_correct_application(self):
+        registry = ProfileRegistry()
+        node = Node("cpu")
+        node.apply_stereotype(SA_ENGINE, SARate=100)
+        registry.validate_application(node, SA_ENGINE)
+
+    def test_unknown_stereotype_rejected(self):
+        registry = ProfileRegistry()
+        node = Node("cpu")
+        node.apply_stereotype("Bogus")
+        with pytest.raises(StereotypeError, match="unknown stereotype"):
+            registry.validate_application(node, "Bogus")
+
+    def test_wrong_metaclass_rejected(self):
+        registry = ProfileRegistry()
+        instance = InstanceSpecification("x")
+        instance.apply_stereotype(SA_ENGINE)
+        with pytest.raises(StereotypeError, match="not applicable"):
+            registry.validate_application(instance, SA_ENGINE)
+
+    def test_unknown_tag_rejected(self):
+        registry = ProfileRegistry()
+        node = Node("cpu")
+        node.apply_stereotype(SA_ENGINE, BogusTag=1)
+        with pytest.raises(StereotypeError, match="no tag"):
+            registry.validate_application(node, SA_ENGINE)
+
+    def test_custom_profile_registration(self):
+        registry = ProfileRegistry(profiles=[])
+        custom = Profile("Custom")
+        custom.define(StereotypeDefinition("Mine", tags=("level",)))
+        registry.register(custom)
+        assert registry.lookup("Mine") is not None
+        assert len(registry.profiles()) == 1
+
+
+class TestPredicates:
+    def test_is_processor(self):
+        node = Node("cpu", processor=True)
+        assert is_processor(node)
+        assert not is_processor(Node("plain"))
+
+    def test_is_thread(self):
+        inst = InstanceSpecification("t")
+        inst.apply_stereotype(SA_SCHED_RES)
+        assert is_thread(inst)
+        assert not is_thread(InstanceSpecification("o"))
+
+    def test_is_io(self):
+        dev = InstanceSpecification("dev")
+        dev.apply_stereotype(IO)
+        assert is_io(dev)
+        assert not is_io(InstanceSpecification("o"))

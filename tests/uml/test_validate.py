@@ -1,0 +1,163 @@
+"""Unit tests for UML validation (repro.uml.validate)."""
+
+import pytest
+
+from repro.uml import (
+    ModelBuilder,
+    ValidationError,
+    check_model,
+    validate_model,
+)
+
+
+def _base_builder():
+    b = ModelBuilder("m")
+    b.passive_class("C").op("f", inputs=["x:int"], returns="int")
+    b.thread("T1")
+    b.thread("T2")
+    b.instance("Obj", "C")
+    b.io_device("Dev")
+    return b
+
+
+class TestCleanModels:
+    def test_valid_model_has_no_issues(self):
+        b = _base_builder()
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "f", args=["x"], result="r")
+        # x has no producer -> warning, not error
+        issues = validate_model(b.build())
+        assert all(i.severity == "warning" for i in issues)
+
+    def test_check_model_passes_on_warnings_only(self):
+        b = _base_builder()
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "f", args=["x"], result="r")
+        check_model(b.build())  # must not raise
+
+
+class TestMessageChecks:
+    def test_unknown_operation_is_error(self):
+        b = _base_builder()
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "missing_op")
+        issues = validate_model(b.build())
+        assert any(
+            i.severity == "error" and "no operation" in i.message
+            for i in issues
+        )
+        with pytest.raises(ValidationError):
+            check_model(b.build())
+
+    def test_argument_count_mismatch_is_error(self):
+        b = _base_builder()
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "f", args=["a", "b"])  # f takes one input
+        issues = validate_model(b.build())
+        assert any("input argument" in i.message for i in issues)
+
+    def test_untyped_receiver_is_allowed(self):
+        b = _base_builder()
+        sd = b.interaction("main")
+        sd.call("T1", "T2", "setX", args=[1])
+        assert not [
+            i for i in validate_model(b.build()) if i.severity == "error"
+        ]
+
+    def test_platform_calls_are_allowed(self):
+        b = _base_builder()
+        sd = b.interaction("main")
+        sd.call("T1", "Platform", "mult", args=[1, 2], result="r")
+        assert not [
+            i for i in validate_model(b.build()) if i.severity == "error"
+        ]
+
+    def test_setget_on_passive_object_warns(self):
+        b = _base_builder()
+        b.instance("Plain")
+        sd = b.interaction("main")
+        sd.call("T1", "Plain", "setThing", args=[1])
+        issues = validate_model(b.build())
+        assert any("no channel will be inferred" in i.message for i in issues)
+
+
+class TestDataflowChecks:
+    def test_read_before_producer_warns(self):
+        b = _base_builder()
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "f", args=["ghost"], result="r")
+        issues = validate_model(b.build())
+        assert any(
+            i.severity == "warning" and "ghost" in i.message for i in issues
+        )
+
+    def test_produced_then_consumed_is_clean(self):
+        b = _base_builder()
+        sd = b.interaction("main")
+        sd.call("T1", "Dev", "getSample", result="x")
+        sd.call("T1", "Obj", "f", args=["x"], result="r")
+        assert validate_model(b.build()) == []
+
+
+class TestStereotypeChecks:
+    def test_bogus_stereotype_is_error(self):
+        b = _base_builder()
+        b.model.instance("T1").apply_stereotype("NotAProfile")
+        issues = validate_model(b.build())
+        assert any("unknown stereotype" in i.message for i in issues)
+
+
+class TestDeploymentChecks:
+    def test_undeployed_thread_with_require_deployment(self):
+        b = _base_builder()
+        b.processor("CPU1", threads=["T1"])  # T2 not deployed
+        sd = b.interaction("main")
+        sd.call("T1", "T2", "setX", args=[1])
+        issues = validate_model(b.build(), require_deployment=True)
+        assert any(
+            "T2" in i.message and "not deployed" in i.message for i in issues
+        )
+
+    def test_fully_deployed_model_passes(self):
+        b = _base_builder()
+        b.processor("CPU1", threads=["T1", "T2"])
+        sd = b.interaction("main")
+        sd.call("T1", "T2", "setX", args=[1])
+        issues = validate_model(b.build(), require_deployment=True)
+        assert not [i for i in issues if "not deployed" in i.message]
+
+
+class TestBehaviorReferences:
+    def test_missing_behaviour_interaction_warns(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").op("f", returns="int").body("ghost_beh", "uml")
+        b.thread("T1")
+        b.instance("Obj", "C")
+        sd = b.interaction("main")
+        sd.call("T1", "Obj", "f", result="y")
+        issues = validate_model(b.build())
+        assert any(
+            "behaviour interaction 'ghost_beh' not found" in i.message
+            for i in issues
+        )
+
+    def test_existing_behaviour_interaction_is_clean(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").op("f", inputs=["x:int"], returns="int").body(
+            "beh", "uml"
+        )
+        b.thread("T1")
+        b.instance("Obj", "C")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "src", result="x")
+        sd.call("T1", "Obj", "f", args=["x"], result="y")
+        beh = b.interaction("beh")
+        beh.call("Obj", "Platform", "gain", args=["x", 2.0], result="result")
+        issues = validate_model(b.build())
+        assert not any("behaviour interaction" in i.message for i in issues)
+
+    def test_c_bodies_not_flagged(self):
+        b = ModelBuilder("m")
+        b.passive_class("C").op("f").body("return 1;", "c")
+        issues = validate_model(b.build())
+        assert not any("behaviour interaction" in i.message for i in issues)

@@ -1,0 +1,256 @@
+"""Unit + property tests for XMI import/export (repro.uml.xmi)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uml import (
+    ModelBuilder,
+    Pseudostate,
+    Region,
+    State,
+    StateMachine,
+    Transition,
+    XmiError,
+    from_xmi_string,
+    to_xmi_string,
+)
+
+
+def _full_model():
+    b = ModelBuilder("full")
+    b.passive_class("C").op("f", inputs=["x:int"], returns="int").body(
+        "return x;", "c"
+    ).done().attr("k:double", default=1.5)
+    b.thread("T1")
+    b.thread("T2")
+    b.instance("Obj", "C")
+    b.io_device("Dev")
+    b.processor("CPU1", threads=["T1"])
+    b.processor("CPU2", threads=["T2"])
+    b.bus("CPU1", "CPU2")
+    sd = b.interaction("main")
+    sd.call("T1", "Dev", "getSample", result="x")
+    sd.call("T1", "Obj", "f", args=["x"], result="y")
+    loop = sd.loop(iterations=3, guard="i < 3")
+    loop.call("T1", "T2", "setValue", args=["y"])
+    machine = StateMachine("sm")
+    region = machine.main_region()
+    init = region.add_vertex(Pseudostate())
+    s1 = region.add_vertex(State("S1", entry="x = 0"))
+    region.add_transition(Transition(init, s1))
+    region.add_transition(Transition(s1, s1, trigger="tick", effect="x = x + 1"))
+    b.model.add_state_machine(machine)
+    return b.build()
+
+
+class TestRoundTrip:
+    def test_structure_survives(self):
+        model = _full_model()
+        text = to_xmi_string(model)
+        loaded = from_xmi_string(text)
+        assert loaded.name == model.name
+        assert {c.name for c in loaded.all_classes()} == {"C"}
+        assert {i.name for i in loaded.all_instances()} == {
+            "T1",
+            "T2",
+            "Obj",
+            "Dev",
+        }
+        assert [n.name for n in loaded.nodes] == ["CPU1", "CPU2"]
+
+    def test_operation_details_survive(self):
+        loaded = from_xmi_string(to_xmi_string(_full_model()))
+        op = loaded.class_named("C").operation("f")
+        assert op.body == "return x;"
+        assert [p.name for p in op.inputs()] == ["x"]
+        assert op.return_parameter is not None
+        assert op.inputs()[0].type.name == "int"
+
+    def test_property_default_survives(self):
+        loaded = from_xmi_string(to_xmi_string(_full_model()))
+        prop = loaded.class_named("C").properties[0]
+        assert prop.default == 1.5
+
+    def test_messages_and_fragments_survive(self):
+        loaded = from_xmi_string(to_xmi_string(_full_model()))
+        interaction = loaded.interaction("main")
+        messages = interaction.messages()
+        assert [m.operation for m in messages] == ["getSample", "f", "setValue"]
+        assert messages[1].result == "y"
+        assert messages[1].variables_read() == ["x"]
+        looped = messages[2]
+        assert interaction.message_multiplicity(looped) == 3
+
+    def test_stereotypes_survive(self):
+        loaded = from_xmi_string(to_xmi_string(_full_model()))
+        assert loaded.instance("T1").has_stereotype("SASchedRes")
+        assert loaded.instance("Dev").has_stereotype("IO")
+        assert loaded.nodes[0].has_stereotype("SAengine")
+
+    def test_deployment_survives(self):
+        from repro.uml import DeploymentPlan
+
+        loaded = from_xmi_string(to_xmi_string(_full_model()))
+        plan = DeploymentPlan.from_nodes(loaded.nodes)
+        assert plan.as_mapping() == {"T1": "CPU1", "T2": "CPU2"}
+
+    def test_state_machine_survives(self):
+        loaded = from_xmi_string(to_xmi_string(_full_model()))
+        machine = loaded.state_machines[0]
+        assert {s.name for s in machine.all_states()} == {"S1"}
+        transitions = machine.all_transitions()
+        assert any(t.trigger == "tick" for t in transitions)
+
+    def test_double_round_trip_is_stable(self):
+        once = to_xmi_string(_full_model())
+        twice = to_xmi_string(from_xmi_string(once))
+        assert once == twice
+
+    def test_lifeline_instances_relinked(self):
+        loaded = from_xmi_string(to_xmi_string(_full_model()))
+        lifeline = loaded.interaction("main").lifeline("T1")
+        assert lifeline.instance is loaded.instance("T1")
+        assert lifeline.is_thread
+
+
+class TestErrors:
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(XmiError, match="invalid XML"):
+            from_xmi_string("<not-closed")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XmiError, match="unexpected root"):
+            from_xmi_string("<foo/>")
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(XmiError, match="no uml:Model"):
+            from_xmi_string(
+                '<xmi:XMI xmlns:xmi="http://www.omg.org/spec/XMI/20131001"/>'
+            )
+
+
+_names = st.from_regex(r"[A-Z][a-z]{1,6}", fullmatch=True)
+
+
+@st.composite
+def _random_models(draw):
+    b = ModelBuilder(draw(_names))
+    thread_names = draw(
+        st.lists(_names, min_size=1, max_size=4, unique=True)
+    )
+    for name in thread_names:
+        b.thread("Th" + name)
+    device = draw(st.booleans())
+    if device:
+        b.io_device("Dev")
+    sd = b.interaction("main")
+    message_count = draw(st.integers(min_value=0, max_value=6))
+    for i in range(message_count):
+        sender = "Th" + draw(st.sampled_from(thread_names))
+        kind = draw(st.sampled_from(["self", "send", "io"]))
+        if kind == "self":
+            sd.call(sender, sender, f"op{i}", result=f"v{i}")
+        elif kind == "send":
+            receiver = "Th" + draw(st.sampled_from(thread_names))
+            if receiver == sender:
+                sd.call(sender, sender, f"op{i}", result=f"v{i}")
+            else:
+                sd.call(sender, receiver, f"setC{i}", args=[f"v{i}"])
+        elif device:
+            sd.call(sender, "Dev", f"getS{i}", result=f"v{i}")
+        else:
+            sd.call(sender, sender, f"op{i}", result=f"v{i}")
+    return b.build()
+
+
+class TestRoundTripProperties:
+    @given(_random_models())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_census(self, model):
+        loaded = from_xmi_string(to_xmi_string(model))
+        assert {i.name for i in loaded.all_instances()} == {
+            i.name for i in model.all_instances()
+        }
+        original = [
+            (m.operation, m.sender.name, m.receiver.name, m.result)
+            for m in model.interactions[0].messages()
+        ]
+        reloaded = [
+            (m.operation, m.sender.name, m.receiver.name, m.result)
+            for m in loaded.interactions[0].messages()
+        ]
+        assert original == reloaded
+
+    @given(_random_models())
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_idempotent(self, model):
+        once = to_xmi_string(model)
+        assert to_xmi_string(from_xmi_string(once)) == once
+
+
+class TestActivityRoundTrip:
+    def test_activity_survives(self):
+        from repro.uml import (
+            Activity,
+            ActivityEdge,
+            CallAction,
+            InstanceSpecification,
+            Model,
+            ObjectNode,
+        )
+
+        model = Model("m")
+        performer = model.add(InstanceSpecification("T1"))
+        performer.apply_stereotype("SASchedRes")
+        target = model.add(InstanceSpecification("Obj"))
+        activity = Activity("beh", performer=performer)
+        model.add_activity(activity)
+        read = activity.add_node(
+            CallAction("read", target, "getX", result="x")
+        )
+        buffer = activity.add_node(ObjectNode("buf"))
+        use = activity.add_node(
+            CallAction("use", target, "consume", arguments=["x"])
+        )
+        activity.add_edge(ActivityEdge(read, buffer))
+        activity.add_edge(ActivityEdge(buffer, use, guard="x > 0"))
+
+        loaded = from_xmi_string(to_xmi_string(model))
+        acts = loaded.activities
+        assert len(acts) == 1
+        loaded_activity = acts[0]
+        assert loaded_activity.performer.name == "T1"
+        names = [n.name for n in loaded_activity.nodes]
+        assert names == ["read", "buf", "use"]
+        read2 = loaded_activity.node("read")
+        assert read2.operation == "getX" and read2.result == "x"
+        assert read2.target.name == "Obj"
+        assert loaded_activity.edges[1].guard == "x > 0"
+
+    def test_lowered_loaded_activity_still_maps(self):
+        from repro.core import synthesize
+        from repro.uml import (
+            Activity,
+            CallAction,
+            DeploymentPlan,
+            InstanceSpecification,
+            Model,
+            interaction_from_activity,
+        )
+
+        model = Model("m")
+        performer = model.add(InstanceSpecification("T1"))
+        performer.apply_stereotype("SASchedRes")
+        activity = Activity("beh", performer=performer)
+        model.add_activity(activity)
+        activity.add_node(CallAction("calc", operation="calc", result="y"))
+
+        loaded = from_xmi_string(to_xmi_string(model))
+        loaded.add_interaction(
+            interaction_from_activity(loaded.activities[0])
+        )
+        result = synthesize(
+            loaded, DeploymentPlan.from_mapping({"T1": "CPU1"})
+        )
+        assert result.summary.sfunctions == 1
