@@ -1,17 +1,32 @@
-"""Shared benchmark helpers: paper-vs-measured reporting.
+"""Shared benchmark helpers: paper-vs-measured reporting + BENCH_obs.json.
 
 Every benchmark prints a small table comparing what the paper's figure
 shows with what this reproduction measures, so `pytest benchmarks/
 --benchmark-only -s` regenerates the evaluation section.  The same rows are
 appended to EXPERIMENTS-data collected in-session (the EXPERIMENTS.md file
 in the repository root is the curated copy).
+
+At the end of every benchmark session :func:`pytest_sessionfinish` runs a
+fixed measurement suite through the :mod:`repro.obs` metrics registry and
+writes ``BENCH_obs.json`` at the repository root: steps/sec for both
+simulators and end-to-end ``synthesize`` wall time on the crane and MJPEG
+case studies.  That file is the durable artifact the ROADMAP bench
+trajectory tracks across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from typing import List, Tuple
 
 import pytest
+
+from repro import obs
+
+#: Steps/events per measured simulator run (large enough to dominate setup).
+SIM_STEPS = 500
 
 
 def report(title: str, rows: List[Tuple[str, str, str]]) -> None:
@@ -30,3 +45,70 @@ def report(title: str, rows: List[Tuple[str, str, str]]) -> None:
 @pytest.fixture()
 def paper_report():
     return report
+
+
+def _bench_fsm():
+    """A small cyclic FSM exercised for the steps/sec measurement."""
+    from repro.fsm.model import Fsm
+
+    fsm = Fsm("bench")
+    fsm.add_state("idle")
+    fsm.add_state("busy")
+    fsm.add_variable("n", 0.0)
+    fsm.add_transition("idle", "busy", event="go", action="n = n + 1")
+    fsm.add_transition("busy", "idle", event="done")
+    return fsm
+
+
+def _collect_obs_metrics(recorder: "obs.Recorder") -> None:
+    """Run the fixed measurement suite into ``recorder``'s registry."""
+    from repro.apps import crane, mjpeg
+    from repro.core import synthesize
+    from repro.fsm.simulator import FsmSimulator
+    from repro.simulink import Simulator
+
+    with recorder.timer("bench.synthesize.crane"):
+        crane_result = synthesize(
+            crane.build_model(), behaviors=crane.behaviors()
+        )
+    with recorder.timer("bench.synthesize.mjpeg"):
+        synthesize(
+            mjpeg.build_model(), auto_allocate=True,
+            behaviors=mjpeg.behaviors(),
+        )
+
+    simulator = Simulator(crane_result.caam)
+    stimulus = {"In3": [5.0] * SIM_STEPS}
+    simulator.run(SIM_STEPS, inputs=stimulus)
+
+    fsm_sim = FsmSimulator(_bench_fsm())
+    fsm_sim.run(["go", "done"] * (SIM_STEPS // 2))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write BENCH_obs.json (repo root) from a fresh metrics registry."""
+    recorder = obs.Recorder()
+    with obs.use(recorder):
+        _collect_obs_metrics(recorder)
+    metrics = recorder.metrics
+
+    def total(name):
+        stat = metrics.timer_stat(name)
+        return stat.total if stat else None
+
+    document = {
+        "generated_unix": time.time(),
+        "sim_steps": SIM_STEPS,
+        "simulink_steps_per_sec": metrics.gauge_value(
+            "simulink.sim.steps_per_sec"
+        ),
+        "fsm_steps_per_sec": metrics.gauge_value("fsm.sim.steps_per_sec"),
+        "synthesize_crane_s": total("bench.synthesize.crane"),
+        "synthesize_mjpeg_s": total("bench.synthesize.mjpeg"),
+        "metrics": metrics.to_dict(),
+    }
+    path = os.path.join(str(session.config.rootpath), "BENCH_obs.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {path}")

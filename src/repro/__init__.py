@@ -38,10 +38,12 @@ Packages
 - :mod:`repro.mpsoc` — the downstream MPSoC flow: platform, metrics,
   scheduling, multithreaded C generation;
 - :mod:`repro.transform` — rule engine, trace links, templates;
+- :mod:`repro.obs` — observability: span tracing, metrics, Chrome-trace
+  export (disabled by default, zero overhead);
 - :mod:`repro.apps` — the paper's case studies.
 """
 
-from . import apps, backends, core, dse, fsm, mpsoc, simulink, transform, uml
+from . import apps, backends, core, dse, fsm, mpsoc, obs, simulink, transform, uml
 from .core import synthesize, synthesize_to_mdl
 
 __version__ = "1.0.0"
@@ -54,6 +56,7 @@ __all__ = [
     "dse",
     "fsm",
     "mpsoc",
+    "obs",
     "simulink",
     "synthesize",
     "synthesize_to_mdl",

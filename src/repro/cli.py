@@ -14,6 +14,19 @@ tool exports) and drives every stage of the flow:
     repro explore crane.xmi --max-cpus 4
     repro simulate crane.mdl --steps 10 --input In1=1,2,3
 
+Observability flags (global, before the subcommand):
+
+::
+
+    repro --trace-out t.json --metrics-out m.json synthesize crane.xmi -o c.mdl
+    repro -v simulate crane.mdl --steps 100
+
+``--trace-out`` writes a Chrome-trace / Perfetto ``trace_event`` JSON of
+every recorded span; ``--metrics-out`` writes the metrics-registry
+snapshot; ``-v``/``-vv`` turn on stdlib-logging INFO/DEBUG output.  Every
+command runs with a live recorder, so rates the CLI prints (simulate,
+explore) come from the same registry the files are written from.
+
 Every command returns a non-zero exit status on failure, making the CLI
 usable from build scripts.
 """
@@ -24,6 +37,8 @@ import argparse
 import os
 import sys
 from typing import Dict, List, Optional, Sequence
+
+from . import obs
 
 
 class CliError(Exception):
@@ -192,7 +207,17 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     candidates = explore(
         graph, max_cpus=args.max_cpus, objective=args.objective
     )
-    print(f"evaluated {len(candidates)} candidate allocation(s)")
+    # Report cost through the metrics layer so this line and a
+    # --metrics-out file can never disagree.
+    metrics = obs.get().metrics
+    evaluate = metrics.timer_stat("dse.evaluate")
+    cost = ""
+    if evaluate is not None and evaluate.count:
+        cost = (
+            f" in {evaluate.total * 1e3:.1f} ms"
+            f" ({evaluate.mean * 1e6:.0f} us/candidate)"
+        )
+    print(f"evaluated {len(candidates)} candidate allocation(s){cost}")
     print(f"Pareto front ({args.objective} vs CPU count):")
     for candidate in pareto_front(candidates, objective=args.objective):
         print(f"  {candidate}")
@@ -227,6 +252,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"deadlock: {exc}", file=sys.stderr)
         return 1
     trace = simulator.run(args.steps, inputs=_parse_stimulus(args.input))
+    # Elapsed time and rate come from the metrics layer (the same values
+    # --metrics-out writes), not from an ad-hoc clock around the call.
+    metrics = obs.get().metrics
+    run_stat = metrics.timer_stat("simulink.run")
+    rate = metrics.gauge_value("simulink.sim.steps_per_sec")
+    if run_stat is not None and rate is not None:
+        print(
+            f"simulated {args.steps} step(s) in {run_stat.total * 1e3:.1f} ms"
+            f" ({rate:.0f} steps/s)"
+        )
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(trace.to_csv())
@@ -254,6 +289,23 @@ def build_parser() -> argparse.ArgumentParser:
             "UML front-end for heterogeneous embedded-software code "
             "generation (DATE 2008 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE.json",
+        help="write a Chrome-trace/Perfetto span trace of this run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE.json",
+        help="write the metrics-registry snapshot (counters/gauges/timers)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log INFO (-v) or DEBUG (-vv) detail to stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -372,18 +424,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_observability(recorder: "obs.Recorder", args: argparse.Namespace) -> int:
+    """Persist the run's trace/metrics files when requested; 0 on success."""
+    status = 0
+    try:
+        if args.trace_out:
+            obs.write_chrome_trace(recorder.spans, args.trace_out)
+            print(
+                f"wrote {args.trace_out} "
+                f"({len(recorder.finished_spans())} spans)"
+            )
+        if args.metrics_out:
+            recorder.metrics.write(args.metrics_out)
+            print(
+                f"wrote {args.metrics_out} ({len(recorder.metrics)} metrics)"
+            )
+    except OSError as exc:
+        print(f"error: cannot write observability output: {exc}", file=sys.stderr)
+        status = 1
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit status."""
+    """CLI entry point; returns the process exit status.
+
+    Every invocation runs with a live observability recorder (the
+    per-process overhead is negligible at CLI granularity); ``--trace-out``
+    and ``--metrics-out`` persist what it captured.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    try:
-        return args.handler(args)
-    except CliError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except Exception as exc:  # surface library errors with a clean message
-        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 1
+    obs.configure_logging(args.verbose)
+    recorder = obs.Recorder()
+    with obs.use(recorder):
+        try:
+            with recorder.span("cli." + args.command, category="cli"):
+                status = args.handler(args)
+        except CliError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+        except Exception as exc:  # surface library errors with a clean message
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            status = 1
+    write_status = _write_observability(recorder, args)
+    return status or write_status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,9 +18,12 @@ live in :mod:`repro.backends` and reuse steps 1–3 of this flow.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..obs import recorder as _obs
+from ..obs.report import ObservabilityReport
 from ..simulink.caam import CaamModel, CaamSummary, validate_caam
 from ..simulink.ecore import to_ecore_string
 from ..simulink.mdl import to_mdl
@@ -30,6 +33,8 @@ from ..uml.validate import check_model
 from .allocation import AllocationResult, allocate_from_model
 from .mapping import MappingError, MappingResult, map_model
 from .optimize import OptimizationPipeline, OptimizationReport
+
+log = logging.getLogger(__name__)
 
 
 class FlowError(Exception):
@@ -47,6 +52,9 @@ class SynthesisResult:
     allocation: Optional[AllocationResult] = None
     #: Intermediate artifact of step 2 (E-core XML, pre-optimization).
     intermediate_xml: str = ""
+    #: Per-run observability data: census always, spans/metrics when a
+    #: recorder was active (see :mod:`repro.obs`).
+    obs: ObservabilityReport = field(default_factory=ObservabilityReport)
 
     @property
     def mdl_text(self) -> str:
@@ -161,30 +169,99 @@ def synthesize(
     name:
         Name of the generated CAAM (defaults to the UML model name).
     """
-    if validate:
-        check_model(model)
-    resolved_plan, allocation = resolve_plan(
-        model, plan, auto_allocate=auto_allocate
-    )
-    mapping = map_model(
-        model, resolved_plan, name=name, behaviors=behaviors, strict=strict
-    )
-    intermediate = to_ecore_string(mapping.caam)
-    pipeline = OptimizationPipeline(
-        infer_channels_enabled=infer_channels, insert_barriers=insert_barriers
-    )
-    optimization = pipeline.run(mapping)
-    if layout:
-        from ..simulink.layout import layout_model
+    rec = _obs.get()
+    rec.incr("flow.synthesize.calls")
+    span_start = len(rec.spans)
+    with rec.span(
+        "flow.synthesize", category="flow", model=model.name
+    ) as root:
+        if validate:
+            with rec.span("flow.validate", category="flow"):
+                check_model(model)
+        with rec.span("flow.allocate", category="flow") as span:
+            resolved_plan, allocation = resolve_plan(
+                model, plan, auto_allocate=auto_allocate
+            )
+            span.set(
+                cpus=len(resolved_plan.cpus),
+                automatic=allocation is not None,
+            )
+        with rec.span("flow.map", category="flow"):
+            mapping = map_model(
+                model,
+                resolved_plan,
+                name=name,
+                behaviors=behaviors,
+                strict=strict,
+            )
+        with rec.span("flow.intermediate", category="flow"):
+            intermediate = to_ecore_string(mapping.caam)
+        with rec.span("flow.optimize", category="flow"):
+            pipeline = OptimizationPipeline(
+                infer_channels_enabled=infer_channels,
+                insert_barriers=insert_barriers,
+            )
+            optimization = pipeline.run(mapping)
+        if layout:
+            with rec.span("flow.layout", category="flow"):
+                from ..simulink.layout import layout_model
 
-        layout_model(mapping.caam)
-    return SynthesisResult(
+                layout_model(mapping.caam)
+        root.set(blocks=mapping.caam.count_blocks())
+    result = SynthesisResult(
         caam=mapping.caam,
         plan=resolved_plan,
         mapping=mapping,
         optimization=optimization,
         allocation=allocation,
         intermediate_xml=intermediate,
+        obs=_build_report(rec, span_start, mapping, optimization, resolved_plan),
+    )
+    log.info(
+        "synthesized %r: %d blocks on %d CPU(s), %d barrier(s)",
+        result.caam.name,
+        result.caam.count_blocks(),
+        len(resolved_plan.cpus),
+        result.barriers_inserted,
+    )
+    return result
+
+
+def _build_report(
+    rec: "_obs.AnyRecorder",
+    span_start: int,
+    mapping: MappingResult,
+    optimization: OptimizationReport,
+    plan: DeploymentPlan,
+) -> ObservabilityReport:
+    """Assemble the run's :class:`ObservabilityReport`.
+
+    The census is computed from artifacts the flow built anyway, so it is
+    populated even with the null recorder; spans and the metrics snapshot
+    are included only when a live recorder captured them.
+    """
+    channels = optimization.channels
+    barriers = optimization.barriers
+    census = {
+        "model": mapping.caam.name,
+        "cpus": len(plan.cpus),
+        "blocks": mapping.caam.count_blocks(),
+        "trace": mapping.context.trace.stats(),
+        "channels": {
+            "intra_cpu": channels.intra_count if channels else 0,
+            "inter_cpu": channels.inter_count if channels else 0,
+            "system_in": len(channels.system_inputs) if channels else 0,
+            "system_out": len(channels.system_outputs) if channels else 0,
+        },
+        "barriers_inserted": barriers.count if barriers else 0,
+        "warnings": len(mapping.warnings),
+    }
+    if not rec.enabled:
+        return ObservabilityReport(census=census)
+    return ObservabilityReport(
+        census=census,
+        spans=[s for s in rec.spans[span_start:] if s.end_wall is not None],
+        metrics=rec.metrics.to_dict(),
     )
 
 

@@ -36,9 +36,11 @@ the rule statement, and note the discrepancy in EXPERIMENTS.md.)
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import recorder as _obs
 from ..simulink.blocks import platform_block_for
 from ..simulink.caam import CaamModel, CpuSubsystem, ThreadSubsystem
 from ..simulink.model import Block, Port
@@ -47,6 +49,8 @@ from ..uml.builder import PLATFORM_OBJECT
 from ..uml.deployment import DeploymentPlan
 from ..uml.model import Model, Operation, ParameterDirection
 from ..uml.sequence import Interaction, Lifeline, Message
+
+log = logging.getLogger(__name__)
 
 
 class MappingError(Exception):
@@ -968,10 +972,32 @@ def map_model(
         caam.add_cpu(cpu_name)
     state = _MappingState(caam, plan, dict(behaviors or {}), strict)
     transformation = build_transformation()
-    context = transformation.run(
-        _sweep_elements(model.interactions), caam, options={"state": state}
+    rec = _obs.get()
+    with rec.span(
+        "mapping.map_model",
+        category="mapping",
+        model=model.name,
+        interactions=len(model.interactions),
+        cpus=len(plan.cpus),
+    ):
+        context = transformation.run(
+            _sweep_elements(model.interactions), caam, options={"state": state}
+        )
+        _close_scopes(context)
+    if rec.enabled:
+        stats = context.trace.stats()
+        for rule, count in stats["links_per_rule"].items():
+            rec.incr(f"mapping.rule.{rule}", count)
+        rec.gauge("mapping.trace_links", stats["links"])
+        rec.gauge("mapping.trace_retained", stats["retained_sources"])
+        rec.incr("mapping.warnings", len(state.warnings))
+    log.info(
+        "mapped %r: %d trace links, %d channel requests, %d warnings",
+        caam.name,
+        len(context.trace),
+        len(state.channel_requests),
+        len(state.warnings),
     )
-    _close_scopes(context)
     return MappingResult(
         caam=caam,
         plan=plan,

@@ -14,12 +14,16 @@ barriers — and leaves room for user-registered extra passes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..obs import recorder as _obs
 from .barriers import BarrierReport, insert_temporal_barriers
 from .channels import ChannelReport, infer_channels
 from .mapping import MappingResult
+
+log = logging.getLogger(__name__)
 
 #: An optimization pass: consumes the mapping result, returns a report.
 OptimizationPass = Callable[[MappingResult], object]
@@ -55,12 +59,56 @@ class OptimizationPipeline:
         self._extra.append(pass_)
 
     def run(self, result: MappingResult) -> OptimizationReport:
-        """Execute the enabled passes over a mapping result."""
+        """Execute the enabled passes over a mapping result.
+
+        Each pass runs inside its own observability span whose attributes
+        carry the pass delta (channels wired, barriers inserted), and the
+        same deltas land in the metrics registry as counters.
+        """
+        rec = _obs.get()
         report = OptimizationReport()
         if self.infer_channels_enabled:
-            report.channels = infer_channels(result)
+            with rec.span("optimize.channels", category="optimize") as span:
+                report.channels = infer_channels(result)
+                channels = report.channels
+                if rec.enabled:
+                    span.set(
+                        intra=channels.intra_count,
+                        inter=channels.inter_count,
+                        system_in=len(channels.system_inputs),
+                        system_out=len(channels.system_outputs),
+                    )
+                    rec.incr("optimize.channels.intra", channels.intra_count)
+                    rec.incr("optimize.channels.inter", channels.inter_count)
+                    rec.incr(
+                        "optimize.channels.system_in",
+                        len(channels.system_inputs),
+                    )
+                    rec.incr(
+                        "optimize.channels.system_out",
+                        len(channels.system_outputs),
+                    )
+            log.info(
+                "channel inference: %d intra-CPU, %d inter-CPU, %d in, %d out",
+                report.channels.intra_count,
+                report.channels.inter_count,
+                len(report.channels.system_inputs),
+                len(report.channels.system_outputs),
+            )
         if self.insert_barriers:
-            report.barriers = insert_temporal_barriers(result.caam)
+            with rec.span("optimize.barriers", category="optimize") as span:
+                report.barriers = insert_temporal_barriers(result.caam)
+                if rec.enabled:
+                    span.set(inserted=report.barriers.count)
+                    rec.incr(
+                        "optimize.barriers.inserted", report.barriers.count
+                    )
+            log.info(
+                "temporal barriers: %d UnitDelay(s) inserted",
+                report.barriers.count,
+            )
         for pass_ in self._extra:
-            report.extra.append(pass_(result))
+            pass_name = getattr(pass_, "__name__", type(pass_).__name__)
+            with rec.span("optimize.extra." + pass_name, category="optimize"):
+                report.extra.append(pass_(result))
         return report

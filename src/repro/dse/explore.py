@@ -26,10 +26,12 @@ estimate, best-first.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.allocation import plan_from_clusters
+from ..obs import recorder as _obs
 from ..core.clustering import linear_clustering
 from ..core.taskgraph import TaskGraph
 from ..mpsoc.platform import Platform
@@ -107,10 +109,16 @@ def _evaluate(
     cycles_per_unit: float,
     objective: str = "latency",
 ) -> Candidate:
+    rec = _obs.get()
+    if rec.enabled:
+        start = time.perf_counter()
     plan = plan_from_clusters(clusters)
     estimate = estimate_allocation(
         graph, plan, platform, cycles_per_unit=cycles_per_unit
     )
+    if rec.enabled:
+        rec.observe("dse.evaluate", time.perf_counter() - start)
+        rec.incr("dse.candidates")
     return Candidate(plan=plan, estimate=estimate, objective=objective)
 
 
@@ -264,18 +272,31 @@ def explore(
     objective: str = "latency",
 ) -> List[Candidate]:
     """Front door: exhaustive when small, greedy otherwise."""
-    if len(graph.node_weights) <= exhaustive_threshold:
-        return exhaustive_explore(
-            graph,
-            max_cpus=max_cpus,
-            platform=platform,
-            cycles_per_unit=cycles_per_unit,
-            objective=objective,
-        )
-    return greedy_explore(
-        graph,
-        max_cpus=max_cpus,
-        platform=platform,
-        cycles_per_unit=cycles_per_unit,
+    rec = _obs.get()
+    threads = len(graph.node_weights)
+    strategy = "exhaustive" if threads <= exhaustive_threshold else "greedy"
+    with rec.span(
+        "dse.explore",
+        category="dse",
+        threads=threads,
+        strategy=strategy,
         objective=objective,
-    )
+    ) as span:
+        if strategy == "exhaustive":
+            candidates = exhaustive_explore(
+                graph,
+                max_cpus=max_cpus,
+                platform=platform,
+                cycles_per_unit=cycles_per_unit,
+                objective=objective,
+            )
+        else:
+            candidates = greedy_explore(
+                graph,
+                max_cpus=max_cpus,
+                platform=platform,
+                cycles_per_unit=cycles_per_unit,
+                objective=objective,
+            )
+        span.set(candidates=len(candidates))
+    return candidates

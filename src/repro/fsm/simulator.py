@@ -13,9 +13,11 @@ is enabled or a fixpoint bound is hit (guarding against ε-cycles).
 from __future__ import annotations
 
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import recorder as _obs
 from .model import Fsm, FsmError, FsmTransition
 
 #: Matches ``name =`` (assignment) but not ``name ==`` (comparison).
@@ -67,6 +69,8 @@ class FsmSimulator:
         self.variables: Dict[str, float] = dict(fsm.variables)
         self.trace: List[TraceEntry] = []
         self._step_count = 0
+        #: Longest ε-transition chain observed (run-to-completion depth).
+        self.max_completion_chain = 0
         self._run_actions(self.fsm.state(self.current).entry)
 
     # -- expression handling ----------------------------------------------
@@ -139,9 +143,11 @@ class FsmSimulator:
         )
 
     def _run_to_completion(self) -> None:
-        for _ in range(MAX_COMPLETION_CHAIN):
+        for chained in range(MAX_COMPLETION_CHAIN):
             transition = self._enabled("")
             if transition is None:
+                if chained > self.max_completion_chain:
+                    self.max_completion_chain = chained
                 return
             self._fire(transition, "")
         raise FsmRuntimeError(
@@ -163,8 +169,32 @@ class FsmSimulator:
         return self.current
 
     def run(self, events: Sequence[str]) -> List[str]:
-        """Feed an event sequence; returns the state after each event."""
-        return [self.step(event) for event in events]
+        """Feed an event sequence; returns the state after each event.
+
+        With an active observability recorder the run is wrapped in an
+        ``fsm.run`` span and reports events/sec, transitions fired, and the
+        deepest ε-chain to the metrics registry; with the null recorder
+        (the default) the loop is untouched.
+        """
+        rec = _obs.get()
+        if not rec.enabled:
+            return [self.step(event) for event in events]
+        fired_before = len(self.trace)
+        start = time.perf_counter()
+        with rec.span(
+            "fsm.run", category="sim", fsm=self.fsm.name, events=len(events)
+        ) as span:
+            states = [self.step(event) for event in events]
+        elapsed = time.perf_counter() - start
+        rate = len(events) / elapsed if elapsed > 0 else 0.0
+        fired = len(self.trace) - fired_before
+        rec.incr("fsm.sim.runs")
+        rec.incr("fsm.sim.events", len(events))
+        rec.incr("fsm.sim.transitions", fired)
+        rec.gauge("fsm.sim.steps_per_sec", rate)
+        rec.gauge("fsm.sim.max_completion_chain", self.max_completion_chain)
+        span.set(transitions=fired, steps_per_sec=round(rate, 1))
+        return states
 
     @property
     def in_final_state(self) -> bool:

@@ -1,0 +1,48 @@
+"""Stdlib-logging configuration for the ``repro`` logger tree.
+
+Every module logs under ``logging.getLogger("repro.<module>")``; nothing
+is emitted unless the application (or the CLI's ``-v`` flag) configures a
+handler.  :func:`configure_logging` is the one-call setup the CLI uses —
+idempotent, so repeated calls just adjust the level.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+#: Verbosity → level mapping for the CLI's ``-v`` count.
+_LEVELS = {0: logging.WARNING, 1: logging.INFO}
+
+_HANDLER_NAME = "repro-obs"
+
+
+def configure_logging(
+    verbosity: int = 0, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger.
+
+    ``verbosity`` 0 shows warnings, 1 shows per-stage INFO lines, 2+
+    shows DEBUG detail.  Returns the configured logger.
+    """
+    logger = logging.getLogger("repro")
+    level = _LEVELS.get(verbosity, logging.DEBUG)
+    logger.setLevel(level)
+    handler = next(
+        (h for h in logger.handlers if h.get_name() == _HANDLER_NAME), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.set_name(_HANDLER_NAME)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    else:
+        # Rebind so redirected stderr (tests, daemons) is honoured.  Assign
+        # directly: setStream() would flush the previous stream, which may
+        # already be closed.
+        handler.stream = stream or sys.stderr
+    handler.setLevel(level)
+    return logger

@@ -1,0 +1,148 @@
+"""Metrics registry: counters, gauges, and timers with JSON export.
+
+The registry is deliberately minimal — three metric families that cover
+everything the synthesis flow and the simulators need to report:
+
+- **counters** accumulate monotonically (``incr``): rule firings, channels
+  inferred, simulation steps executed;
+- **gauges** hold the last observed value (``gauge``): steps/second,
+  block census, trace-link counts;
+- **timers** aggregate duration observations (``observe`` /
+  :meth:`MetricsRegistry.timer`): count, total, min, max, mean — every
+  closed span feeds its duration here automatically, so per-pass timings
+  appear in the metrics JSON without extra call-site code.
+
+All values are plain floats/ints and the whole registry serializes with
+:meth:`MetricsRegistry.to_json`, which is what ``repro --metrics-out``
+writes and what ``benchmarks/conftest.py`` persists as ``BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class TimerStat:
+    """Aggregate of duration observations for one timer name (seconds)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one duration observation into the aggregate."""
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Average observed duration (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """The aggregate as a JSON-ready mapping."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class _Timer:
+    """Context manager recording one wall-clock observation on exit."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._registry.observe(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and timers with a JSON snapshot.
+
+    Names are dotted paths by convention (``optimize.channels.intra``,
+    ``simulink.sim.steps_per_sec``); the documented key set lives in
+    ``docs/observability.md``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, TimerStat] = {}
+
+    # -- writing ----------------------------------------------------------
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to the named counter (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest observed value."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration observation on the named timer."""
+        stat = self._timers.get(name)
+        if stat is None:
+            stat = self._timers[name] = TimerStat()
+        stat.observe(seconds)
+
+    def timer(self, name: str) -> _Timer:
+        """Context manager timing its body into the named timer."""
+        return _Timer(self, name)
+
+    # -- reading ----------------------------------------------------------
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0.0 when never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        """Latest value of a gauge, or ``None`` when never set."""
+        return self._gauges.get(name)
+
+    def timer_stat(self, name: str) -> Optional[TimerStat]:
+        """Aggregate for a timer, or ``None`` when never observed."""
+        return self._timers.get(name)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._timers)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Snapshot: ``{"counters": ..., "gauges": ..., "timers": ...}``."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "timers": {
+                name: stat.to_dict()
+                for name, stat in sorted(self._timers.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: str) -> None:
+        """Write the JSON snapshot to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")

@@ -1,0 +1,261 @@
+"""Span tracer and the module-level recorder switch.
+
+The instrumentation contract for the whole package:
+
+- every instrumented call site fetches the *current recorder* with
+  :func:`get` and uses its ``span`` / ``incr`` / ``gauge`` / ``observe``
+  API;
+- by default the current recorder is the :data:`NULL` singleton, whose
+  every operation is a no-op returning shared immutable objects — hot
+  paths pay one attribute lookup and one call, nothing else (no
+  allocation, no clock reads, no file I/O);
+- enabling observability (``repro --trace-out`` / ``--metrics-out``, or
+  :func:`enable` / :func:`use` from library code) swaps in a
+  :class:`Recorder` that collects nested :class:`Span` records and feeds a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Spans nest through an explicit stack on the recorder: the span opened
+last becomes the parent of the next one, which is exactly the call-tree
+shape the Chrome-trace exporter needs.  Every closed span also records
+its wall duration as a timer observation under its own name, so pass
+timings show up in the metrics JSON for free.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .metrics import MetricsRegistry
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of execution."""
+
+    id: int
+    name: str
+    category: str = ""
+    parent_id: Optional[int] = None
+    start_wall: float = 0.0
+    start_cpu: float = 0.0
+    end_wall: Optional[float] = None
+    end_cpu: Optional[float] = None
+    error: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while the span is still open)."""
+        if self.end_wall is None:
+            return 0.0
+        return self.end_wall - self.start_wall
+
+    @property
+    def cpu_time(self) -> float:
+        """Process CPU seconds consumed inside the span."""
+        if self.end_cpu is None:
+            return 0.0
+        return self.end_cpu - self.start_cpu
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span as a JSON-ready mapping."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "category": self.category,
+            "parent_id": self.parent_id,
+            "start": self.start_wall,
+            "duration": self.duration,
+            "cpu_time": self.cpu_time,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _SpanHandle:
+    """Context manager wrapping one open :class:`Span`."""
+
+    __slots__ = ("_recorder", "span")
+
+    def __init__(self, recorder: "Recorder", span: Span) -> None:
+        self._recorder = recorder
+        self.span = span
+
+    @property
+    def id(self) -> Optional[int]:
+        return self.span.id
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        """Attach (or overwrite) attributes on the span."""
+        self.span.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        if exc is not None:
+            self.span.error = f"{type(exc).__name__}: {exc}"  # type: ignore[union-attr]
+        self._recorder._close(self.span)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span handle (the disabled-mode fast path)."""
+
+    __slots__ = ()
+    id: Optional[int] = None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recorder that records nothing; every method is a cheap no-op."""
+
+    __slots__ = ()
+    enabled: bool = False
+    #: Shared registry kept empty — lets generic code read ``rec.metrics``.
+    metrics = MetricsRegistry()
+    spans: List[Span] = []
+
+    def span(self, name: str, category: str = "", **attrs: Any) -> _NullSpan:
+        """Return the shared no-op span handle."""
+        return _NULL_SPAN
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """No-op."""
+
+    def observe(self, name: str, seconds: float) -> None:
+        """No-op."""
+
+    def timer(self, name: str) -> _NullSpan:
+        """Return the shared no-op context manager."""
+        return _NULL_SPAN
+
+
+NULL = NullRecorder()
+
+
+class Recorder:
+    """Collects spans and metrics for one observability session."""
+
+    enabled: bool = True
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    # -- span API ----------------------------------------------------------
+    def span(self, name: str, category: str = "", **attrs: Any) -> _SpanHandle:
+        """Open a nested span; close it by exiting the context manager."""
+        span = Span(
+            id=self._next_id,
+            name=name,
+            category=category,
+            parent_id=self._stack[-1] if self._stack else None,
+            start_wall=time.time(),
+            start_cpu=time.process_time(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span.id)
+        return _SpanHandle(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end_wall = time.time()
+        span.end_cpu = time.process_time()
+        # Tolerate out-of-order exits (generators, exceptions): pop back to
+        # this span if it is still on the stack.
+        if span.id in self._stack:
+            while self._stack and self._stack[-1] != span.id:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        self.metrics.observe(span.name, span.duration)
+
+    # -- metrics passthrough ----------------------------------------------
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increment a counter on the attached registry."""
+        self.metrics.incr(name, amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge on the attached registry."""
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a timer observation on the attached registry."""
+        self.metrics.observe(name, seconds)
+
+    def timer(self, name: str):
+        """Context manager timing its body on the attached registry."""
+        return self.metrics.timer(name)
+
+    # -- export ------------------------------------------------------------
+    def finished_spans(self) -> List[Span]:
+        """All closed spans, in opening order."""
+        return [s for s in self.spans if s.end_wall is not None]
+
+
+#: Either flavour of recorder, for annotations at call sites.
+AnyRecorder = Union[Recorder, NullRecorder]
+
+_current: AnyRecorder = NULL
+
+
+def get() -> AnyRecorder:
+    """The currently installed recorder (:data:`NULL` when disabled)."""
+    return _current
+
+
+def active() -> bool:
+    """Whether a real recorder is installed."""
+    return _current.enabled
+
+
+def set_recorder(recorder: AnyRecorder) -> AnyRecorder:
+    """Install ``recorder`` as current; returns the previous one."""
+    global _current
+    previous = _current
+    _current = recorder
+    return previous
+
+
+def enable(metrics: Optional[MetricsRegistry] = None) -> Recorder:
+    """Create and install a fresh :class:`Recorder`; returns it."""
+    recorder = Recorder(metrics)
+    set_recorder(recorder)
+    return recorder
+
+
+def disable() -> None:
+    """Reinstall the null recorder."""
+    set_recorder(NULL)
+
+
+@contextmanager
+def use(recorder: AnyRecorder) -> Iterator[AnyRecorder]:
+    """Temporarily install ``recorder`` for the ``with`` body."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)

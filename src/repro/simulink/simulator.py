@@ -14,9 +14,11 @@ the model schedules and runs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs import recorder as _obs
 from . import blocks as libblocks
 from .model import Block, Port, SimulinkError, SimulinkModel, flatten
 
@@ -116,6 +118,9 @@ class Simulator:
         self._order = self._schedule()
         self._plan = self._compile_plan()
         self._state: Dict[Block, object] = {}
+        #: Live signal slots observed on the last executed step (the
+        #: dataflow analogue of queue depth; read by the obs layer).
+        self._value_slots = 0
         self.reset()
 
     # -- scheduling -----------------------------------------------------------
@@ -196,7 +201,46 @@ class Simulator:
 
         ``inputs`` maps root-level Inport block names to stimulus sample
         sequences (missing samples default to 0.0).
+
+        With an active observability recorder the run is wrapped in a
+        ``simulink.run`` span and reports steps/sec, per-block-type fire
+        counts, and the live signal-slot census to the metrics registry;
+        with the null recorder (the default) the hot loop is untouched.
         """
+        rec = _obs.get()
+        if not rec.enabled:
+            return self._run_steps(steps, inputs)
+        start = time.perf_counter()
+        with rec.span(
+            "simulink.run",
+            category="sim",
+            model=self.model.name,
+            steps=steps,
+            blocks=len(self._blocks),
+        ) as span:
+            result = self._run_steps(steps, inputs)
+        elapsed = time.perf_counter() - start
+        rate = steps / elapsed if elapsed > 0 else 0.0
+        rec.incr("simulink.sim.runs")
+        rec.incr("simulink.sim.steps", steps)
+        rec.gauge("simulink.sim.steps_per_sec", rate)
+        rec.gauge("simulink.sim.blocks", len(self._blocks))
+        rec.gauge("simulink.sim.value_slots", self._value_slots)
+        # Synchronous dataflow: every scheduled block fires once per step.
+        fires: Dict[str, int] = {}
+        for block in self._order:
+            fires[block.block_type] = fires.get(block.block_type, 0) + 1
+        for block_type, count in fires.items():
+            rec.incr(f"simulink.fires.{block_type}", count * steps)
+        span.set(steps_per_sec=round(rate, 1))
+        return result
+
+    def _run_steps(
+        self,
+        steps: int,
+        inputs: Optional[Mapping[str, Sequence[float]]] = None,
+    ) -> SimulationResult:
+        """The uninstrumented fixed-step execution loop."""
         if steps < 0:
             raise SimulationError(f"steps must be >= 0, got {steps}")
         inputs = dict(inputs or {})
@@ -259,6 +303,8 @@ class Simulator:
             for path, block in monitored.items():
                 result.signals[path].append(values.get((block, 1), 0.0))
 
+        if steps:
+            self._value_slots = len(values)
         for block in self._blocks:
             if block.block_type == "Scope":
                 result.scopes[block.path] = list(self._state[block] or [])

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Type
 
+from ..obs import recorder as _obs
 from .trace import TraceError, TraceStore
 
 
@@ -141,30 +142,49 @@ class Transformation:
         Returns the context (carrying trace links and the target model).
         """
         context = TransformationContext(target, options)
+        rec = _obs.get()
         for element in elements:
-            fired = False
             for rule in self.rules:
                 if not rule.matches(element):
                     continue
-                produced = rule.apply(element, context)
-                self._record(context, rule, element, produced)
-                fired = True
+                with rec.span(
+                    "rule." + rule.name, category="transform"
+                ) as span:
+                    produced = rule.apply(element, context)
+                    created = self._record(
+                        context, rule, element, produced, span.id
+                    )
+                    if rec.enabled:
+                        span.set(
+                            element=type(element).__name__, targets=created
+                        )
+                        rec.incr("transform.rule." + rule.name)
                 if self.exclusive:
                     break
             # Elements matched by no rule are simply skipped, as in ATL.
-            del fired
-        context.run_deferred()
+        with rec.span("transform.deferred", category="transform"):
+            context.run_deferred()
         return context
 
     @staticmethod
     def _record(
-        context: TransformationContext, rule: Rule, element: Any, produced: Any
-    ) -> None:
+        context: TransformationContext,
+        rule: Rule,
+        element: Any,
+        produced: Any,
+        span_id: Optional[int] = None,
+    ) -> int:
+        """Trace-link the produced target(s); returns how many were linked."""
         if produced is None:
-            return
+            return 0
         if isinstance(produced, (list, tuple)):
+            created = 0
             for target in produced:
                 if target is not None:
-                    context.trace.add(rule.name, element, target, rule.role)
-        else:
-            context.trace.add(rule.name, element, produced, rule.role)
+                    context.trace.add(
+                        rule.name, element, target, rule.role, span_id=span_id
+                    )
+                    created += 1
+            return created
+        context.trace.add(rule.name, element, produced, rule.role, span_id=span_id)
+        return 1

@@ -10,6 +10,7 @@ the Thread-SS created for each thread lifeline.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
@@ -20,12 +21,19 @@ class TraceError(Exception):
 
 @dataclass(frozen=True)
 class TraceLink:
-    """One source→target correspondence created by a rule."""
+    """One source→target correspondence created by a rule.
+
+    ``span_id`` links the correspondence to the observability span of the
+    rule application that created it (``None`` when tracing is disabled),
+    so a Perfetto timeline row can be cross-referenced with the MDE audit
+    trail.
+    """
 
     rule: str
     source: Any
     target: Any
     role: str = ""
+    span_id: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -50,9 +58,16 @@ class TraceStore:
         # Keep sources alive so id() keys stay valid.
         self._retained: List[Any] = []
 
-    def add(self, rule: str, source: Any, target: Any, role: str = "") -> TraceLink:
+    def add(
+        self,
+        rule: str,
+        source: Any,
+        target: Any,
+        role: str = "",
+        span_id: Optional[int] = None,
+    ) -> TraceLink:
         """Record a source→target link created by ``rule``."""
-        link = TraceLink(rule, source, target, role)
+        link = TraceLink(rule, source, target, role, span_id)
         self._links.append(link)
         self._retained.append(source)
         self._by_source.setdefault((id(source), role), []).append(link)
@@ -94,6 +109,47 @@ class TraceStore:
     def by_rule(self, rule: str) -> List[TraceLink]:
         """Links created by the named rule."""
         return [link for link in self._links if link.rule == rule]
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate statistics over the store, for the metrics report.
+
+        Note on memory: ``_retained`` grows without bound by design — it
+        pins every source element so the ``id()``-based index stays valid
+        for the store's lifetime.  A store lives exactly as long as one
+        transformation run, so the retention is bounded by the size of the
+        source model; ``retained_sources`` makes that cost visible.
+        """
+        per_rule: Dict[str, int] = {}
+        for link in self._links:
+            per_rule[link.rule] = per_rule.get(link.rule, 0) + 1
+        return {
+            "links": len(self._links),
+            "links_per_rule": dict(sorted(per_rule.items())),
+            "retained_sources": len(self._retained),
+            "distinct_sources": len(self._by_source),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The statistics plus a per-link summary, as a JSON document."""
+
+        def describe(obj: Any) -> str:
+            name = getattr(obj, "qualified_name", "") or getattr(
+                obj, "path", ""
+            ) or getattr(obj, "name", "")
+            return str(name) if name else type(obj).__name__
+
+        document = dict(self.stats())
+        document["trace"] = [
+            {
+                "rule": link.rule,
+                "source": describe(link.source),
+                "target": describe(link.target),
+                "role": link.role,
+                "span_id": link.span_id,
+            }
+            for link in self._links
+        ]
+        return json.dumps(document, indent=indent, default=str)
 
     def __len__(self) -> int:
         return len(self._links)

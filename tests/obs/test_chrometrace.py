@@ -1,0 +1,85 @@
+"""Chrome-trace exporter: Trace Event Format schema validity."""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro import obs
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+)
+from validate_trace import validate_metrics, validate_trace  # noqa: E402
+
+
+@pytest.fixture()
+def recorder_with_spans():
+    rec = obs.Recorder()
+    with rec.span("root", category="flow", model="m"):
+        with rec.span("child", category="flow"):
+            pass
+        with rec.span("failing"):
+            try:
+                raise ValueError("x")
+            except ValueError:
+                pass
+    return rec
+
+
+class TestChromeTrace:
+    def test_document_shape(self, recorder_with_spans):
+        document = obs.to_chrome_trace(recorder_with_spans.spans)
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        validate_trace(document)  # raises on any schema violation
+
+    def test_metadata_event_first(self, recorder_with_spans):
+        events = obs.to_chrome_trace(recorder_with_spans.spans)["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "repro"
+
+    def test_complete_events_carry_spans(self, recorder_with_spans):
+        events = obs.to_chrome_trace(recorder_with_spans.spans)["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"root", "child", "failing"}
+        child = next(e for e in complete if e["name"] == "child")
+        root = next(e for e in complete if e["name"] == "root")
+        assert child["args"]["parent_id"] == root["id"]
+        assert root["args"]["model"] == "m"
+
+    def test_timestamps_relative_and_positive_durations(
+        self, recorder_with_spans
+    ):
+        events = obs.to_chrome_trace(recorder_with_spans.spans)["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert min(e["ts"] for e in complete) == 0
+        assert all(e["dur"] >= 1 for e in complete)
+
+    def test_open_spans_are_skipped(self):
+        rec = obs.Recorder()
+        handle = rec.span("never-closed")
+        assert handle.id is not None
+        document = obs.to_chrome_trace(rec.spans)
+        assert [e for e in document["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_write_chrome_trace_is_valid_json(
+        self, recorder_with_spans, tmp_path
+    ):
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(recorder_with_spans.spans, str(path))
+        validate_trace(json.loads(path.read_text()))
+
+
+class TestValidatorRejections:
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError):
+            validate_trace({})
+
+    def test_rejects_bad_phase(self):
+        with pytest.raises(ValueError):
+            validate_trace({"traceEvents": [{"ph": "B", "name": "x"}]})
+
+    def test_rejects_metrics_without_sections(self):
+        with pytest.raises(ValueError):
+            validate_metrics({"counters": {}})

@@ -25,6 +25,9 @@ def main() -> None:
         "Generated from the package docstrings (first paragraph of each).",
         "Regenerate with `python tools/gen_api_docs.py`.",
         "",
+        "Guides: [tutorial](tutorial.md) · "
+        "[observability (tracing/metrics/profiling)](observability.md)",
+        "",
     ]
     packages = sorted(
         name

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate observability JSON artifacts against their documented schemas.
+
+Usage::
+
+    python tools/validate_trace.py trace.json [--metrics metrics.json]
+
+Checks the Chrome-trace document (``--trace-out`` output) for Trace Event
+Format conformance — Perfetto loadability — and optionally the metrics
+snapshot (``--metrics-out`` output) for the registry schema and the
+documented synthesis keys.  Exits non-zero with a message on the first
+violation; CI's smoke job runs this after a real ``repro synthesize``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+#: Event fields every complete ("X") event must carry.
+REQUIRED_EVENT_FIELDS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+#: Timer keys a synthesize run must produce (one per flow step that ran).
+SYNTHESIS_TIMER_KEYS = (
+    "flow.synthesize",
+    "flow.map",
+    "flow.optimize",
+    "optimize.channels",
+    "optimize.barriers",
+)
+
+#: Counter key prefixes a synthesize run must produce.
+SYNTHESIS_COUNTER_PREFIXES = ("mapping.rule.", "optimize.channels.")
+
+
+def validate_trace(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a valid span trace."""
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("top level must be an object with 'traceEvents'")
+    events = document["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty array")
+    complete = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{index} is not an object")
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase != "X":
+            raise ValueError(f"event #{index}: unexpected phase {phase!r}")
+        complete += 1
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in event:
+                raise ValueError(f"event #{index} lacks {field!r}")
+        if not isinstance(event["ts"], int) or event["ts"] < 0:
+            raise ValueError(f"event #{index}: ts must be a non-negative int")
+        if not isinstance(event["dur"], int) or event["dur"] < 1:
+            raise ValueError(f"event #{index}: dur must be a positive int")
+    if complete == 0:
+        raise ValueError("trace holds no complete ('X') events")
+
+
+def validate_metrics(document: Dict[str, Any], *, synthesis: bool = True) -> None:
+    """Raise ``ValueError`` unless ``document`` is a metrics snapshot.
+
+    With ``synthesis`` (the default) also require the documented keys a
+    ``repro synthesize`` run must emit.
+    """
+    for section in ("counters", "gauges", "timers"):
+        if not isinstance(document.get(section), dict):
+            raise ValueError(f"metrics must hold a {section!r} object")
+    for name, stat in document["timers"].items():
+        for field in ("count", "total", "min", "max", "mean"):
+            if field not in stat:
+                raise ValueError(f"timer {name!r} lacks {field!r}")
+    if not synthesis:
+        return
+    for key in SYNTHESIS_TIMER_KEYS:
+        if key not in document["timers"]:
+            raise ValueError(f"missing documented timer {key!r}")
+    for prefix in SYNTHESIS_COUNTER_PREFIXES:
+        if not any(name.startswith(prefix) for name in document["counters"]):
+            raise ValueError(f"no counter with documented prefix {prefix!r}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="--trace-out JSON file to validate")
+    parser.add_argument("--metrics", help="--metrics-out JSON file to validate")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            validate_trace(json.load(handle))
+        print(f"{args.trace}: valid Chrome-trace document")
+        if args.metrics:
+            with open(args.metrics, encoding="utf-8") as handle:
+                validate_metrics(json.load(handle))
+            print(f"{args.metrics}: valid metrics snapshot")
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
