@@ -85,12 +85,76 @@ def _collect_obs_metrics(recorder: "obs.Recorder") -> None:
     fsm_sim.run(["go", "done"] * (SIM_STEPS // 2))
 
 
+def _measure_parallel() -> dict:
+    """Time serial vs pooled DSE and cold vs warm cached synthesis.
+
+    The DSE numbers depend on host core count (recorded alongside); the
+    cache numbers compare a full flow run against a pickle-bytes hit.
+    """
+    from repro.apps import crane, synthetic
+    from repro.core import TaskGraph, synthesize
+    from repro.dse.explore import candidate_sort_key, exhaustive_explore
+    from repro.parallel import cache
+
+    keep = set(synthetic.THREADS[:8])  # Bell(8) = 4140 partitions
+    full = synthetic.task_graph()
+    graph = TaskGraph()
+    for name in sorted(keep):
+        graph.add_node(name, full.node_weights[name])
+    for (src, dst), weight in full.edges.items():
+        if src in keep and dst in keep:
+            graph.add_edge(src, dst, weight)
+
+    start = time.perf_counter()
+    serial = exhaustive_explore(graph, workers=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    pooled = exhaustive_explore(graph, workers=4)
+    parallel_s = time.perf_counter() - start
+    identical = [candidate_sort_key(c) for c in serial] == [
+        candidate_sort_key(c) for c in pooled
+    ]
+
+    state = cache.snapshot()
+    try:
+        cache.configure(enabled=True)
+        start = time.perf_counter()
+        cold = synthesize(crane.build_model())
+        cold_s = time.perf_counter() - start
+        warm_runs = []
+        for _ in range(3):  # best-of-3: the hit path is sub-millisecond
+            start = time.perf_counter()
+            warm = synthesize(crane.build_model())
+            warm_runs.append(time.perf_counter() - start)
+        warm_s = min(warm_runs)
+        cache_hit = warm.obs.parallel.get("cache", {}).get("status") == "hit"
+        artifacts_identical = warm.mdl_text == cold.mdl_text
+    finally:
+        cache.restore(state)
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "dse_graph_threads": len(keep),
+        "dse_candidates": len(serial),
+        "dse_serial_s": serial_s,
+        "dse_workers4_s": parallel_s,
+        "dse_parallel_speedup": serial_s / parallel_s if parallel_s else None,
+        "dse_outputs_identical": identical,
+        "synthesize_cold_s": cold_s,
+        "synthesize_warm_s": warm_s,
+        "cache_speedup": cold_s / warm_s if warm_s else None,
+        "cache_hit": cache_hit,
+        "cache_artifacts_identical": artifacts_identical,
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_obs.json (repo root) from a fresh metrics registry."""
     recorder = obs.Recorder()
     with obs.use(recorder):
         _collect_obs_metrics(recorder)
     metrics = recorder.metrics
+    parallel_stats = _measure_parallel()
 
     def total(name):
         stat = metrics.timer_stat(name)
@@ -105,6 +169,7 @@ def pytest_sessionfinish(session, exitstatus):
         "fsm_steps_per_sec": metrics.gauge_value("fsm.sim.steps_per_sec"),
         "synthesize_crane_s": total("bench.synthesize.crane"),
         "synthesize_mjpeg_s": total("bench.synthesize.mjpeg"),
+        "parallel": parallel_stats,
         "metrics": metrics.to_dict(),
     }
     path = os.path.join(str(session.config.rootpath), "BENCH_obs.json")

@@ -40,10 +40,24 @@ Packages
 - :mod:`repro.transform` — rule engine, trace links, templates;
 - :mod:`repro.obs` — observability: span tracing, metrics, Chrome-trace
   export (disabled by default, zero overhead);
+- :mod:`repro.parallel` — process-pool DSE evaluation and the
+  content-addressed synthesis cache (results identical to serial/cold);
 - :mod:`repro.apps` — the paper's case studies.
 """
 
-from . import apps, backends, core, dse, fsm, mpsoc, obs, simulink, transform, uml
+from . import (
+    apps,
+    backends,
+    core,
+    dse,
+    fsm,
+    mpsoc,
+    obs,
+    parallel,
+    simulink,
+    transform,
+    uml,
+)
 from .core import synthesize, synthesize_to_mdl
 
 __version__ = "1.0.0"
@@ -57,6 +71,7 @@ __all__ = [
     "fsm",
     "mpsoc",
     "obs",
+    "parallel",
     "simulink",
     "synthesize",
     "synthesize_to_mdl",

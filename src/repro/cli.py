@@ -11,8 +11,23 @@ tool exports) and drives every stage of the flow:
     repro allocate crane.xmi            # task graph + linear clustering
     repro synthesize crane.xmi -o crane.mdl --summary
     repro codegen crane.xmi --backend java -o gen/
-    repro explore crane.xmi --max-cpus 4
+    repro explore crane.xmi --max-cpus 4 --workers 4
     repro simulate crane.mdl --steps 10 --input In1=1,2,3
+
+Parallelism and caching (see ``docs/parallel.md``):
+
+::
+
+    repro explore crane.xmi --workers 4          # process-pool evaluation
+    repro --cache-dir .repro-cache synthesize crane.xmi -o crane.mdl
+    repro --no-cache synthesize crane.xmi -o crane.mdl
+
+``--workers`` (default: the ``REPRO_WORKERS`` environment variable)
+evaluates DSE candidates on a process pool with output identical to the
+serial path.  ``--cache-dir`` enables the content-addressed synthesis
+cache with an on-disk store, so re-synthesizing an unchanged model is a
+cache hit; ``--no-cache`` forces caching off even when ``REPRO_CACHE`` /
+``REPRO_CACHE_DIR`` is set.
 
 Observability flags (global, before the subcommand):
 
@@ -205,7 +220,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     model = _load_model(args.model)
     graph = task_graph_from_model(model)
     candidates = explore(
-        graph, max_cpus=args.max_cpus, objective=args.objective
+        graph,
+        max_cpus=args.max_cpus,
+        objective=args.objective,
+        workers=args.workers,
     )
     # Report cost through the metrics layer so this line and a
     # --metrics-out file can never disagree.
@@ -307,6 +325,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="log INFO (-v) or DEBUG (-vv) detail to stderr",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "enable the content-addressed synthesis cache with an on-disk "
+            "store in DIR (see docs/parallel.md)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the synthesis cache (overrides REPRO_CACHE[_DIR])",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("demo", help="export a case-study model as XMI")
@@ -387,6 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("latency", "throughput"),
         help="optimize one-iteration latency or pipeline throughput",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        help=(
+            "evaluate candidates on N worker processes "
+            "(default: $REPRO_WORKERS, else serial; results identical)"
+        ),
+    )
     p.set_defaults(handler=_cmd_explore)
 
     p = sub.add_parser("simulate", help="execute a .mdl model")
@@ -452,20 +491,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     per-process overhead is negligible at CLI granularity); ``--trace-out``
     and ``--metrics-out`` persist what it captured.
     """
+    from .parallel import cache as parallel_cache
+
     parser = build_parser()
     args = parser.parse_args(argv)
     obs.configure_logging(args.verbose)
+    # Cache configuration is scoped to this invocation (snapshot/restore),
+    # so embedding callers — and the test suite — never inherit it.
+    cache_state = parallel_cache.snapshot()
+    if args.no_cache:
+        parallel_cache.configure(enabled=False)
+    elif args.cache_dir:
+        parallel_cache.configure(enabled=True, directory=args.cache_dir)
     recorder = obs.Recorder()
-    with obs.use(recorder):
-        try:
-            with recorder.span("cli." + args.command, category="cli"):
-                status = args.handler(args)
-        except CliError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            status = 2
-        except Exception as exc:  # surface library errors with a clean message
-            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
-            status = 1
+    try:
+        with obs.use(recorder):
+            try:
+                with recorder.span("cli." + args.command, category="cli"):
+                    status = args.handler(args)
+            except CliError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                status = 2
+            except Exception as exc:  # surface library errors cleanly
+                print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+                status = 1
+    finally:
+        parallel_cache.restore(cache_state)
     write_status = _write_observability(recorder, args)
     return status or write_status
 

@@ -24,6 +24,8 @@ from typing import Callable, Dict, List, Optional
 
 from ..obs import recorder as _obs
 from ..obs.report import ObservabilityReport
+from ..parallel import cache as _syn_cache
+from ..parallel.fingerprint import synthesis_cache_key
 from ..simulink.caam import CaamModel, CaamSummary, validate_caam
 from ..simulink.ecore import to_ecore_string
 from ..simulink.mdl import to_mdl
@@ -141,6 +143,7 @@ def synthesize(
     validate: bool = True,
     strict: bool = False,
     name: Optional[str] = None,
+    use_cache: Optional[bool] = None,
 ) -> SynthesisResult:
     """Run the full UML → Simulink CAAM synthesis flow.
 
@@ -168,9 +171,58 @@ def synthesize(
         Escalate mapping inference warnings to errors.
     name:
         Name of the generated CAAM (defaults to the UML model name).
+    use_cache:
+        ``True``/``False`` override the process-wide synthesis-cache
+        configuration (:func:`repro.parallel.configure_synthesis_cache`,
+        ``REPRO_CACHE_DIR``, CLI ``--cache-dir``/``--no-cache``) for this
+        call; ``None`` defers to it.  A hit short-circuits the whole flow
+        and returns a fresh copy of the cached result — byte-identical
+        ``mdl_text`` and mapping report, see ``docs/parallel.md``.  Runs
+        with ``behaviors`` bypass the cache (callables are not
+        content-addressable).
     """
     rec = _obs.get()
     rec.incr("flow.synthesize.calls")
+
+    if use_cache is False:
+        cache = None
+    elif use_cache:
+        cache = _syn_cache.force_synthesis_cache()
+    else:
+        cache = _syn_cache.synthesis_cache()
+    cache_key: Optional[str] = None
+    parallel_info: Dict[str, object] = {}
+    if cache is not None and behaviors is None:
+        cache_key = synthesis_cache_key(
+            model,
+            plan,
+            {
+                "auto_allocate": auto_allocate,
+                "infer_channels": infer_channels,
+                "insert_barriers": insert_barriers,
+                "layout": layout,
+                "validate": validate,
+                "strict": strict,
+                "name": name,
+            },
+        )
+        cached = cache.get(cache_key)
+        if cached is not None:
+            cached.obs.parallel = dict(cached.obs.parallel)
+            cached.obs.parallel["cache"] = {
+                "status": "hit",
+                "key": cache_key[:16],
+            }
+            log.info(
+                "synthesis cache hit for %r (key %s)",
+                model.name,
+                cache_key[:16],
+            )
+            return cached
+        parallel_info["cache"] = {"status": "miss", "key": cache_key[:16]}
+    elif cache is not None:
+        parallel_info["cache"] = {"status": "bypass", "reason": "behaviors"}
+
     span_start = len(rec.spans)
     with rec.span(
         "flow.synthesize", category="flow", model=model.name
@@ -215,8 +267,13 @@ def synthesize(
         optimization=optimization,
         allocation=allocation,
         intermediate_xml=intermediate,
-        obs=_build_report(rec, span_start, mapping, optimization, resolved_plan),
+        obs=_build_report(
+            rec, span_start, mapping, optimization, resolved_plan,
+            parallel=parallel_info,
+        ),
     )
+    if cache is not None and cache_key is not None:
+        cache.put(cache_key, result)
     log.info(
         "synthesized %r: %d blocks on %d CPU(s), %d barrier(s)",
         result.caam.name,
@@ -233,6 +290,7 @@ def _build_report(
     mapping: MappingResult,
     optimization: OptimizationReport,
     plan: DeploymentPlan,
+    parallel: Optional[Dict[str, object]] = None,
 ) -> ObservabilityReport:
     """Assemble the run's :class:`ObservabilityReport`.
 
@@ -257,11 +315,12 @@ def _build_report(
         "warnings": len(mapping.warnings),
     }
     if not rec.enabled:
-        return ObservabilityReport(census=census)
+        return ObservabilityReport(census=census, parallel=dict(parallel or {}))
     return ObservabilityReport(
         census=census,
         spans=[s for s in rec.spans[span_start:] if s.end_wall is not None],
         metrics=rec.metrics.to_dict(),
+        parallel=dict(parallel or {}),
     )
 
 

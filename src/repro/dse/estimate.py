@@ -177,6 +177,11 @@ def _list_schedule(
         if a != b:
             key = (a, b)
             super_delay[key] = max(super_delay.get(key, 0.0), cost)
+    # Successor adjacency once, not one full edge scan per scheduled node —
+    # this function is the DSE inner loop (called once per candidate).
+    out_delays: Dict[str, List[Tuple[str, float]]] = {}
+    for (a, b), cost in super_delay.items():
+        out_delays.setdefault(a, []).append((b, cost))
 
     order = dag.topological_order()
     assert order is not None  # condensation is a DAG
@@ -189,7 +194,6 @@ def _list_schedule(
         end = start + super_duration[label]
         cpu_free[cpu] = end
         finish[label] = end
-        for (a, b), cost in super_delay.items():
-            if a == label:
-                earliest[b] = max(earliest[b], end + cost)
+        for successor, cost in out_delays.get(label, ()):
+            earliest[successor] = max(earliest[successor], end + cost)
     return max(finish.values(), default=0.0)

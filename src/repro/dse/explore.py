@@ -21,6 +21,22 @@ CPU).
 
 Every explorer returns :class:`Candidate` objects carrying the plan and its
 estimate, best-first.
+
+Determinism contract
+--------------------
+Exploration output is a pure function of its inputs:
+
+- candidate ranking never involves wall-clock time — the ``time`` module
+  is used only to feed the observability layer (``dse.evaluate`` timings),
+  never as a sort key or tie-breaker;
+- ties on ``(metric, cpu_count)`` are broken by the *content* of the plan
+  (:func:`plan_signature`), so the published ordering is identical across
+  runs, processes, and worker counts;
+- with ``workers=N`` (or ``REPRO_WORKERS=N``) candidates are evaluated by
+  the :class:`repro.parallel.pool.EvaluationPool` process pool; results
+  merge in submission order and every value is computed by the same pure
+  function (:func:`evaluate_clusters`) the serial path uses, so the
+  returned list is byte-identical to a ``workers=1`` run.
 """
 
 from __future__ import annotations
@@ -28,7 +44,16 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.allocation import plan_from_clusters
 from ..obs import recorder as _obs
@@ -79,6 +104,40 @@ class Candidate:
         return f"{self.estimate} :: {groups}"
 
 
+def plan_signature(plan: DeploymentPlan) -> Tuple[Tuple[str, ...], ...]:
+    """A canonical, content-only key for a plan's thread grouping.
+
+    Clusters as sorted tuples, sorted — independent of CPU naming and of
+    any construction order, so it is the stable tie-breaker that keeps
+    candidate ordering deterministic when metrics are equal.
+    """
+    return tuple(
+        sorted(tuple(sorted(plan.threads_on(cpu))) for cpu in plan.cpus)
+    )
+
+
+def clusters_signature(
+    clusters: Sequence[Sequence[str]],
+) -> Tuple[Tuple[str, ...], ...]:
+    """Canonical key of a raw clustering (pre-:class:`DeploymentPlan`)."""
+    return tuple(sorted(tuple(sorted(cluster)) for cluster in clusters))
+
+
+def candidate_sort_key(
+    candidate: Candidate,
+) -> Tuple[float, int, Tuple[Tuple[str, ...], ...]]:
+    """Best-first ordering: metric, CPU count, then plan content.
+
+    Strictly a function of the candidate's contents — never of evaluation
+    timing or enumeration order — per the module determinism contract.
+    """
+    return (
+        candidate.metric,
+        candidate.cpu_count,
+        plan_signature(candidate.plan),
+    )
+
+
 def _set_partitions(items: Sequence[str]) -> Iterator[List[List[str]]]:
     """Enumerate all set partitions of ``items`` (restricted-growth)."""
     items = list(items)
@@ -102,6 +161,26 @@ def _set_partitions(items: Sequence[str]) -> Iterator[List[List[str]]]:
     yield from grow(1, [[items[0]]])
 
 
+def evaluate_clusters(
+    graph: TaskGraph,
+    clusters: Sequence[Sequence[str]],
+    platform: Optional[Platform],
+    cycles_per_unit: float,
+    objective: str = "latency",
+) -> Candidate:
+    """Evaluate one clustering into a :class:`Candidate` (pure function).
+
+    This is the single evaluation kernel shared by the serial explorers
+    and the :class:`repro.parallel.pool.EvaluationPool` workers — one code
+    path means parallel results are bit-identical to serial ones.
+    """
+    plan = plan_from_clusters(clusters)
+    estimate = estimate_allocation(
+        graph, plan, platform, cycles_per_unit=cycles_per_unit
+    )
+    return Candidate(plan=plan, estimate=estimate, objective=objective)
+
+
 def _evaluate(
     graph: TaskGraph,
     clusters: Sequence[Sequence[str]],
@@ -109,17 +188,96 @@ def _evaluate(
     cycles_per_unit: float,
     objective: str = "latency",
 ) -> Candidate:
+    """Serial evaluation wrapper feeding the observability layer.
+
+    The clock here only produces the ``dse.evaluate`` timer — it never
+    influences the candidate or its ranking.
+    """
     rec = _obs.get()
     if rec.enabled:
         start = time.perf_counter()
-    plan = plan_from_clusters(clusters)
-    estimate = estimate_allocation(
-        graph, plan, platform, cycles_per_unit=cycles_per_unit
+    candidate = evaluate_clusters(
+        graph, clusters, platform, cycles_per_unit, objective
     )
     if rec.enabled:
         rec.observe("dse.evaluate", time.perf_counter() - start)
         rec.incr("dse.candidates")
-    return Candidate(plan=plan, estimate=estimate, objective=objective)
+    return candidate
+
+
+def _evaluate_many(
+    graph: TaskGraph,
+    variants: List[List[List[str]]],
+    platform: Optional[Platform],
+    cycles_per_unit: float,
+    objective: str,
+    pool: Optional[object] = None,
+    memo: Optional[Dict[Tuple[Tuple[str, ...], ...], Candidate]] = None,
+) -> List[Candidate]:
+    """Evaluate many clusterings, preserving input order.
+
+    ``memo`` short-circuits clusterings already evaluated (keyed by
+    :func:`clusters_signature` — greedy's neighbourhoods overlap heavily
+    between iterations); ``pool`` evaluates cache misses in worker
+    processes when there are enough of them to amortize the dispatch.
+    Either way, the returned list is what serial evaluation would produce.
+    """
+    results: List[Optional[Candidate]] = [None] * len(variants)
+    pending: List[int] = []
+    first_of: Dict[Tuple[Tuple[str, ...], ...], int] = {}
+    keys: List[Optional[Tuple[Tuple[str, ...], ...]]] = [None] * len(variants)
+    for index, clusters in enumerate(variants):
+        if memo is None:
+            pending.append(index)
+            continue
+        key = clusters_signature(clusters)
+        keys[index] = key
+        cached = memo.get(key)
+        if cached is not None:
+            results[index] = cached
+        elif key in first_of:
+            pass  # duplicate within this batch; filled from the first copy
+        else:
+            first_of[key] = index
+            pending.append(index)
+
+    use_pool = pool is not None and len(pending) > getattr(pool, "workers", 1)
+    if use_pool:
+        evaluated = pool.evaluate([variants[i] for i in pending])  # type: ignore[union-attr]
+    else:
+        evaluated = [
+            _evaluate(graph, variants[i], platform, cycles_per_unit, objective)
+            for i in pending
+        ]
+    for index, candidate in zip(pending, evaluated):
+        results[index] = candidate
+        if memo is not None:
+            memo[keys[index]] = candidate  # type: ignore[index]
+    if memo is not None:
+        for index, key in enumerate(keys):
+            if results[index] is None:
+                results[index] = memo[key]  # type: ignore[index]
+    return results  # type: ignore[return-value]
+
+
+def _make_pool(
+    graph: TaskGraph,
+    workers: int,
+    platform: Optional[Platform],
+    cycles_per_unit: float,
+    objective: str,
+    batch_size: Optional[int],
+):
+    from ..parallel.pool import EvaluationPool
+
+    return EvaluationPool(
+        graph,
+        workers=workers,
+        platform=platform,
+        cycles_per_unit=cycles_per_unit,
+        objective=objective,
+        batch_size=batch_size,
+    )
 
 
 def exhaustive_explore(
@@ -130,28 +288,48 @@ def exhaustive_explore(
     cycles_per_unit: float = 50.0,
     limit_threads: int = 10,
     objective: str = "latency",
+    workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> List[Candidate]:
     """Evaluate every set partition of the threads (small systems only).
 
-    Returns all candidates sorted by (objective metric, cpu_count).
-    ``objective``: ``"latency"`` minimizes one-iteration makespan,
-    ``"throughput"`` minimizes the steady-state initiation interval (the
-    right goal for streaming pipelines).
+    Returns all candidates sorted by (objective metric, cpu_count, plan
+    content).  ``objective``: ``"latency"`` minimizes one-iteration
+    makespan, ``"throughput"`` minimizes the steady-state initiation
+    interval (the right goal for streaming pipelines).  ``workers`` > 1
+    evaluates candidates on a process pool (default: ``REPRO_WORKERS``,
+    else serial) with output guaranteed identical to the serial path.
     """
+    from ..parallel.pool import resolve_workers
+
     threads = sorted(graph.node_weights)
     if len(threads) > limit_threads:
         raise ExplorationError(
             f"exhaustive exploration over {len(threads)} threads would "
             f"enumerate too many partitions; use greedy_explore"
         )
-    candidates: List[Candidate] = []
-    for clusters in _set_partitions(threads):
-        if max_cpus is not None and len(clusters) > max_cpus:
-            continue
-        candidates.append(
+    partitions = [
+        clusters
+        for clusters in _set_partitions(threads)
+        if max_cpus is None or len(clusters) <= max_cpus
+    ]
+    effective_workers = resolve_workers(workers)
+    if effective_workers > 1 and len(partitions) > effective_workers:
+        with _make_pool(
+            graph,
+            effective_workers,
+            platform,
+            cycles_per_unit,
+            objective,
+            batch_size,
+        ) as pool:
+            candidates = pool.evaluate(partitions)
+    else:
+        candidates = [
             _evaluate(graph, clusters, platform, cycles_per_unit, objective)
-        )
-    candidates.sort(key=lambda c: (c.metric, c.cpu_count))
+            for clusters in partitions
+        ]
+    candidates.sort(key=candidate_sort_key)
     return candidates
 
 
@@ -163,14 +341,21 @@ def greedy_explore(
     cycles_per_unit: float = 50.0,
     max_iterations: int = 200,
     objective: str = "latency",
+    workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> List[Candidate]:
     """Hill-climb from the linear-clustering seed.
 
     Moves: relocate one thread to another (or a fresh) cluster; merge two
     clusters.  Accepts a move when it strictly improves (makespan,
     cpu_count) lexicographically.  Returns the visited local optima plus
-    the seed, best-first.
+    the seed, best-first.  Re-visited clusterings are served from an
+    evaluation memo (neighbourhoods overlap between iterations), and with
+    ``workers`` > 1 each iteration's neighbourhood is evaluated on a
+    process pool — neither changes any result.
     """
+    from ..parallel.pool import resolve_workers
+
     seed_clusters = [
         list(c) for c in linear_clustering(graph).clusters
     ]
@@ -180,33 +365,57 @@ def greedy_explore(
             seed_clusters.sort(key=len)
             seed_clusters[1].extend(seed_clusters[0])
             seed_clusters.pop(0)
+    memo: Dict[Tuple[Tuple[str, ...], ...], Candidate] = {}
     visited: List[Candidate] = []
     current = _evaluate(
         graph, seed_clusters, platform, cycles_per_unit, objective
     )
+    memo[clusters_signature(seed_clusters)] = current
     visited.append(current)
     clusters = [list(c) for c in seed_clusters]
 
-    for _ in range(max_iterations):
-        best_move: Optional[Tuple[List[List[str]], Candidate]] = None
-        for variant in _neighbourhood(clusters, max_cpus):
-            candidate = _evaluate(
-                graph, variant, platform, cycles_per_unit, objective
+    effective_workers = resolve_workers(workers)
+    pool = None
+    try:
+        if effective_workers > 1:
+            pool = _make_pool(
+                graph,
+                effective_workers,
+                platform,
+                cycles_per_unit,
+                objective,
+                batch_size,
             )
-            key = (candidate.metric, candidate.cpu_count)
+        for _ in range(max_iterations):
+            variants = list(_neighbourhood(clusters, max_cpus))
+            evaluated = _evaluate_many(
+                graph,
+                variants,
+                platform,
+                cycles_per_unit,
+                objective,
+                pool=pool,
+                memo=memo,
+            )
+            best_move: Optional[Tuple[List[List[str]], Candidate]] = None
             current_key = (current.metric, current.cpu_count)
-            if key < current_key and (
-                best_move is None
-                or key < (best_move[1].metric, best_move[1].cpu_count)
-            ):
-                best_move = (variant, candidate)
-        if best_move is None:
-            break
-        clusters = [list(c) for c in best_move[0]]
-        current = best_move[1]
-        visited.append(current)
+            for variant, candidate in zip(variants, evaluated):
+                key = (candidate.metric, candidate.cpu_count)
+                if key < current_key and (
+                    best_move is None
+                    or key < (best_move[1].metric, best_move[1].cpu_count)
+                ):
+                    best_move = (variant, candidate)
+            if best_move is None:
+                break
+            clusters = [list(c) for c in best_move[0]]
+            current = best_move[1]
+            visited.append(current)
+    finally:
+        if pool is not None:
+            pool.close()
 
-    visited.sort(key=lambda c: (c.metric, c.cpu_count))
+    visited.sort(key=candidate_sort_key)
     return visited
 
 
@@ -244,13 +453,19 @@ def pareto_front(
 ) -> List[Candidate]:
     """The (objective metric, cpu_count) Pareto-optimal subset.
 
-    Among candidates with identical keys one representative is kept; the
-    front is sorted by CPU count.
+    Among candidates with identical keys the representative with the
+    smallest plan signature is kept — a function of candidate content, not
+    of input order — and the front is sorted by CPU count with plan
+    content breaking exact ties, so the front is deterministic end to end.
     """
     unique: Dict[Tuple[float, int], Candidate] = {}
     for candidate in candidates:
         key = (candidate.estimate.metric(objective), candidate.cpu_count)
-        unique.setdefault(key, candidate)
+        existing = unique.get(key)
+        if existing is None or plan_signature(candidate.plan) < plan_signature(
+            existing.plan
+        ):
+            unique[key] = candidate
     front: List[Candidate] = []
     for candidate in unique.values():
         if not any(
@@ -258,7 +473,13 @@ def pareto_front(
             for other in unique.values()
         ):
             front.append(candidate)
-    front.sort(key=lambda c: (c.cpu_count, c.estimate.metric(objective)))
+    front.sort(
+        key=lambda c: (
+            c.cpu_count,
+            c.estimate.metric(objective),
+            plan_signature(c.plan),
+        )
+    )
     return front
 
 
@@ -270,6 +491,7 @@ def explore(
     platform: Optional[Platform] = None,
     cycles_per_unit: float = 50.0,
     objective: str = "latency",
+    workers: Optional[int] = None,
 ) -> List[Candidate]:
     """Front door: exhaustive when small, greedy otherwise."""
     rec = _obs.get()
@@ -289,6 +511,7 @@ def explore(
                 platform=platform,
                 cycles_per_unit=cycles_per_unit,
                 objective=objective,
+                workers=workers,
             )
         else:
             candidates = greedy_explore(
@@ -297,6 +520,7 @@ def explore(
                 platform=platform,
                 cycles_per_unit=cycles_per_unit,
                 objective=objective,
+                workers=workers,
             )
         span.set(candidates=len(candidates))
     return candidates

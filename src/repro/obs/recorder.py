@@ -148,6 +148,18 @@ class NullRecorder:
         """Return the shared no-op context manager."""
         return _NULL_SPAN
 
+    def record_span(
+        self,
+        name: str,
+        start_wall: float,
+        end_wall: float,
+        *,
+        category: str = "",
+        cpu_seconds: float = 0.0,
+        **attrs: Any,
+    ) -> None:
+        """No-op."""
+
 
 NULL = NullRecorder()
 
@@ -191,6 +203,41 @@ class Recorder:
             if self._stack:
                 self._stack.pop()
         self.metrics.observe(span.name, span.duration)
+
+    def record_span(
+        self,
+        name: str,
+        start_wall: float,
+        end_wall: float,
+        *,
+        category: str = "",
+        cpu_seconds: float = 0.0,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-finished span with externally measured times.
+
+        This is how work performed outside the recorder's process — e.g. a
+        worker of the :mod:`repro.parallel` evaluation pool — lands in the
+        trace: the worker measures its own wall window and the parent
+        retroactively materializes a closed span from it.  The span nests
+        under the currently open span (if any) and feeds the metrics timer
+        exactly like a context-manager span.
+        """
+        span = Span(
+            id=self._next_id,
+            name=name,
+            category=category,
+            parent_id=self._stack[-1] if self._stack else None,
+            start_wall=start_wall,
+            start_cpu=0.0,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        span.end_wall = end_wall
+        span.end_cpu = cpu_seconds
+        self.spans.append(span)
+        self.metrics.observe(name, span.duration)
+        return span
 
     # -- metrics passthrough ----------------------------------------------
     def incr(self, name: str, amount: float = 1.0) -> None:

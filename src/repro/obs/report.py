@@ -30,6 +30,11 @@ class ObservabilityReport:
     spans: List[Span] = field(default_factory=list)
     #: Metrics registry snapshot (empty when obs is disabled).
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Parallel-execution substrate data (see :mod:`repro.parallel`): the
+    #: synthesis-cache verdict for this run (``status`` is ``"hit"``,
+    #: ``"miss"`` or ``"bypass"``) and, when the run drove the evaluation
+    #: pool, worker/batch counts.  Empty when neither was involved.
+    parallel: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def recorded(self) -> bool:
@@ -46,6 +51,7 @@ class ObservabilityReport:
             "census": self.census,
             "spans": [s.to_dict() for s in self.spans],
             "metrics": self.metrics,
+            "parallel": self.parallel,
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -1,0 +1,58 @@
+"""Parallel execution substrate: process-pool DSE + content-addressed cache.
+
+Two orthogonal accelerators for the synthesis flow and the design-space
+explorer, built so that turning them on **never changes results**:
+
+- :mod:`repro.parallel.pool` — :class:`EvaluationPool` evaluates DSE
+  allocation candidates in worker processes; results merge in submission
+  order and are byte-identical to a serial run (the explorers'
+  ``workers=N`` parameter and the ``REPRO_WORKERS`` environment variable
+  route through it);
+- :mod:`repro.parallel.cache` — :class:`ContentCache`, an in-memory LRU
+  of pickled results with an optional on-disk store, keyed by the
+  structural fingerprints of :mod:`repro.parallel.fingerprint`;
+  :func:`repro.core.flow.synthesize` consults the process-wide synthesis
+  cache configured here (opt-in: :func:`configure_synthesis_cache`,
+  ``REPRO_CACHE=1`` / ``REPRO_CACHE_DIR``, or the CLI ``--cache-dir``).
+
+See ``docs/parallel.md`` for the worker model, cache-key semantics, and
+invalidation caveats.
+
+The evaluation pool lives in :mod:`repro.parallel.pool` and is imported
+lazily by the explorers (it pulls in :mod:`repro.dse`); import it
+directly::
+
+    from repro.parallel.pool import EvaluationPool, resolve_workers
+"""
+
+from .cache import (
+    DEFAULT_CAPACITY,
+    ContentCache,
+    configure as configure_synthesis_cache,
+    synthesis_cache,
+)
+from .fingerprint import (
+    SCHEMA_VERSION,
+    digest,
+    model_fingerprint,
+    options_fingerprint,
+    plan_fingerprint,
+    platform_fingerprint,
+    synthesis_cache_key,
+    taskgraph_fingerprint,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "SCHEMA_VERSION",
+    "ContentCache",
+    "configure_synthesis_cache",
+    "digest",
+    "model_fingerprint",
+    "options_fingerprint",
+    "plan_fingerprint",
+    "platform_fingerprint",
+    "synthesis_cache",
+    "synthesis_cache_key",
+    "taskgraph_fingerprint",
+]

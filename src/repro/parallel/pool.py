@@ -1,0 +1,208 @@
+"""Process-pool evaluation of DSE allocation candidates.
+
+The explorers of :mod:`repro.dse.explore` are embarrassingly parallel:
+every candidate is an independent ``(task graph, clustering)`` evaluation.
+:class:`EvaluationPool` farms batches of clusterings to worker processes
+and merges the results **deterministically**:
+
+- the task graph, platform, and evaluation parameters are shipped once,
+  via the pool initializer (everything is plain picklable data);
+- batches are dispatched with ``Pool.map``, which returns results in
+  submission order regardless of which worker finished first;
+- workers run the *same* pure evaluation function as the serial path
+  (:func:`repro.dse.explore.evaluate_clusters`), so every float is
+  computed by identical code on identical inputs — the merged candidate
+  list is byte-identical to a serial run, and the explorer's final
+  content-keyed sort makes the published ordering independent of the
+  execution substrate altogether.
+
+Workers report their wall window and batch size back to the parent, which
+materializes one ``dse.worker`` span per batch on the current recorder —
+parallel evaluation shows up in ``--trace-out`` timelines and the
+``dse.parallel.*`` counters without any cross-process tracing machinery.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.taskgraph import TaskGraph
+from ..mpsoc.platform import Platform
+from ..obs import recorder as _obs
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Target number of batches dispatched per worker; >1 keeps the pool busy
+#: when batch runtimes vary, without drowning in per-task IPC overhead.
+BATCHES_PER_WORKER = 4
+
+Clusters = Sequence[Sequence[str]]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: explicit argument, else ``REPRO_WORKERS``.
+
+    Returns at least 1; 1 means "stay serial".  A malformed environment
+    value is treated as unset rather than crashing an otherwise valid run.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "")
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            workers = 1
+    return max(1, int(workers))
+
+
+def batch_size_for(tasks: int, workers: int) -> int:
+    """Batch size giving each worker ~:data:`BATCHES_PER_WORKER` batches."""
+    return max(1, math.ceil(tasks / (workers * BATCHES_PER_WORKER)))
+
+
+def _chunk(items: List[Any], size: int) -> List[List[Any]]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-worker-process evaluation context, set once by the initializer.
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(
+    node_weights: Dict[str, float],
+    edges: Dict[Tuple[str, str], float],
+    platform: Optional[Platform],
+    cycles_per_unit: float,
+    objective: str,
+) -> None:
+    graph = TaskGraph(node_weights=dict(node_weights), edges=dict(edges))
+    _WORKER.update(
+        graph=graph,
+        platform=platform,
+        cycles_per_unit=cycles_per_unit,
+        objective=objective,
+    )
+
+
+def _evaluate_batch(batch: List[Clusters]) -> Tuple[List[Any], Tuple[int, float, float]]:
+    """Evaluate one batch; returns (candidates, (pid, start, end))."""
+    from ..dse.explore import evaluate_clusters
+
+    start = time.time()
+    candidates = [
+        evaluate_clusters(
+            _WORKER["graph"],
+            clusters,
+            _WORKER["platform"],
+            _WORKER["cycles_per_unit"],
+            _WORKER["objective"],
+        )
+        for clusters in batch
+    ]
+    return candidates, (os.getpid(), start, time.time())
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, Linux) and fall back to ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class EvaluationPool:
+    """A pool of worker processes evaluating allocation clusterings.
+
+    Use as a context manager so workers are always reaped::
+
+        with EvaluationPool(graph, workers=4, objective="latency") as pool:
+            candidates = pool.evaluate(partitions)
+
+    The pool is reusable across :meth:`evaluate` calls (the greedy
+    explorer calls it once per hill-climbing iteration).
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        *,
+        workers: int,
+        platform: Optional[Platform] = None,
+        cycles_per_unit: float = 50.0,
+        objective: str = "latency",
+        batch_size: Optional[int] = None,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("EvaluationPool needs at least 2 workers")
+        self.workers = workers
+        self.batch_size = batch_size
+        self._pool = _pool_context().Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(
+                graph.node_weights,
+                graph.edges,
+                platform,
+                cycles_per_unit,
+                objective,
+            ),
+        )
+
+    def evaluate(self, clusterings: Sequence[Clusters]) -> List[Any]:
+        """Evaluate every clustering; results in submission order.
+
+        Per-batch worker windows are recorded as ``dse.worker`` spans and
+        per-candidate cost is folded into the ``dse.evaluate`` timer (the
+        batch mean — workers do not clock individual candidates), so the
+        serial and parallel paths expose the same metric families.
+        """
+        items = list(clusterings)
+        if not items:
+            return []
+        size = self.batch_size or batch_size_for(len(items), self.workers)
+        batches = _chunk(items, size)
+        outcomes = self._pool.map(_evaluate_batch, batches)
+        rec = _obs.get()
+        candidates: List[Any] = []
+        for index, (evaluated, (pid, start, end)) in enumerate(outcomes):
+            if rec.enabled and evaluated:
+                rec.record_span(
+                    "dse.worker",
+                    start,
+                    end,
+                    category="dse",
+                    worker_pid=pid,
+                    batch=index,
+                    candidates=len(evaluated),
+                )
+                mean = (end - start) / len(evaluated)
+                for _ in evaluated:
+                    rec.observe("dse.evaluate", mean)
+                rec.incr("dse.candidates", len(evaluated))
+                rec.incr("dse.parallel.batches")
+                rec.incr("dse.parallel.tasks", len(evaluated))
+            candidates.extend(evaluated)
+        if rec.enabled:
+            rec.gauge("dse.parallel.workers", self.workers)
+        return candidates
+
+    def close(self) -> None:
+        """Terminate the workers (idempotent)."""
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "EvaluationPool":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False

@@ -121,6 +121,78 @@ class TestSimulatorMetrics:
         assert obs.NULL.spans == []
 
 
+class TestParallelObservability:
+    """Cache hit/miss counters and worker spans reach report + trace."""
+
+    @pytest.fixture()
+    def scoped_cache(self):
+        from repro.parallel import cache
+
+        state = cache.snapshot()
+        cache.configure(enabled=True)
+        yield cache
+        cache.restore(state)
+
+    def _graph(self):
+        from repro.core.taskgraph import TaskGraph
+
+        graph = TaskGraph()
+        for i, weight in enumerate([4.0, 2.0, 3.0, 1.0]):
+            graph.add_node(f"T{i}", weight)
+        graph.add_edge("T0", "T1", 64.0)
+        graph.add_edge("T1", "T2", 32.0)
+        graph.add_edge("T2", "T3", 96.0)
+        return graph
+
+    def test_worker_spans_and_counters_in_recorder(self):
+        from repro.dse.explore import exhaustive_explore
+
+        # Bell(4) = 15 partitions > 2 workers, so the pool engages.
+        with obs.use(obs.Recorder()) as rec:
+            candidates = exhaustive_explore(self._graph(), workers=2)
+        assert candidates
+        worker_spans = [s for s in rec.spans if s.name == "dse.worker"]
+        assert worker_spans
+        assert all(s.end_wall is not None for s in worker_spans)
+        assert all("worker_pid" in s.attrs for s in worker_spans)
+        counters = rec.metrics.to_dict()["counters"]
+        assert counters["dse.parallel.tasks"] == 15
+        assert counters["dse.parallel.batches"] == len(worker_spans)
+        assert counters["dse.candidates"] == 15
+        assert rec.metrics.gauge_value("dse.parallel.workers") == 2
+        # The serial metric family is still fed under parallelism.
+        assert rec.metrics.to_dict()["timers"]["dse.evaluate"]["count"] == 15
+
+    def test_worker_spans_exported_to_chrome_trace(self):
+        from repro.dse.explore import exhaustive_explore
+
+        with obs.use(obs.Recorder()) as rec:
+            exhaustive_explore(self._graph(), workers=2)
+        trace = obs.to_chrome_trace(rec.spans)
+        validate_trace(trace)
+        worker_events = [
+            e
+            for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "dse.worker"
+        ]
+        assert worker_events
+        assert all(e["dur"] >= 1 for e in worker_events)
+
+    def test_cache_counters_in_report_and_metrics(self, scoped_cache):
+        with obs.use(obs.Recorder()) as rec:
+            cold = synthesize(crane.build_model())
+            warm = synthesize(crane.build_model())
+        assert cold.obs.parallel["cache"]["status"] == "miss"
+        assert warm.obs.parallel["cache"]["status"] == "hit"
+        counters = rec.metrics.to_dict()["counters"]
+        assert counters["cache.synthesize.miss"] == 1
+        assert counters["cache.synthesize.store"] == 1
+        assert counters["cache.synthesize.hit"] == 1
+        assert rec.metrics.gauge_value("cache.synthesize.entries") == 1
+        # The parallel section survives dict export (e.g. --report-out).
+        assert cold.obs.to_dict()["parallel"]["cache"]["status"] == "miss"
+
+
 class TestCliObservabilityFlags:
     @pytest.fixture()
     def crane_xmi(self, tmp_path):
@@ -198,8 +270,19 @@ class TestCliObservabilityFlags:
         assert "Pareto front" in out
 
     def test_verbose_flag_logs_stages(self, crane_xmi, tmp_path, capsys):
+        # --no-cache: a cache hit (e.g. REPRO_CACHE=1 in the environment
+        # warmed by an earlier test) would skip the stage logs under test.
         assert (
-            main(["-v", "synthesize", crane_xmi, "-o", str(tmp_path / "c.mdl")])
+            main(
+                [
+                    "-v",
+                    "--no-cache",
+                    "synthesize",
+                    crane_xmi,
+                    "-o",
+                    str(tmp_path / "c.mdl"),
+                ]
+            )
             == 0
         )
         err = capsys.readouterr().err

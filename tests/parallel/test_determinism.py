@@ -1,0 +1,197 @@
+"""Determinism properties of the content-addressed synthesis cache.
+
+The cache must be *observationally invisible*: for the same model and flow
+options, a warm-cache run, a cold-cache run and a cache-off run all hand
+back the same ``mdl_text`` and the same mapping report.  Conversely the
+cache key must be *sensitive*: changing any flow option or any model
+element changes the key, so stale artifacts can never be served.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import didactic
+from repro.core.flow import synthesize
+from repro.parallel import cache
+from repro.parallel.fingerprint import (
+    SCHEMA_VERSION,
+    options_fingerprint,
+    plan_fingerprint,
+    synthesis_cache_key,
+)
+from repro.uml import ModelBuilder
+
+#: The flow options that participate in the cache key, with a non-default
+#: value for each (``synthesize``'s keyword defaults flipped).
+OPTION_VARIANTS = {
+    "auto_allocate": True,
+    "infer_channels": False,
+    "insert_barriers": False,
+    "layout": False,
+    "validate": False,
+    "strict": True,
+    "name": "renamed",
+}
+
+
+def small_model(threads=2, name="prop"):
+    b = ModelBuilder(name)
+    names = [f"T{i}" for i in range(1, threads + 1)]
+    for t in names:
+        b.thread(t)
+    b.io_device("Dev")
+    b.processor("CPU1", threads=names)
+    sd = b.interaction("main")
+    sd.call(names[0], "Dev", "read", result="v")
+    for prev, cur in zip(names, names[1:]):
+        sd.call(prev, cur, "push", args=["v"])
+    sd.call(names[-1], "Dev", "write", args=["v"])
+    return b.build()
+
+
+class TestCacheTransparency:
+    def test_cold_then_warm_identical(self):
+        cache.configure(enabled=True)
+        model = didactic.build_model()
+        cold = synthesize(model)
+        warm = synthesize(didactic.build_model())
+        assert cold.obs.parallel["cache"]["status"] == "miss"
+        assert warm.obs.parallel["cache"]["status"] == "hit"
+        assert warm.mdl_text == cold.mdl_text
+        assert warm.mapping_report() == cold.mapping_report()
+        assert warm.intermediate_xml == cold.intermediate_xml
+
+    def test_cache_on_vs_off_identical(self):
+        model = didactic.build_model()
+        off = synthesize(model, use_cache=False)
+        assert "cache" not in off.obs.parallel
+        cache.configure(enabled=True)
+        on = synthesize(didactic.build_model())
+        assert on.mdl_text == off.mdl_text
+        assert on.mapping_report() == off.mapping_report()
+
+    def test_hit_returns_fresh_copy(self):
+        cache.configure(enabled=True)
+        first = synthesize(didactic.build_model())
+        second = synthesize(didactic.build_model())
+        assert second is not first
+        assert second.caam is not first.caam
+        # Mutating one hit must not poison the next.
+        second.caam.name = "mutated"
+        third = synthesize(didactic.build_model())
+        assert third.caam.name == first.caam.name
+
+    def test_use_cache_true_overrides_disabled_config(self):
+        cache.configure(enabled=False)
+        synthesize(didactic.build_model(), use_cache=True)
+        warm = synthesize(didactic.build_model(), use_cache=True)
+        assert warm.obs.parallel["cache"]["status"] == "hit"
+
+    def test_behaviors_bypass_the_cache(self):
+        cache.configure(enabled=True)
+        result = synthesize(
+            didactic.build_model(), behaviors=didactic.behaviors()
+        )
+        assert result.obs.parallel["cache"] == {
+            "status": "bypass",
+            "reason": "behaviors",
+        }
+
+    @settings(max_examples=8, deadline=None)
+    @given(threads=st.integers(min_value=1, max_value=4))
+    def test_random_models_cold_vs_warm(self, threads):
+        state = cache.snapshot()
+        try:
+            cache.configure(enabled=True)
+            cold = synthesize(small_model(threads))
+            warm = synthesize(small_model(threads))
+            assert warm.obs.parallel["cache"]["status"] == "hit"
+            assert warm.mdl_text == cold.mdl_text
+            assert warm.mapping_report() == cold.mapping_report()
+        finally:
+            cache.restore(state)
+
+
+class TestKeySensitivity:
+    def test_key_is_stable_across_rebuilds(self):
+        key_a = synthesis_cache_key(didactic.build_model(), None, {})
+        key_b = synthesis_cache_key(didactic.build_model(), None, {})
+        assert key_a == key_b
+
+    @pytest.mark.parametrize("option", sorted(OPTION_VARIANTS))
+    def test_key_changes_with_each_flow_option(self, option):
+        model = didactic.build_model()
+        base_options = {
+            "auto_allocate": False,
+            "infer_channels": True,
+            "insert_barriers": True,
+            "layout": True,
+            "validate": True,
+            "strict": False,
+            "name": None,
+        }
+        changed = dict(base_options, **{option: OPTION_VARIANTS[option]})
+        assert synthesis_cache_key(
+            model, None, base_options
+        ) != synthesis_cache_key(model, None, changed)
+
+    def test_key_changes_with_model_elements(self):
+        base = synthesis_cache_key(small_model(2), None, {})
+        assert synthesis_cache_key(small_model(3), None, {}) != base
+        assert (
+            synthesis_cache_key(small_model(2, name="other"), None, {}) != base
+        )
+
+    def test_key_changes_with_explicit_plan(self):
+        model = didactic.build_model()
+        from repro.uml import DeploymentPlan
+
+        one_cpu = DeploymentPlan.from_mapping(
+            {"T1": "CPU1", "T2": "CPU1", "T3": "CPU1"}
+        )
+        two_cpu = DeploymentPlan.from_mapping(
+            {"T1": "CPU1", "T2": "CPU1", "T3": "CPU2"}
+        )
+        keys = {
+            synthesis_cache_key(model, None, {}),
+            synthesis_cache_key(model, one_cpu, {}),
+            synthesis_cache_key(model, two_cpu, {}),
+        }
+        assert len(keys) == 3
+
+    def test_plan_fingerprint_distinguishes_none(self):
+        from repro.uml import DeploymentPlan
+
+        plan = DeploymentPlan.from_mapping({"T1": "CPU1"})
+        assert plan_fingerprint(None) != plan_fingerprint(plan)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.dictionaries(
+            st.sampled_from(sorted(OPTION_VARIANTS)),
+            st.one_of(st.booleans(), st.text(max_size=4)),
+            max_size=4,
+        ),
+        b=st.dictionaries(
+            st.sampled_from(sorted(OPTION_VARIANTS)),
+            st.one_of(st.booleans(), st.text(max_size=4)),
+            max_size=4,
+        ),
+    )
+    def test_options_fingerprint_injective_on_dicts(self, a, b):
+        if a == b:
+            assert options_fingerprint(a) == options_fingerprint(b)
+        else:
+            assert options_fingerprint(a) != options_fingerprint(b)
+
+    def test_schema_version_bump_invalidates_keys(self, monkeypatch):
+        # Bumping SCHEMA_VERSION must invalidate every stored key.
+        from repro.parallel import fingerprint
+
+        model = small_model(1)
+        before = synthesis_cache_key(model, None, {})
+        monkeypatch.setattr(
+            fingerprint, "SCHEMA_VERSION", SCHEMA_VERSION + "-test"
+        )
+        assert synthesis_cache_key(model, None, {}) != before
