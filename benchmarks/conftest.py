@@ -148,6 +148,63 @@ def _measure_parallel() -> dict:
     }
 
 
+#: Admission-queue depths the server benchmark sweeps.
+SERVER_QUEUE_DEPTHS = (1, 8, 64)
+
+
+def _measure_server():
+    """Serving overhead: jobs/sec + latency percentiles per queue depth.
+
+    The synthesis cache is primed first so each job's cost is dominated by
+    the server machinery (admission, scheduling, completion bookkeeping),
+    not by synthesis itself.
+    """
+    from repro.core import synthesize
+    from repro.apps import didactic
+    from repro.parallel import cache
+    from repro.server import JobManager, JobSpec
+
+    state = cache.snapshot()
+    depths = {}
+    try:
+        cache.configure(enabled=True)
+        synthesize(didactic.build_model())  # warm the content cache
+        for depth in SERVER_QUEUE_DEPTHS:
+            manager = JobManager(workers=2, queue_depth=depth).start()
+            try:
+                start = time.perf_counter()
+                jobs = [
+                    manager.submit(JobSpec(kind="synthesize", demo="didactic"))
+                    for _ in range(depth)
+                ]
+                while not all(job.state.terminal for job in jobs):
+                    time.sleep(0.002)
+                elapsed = time.perf_counter() - start
+                stat = manager.metrics.histogram_stat("server.job.latency")
+                depths[str(depth)] = {
+                    "jobs": depth,
+                    "done": sum(
+                        1 for job in jobs if job.state.value == "done"
+                    ),
+                    "jobs_per_sec": depth / elapsed if elapsed else None,
+                    "p50_latency_s": stat.percentile(0.50) if stat else None,
+                    "p95_latency_s": stat.percentile(0.95) if stat else None,
+                }
+            finally:
+                manager.shutdown()
+    finally:
+        cache.restore(state)
+    return {"workers": 2, "queue_depths": depths}
+
+
+@pytest.fixture(scope="session")
+def server_bench(pytestconfig):
+    """Run the server sweep once; sessionfinish reuses the same numbers."""
+    stats = _measure_server()
+    pytestconfig._server_bench = stats
+    return stats
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_obs.json (repo root) from a fresh metrics registry."""
     recorder = obs.Recorder()
@@ -155,6 +212,9 @@ def pytest_sessionfinish(session, exitstatus):
         _collect_obs_metrics(recorder)
     metrics = recorder.metrics
     parallel_stats = _measure_parallel()
+    server_stats = getattr(
+        session.config, "_server_bench", None
+    ) or _measure_server()
 
     def total(name):
         stat = metrics.timer_stat(name)
@@ -170,6 +230,7 @@ def pytest_sessionfinish(session, exitstatus):
         "synthesize_crane_s": total("bench.synthesize.crane"),
         "synthesize_mjpeg_s": total("bench.synthesize.mjpeg"),
         "parallel": parallel_stats,
+        "server": server_stats,
         "metrics": metrics.to_dict(),
     }
     path = os.path.join(str(session.config.rootpath), "BENCH_obs.json")

@@ -1,0 +1,44 @@
+"""Serving-layer overhead: throughput and latency vs admission-queue depth.
+
+The paper's tool flow is interactive — a designer submits one model and
+waits — but the serving layer must also hold up under batches, so this
+benchmark sweeps the admission-queue depth (1, 8, 64) with two workers
+and a warm synthesis cache and records jobs/sec plus p50/p95 per-job
+latency (submission to terminal state, the ``server.job.latency``
+histogram).  The same numbers land in the ``server`` section of
+``BENCH_obs.json`` via the session-scoped fixture.
+"""
+
+from conftest import SERVER_QUEUE_DEPTHS
+
+
+class TestServerThroughput:
+    def test_sweep_queue_depths(self, server_bench, paper_report):
+        depths = server_bench["queue_depths"]
+        assert set(depths) == {str(d) for d in SERVER_QUEUE_DEPTHS}
+
+        rows = []
+        for depth in SERVER_QUEUE_DEPTHS:
+            stats = depths[str(depth)]
+            # Every admitted job must finish successfully.
+            assert stats["done"] == stats["jobs"] == depth
+            assert stats["jobs_per_sec"] > 0
+            assert 0 <= stats["p50_latency_s"] <= stats["p95_latency_s"]
+            rows.append(
+                (
+                    f"depth {depth}",
+                    "n/a (not in paper)",
+                    f"{stats['jobs_per_sec']:.0f} jobs/s, "
+                    f"p50 {stats['p50_latency_s'] * 1e3:.1f} ms, "
+                    f"p95 {stats['p95_latency_s'] * 1e3:.1f} ms",
+                )
+            )
+        paper_report("server throughput vs queue depth", rows)
+
+    def test_latency_grows_with_backlog(self, server_bench):
+        # A deeper backlog means later jobs wait longer behind the same
+        # two workers: p95 at depth 64 must dominate p95 at depth 1.
+        depths = server_bench["queue_depths"]
+        assert (
+            depths["64"]["p95_latency_s"] >= depths["1"]["p95_latency_s"]
+        )

@@ -13,6 +13,13 @@ tool exports) and drives every stage of the flow:
     repro codegen crane.xmi --backend java -o gen/
     repro explore crane.xmi --max-cpus 4 --workers 4
     repro simulate crane.mdl --steps 10 --input In1=1,2,3
+    repro serve --port 8321 --workers 2 --queue-depth 16
+
+``repro serve`` runs the batch synthesis service of :mod:`repro.server`
+(JSON over HTTP: ``POST /jobs``, ``GET /jobs/<id>``, ``GET
+/jobs/<id>/artifact``, ``GET /healthz``, ``GET /metrics``) until SIGTERM
+or Ctrl-C, then drains running jobs and journals queued specs — see
+``docs/server.md``.
 
 Parallelism and caching (see ``docs/parallel.md``):
 
@@ -51,7 +58,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import obs
 
@@ -242,18 +249,33 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_stimulus(pairs: Sequence[str]) -> Dict[str, List[float]]:
+def _stimulus_pair(text: str) -> Tuple[str, List[float]]:
+    """argparse type for ``--input NAME=v1,v2,...``.
+
+    Raising ``ArgumentTypeError`` here makes malformed stimulus a
+    one-line argparse error (``repro simulate: error: argument --input:
+    ...``) instead of a traceback.
+    """
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"bad stimulus {text!r}; expected NAME=v1,v2,..."
+        )
+    name, _, values = text.partition("=")
+    try:
+        samples = [float(v) for v in values.split(",") if v]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad sample values in {text!r}; expected NAME=v1,v2,..."
+        ) from None
+    return name, samples
+
+
+def _parse_stimulus(
+    pairs: Sequence[Tuple[str, List[float]]]
+) -> Dict[str, List[float]]:
     stimulus: Dict[str, List[float]] = {}
-    for pair in pairs:
-        if "=" not in pair:
-            raise CliError(
-                f"bad --input {pair!r}; expected NAME=v1,v2,..."
-            )
-        name, _, values = pair.partition("=")
-        try:
-            stimulus[name] = [float(v) for v in values.split(",") if v]
-        except ValueError:
-            raise CliError(f"bad sample values in --input {pair!r}") from None
+    for name, samples in pairs:
+        stimulus[name] = samples
     return stimulus
 
 
@@ -291,6 +313,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"{path}: {', '.join(f'{s:g}' for s in samples)}")
     if not trace.outputs and not trace.signals:
         print("(model has no root-level output ports; use --monitor)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the batch synthesis service until SIGTERM/Ctrl-C, then drain."""
+    import signal
+    import threading
+
+    from .server import JobManager, RetryPolicy, make_server, serve_until
+
+    manager = JobManager(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        job_timeout_s=args.job_timeout,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        dse_workers=args.dse_workers,
+        journal_path=args.journal,
+    ).start()
+    try:
+        server = make_server(manager, host=args.host, port=args.port)
+    except OSError as exc:
+        manager.shutdown(drain=False)
+        raise CliError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    host, port = server.server_address[:2]
+    print(f"repro server listening on http://{host}:{port}", flush=True)
+    print(
+        f"  workers={args.workers} queue_depth={args.queue_depth} "
+        f"job_timeout={args.job_timeout:g}s max_retries={args.max_retries}",
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _on_sigterm(signum: int, frame: object) -> None:
+        stop.set()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use); rely on Ctrl-C/stop
+    interrupted = False
+    try:
+        serve_until(manager, server, stop)
+    except KeyboardInterrupt:
+        interrupted = True  # serve_until already closed the listener
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+        stats = manager.shutdown(drain=True, timeout=args.drain_timeout)
+        print(
+            f"drained: {stats['drained']} running job(s) finished, "
+            f"{stats['journaled']} queued spec(s) journaled",
+            flush=True,
+        )
+    if interrupted:
+        raise KeyboardInterrupt  # main() maps this to exit status 130
     return 0
 
 
@@ -435,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--input",
         action="append",
         default=[],
+        type=_stimulus_pair,
         metavar="NAME=v1,v2,...",
         help="stimulus for a root Inport (repeatable)",
     )
@@ -447,6 +527,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--csv", help="write the traces to a CSV file")
     p.set_defaults(handler=_cmd_simulate)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the batch synthesis HTTP service (see docs/server.md)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p.add_argument(
+        "--port", type=int, default=8321, help="TCP port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="job worker threads"
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="admission queue bound; a full queue rejects with HTTP 429",
+    )
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-job wall-clock budget before the job is timed out",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries for transiently failed jobs (exponential backoff)",
+    )
+    p.add_argument(
+        "--dse-workers",
+        type=int,
+        default=1,
+        help=(
+            "size of the shared DSE evaluation pool primed at startup "
+            "(1 = evaluate exploration jobs serially)"
+        ),
+    )
+    p.add_argument(
+        "--journal",
+        metavar="FILE.json",
+        help=(
+            "journal file: queued-but-unstarted specs are persisted here "
+            "on shutdown and replayed on the next start"
+        ),
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long shutdown waits for running jobs to finish",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="same as the global --cache-dir, accepted after the subcommand",
+    )
+    p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser(
         "partition", help="split a thread into pipeline threads (future work)"
@@ -494,7 +638,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from .parallel import cache as parallel_cache
 
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse already printed its one-line error (or help text);
+        # return instead of exiting so embedding callers keep control.
+        return int(exc.code or 0)
     obs.configure_logging(args.verbose)
     # Cache configuration is scoped to this invocation (snapshot/restore),
     # so embedding callers — and the test suite — never inherit it.
@@ -512,6 +661,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             except CliError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 status = 2
+            except KeyboardInterrupt:
+                # Ctrl-C is a clean stop, not a crash: no traceback, and
+                # the conventional 128+SIGINT exit status.
+                print("interrupted", file=sys.stderr)
+                status = 130
             except Exception as exc:  # surface library errors cleanly
                 print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
                 status = 1

@@ -33,7 +33,15 @@ from .clustering import (
     random_clusters,
     round_robin_clusters,
 )
-from .flow import FlowError, SynthesisResult, resolve_plan, synthesize, synthesize_to_mdl
+from .flow import (
+    FlowError,
+    SynthesisResult,
+    TransientFlowError,
+    is_transient,
+    resolve_plan,
+    synthesize,
+    synthesize_to_mdl,
+)
 from .mapping import (
     ChannelRequest,
     IoRequest,
@@ -70,6 +78,7 @@ __all__ = [
     "TaskGraph",
     "TaskGraphError",
     "ThreadScope",
+    "TransientFlowError",
     "allocate_from_interactions",
     "allocate_from_model",
     "allocate_threads",
@@ -80,6 +89,7 @@ __all__ = [
     "infer_channels",
     "insert_temporal_barriers",
     "inter_cluster_communication",
+    "is_transient",
     "linear_clustering",
     "map_model",
     "plan_from_clusters",

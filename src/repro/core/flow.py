@@ -40,7 +40,49 @@ log = logging.getLogger(__name__)
 
 
 class FlowError(Exception):
-    """Raised when the synthesis flow cannot complete."""
+    """Raised when the synthesis flow cannot complete.
+
+    ``FlowError`` (and its subclasses other than
+    :class:`TransientFlowError`) is **deterministic**: the same model and
+    options will fail the same way every time, so retrying is pointless.
+    The batch server (:mod:`repro.server`) uses this distinction — see
+    :func:`is_transient`.
+    """
+
+
+class TransientFlowError(FlowError):
+    """A failure caused by the execution substrate, not the model.
+
+    Worker-process crashes, cache/journal I/O errors, and similar
+    environmental hiccups raise (or are classified as) this; a retry with
+    fresh resources may well succeed.
+    """
+
+
+#: Exception types considered retry-worthy even when raised outside the
+#: flow proper (pool plumbing, cache I/O, interrupted syscalls).
+_TRANSIENT_TYPES = (
+    TransientFlowError,
+    OSError,
+    EOFError,
+    BrokenPipeError,
+    ConnectionError,
+    MemoryError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` is worth retrying (substrate failure, not model).
+
+    Deterministic :class:`FlowError`\\ s — bad models, impossible
+    allocations, strict-mode escalations — are never transient; worker
+    crashes and I/O errors are.
+    """
+    if isinstance(exc, TransientFlowError):
+        return True
+    if isinstance(exc, FlowError):
+        return False
+    return isinstance(exc, _TRANSIENT_TYPES)
 
 
 @dataclass
@@ -325,7 +367,28 @@ def _build_report(
 
 
 def synthesize_to_mdl(model: Model, path: str, **kwargs: object) -> SynthesisResult:
-    """Synthesize and write the ``.mdl`` file in one call."""
+    """Synthesize and write the ``.mdl`` file in one call.
+
+    Keyword arguments are validated against :func:`synthesize`'s
+    signature up front, so a typo (``auto_alocate=True``) raises a clear
+    ``TypeError`` instead of being silently swallowed.
+    """
+    import inspect
+
+    accepted = {
+        name
+        for name, parameter in inspect.signature(synthesize).parameters.items()
+        if parameter.kind
+        in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+        and name != "model"
+    }
+    unknown = sorted(set(kwargs) - accepted)
+    if unknown:
+        raise TypeError(
+            "synthesize_to_mdl() got unexpected keyword argument(s) "
+            f"{', '.join(repr(n) for n in unknown)}; "
+            f"valid options are {', '.join(sorted(accepted))}"
+        )
     result = synthesize(model, **kwargs)  # type: ignore[arg-type]
     result.write_mdl(path)
     return result

@@ -290,6 +290,7 @@ def exhaustive_explore(
     objective: str = "latency",
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
+    pool: Optional[object] = None,
 ) -> List[Candidate]:
     """Evaluate every set partition of the threads (small systems only).
 
@@ -299,6 +300,10 @@ def exhaustive_explore(
     interval (the right goal for streaming pipelines).  ``workers`` > 1
     evaluates candidates on a process pool (default: ``REPRO_WORKERS``,
     else serial) with output guaranteed identical to the serial path.
+    ``pool`` supplies an externally owned evaluator instead — e.g. a
+    :meth:`repro.parallel.pool.SharedEvaluationPool.bind` view, which the
+    batch server primes once and reuses across jobs; it is never closed
+    here.
     """
     from ..parallel.pool import resolve_workers
 
@@ -314,7 +319,9 @@ def exhaustive_explore(
         if max_cpus is None or len(clusters) <= max_cpus
     ]
     effective_workers = resolve_workers(workers)
-    if effective_workers > 1 and len(partitions) > effective_workers:
+    if pool is not None and len(partitions) > getattr(pool, "workers", 1):
+        candidates = pool.evaluate(partitions)  # type: ignore[attr-defined]
+    elif effective_workers > 1 and len(partitions) > effective_workers:
         with _make_pool(
             graph,
             effective_workers,
@@ -322,8 +329,8 @@ def exhaustive_explore(
             cycles_per_unit,
             objective,
             batch_size,
-        ) as pool:
-            candidates = pool.evaluate(partitions)
+        ) as owned:
+            candidates = owned.evaluate(partitions)
     else:
         candidates = [
             _evaluate(graph, clusters, platform, cycles_per_unit, objective)
@@ -343,6 +350,7 @@ def greedy_explore(
     objective: str = "latency",
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
+    pool: Optional[object] = None,
 ) -> List[Candidate]:
     """Hill-climb from the linear-clustering seed.
 
@@ -352,7 +360,9 @@ def greedy_explore(
     the seed, best-first.  Re-visited clusterings are served from an
     evaluation memo (neighbourhoods overlap between iterations), and with
     ``workers`` > 1 each iteration's neighbourhood is evaluated on a
-    process pool — neither changes any result.
+    process pool — neither changes any result.  An externally owned
+    ``pool`` (see :func:`exhaustive_explore`) takes precedence over
+    ``workers`` and is never closed here.
     """
     from ..parallel.pool import resolve_workers
 
@@ -375,10 +385,10 @@ def greedy_explore(
     clusters = [list(c) for c in seed_clusters]
 
     effective_workers = resolve_workers(workers)
-    pool = None
+    owned_pool = None
     try:
-        if effective_workers > 1:
-            pool = _make_pool(
+        if pool is None and effective_workers > 1:
+            pool = owned_pool = _make_pool(
                 graph,
                 effective_workers,
                 platform,
@@ -412,8 +422,8 @@ def greedy_explore(
             current = best_move[1]
             visited.append(current)
     finally:
-        if pool is not None:
-            pool.close()
+        if owned_pool is not None:
+            owned_pool.close()
 
     visited.sort(key=candidate_sort_key)
     return visited
@@ -492,6 +502,7 @@ def explore(
     cycles_per_unit: float = 50.0,
     objective: str = "latency",
     workers: Optional[int] = None,
+    pool: Optional[object] = None,
 ) -> List[Candidate]:
     """Front door: exhaustive when small, greedy otherwise."""
     rec = _obs.get()
@@ -512,6 +523,7 @@ def explore(
                 cycles_per_unit=cycles_per_unit,
                 objective=objective,
                 workers=workers,
+                pool=pool,
             )
         else:
             candidates = greedy_explore(
@@ -521,6 +533,7 @@ def explore(
                 cycles_per_unit=cycles_per_unit,
                 objective=objective,
                 workers=workers,
+                pool=pool,
             )
         span.set(candidates=len(candidates))
     return candidates

@@ -30,7 +30,7 @@ the same switches as ``repro --trace-out FILE --metrics-out FILE -v``.
 
 from .chrometrace import to_chrome_trace, write_chrome_trace
 from .logsetup import configure_logging
-from .metrics import MetricsRegistry, TimerStat
+from .metrics import HistogramStat, MetricsRegistry, TimerStat
 from .recorder import (
     NULL,
     NullRecorder,
@@ -47,6 +47,7 @@ from .report import ObservabilityReport
 
 __all__ = [
     "NULL",
+    "HistogramStat",
     "MetricsRegistry",
     "NullRecorder",
     "ObservabilityReport",

@@ -10,7 +10,10 @@ everything the synthesis flow and the simulators need to report:
 - **timers** aggregate duration observations (``observe`` /
   :meth:`MetricsRegistry.timer`): count, total, min, max, mean — every
   closed span feeds its duration here automatically, so per-pass timings
-  appear in the metrics JSON without extra call-site code.
+  appear in the metrics JSON without extra call-site code;
+- **histograms** (``hist``) additionally retain a bounded reservoir of
+  raw observations so tail latency (p50/p95/p99) can be reported — the
+  batch server records per-job latency here (``server.job.latency``).
 
 All values are plain floats/ints and the whole registry serializes with
 :meth:`MetricsRegistry.to_json`, which is what ``repro --metrics-out``
@@ -20,9 +23,10 @@ writes and what ``benchmarks/conftest.py`` persists as ``BENCH_obs.json``.
 from __future__ import annotations
 
 import json
+import random
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -59,6 +63,74 @@ class TimerStat:
         }
 
 
+class HistogramStat:
+    """Aggregate plus a bounded reservoir of raw observations.
+
+    Exact ``count``/``total``/``min``/``max`` like :class:`TimerStat`;
+    percentiles come from a reservoir capped at ``reservoir`` samples
+    (uniform reservoir sampling beyond the cap), so a long-lived server
+    can record millions of jobs in constant memory while p50/p95 stay
+    statistically honest.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "reservoir", "_samples", "_rng")
+
+    def __init__(self, reservoir: int = 2048) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.reservoir = reservoir
+        self._samples: List[float] = []
+        self._rng = random.Random(0x5EED)  # reproducible sampling
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the aggregate and the reservoir."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self.reservoir:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the reservoir, interpolated."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    def to_dict(self) -> Dict[str, float]:
+        """The aggregate (with p50/p95/p99) as a JSON-ready mapping."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
 class _Timer:
     """Context manager recording one wall-clock observation on exit."""
 
@@ -90,6 +162,7 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, TimerStat] = {}
+        self._histograms: Dict[str, HistogramStat] = {}
 
     # -- writing ----------------------------------------------------------
     def incr(self, name: str, amount: float = 1.0) -> None:
@@ -111,6 +184,13 @@ class MetricsRegistry:
         """Context manager timing its body into the named timer."""
         return _Timer(self, name)
 
+    def hist(self, name: str, value: float) -> None:
+        """Record one observation on the named histogram."""
+        stat = self._histograms.get(name)
+        if stat is None:
+            stat = self._histograms[name] = HistogramStat()
+        stat.observe(value)
+
     # -- reading ----------------------------------------------------------
     def counter(self, name: str) -> float:
         """Current value of a counter (0.0 when never incremented)."""
@@ -124,12 +204,21 @@ class MetricsRegistry:
         """Aggregate for a timer, or ``None`` when never observed."""
         return self._timers.get(name)
 
+    def histogram_stat(self, name: str) -> Optional[HistogramStat]:
+        """Aggregate for a histogram, or ``None`` when never observed."""
+        return self._histograms.get(name)
+
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._timers)
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._timers)
+            + len(self._histograms)
+        )
 
     def to_dict(self) -> Dict[str, Any]:
-        """Snapshot: ``{"counters": ..., "gauges": ..., "timers": ...}``."""
-        return {
+        """Snapshot: counters, gauges, timers, and histograms."""
+        snapshot: Dict[str, Any] = {
             "counters": dict(sorted(self._counters.items())),
             "gauges": dict(sorted(self._gauges.items())),
             "timers": {
@@ -137,6 +226,12 @@ class MetricsRegistry:
                 for name, stat in sorted(self._timers.items())
             },
         }
+        if self._histograms:
+            snapshot["histograms"] = {
+                name: stat.to_dict()
+                for name, stat in sorted(self._histograms.items())
+            }
+        return snapshot
 
     def to_json(self, indent: int = 2) -> str:
         """The snapshot as a JSON document."""

@@ -144,6 +144,9 @@ class NullRecorder:
     def observe(self, name: str, seconds: float) -> None:
         """No-op."""
 
+    def hist(self, name: str, value: float) -> None:
+        """No-op."""
+
     def timer(self, name: str) -> _NullSpan:
         """Return the shared no-op context manager."""
         return _NULL_SPAN
@@ -251,6 +254,10 @@ class Recorder:
     def observe(self, name: str, seconds: float) -> None:
         """Record a timer observation on the attached registry."""
         self.metrics.observe(name, seconds)
+
+    def hist(self, name: str, value: float) -> None:
+        """Record a histogram observation on the attached registry."""
+        self.metrics.hist(name, value)
 
     def timer(self, name: str):
         """Context manager timing its body on the attached registry."""

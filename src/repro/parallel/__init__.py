@@ -23,6 +23,10 @@ lazily by the explorers (it pulls in :mod:`repro.dse`); import it
 directly::
 
     from repro.parallel.pool import EvaluationPool, resolve_workers
+
+The batch server (:mod:`repro.server`) uses the graph-agnostic
+:class:`repro.parallel.pool.SharedEvaluationPool` instead: forked once
+per server, reused across jobs, cancellable mid-evaluation.
 """
 
 from .cache import (

@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import multiprocessing.pool
 import os
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.taskgraph import TaskGraph
 from ..mpsoc.platform import Platform
@@ -42,6 +43,14 @@ WORKERS_ENV = "REPRO_WORKERS"
 BATCHES_PER_WORKER = 4
 
 Clusters = Sequence[Sequence[str]]
+
+#: How often (seconds) a cancellable evaluation polls its cancel hook
+#: while waiting on in-flight batches.
+CANCEL_POLL_S = 0.05
+
+
+class PoolCancelled(Exception):
+    """Raised when a cooperative cancellation hook stops an evaluation."""
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -108,7 +117,65 @@ def _evaluate_batch(batch: List[Clusters]) -> Tuple[List[Any], Tuple[int, float,
     return candidates, (os.getpid(), start, time.time())
 
 
+#: One shared-pool work item: (evaluation context, batch of clusterings).
+_SharedTask = Tuple[
+    Tuple[Dict[str, float], Dict[Tuple[str, str], float], Optional[Platform], float, str],
+    List[Clusters],
+]
+
+
+def _evaluate_shared_batch(
+    task: _SharedTask,
+) -> Tuple[List[Any], Tuple[int, float, float]]:
+    """Evaluate one batch whose context travels with the task.
+
+    The graph-agnostic twin of :func:`_evaluate_batch`: instead of a
+    per-process initializer, every task carries its own (tiny) evaluation
+    context, so one set of worker processes can serve task graphs that
+    differ from call to call — the batch server primes its pool once and
+    reuses it for every job.
+    """
+    from ..dse.explore import evaluate_clusters
+
+    (node_weights, edges, platform, cycles_per_unit, objective), batch = task
+    graph = TaskGraph(node_weights=dict(node_weights), edges=dict(edges))
+    start = time.time()
+    candidates = [
+        evaluate_clusters(graph, clusters, platform, cycles_per_unit, objective)
+        for clusters in batch
+    ]
+    return candidates, (os.getpid(), start, time.time())
+
+
 # -- parent side -------------------------------------------------------------
+
+
+def _record_batch_obs(
+    rec: "_obs.AnyRecorder",
+    index: int,
+    evaluated: List[Any],
+    pid: int,
+    start: float,
+    end: float,
+) -> None:
+    """Fold one worker batch into the current recorder (spans + metrics)."""
+    if not rec.enabled or not evaluated:
+        return
+    rec.record_span(
+        "dse.worker",
+        start,
+        end,
+        category="dse",
+        worker_pid=pid,
+        batch=index,
+        candidates=len(evaluated),
+    )
+    mean = (end - start) / len(evaluated)
+    for _ in evaluated:
+        rec.observe("dse.evaluate", mean)
+    rec.incr("dse.candidates", len(evaluated))
+    rec.incr("dse.parallel.batches")
+    rec.incr("dse.parallel.tasks", len(evaluated))
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -174,22 +241,7 @@ class EvaluationPool:
         rec = _obs.get()
         candidates: List[Any] = []
         for index, (evaluated, (pid, start, end)) in enumerate(outcomes):
-            if rec.enabled and evaluated:
-                rec.record_span(
-                    "dse.worker",
-                    start,
-                    end,
-                    category="dse",
-                    worker_pid=pid,
-                    batch=index,
-                    candidates=len(evaluated),
-                )
-                mean = (end - start) / len(evaluated)
-                for _ in evaluated:
-                    rec.observe("dse.evaluate", mean)
-                rec.incr("dse.candidates", len(evaluated))
-                rec.incr("dse.parallel.batches")
-                rec.incr("dse.parallel.tasks", len(evaluated))
+            _record_batch_obs(rec, index, evaluated, pid, start, end)
             candidates.extend(evaluated)
         if rec.enabled:
             rec.gauge("dse.parallel.workers", self.workers)
@@ -201,6 +253,147 @@ class EvaluationPool:
         self._pool.join()
 
     def __enter__(self) -> "EvaluationPool":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+
+class BoundEvaluator:
+    """A :class:`SharedEvaluationPool` fixed to one evaluation context.
+
+    Exposes the same ``.workers`` / ``.evaluate(clusterings)`` protocol as
+    :class:`EvaluationPool`, so the explorers of :mod:`repro.dse.explore`
+    accept either via their ``pool=`` parameter.
+    """
+
+    __slots__ = ("_shared", "_graph", "_kwargs")
+
+    def __init__(
+        self, shared: "SharedEvaluationPool", graph: TaskGraph, **kwargs: Any
+    ) -> None:
+        self._shared = shared
+        self._graph = graph
+        self._kwargs = kwargs
+
+    @property
+    def workers(self) -> int:
+        """Worker count of the underlying shared pool."""
+        return self._shared.workers
+
+    def evaluate(self, clusterings: Sequence[Clusters]) -> List[Any]:
+        """Evaluate ``clusterings`` against the bound graph and options."""
+        return self._shared.evaluate(self._graph, clusterings, **self._kwargs)
+
+
+class SharedEvaluationPool:
+    """A long-lived, graph-agnostic pool of evaluation workers.
+
+    :class:`EvaluationPool` primes its workers once with a single task
+    graph — the right shape for one exploration.  A server handling many
+    jobs over many graphs needs the opposite trade: fork the worker
+    processes **once** and ship the (tiny) evaluation context with every
+    batch.  :meth:`evaluate` is safe to call from multiple job-worker
+    threads concurrently (``multiprocessing.Pool`` serializes its task
+    queue internally), and accepts a cooperative ``cancelled`` hook:
+
+    - the hook is polled every :data:`CANCEL_POLL_S` seconds while
+      batches are in flight;
+    - on cancellation :class:`PoolCancelled` is raised immediately; any
+      batch already dispatched finishes in the background (bounded waste,
+      at most one batch per worker) and the pool stays usable for the
+      next job — no respawn cost on the cancellation path.
+    """
+
+    def __init__(self, workers: int, *, batch_size: Optional[int] = None) -> None:
+        if workers < 2:
+            raise ValueError("SharedEvaluationPool needs at least 2 workers")
+        self.workers = workers
+        self.batch_size = batch_size
+        self._pool: Optional[multiprocessing.pool.Pool] = _pool_context().Pool(
+            processes=workers
+        )
+
+    def bind(
+        self,
+        graph: TaskGraph,
+        *,
+        platform: Optional[Platform] = None,
+        cycles_per_unit: float = 50.0,
+        objective: str = "latency",
+        cancelled: Optional[Callable[[], bool]] = None,
+    ) -> BoundEvaluator:
+        """An :class:`EvaluationPool`-shaped view fixed to one context."""
+        return BoundEvaluator(
+            self,
+            graph,
+            platform=platform,
+            cycles_per_unit=cycles_per_unit,
+            objective=objective,
+            cancelled=cancelled,
+        )
+
+    def evaluate(
+        self,
+        graph: TaskGraph,
+        clusterings: Sequence[Clusters],
+        *,
+        platform: Optional[Platform] = None,
+        cycles_per_unit: float = 50.0,
+        objective: str = "latency",
+        cancelled: Optional[Callable[[], bool]] = None,
+    ) -> List[Any]:
+        """Evaluate every clustering; results in submission order.
+
+        Identical output to :meth:`EvaluationPool.evaluate` (same pure
+        kernel, same ordered merge, same observability keys); raises
+        :class:`PoolCancelled` when the ``cancelled`` hook fires first.
+        """
+        if self._pool is None:
+            raise RuntimeError("SharedEvaluationPool is closed")
+        items = list(clusterings)
+        if not items:
+            return []
+        size = self.batch_size or batch_size_for(len(items), self.workers)
+        batches = _chunk(items, size)
+        context = (
+            graph.node_weights,
+            graph.edges,
+            platform,
+            cycles_per_unit,
+            objective,
+        )
+        iterator = self._pool.imap(
+            _evaluate_shared_batch, [(context, batch) for batch in batches]
+        )
+        rec = _obs.get()
+        candidates: List[Any] = []
+        for index in range(len(batches)):
+            while True:
+                if cancelled is not None and cancelled():
+                    raise PoolCancelled(
+                        f"evaluation cancelled after {index}/{len(batches)} batches"
+                    )
+                try:
+                    evaluated, (pid, start, end) = iterator.next(CANCEL_POLL_S)
+                    break
+                except multiprocessing.TimeoutError:
+                    continue
+            _record_batch_obs(rec, index, evaluated, pid, start, end)
+            candidates.extend(evaluated)
+        if rec.enabled:
+            rec.gauge("dse.parallel.workers", self.workers)
+        return candidates
+
+    def close(self) -> None:
+        """Terminate the workers (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SharedEvaluationPool":
         return self
 
     def __exit__(self, *exc: object) -> bool:

@@ -1,0 +1,157 @@
+"""Job execution: a :class:`~repro.server.jobs.JobSpec` in, an outcome out.
+
+This is the seam between the serving layer and the library: everything
+here calls the exact same front doors a library user would
+(:func:`repro.core.flow.synthesize`, :func:`repro.dse.explore.explore`),
+so an artifact produced through the server is byte-identical to one
+produced directly — the differential tests in ``tests/server/`` pin this
+down.  The synthesis cache engages exactly as it would for a library
+call (process-wide configuration, ``use_cache`` override per spec), and
+exploration jobs evaluate on the server's shared worker pool when one is
+provided.
+
+Cancellation is cooperative: the ``cancelled`` hook is checked between
+the coarse stages here and polled continuously inside pool evaluation;
+when it fires, :class:`JobCancelled` aborts the job.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional
+
+from ..core.flow import FlowError, synthesize
+from ..core.taskgraph import task_graph_from_model
+from ..uml.model import Model
+from ..uml.xmi import XmiError, from_xmi_string
+from .jobs import JobOutcome, JobSpec
+
+#: Optional hook polled at cancellation checkpoints.
+CancelHook = Optional[Callable[[], bool]]
+
+
+class JobCancelled(Exception):
+    """The job's cancellation hook fired at a checkpoint."""
+
+
+def _checkpoint(cancelled: CancelHook) -> None:
+    if cancelled is not None and cancelled():
+        raise JobCancelled("job cancelled")
+
+
+def build_model(spec: JobSpec) -> Model:
+    """Materialize the spec's model: a demo factory or inline XMI.
+
+    Demo models are built by the same factories ``repro demo`` uses, so a
+    demo job and the equivalent library call share every byte of input.
+    """
+    if spec.demo:
+        from ..apps import crane, didactic, mjpeg, synthetic
+
+        factories = {
+            "didactic": didactic.build_model,
+            "crane": crane.build_model,
+            "synthetic": synthetic.build_model,
+            "mjpeg": mjpeg.build_model,
+        }
+        factory = factories.get(spec.demo)
+        if factory is None:
+            raise FlowError(
+                f"unknown demo model {spec.demo!r}; "
+                f"pick one of {sorted(factories)}"
+            )
+        return factory()
+    try:
+        return from_xmi_string(spec.model_xmi or "")
+    except XmiError as exc:
+        raise FlowError(f"cannot parse model_xmi: {exc}") from exc
+
+
+def _run_synthesize(
+    spec: JobSpec, model: Model, cancelled: CancelHook
+) -> JobOutcome:
+    result = synthesize(model, **spec.options)
+    _checkpoint(cancelled)
+    payload: Dict[str, Any] = {
+        "model": result.caam.name,
+        "summary": str(result.summary),
+        "blocks": result.caam.count_blocks(),
+        "cpus": len(result.plan.cpus),
+        "barriers_inserted": result.barriers_inserted,
+        "warnings": list(result.warnings),
+    }
+    cache_info = result.obs.parallel.get("cache")
+    if cache_info:
+        payload["cache"] = cache_info
+    return JobOutcome(
+        artifact_name=f"{result.caam.name}.mdl",
+        artifact_text=result.mdl_text,
+        payload=payload,
+    )
+
+
+def _run_explore(
+    spec: JobSpec, model: Model, cancelled: CancelHook, pool: Optional[object]
+) -> JobOutcome:
+    from ..dse.explore import explore, pareto_front
+
+    graph = task_graph_from_model(model)
+    _checkpoint(cancelled)
+    options = dict(spec.options)
+    objective = options.get("objective", "latency")
+    bound = None
+    if pool is not None:
+        bound = pool.bind(  # type: ignore[attr-defined]
+            graph,
+            cycles_per_unit=options.get("cycles_per_unit", 50.0),
+            objective=objective,
+            cancelled=cancelled,
+        )
+    candidates = explore(
+        graph,
+        max_cpus=options.get("max_cpus"),
+        objective=objective,
+        exhaustive_threshold=options.get("exhaustive_threshold", 8),
+        cycles_per_unit=options.get("cycles_per_unit", 50.0),
+        pool=bound,
+    )
+    _checkpoint(cancelled)
+    front = pareto_front(candidates, objective=objective)
+    front_doc = [
+        {
+            "cpus": candidate.cpu_count,
+            "metric": candidate.metric,
+            "objective": objective,
+            "plan": {
+                cpu: sorted(candidate.plan.threads_on(cpu))
+                for cpu in candidate.plan.cpus
+            },
+        }
+        for candidate in front
+    ]
+    payload = {
+        "model": model.name,
+        "threads": len(graph.node_weights),
+        "candidates": len(candidates),
+        "pareto": front_doc,
+    }
+    return JobOutcome(
+        artifact_name=f"{model.name}.pareto.json",
+        artifact_text=json.dumps(front_doc, indent=2) + "\n",
+        payload=payload,
+    )
+
+
+def execute(
+    spec: JobSpec,
+    *,
+    cancelled: CancelHook = None,
+    pool: Optional[object] = None,
+) -> JobOutcome:
+    """Run one job spec to completion (the manager's default executor)."""
+    _checkpoint(cancelled)
+    model = build_model(spec)
+    _checkpoint(cancelled)
+    if spec.kind == "synthesize":
+        return _run_synthesize(spec, model, cancelled)
+    return _run_explore(spec, model, cancelled, pool)

@@ -1,0 +1,244 @@
+"""Job model for the batch synthesis service.
+
+A *job* is one unit of admitted work: a :class:`JobSpec` describing what
+to run (synthesize or explore, over which model, with which options) plus
+the server-side bookkeeping — state, attempts, timestamps, errors — that
+the HTTP API reports.  The state machine is::
+
+    queued ──> running ──> done
+       │          │ ├────> failed       (deterministic error, retries spent)
+       │          │ ├────> cancelled    (client cancel observed)
+       │          │ ├────> timed_out    (wall-clock deadline passed)
+       │          │ └────> queued       (transient failure, retry scheduled)
+       └────────> cancelled             (cancelled before it ever ran)
+
+``done`` / ``failed`` / ``cancelled`` / ``timed_out`` are terminal.  All
+transitions are validated by :meth:`Job.advance`; an illegal transition is
+a programming error and raises :class:`StateError` rather than corrupting
+the table.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a job (string-valued for direct JSON use)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMED_OUT = "timed_out"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether no further transition can leave this state."""
+        return self in _TERMINAL
+
+
+_TERMINAL: FrozenSet[JobState] = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.TIMED_OUT}
+)
+
+#: Legal transitions (see the module diagram).
+TRANSITIONS: Dict[JobState, FrozenSet[JobState]] = {
+    JobState.QUEUED: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset(
+        {
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMED_OUT,
+            JobState.QUEUED,  # transient failure re-admitted for retry
+        }
+    ),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+    JobState.TIMED_OUT: frozenset(),
+}
+
+
+class SpecError(ValueError):
+    """A job specification that cannot be admitted (HTTP 400)."""
+
+
+class StateError(RuntimeError):
+    """An illegal job state transition was attempted."""
+
+
+#: Job kinds the executor understands.
+KINDS = ("synthesize", "explore")
+
+#: ``synthesize`` options a spec may forward (mirrors the keyword-only
+#: signature of :func:`repro.core.flow.synthesize`; ``behaviors`` is
+#: excluded — callables don't travel over JSON).
+SYNTHESIZE_OPTIONS = frozenset(
+    {
+        "auto_allocate",
+        "infer_channels",
+        "insert_barriers",
+        "layout",
+        "validate",
+        "strict",
+        "name",
+        "use_cache",
+    }
+)
+
+#: ``explore`` options a spec may forward.
+EXPLORE_OPTIONS = frozenset(
+    {"max_cpus", "objective", "exhaustive_threshold", "cycles_per_unit"}
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a job should run — pure data, JSON- and journal-serializable."""
+
+    kind: str
+    demo: Optional[str] = None
+    model_xmi: Optional[str] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+    #: Per-job wall-clock budget; ``None`` uses the server default.
+    timeout_s: Optional[float] = None
+
+    def validate(self) -> "JobSpec":
+        """Return ``self`` if admissible, else raise :class:`SpecError`."""
+        if self.kind not in KINDS:
+            raise SpecError(
+                f"unknown job kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if bool(self.demo) == bool(self.model_xmi):
+            raise SpecError(
+                "a job needs exactly one model source: 'demo' or 'model_xmi'"
+            )
+        if not isinstance(self.options, dict):
+            raise SpecError("'options' must be an object")
+        allowed = (
+            SYNTHESIZE_OPTIONS if self.kind == "synthesize" else EXPLORE_OPTIONS
+        )
+        unknown = sorted(set(self.options) - allowed)
+        if unknown:
+            raise SpecError(
+                f"unknown {self.kind} option(s) {', '.join(map(repr, unknown))}; "
+                f"valid options are {', '.join(sorted(allowed))}"
+            )
+        if self.timeout_s is not None and (
+            not isinstance(self.timeout_s, (int, float)) or self.timeout_s <= 0
+        ):
+            raise SpecError("'timeout_s' must be a positive number")
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (what the journal persists)."""
+        spec: Dict[str, Any] = {"kind": self.kind, "options": dict(self.options)}
+        if self.demo:
+            spec["demo"] = self.demo
+        if self.model_xmi:
+            spec["model_xmi"] = self.model_xmi
+        if self.timeout_s is not None:
+            spec["timeout_s"] = self.timeout_s
+        return spec
+
+    @classmethod
+    def from_dict(cls, raw: Any) -> "JobSpec":
+        """Parse and validate a client/journal payload."""
+        if not isinstance(raw, dict):
+            raise SpecError("job spec must be a JSON object")
+        unknown = sorted(
+            set(raw) - {"kind", "demo", "model_xmi", "options", "timeout_s"}
+        )
+        if unknown:
+            raise SpecError(
+                f"unknown job field(s) {', '.join(map(repr, unknown))}"
+            )
+        return cls(
+            kind=raw.get("kind", ""),
+            demo=raw.get("demo"),
+            model_xmi=raw.get("model_xmi"),
+            options=raw.get("options") or {},
+            timeout_s=raw.get("timeout_s"),
+        ).validate()
+
+
+@dataclass
+class JobOutcome:
+    """What a successful execution produced."""
+
+    #: Suggested artifact filename (``crane.mdl``, ``crane.pareto.json``).
+    artifact_name: str
+    #: The artifact text itself (``.mdl`` or exploration JSON).
+    artifact_text: str
+    #: JSON-ready result summary served inline by ``GET /jobs/<id>``.
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+_seq = itertools.count(1)
+
+
+def _new_job_id() -> str:
+    """Short, unique, monotonically sortable job ids."""
+    return f"job-{next(_seq):06d}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass
+class Job:
+    """One admitted job and all its server-side bookkeeping."""
+
+    spec: JobSpec
+    id: str = field(default_factory=_new_job_id)
+    state: JobState = JobState.QUEUED
+    #: Execution attempts started so far (1 after the first pop).
+    attempts: int = 0
+    #: Human-readable failure description (state ``failed``/``timed_out``).
+    error: Optional[str] = None
+    #: Earliest wall-clock time the queue may hand this job out (retry
+    #: backoff); 0.0 means immediately.
+    not_before: float = 0.0
+    #: Wall-clock deadline of the current attempt (set when running).
+    deadline: Optional[float] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    outcome: Optional[JobOutcome] = None
+    #: Cooperative cancellation flag polled by the executor.
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def advance(self, target: JobState) -> None:
+        """Transition to ``target``, enforcing the state machine."""
+        if target not in TRANSITIONS[self.state]:
+            raise StateError(
+                f"job {self.id}: illegal transition {self.state.value} -> "
+                f"{target.value}"
+            )
+        self.state = target
+
+    def to_dict(self, *, with_payload: bool = True) -> Dict[str, Any]:
+        """The status document ``GET /jobs/<id>`` serves."""
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+        if self.spec.demo:
+            doc["demo"] = self.spec.demo
+        if self.state is JobState.DONE and self.outcome is not None:
+            doc["artifact"] = self.outcome.artifact_name
+            if with_payload:
+                doc["result"] = dict(self.outcome.payload)
+        return doc

@@ -1,0 +1,88 @@
+"""Shutdown journal: unfinished job specs, persisted and replayable.
+
+When the server shuts down gracefully it drains the jobs already running
+but does **not** start the ones still queued; their specs are written
+here instead.  The journal is a single JSON document (atomic tmp+rename
+write, same discipline as the cache's disk store), and the next server
+started with the same ``--journal`` path re-admits every entry before
+accepting new traffic — a queued job survives a restart with at-least-
+once semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, List
+
+from .jobs import JobSpec, SpecError
+
+#: Journal schema version (bump on incompatible change).
+VERSION = 1
+
+
+def write_journal(path: str, specs: List[JobSpec]) -> int:
+    """Atomically persist ``specs``; returns the number written.
+
+    An empty list removes any stale journal instead of writing one, so a
+    clean shutdown never leaves a file that would replay nothing.
+    """
+    if not specs:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return 0
+    document = {
+        "version": VERSION,
+        "saved_unix": time.time(),
+        "jobs": [spec.to_dict() for spec in specs],
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return len(specs)
+
+
+def read_journal(path: str) -> List[JobSpec]:
+    """Parse a journal into specs; missing file means no backlog.
+
+    Entries that no longer validate (e.g. written by a future schema) are
+    skipped rather than blocking startup — the journal is a best-effort
+    recovery aid, not a source of truth.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document: Dict[str, Any] = json.load(handle)
+    except FileNotFoundError:
+        return []
+    except (OSError, json.JSONDecodeError):
+        return []
+    specs: List[JobSpec] = []
+    for raw in document.get("jobs", []):
+        try:
+            specs.append(JobSpec.from_dict(raw))
+        except SpecError:
+            continue
+    return specs
+
+
+def consume_journal(path: str) -> List[JobSpec]:
+    """Read the journal and delete it (recovery is one-shot)."""
+    specs = read_journal(path)
+    if specs:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return specs

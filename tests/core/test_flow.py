@@ -70,6 +70,15 @@ class TestSynthesize:
         result = synthesize_to_mdl(_simple_model(), str(path))
         assert path.read_text() == result.mdl_text
 
+    def test_write_mdl_rejects_mistyped_keyword(self, tmp_path):
+        path = tmp_path / "out.mdl"
+        with pytest.raises(TypeError, match="auto_alocate"):
+            synthesize_to_mdl(_simple_model(), str(path), auto_alocate=True)
+        # The error names the valid options, so the typo is self-correcting.
+        with pytest.raises(TypeError, match="auto_allocate"):
+            synthesize_to_mdl(_simple_model(), str(path), auto_alocate=True)
+        assert not path.exists()
+
     def test_channels_pass_can_be_disabled(self):
         result = synthesize(_simple_model(), infer_channels=False)
         assert result.caam.channels() == []

@@ -1,0 +1,143 @@
+"""Unit tests for the job model: specs, state machine, status documents."""
+
+import pytest
+
+from repro.server.jobs import (
+    TRANSITIONS,
+    Job,
+    JobOutcome,
+    JobSpec,
+    JobState,
+    SpecError,
+    StateError,
+)
+
+
+class TestJobSpec:
+    def test_valid_demo_spec(self):
+        spec = JobSpec(kind="synthesize", demo="crane").validate()
+        assert spec.demo == "crane"
+
+    def test_valid_xmi_spec(self):
+        spec = JobSpec(kind="explore", model_xmi="<xmi/>").validate()
+        assert spec.model_xmi == "<xmi/>"
+
+    def test_unknown_kind(self):
+        with pytest.raises(SpecError, match="unknown job kind"):
+            JobSpec(kind="transmogrify", demo="crane").validate()
+
+    def test_needs_exactly_one_model_source(self):
+        with pytest.raises(SpecError, match="exactly one model source"):
+            JobSpec(kind="synthesize").validate()
+        with pytest.raises(SpecError, match="exactly one model source"):
+            JobSpec(
+                kind="synthesize", demo="crane", model_xmi="<xmi/>"
+            ).validate()
+
+    def test_unknown_synthesize_option(self):
+        with pytest.raises(SpecError, match="'workers'"):
+            JobSpec(
+                kind="synthesize", demo="crane", options={"workers": 4}
+            ).validate()
+
+    def test_explore_options_differ_from_synthesize(self):
+        JobSpec(
+            kind="explore", demo="crane", options={"max_cpus": 2}
+        ).validate()
+        with pytest.raises(SpecError, match="unknown synthesize option"):
+            JobSpec(
+                kind="synthesize", demo="crane", options={"max_cpus": 2}
+            ).validate()
+
+    def test_bad_timeout(self):
+        with pytest.raises(SpecError, match="timeout_s"):
+            JobSpec(kind="synthesize", demo="crane", timeout_s=0).validate()
+        with pytest.raises(SpecError, match="timeout_s"):
+            JobSpec(
+                kind="synthesize", demo="crane", timeout_s="soon"
+            ).validate()
+
+    def test_dict_round_trip(self):
+        spec = JobSpec(
+            kind="synthesize",
+            demo="crane",
+            options={"use_cache": False},
+            timeout_s=2.5,
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(SpecError, match="JSON object"):
+            JobSpec.from_dict(["synthesize"])
+
+    def test_from_dict_rejects_unknown_field(self):
+        with pytest.raises(SpecError, match="'priority'"):
+            JobSpec.from_dict(
+                {"kind": "synthesize", "demo": "crane", "priority": 7}
+            )
+
+
+class TestStateMachine:
+    def test_queued_to_done_happy_path(self):
+        job = Job(spec=JobSpec(kind="synthesize", demo="crane"))
+        assert job.state is JobState.QUEUED
+        job.advance(JobState.RUNNING)
+        job.advance(JobState.DONE)
+        assert job.state.terminal
+
+    def test_retry_loops_back_to_queued(self):
+        job = Job(spec=JobSpec(kind="synthesize", demo="crane"))
+        job.advance(JobState.RUNNING)
+        job.advance(JobState.QUEUED)
+        job.advance(JobState.RUNNING)
+        job.advance(JobState.FAILED)
+
+    def test_queued_cannot_jump_to_done(self):
+        job = Job(spec=JobSpec(kind="synthesize", demo="crane"))
+        with pytest.raises(StateError, match="queued -> done"):
+            job.advance(JobState.DONE)
+
+    def test_terminal_states_are_dead_ends(self):
+        for terminal in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMED_OUT,
+        ):
+            assert terminal.terminal
+            assert not TRANSITIONS[terminal]
+            job = Job(spec=JobSpec(kind="synthesize", demo="crane"))
+            job.state = terminal
+            with pytest.raises(StateError):
+                job.advance(JobState.QUEUED)
+
+    def test_ids_are_unique_and_sortable(self):
+        a = Job(spec=JobSpec(kind="synthesize", demo="crane"))
+        b = Job(spec=JobSpec(kind="synthesize", demo="crane"))
+        assert a.id != b.id
+        assert a.id < b.id  # monotone sequence prefix
+
+
+class TestStatusDocument:
+    def test_includes_artifact_only_when_done(self):
+        job = Job(spec=JobSpec(kind="synthesize", demo="crane"))
+        assert "artifact" not in job.to_dict()
+        job.advance(JobState.RUNNING)
+        job.outcome = JobOutcome(
+            artifact_name="crane.mdl",
+            artifact_text="Model {}",
+            payload={"blocks": 3},
+        )
+        job.advance(JobState.DONE)
+        doc = job.to_dict()
+        assert doc["artifact"] == "crane.mdl"
+        assert doc["result"] == {"blocks": 3}
+        assert job.to_dict(with_payload=False).get("result") is None
+
+    def test_reports_kind_state_attempts(self):
+        job = Job(spec=JobSpec(kind="explore", demo="didactic"))
+        doc = job.to_dict()
+        assert doc["kind"] == "explore"
+        assert doc["state"] == "queued"
+        assert doc["attempts"] == 0
+        assert doc["demo"] == "didactic"

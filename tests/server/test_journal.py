@@ -1,0 +1,56 @@
+"""Unit tests for the shutdown journal."""
+
+import json
+
+from repro.server.jobs import JobSpec
+from repro.server.journal import consume_journal, read_journal, write_journal
+
+
+def _specs():
+    return [
+        JobSpec(kind="synthesize", demo="crane", options={"use_cache": False}),
+        JobSpec(kind="explore", demo="didactic", timeout_s=4.0),
+    ]
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "journal.json")
+        assert write_journal(path, _specs()) == 2
+        assert read_journal(path) == _specs()
+
+    def test_consume_is_one_shot(self, tmp_path):
+        path = str(tmp_path / "journal.json")
+        write_journal(path, _specs())
+        assert consume_journal(path) == _specs()
+        assert consume_journal(path) == []
+
+    def test_empty_write_removes_stale_file(self, tmp_path):
+        path = tmp_path / "journal.json"
+        write_journal(str(path), _specs())
+        assert path.exists()
+        assert write_journal(str(path), []) == 0
+        assert not path.exists()
+
+    def test_missing_file_means_no_backlog(self, tmp_path):
+        assert read_journal(str(tmp_path / "nope.json")) == []
+
+    def test_corrupt_file_is_tolerated(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert read_journal(str(path)) == []
+
+    def test_invalid_entries_are_skipped(self, tmp_path):
+        path = tmp_path / "journal.json"
+        document = {
+            "version": 1,
+            "jobs": [
+                {"kind": "synthesize", "demo": "crane"},
+                {"kind": "transmogrify", "demo": "crane"},  # bad kind
+                "not-an-object",
+            ],
+        }
+        path.write_text(json.dumps(document), encoding="utf-8")
+        specs = read_journal(str(path))
+        assert len(specs) == 1
+        assert specs[0].demo == "crane"

@@ -1,0 +1,64 @@
+"""Unit tests for the retry policy and the transient-error taxonomy."""
+
+import pytest
+
+from repro.core.flow import FlowError, TransientFlowError, is_transient
+from repro.server.retry import RetryPolicy
+
+
+class TestTaxonomy:
+    def test_flow_error_is_deterministic(self):
+        assert not is_transient(FlowError("bad model"))
+
+    def test_transient_flow_error(self):
+        assert is_transient(TransientFlowError("worker died"))
+        # It still is a FlowError, so existing handlers catch it.
+        assert isinstance(TransientFlowError("x"), FlowError)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            OSError("disk"),
+            EOFError(),
+            BrokenPipeError(),
+            ConnectionResetError(),
+            MemoryError(),
+        ],
+    )
+    def test_substrate_failures_are_transient(self, exc):
+        assert is_transient(exc)
+
+    @pytest.mark.parametrize(
+        "exc", [ValueError("v"), TypeError("t"), KeyError("k")]
+    )
+    def test_programming_errors_are_not(self, exc):
+        assert not is_transient(exc)
+
+
+class TestRetryPolicy:
+    def test_retries_transient_until_budget_spent(self):
+        policy = RetryPolicy(max_retries=2)
+        exc = TransientFlowError("x")
+        assert policy.should_retry(exc, attempts=1)
+        assert policy.should_retry(exc, attempts=2)
+        assert not policy.should_retry(exc, attempts=3)
+
+    def test_never_retries_deterministic(self):
+        policy = RetryPolicy(max_retries=5)
+        assert not policy.should_retry(FlowError("x"), attempts=1)
+
+    def test_backoff_doubles_without_jitter(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=10.0, jitter=0.0)
+        assert policy.delay_for(1) == pytest.approx(0.1)
+        assert policy.delay_for(2) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.4)
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=3.0, jitter=0.0)
+        assert policy.delay_for(10) == pytest.approx(3.0)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=10.0, jitter=0.25)
+        for _ in range(200):
+            delay = policy.delay_for(1)
+            assert 0.75 <= delay <= 1.25

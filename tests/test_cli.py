@@ -131,6 +131,44 @@ class TestSimulate:
         assert main(["simulate", str(out), "--input", "oops"]) == 2
         assert "expected NAME=" in capsys.readouterr().err
 
+    def test_bad_stimulus_values(self, didactic_xmi, tmp_path, capsys):
+        out = tmp_path / "d.mdl"
+        main(["synthesize", didactic_xmi, "-o", str(out)])
+        code = main(["simulate", str(out), "--input", "In1=2,x,6"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bad sample values" in err
+        assert "Traceback" not in err  # argparse error line, not a crash
+
+    def test_model_without_output_ports_prints_hint(self, tmp_path, capsys):
+        from repro.simulink.mdl import to_mdl
+        from repro.simulink.model import Block, SimulinkModel
+
+        model = SimulinkModel("quiet")
+        const = model.root.add(
+            Block("c", "Constant", inputs=0, parameters={"Value": 1.0})
+        )
+        gain = model.root.add(Block("g", "Gain", parameters={"Gain": 2.0}))
+        model.root.connect(const.output(), gain.input())
+        path = tmp_path / "quiet.mdl"
+        path.write_text(to_mdl(model), encoding="utf-8")
+
+        assert main(["simulate", str(path), "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "no root-level output ports" in out
+        assert "--monitor" in out
+
+        # With a monitor the same model produces a trace and no hint.
+        assert (
+            main(
+                ["simulate", str(path), "--steps", "3", "--monitor", "quiet/g"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "quiet/g: 2, 2, 2" in out
+        assert "no root-level output ports" not in out
+
 
 class TestCodegen:
     @pytest.mark.parametrize("backend", ["simulink", "java", "kpn"])
@@ -256,3 +294,26 @@ class TestRenderCommand:
         files = sorted(p.name for p in out.iterdir())
         assert "deployment.puml" in files
         assert "sd_T3_control.puml" in files
+
+
+class TestProcessConventions:
+    def test_argparse_errors_return_2_instead_of_exiting(self, capsys):
+        # main() must stay embeddable: argparse failures become return
+        # codes, never SystemExit escaping to the caller.
+        assert main(["serve", "--port", "not-a-number"]) == 2
+        assert "invalid int value" in capsys.readouterr().err
+        assert main(["no-such-command"]) == 2
+
+    def test_keyboard_interrupt_exits_130(
+        self, didactic_xmi, capsys, monkeypatch
+    ):
+        import repro.cli as cli_module
+
+        def interrupt(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "_cmd_validate", interrupt)
+        assert main(["validate", didactic_xmi]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err

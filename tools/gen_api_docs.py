@@ -26,7 +26,9 @@ def main() -> None:
         "Regenerate with `python tools/gen_api_docs.py`.",
         "",
         "Guides: [tutorial](tutorial.md) · "
-        "[observability (tracing/metrics/profiling)](observability.md)",
+        "[observability (tracing/metrics/profiling)](observability.md) · "
+        "[parallelism & caching](parallel.md) · "
+        "[batch server](server.md)",
         "",
     ]
     packages = sorted(
