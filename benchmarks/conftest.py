@@ -148,6 +148,67 @@ def _measure_parallel() -> dict:
     }
 
 
+def _measure_simkernel() -> dict:
+    """Slot-compiled vs reference engine throughput (the PR's headline).
+
+    Both engines run the same 500-step workloads (crane and synthetic
+    CAAMs); results are asserted byte-identical before timing is trusted.
+    The FSM row measures precompiled guard/action throughput on the same
+    cyclic machine ``_bench_fsm`` uses.
+    """
+    from repro.apps import crane, synthetic
+    from repro.core import synthesize
+    from repro.fsm.simulator import FsmSimulator
+    from repro.simulink import ENGINE_REFERENCE, ENGINE_SLOTS, Simulator
+
+    def engine_sweep(caam, stimulus):
+        per_engine = {}
+        csvs = {}
+        for engine in (ENGINE_SLOTS, ENGINE_REFERENCE):
+            simulator = Simulator(caam, engine=engine)
+            best = float("inf")
+            for _ in range(3):
+                simulator.reset()
+                start = time.perf_counter()
+                trace = simulator.run(SIM_STEPS, inputs=stimulus)
+                best = min(best, time.perf_counter() - start)
+            per_engine[engine] = SIM_STEPS / best
+            csvs[engine] = trace.to_csv()
+        return {
+            "slots_steps_per_sec": per_engine[ENGINE_SLOTS],
+            "reference_steps_per_sec": per_engine[ENGINE_REFERENCE],
+            "speedup": per_engine[ENGINE_SLOTS] / per_engine[ENGINE_REFERENCE],
+            "outputs_identical": csvs[ENGINE_SLOTS] == csvs[ENGINE_REFERENCE],
+        }
+
+    crane_caam = synthesize(
+        crane.build_model(), behaviors=crane.behaviors()
+    ).caam
+    synthetic_caam = synthesize(
+        synthetic.build_model(), auto_allocate=True,
+        behaviors=synthetic.behaviors(),
+    ).caam
+
+    fsm_events = SIM_STEPS * 20
+    fsm_sim = FsmSimulator(_bench_fsm())
+    events = ["go", "done"] * (fsm_events // 2)
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        fsm_sim.run(events)
+        best = min(best, time.perf_counter() - start)
+
+    return {
+        "sim_steps": SIM_STEPS,
+        "crane": engine_sweep(
+            crane_caam, {"In3": [5.0] * SIM_STEPS}
+        ),
+        "synthetic": engine_sweep(synthetic_caam, None),
+        "fsm_events": fsm_events,
+        "fsm_events_per_sec": fsm_events / best,
+    }
+
+
 #: Admission-queue depths the server benchmark sweeps.
 SERVER_QUEUE_DEPTHS = (1, 8, 64)
 
@@ -231,6 +292,7 @@ def pytest_sessionfinish(session, exitstatus):
         "synthesize_mjpeg_s": total("bench.synthesize.mjpeg"),
         "parallel": parallel_stats,
         "server": server_stats,
+        "simkernel": _measure_simkernel(),
         "metrics": metrics.to_dict(),
     }
     path = os.path.join(str(session.config.rootpath), "BENCH_obs.json")

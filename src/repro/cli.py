@@ -287,7 +287,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         raise CliError(f"no such file: {args.model}")
     model = read_mdl(args.model)
     try:
-        simulator = Simulator(model, monitor=args.monitor or [])
+        simulator = Simulator(
+            model, monitor=args.monitor or [], engine=args.engine
+        )
     except AlgebraicLoopError as exc:
         print(f"deadlock: {exc}", file=sys.stderr)
         return 1
@@ -526,6 +528,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace a block's first output (repeatable)",
     )
     p.add_argument("--csv", help="write the traces to a CSV file")
+    p.add_argument(
+        "--engine",
+        choices=("slots", "reference"),
+        default=None,
+        help=(
+            "execution engine: compiled slot kernels (default) or the "
+            "reference interpreter (default: $REPRO_SIM_ENGINE, else slots)"
+        ),
+    )
     p.set_defaults(handler=_cmd_simulate)
 
     p = sub.add_parser(

@@ -23,11 +23,13 @@ The estimate is calibrated against the full CAAM schedule by the tests
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.taskgraph import TaskGraph
 from ..mpsoc.platform import Bus, Platform, Processor
+from ..obs import recorder as _obs
 from ..uml.deployment import DeploymentPlan
 
 
@@ -91,6 +93,103 @@ class CostEstimate:
         )
 
 
+@dataclass
+class _GraphTables:
+    """Plan-independent precomputation shared by every candidate.
+
+    Condensation and topological ordering are the expensive parts of one
+    estimate (``O(V·E·log E)``) yet depend only on the graph — not the
+    deployment plan a DSE loop varies — so they are computed once per
+    graph and reused across the thousands of candidate evaluations an
+    exploration performs.  ``anchors`` fixes each super-node's placement
+    lookup to its lexicographically-first member, matching the previous
+    per-candidate ``sorted(group)[0]``.
+    """
+
+    fingerprint: Tuple[tuple, tuple]
+    member_of: Dict[str, str]
+    members: Dict[str, List[str]]
+    anchors: Dict[str, str]
+    order: List[str]
+    #: ``cycles_per_unit`` -> (duration, computation, super_duration).
+    by_unit: Dict[float, Tuple[Dict[str, float], float, Dict[str, float]]] = (
+        field(default_factory=dict)
+    )
+
+
+#: id(graph) -> tables; entries are evicted when the graph is collected
+#: and re-validated against the content fingerprint on every lookup, so
+#: id reuse or in-place mutation can never serve stale tables.
+_TABLE_CACHE: Dict[int, _GraphTables] = {}
+
+
+def _graph_fingerprint(graph: TaskGraph) -> Tuple[tuple, tuple]:
+    return (tuple(graph.node_weights.items()), tuple(graph.edges.items()))
+
+
+def _tables_for(graph: TaskGraph) -> _GraphTables:
+    key = id(graph)
+    fingerprint = _graph_fingerprint(graph)
+    tables = _TABLE_CACHE.get(key)
+    rec = _obs.get()
+    if tables is not None and tables.fingerprint == fingerprint:
+        if rec.enabled:
+            rec.incr("dse.estimate.table_hits")
+        return tables
+    if graph.is_dag():
+        dag, member_of = graph, {n: n for n in graph.node_weights}
+    else:
+        dag, member_of = graph.condensation()
+    members: Dict[str, List[str]] = {}
+    for node, label in member_of.items():
+        members.setdefault(label, []).append(node)
+    anchors = {
+        label: sorted(group)[0] for label, group in members.items()
+    }
+    order = dag.topological_order()
+    assert order is not None  # condensation is a DAG
+    # Note: the tables must not reference ``graph`` itself (when the graph
+    # is already a DAG, ``dag is graph``) — a strong reference from the
+    # cache value would root the graph and defeat the finalize-based
+    # eviction below.
+    tables = _GraphTables(
+        fingerprint=fingerprint,
+        member_of=member_of,
+        members=members,
+        anchors=anchors,
+        order=list(order),
+    )
+    if key not in _TABLE_CACHE:
+        try:
+            weakref.finalize(graph, _TABLE_CACHE.pop, key, None)
+        except TypeError:
+            pass  # graph type not weakref-able; entry lives for the process
+    _TABLE_CACHE[key] = tables
+    if rec.enabled:
+        rec.incr("dse.estimate.table_misses")
+    return tables
+
+
+def _durations_for(
+    tables: _GraphTables, graph: TaskGraph, cycles_per_unit: float
+) -> Tuple[Dict[str, float], float, Dict[str, float]]:
+    cached = tables.by_unit.get(cycles_per_unit)
+    if cached is not None:
+        return cached
+    duration = {
+        node: weight * cycles_per_unit
+        for node, weight in graph.node_weights.items()
+    }
+    computation = sum(duration.values())
+    super_duration = {
+        label: sum(duration[m] for m in group)
+        for label, group in tables.members.items()
+    }
+    cached = (duration, computation, super_duration)
+    tables.by_unit[cycles_per_unit] = cached
+    return cached
+
+
 def estimate_allocation(
     graph: TaskGraph,
     plan: DeploymentPlan,
@@ -110,11 +209,10 @@ def estimate_allocation(
     if platform is None:
         platform = default_platform(plan.cpus)
 
-    duration = {
-        node: weight * cycles_per_unit
-        for node, weight in graph.node_weights.items()
-    }
-    computation = sum(duration.values())
+    tables = _tables_for(graph)
+    duration, computation, super_duration = _durations_for(
+        tables, graph, cycles_per_unit
+    )
 
     inter = intra = 0.0
     delays: Dict[Tuple[str, str], float] = {}
@@ -127,7 +225,7 @@ def estimate_allocation(
             inter += cost
         delays[(src, dst)] = cost
 
-    makespan = _list_schedule(graph, plan, duration, delays)
+    makespan = _schedule_tables(tables, super_duration, plan, delays)
     busy: Dict[str, float] = {}
     for node, cycles in duration.items():
         cpu = plan.cpu_of(node)
@@ -147,29 +245,22 @@ def estimate_allocation(
     )
 
 
-def _list_schedule(
-    graph: TaskGraph,
+def _schedule_tables(
+    tables: _GraphTables,
+    super_duration: Dict[str, float],
     plan: DeploymentPlan,
-    duration: Dict[str, float],
     delays: Dict[Tuple[str, str], float],
 ) -> float:
-    """Makespan of list scheduling the (condensed) graph on the plan."""
-    if graph.is_dag():
-        dag, member_of = graph, {n: n for n in graph.node_weights}
-    else:
-        dag, member_of = graph.condensation()
-    # Super-node duration: sum of member durations; placement: the members'
-    # CPU (SCC members are co-located by any sane plan; if not, use the
-    # first member's CPU and charge the internal edges as intra anyway).
-    members: Dict[str, List[str]] = {}
-    for node, label in member_of.items():
-        members.setdefault(label, []).append(node)
-    super_duration = {
-        label: sum(duration[m] for m in group)
-        for label, group in members.items()
-    }
+    """Makespan of list scheduling the (condensed) graph on the plan.
+
+    Only the plan-dependent pieces run here: super-node placement (the
+    members' CPU — SCC members are co-located by any sane plan; if not,
+    the anchor member's CPU is used and the internal edges are charged as
+    intra anyway), inter-super-node delays, and the schedule sweep itself.
+    """
+    member_of = tables.member_of
     cpu_of = {
-        label: plan.cpu_of(sorted(group)[0]) for label, group in members.items()
+        label: plan.cpu_of(anchor) for label, anchor in tables.anchors.items()
     }
     super_delay: Dict[Tuple[str, str], float] = {}
     for (src, dst), cost in delays.items():
@@ -183,12 +274,10 @@ def _list_schedule(
     for (a, b), cost in super_delay.items():
         out_delays.setdefault(a, []).append((b, cost))
 
-    order = dag.topological_order()
-    assert order is not None  # condensation is a DAG
     earliest = {label: 0.0 for label in super_duration}
     cpu_free: Dict[str, float] = {}
     finish: Dict[str, float] = {}
-    for label in order:
+    for label in tables.order:
         cpu = cpu_of[label]
         start = max(earliest[label], cpu_free.get(cpu, 0.0))
         end = start + super_duration[label]
@@ -197,3 +286,24 @@ def _list_schedule(
         for successor, cost in out_delays.get(label, ()):
             earliest[successor] = max(earliest[successor], end + cost)
     return max(finish.values(), default=0.0)
+
+
+def _list_schedule(
+    graph: TaskGraph,
+    plan: DeploymentPlan,
+    duration: Dict[str, float],
+    delays: Dict[Tuple[str, str], float],
+) -> float:
+    """Compatibility wrapper: schedule via the per-graph table cache.
+
+    ``duration`` must cover every graph node (as :func:`estimate_allocation`
+    always provided); super-node durations are recomputed from it rather
+    than the per-unit cache, since arbitrary callers may pass arbitrary
+    durations.
+    """
+    tables = _tables_for(graph)
+    super_duration = {
+        label: sum(duration[m] for m in group)
+        for label, group in tables.members.items()
+    }
+    return _schedule_tables(tables, super_duration, plan, delays)

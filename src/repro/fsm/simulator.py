@@ -8,6 +8,14 @@ engine: library-authored strings, loud failures).
 Run-to-completion semantics: after consuming an event (or on a ``step``
 with no event), enabled completion (ε) transitions keep firing until none
 is enabled or a fixpoint bound is hit (guarding against ε-cycles).
+
+Expressions are compiled once: every distinct guard string and action
+statement becomes a code object in a process-wide cache at first sight
+(warmed eagerly at simulator construction), so the hot path evaluates
+precompiled code instead of re-parsing source per transition.  An
+expression that does not compile is kept as raw source and re-evaluated
+through ``eval`` at fire time, which reproduces the original error text
+byte-for-byte at the original moment.
 """
 
 from __future__ import annotations
@@ -35,8 +43,76 @@ _SAFE_BUILTINS = {
     "False": False,
 }
 
+#: Shared globals for every expression evaluation.  ``eval`` in expression
+#: mode cannot write globals, so one dict serves all machines.
+_EXPR_GLOBALS = {"__builtins__": _SAFE_BUILTINS}
+
 #: Bound on chained ε-transitions per step (run-to-completion safety net).
 MAX_COMPLETION_CHAIN = 64
+
+#: guard source -> code object (or raw source when compilation failed;
+#: evaluating the raw string reproduces the original error exactly).
+_GUARD_CACHE: Dict[str, object] = {}
+
+#: actions source -> tuple of (target name | None, statement, evaluatable).
+_ACTION_CACHE: Dict[str, Tuple[Tuple[Optional[str], str, object], ...]] = {}
+
+
+def _compile_expression(expression: str) -> object:
+    """Compile for ``eval``; fall back to raw source on any compile error.
+
+    ``eval`` tolerates leading spaces/tabs that a bare ``compile`` call
+    rejects with ``IndentationError``, so the source is left-stripped
+    first; the ``<string>`` filename keeps SyntaxError text identical to
+    the interpreted path.
+    """
+    try:
+        return compile(expression.lstrip(" \t"), "<string>", "eval")
+    except Exception:
+        return expression
+
+
+def _guard_code(guard: str) -> object:
+    code = _GUARD_CACHE.get(guard)
+    if code is None:
+        code = _compile_expression(guard)
+        _GUARD_CACHE[guard] = code
+        rec = _obs.get()
+        if rec.enabled:
+            rec.incr("fsm.compile.exprs")
+    return code
+
+
+def _action_ops(actions: str) -> Tuple[Tuple[Optional[str], str, object], ...]:
+    ops = _ACTION_CACHE.get(actions)
+    if ops is None:
+        parsed: List[Tuple[Optional[str], str, object]] = []
+        for statement in actions.split(";"):
+            statement = statement.strip()
+            if not statement:
+                continue
+            assignment = _ASSIGN_RE.match(statement)
+            if assignment:
+                expression = statement[assignment.end():]
+                parsed.append(
+                    (
+                        assignment.group(1),
+                        statement,
+                        _compile_expression(expression),
+                    )
+                )
+            else:
+                # Expression statements (e.g. emit-style calls) are evaluated
+                # for effect; unknown names fail loudly.
+                parsed.append(
+                    (None, statement, _compile_expression(statement))
+                )
+        ops = tuple(parsed)
+        _ACTION_CACHE[actions] = ops
+        rec = _obs.get()
+        if rec.enabled:
+            rec.incr("fsm.compile.exprs", len(ops))
+    return ops
 
 
 class FsmRuntimeError(FsmError):
@@ -56,6 +132,12 @@ class TraceEntry:
 class FsmSimulator:
     """Stateful executor for one FSM instance."""
 
+    #: Class-level defaults so partially-constructed instances (tests build
+    #: some via ``__new__``) still execute the stepping machinery.
+    max_completion_chain = 0
+    _guard_evals = 0
+    _adjacency: Optional[Tuple[int, Dict[str, List[FsmTransition]]]] = None
+
     def __init__(self, fsm: Fsm) -> None:
         problems = fsm.validate()
         errors = [p for p in problems if "unreachable" not in p]
@@ -71,16 +153,38 @@ class FsmSimulator:
         self._step_count = 0
         #: Longest ε-transition chain observed (run-to-completion depth).
         self.max_completion_chain = 0
+        self._guard_evals = 0
+        self._warm_caches()
         self._run_actions(self.fsm.state(self.current).entry)
 
     # -- expression handling ----------------------------------------------
+    def _warm_caches(self) -> None:
+        """Compile every guard/action up front (errors surface at use).
+
+        Warming populates the process-wide expression caches so the first
+        transition pays no compile cost.  Compile *failures* are swallowed
+        here: the broken source stays cached in raw form and fails at
+        evaluation time with exactly the message (and timing) the
+        per-transition interpreter produced.
+        """
+        for transition in self.fsm.transitions:
+            if transition.guard:
+                _guard_code(transition.guard)
+            if transition.action:
+                _action_ops(transition.action)
+        for state in self.fsm.states.values():
+            for actions in (state.entry, state.exit):
+                if actions:
+                    _action_ops(actions)
+
     def _eval_guard(self, guard: str) -> bool:
         if not guard:
             return True
+        self._guard_evals += 1
         try:
             return bool(
                 eval(  # noqa: S307 - restricted, library-authored
-                    guard, {"__builtins__": _SAFE_BUILTINS}, self.variables
+                    _guard_code(guard), _EXPR_GLOBALS, self.variables
                 )
             )
         except Exception as exc:
@@ -89,42 +193,40 @@ class FsmSimulator:
     def _run_actions(self, actions: str) -> None:
         if not actions:
             return
-        for statement in actions.split(";"):
-            statement = statement.strip()
-            if not statement:
-                continue
-            assignment = _ASSIGN_RE.match(statement)
-            if assignment:
-                name = assignment.group(1)
-                expression = statement[assignment.end():]
-                try:
-                    value = eval(  # noqa: S307 - restricted
-                        expression,
-                        {"__builtins__": _SAFE_BUILTINS},
-                        self.variables,
-                    )
-                except Exception as exc:
-                    raise FsmRuntimeError(
-                        f"action {statement!r} failed: {exc}"
-                    ) from exc
-                self.variables[name] = value
-            else:
-                # Expression statements (e.g. emit-style calls) are evaluated
-                # for effect; unknown names fail loudly.
-                try:
-                    eval(  # noqa: S307 - restricted
-                        statement,
-                        {"__builtins__": _SAFE_BUILTINS},
-                        self.variables,
-                    )
-                except Exception as exc:
-                    raise FsmRuntimeError(
-                        f"action {statement!r} failed: {exc}"
-                    ) from exc
+        variables = self.variables
+        for name, statement, code in _action_ops(actions):
+            try:
+                value = eval(  # noqa: S307 - restricted
+                    code, _EXPR_GLOBALS, variables
+                )
+            except Exception as exc:
+                raise FsmRuntimeError(
+                    f"action {statement!r} failed: {exc}"
+                ) from exc
+            if name is not None:
+                variables[name] = value
 
     # -- stepping ------------------------------------------------------------
+    def _transitions_from(self, state: str) -> Sequence[FsmTransition]:
+        """Per-state transition lists, rebuilt when the FSM grows.
+
+        :meth:`Fsm.transitions_from` scans every transition per call; the
+        cache groups them once.  The transition list is append-only, so a
+        length check suffices to detect machines mutated after this
+        simulator was built.
+        """
+        cached = self._adjacency
+        count = len(self.fsm.transitions)
+        if cached is None or cached[0] != count:
+            table: Dict[str, List[FsmTransition]] = {}
+            for transition in self.fsm.transitions:
+                table.setdefault(transition.source, []).append(transition)
+            cached = (count, table)
+            self._adjacency = cached
+        return cached[1].get(state, ())
+
     def _enabled(self, event: str) -> Optional[FsmTransition]:
-        for transition in self.fsm.transitions_from(self.current):
+        for transition in self._transitions_from(self.current):
             if transition.event != event:
                 continue
             if self._eval_guard(transition.guard):
@@ -172,14 +274,16 @@ class FsmSimulator:
         """Feed an event sequence; returns the state after each event.
 
         With an active observability recorder the run is wrapped in an
-        ``fsm.run`` span and reports events/sec, transitions fired, and the
-        deepest ε-chain to the metrics registry; with the null recorder
-        (the default) the loop is untouched.
+        ``fsm.run`` span and reports events/sec, transitions fired and
+        their rate, guard evaluations and their rate, and the deepest
+        ε-chain to the metrics registry; with the null recorder (the
+        default) the loop is untouched.
         """
         rec = _obs.get()
         if not rec.enabled:
             return [self.step(event) for event in events]
         fired_before = len(self.trace)
+        guards_before = self._guard_evals
         start = time.perf_counter()
         with rec.span(
             "fsm.run", category="sim", fsm=self.fsm.name, events=len(events)
@@ -188,10 +292,20 @@ class FsmSimulator:
         elapsed = time.perf_counter() - start
         rate = len(events) / elapsed if elapsed > 0 else 0.0
         fired = len(self.trace) - fired_before
+        guards = self._guard_evals - guards_before
         rec.incr("fsm.sim.runs")
         rec.incr("fsm.sim.events", len(events))
         rec.incr("fsm.sim.transitions", fired)
+        rec.incr("fsm.sim.guard_evals", guards)
         rec.gauge("fsm.sim.steps_per_sec", rate)
+        rec.gauge(
+            "fsm.sim.transitions_per_sec",
+            fired / elapsed if elapsed > 0 else 0.0,
+        )
+        rec.gauge(
+            "fsm.sim.guard_evals_per_sec",
+            guards / elapsed if elapsed > 0 else 0.0,
+        )
         rec.gauge("fsm.sim.max_completion_chain", self.max_completion_chain)
         span.set(transitions=fired, steps_per_sec=round(rate, 1))
         return states
@@ -199,6 +313,11 @@ class FsmSimulator:
     @property
     def in_final_state(self) -> bool:
         return self.fsm.state(self.current).is_final
+
+    @property
+    def guard_evaluations(self) -> int:
+        """Total guard evaluations performed by this simulator."""
+        return self._guard_evals
 
 
 def simulate(

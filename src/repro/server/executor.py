@@ -142,6 +142,63 @@ def _run_explore(
     )
 
 
+def _run_simulate(
+    spec: JobSpec, model: Model, cancelled: CancelHook
+) -> JobOutcome:
+    """Synthesize, then execute the CAAM over a batch of stimuli.
+
+    The batch goes through :meth:`Simulator.run_many`, so one compiled
+    slot plan serves every episode; results are returned as a JSON
+    artifact with one entry per stimulus (outputs + monitored signals).
+    """
+    from ..simulink.simulator import Simulator
+
+    options = dict(spec.options)
+    steps = options.get("steps", 100)
+    if not isinstance(steps, int) or isinstance(steps, bool) or steps < 0:
+        raise FlowError("'steps' must be a non-negative integer")
+    stimuli = options.get("stimuli", [{}])
+    if not isinstance(stimuli, list) or not all(
+        isinstance(s, dict) for s in stimuli
+    ):
+        raise FlowError("'stimuli' must be a list of stimulus objects")
+    if not stimuli:
+        raise FlowError("'stimuli' must name at least one episode")
+    monitor = options.get("monitor", [])
+    if not isinstance(monitor, list) or not all(
+        isinstance(p, str) for p in monitor
+    ):
+        raise FlowError("'monitor' must be a list of block paths")
+
+    synth_options = {
+        key: options[key] for key in ("use_cache",) if key in options
+    }
+    result = synthesize(model, **synth_options)
+    _checkpoint(cancelled)
+    simulator = Simulator(
+        result.caam, monitor=monitor, engine=options.get("engine")
+    )
+    episodes = simulator.run_many(steps, stimuli)
+    _checkpoint(cancelled)
+    episodes_doc = [
+        {"outputs": episode.outputs, "signals": episode.signals}
+        for episode in episodes
+    ]
+    payload: Dict[str, Any] = {
+        "model": result.caam.name,
+        "engine": simulator.engine,
+        "steps": steps,
+        "episodes": len(episodes),
+        "outputs": sorted(episodes[0].outputs),
+        "signals": sorted(episodes[0].signals),
+    }
+    return JobOutcome(
+        artifact_name=f"{result.caam.name}.sim.json",
+        artifact_text=json.dumps(episodes_doc, indent=2) + "\n",
+        payload=payload,
+    )
+
+
 def execute(
     spec: JobSpec,
     *,
@@ -154,4 +211,6 @@ def execute(
     _checkpoint(cancelled)
     if spec.kind == "synthesize":
         return _run_synthesize(spec, model, cancelled)
+    if spec.kind == "simulate":
+        return _run_simulate(spec, model, cancelled)
     return _run_explore(spec, model, cancelled, pool)

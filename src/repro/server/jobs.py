@@ -77,7 +77,7 @@ class StateError(RuntimeError):
 
 
 #: Job kinds the executor understands.
-KINDS = ("synthesize", "explore")
+KINDS = ("synthesize", "explore", "simulate")
 
 #: ``synthesize`` options a spec may forward (mirrors the keyword-only
 #: signature of :func:`repro.core.flow.synthesize`; ``behaviors`` is
@@ -98,6 +98,13 @@ SYNTHESIZE_OPTIONS = frozenset(
 #: ``explore`` options a spec may forward.
 EXPLORE_OPTIONS = frozenset(
     {"max_cpus", "objective", "exhaustive_threshold", "cycles_per_unit"}
+)
+
+#: ``simulate`` options a spec may forward.  ``stimuli`` is a list of
+#: stimulus objects (Inport name -> sample list), one batch episode each;
+#: ``engine`` selects the simulator engine (slot-compiled by default).
+SIMULATE_OPTIONS = frozenset(
+    {"steps", "stimuli", "monitor", "engine", "use_cache"}
 )
 
 
@@ -124,9 +131,11 @@ class JobSpec:
             )
         if not isinstance(self.options, dict):
             raise SpecError("'options' must be an object")
-        allowed = (
-            SYNTHESIZE_OPTIONS if self.kind == "synthesize" else EXPLORE_OPTIONS
-        )
+        allowed = {
+            "synthesize": SYNTHESIZE_OPTIONS,
+            "explore": EXPLORE_OPTIONS,
+            "simulate": SIMULATE_OPTIONS,
+        }[self.kind]
         unknown = sorted(set(self.options) - allowed)
         if unknown:
             raise SpecError(

@@ -275,6 +275,213 @@ register(
 )
 
 
+# -- slot-kernel specialization ----------------------------------------------
+#
+# The slot-compiled simulator (:mod:`repro.simulink.simulator`) executes a
+# model as a flat list of closures reading/writing a dense ``values`` slot
+# array.  For the highest-traffic block types a *kernel factory* builds a
+# closure specialized to the block instance (parameters resolved, slot
+# indices bound) so the hot loop pays no parameter lookups, no input-list
+# allocation and no ``BlockSemantics.step`` dispatch.  Types without a
+# factory (or instances a factory declines, e.g. a Sum whose sign string
+# does not match its port count) fall back to the generic ``step`` contract
+# and stay bit-identical to the reference interpreter by construction.
+#
+# Factory signature::
+#
+#     factory(block, values, states, state_index, src_slots, out_base)
+#         -> (output_fn | None, update_fn | None) | None
+#
+# ``values`` is the shared slot list, ``states`` the per-block state list,
+# ``state_index`` the block's index into it, ``src_slots`` the tuple of
+# source slot indices for the block's inputs, and ``out_base`` the first
+# slot of the block's output range.  Returning ``None`` declines the
+# instance (generic fallback); otherwise each phase closure may be ``None``
+# when the block contributes nothing to that phase.
+
+KernelPair = Tuple[Optional[Callable[[], None]], Optional[Callable[[], None]]]
+
+_KERNEL_FACTORIES: Dict[str, Callable[..., Optional[KernelPair]]] = {}
+
+
+def register_kernel(
+    block_type: str, factory: Callable[..., Optional[KernelPair]]
+) -> None:
+    """Register a slot-kernel specialization for a block type."""
+    _KERNEL_FACTORIES[block_type] = factory
+
+
+def kernel_factory_for(
+    block_type: str,
+) -> Optional[Callable[..., Optional[KernelPair]]]:
+    """The registered kernel factory, or ``None`` (→ generic fallback)."""
+    return _KERNEL_FACTORIES.get(block_type)
+
+
+def _kernel_gain(block, values, states, state_index, src_slots, out_base):
+    gain = float(block.parameters.get("Gain", 1.0))
+    s, d = src_slots[0], out_base
+
+    def output(v=values, s=s, d=d, gain=gain):
+        v[d] = gain * v[s]
+
+    return output, None
+
+
+def _kernel_sum(block, values, states, state_index, src_slots, out_base):
+    signs = str(block.parameters.get("Inputs", "+" * len(src_slots)))
+    signs = signs.replace("|", "")
+    if len(signs) != len(src_slots):
+        return None  # generic fallback reports the mismatch at run time
+    d = out_base
+    if len(src_slots) == 2:
+        a, b = src_slots
+        # The leading 0.0 reproduces the reference accumulator exactly
+        # (including the sign of zero: 0.0 + -0.0 is 0.0, not -0.0).
+        if signs[0] == "+" and signs[1] == "+":
+            def output(v=values, a=a, b=b, d=d):
+                v[d] = 0.0 + v[a] + v[b]
+        elif signs[0] == "+":
+            def output(v=values, a=a, b=b, d=d):
+                v[d] = 0.0 + v[a] - v[b]
+        elif signs[1] == "+":
+            def output(v=values, a=a, b=b, d=d):
+                v[d] = 0.0 - v[a] + v[b]
+        else:
+            def output(v=values, a=a, b=b, d=d):
+                v[d] = 0.0 - v[a] - v[b]
+        return output, None
+    plus = tuple(sign == "+" for sign in signs)
+
+    def output(v=values, terms=tuple(zip(plus, src_slots)), d=d):
+        total = 0.0
+        for add, s in terms:
+            total += v[s] if add else -v[s]
+        v[d] = total
+
+    return output, None
+
+
+def _kernel_product(block, values, states, state_index, src_slots, out_base):
+    d = out_base
+    if len(src_slots) == 2:
+        a, b = src_slots
+
+        def output(v=values, a=a, b=b, d=d):
+            v[d] = v[a] * v[b]
+
+        return output, None
+
+    def output(v=values, srcs=src_slots, d=d):
+        result = 1.0
+        for s in srcs:
+            result *= v[s]
+        v[d] = result
+
+    return output, None
+
+
+def _kernel_saturation(block, values, states, state_index, src_slots, out_base):
+    lower = float(block.parameters.get("LowerLimit", -1.0))
+    upper = float(block.parameters.get("UpperLimit", 1.0))
+    s, d = src_slots[0], out_base
+
+    def output(v=values, s=s, d=d, lower=lower, upper=upper):
+        v[d] = min(max(v[s], lower), upper)
+
+    return output, None
+
+
+def _kernel_abs(block, values, states, state_index, src_slots, out_base):
+    s, d = src_slots[0], out_base
+
+    def output(v=values, s=s, d=d):
+        v[d] = abs(v[s])
+
+    return output, None
+
+
+def _kernel_copy(block, values, states, state_index, src_slots, out_base):
+    """Pass-through kernel (CommChannel transport)."""
+    s, d = src_slots[0], out_base
+
+    def output(v=values, s=s, d=d):
+        v[d] = v[s]
+
+    return output, None
+
+
+def _kernel_constant(block, values, states, state_index, src_slots, out_base):
+    value = float(block.parameters.get("Value", 0.0))
+    d = out_base
+
+    def output(v=values, d=d, value=value):
+        v[d] = value
+
+    return output, None
+
+
+def _kernel_unit_delay(block, values, states, state_index, src_slots, out_base):
+    s, d, i = src_slots[0], out_base, state_index
+
+    def output(v=values, st=states, i=i, d=d):
+        v[d] = st[i]
+
+    def update(v=values, st=states, i=i, s=s):
+        # float() mirrors the reference step for exotic producers that
+        # write non-float values into the slot array.
+        st[i] = float(v[s])
+
+    return output, update
+
+
+def _kernel_relay(block, values, states, state_index, src_slots, out_base):
+    on_point = float(block.parameters.get("OnSwitchValue", 0.5))
+    off_point = float(block.parameters.get("OffSwitchValue", -0.5))
+    on_value = float(block.parameters.get("OnOutputValue", 1.0))
+    off_value = float(block.parameters.get("OffOutputValue", 0.0))
+    s, d, i = src_slots[0], out_base, state_index
+
+    def output(
+        v=values, st=states, i=i, s=s, d=d,
+        on_point=on_point, off_point=off_point,
+        on_value=on_value, off_value=off_value,
+    ):
+        engaged = bool(st[i])
+        value = v[s]
+        if engaged and value <= off_point:
+            engaged = False
+        elif not engaged and value >= on_point:
+            engaged = True
+        v[d] = on_value if engaged else off_value
+        st[i] = engaged
+
+    return output, None
+
+
+def _kernel_scope(block, values, states, state_index, src_slots, out_base):
+    if len(src_slots) != 1:
+        return None  # multi-input scopes record tuples; keep the generic path
+    s, i = src_slots[0], state_index
+
+    def update(v=values, st=states, i=i, s=s):
+        st[i].append(v[s])
+
+    return None, update
+
+
+register_kernel("Gain", _kernel_gain)
+register_kernel("Sum", _kernel_sum)
+register_kernel("Product", _kernel_product)
+register_kernel("Saturation", _kernel_saturation)
+register_kernel("Abs", _kernel_abs)
+register_kernel("CommChannel", _kernel_copy)
+register_kernel("Constant", _kernel_constant)
+register_kernel("UnitDelay", _kernel_unit_delay)
+register_kernel("Relay", _kernel_relay)
+register_kernel("Scope", _kernel_scope)
+
+
 #: Platform-library method names recognized by the mapping (paper §4.1).
 #: Method name (lower-case) -> (BlockType, default parameters, inputs).
 PLATFORM_BLOCKS: Dict[str, Tuple[str, Dict[str, object], int]] = {

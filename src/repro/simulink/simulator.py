@@ -10,17 +10,61 @@ block is direct-feedthrough has no valid evaluation order — the simulator
 raises :class:`AlgebraicLoopError` naming the blocks on the cycle.  After
 the temporal-barrier pass has inserted a ``UnitDelay`` into each such cycle
 the model schedules and runs.
+
+Two execution engines share the schedule (see ``docs/performance.md``):
+
+- ``"slots"`` (default) — a compile-once plan assigns every signal
+  ``(block, port)`` a dense integer slot in one preallocated flat list and
+  binds each block to a closure that reads/writes slots directly;
+  high-traffic types get specialized kernels, everything else falls back
+  to the generic :class:`~repro.simulink.blocks.BlockSemantics` contract.
+- ``"reference"`` — the original per-step dict interpreter, kept verbatim
+  as the oracle the differential tests compare against.
+
+Both engines produce bit-identical results; select with the ``engine=``
+argument or the ``REPRO_SIM_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..obs import recorder as _obs
 from . import blocks as libblocks
 from .model import Block, Port, SimulinkError, SimulinkModel, flatten
+
+#: Engine names accepted by :class:`Simulator` and ``REPRO_SIM_ENGINE``.
+ENGINE_SLOTS = "slots"
+ENGINE_REFERENCE = "reference"
+ENGINES = (ENGINE_SLOTS, ENGINE_REFERENCE)
+
+#: Output-phase sample count per step for block types whose write pattern
+#: is statically known (either a specialized kernel or a fixed-arity
+#: ``step``).  Types absent here produce a runtime-determined number of
+#: samples (S-Functions, extension blocks) and carry a per-step check.
+_STATIC_WRITES = {
+    "Gain": 1,
+    "Sum": 1,
+    "Product": 1,
+    "Saturation": 1,
+    "Abs": 1,
+    "CommChannel": 1,
+    "Constant": 1,
+    "UnitDelay": 1,
+    "Relay": 1,
+    "Scope": 0,
+    "Outport": 1,
+    "Terminator": 0,
+}
+
+
+def default_engine() -> str:
+    """The engine used when ``Simulator(engine=None)``: env var or slots."""
+    return os.environ.get("REPRO_SIM_ENGINE", ENGINE_SLOTS) or ENGINE_SLOTS
 
 
 class SimulationError(SimulinkError):
@@ -74,19 +118,27 @@ class SimulationResult:
             raise SimulationError(f"no monitored signal {path!r}") from None
 
     def to_csv(self) -> str:
-        """All recorded traces as CSV (step, outputs..., signals...)."""
+        """All recorded traces as CSV (step, outputs..., signals...).
+
+        Each column is formatted once; traces shorter than ``steps``
+        (ragged, e.g. a run aborted mid-way) are padded with explicit
+        empty cells so every row has one cell per column.
+        """
         columns = list(self.outputs) + list(self.signals)
         series = [self.outputs[c] for c in self.outputs] + [
             self.signals[c] for c in self.signals
         ]
+        cells = []
+        for samples in series:
+            column = [f"{value:g}" for value in samples[: self.steps]]
+            if len(column) < self.steps:
+                column.extend([""] * (self.steps - len(column)))
+            cells.append(column)
         lines = ["step," + ",".join(columns)]
         for step in range(self.steps):
-            row = [str(step)]
-            for samples in series:
-                row.append(
-                    f"{samples[step]:g}" if step < len(samples) else ""
-                )
-            lines.append(",".join(row))
+            lines.append(
+                ",".join([str(step)] + [column[step] for column in cells])
+            )
         return "\n".join(lines) + "\n"
 
 
@@ -99,13 +151,26 @@ class Simulator:
         The model to execute.
     monitor:
         Optional block paths whose first output should be traced.
+    engine:
+        ``"slots"`` (compiled, default) or ``"reference"`` (the original
+        interpreter, kept as the differential-test oracle).  ``None``
+        reads ``REPRO_SIM_ENGINE`` and falls back to ``"slots"``.
     """
 
     def __init__(
-        self, model: SimulinkModel, monitor: Optional[Sequence[str]] = None
+        self,
+        model: SimulinkModel,
+        monitor: Optional[Sequence[str]] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.model = model
         self.monitor = list(monitor or [])
+        self.engine = engine or default_engine()
+        if self.engine not in ENGINES:
+            raise SimulationError(
+                f"unknown simulation engine {self.engine!r}; "
+                f"expected one of {ENGINES}"
+            )
         self._blocks, edges = flatten(model)
         self._in_edges: Dict[Block, Dict[int, Port]] = {}
         for src, dst in edges:
@@ -121,6 +186,29 @@ class Simulator:
         #: Live signal slots observed on the last executed step (the
         #: dataflow analogue of queue depth; read by the obs layer).
         self._value_slots = 0
+        if self.engine == ENGINE_SLOTS:
+            rec = _obs.get()
+            if rec.enabled:
+                with rec.span(
+                    "simulink.compile",
+                    category="sim",
+                    model=self.model.name,
+                    blocks=len(self._blocks),
+                ) as span:
+                    self._compile_slots()
+                rec.incr("simulink.compile.models")
+                rec.gauge("simulink.compile.slots", self.compiled_slots)
+                rec.gauge(
+                    "simulink.compile.specialized", self.compiled_specialized
+                )
+                rec.gauge("simulink.compile.generic", self.compiled_generic)
+                span.set(
+                    slots=self.compiled_slots,
+                    specialized=self.compiled_specialized,
+                    generic=self.compiled_generic,
+                )
+            else:
+                self._compile_slots()
         self.reset()
 
     # -- scheduling -----------------------------------------------------------
@@ -138,10 +226,12 @@ class Simulator:
                     continue
                 successors[src.block].append(dst_block)
                 indegree[dst_block] += 1
-        ready = [b for b in self._blocks if indegree[b] == 0]
+        # A deque keeps the FIFO discipline of the original list.pop(0)
+        # (same deterministic order) at O(1) per dequeue instead of O(n).
+        ready = deque(b for b in self._blocks if indegree[b] == 0)
         ordered: List[Block] = []
         while ready:
-            block = ready.pop(0)
+            block = ready.popleft()
             ordered.append(block)
             for succ in successors[block]:
                 indegree[succ] -= 1
@@ -181,6 +271,209 @@ class Simulator:
             plan.append((block, kind, semantics, keys))
         return plan
 
+    # -- slot compilation -----------------------------------------------------
+    def _compile_slots(self) -> None:
+        """Build the dense-slot execution plan (the ``slots`` engine).
+
+        Every block gets a contiguous slot range in one flat ``values``
+        list (``max(num_outputs, 1, highest consumed port)`` wide, so
+        monitors and odd consumers always have a slot to read), and every
+        plan record becomes at most two zero-argument closures — one for
+        the output phase, one for the update phase — with all parameters,
+        source slots and state indices bound at compile time.
+
+        Unconnected inputs and statically-detectable missing samples are
+        found here; matching the reference engine, the error is *raised*
+        on the first :meth:`run` that executes at least one step (and the
+        update-phase variety even for ``run(0)``-style calls is deferred
+        identically, because the reference loop never runs either).
+        """
+        # Highest port index any consumer (gather, outport, monitor) reads
+        # from each block, so the slot range covers phantom reads.
+        consumed_max: Dict[Block, int] = {b: 0 for b in self._blocks}
+        for sources in self._in_edges.values():
+            for src in sources.values():
+                if src.block in consumed_max:
+                    consumed_max[src.block] = max(
+                        consumed_max[src.block], src.index
+                    )
+        slot_base: Dict[Block, int] = {}
+        total = 0
+        for block in self._order:
+            slot_base[block] = total
+            total += max(block.num_outputs, 1, consumed_max[block])
+        values = [0.0] * total
+        states: List[object] = [None] * len(self._order)
+        state_index = {block: i for i, block in enumerate(self._order)}
+
+        # Static output-phase write counts: kernels write a fixed number
+        # of slots; generic records report theirs per step (``None``).
+        writes: Dict[Block, Optional[int]] = {}
+        for block, kind, semantics, keys in self._plan:
+            if kind == 0:
+                writes[block] = 1
+            else:
+                writes[block] = _STATIC_WRITES.get(block.block_type)
+
+        # Gather-site census in reference chronological order: the output
+        # phase visits kind-1 records in plan order, then the update phase
+        # visits kind-2 records in plan order.  Because feedthrough
+        # consumers are topologically after all their producers, a gather
+        # can only fail through an unconnected input or a producer that
+        # wrote fewer samples than the consumed port index.
+        first_error: Optional[Tuple[tuple, SimulationError]] = None
+        runtime_checks: Dict[Block, List[Tuple[tuple, int, str]]] = {}
+        for position, (block, kind, semantics, keys) in enumerate(self._plan):
+            if kind == 0:
+                continue
+            phase = 0 if kind == 1 else 1
+            for index, key in enumerate(keys, start=1):
+                site = (phase, position, index)
+                if key is None:
+                    error: SimulationError = UnconnectedInputError(
+                        f"input {index} of block {block.path!r} "
+                        "is not connected"
+                    )
+                    if first_error is None or site < first_error[0]:
+                        first_error = (site, error)
+                    continue
+                src_block, src_index = key
+                produced = writes.get(src_block)
+                message = (
+                    f"internal scheduling error: value of {src_block.path}."
+                    f"out{src_index} not available when evaluating "
+                    f"{block.path!r}"
+                )
+                if produced is None:
+                    runtime_checks.setdefault(src_block, []).append(
+                        (site, src_index, message)
+                    )
+                elif src_index > produced:
+                    error = SimulationError(message)
+                    if first_error is None or site < first_error[0]:
+                        first_error = (site, error)
+        self._sp_run_error = first_error[1] if first_error else None
+
+        # Monitor resolution is hoisted here, but a bad path must still
+        # raise at run() time exactly like the reference engine does.
+        self._sp_monitor_error: Optional[Exception] = None
+        monitor_slots: List[Tuple[str, Optional[int]]] = []
+        try:
+            for path in self.monitor:
+                block = self.model.find(path)
+                base = slot_base.get(block)
+                monitor_slots.append((path, base))
+        except SimulinkError as exc:
+            self._sp_monitor_error = exc
+            monitor_slots = []
+        self._sp_monitors = monitor_slots
+
+        outports: List[Tuple[str, Optional[int]]] = []
+        for block in self._blocks:
+            if block.block_type == "Outport" and block.parent is self.model.root:
+                src = self._in_edges.get(block, {}).get(1)
+                slot = (
+                    slot_base[src.block] + src.index - 1
+                    if src is not None and src.block in slot_base
+                    else None
+                )
+                outports.append((block.name, slot))
+        self._sp_outports = outports
+        self._sp_scopes = [
+            (block.path, state_index[block])
+            for block in self._blocks
+            if block.block_type == "Scope"
+        ]
+
+        stim: List[Tuple[str, int]] = []
+        out_fns: List[object] = []
+        upd_fns: List[object] = []
+        write_counts: List[int] = []
+        static_census = 0
+        specialized = 0
+        generic = 0
+        for block, kind, semantics, keys in self._plan:
+            base = slot_base[block]
+            if kind == 0:
+                stim.append((block.name, base))
+                static_census += 1
+                continue
+            src_slots = tuple(
+                slot_base[key[0]] + key[1] - 1 if key is not None else 0
+                for key in keys
+            )
+            index = state_index[block]
+            factory = libblocks.kernel_factory_for(block.block_type)
+            pair = (
+                factory(block, values, states, index, src_slots, base)
+                if factory is not None and None not in keys
+                else None
+            )
+            if pair is not None:
+                output_fn, update_fn = pair
+                if output_fn is not None:
+                    out_fns.append(output_fn)
+                if update_fn is not None:
+                    upd_fns.append(update_fn)
+                specialized += 1
+                static_census += _STATIC_WRITES.get(block.block_type, 1)
+                continue
+            produced = writes.get(block)
+            if produced is not None and libblocks.kernel_factory_for(
+                block.block_type
+            ) is None and block.block_type in ("Outport", "Terminator"):
+                # Outport/Terminator sinks compute nothing: the reference
+                # engine's output-phase write is always 0.0 (zeros in,
+                # identity out) and its update phase only re-gathers, which
+                # the compile-time census above already covers.  Their
+                # slots stay at the 0.0 the array was initialized with.
+                static_census += produced
+                specialized += 1
+                continue
+            generic += 1
+            slot_cap = max(block.num_outputs, 1, consumed_max[block])
+            checks = tuple(
+                (needed, message)
+                for _site, needed, message in sorted(
+                    runtime_checks.get(block, [])
+                )
+            )
+            counter_index = len(write_counts)
+            write_counts.append(0)
+            out_fns.append(
+                _generic_output(
+                    block,
+                    semantics.step,
+                    values,
+                    states,
+                    index,
+                    src_slots,
+                    base,
+                    slot_cap,
+                    checks,
+                    write_counts,
+                    counter_index,
+                    feedthrough=kind == 1,
+                )
+            )
+            if kind == 2:
+                upd_fns.append(
+                    _generic_update(
+                        block, semantics.step, values, states, index, src_slots
+                    )
+                )
+        self._sp_values = values
+        self._sp_states = states
+        self._sp_state_index = state_index
+        self._sp_stim = stim
+        self._sp_out_fns = out_fns
+        self._sp_upd_fns = upd_fns
+        self._sp_write_counts = write_counts
+        self._sp_static_census = static_census
+        self.compiled_slots = total
+        self.compiled_specialized = specialized
+        self.compiled_generic = generic
+
     # -- execution --------------------------------------------------------------
     def reset(self) -> None:
         """Reset all block states to their initial values."""
@@ -191,6 +484,14 @@ class Simulator:
                 self._state[block] = semantics.initial_state(block)
             else:
                 self._state[block] = None
+        if self.engine == ENGINE_SLOTS:
+            states = self._sp_states
+            for block, index in self._sp_state_index.items():
+                if libblocks.has_semantics(block.block_type):
+                    semantics = libblocks.semantics_for(block.block_type)
+                    states[index] = semantics.initial_state(block)
+                else:
+                    states[index] = None
 
     def run(
         self,
@@ -217,6 +518,7 @@ class Simulator:
             model=self.model.name,
             steps=steps,
             blocks=len(self._blocks),
+            engine=self.engine,
         ) as span:
             result = self._run_steps(steps, inputs)
         elapsed = time.perf_counter() - start
@@ -235,12 +537,121 @@ class Simulator:
         span.set(steps_per_sec=round(rate, 1))
         return result
 
+    def run_many(
+        self,
+        steps: int,
+        stimuli: Sequence[Optional[Mapping[str, Sequence[float]]]],
+    ) -> List[SimulationResult]:
+        """Run a batch of independent episodes, one per stimulus.
+
+        Each episode starts from a fresh :meth:`reset`, so
+        ``run_many(n, [a, b])`` equals two cold ``run(n, ...)`` calls on
+        separate simulators while paying plan compilation only once —
+        the batch entry point the server and DSE sweeps amortize over.
+        """
+        rec = _obs.get()
+        if not rec.enabled:
+            results = []
+            for inputs in stimuli:
+                self.reset()
+                results.append(self._run_steps(steps, inputs))
+            return results
+        start = time.perf_counter()
+        with rec.span(
+            "simulink.run_many",
+            category="sim",
+            model=self.model.name,
+            episodes=len(stimuli),
+            steps=steps,
+            engine=self.engine,
+        ) as span:
+            results = []
+            for inputs in stimuli:
+                self.reset()
+                results.append(self._run_steps(steps, inputs))
+        elapsed = time.perf_counter() - start
+        total = steps * len(stimuli)
+        rate = total / elapsed if elapsed > 0 else 0.0
+        rec.incr("simulink.sim.batches")
+        rec.incr("simulink.sim.runs", len(stimuli))
+        rec.incr("simulink.sim.steps", total)
+        rec.gauge("simulink.sim.steps_per_sec", rate)
+        rec.gauge("simulink.sim.value_slots", self._value_slots)
+        span.set(steps_per_sec=round(rate, 1))
+        return results
+
     def _run_steps(
         self,
         steps: int,
         inputs: Optional[Mapping[str, Sequence[float]]] = None,
     ) -> SimulationResult:
-        """The uninstrumented fixed-step execution loop."""
+        """Dispatch to the engine selected at construction."""
+        if self.engine == ENGINE_REFERENCE:
+            return self._run_steps_reference(steps, inputs)
+        return self._run_steps_slots(steps, inputs)
+
+    def _run_steps_slots(
+        self,
+        steps: int,
+        inputs: Optional[Mapping[str, Sequence[float]]] = None,
+    ) -> SimulationResult:
+        """The slot-compiled execution loop."""
+        if steps < 0:
+            raise SimulationError(f"steps must be >= 0, got {steps}")
+        if self._sp_monitor_error is not None:
+            raise self._sp_monitor_error
+        inputs = dict(inputs or {})
+        result = SimulationResult(steps=steps)
+        for name, _slot in self._sp_outports:
+            result.outputs[name] = []
+        for path in self.monitor:
+            result.signals[path] = []
+        if steps and self._sp_run_error is not None:
+            raise self._sp_run_error
+
+        values = self._sp_values
+        out_fns = self._sp_out_fns
+        upd_fns = self._sp_upd_fns
+        stim = [
+            (slot, inputs.get(name, ())) for name, slot in self._sp_stim
+        ]
+        outs = [
+            (result.outputs[name], slot) for name, slot in self._sp_outports
+        ]
+        sigs = [
+            (result.signals[path], slot) for path, slot in self._sp_monitors
+        ]
+        for step_index in range(steps):
+            for slot, samples in stim:
+                values[slot] = (
+                    float(samples[step_index])
+                    if step_index < len(samples)
+                    else 0.0
+                )
+            for fn in out_fns:
+                fn()
+            for fn in upd_fns:
+                fn()
+            for trace, slot in outs:
+                trace.append(values[slot] if slot is not None else 0.0)
+            for trace, slot in sigs:
+                trace.append(values[slot] if slot is not None else 0.0)
+
+        if steps:
+            self._value_slots = self._sp_static_census + sum(
+                self._sp_write_counts
+            )
+        states = self._sp_states
+        for path, index in self._sp_scopes:
+            result.scopes[path] = list(states[index] or [])
+        return result
+
+    def _run_steps_reference(
+        self,
+        steps: int,
+        inputs: Optional[Mapping[str, Sequence[float]]] = None,
+    ) -> SimulationResult:
+        """The original interpreted loop, kept as the differential oracle."""
         if steps < 0:
             raise SimulationError(f"steps must be >= 0, got {steps}")
         inputs = dict(inputs or {})
@@ -333,6 +744,99 @@ class Simulator:
         return gathered
 
 
+def _generic_output(
+    block: Block,
+    step_fn,
+    values: List[float],
+    states: List[object],
+    state_index: int,
+    src_slots: Tuple[int, ...],
+    base: int,
+    slot_cap: int,
+    checks: Tuple[Tuple[int, str], ...],
+    write_counts: List[int],
+    counter_index: int,
+    *,
+    feedthrough: bool,
+) -> object:
+    """Output-phase closure for blocks without a specialized kernel.
+
+    Feedthrough blocks gather live inputs and commit state immediately;
+    stateful blocks see zeros and discard the state change (the update
+    closure re-runs the step with real inputs), exactly mirroring the
+    reference engine's two phases.  ``checks`` raises the reference
+    engine's "internal scheduling error" when the block produced fewer
+    samples than some consumer reads; surplus slots up to ``slot_cap``
+    are zeroed so monitor-style default reads stay at 0.0.
+    """
+    num_inputs = block.num_inputs
+    max_needed = max((needed for needed, _ in checks), default=0)
+
+    def output(
+        v=values,
+        st=states,
+        i=state_index,
+        srcs=src_slots,
+        step=step_fn,
+        block=block,
+        base=base,
+        cap=slot_cap,
+        checks=checks,
+        max_needed=max_needed,
+        wc=write_counts,
+        j=counter_index,
+        ni=num_inputs,
+        feedthrough=feedthrough,
+    ):
+        if feedthrough:
+            outputs, new_state = step(block, [v[s] for s in srcs], st[i])
+            st[i] = new_state
+        else:
+            outputs, _ = step(block, [0.0] * ni, st[i])
+        produced = len(outputs)
+        wc[j] = produced
+        if produced < max_needed:
+            for needed, message in checks:
+                if needed > produced:
+                    raise SimulationError(message)
+        position = base
+        limit = base + cap
+        for value in outputs:
+            if position >= limit:
+                break
+            v[position] = value
+            position += 1
+        while position < limit:
+            v[position] = 0.0
+            position += 1
+
+    return output
+
+
+def _generic_update(
+    block: Block,
+    step_fn,
+    values: List[float],
+    states: List[object],
+    state_index: int,
+    src_slots: Tuple[int, ...],
+) -> object:
+    """Update-phase closure: re-step with real inputs, commit state only."""
+
+    def update(
+        v=values,
+        st=states,
+        i=state_index,
+        srcs=src_slots,
+        step=step_fn,
+        block=block,
+    ):
+        _, new_state = step(block, [v[s] for s in srcs], st[i])
+        st[i] = new_state
+
+    return update
+
+
 def _find_cycle(
     remaining: List[Block], in_edges: Dict[Block, Dict[int, Port]]
 ) -> List[Block]:
@@ -365,9 +869,12 @@ def run_model(
     steps: int,
     inputs: Optional[Mapping[str, Sequence[float]]] = None,
     monitor: Optional[Sequence[str]] = None,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Convenience one-shot: build a :class:`Simulator` and run it."""
-    return Simulator(model, monitor=monitor).run(steps, inputs=inputs)
+    return Simulator(model, monitor=monitor, engine=engine).run(
+        steps, inputs=inputs
+    )
 
 
 def is_executable(model: SimulinkModel) -> Tuple[bool, Optional[List[str]]]:

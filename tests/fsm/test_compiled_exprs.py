@@ -1,0 +1,130 @@
+"""Precompiled guard/action expressions (repro.fsm.simulator).
+
+Guards and actions are compiled to code objects once per unique source
+string; behaviour — including the exact error messages and *when* they
+surface — must be indistinguishable from the original per-step ``eval``.
+"""
+
+import pytest
+
+from repro import obs
+from repro.fsm import Fsm, FsmRuntimeError, FsmSimulator
+from repro.fsm.simulator import _SAFE_BUILTINS
+
+
+def _fsm(guard=None, action=None):
+    fsm = Fsm("m")
+    fsm.add_state("a", initial=True)
+    fsm.add_state("b")
+    fsm.add_variable("x", 0.0)
+    fsm.add_transition("a", "b", event="go", guard=guard, action=action)
+    return fsm
+
+
+def _expected_eval_error(expression):
+    try:
+        eval(expression, {"__builtins__": _SAFE_BUILTINS}, {"x": 0.0})
+    except Exception as exc:  # noqa: BLE001 - the message is the point
+        return str(exc)
+    raise AssertionError(f"{expression!r} unexpectedly evaluated")
+
+
+class TestErrorParity:
+    def test_undefined_guard_variable_message(self):
+        simulator = FsmSimulator(_fsm(guard="q > 1"))
+        with pytest.raises(FsmRuntimeError) as excinfo:
+            simulator.step("go")
+        expected = _expected_eval_error("q > 1")
+        assert str(excinfo.value) == f"guard 'q > 1' failed: {expected}"
+
+    def test_syntax_error_guard_fails_at_step_not_construction(self):
+        # compile() fails during eager warm-up; the raw string is kept and
+        # re-evaluated at use, reproducing the original error then.
+        simulator = FsmSimulator(_fsm(guard="x =="))
+        with pytest.raises(FsmRuntimeError) as excinfo:
+            simulator.step("go")
+        expected = _expected_eval_error("x ==")
+        assert str(excinfo.value) == f"guard 'x ==' failed: {expected}"
+
+    def test_bad_action_message(self):
+        simulator = FsmSimulator(_fsm(action="x = x / 0"))
+        with pytest.raises(FsmRuntimeError) as excinfo:
+            simulator.step("go")
+        expected = _expected_eval_error("x / 0")
+        assert str(excinfo.value) == f"action 'x = x / 0' failed: {expected}"
+
+    def test_builtins_stay_restricted(self):
+        simulator = FsmSimulator(_fsm(guard="open('/etc/hosts')"))
+        with pytest.raises(FsmRuntimeError, match="guard"):
+            simulator.step("go")
+
+    def test_leading_whitespace_guard_still_evaluates(self):
+        # eval() tolerates leading blanks; compile() alone would raise
+        # IndentationError, so the compiler must strip them.
+        simulator = FsmSimulator(_fsm(guard="  x < 1"))
+        assert simulator.step("go") == "b"
+
+
+class TestCompiledSemantics:
+    def test_multi_statement_action_order(self):
+        simulator = FsmSimulator(_fsm(action="x = x + 1; x = x * 10"))
+        simulator.step("go")
+        assert simulator.variables["x"] == 10.0
+
+    def test_expression_statement_discarded(self):
+        simulator = FsmSimulator(_fsm(action="x + 41; x = x + 1"))
+        simulator.step("go")
+        assert simulator.variables["x"] == 1.0
+
+    def test_cache_shared_across_simulators(self):
+        fsm = _fsm(guard="x < 5", action="x = x + 1")
+        first = FsmSimulator(fsm)
+        second = FsmSimulator(fsm)
+        first.step("go")
+        second.step("go")
+        assert first.variables["x"] == second.variables["x"] == 1.0
+
+    def test_transitions_added_after_construction_fire(self):
+        # The adjacency cache is keyed by transition-list length, so a
+        # post-construction add_transition must be picked up.
+        fsm = _fsm()
+        simulator = FsmSimulator(fsm)
+        simulator.step("go")
+        fsm.add_transition("b", "a", event="back")
+        assert simulator.step("back") == "a"
+
+    def test_guard_evaluations_counted(self):
+        fsm = Fsm("m")
+        fsm.add_state("a", initial=True)
+        fsm.add_variable("x", 0.0)
+        fsm.add_transition("a", "a", event="go", guard="x >= 1")
+        fsm.add_transition("a", "a", event="go", guard="x < 1", action="x = x + 1")
+        simulator = FsmSimulator(fsm)
+        simulator.step("go")
+        assert simulator.guard_evaluations == 2
+
+
+class TestObservability:
+    def test_compile_and_rate_metrics(self):
+        recorder = obs.Recorder()
+        with obs.use(recorder):
+            # Unique expression text forces fresh compiles even when other
+            # tests already warmed the process-wide cache.
+            fsm = Fsm("m")
+            fsm.add_state("a", initial=True)
+            fsm.add_state("b")
+            fsm.add_variable("obs_x", 0.0)
+            fsm.add_transition(
+                "a",
+                "b",
+                event="go",
+                guard="obs_x <= 123456",
+                action="obs_x = obs_x + 123456",
+            )
+            simulator = FsmSimulator(fsm)
+            simulator.run(["go"])
+        metrics = recorder.metrics
+        assert metrics.counter("fsm.compile.exprs") >= 2
+        assert metrics.counter("fsm.sim.guard_evals") >= 1
+        assert metrics.counter("fsm.sim.transitions") == 1
+        assert metrics.gauge_value("fsm.sim.guard_evals_per_sec") > 0

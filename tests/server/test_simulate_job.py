@@ -1,0 +1,124 @@
+"""The ``simulate`` job kind: spec validation and served-result parity.
+
+A simulate job synthesizes the model through the same front door as a
+``synthesize`` job and then batch-executes the CAAM with
+:meth:`Simulator.run_many`; the served JSON artifact must match a direct
+library run episode for episode.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import didactic
+from repro.core.flow import FlowError, synthesize
+from repro.server import JobManager, JobSpec, JobState, SpecError
+from repro.server.executor import execute
+from repro.server.jobs import SIMULATE_OPTIONS
+from repro.simulink import Simulator
+
+from .test_manager import wait_for
+
+
+class TestSpecValidation:
+    def test_simulate_kind_admitted(self):
+        spec = JobSpec(
+            kind="simulate",
+            demo="didactic",
+            options={"steps": 10, "stimuli": [{}]},
+        )
+        assert spec.validate() is spec
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(SpecError) as excinfo:
+            JobSpec(
+                kind="simulate", demo="didactic", options={"step": 10}
+            ).validate()
+        assert "'step'" in str(excinfo.value)
+
+    def test_option_set_documented(self):
+        assert SIMULATE_OPTIONS == {
+            "steps", "stimuli", "monitor", "engine", "use_cache"
+        }
+
+    def test_round_trips_through_json(self):
+        spec = JobSpec(
+            kind="simulate",
+            demo="didactic",
+            options={"steps": 5, "engine": "reference"},
+        )
+        assert JobSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+
+class TestExecutorValidation:
+    def test_negative_steps_rejected(self):
+        spec = JobSpec(kind="simulate", demo="didactic", options={"steps": -1})
+        with pytest.raises(FlowError, match="steps"):
+            execute(spec)
+
+    def test_bool_steps_rejected(self):
+        spec = JobSpec(kind="simulate", demo="didactic", options={"steps": True})
+        with pytest.raises(FlowError, match="steps"):
+            execute(spec)
+
+    def test_non_list_stimuli_rejected(self):
+        spec = JobSpec(
+            kind="simulate", demo="didactic", options={"stimuli": {"In1": []}}
+        )
+        with pytest.raises(FlowError, match="stimuli"):
+            execute(spec)
+
+    def test_empty_stimuli_rejected(self):
+        spec = JobSpec(kind="simulate", demo="didactic", options={"stimuli": []})
+        with pytest.raises(FlowError, match="stimuli"):
+            execute(spec)
+
+    def test_bad_monitor_rejected(self):
+        spec = JobSpec(
+            kind="simulate", demo="didactic", options={"monitor": "m/x"}
+        )
+        with pytest.raises(FlowError, match="monitor"):
+            execute(spec)
+
+
+class TestSimulateDifferential:
+    def test_served_episodes_match_library_run_many(self):
+        stimuli = [{}, {}]
+        caam = synthesize(didactic.build_model()).caam
+        expected = [
+            {"outputs": episode.outputs, "signals": episode.signals}
+            for episode in Simulator(caam).run_many(20, stimuli)
+        ]
+
+        manager = JobManager(workers=1).start()
+        try:
+            job = manager.submit(
+                JobSpec(
+                    kind="simulate",
+                    demo="didactic",
+                    options={"steps": 20, "stimuli": stimuli},
+                )
+            )
+            assert wait_for(lambda: job.state.terminal, timeout=60.0)
+            assert job.state is JobState.DONE, job.error
+            assert job.outcome.artifact_name.endswith(".sim.json")
+            assert json.loads(job.outcome.artifact_text) == expected
+            assert job.outcome.payload["episodes"] == 2
+            assert job.outcome.payload["engine"] == "slots"
+        finally:
+            manager.shutdown()
+
+    def test_reference_engine_serves_identical_bytes(self):
+        slots = execute(
+            JobSpec(kind="simulate", demo="didactic", options={"steps": 15})
+        )
+        reference = execute(
+            JobSpec(
+                kind="simulate",
+                demo="didactic",
+                options={"steps": 15, "engine": "reference"},
+            )
+        )
+        assert slots.artifact_text == reference.artifact_text
+        assert slots.payload["engine"] == "slots"
+        assert reference.payload["engine"] == "reference"
