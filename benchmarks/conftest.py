@@ -105,11 +105,19 @@ def _measure_parallel() -> dict:
         if src in keep and dst in keep:
             graph.add_edge(src, dst, weight)
 
+    from repro.parallel.pool import resolve_workers
+
     start = time.perf_counter()
     serial = exhaustive_explore(graph, workers=1)
     serial_s = time.perf_counter() - start
+    # resolve_workers clamps the request to the host's core count (and
+    # falls back to the serial path on 1-core hosts), so the measured
+    # "speedup" reflects a configuration the pool would actually use —
+    # never the pathological 4-forks-on-1-core case.
+    requested_workers = 4
+    resolved_workers = resolve_workers(requested_workers)
     start = time.perf_counter()
-    pooled = exhaustive_explore(graph, workers=4)
+    pooled = exhaustive_explore(graph, workers=requested_workers)
     parallel_s = time.perf_counter() - start
     identical = [candidate_sort_key(c) for c in serial] == [
         candidate_sort_key(c) for c in pooled
@@ -137,6 +145,8 @@ def _measure_parallel() -> dict:
         "dse_graph_threads": len(keep),
         "dse_candidates": len(serial),
         "dse_serial_s": serial_s,
+        "dse_workers_requested": requested_workers,
+        "dse_workers_resolved": resolved_workers,
         "dse_workers4_s": parallel_s,
         "dse_parallel_speedup": serial_s / parallel_s if parallel_s else None,
         "dse_outputs_identical": identical,
@@ -218,7 +228,10 @@ def _measure_server():
 
     The synthesis cache is primed first so each job's cost is dominated by
     the server machinery (admission, scheduling, completion bookkeeping),
-    not by synthesis itself.
+    not by synthesis itself.  Each depth's run is also evaluated against
+    the server's default SLO targets — the per-depth p50/p95/p99 and
+    budget/burn numbers land in the BENCH document's ``"slo"`` section
+    (schema checked by ``tools/validate_trace.py --bench``).
     """
     from repro.core import synthesize
     from repro.apps import didactic
@@ -227,6 +240,8 @@ def _measure_server():
 
     state = cache.snapshot()
     depths = {}
+    slo_depths = {}
+    slo_meta = {}
     try:
         cache.configure(enabled=True)
         synthesize(didactic.build_model())  # warm the content cache
@@ -251,11 +266,53 @@ def _measure_server():
                     "p50_latency_s": stat.percentile(0.50) if stat else None,
                     "p95_latency_s": stat.percentile(0.95) if stat else None,
                 }
+                slo_depths[str(depth)] = _slo_depth_entry(manager)
+                if not slo_meta:
+                    slo_meta = {
+                        "window_s": manager.slo.window_s,
+                        "targets": {
+                            t.name: t.to_dict() for t in manager.slo.targets
+                        },
+                    }
             finally:
                 manager.shutdown()
     finally:
         cache.restore(state)
-    return {"workers": 2, "queue_depths": depths}
+    return {
+        "workers": 2,
+        "queue_depths": depths,
+        "slo": {**slo_meta, "queue_depths": slo_depths},
+    }
+
+
+def _slo_depth_entry(manager) -> dict:
+    """One queue depth's observed latency percentiles vs the SLO targets.
+
+    Summarizes the aggregate ``jobs`` target's latency objectives from a
+    live :meth:`JobManager.slo_report`: the three observed percentiles,
+    plus worst-case attainment/budget/burn/risk across them.
+    """
+    risks = ("ok", "warn", "breach")
+    document = manager.slo_report(publish=True)
+    latency = {
+        record["objective"]: record
+        for record in document["records"]
+        if record["target"] == "jobs" and record["objective"] != "availability"
+    }
+    entry = {
+        "p50_s": latency["p50"]["observed"],
+        "p95_s": latency["p95"]["observed"],
+        "p99_s": latency["p99"]["observed"],
+        "attainment_pct": min(r["attainment_pct"] for r in latency.values()),
+        "budget_remaining_pct": min(
+            r["budget_remaining_pct"] for r in latency.values()
+        ),
+        "burn_rate": max(r["burn_rate"] for r in latency.values()),
+        "risk": max(
+            (r["risk"] for r in latency.values()), key=risks.index
+        ),
+    }
+    return entry
 
 
 @pytest.fixture(scope="session")
@@ -292,6 +349,10 @@ def pytest_sessionfinish(session, exitstatus):
         "synthesize_mjpeg_s": total("bench.synthesize.mjpeg"),
         "parallel": parallel_stats,
         "server": server_stats,
+        # Hoisted for tools/validate_trace.py --bench and the ROADMAP's
+        # SLO trajectory: declared targets vs observed percentiles per
+        # benchmarked queue depth.
+        "slo": server_stats.get("slo", {}),
         "simkernel": _measure_simkernel(),
         "metrics": metrics.to_dict(),
     }

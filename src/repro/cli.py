@@ -45,9 +45,25 @@ Observability flags (global, before the subcommand):
 
 ``--trace-out`` writes a Chrome-trace / Perfetto ``trace_event`` JSON of
 every recorded span; ``--metrics-out`` writes the metrics-registry
-snapshot; ``-v``/``-vv`` turn on stdlib-logging INFO/DEBUG output.  Every
-command runs with a live recorder, so rates the CLI prints (simulate,
-explore) come from the same registry the files are written from.
+snapshot; ``-v``/``-vv`` turn on stdlib-logging INFO/DEBUG output, and
+``--log-json`` switches those lines to structured JSON records carrying
+``trace_id``/``span_id`` (and, on the server, ``job_id``) correlation
+fields.  Every command runs with a live recorder, so rates the CLI
+prints (simulate, explore) come from the same registry the files are
+written from.
+
+SLOs (see ``docs/observability.md``):
+
+::
+
+    repro serve --slo-config slo.json            # custom targets for /slo
+    repro slo-report --url http://127.0.0.1:8321 # scrape + summarize /slo
+    repro slo-report --metrics m.json            # offline, from a snapshot
+
+``--slo-config`` (global or after ``serve``) declares availability and
+latency targets; ``repro slo-report`` prints attainment, remaining error
+budget, and burn rate per objective, exiting 1 when any target is in
+breach.
 
 Every command returns a non-zero exit status on failure, making the CLI
 usable from build scripts.
@@ -332,6 +348,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_retries=args.max_retries),
         dse_workers=args.dse_workers,
         journal_path=args.journal,
+        # --slo-config (global or post-subcommand) was resolved into an
+        # engine on the ambient recorder by main(); default targets
+        # otherwise (JobManager falls back internally on None).
+        slo=getattr(obs.get(), "slo_engine", None),
     ).start()
     try:
         server = make_server(manager, host=args.host, port=args.port)
@@ -375,6 +395,82 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scrape_slo(base_url: str) -> dict:
+    """Fetch ``<base>/slo`` from a running server (stdlib urllib only)."""
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    url = base_url.rstrip("/") + "/slo"
+    try:
+        with urlopen(url, timeout=10.0) as response:
+            return json.load(response)
+    except HTTPError as exc:
+        # A breached SLO answers 503 *with* the report document — that
+        # is still a successful scrape, not a transport failure.
+        try:
+            return json.load(exc)
+        except ValueError:
+            raise CliError(f"cannot scrape {url}: HTTP {exc.code}") from exc
+    except (URLError, OSError, ValueError) as exc:
+        raise CliError(f"cannot scrape {url}: {exc}") from exc
+
+
+def _cmd_slo_report(args: argparse.Namespace) -> int:
+    """Summarize SLO attainment from a live server or a metrics file."""
+    import json
+
+    from .obs.slo import SloEngine, default_server_targets
+
+    if bool(args.metrics) == bool(args.url):
+        raise CliError(
+            "pick exactly one source: --metrics FILE.json or --url BASE"
+        )
+    if args.url:
+        document = _scrape_slo(args.url)
+    else:
+        if not os.path.exists(args.metrics):
+            raise CliError(f"no such file: {args.metrics}")
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            try:
+                raw = json.load(handle)
+            except ValueError as exc:
+                raise CliError(f"invalid JSON in {args.metrics}: {exc}") from exc
+        # Accept both shapes --metrics-out produces: a bare registry
+        # snapshot, or the {"census", "metrics"} report document.
+        snapshot = raw.get("metrics") if isinstance(raw.get("metrics"), dict) else raw
+        if not isinstance(snapshot, dict):
+            raise CliError(f"{args.metrics} is not a metrics snapshot")
+        slo_config = getattr(args, "slo_config", None)
+        try:
+            engine = (
+                SloEngine.from_config(slo_config)
+                if slo_config
+                else SloEngine(default_server_targets())
+            )
+        except (OSError, ValueError) as exc:
+            raise CliError(f"bad SLO config: {exc}") from exc
+        document = engine.evaluate_snapshot(snapshot)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(
+            f"SLO report (window {document.get('window_s', 0):g}s): "
+            f"overall risk {document.get('risk', '?')}"
+        )
+        for record in document.get("records", []):
+            objective = f"{record['target']}.{record['objective']}"
+            print(
+                f"  {objective:<28} observed {record['observed']:>9.4g} "
+                f"target {record['target_value']:>7.4g}  "
+                f"attain {record['attainment_pct']:6.2f}%  "
+                f"budget {record['budget_remaining_pct']:6.2f}%  "
+                f"burn {record['burn_rate']:6.3f}  "
+                f"{record['risk']}"
+            )
+    return 1 if document.get("risk") == "breach" else 0
+
+
 # ---------------------------------------------------------------------------
 # Parser assembly
 # ---------------------------------------------------------------------------
@@ -405,6 +501,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="count",
         default=0,
         help="log INFO (-v) or DEBUG (-vv) detail to stderr",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help=(
+            "emit log records as JSON lines with trace_id/span_id "
+            "correlation fields (see docs/observability.md)"
+        ),
+    )
+    parser.add_argument(
+        "--slo-config",
+        metavar="FILE.json",
+        help=(
+            "declare SLO targets (availability, latency percentiles); "
+            "evaluated into reports, /slo, and slo.* gauges"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -601,7 +713,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="same as the global --cache-dir, accepted after the subcommand",
     )
+    p.add_argument(
+        "--slo-config",
+        default=argparse.SUPPRESS,
+        metavar="FILE.json",
+        help="same as the global --slo-config, accepted after the subcommand",
+    )
     p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "slo-report",
+        help="SLO attainment/burn summary from /slo or a metrics file",
+    )
+    p.add_argument(
+        "--url",
+        metavar="BASE",
+        help="scrape BASE/slo from a running server (e.g. http://127.0.0.1:8321)",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="FILE.json",
+        help="evaluate offline against a --metrics-out snapshot",
+    )
+    p.add_argument(
+        "--slo-config",
+        default=argparse.SUPPRESS,
+        metavar="FILE.json",
+        help="targets for offline evaluation (default: the server targets)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report document instead of the summary table",
+    )
+    p.set_defaults(handler=_cmd_slo_report)
 
     p = sub.add_parser(
         "partition", help="split a thread into pipeline threads (future work)"
@@ -655,7 +800,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # argparse already printed its one-line error (or help text);
         # return instead of exiting so embedding callers keep control.
         return int(exc.code or 0)
-    obs.configure_logging(args.verbose)
+    obs.configure_logging(
+        args.verbose, fmt="json" if args.log_json else "text"
+    )
     # Cache configuration is scoped to this invocation (snapshot/restore),
     # so embedding callers — and the test suite — never inherit it.
     cache_state = parallel_cache.snapshot()
@@ -664,6 +811,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.cache_dir:
         parallel_cache.configure(enabled=True, directory=args.cache_dir)
     recorder = obs.Recorder()
+    if getattr(args, "slo_config", None) and args.command != "slo-report":
+        from .obs.slo import SloEngine
+
+        try:
+            engine = SloEngine.from_config(args.slo_config)
+        except (OSError, ValueError) as exc:
+            print(f"error: bad SLO config: {exc}", file=sys.stderr)
+            return 2
+        engine.attach(recorder.metrics)
+        recorder.slo_engine = engine
     try:
         with obs.use(recorder):
             try:

@@ -358,11 +358,19 @@ def _build_report(
     }
     if not rec.enabled:
         return ObservabilityReport(census=census, parallel=dict(parallel or {}))
+    # A recorder carrying an SLO engine (repro --slo-config, or one set
+    # programmatically) gets the run's targets evaluated into the report;
+    # publish=True lands the slo.* gauges in the snapshot taken below.
+    slo_doc: Dict[str, object] = {}
+    engine = getattr(rec, "slo_engine", None)
+    if engine is not None:
+        slo_doc = engine.evaluate(rec.metrics, publish=True)
     return ObservabilityReport(
         census=census,
         spans=[s for s in rec.spans[span_start:] if s.end_wall is not None],
         metrics=rec.metrics.to_dict(),
         parallel=dict(parallel or {}),
+        slo=slo_doc,
     )
 
 

@@ -29,7 +29,7 @@ the same switches as ``repro --trace-out FILE --metrics-out FILE -v``.
 """
 
 from .chrometrace import to_chrome_trace, write_chrome_trace
-from .logsetup import configure_logging
+from .logsetup import configure_logging, log_fields
 from .metrics import HistogramStat, MetricsRegistry, TimerStat
 from .recorder import (
     NULL,
@@ -37,6 +37,8 @@ from .recorder import (
     Recorder,
     Span,
     active,
+    current_span_id,
+    current_trace_id,
     disable,
     enable,
     get,
@@ -44,6 +46,7 @@ from .recorder import (
     use,
 )
 from .report import ObservabilityReport
+from .slo import SloEngine, SloTarget, default_server_targets
 
 __all__ = [
     "NULL",
@@ -52,13 +55,19 @@ __all__ = [
     "NullRecorder",
     "ObservabilityReport",
     "Recorder",
+    "SloEngine",
+    "SloTarget",
     "Span",
     "TimerStat",
     "active",
     "configure_logging",
+    "current_span_id",
+    "current_trace_id",
+    "default_server_targets",
     "disable",
     "enable",
     "get",
+    "log_fields",
     "set_recorder",
     "to_chrome_trace",
     "use",

@@ -1,10 +1,18 @@
 """Chrome ``trace_event`` export (loadable in ``chrome://tracing`` / Perfetto).
 
 The exporter emits the JSON-object flavour of the Trace Event Format: a
-``traceEvents`` array of complete-duration (``"ph": "X"``) events plus a
-process-name metadata event.  Timestamps are microseconds relative to the
-earliest span, which keeps the numbers small and the Perfetto timeline
-starting at zero.
+``traceEvents`` array of complete-duration (``"ph": "X"``) events plus
+process/thread-name metadata events.  Timestamps are microseconds
+relative to the earliest span, which keeps the numbers small and the
+Perfetto timeline starting at zero.
+
+Spans opened by different threads (the batch server's job workers) land
+on distinct ``tid`` lanes — numbered in order of first appearance, so
+documents stay deterministic for a given span list — while retroactively
+recorded spans (pool worker windows measured in another process) share
+the lane of the thread that materialized them.  Cross-thread parentage
+survives regardless of lanes via the ``args.parent_id`` links, which is
+what :func:`tools.validate_trace.validate_span_tree` walks.
 """
 
 from __future__ import annotations
@@ -14,8 +22,9 @@ from typing import Any, Dict, Iterable, List
 
 from .recorder import Span
 
-#: Process/thread ids used for every event (the flow is single-process).
+#: Process id used for every event (the flow is single-process).
 PID = 1
+#: Lane of the first-seen thread (the main/root lane).
 TID = 1
 
 
@@ -34,7 +43,27 @@ def to_chrome_trace(
             "args": {"name": process_name},
         }
     ]
+    lanes: Dict[int, int] = {}
     for span in closed:
+        lane = lanes.get(span.thread_id)
+        if lane is None:
+            lane = lanes[span.thread_id] = len(lanes) + TID
+            if span.thread_id:
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": PID,
+                        "tid": lane,
+                        "args": {
+                            "name": (
+                                "main"
+                                if lane == TID
+                                else f"thread-{span.thread_id}"
+                            )
+                        },
+                    }
+                )
         args: Dict[str, Any] = {"cpu_time_s": span.cpu_time}
         if span.parent_id is not None:
             args["parent_id"] = span.parent_id
@@ -49,7 +78,7 @@ def to_chrome_trace(
                 "ts": int((span.start_wall - origin) * 1e6),
                 "dur": max(int(span.duration * 1e6), 1),
                 "pid": PID,
-                "tid": TID,
+                "tid": lane,
                 "id": span.id,
                 "args": args,
             }

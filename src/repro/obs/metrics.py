@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import json
 import random
+import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 
 @dataclass
@@ -105,17 +106,37 @@ class HistogramStat:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """The ``q``-quantile (0..1) of the reservoir, interpolated."""
+        """The ``q``-quantile (0..1) of the reservoir, interpolated.
+
+        Well-defined on every input: an empty reservoir answers 0.0, a
+        single-sample reservoir answers that sample for every ``q``, and
+        ``q`` outside [0, 1] is clamped to the nearest bound — never an
+        index error, never an extrapolation past the observed min/max.
+        """
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
         if len(ordered) == 1:
             return ordered[0]
+        q = min(1.0, max(0.0, q))
         position = q * (len(ordered) - 1)
         lower = int(position)
         upper = min(lower + 1, len(ordered) - 1)
         fraction = position - lower
         return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    def fraction_over(self, threshold: float) -> float:
+        """Fraction of reservoir samples strictly above ``threshold``.
+
+        This is the violation estimator the SLO engine uses: with a
+        uniform reservoir the sample fraction is an unbiased estimate of
+        the true fraction of *all* observations over the bound.  An empty
+        reservoir answers 0.0 (no observations, no violations).
+        """
+        if not self._samples:
+            return 0.0
+        over = sum(1 for value in self._samples if value > threshold)
+        return over / len(self._samples)
 
     def to_dict(self) -> Dict[str, float]:
         """The aggregate (with p50/p95/p99) as a JSON-ready mapping."""
@@ -163,22 +184,41 @@ class MetricsRegistry:
         self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, TimerStat] = {}
         self._histograms: Dict[str, HistogramStat] = {}
+        self._tracked: set = set()
+        # Writes are read-modify-write on shared dicts/stats; the batch
+        # server observes from many worker threads into one registry, so
+        # every write path takes this (uncontended-cheap) lock.
+        self._lock = threading.Lock()
 
     # -- writing ----------------------------------------------------------
     def incr(self, name: str, amount: float = 1.0) -> None:
         """Add ``amount`` to the named counter (created at 0)."""
-        self._counters[name] = self._counters.get(name, 0.0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + amount
 
     def gauge(self, name: str, value: float) -> None:
         """Set the named gauge to its latest observed value."""
-        self._gauges[name] = float(value)
+        with self._lock:
+            self._gauges[name] = float(value)
 
     def observe(self, name: str, seconds: float) -> None:
-        """Record one duration observation on the named timer."""
-        stat = self._timers.get(name)
-        if stat is None:
-            stat = self._timers[name] = TimerStat()
-        stat.observe(seconds)
+        """Record one duration observation on the named timer.
+
+        Names registered with :meth:`track_percentiles` are additionally
+        mirrored into a histogram of the same name, so tail latency of a
+        timer-instrumented stage (e.g. ``flow.synthesize``) becomes
+        available to the SLO engine without re-instrumenting call sites.
+        """
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.observe(seconds)
+            if name in self._tracked:
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = HistogramStat()
+                hist.observe(seconds)
 
     def timer(self, name: str) -> _Timer:
         """Context manager timing its body into the named timer."""
@@ -186,10 +226,21 @@ class MetricsRegistry:
 
     def hist(self, name: str, value: float) -> None:
         """Record one observation on the named histogram."""
-        stat = self._histograms.get(name)
-        if stat is None:
-            stat = self._histograms[name] = HistogramStat()
-        stat.observe(value)
+        with self._lock:
+            stat = self._histograms.get(name)
+            if stat is None:
+                stat = self._histograms[name] = HistogramStat()
+            stat.observe(value)
+
+    def track_percentiles(self, names: Iterable[str]) -> None:
+        """Mirror future ``observe`` calls on ``names`` into histograms.
+
+        The SLO engine calls this for latency targets whose source is a
+        timer-backed span name; observations recorded *before* tracking
+        started are not recoverable (timers keep no reservoir).
+        """
+        with self._lock:
+            self._tracked.update(names)
 
     # -- reading ----------------------------------------------------------
     def counter(self, name: str) -> float:
@@ -218,19 +269,20 @@ class MetricsRegistry:
 
     def to_dict(self) -> Dict[str, Any]:
         """Snapshot: counters, gauges, timers, and histograms."""
-        snapshot: Dict[str, Any] = {
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
-            "timers": {
-                name: stat.to_dict()
-                for name, stat in sorted(self._timers.items())
-            },
-        }
-        if self._histograms:
-            snapshot["histograms"] = {
-                name: stat.to_dict()
-                for name, stat in sorted(self._histograms.items())
+        with self._lock:
+            snapshot: Dict[str, Any] = {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "timers": {
+                    name: stat.to_dict()
+                    for name, stat in sorted(self._timers.items())
+                },
             }
+            if self._histograms:
+                snapshot["histograms"] = {
+                    name: stat.to_dict()
+                    for name, stat in sorted(self._histograms.items())
+                }
         return snapshot
 
     def to_json(self, indent: int = 2) -> str:

@@ -14,21 +14,37 @@ The instrumentation contract for the whole package:
   :class:`Recorder` that collects nested :class:`Span` records and feeds a
   :class:`~repro.obs.metrics.MetricsRegistry`.
 
-Spans nest through an explicit stack on the recorder: the span opened
-last becomes the parent of the next one, which is exactly the call-tree
-shape the Chrome-trace exporter needs.  Every closed span also records
-its wall duration as a timer observation under its own name, so pass
-timings show up in the metrics JSON for free.
+Spans nest through an explicit **per-thread** stack on the recorder: the
+span a thread opened last becomes the parent of the next span *that
+thread* opens, which is exactly the call-tree shape the Chrome-trace
+exporter needs.  Concurrent threads (the batch server's job workers)
+each carry their own context, so their spans never cross-link by
+accident; explicit stitching across threads and processes uses
+``parent_id=`` overrides, :meth:`Recorder.attach`, and the
+:meth:`Recorder.open_span` / :meth:`Recorder.close_span` pair (a span
+opened on one thread and closed from another).  Every closed span also
+records its wall duration as a timer observation under its own name, so
+pass timings show up in the metrics JSON for free.
+
+Every recorder carries a ``trace_id`` (one per observability session);
+the structured-logging layer (:mod:`repro.obs.logsetup`) stamps it, plus
+the calling thread's current span id, on every log record, so logs and
+traces correlate.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from .metrics import MetricsRegistry
+
+#: Sentinel for "inherit the calling thread's current span as parent".
+_INHERIT: Any = object()
 
 
 @dataclass
@@ -45,6 +61,8 @@ class Span:
     end_cpu: Optional[float] = None
     error: Optional[str] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
+    #: Ident of the thread that opened the span (0 = retroactive record).
+    thread_id: int = 0
 
     @property
     def duration(self) -> float:
@@ -72,6 +90,7 @@ class Span:
             "cpu_time": self.cpu_time,
             "error": self.error,
             "attrs": dict(self.attrs),
+            "thread": self.thread_id,
         }
 
 
@@ -130,10 +149,29 @@ class NullRecorder:
     #: Shared registry kept empty — lets generic code read ``rec.metrics``.
     metrics = MetricsRegistry()
     spans: List[Span] = []
+    #: No observability session, hence no trace identity / SLO engine.
+    trace_id: Optional[str] = None
+    slo_engine: Optional[Any] = None
 
     def span(self, name: str, category: str = "", **attrs: Any) -> _NullSpan:
         """Return the shared no-op span handle."""
         return _NULL_SPAN
+
+    def open_span(self, name: str, **kwargs: Any) -> _NullSpan:
+        """Return the shared no-op span handle (cross-thread flavour)."""
+        return _NULL_SPAN
+
+    def close_span(self, span: Any, **kwargs: Any) -> None:
+        """No-op."""
+
+    def current_span_id(self) -> Optional[int]:
+        """No span context when disabled."""
+        return None
+
+    @contextmanager
+    def attach(self, parent_id: Optional[int]) -> Iterator[None]:
+        """No-op context manager (parity with :meth:`Recorder.attach`)."""
+        yield
 
     def incr(self, name: str, amount: float = 1.0) -> None:
         """No-op."""
@@ -168,43 +206,181 @@ NULL = NullRecorder()
 
 
 class Recorder:
-    """Collects spans and metrics for one observability session."""
+    """Collects spans and metrics for one observability session.
+
+    Safe to share across threads: span-id allocation and the span list
+    are lock-protected, and the nesting context is **per thread** — each
+    thread's spans nest under that thread's own open spans.  Cross-thread
+    parentage is explicit: pass ``parent_id=``, adopt a foreign context
+    with :meth:`attach`, or use :meth:`open_span`/:meth:`close_span` for
+    a span whose open and close happen on different threads.
+    """
 
     enabled: bool = True
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        *,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.metrics = metrics or MetricsRegistry()
         self.spans: List[Span] = []
-        self._stack: List[int] = []
+        #: One id per observability session; stamped on correlated logs.
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        #: Optional :class:`repro.obs.slo.SloEngine` evaluated into
+        #: :attr:`ObservabilityReport.slo` by the synthesis flow.
+        self.slo_engine: Optional[Any] = None
+        self._lock = threading.Lock()
+        self._tls = threading.local()
         self._next_id = 1
 
-    # -- span API ----------------------------------------------------------
-    def span(self, name: str, category: str = "", **attrs: Any) -> _SpanHandle:
-        """Open a nested span; close it by exiting the context manager."""
+    def _stack(self) -> List[int]:
+        """This thread's span-context stack (created on first use)."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def current_span_id(self) -> Optional[int]:
+        """Id of the calling thread's innermost open span, if any.
+
+        ``None`` both when no span is open on this thread and when the
+        context was explicitly rooted with ``attach(None)``.
+        """
+        stack = self._stack()
+        if not stack or stack[-1] < 0:
+            return None
+        return stack[-1]
+
+    @contextmanager
+    def attach(self, parent_id: Optional[int]) -> Iterator[None]:
+        """Adopt ``parent_id`` as the calling thread's span context.
+
+        This is the cross-thread stitching primitive: a server worker
+        thread attaches the job's root span id before executing, so every
+        span the execution opens (flow passes, pool worker windows)
+        parents into the job's tree instead of starting an orphan root.
+        """
+        stack = self._stack()
+        stack.append(parent_id if parent_id is not None else -1)
+        try:
+            yield
+        finally:
+            if stack:
+                stack.pop()
+
+    def _new_span(
+        self,
+        name: str,
+        category: str,
+        parent_id: Any,
+        start_wall: float,
+        start_cpu: float,
+        attrs: Dict[str, Any],
+        thread_id: int,
+    ) -> Span:
+        if parent_id is _INHERIT:
+            parent_id = self.current_span_id()
         span = Span(
-            id=self._next_id,
+            id=0,
             name=name,
             category=category,
-            parent_id=self._stack[-1] if self._stack else None,
-            start_wall=time.time(),
-            start_cpu=time.process_time(),
-            attrs=dict(attrs),
+            parent_id=parent_id,
+            start_wall=start_wall,
+            start_cpu=start_cpu,
+            attrs=attrs,
+            thread_id=thread_id,
         )
-        self._next_id += 1
-        self.spans.append(span)
-        self._stack.append(span.id)
+        with self._lock:
+            span.id = self._next_id
+            self._next_id += 1
+            self.spans.append(span)
+        return span
+
+    # -- span API ----------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        *,
+        parent_id: Any = _INHERIT,
+        **attrs: Any,
+    ) -> _SpanHandle:
+        """Open a nested span; close it by exiting the context manager.
+
+        ``parent_id`` overrides the inherited per-thread context: pass an
+        explicit span id to stitch under a span another thread (or an
+        earlier attempt) opened, or ``None`` to force a root.
+        """
+        span = self._new_span(
+            name,
+            category,
+            parent_id,
+            time.time(),
+            time.process_time(),
+            dict(attrs),
+            threading.get_ident(),
+        )
+        self._stack().append(span.id)
         return _SpanHandle(self, span)
 
     def _close(self, span: Span) -> None:
         span.end_wall = time.time()
         span.end_cpu = time.process_time()
         # Tolerate out-of-order exits (generators, exceptions): pop back to
-        # this span if it is still on the stack.
-        if span.id in self._stack:
-            while self._stack and self._stack[-1] != span.id:
-                self._stack.pop()
-            if self._stack:
-                self._stack.pop()
+        # this span if it is still on this thread's stack.
+        stack = self._stack()
+        if span.id in stack:
+            while stack and stack[-1] != span.id:
+                stack.pop()
+            if stack:
+                stack.pop()
+        self.metrics.observe(span.name, span.duration)
+
+    def open_span(
+        self,
+        name: str,
+        *,
+        category: str = "",
+        parent_id: Any = _INHERIT,
+        start_wall: Optional[float] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span without touching any thread's context stack.
+
+        The returned :class:`Span` may be closed from *any* thread with
+        :meth:`close_span` — this is the lifecycle primitive for spans
+        that outlive a single call frame, e.g. a server job's
+        submission-to-terminal window, whose open (admission) and close
+        (completion) happen on different threads.  Until closed, the span
+        is excluded from exports.
+        """
+        return self._new_span(
+            name,
+            category,
+            parent_id,
+            start_wall if start_wall is not None else time.time(),
+            0.0,
+            dict(attrs),
+            threading.get_ident(),
+        )
+
+    def close_span(
+        self,
+        span: Span,
+        *,
+        error: Optional[str] = None,
+        end_wall: Optional[float] = None,
+        **attrs: Any,
+    ) -> None:
+        """Close a span produced by :meth:`open_span` (idempotent)."""
+        if span.end_wall is not None:
+            return
+        span.end_wall = end_wall if end_wall is not None else time.time()
+        if error is not None:
+            span.error = error
+        span.attrs.update(attrs)
         self.metrics.observe(span.name, span.duration)
 
     def record_span(
@@ -215,6 +391,7 @@ class Recorder:
         *,
         category: str = "",
         cpu_seconds: float = 0.0,
+        parent_id: Any = _INHERIT,
         **attrs: Any,
     ) -> Span:
         """Record an already-finished span with externally measured times.
@@ -223,22 +400,15 @@ class Recorder:
         worker of the :mod:`repro.parallel` evaluation pool — lands in the
         trace: the worker measures its own wall window and the parent
         retroactively materializes a closed span from it.  The span nests
-        under the currently open span (if any) and feeds the metrics timer
-        exactly like a context-manager span.
+        under the calling thread's currently open span (or an explicit
+        ``parent_id``) and feeds the metrics timer exactly like a
+        context-manager span.
         """
-        span = Span(
-            id=self._next_id,
-            name=name,
-            category=category,
-            parent_id=self._stack[-1] if self._stack else None,
-            start_wall=start_wall,
-            start_cpu=0.0,
-            attrs=dict(attrs),
+        span = self._new_span(
+            name, category, parent_id, start_wall, 0.0, dict(attrs), 0
         )
-        self._next_id += 1
         span.end_wall = end_wall
         span.end_cpu = cpu_seconds
-        self.spans.append(span)
         self.metrics.observe(name, span.duration)
         return span
 
@@ -283,6 +453,20 @@ def get() -> AnyRecorder:
 def active() -> bool:
     """Whether a real recorder is installed."""
     return _current.enabled
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id of the installed recorder (``None`` when disabled).
+
+    The correlation hook for structured logging: every JSON log record
+    stamps this value so log lines join to the exported trace.
+    """
+    return _current.trace_id
+
+
+def current_span_id() -> Optional[int]:
+    """Innermost open span id on the calling thread (``None`` if none)."""
+    return _current.current_span_id()
 
 
 def set_recorder(recorder: AnyRecorder) -> AnyRecorder:

@@ -35,6 +35,10 @@ class ObservabilityReport:
     #: ``"miss"`` or ``"bypass"``) and, when the run drove the evaluation
     #: pool, worker/batch counts.  Empty when neither was involved.
     parallel: Dict[str, Any] = field(default_factory=dict)
+    #: SLO evaluation document (see :mod:`repro.obs.slo`): attainment,
+    #: error-budget remainder and burn rate per declared objective.
+    #: Filled only when the run's recorder carried an ``slo_engine``.
+    slo: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def recorded(self) -> bool:
@@ -52,6 +56,7 @@ class ObservabilityReport:
             "spans": [s.to_dict() for s in self.spans],
             "metrics": self.metrics,
             "parallel": self.parallel,
+            "slo": self.slo,
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -19,7 +19,11 @@ and merges the results **deterministically**:
 Workers report their wall window and batch size back to the parent, which
 materializes one ``dse.worker`` span per batch on the current recorder —
 parallel evaluation shows up in ``--trace-out`` timelines and the
-``dse.parallel.*`` counters without any cross-process tracing machinery.
+``dse.parallel.*`` counters without running a tracer inside the workers.
+The materialized spans inherit the dispatching thread's span context
+(the ``dse.explore`` span, or a server job's attempt span adopted via
+:meth:`Recorder.attach`), so worker windows stitch into the caller's
+trace tree instead of appearing as orphan roots.
 """
 
 from __future__ import annotations
@@ -37,6 +41,10 @@ from ..obs import recorder as _obs
 
 #: Environment variable supplying the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable disabling the CPU-count clamp (tests/benchmarks
+#: that must exercise the pool machinery on low-core hosts set this).
+WORKERS_FORCE_ENV = "REPRO_WORKERS_FORCE"
 
 #: Target number of batches dispatched per worker; >1 keeps the pool busy
 #: when batch runtimes vary, without drowning in per-task IPC overhead.
@@ -58,6 +66,15 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
     Returns at least 1; 1 means "stay serial".  A malformed environment
     value is treated as unset rather than crashing an otherwise valid run.
+
+    The result is clamped to ``os.cpu_count()``: forking more evaluation
+    workers than cores only adds IPC and scheduling overhead, which is
+    how a 4-worker request on a 1-core host produced a parallel
+    "speedup" of 0.13×.  On such hosts the clamp resolves to 1 — the
+    serial path — so ``dse_parallel_speedup`` can never be < 1 by
+    construction.  Setting :data:`WORKERS_FORCE_ENV` (``=1``) disables
+    the clamp for tests and benchmarks that must exercise the real pool
+    machinery regardless of core count.
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "")
@@ -65,7 +82,10 @@ def resolve_workers(workers: Optional[int] = None) -> int:
             workers = int(raw) if raw else 1
         except ValueError:
             workers = 1
-    return max(1, int(workers))
+    workers = max(1, int(workers))
+    if os.environ.get(WORKERS_FORCE_ENV, "") not in ("", "0"):
+        return workers
+    return min(workers, os.cpu_count() or 1)
 
 
 def batch_size_for(tasks: int, workers: int) -> int:

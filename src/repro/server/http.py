@@ -13,6 +13,9 @@ Endpoints (all JSON unless noted):
 ``GET /healthz``          liveness + utilization summary
 ``GET /metrics``          the full metrics-registry snapshot — the same
                           registry the CLI's ``--metrics-out`` writes
+``GET /slo``              live SLO evaluation: attainment, error budget,
+                          burn rate, and risk per declared objective
+                          (``200`` while within budget, ``503`` on breach)
 ========================  =====================================================
 
 Built on :class:`http.server.ThreadingHTTPServer` — no dependencies
@@ -116,6 +119,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._get_healthz()
         if parts == ["metrics"]:
             return self._get_metrics()
+        if parts == ["slo"]:
+            return self._get_slo()
         if parts == ["jobs"]:
             return self._get_jobs()
         if len(parts) == 2 and parts[0] == "jobs":
@@ -198,6 +203,13 @@ class _Handler(BaseHTTPRequestHandler):
     def _get_metrics(self) -> None:
         body = (self.manager.metrics.to_json() + "\n").encode("utf-8")
         self._send(200, body)
+
+    def _get_slo(self) -> None:
+        document = self.manager.slo_report()
+        # Breach surfaces as 503 so a plain HTTP prober (or an alerting
+        # rule keyed on status codes) needs no JSON parsing to page.
+        status = 503 if document["risk"] == "breach" else 200
+        self._send_json(status, document)
 
 
 def make_server(

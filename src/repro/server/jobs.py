@@ -222,6 +222,11 @@ class Job:
     outcome: Optional[JobOutcome] = None
     #: Cooperative cancellation flag polled by the executor.
     cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: The job's submission-to-terminal root span (a
+    #: :class:`repro.obs.Span`, set by the manager at admission).  Every
+    #: execution-attempt span stitches under it, so one job is one
+    #: subtree in the exported Chrome trace.
+    root_span: Optional[Any] = field(default=None, repr=False)
 
     def advance(self, target: JobState) -> None:
         """Transition to ``target``, enforcing the state machine."""

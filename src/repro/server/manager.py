@@ -20,10 +20,23 @@ One :class:`JobManager` is the entire serving brain; the HTTP layer in
   jobs drain, journals the still-queued specs, and reaps the worker pool.
 
 Everything the manager does is measured through :mod:`repro.obs` under
-the ``server.*`` key family (queue-depth/inflight gauges, per-state
-counters, a per-job latency histogram, one ``server.job`` span per
-execution), on the same registry the CLI's ``--metrics-out`` writes and
-``GET /metrics`` serves.
+the ``server.*`` key family (queue-depth/inflight gauges, per-state and
+per-kind counters, aggregate and per-kind latency histograms, a
+queue-wait histogram), on the same registry the CLI's ``--metrics-out``
+writes and ``GET /metrics`` serves.  Traces stitch: each job gets one
+``server.job`` root span covering submission to terminal state (opened
+at admission, closed from whichever thread finalizes the job), each
+execution attempt opens a ``server.job.attempt`` child on the worker
+thread, and the executor runs with that attempt attached as the
+thread's span context — so flow passes and DSE pool worker windows all
+land in the job's subtree instead of starting orphan roots.  Worker log
+records carry ``job_id`` via :func:`repro.obs.log_fields`.
+
+An :class:`~repro.obs.slo.SloEngine` (default:
+:func:`~repro.obs.slo.default_server_targets`) evaluates availability
+and latency targets against the same registry; ``GET /slo`` serves
+:meth:`JobManager.slo_report` and the published ``slo.*`` gauges enrich
+``/metrics``.
 """
 
 from __future__ import annotations
@@ -36,6 +49,8 @@ from typing import Any, Callable, Deque, Dict, List, Optional
 
 from .. import obs
 from ..obs import recorder as _obs
+from ..obs.logsetup import log_fields
+from ..obs.slo import RISK_LEVELS, SloEngine, default_server_targets
 from ..parallel.pool import PoolCancelled, SharedEvaluationPool
 from .executor import JobCancelled, execute
 from .jobs import Job, JobOutcome, JobSpec, JobState
@@ -82,6 +97,7 @@ class JobManager:
         journal_path: Optional[str] = None,
         executor: Optional[Executor] = None,
         recorder: Optional["_obs.AnyRecorder"] = None,
+        slo: Optional[SloEngine] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("JobManager needs at least 1 worker")
@@ -101,6 +117,13 @@ class JobManager:
         self._rec: "_obs.AnyRecorder" = (
             rec if rec.enabled else obs.Recorder()
         )
+        self.slo = slo or SloEngine(default_server_targets())
+        self.slo.attach(self._rec.metrics)
+        self._rec.slo_engine = self.slo
+        # Root anchor for job spans: the span open on the constructing
+        # thread (under `repro serve` that is the `cli.serve` span), so
+        # the whole serving session exports as one rooted tree.
+        self._anchor = self._rec.current_span_id()
         self._lock = threading.RLock()
         self._ready = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
@@ -201,6 +224,9 @@ class JobManager:
             self._pool.close()
             self._pool = None
         self._metrics_snapshot()
+        # Final SLO evaluation so --metrics-out written after shutdown
+        # carries the session's closing slo.* gauges.
+        self.slo.evaluate(self._rec.metrics, publish=True)
         return {"drained": drained, "journaled": journaled, "backlog": len(backlog)}
 
     @property
@@ -226,6 +252,14 @@ class JobManager:
                     f"admission queue is full ({self.queue_depth} queued)"
                 )
             job = Job(spec=spec)
+            job.root_span = self._rec.open_span(
+                "server.job",
+                category="server",
+                parent_id=self._anchor,
+                start_wall=job.submitted_at,
+                job=job.id,
+                kind=spec.kind,
+            )
             self._jobs[job.id] = job
             self._queue.append(job)
             self._rec.incr("server.jobs.submitted")
@@ -265,7 +299,24 @@ class JobManager:
                 "jobs": states,
                 "recovered_from_journal": self._recovered,
                 "dse_workers": self.dse_workers,
+                "slo_risk": self._last_slo_risk(),
             }
+
+    def _last_slo_risk(self) -> Optional[str]:
+        """Overall risk from the last published SLO evaluation, if any."""
+        value = self._rec.metrics.gauge_value("slo.risk")
+        if value is None:
+            return None
+        return RISK_LEVELS[min(int(value), len(RISK_LEVELS) - 1)]
+
+    def slo_report(self, *, publish: bool = True) -> Dict[str, Any]:
+        """Evaluate the SLO engine against the live registry.
+
+        The ``GET /slo`` document; with ``publish`` (the default) the
+        per-objective burn/budget/risk gauges are also written back into
+        the registry, enriching ``/metrics`` and ``--metrics-out``.
+        """
+        return self.slo.evaluate(self._rec.metrics, publish=publish)
 
     @property
     def metrics(self):
@@ -316,6 +367,13 @@ class JobManager:
                         self._queue.remove(job)
                         job.advance(JobState.RUNNING)
                         job.attempts += 1
+                        if job.attempts == 1:
+                            # Pure admission-to-dispatch wait; retry
+                            # backoff is intentional delay, not queueing.
+                            self._rec.hist(
+                                "server.job.queue_wait",
+                                max(0.0, now - job.submitted_at),
+                            )
                         job.started_at = job.started_at or now
                         job.deadline = now + (
                             job.spec.timeout_s or self.job_timeout_s
@@ -340,21 +398,33 @@ class JobManager:
             self._run_job(job)
 
     def _run_job(self, job: Job) -> None:
-        started = time.time()
         cancelled = job.cancel_event.is_set
+        root_id = job.root_span.id if job.root_span is not None else None
         try:
-            outcome = self._executor(
-                job.spec, cancelled=cancelled, pool=self._pool
-            )
+            # Adopt the job's root span as this worker thread's context
+            # and stamp job correlation on every log record: the attempt
+            # span — and everything the executor opens beneath it — now
+            # stitches into the job's subtree.
+            with self._rec.attach(root_id), log_fields(
+                job_id=job.id, job_kind=job.spec.kind
+            ):
+                with self._rec.span(
+                    "server.job.attempt",
+                    "server",
+                    job=job.id,
+                    attempt=job.attempts,
+                ):
+                    outcome = self._executor(
+                        job.spec, cancelled=cancelled, pool=self._pool
+                    )
         except BaseException as exc:  # noqa: BLE001 — full fault barrier
-            self._complete(job, started, error=exc)
+            self._complete(job, error=exc)
         else:
-            self._complete(job, started, outcome=outcome)
+            self._complete(job, outcome=outcome)
 
     def _complete(
         self,
         job: Job,
-        started: float,
         *,
         outcome: Optional[JobOutcome] = None,
         error: Optional[BaseException] = None,
@@ -401,17 +471,6 @@ class JobManager:
                 self._finalize_metrics(job)
                 final = JobState.FAILED
             self._metrics_snapshot()
-            if final is not None and self._rec.enabled:
-                self._rec.record_span(
-                    "server.job",
-                    started,
-                    now,
-                    category="server",
-                    job=job.id,
-                    kind=job.spec.kind,
-                    state=final.value,
-                    attempts=job.attempts,
-                )
             self._idle.notify_all()
 
     def _monitor_loop(self) -> None:
@@ -442,11 +501,28 @@ class JobManager:
     # -- metrics -----------------------------------------------------------
 
     def _finalize_metrics(self, job: Job) -> None:
-        """Per-state counter + latency histogram when a job goes terminal."""
-        self._rec.incr(f"server.jobs.{job.state.value}")
+        """Counters, latency histograms, and root-span close on terminal.
+
+        Called from every path that moves a job to a terminal state —
+        worker completion, client cancel, timeout monitor — so this is
+        also where the job's submission-to-terminal root span closes
+        (idempotently), whatever thread got there first.
+        """
+        state = job.state.value
+        kind = job.spec.kind
+        self._rec.incr(f"server.jobs.{state}")
+        self._rec.incr(f"server.jobs.{state}.{kind}")
         if job.finished_at is not None:
-            self._rec.hist(
-                "server.job.latency", job.finished_at - job.submitted_at
+            latency = job.finished_at - job.submitted_at
+            self._rec.hist("server.job.latency", latency)
+            self._rec.hist(f"server.job.latency.{kind}", latency)
+        if job.root_span is not None:
+            self._rec.close_span(
+                job.root_span,
+                error=job.error,
+                end_wall=job.finished_at,
+                state=state,
+                attempts=job.attempts,
             )
 
     def _metrics_snapshot(self) -> None:

@@ -1,0 +1,14 @@
+import pytest
+
+from repro.parallel import pool
+
+
+@pytest.fixture(autouse=True)
+def force_pool_workers(monkeypatch):
+    """Honour explicit ``workers=N`` requests even on low-core CI hosts.
+
+    ``resolve_workers`` clamps to ``os.cpu_count()`` by default (so real
+    runs never fork more workers than cores); these tests exercise the
+    pooled code paths deliberately, so the clamp is disabled.
+    """
+    monkeypatch.setenv(pool.WORKERS_FORCE_ENV, "1")

@@ -1,0 +1,180 @@
+"""Structured JSON logging with trace/span correlation."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs.logsetup import (
+    CorrelationFilter,
+    JsonFormatter,
+    current_log_fields,
+    log_fields,
+)
+
+
+@pytest.fixture
+def repro_logger():
+    """A clean ``repro`` logger tree for each test."""
+    logger = logging.getLogger("repro")
+    saved = list(logger.handlers)
+    saved_level = logger.level
+    logger.handlers = []
+    try:
+        yield logger
+    finally:
+        logger.handlers = saved
+        logger.setLevel(saved_level)
+
+
+def capture_json(verbosity=1):
+    stream = io.StringIO()
+    obs.configure_logging(verbosity, stream, fmt="json")
+    return stream
+
+
+def lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonFormat:
+    def test_core_keys(self, repro_logger):
+        stream = capture_json()
+        logging.getLogger("repro.test").info("hello %s", "world")
+        (doc,) = lines(stream)
+        assert doc["level"] == "INFO"
+        assert doc["logger"] == "repro.test"
+        assert doc["message"] == "hello world"
+        assert isinstance(doc["ts"], float)
+
+    def test_no_recorder_means_no_correlation_keys(self, repro_logger):
+        stream = capture_json()
+        logging.getLogger("repro.test").warning("bare")
+        (doc,) = lines(stream)
+        assert "trace_id" not in doc
+        assert "span_id" not in doc
+
+    def test_trace_and_span_ids_match_active_recorder(self, repro_logger):
+        stream = capture_json()
+        rec = obs.Recorder()
+        with obs.use(rec):
+            with rec.span("work", category="test") as span:
+                logging.getLogger("repro.test").info("inside")
+                span_id = span.id
+        (doc,) = lines(stream)
+        assert doc["trace_id"] == rec.trace_id
+        assert doc["span_id"] == span_id
+
+    def test_span_id_tracks_nesting(self, repro_logger):
+        stream = capture_json()
+        rec = obs.Recorder()
+        with obs.use(rec):
+            with rec.span("outer"):
+                with rec.span("inner") as inner:
+                    logging.getLogger("repro.test").info("deep")
+                    inner_id = inner.id
+                logging.getLogger("repro.test").info("shallow")
+        deep, shallow = lines(stream)
+        assert deep["span_id"] == inner_id
+        assert shallow["span_id"] != inner_id
+
+    def test_exception_fields(self, repro_logger):
+        stream = capture_json()
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logging.getLogger("repro.test").exception("failed")
+        (doc,) = lines(stream)
+        assert doc["exc_type"] == "RuntimeError"
+        assert "boom" in doc["exc"]
+
+    def test_unserializable_values_degrade_to_str(self, repro_logger):
+        stream = capture_json()
+        with log_fields(payload=object()):
+            logging.getLogger("repro.test").warning("odd")
+        (doc,) = lines(stream)
+        assert doc["payload"].startswith("<object object")
+
+
+class TestLogFields:
+    def test_fields_merge_into_records(self, repro_logger):
+        stream = capture_json()
+        with log_fields(job_id="j-1", job_kind="synthesize"):
+            logging.getLogger("repro.test").info("working")
+        (doc,) = lines(stream)
+        assert doc["job_id"] == "j-1"
+        assert doc["job_kind"] == "synthesize"
+
+    def test_nesting_overrides_and_restores(self):
+        with log_fields(job_id="outer", stage="map"):
+            with log_fields(job_id="inner"):
+                assert current_log_fields() == {
+                    "job_id": "inner",
+                    "stage": "map",
+                }
+            assert current_log_fields()["job_id"] == "outer"
+        assert current_log_fields() == {}
+
+    def test_filter_always_passes(self):
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "m", (), None
+        )
+        assert CorrelationFilter().filter(record) is True
+        assert record.trace_id is None
+        assert record.context_fields == {}
+
+
+class TestConfigure:
+    def test_reconfigure_is_idempotent(self, repro_logger):
+        stream = io.StringIO()
+        obs.configure_logging(1, stream, fmt="text")
+        obs.configure_logging(1, stream, fmt="json")
+        obs.configure_logging(1, stream, fmt="json")
+        assert len(repro_logger.handlers) == 1
+        handler = repro_logger.handlers[0]
+        assert isinstance(handler.formatter, JsonFormatter)
+        assert sum(
+            isinstance(f, CorrelationFilter) for f in handler.filters
+        ) == 1
+
+    def test_format_switch_round_trips(self, repro_logger):
+        stream = io.StringIO()
+        obs.configure_logging(1, stream, fmt="json")
+        obs.configure_logging(1, stream, fmt="text")
+        logging.getLogger("repro.test").info("plain")
+        assert stream.getvalue() == "INFO repro.test: plain\n"
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown log format"):
+            obs.configure_logging(0, fmt="yaml")
+
+    def test_text_records_still_carry_correlation(self, repro_logger):
+        captured = []
+
+        class Sink(logging.Handler):
+            def emit(self, record):
+                captured.append(record)
+
+        stream = io.StringIO()
+        obs.configure_logging(1, stream, fmt="text")
+        sink = Sink()
+        repro_logger.addHandler(sink)
+        rec = obs.Recorder()
+        with obs.use(rec):
+            with rec.span("work"):
+                logging.getLogger("repro.test").info("line")
+        # The filter sits on the repro-obs handler; the record the text
+        # handler emitted was enriched before formatting.
+        handler = next(
+            h for h in repro_logger.handlers if h.get_name() == "repro-obs"
+        )
+        record = logging.LogRecord(
+            "repro.y", logging.INFO, __file__, 1, "m", (), None
+        )
+        with obs.use(obs.Recorder()) as active:
+            with active.span("s"):
+                for filt in handler.filters:
+                    filt.filter(record)
+                assert record.trace_id == active.trace_id

@@ -3,7 +3,7 @@
 import json
 import time
 
-from repro.obs import MetricsRegistry
+from repro.obs import HistogramStat, MetricsRegistry
 
 
 class TestCountersAndGauges:
@@ -83,3 +83,51 @@ class TestExport:
         registry.gauge("b", 1)
         registry.observe("c", 1)
         assert len(registry) == 3
+
+
+class TestHistogramEdgeCases:
+    """Percentile math must be total: no input may raise or extrapolate."""
+
+    def test_empty_reservoir_percentile_is_zero(self):
+        hist = HistogramStat()
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.percentile(q) == 0.0
+
+    def test_single_sample_answers_itself_for_every_q(self):
+        hist = HistogramStat()
+        hist.observe(3.25)
+        for q in (-1.0, 0.0, 0.5, 0.99, 1.0, 2.0):
+            assert hist.percentile(q) == 3.25
+
+    def test_q_is_clamped_not_extrapolated(self):
+        hist = HistogramStat()
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.percentile(-0.5) == 1.0
+        assert hist.percentile(1.5) == 3.0
+        assert hist.percentile(0.5) == 2.0
+
+    def test_interpolation_between_samples(self):
+        hist = HistogramStat()
+        for value in (0.0, 10.0):
+            hist.observe(value)
+        assert hist.percentile(0.25) == 2.5
+        assert hist.percentile(0.75) == 7.5
+
+    def test_fraction_over_empty_is_zero(self):
+        assert HistogramStat().fraction_over(1.0) == 0.0
+
+    def test_fraction_over_is_strict(self):
+        hist = HistogramStat()
+        for value in (1.0, 1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.fraction_over(1.0) == 0.5
+        assert hist.fraction_over(0.5) == 1.0
+        assert hist.fraction_over(3.0) == 0.0
+
+    def test_to_dict_of_empty_histogram_is_all_zero(self):
+        doc = HistogramStat().to_dict()
+        assert doc["count"] == 0
+        assert doc["min"] == 0.0
+        assert doc["p50"] == 0.0
+        assert doc["p99"] == 0.0

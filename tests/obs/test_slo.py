@@ -1,0 +1,260 @@
+"""SLO engine: targets, windows, burn rates, risk levels, config."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (
+    RISK_LEVELS,
+    SloEngine,
+    SloTarget,
+    default_server_targets,
+    _estimate_fraction_over,
+)
+
+
+def _availability_target(pct=99.0):
+    return SloTarget(
+        name="jobs",
+        availability_pct=pct,
+        good=("jobs.done",),
+        bad=("jobs.failed", "jobs.timed_out"),
+    )
+
+
+def _latency_target(**bounds):
+    return SloTarget(name="lat", source="job.latency", **bounds)
+
+
+def _record(document, target, objective):
+    for record in document["records"]:
+        if record["target"] == target and record["objective"] == objective:
+            return record
+    raise AssertionError(f"no record for {target}.{objective}")
+
+
+class TestAvailability:
+    def test_all_good_is_ok_with_full_budget(self):
+        registry = MetricsRegistry()
+        registry.incr("jobs.done", 100)
+        engine = SloEngine([_availability_target()])
+        record = _record(engine.evaluate(registry), "jobs", "availability")
+        assert record["events"] == 100
+        assert record["errors"] == 0
+        assert record["attainment_pct"] == 100.0
+        assert record["budget_remaining_pct"] == 100.0
+        assert record["burn_rate"] == 0.0
+        assert record["risk"] == "ok"
+
+    def test_burn_rate_is_error_fraction_over_allowed(self):
+        registry = MetricsRegistry()
+        registry.incr("jobs.done", 995)
+        registry.incr("jobs.failed", 5)
+        engine = SloEngine([_availability_target(99.0)])
+        record = _record(engine.evaluate(registry), "jobs", "availability")
+        # 0.5% errors against a 1% budget: half the budget burned.
+        assert record["error_fraction"] == pytest.approx(0.005)
+        assert record["burn_rate"] == pytest.approx(0.5)
+        assert record["budget_remaining_pct"] == pytest.approx(50.0)
+        assert record["risk"] == "warn"
+
+    def test_breach_when_budget_exhausted(self):
+        registry = MetricsRegistry()
+        registry.incr("jobs.done", 90)
+        registry.incr("jobs.failed", 10)
+        engine = SloEngine([_availability_target(99.0)])
+        document = engine.evaluate(registry)
+        record = _record(document, "jobs", "availability")
+        assert record["burn_rate"] >= 1.0
+        assert record["budget_remaining_pct"] == 0.0
+        assert record["risk"] == "breach"
+        assert document["risk"] == "breach"
+
+    def test_zero_events_is_vacuously_ok(self):
+        engine = SloEngine([_availability_target()])
+        record = _record(
+            engine.evaluate(MetricsRegistry()), "jobs", "availability"
+        )
+        assert record["events"] == 0
+        assert record["attainment_pct"] == 100.0
+        assert record["burn_rate"] == 0.0
+        assert record["risk"] == "ok"
+
+
+class TestLatency:
+    def test_all_under_bound_is_ok(self):
+        registry = MetricsRegistry()
+        for _ in range(50):
+            registry.hist("job.latency", 0.1)
+        engine = SloEngine([_latency_target(p95_s=1.0)])
+        record = _record(engine.evaluate(registry), "lat", "p95")
+        assert record["observed"] == pytest.approx(0.1)
+        assert record["errors"] == 0
+        assert record["risk"] == "ok"
+
+    def test_violation_fraction_drives_burn(self):
+        registry = MetricsRegistry()
+        # 10% of observations over the bound against p95's 5% allowance:
+        # burn rate 2 — a breach.
+        for index in range(100):
+            registry.hist("job.latency", 5.0 if index < 10 else 0.1)
+        engine = SloEngine([_latency_target(p95_s=1.0)])
+        record = _record(engine.evaluate(registry), "lat", "p95")
+        assert record["error_fraction"] == pytest.approx(0.10)
+        assert record["burn_rate"] == pytest.approx(2.0)
+        assert record["risk"] == "breach"
+
+    def test_missing_histogram_is_vacuously_ok(self):
+        engine = SloEngine([_latency_target(p50_s=1.0, p95_s=2.0, p99_s=3.0)])
+        document = engine.evaluate(MetricsRegistry())
+        for objective in ("p50", "p95", "p99"):
+            record = _record(document, "lat", objective)
+            assert record["events"] == 0
+            assert record["risk"] == "ok"
+
+    def test_attach_tracks_timer_sources(self):
+        registry = MetricsRegistry()
+        engine = SloEngine([SloTarget(name="s", source="flow.x", p95_s=1.0)])
+        engine.attach(registry)
+        registry.observe("flow.x", 0.2)  # a closed span feeding its timer
+        assert registry.histogram_stat("flow.x") is not None
+        record = _record(engine.evaluate(registry), "s", "p95")
+        assert record["events"] == 1
+
+
+class TestRollingWindow:
+    def test_old_errors_age_out(self):
+        registry = MetricsRegistry()
+        engine = SloEngine([_availability_target(99.0)], window_s=60.0)
+        registry.incr("jobs.failed", 50)
+        registry.incr("jobs.done", 50)
+        first = _record(
+            engine.evaluate(registry, now=1000.0), "jobs", "availability"
+        )
+        assert first["risk"] == "breach"
+        # A clean later window: only the delta since the in-window base
+        # point counts, so the early failures no longer burn budget.
+        registry.incr("jobs.done", 100)
+        mid = engine.evaluate(registry, now=1050.0)
+        registry.incr("jobs.done", 100)
+        later = _record(
+            engine.evaluate(registry, now=1120.0), "jobs", "availability"
+        )
+        assert later["errors"] == 0.0
+        assert later["risk"] == "ok"
+
+    def test_counts_are_window_deltas(self):
+        registry = MetricsRegistry()
+        engine = SloEngine([_availability_target(99.0)], window_s=60.0)
+        registry.incr("jobs.done", 10)
+        engine.evaluate(registry, now=0.0)
+        registry.incr("jobs.done", 5)
+        record = _record(
+            engine.evaluate(registry, now=30.0), "jobs", "availability"
+        )
+        assert record["events"] == 5
+
+
+class TestPublish:
+    def test_publish_writes_gauges(self):
+        registry = MetricsRegistry()
+        registry.incr("jobs.done", 10)
+        engine = SloEngine([_availability_target()])
+        engine.evaluate(registry, publish=True)
+        assert registry.gauge_value("slo.jobs.availability.burn_rate") == 0.0
+        assert (
+            registry.gauge_value("slo.jobs.availability.budget_remaining_pct")
+            == 100.0
+        )
+        assert registry.gauge_value("slo.jobs.availability.risk") == 0.0
+        assert registry.gauge_value("slo.risk") == 0.0
+
+    def test_risk_gauge_encodes_levels(self):
+        registry = MetricsRegistry()
+        registry.incr("jobs.failed", 10)
+        engine = SloEngine([_availability_target()])
+        engine.evaluate(registry, publish=True)
+        assert registry.gauge_value("slo.risk") == float(
+            RISK_LEVELS.index("breach")
+        )
+
+
+class TestConfig:
+    def test_from_config_roundtrip(self, tmp_path):
+        config = {
+            "window_s": 120,
+            "warn_burn": 0.25,
+            "targets": [
+                {
+                    "name": "api",
+                    "availability_pct": 99.9,
+                    "good": ["ok"],
+                    "bad": ["err"],
+                },
+                {"name": "lat", "source": "h", "p95_s": 0.5},
+            ],
+        }
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(config))
+        engine = SloEngine.from_config(str(path))
+        assert engine.window_s == 120.0
+        assert engine.warn_burn == 0.25
+        assert [t.name for t in engine.targets] == ["api", "lat"]
+        assert engine.targets[1].p95_s == 0.5
+
+    def test_bare_list_shorthand(self):
+        engine = SloEngine.from_config([{"name": "x", "source": "h", "p50_s": 1}])
+        assert engine.targets[0].p50_s == 1.0
+
+    def test_rejects_unknown_keys_and_missing_name(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            SloTarget.from_dict({"name": "x", "p95_ms": 10})
+        with pytest.raises(ValueError, match="name"):
+            SloTarget.from_dict({"p95_s": 10})
+        with pytest.raises(ValueError, match="targets"):
+            SloEngine.from_config({"targets": []})
+
+    def test_duplicate_target_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEngine([_latency_target(p50_s=1.0), _latency_target(p50_s=2.0)])
+
+    def test_default_server_targets_cover_kinds_and_queue(self):
+        names = {t.name for t in default_server_targets()}
+        assert {"synthesize", "explore", "simulate", "jobs", "queue-wait"} <= names
+
+
+class TestSnapshotEvaluation:
+    def test_offline_matches_live_availability(self):
+        registry = MetricsRegistry()
+        registry.incr("jobs.done", 95)
+        registry.incr("jobs.failed", 5)
+        engine = SloEngine([_availability_target(99.0)])
+        live = _record(engine.evaluate(registry), "jobs", "availability")
+        offline = _record(
+            SloEngine([_availability_target(99.0)]).evaluate_snapshot(
+                registry.to_dict()
+            ),
+            "jobs",
+            "availability",
+        )
+        assert offline["errors"] == live["errors"]
+        assert offline["burn_rate"] == pytest.approx(live["burn_rate"])
+        assert offline["risk"] == live["risk"]
+
+    def test_fraction_over_interpolates_anchors(self):
+        hist = {
+            "count": 100,
+            "min": 0.0,
+            "p50": 1.0,
+            "p95": 2.0,
+            "p99": 4.0,
+            "max": 10.0,
+        }
+        assert _estimate_fraction_over(hist, 10.0) == 0.0
+        assert _estimate_fraction_over(hist, -1.0) == 1.0
+        assert _estimate_fraction_over(hist, 1.0) == pytest.approx(0.5)
+        assert _estimate_fraction_over(hist, 2.0) == pytest.approx(0.05)
+        # Halfway between p95 (2.0) and p99 (4.0): CDF ~0.97.
+        assert _estimate_fraction_over(hist, 3.0) == pytest.approx(0.03)
+        assert _estimate_fraction_over({"count": 0}, 1.0) == 0.0

@@ -121,6 +121,24 @@ class TestPoolMechanics:
         monkeypatch.setenv("REPRO_WORKERS", "0")
         assert resolve_workers(None) == 1
 
+    def test_resolve_workers_clamps_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS_FORCE", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        assert resolve_workers(8) == 2
+        assert resolve_workers(1) == 1
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert resolve_workers(4) == 1
+        # cpu_count() may legitimately answer None: treat as 1 core.
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert resolve_workers(4) == 1
+
+    def test_resolve_workers_force_env_disables_clamp(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        monkeypatch.setenv("REPRO_WORKERS_FORCE", "1")
+        assert resolve_workers(4) == 4
+        monkeypatch.setenv("REPRO_WORKERS_FORCE", "0")
+        assert resolve_workers(4) == 1
+
     def test_batch_size_targets_batches_per_worker(self):
         assert batch_size_for(1000, 4) == 63
         assert batch_size_for(3, 4) == 1

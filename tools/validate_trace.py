@@ -3,13 +3,20 @@
 
 Usage::
 
-    python tools/validate_trace.py trace.json [--metrics metrics.json]
+    python tools/validate_trace.py trace.json [--metrics metrics.json] [--tree]
+    python tools/validate_trace.py --slo slo.json
+    python tools/validate_trace.py --bench BENCH_obs.json
 
 Checks the Chrome-trace document (``--trace-out`` output) for Trace Event
 Format conformance — Perfetto loadability — and optionally the metrics
 snapshot (``--metrics-out`` output) for the registry schema and the
-documented synthesis keys.  Exits non-zero with a message on the first
-violation; CI's smoke job runs this after a real ``repro synthesize``.
+documented synthesis keys.  ``--tree`` additionally requires the trace's
+spans to form a single rooted tree: every ``args.parent_id`` must resolve
+to another event in the document (no orphan roots from worker threads or
+retries).  ``--slo`` validates a ``GET /slo`` / ``repro slo-report
+--json`` document, and ``--bench`` validates the ``"slo"`` section of
+``BENCH_obs.json``.  Exits non-zero with a message on the first
+violation; CI's smoke jobs run this after real ``repro`` invocations.
 """
 
 from __future__ import annotations
@@ -33,6 +40,37 @@ SYNTHESIS_TIMER_KEYS = (
 
 #: Counter key prefixes a synthesize run must produce.
 SYNTHESIS_COUNTER_PREFIXES = ("mapping.rule.", "optimize.channels.")
+
+#: Risk levels an SLO record may carry, in increasing severity.
+SLO_RISKS = ("ok", "warn", "breach")
+
+#: Fields every SLO record must carry.
+SLO_RECORD_FIELDS = (
+    "target",
+    "objective",
+    "target_value",
+    "observed",
+    "events",
+    "errors",
+    "attainment_pct",
+    "budget_remaining_pct",
+    "burn_rate",
+    "risk",
+)
+
+#: Objectives an SLO record may evaluate.
+SLO_OBJECTIVES = ("availability", "p50", "p95", "p99")
+
+#: Per-depth fields the BENCH_obs.json "slo" section must carry.
+BENCH_SLO_DEPTH_FIELDS = (
+    "p50_s",
+    "p95_s",
+    "p99_s",
+    "attainment_pct",
+    "budget_remaining_pct",
+    "burn_rate",
+    "risk",
+)
 
 
 def validate_trace(document: Dict[str, Any]) -> None:
@@ -63,6 +101,37 @@ def validate_trace(document: Dict[str, Any]) -> None:
         raise ValueError("trace holds no complete ('X') events")
 
 
+def validate_span_tree(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless the trace's spans form one rooted tree.
+
+    Every complete event's ``args.parent_id`` must name another complete
+    event in the same document (a worker/retry span whose parent was
+    never exported is an *orphan root* — the stitching bug this guards
+    against), and exactly one span may be parentless.
+    """
+    events = [
+        e
+        for e in document.get("traceEvents", [])
+        if isinstance(e, dict) and e.get("ph") == "X"
+    ]
+    ids = {e.get("id") for e in events if e.get("id") is not None}
+    roots = []
+    for event in events:
+        parent = (event.get("args") or {}).get("parent_id")
+        if parent is None:
+            roots.append(event)
+        elif parent not in ids:
+            raise ValueError(
+                f"span {event.get('name')!r} (id {event.get('id')}) has "
+                f"unresolvable parent_id {parent} — orphaned subtree"
+            )
+    if len(roots) != 1:
+        names = sorted(str(e.get("name")) for e in roots)
+        raise ValueError(
+            f"expected exactly one root span, found {len(roots)}: {names}"
+        )
+
+
 def validate_metrics(document: Dict[str, Any], *, synthesis: bool = True) -> None:
     """Raise ``ValueError`` unless ``document`` is a metrics snapshot.
 
@@ -86,20 +155,141 @@ def validate_metrics(document: Dict[str, Any], *, synthesis: bool = True) -> Non
             raise ValueError(f"no counter with documented prefix {prefix!r}")
 
 
+def _check_record(record: Any, where: str) -> None:
+    if not isinstance(record, dict):
+        raise ValueError(f"{where} is not an object")
+    for field in SLO_RECORD_FIELDS:
+        if field not in record:
+            raise ValueError(f"{where} lacks {field!r}")
+    if record["objective"] not in SLO_OBJECTIVES:
+        raise ValueError(
+            f"{where}: unknown objective {record['objective']!r}"
+        )
+    if record["risk"] not in SLO_RISKS:
+        raise ValueError(f"{where}: unknown risk {record['risk']!r}")
+    for field in ("attainment_pct", "budget_remaining_pct"):
+        value = record[field]
+        if not isinstance(value, (int, float)) or not 0 <= value <= 100:
+            raise ValueError(f"{where}: {field} must be in [0, 100]")
+    burn = record["burn_rate"]
+    if not isinstance(burn, (int, float)) or burn < 0:
+        raise ValueError(f"{where}: burn_rate must be non-negative")
+    if burn >= 1.0 and record["risk"] != "breach":
+        raise ValueError(
+            f"{where}: burn_rate {burn} >= 1 must be risk 'breach', "
+            f"got {record['risk']!r}"
+        )
+
+
+def validate_slo(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a ``/slo`` report."""
+    if not isinstance(document, dict):
+        raise ValueError("SLO document must be an object")
+    for field in ("window_s", "risk", "targets", "records"):
+        if field not in document:
+            raise ValueError(f"SLO document lacks {field!r}")
+    if document["risk"] not in SLO_RISKS:
+        raise ValueError(f"unknown overall risk {document['risk']!r}")
+    targets = document["targets"]
+    if not isinstance(targets, list) or not targets:
+        raise ValueError("'targets' must be a non-empty array")
+    names = set()
+    for index, target in enumerate(targets):
+        if not isinstance(target, dict) or "name" not in target:
+            raise ValueError(f"target #{index} lacks 'name'")
+        names.add(target["name"])
+    records = document["records"]
+    if not isinstance(records, list) or not records:
+        raise ValueError("'records' must be a non-empty array")
+    worst = 0
+    for index, record in enumerate(records):
+        _check_record(record, f"record #{index}")
+        if record["target"] not in names:
+            raise ValueError(
+                f"record #{index} references undeclared target "
+                f"{record['target']!r}"
+            )
+        worst = max(worst, SLO_RISKS.index(record["risk"]))
+    if SLO_RISKS.index(document["risk"]) != worst:
+        raise ValueError(
+            f"overall risk {document['risk']!r} does not match worst "
+            f"record risk {SLO_RISKS[worst]!r}"
+        )
+
+
+def validate_bench_slo(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless BENCH_obs.json carries a valid "slo".
+
+    The section declares the targets and, per benchmarked queue depth,
+    the observed p50/p95/p99 with attainment/budget/burn against them.
+    """
+    section = document.get("slo")
+    if not isinstance(section, dict):
+        raise ValueError("BENCH document lacks an 'slo' object")
+    for field in ("window_s", "targets", "queue_depths"):
+        if field not in section:
+            raise ValueError(f"'slo' section lacks {field!r}")
+    if not isinstance(section["targets"], dict) or not section["targets"]:
+        raise ValueError("'slo.targets' must be a non-empty object")
+    depths = section["queue_depths"]
+    if not isinstance(depths, dict) or not depths:
+        raise ValueError("'slo.queue_depths' must be a non-empty object")
+    for depth, entry in depths.items():
+        if not str(depth).isdigit():
+            raise ValueError(f"queue depth {depth!r} is not an integer key")
+        if not isinstance(entry, dict):
+            raise ValueError(f"queue depth {depth}: entry is not an object")
+        for field in BENCH_SLO_DEPTH_FIELDS:
+            if field not in entry:
+                raise ValueError(f"queue depth {depth}: lacks {field!r}")
+        if entry["risk"] not in SLO_RISKS:
+            raise ValueError(
+                f"queue depth {depth}: unknown risk {entry['risk']!r}"
+            )
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="--trace-out JSON file to validate")
+    parser.add_argument(
+        "trace", nargs="?", help="--trace-out JSON file to validate"
+    )
     parser.add_argument("--metrics", help="--metrics-out JSON file to validate")
+    parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="require the trace's spans to form a single rooted tree",
+    )
+    parser.add_argument("--slo", help="GET /slo report JSON file to validate")
+    parser.add_argument(
+        "--bench", help="BENCH_obs.json whose 'slo' section to validate"
+    )
     args = parser.parse_args(argv)
+    if not (args.trace or args.metrics or args.slo or args.bench):
+        parser.error("nothing to validate: give a trace, --slo, or --bench")
     try:
-        with open(args.trace, encoding="utf-8") as handle:
-            validate_trace(json.load(handle))
-        print(f"{args.trace}: valid Chrome-trace document")
+        if args.trace:
+            with open(args.trace, encoding="utf-8") as handle:
+                document = json.load(handle)
+            validate_trace(document)
+            print(f"{args.trace}: valid Chrome-trace document")
+            if args.tree:
+                validate_span_tree(document)
+                print(f"{args.trace}: spans form a single rooted tree")
+        elif args.tree:
+            parser.error("--tree needs a trace file")
         if args.metrics:
             with open(args.metrics, encoding="utf-8") as handle:
                 validate_metrics(json.load(handle))
             print(f"{args.metrics}: valid metrics snapshot")
+        if args.slo:
+            with open(args.slo, encoding="utf-8") as handle:
+                validate_slo(json.load(handle))
+            print(f"{args.slo}: valid SLO report")
+        if args.bench:
+            with open(args.bench, encoding="utf-8") as handle:
+                validate_bench_slo(json.load(handle))
+            print(f"{args.bench}: valid BENCH slo section")
     except (ValueError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
