@@ -219,6 +219,36 @@ def _measure_simkernel() -> dict:
     }
 
 
+#: Fixed-seed corpus the "synthesize the zoo" benchmark runs.
+ZOO_SEED = 42
+ZOO_COUNT = 60
+
+
+def _measure_zoo() -> dict:
+    """"Synthesize the zoo": corpus models/sec, cold and warm cache.
+
+    One shared implementation with `repro zoo bench` (repro.zoo.bench),
+    so the CLI and BENCH_obs.json report the same numbers; the corpus
+    manifest digest rides along to prove the workload is the same model
+    set across PRs.
+    """
+    from repro.zoo import build_manifest, measure_zoo
+
+    stats = measure_zoo(ZOO_SEED, ZOO_COUNT)
+    stats["corpus_digest"] = build_manifest(ZOO_SEED, ZOO_COUNT)[
+        "corpus_digest"
+    ]
+    return stats
+
+
+@pytest.fixture(scope="session")
+def zoo_bench(pytestconfig):
+    """Run the zoo sweep once; sessionfinish reuses the same numbers."""
+    stats = _measure_zoo()
+    pytestconfig._zoo_bench = stats
+    return stats
+
+
 #: Admission-queue depths the server benchmark sweeps.
 SERVER_QUEUE_DEPTHS = (1, 8, 64)
 
@@ -333,6 +363,7 @@ def pytest_sessionfinish(session, exitstatus):
     server_stats = getattr(
         session.config, "_server_bench", None
     ) or _measure_server()
+    zoo_stats = getattr(session.config, "_zoo_bench", None) or _measure_zoo()
 
     def total(name):
         stat = metrics.timer_stat(name)
@@ -353,6 +384,7 @@ def pytest_sessionfinish(session, exitstatus):
         # SLO trajectory: declared targets vs observed percentiles per
         # benchmarked queue depth.
         "slo": server_stats.get("slo", {}),
+        "zoo": zoo_stats,
         "simkernel": _measure_simkernel(),
         "metrics": metrics.to_dict(),
     }

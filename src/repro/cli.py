@@ -471,6 +471,106 @@ def _cmd_slo_report(args: argparse.Namespace) -> int:
     return 1 if document.get("risk") == "breach" else 0
 
 
+def _zoo_families(spec: Optional[str]) -> Tuple[str, ...]:
+    """Parse a ``--families a,b,c`` list against the known family names."""
+    from .zoo import FAMILIES
+
+    if not spec:
+        return tuple(FAMILIES)
+    families = tuple(part.strip() for part in spec.split(",") if part.strip())
+    unknown = [family for family in families if family not in FAMILIES]
+    if unknown:
+        raise CliError(
+            f"unknown scenario families {unknown}; "
+            f"known: {', '.join(FAMILIES)}"
+        )
+    return families
+
+
+def _cmd_zoo_generate(args: argparse.Namespace) -> int:
+    """Generate a corpus manifest (and optionally the XMI model files)."""
+    from .uml.xmi import write_xmi
+    from .zoo import build_manifest, generate_corpus, render_manifest, write_manifest
+
+    families = _zoo_families(args.families)
+    document = build_manifest(args.seed, args.count, families)
+    if args.manifest:
+        write_manifest(args.manifest, document)
+        print(
+            f"wrote {args.manifest} ({args.count} scenarios, "
+            f"digest {document['corpus_digest'][:16]})"
+        )
+    else:
+        print(render_manifest(document), end="")
+    if args.xmi_dir:
+        os.makedirs(args.xmi_dir, exist_ok=True)
+        for scenario in generate_corpus(args.seed, args.count, families):
+            write_xmi(
+                scenario.model,
+                os.path.join(args.xmi_dir, f"{scenario.name}.xmi"),
+            )
+        print(f"wrote {args.count} XMI models to {args.xmi_dir}")
+    return 0
+
+
+def _cmd_zoo_run(args: argparse.Namespace) -> int:
+    """Run the full-flow differential harness over a fixed-seed corpus."""
+    from .zoo import read_manifest, run_corpus, verify_manifest
+
+    families = _zoo_families(args.families)
+    if args.verify:
+        problems = verify_manifest(read_manifest(args.verify))
+        if problems:
+            for problem in problems:
+                print(f"manifest: {problem}", file=sys.stderr)
+            return 1
+        print(f"manifest {args.verify}: corpus reproduces byte-identically")
+
+    def progress(done: int, total: int, report) -> None:
+        if args.progress and (done % 50 == 0 or done == total):
+            print(f"  {done}/{total} checked", file=sys.stderr)
+
+    report = run_corpus(
+        args.seed,
+        args.count,
+        families,
+        deep=args.deep,
+        progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_zoo_bench(args: argparse.Namespace) -> int:
+    """Synthesize the zoo: corpus models/sec, cold and warm cache."""
+    import json
+
+    from .zoo import measure_zoo
+
+    stats = measure_zoo(args.seed, args.count, _zoo_families(args.families))
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"synthesize the zoo: {stats['models']} models "
+        f"(seed {stats['seed']})"
+    )
+    print(
+        f"  cold  {stats['models_per_sec_cold']:8.1f} models/s "
+        f"({stats['cold_s']:.3f}s)"
+    )
+    print(
+        f"  warm  {stats['models_per_sec_warm']:8.1f} models/s "
+        f"({stats['warm_s']:.3f}s, "
+        f"hit rate {stats['warm_hit_rate']:.0%}, "
+        f"speedup {stats['cache_speedup']:.1f}x)"
+    )
+    if not stats["artifacts_identical"]:
+        print("error: warm artifacts differ from cold", file=sys.stderr)
+        return 1
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser assembly
 # ---------------------------------------------------------------------------
@@ -747,6 +847,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full report document instead of the summary table",
     )
     p.set_defaults(handler=_cmd_slo_report)
+
+    p = sub.add_parser(
+        "zoo",
+        help="generated model zoo: corpora, differential harness, benchmark",
+    )
+    zoo_sub = p.add_subparsers(dest="zoo_command", required=True)
+
+    def _zoo_common(zp: argparse.ArgumentParser) -> None:
+        zp.add_argument(
+            "--seed", type=int, default=42, help="corpus seed (default 42)"
+        )
+        zp.add_argument(
+            "--count",
+            type=int,
+            default=60,
+            help="number of scenarios (default 60)",
+        )
+        zp.add_argument(
+            "--families",
+            metavar="A,B,...",
+            help="restrict to these scenario families (default: all)",
+        )
+
+    zp = zoo_sub.add_parser(
+        "generate", help="write a reproducible corpus manifest (and XMI)"
+    )
+    _zoo_common(zp)
+    zp.add_argument(
+        "--manifest",
+        metavar="FILE.json",
+        help="manifest output path (default: print to stdout)",
+    )
+    zp.add_argument(
+        "--xmi-dir",
+        metavar="DIR",
+        help="also export every scenario model as DIR/<name>.xmi",
+    )
+    zp.set_defaults(handler=_cmd_zoo_generate)
+
+    zp = zoo_sub.add_parser(
+        "run", help="full-flow differential harness over the corpus"
+    )
+    _zoo_common(zp)
+    zp.add_argument(
+        "--deep",
+        action="store_true",
+        help="add rebuild-determinism, barrier-necessity and codegen checks",
+    )
+    zp.add_argument(
+        "--verify",
+        metavar="FILE.json",
+        help="first check a saved manifest reproduces byte-identically",
+    )
+    zp.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a progress line every 50 scenarios (stderr)",
+    )
+    zp.set_defaults(handler=_cmd_zoo_run)
+
+    zp = zoo_sub.add_parser(
+        "bench", help='"synthesize the zoo": models/sec cold + warm cache'
+    )
+    _zoo_common(zp)
+    zp.add_argument(
+        "--json", action="store_true", help="print the stats as JSON"
+    )
+    zp.set_defaults(handler=_cmd_zoo_bench)
 
     p = sub.add_parser(
         "partition", help="split a thread into pipeline threads (future work)"

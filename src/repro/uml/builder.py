@@ -371,7 +371,12 @@ class ModelBuilder:
 
     def bus(self, a: str, b: str, name: str = "bus") -> CommunicationPath:
         """Connect two declared nodes with a communication path."""
-        return CommunicationPath(self._nodes[a], self._nodes[b], name)
+        path = CommunicationPath(self._nodes[a], self._nodes[b], name)
+        # Register so the path gets a real xmi id; unregistered paths
+        # serialize with an empty id, which collides as soon as a model
+        # has two buses.
+        self.model.register(path)
+        return path
 
     # -- behaviour ---------------------------------------------------------------
     def interaction(self, name: str) -> InteractionBuilder:

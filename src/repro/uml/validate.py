@@ -59,6 +59,13 @@ def validate_model(
       interaction;
     - Set/Get naming is used only between threads or on ``<<IO>>`` objects
       (warning otherwise);
+    - every ``get<Ch>`` channel read has a matching ``set<Ch>`` producer
+      somewhere in the model (warning naming the channel and both
+      threads when dangling);
+    - the inter-thread channel graph is cycle-free (warning naming the
+      thread path and the channels on the cycle — the §4.2.2 barrier
+      pass breaks *signal* cycles, but a channel cycle means mutually
+      blocking FIFOs and deserves review);
     - with ``require_deployment``, every thread lifeline appearing in an
       interaction is allocated to a processor node.
     """
@@ -68,6 +75,7 @@ def validate_model(
     for interaction in model.interactions:
         _check_interaction(interaction, issues)
     _check_behavior_references(model, issues)
+    _check_channels(model, issues)
     if require_deployment:
         _check_deployment(model, issues)
     return issues
@@ -109,8 +117,10 @@ def _check_interaction(interaction: Interaction, issues: List[Issue]) -> None:
                     Issue(
                         "warning",
                         where,
-                        f"variable {var!r} read by {message.operation!r} "
-                        f"before any producer in this diagram",
+                        f"variable {var!r} read by "
+                        f"{message.sender.name}->{message.receiver.name}"
+                        f".{message.operation} before any producer in "
+                        f"this diagram",
                     )
                 )
         produced.update(message.variables_written())
@@ -192,6 +202,90 @@ def _check_behavior_references(model: Model, issues: List[Issue]) -> None:
                         f"found; the call will map to an S-function",
                     )
                 )
+
+
+def _check_channels(model: Model, issues: List[Issue]) -> None:
+    """Model-wide Set/Get channel checks: dangling reads and cycles.
+
+    Channels are a model-level concept (a ``set`` in one diagram feeds a
+    ``get`` in another), so unlike the per-interaction checks this one
+    sees every interaction at once.
+    """
+    # channel -> producing (sender) thread names / message descriptors.
+    producers: dict = {}
+    consumers: dict = {}
+    # producer thread -> {consumer thread -> [channel, ...]}
+    graph: dict = {}
+    for interaction in model.interactions:
+        for message in interaction.messages():
+            if not message.is_inter_thread:
+                continue
+            channel = message.channel_name
+            if message.is_send:
+                producers.setdefault(channel, []).append(message)
+                edge = (message.sender.name, message.receiver.name)
+            elif message.is_receive:
+                consumers.setdefault(channel, []).append(
+                    (interaction.name, message)
+                )
+                # get<Ch> flows data from the receiver (asked thread)
+                # back to the sender (asking thread).
+                edge = (message.receiver.name, message.sender.name)
+            else:
+                continue
+            graph.setdefault(edge[0], {}).setdefault(edge[1], []).append(
+                channel
+            )
+    for channel in sorted(consumers):
+        if channel in producers:
+            continue
+        for interaction_name, message in consumers[channel]:
+            issues.append(
+                Issue(
+                    "warning",
+                    f"interaction {interaction_name!r}",
+                    f"channel {channel!r} is read by "
+                    f"{message.sender.name}<-{message.receiver.name}"
+                    f".{message.operation} but no thread ever writes it "
+                    f"(no matching set message); the get will block "
+                    f"forever",
+                )
+            )
+    for cycle in _channel_cycles(graph):
+        hops = []
+        for src, dst in zip(cycle, cycle[1:]):
+            channels = ",".join(sorted(set(graph[src][dst])))
+            hops.append(f"{src} -[{channels}]-> {dst}")
+        issues.append(
+            Issue(
+                "warning",
+                "model channels",
+                "cyclic inter-thread channel path: " + " ".join(hops),
+            )
+        )
+
+
+def _channel_cycles(graph: dict) -> List[List[str]]:
+    """Elementary cycles in the thread/channel graph, deterministically.
+
+    DFS from each thread in sorted order; a cycle is reported once, from
+    its lexicographically smallest member, as ``[a, b, ..., a]``.
+    """
+    cycles: List[List[str]] = []
+    seen: set = set()
+    for start in sorted(graph):
+        stack = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            for succ in sorted(graph.get(node, {})):
+                if succ == start:
+                    cycle = path + [start]
+                    if min(cycle) == start and tuple(cycle) not in seen:
+                        seen.add(tuple(cycle))
+                        cycles.append(cycle)
+                elif succ not in path and succ > start:
+                    stack.append((succ, path + [succ]))
+    return cycles
 
 
 def _check_deployment(model: Model, issues: List[Issue]) -> None:

@@ -479,7 +479,10 @@ class _Reader:
             def connect(n=node, r=end_ref, nm=name, pid=path_id) -> None:
                 other = self._ref(r)
                 path = CommunicationPath(n, other, nm)
-                path.xmi_id = pid
+                # Tolerate XMI from writers that left path ids empty:
+                # None lets register() allocate a fresh unique id instead
+                # of colliding on "" when a model has several buses.
+                path.xmi_id = pid or None
                 assert self.model is not None
                 self.model.register(path)
 

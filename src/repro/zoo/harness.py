@@ -1,0 +1,326 @@
+"""Full-flow property/differential harness over generated scenarios.
+
+For every scenario the harness drives the complete paper flow —
+validate → map → optimize → mdl → simulate — and checks the invariants
+that must hold *whatever* the generator drew:
+
+- ``uml.validate`` reports no error-severity issues;
+- synthesis succeeds and the CAAM passes :func:`validate_caam`
+  (structural rules, no orphan channels);
+- the ``cyclic`` family actually exercises §4.2.2: at least one
+  temporal barrier is inserted, and disabling the pass raises
+  :class:`AlgebraicLoopError` (deep mode);
+- rebuilding the scenario from its frozen parameters and re-running
+  synthesis (cache off) reproduces the structural fingerprint and the
+  ``.mdl`` text byte-for-byte (deep mode);
+- the slot engine and the reference interpreter produce bit-identical
+  episodes (compared through ``to_csv`` so padding and sign-of-zero
+  count), and ``run_many`` equals N single runs;
+- every generated state machine lowers, simulates its seeded event
+  trace deterministically, and feeds both code generators (deep mode).
+
+A scenario that trips any check becomes a :class:`ScenarioFailure`
+carrying the scenario name and check; :func:`run_corpus` aggregates
+them into a :class:`HarnessReport` so a 500-model sweep reports *all*
+divergences, not just the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core import synthesize
+from ..fsm import FsmSimulator, generate_c, generate_java
+from ..parallel.fingerprint import model_fingerprint
+from ..simulink import (
+    ENGINE_REFERENCE,
+    ENGINE_SLOTS,
+    AlgebraicLoopError,
+    Simulator,
+)
+from ..simulink.caam import validate_caam
+from ..uml.validate import validate_model
+from .generator import (
+    FAMILIES,
+    Scenario,
+    ZooError,
+    build_fsm,
+    build_scenario,
+    generate_corpus,
+    stimuli_for,
+)
+
+
+@dataclass
+class ScenarioFailure:
+    """One broken invariant on one scenario."""
+
+    scenario: str
+    check: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.scenario}: [{self.check}] {self.detail}"
+
+
+@dataclass
+class ScenarioReport:
+    """What the harness observed for one scenario."""
+
+    name: str
+    family: str
+    index: int
+    checks: List[str] = field(default_factory=list)
+    failures: List[ScenarioFailure] = field(default_factory=list)
+    barriers: int = 0
+    warnings: int = 0
+    episodes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class HarnessReport:
+    """Aggregate over a corpus run."""
+
+    seed: int
+    count: int
+    families: Sequence[str]
+    scenarios: List[ScenarioReport] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[ScenarioFailure]:
+        return [f for report in self.scenarios for f in report.failures]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for report in self.scenarios if report.ok)
+
+    def summary(self) -> str:
+        """Human-readable corpus verdict: per-family pass counts plus the
+        first failures (capped), each tagged with its check name."""
+        by_family: Dict[str, List[ScenarioReport]] = {}
+        for report in self.scenarios:
+            by_family.setdefault(report.family, []).append(report)
+        lines = [
+            f"zoo harness: {self.passed}/{len(self.scenarios)} scenarios ok "
+            f"(seed {self.seed})"
+        ]
+        for family in sorted(by_family):
+            reports = by_family[family]
+            good = sum(1 for r in reports if r.ok)
+            lines.append(f"  {family:<10} {good}/{len(reports)}")
+        for failure in self.failures[:20]:
+            lines.append(f"  FAIL {failure}")
+        if len(self.failures) > 20:
+            lines.append(f"  ... and {len(self.failures) - 20} more failures")
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`ZooError` carrying :meth:`summary` unless every
+        scenario passed every check."""
+        if not self.ok:
+            raise ZooError(self.summary())
+
+
+def _root_inports(caam) -> List[str]:
+    """Root Inport block names, in stimulus (Port-parameter) order."""
+    inports = sorted(
+        (b for b in caam.root.blocks if b.block_type == "Inport"),
+        key=lambda b: int(b.parameters.get("Port", 0)),
+    )
+    return [b.name for b in inports]
+
+
+def check_scenario(scenario: Scenario, deep: bool = False) -> ScenarioReport:
+    """Run the whole flow over one scenario and check every invariant.
+
+    ``deep`` adds the expensive checks (rebuild determinism, barrier
+    necessity, FSM codegen) used by the corpus acceptance sweep; the
+    fast subset is what the per-commit tests run.
+    """
+    params = scenario.params
+    report = ScenarioReport(
+        name=params.name, family=params.family, index=params.index
+    )
+
+    def fail(check: str, detail: str) -> None:
+        report.failures.append(
+            ScenarioFailure(scenario=params.name, check=check, detail=detail)
+        )
+
+    def passed(check: str) -> None:
+        report.checks.append(check)
+
+    # 1. Front-end validation: no errors (warnings allowed — the cyclic
+    # family legitimately reads a variable produced later).
+    errors = [
+        issue
+        for issue in validate_model(scenario.model)
+        if issue.severity == "error"
+    ]
+    if errors:
+        fail("uml-validate", "; ".join(str(issue) for issue in errors[:3]))
+        return report
+    passed("uml-validate")
+
+    # 2. The full synthesis flow (map -> optimize -> mdl).
+    try:
+        result = synthesize(
+            scenario.model,
+            auto_allocate=params.auto_allocate,
+            behaviors=scenario.behaviors,
+        )
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+        fail("synthesize", f"{type(exc).__name__}: {exc}")
+        return report
+    report.barriers = result.barriers_inserted
+    report.warnings = len(result.warnings)
+    passed("synthesize")
+
+    # 3. CAAM structural invariants (orphan channels, protocol levels).
+    problems = validate_caam(result.caam)
+    if problems:
+        fail("caam-invariants", "; ".join(problems[:3]))
+    else:
+        passed("caam-invariants")
+
+    # 4. The cyclic family must force the §4.2.2 temporal-barrier pass.
+    if params.family == "cyclic":
+        if result.barriers_inserted < 1:
+            fail(
+                "barriers",
+                "cyclic scenario synthesized without inserting a barrier",
+            )
+        else:
+            passed("barriers")
+        if deep:
+            try:
+                unbroken = synthesize(
+                    scenario.model,
+                    auto_allocate=params.auto_allocate,
+                    behaviors=scenario.behaviors,
+                    insert_barriers=False,
+                    use_cache=False,
+                )
+                Simulator(unbroken.caam, engine=ENGINE_SLOTS)
+                fail(
+                    "barriers-necessary",
+                    "simulates without barriers: the cycle is not real",
+                )
+            except AlgebraicLoopError:
+                passed("barriers-necessary")
+            except Exception as exc:  # noqa: BLE001
+                fail("barriers-necessary", f"{type(exc).__name__}: {exc}")
+
+    # 5. Determinism: the frozen parameters alone rebuild the identical
+    # model, and a cache-off resynthesis reproduces the artifact bytes.
+    if deep:
+        rebuilt = build_scenario(params)
+        if model_fingerprint(rebuilt.model) != model_fingerprint(
+            scenario.model
+        ):
+            fail("rebuild", "params do not reproduce the model fingerprint")
+        else:
+            try:
+                again = synthesize(
+                    rebuilt.model,
+                    auto_allocate=params.auto_allocate,
+                    behaviors=rebuilt.behaviors,
+                    use_cache=False,
+                )
+            except Exception as exc:  # noqa: BLE001
+                fail("rebuild", f"resynthesis: {type(exc).__name__}: {exc}")
+            else:
+                if again.mdl_text != result.mdl_text:
+                    fail("rebuild", "resynthesis changed the .mdl text")
+                else:
+                    passed("rebuild")
+
+    # 6. Differential simulation: slots vs reference, episode by episode,
+    # then run_many vs the single runs.
+    episodes = stimuli_for(params, _root_inports(result.caam))
+    report.episodes = len(episodes)
+    try:
+        slots = Simulator(result.caam, engine=ENGINE_SLOTS)
+        reference = Simulator(result.caam, engine=ENGINE_REFERENCE)
+    except Exception as exc:  # noqa: BLE001
+        fail("simulate", f"{type(exc).__name__}: {exc}")
+        return report
+    single_csvs: List[str] = []
+    for number, stimulus in enumerate(episodes):
+        slots.reset()
+        reference.reset()
+        try:
+            got = slots.run(params.steps, inputs=stimulus)
+            want = reference.run(params.steps, inputs=stimulus)
+        except Exception as exc:  # noqa: BLE001
+            fail("simulate", f"episode {number}: {type(exc).__name__}: {exc}")
+            return report
+        got_csv, want_csv = got.to_csv(), want.to_csv()
+        single_csvs.append(got_csv)
+        if got_csv != want_csv:
+            fail("differential", f"episode {number}: engines diverge")
+            return report
+    passed("differential")
+    batch = slots.run_many(params.steps, episodes)
+    if [r.to_csv() for r in batch] != single_csvs:
+        fail("run-many", "run_many differs from N single runs")
+    else:
+        passed("run-many")
+
+    # 7. Control-flow subsystems: lowering, deterministic simulation and
+    # (deep) both code generators.
+    for spec in params.fsms:
+        try:
+            fsm = build_fsm(spec)
+            first = FsmSimulator(fsm).run(list(spec.trace))
+            second = FsmSimulator(fsm).run(list(spec.trace))
+        except Exception as exc:  # noqa: BLE001
+            fail("fsm", f"{spec.name}: {type(exc).__name__}: {exc}")
+            continue
+        if first != second:
+            fail("fsm", f"{spec.name}: event trace is not deterministic")
+            continue
+        if deep:
+            # State names are case-mangled into enum constants (STATE_S0,
+            # S0, ...) so compare case-insensitively.
+            c_source = generate_c(fsm).lower()
+            java_source = generate_java(fsm).lower()
+            wanted = spec.initial.lower()
+            if wanted not in c_source or wanted not in java_source:
+                fail(
+                    "fsm-codegen",
+                    f"{spec.name}: initial state missing from generated code",
+                )
+                continue
+        passed(f"fsm:{spec.name}")
+    return report
+
+
+def run_corpus(
+    seed: int,
+    count: int,
+    families: Sequence[str] = FAMILIES,
+    deep: bool = False,
+    progress: Optional[object] = None,
+) -> HarnessReport:
+    """Check every scenario of a fixed-seed corpus.
+
+    ``progress`` is an optional callable ``(done, total, report)`` the
+    CLI uses for a live line; library callers leave it ``None``.
+    """
+    report = HarnessReport(seed=seed, count=count, families=tuple(families))
+    for done, scenario in enumerate(generate_corpus(seed, count, families), 1):
+        scenario_report = check_scenario(scenario, deep=deep)
+        report.scenarios.append(scenario_report)
+        if progress is not None:
+            progress(done, count, scenario_report)  # type: ignore[operator]
+    return report

@@ -1,0 +1,50 @@
+"""Hypothesis strategies over zoo scenarios.
+
+This is the bridge between the seeded corpus generator and the
+property-based tests: instead of hand-rolled block graphs, hypothesis
+draws a ``(family, index)`` pair and the zoo turns it into a complete
+UML scenario.  Shrinking works on the drawn pair — a failing case
+shrinks toward ``index 0`` of its family, and the report's
+``(seed, index, family)`` triple replays it exactly via
+:func:`repro.zoo.generator.generate_scenario`.
+
+Hypothesis is imported lazily so ``repro.zoo`` itself stays free of
+test-only dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .generator import FAMILIES, build_scenario, draw_params
+
+#: Seed used when a test does not pin its own; fixed so failures printed
+#: by hypothesis are replayable with the CLI (`repro zoo run --seed ...`).
+DEFAULT_SEED = 20260807
+
+#: Index space the strategies draw from.  Small enough to shrink fast,
+#: large enough that every family parameter combination appears.
+MAX_INDEX = 4096
+
+
+def scenario_params(
+    families: Sequence[str] = FAMILIES,
+    seed: int = DEFAULT_SEED,
+):
+    """Strategy producing :class:`~repro.zoo.generator.ScenarioParams`."""
+    import hypothesis.strategies as st
+
+    return st.builds(
+        lambda family, index: draw_params(seed, index, family),
+        st.sampled_from(tuple(families)),
+        st.integers(min_value=0, max_value=MAX_INDEX),
+    )
+
+
+def scenarios(
+    families: Sequence[str] = FAMILIES,
+    seed: int = DEFAULT_SEED,
+):
+    """Strategy producing fully built :class:`~repro.zoo.generator.Scenario`
+    objects (model + behaviors)."""
+    return scenario_params(families=families, seed=seed).map(build_scenario)

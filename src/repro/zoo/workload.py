@@ -1,0 +1,48 @@
+"""Zoo scenarios as server workloads.
+
+A generated scenario travels to :mod:`repro.server` the same way any
+external model does: serialized to XMI and submitted as a
+:class:`~repro.server.jobs.JobSpec`.  Behaviors stay client-side — they
+are callables, and the server's synthesize/explore paths don't need
+them — so the spec is pure data and journals/replays losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..server.jobs import JobSpec
+from ..uml.xmi import to_xmi_string
+from .generator import Scenario, ZooError
+
+
+def scenario_job_spec(
+    scenario: Scenario,
+    kind: str = "synthesize",
+    timeout_s: Optional[float] = None,
+) -> JobSpec:
+    """A server job spec that runs the flow over ``scenario``'s model.
+
+    ``kind`` is ``"synthesize"`` (full flow to ``.mdl``) or
+    ``"explore"`` (design-space exploration over the scenario's task
+    graph).  The scenario name rides along as the synthesis model name
+    so artifacts are attributable to their corpus entry.
+    """
+    if kind == "synthesize":
+        options = {
+            "auto_allocate": scenario.params.auto_allocate,
+            "name": scenario.name,
+        }
+    elif kind == "explore":
+        options = {}
+    else:
+        raise ZooError(
+            f"zoo scenarios submit as 'synthesize' or 'explore' jobs, "
+            f"not {kind!r}"
+        )
+    return JobSpec(
+        kind=kind,
+        model_xmi=to_xmi_string(scenario.model),
+        options=options,
+        timeout_s=timeout_s,
+    ).validate()

@@ -1,0 +1,91 @@
+"""`Simulator.run_many` edge cases and engine parity.
+
+The batch entry point must be exactly N cold single runs: same results
+for empty batches, for ragged stimulus/steps mismatches (short traces
+pad with 0.0, long traces truncate at `steps`), and on both engines.
+"""
+
+import pytest
+
+from repro.simulink import (
+    ENGINE_REFERENCE,
+    ENGINE_SLOTS,
+    Block,
+    SimulationError,
+    Simulator,
+    SimulinkModel,
+)
+
+
+def _model():
+    """In1 -> Gain(2) -> UnitDelay -> Out1: stateful, so per-episode
+    reset discipline is observable."""
+    model = SimulinkModel("m")
+    inport = model.root.add(
+        Block("In1", "Inport", inputs=0, outputs=1, parameters={"Port": 1})
+    )
+    gain = model.root.add(Block("g", "Gain", parameters={"Gain": 2.0}))
+    delay = model.root.add(
+        Block("d", "UnitDelay", parameters={"InitialCondition": 0.5})
+    )
+    out = model.root.add(
+        Block("Out1", "Outport", inputs=1, outputs=0, parameters={"Port": 1})
+    )
+    model.root.connect(inport.output(), gain.input())
+    model.root.connect(gain.output(), delay.input())
+    model.root.connect(delay.output(), out.input())
+    return model
+
+
+@pytest.mark.parametrize("engine", [ENGINE_SLOTS, ENGINE_REFERENCE])
+class TestRunManyEdges:
+    def test_empty_stimuli_list(self, engine):
+        simulator = Simulator(_model(), engine=engine)
+        assert simulator.run_many(5, []) == []
+
+    def test_zero_steps_episodes(self, engine):
+        results = Simulator(_model(), engine=engine).run_many(
+            0, [{"In1": [1.0]}, None]
+        )
+        assert [r.steps for r in results] == [0, 0]
+
+    def test_short_stimulus_pads_with_zero(self, engine):
+        simulator = Simulator(_model(), engine=engine)
+        (episode,) = simulator.run_many(4, [{"In1": [3.0]}])
+        # Steps 2-4 see In1 = 0.0; the delay shifts by one step.
+        assert episode.outputs["Out1"] == [0.5, 6.0, 0.0, 0.0]
+
+    def test_long_stimulus_truncates_at_steps(self, engine):
+        simulator = Simulator(_model(), engine=engine)
+        (short,) = simulator.run_many(2, [{"In1": [1.0, 2.0, 99.0, 99.0]}])
+        assert short.steps == 2
+        assert short.outputs["Out1"] == [0.5, 2.0]
+
+    def test_none_stimulus_means_all_zero_inputs(self, engine):
+        simulator = Simulator(_model(), engine=engine)
+        (episode,) = simulator.run_many(3, [None])
+        assert episode.outputs["Out1"] == [0.5, 0.0, 0.0]
+
+    def test_negative_steps_rejected(self, engine):
+        simulator = Simulator(_model(), engine=engine)
+        with pytest.raises(SimulationError, match="steps"):
+            simulator.run_many(-1, [None])
+
+    def test_batch_equals_n_cold_single_runs(self, engine):
+        stimuli = [{"In1": [1.0, -2.0, 3.0]}, {"In1": [7.0]}, None]
+        batch = Simulator(_model(), engine=engine).run_many(3, stimuli)
+        for episode, stimulus in zip(batch, stimuli):
+            fresh = Simulator(_model(), engine=engine).run(3, inputs=stimulus)
+            assert episode.to_csv() == fresh.to_csv()
+            assert episode.outputs == fresh.outputs
+            assert episode.signals == fresh.signals
+
+
+class TestRunManyEngineParity:
+    def test_engines_agree_episode_by_episode(self):
+        stimuli = [{"In1": [1.5, 2.5]}, {"In1": []}, {"In1": [0.0] * 9}, None]
+        slots = Simulator(_model(), engine=ENGINE_SLOTS).run_many(6, stimuli)
+        reference = Simulator(_model(), engine=ENGINE_REFERENCE).run_many(
+            6, stimuli
+        )
+        assert [r.to_csv() for r in slots] == [r.to_csv() for r in reference]

@@ -1,0 +1,120 @@
+"""uml.validate against generator-produced pathological models.
+
+The contract under test: every diagnostic *names the offending element*
+(thread, channel, operation, or variable) so a modeller can act on it —
+never a generic "model invalid".
+"""
+
+import pytest
+
+from repro.uml.builder import ModelBuilder
+from repro.uml.validate import check_model, validate_model
+from repro.zoo import generate_pathological
+
+
+def _issues(kind, seed=1):
+    return validate_model(generate_pathological(seed, kind))
+
+
+class TestPathologicalDiagnostics:
+    def test_channel_cycle_names_threads_and_channels(self):
+        issues = _issues("channel_cycle")
+        cyclic = [i for i in issues if "cyclic inter-thread" in i.message]
+        assert cyclic, issues
+        message = cyclic[0].message
+        # The full path, with the channels on each hop.
+        assert "A -[ping]-> B" in message
+        assert "B -[pong]-> A" in message
+        assert cyclic[0].severity == "warning"
+
+    def test_dangling_get_names_channel_and_threads(self):
+        issues = _issues("dangling_get")
+        dangling = [i for i in issues if "no matching set" in i.message]
+        assert dangling, issues
+        message = dangling[0].message
+        assert "'level'" in message
+        assert "getLevel" in message
+        assert "A" in message and "B" in message
+
+    def test_unknown_operation_names_classifier_and_operation(self):
+        issues = _issues("unknown_operation")
+        errors = [i for i in issues if i.severity == "error"]
+        assert errors, issues
+        assert "'Calc'" in errors[0].message
+        assert "'mul3'" in errors[0].message
+
+    def test_bad_arity_names_operation_and_counts(self):
+        issues = _issues("bad_arity")
+        errors = [i for i in issues if i.severity == "error"]
+        assert errors, issues
+        assert "'combine'" in errors[0].message
+        assert "2" in errors[0].message and "1" in errors[0].message
+
+    def test_read_before_produce_names_variable_and_message(self):
+        issues = _issues("read_before_produce")
+        warnings = [i for i in issues if "before any producer" in i.message]
+        assert warnings, issues
+        assert "'ghost'" in warnings[0].message
+        # The message end-points, not just the operation name.
+        assert "T1->T1.use" in warnings[0].message
+
+    @pytest.mark.parametrize(
+        "kind", ["channel_cycle", "dangling_get", "read_before_produce"]
+    )
+    def test_warning_kinds_do_not_raise(self, kind):
+        check_model(generate_pathological(1, kind))  # must not raise
+
+
+class TestChannelChecksPrecision:
+    def test_matched_set_get_is_clean(self):
+        b = ModelBuilder("ok")
+        b.thread("P")
+        b.thread("C")
+        sd = b.interaction("main")
+        sd.call("P", "P", "mk", result="x")
+        sd.call("P", "C", "setData", args=["x"])
+        sd.call("C", "P", "getData", result="y")
+        issues = validate_model(b.build())
+        assert not [i for i in issues if "no matching set" in i.message]
+
+    def test_set_across_interactions_satisfies_get(self):
+        b = ModelBuilder("cross")
+        b.thread("P")
+        b.thread("C")
+        one = b.interaction("produce")
+        one.call("P", "P", "mk", result="x")
+        one.call("P", "C", "setData", args=["x"])
+        two = b.interaction("consume")
+        two.call("C", "P", "getData", result="y")
+        issues = validate_model(b.build())
+        assert not [i for i in issues if "no matching set" in i.message]
+
+    def test_self_loop_channel_is_not_a_cycle(self):
+        # A thread talking to itself is a local variable, not a channel.
+        b = ModelBuilder("selfie")
+        b.thread("T")
+        sd = b.interaction("main")
+        sd.call("T", "T", "setX", args=[1.0])
+        issues = validate_model(b.build())
+        assert not [i for i in issues if "cyclic" in i.message]
+
+    def test_three_thread_cycle_reported_once(self):
+        b = ModelBuilder("ring")
+        for name in ("A", "B", "C"):
+            b.thread(name)
+        sd = b.interaction("main")
+        sd.call("A", "A", "mk", result="x")
+        sd.call("A", "B", "setAb", args=["x"])
+        sd.call("B", "B", "fb", result="y")
+        sd.call("B", "C", "setBc", args=["y"])
+        sd.call("C", "C", "fc", result="z")
+        sd.call("C", "A", "setCa", args=["z"])
+        issues = [
+            i
+            for i in validate_model(b.build())
+            if "cyclic inter-thread" in i.message
+        ]
+        assert len(issues) == 1
+        assert "A -[ab]-> B" in issues[0].message
+        assert "B -[bc]-> C" in issues[0].message
+        assert "C -[ca]-> A" in issues[0].message

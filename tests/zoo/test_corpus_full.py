@@ -1,0 +1,30 @@
+"""The full-corpus acceptance sweep (marked `zoo`: CI's quick leg skips it).
+
+``REPRO_ZOO_COUNT`` scales the corpus (CI's zoo-smoke runs 50; the
+acceptance bar is >= 500, which completes in a few seconds — see
+docs/testing.md).
+"""
+
+import os
+
+import pytest
+
+from repro.zoo import build_manifest, render_manifest, run_corpus
+
+CORPUS_SEED = 42
+CORPUS_COUNT = int(os.environ.get("REPRO_ZOO_COUNT", "120"))
+
+
+@pytest.mark.zoo
+@pytest.mark.slow
+class TestFullCorpus:
+    def test_corpus_full_flow_differential(self):
+        report = run_corpus(CORPUS_SEED, CORPUS_COUNT, deep=True)
+        assert report.ok, report.summary()
+        assert report.passed == CORPUS_COUNT
+
+    def test_manifest_reproducible_at_scale(self):
+        count = min(CORPUS_COUNT, 60)
+        first = render_manifest(build_manifest(CORPUS_SEED, count))
+        second = render_manifest(build_manifest(CORPUS_SEED, count))
+        assert first == second

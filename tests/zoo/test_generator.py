@@ -1,0 +1,118 @@
+"""Generator determinism, family coverage, and pathological supply."""
+
+import json
+
+import pytest
+
+from repro.parallel.fingerprint import model_fingerprint
+from repro.uml.validate import validate_model
+from repro.zoo import (
+    FAMILIES,
+    PATHOLOGICAL_KINDS,
+    ZooError,
+    build_fsm,
+    build_scenario,
+    draw_params,
+    generate_corpus,
+    generate_pathological,
+    generate_scenario,
+    scenario_families,
+    stimuli_for,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_models(self):
+        first = [model_fingerprint(s.model) for s in generate_corpus(11, 12)]
+        second = [model_fingerprint(s.model) for s in generate_corpus(11, 12)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = [model_fingerprint(s.model) for s in generate_corpus(1, 6)]
+        b = [model_fingerprint(s.model) for s in generate_corpus(2, 6)]
+        assert a != b
+
+    def test_params_alone_rebuild_the_model(self):
+        for index, family in enumerate(FAMILIES):
+            scenario = generate_scenario(5, index, family)
+            rebuilt = build_scenario(scenario.params)
+            assert model_fingerprint(rebuilt.model) == model_fingerprint(
+                scenario.model
+            ), family
+
+    def test_stimuli_are_seeded(self):
+        scenario = generate_scenario(5, 0, "pipeline")
+        names = ["In1", "In2"]
+        assert stimuli_for(scenario.params, names) == stimuli_for(
+            scenario.params, names
+        )
+
+
+class TestFamilySchedule:
+    def test_round_robin_covers_all_families(self):
+        schedule = scenario_families(len(FAMILIES) * 3)
+        assert schedule == list(FAMILIES) * 3
+
+    def test_family_subset(self):
+        assert scenario_families(4, ("cyclic", "fsm")) == [
+            "cyclic",
+            "fsm",
+            "cyclic",
+            "fsm",
+        ]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ZooError, match="unknown scenario family"):
+            scenario_families(3, ("pipeline", "spaghetti"))
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ZooError, match="at least 1"):
+            list(generate_corpus(1, 0))
+
+
+class TestScenarioShape:
+    def test_every_family_validates_cleanly(self):
+        for index, family in enumerate(FAMILIES):
+            scenario = generate_scenario(9, index, family)
+            errors = [
+                issue
+                for issue in validate_model(scenario.model)
+                if issue.severity == "error"
+            ]
+            assert errors == [], (family, errors)
+
+    def test_params_are_json_serializable(self):
+        scenario = generate_scenario(9, 5, "hybrid")
+        text = json.dumps(scenario.params.to_dict(), sort_keys=True)
+        assert scenario.params.name in text
+
+    def test_fsm_families_carry_machines(self):
+        fsm = generate_scenario(9, 4, "fsm")
+        hybrid = generate_scenario(9, 5, "hybrid")
+        assert fsm.params.fsms
+        assert hybrid.params.fsms
+        assert any(spec.composite for spec in hybrid.params.fsms)
+
+    def test_cyclic_family_declares_feedback(self):
+        scenario = generate_scenario(9, 3, "cyclic")
+        assert scenario.params.feedback
+
+    def test_build_fsm_declares_variables(self):
+        spec = generate_scenario(9, 4, "fsm").params.fsms[0]
+        fsm = build_fsm(spec)
+        assert dict(spec.variables) == fsm.variables
+
+
+class TestPathological:
+    @pytest.mark.parametrize("kind", PATHOLOGICAL_KINDS)
+    def test_kinds_build(self, kind):
+        model = generate_pathological(1, kind)
+        assert model.interactions
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ZooError, match="unknown pathological kind"):
+            generate_pathological(1, "haunted")
+
+    def test_draw_params_unknown_family(self):
+        with pytest.raises(ZooError):
+            draw_params(1, 0, "spaghetti")

@@ -1,0 +1,75 @@
+"""The differential harness: invariants hold, failures are reported."""
+
+import pytest
+
+from repro.zoo import (
+    FAMILIES,
+    HarnessReport,
+    ScenarioFailure,
+    ScenarioReport,
+    ZooError,
+    check_scenario,
+    generate_scenario,
+    run_corpus,
+)
+
+
+class TestCheckScenario:
+    def test_pipeline_passes_fast_checks(self):
+        report = check_scenario(generate_scenario(3, 0, "pipeline"))
+        assert report.ok, report.failures
+        assert "differential" in report.checks
+        assert "run-many" in report.checks
+        assert report.episodes >= 1
+
+    def test_cyclic_inserts_barriers(self):
+        report = check_scenario(generate_scenario(3, 3, "cyclic"), deep=True)
+        assert report.ok, report.failures
+        assert report.barriers >= 1
+        assert "barriers-necessary" in report.checks
+
+    def test_deep_adds_rebuild_check(self):
+        report = check_scenario(generate_scenario(3, 1, "fanout"), deep=True)
+        assert report.ok, report.failures
+        assert "rebuild" in report.checks
+
+    def test_fsm_checks_run_per_machine(self):
+        scenario = generate_scenario(3, 4, "fsm")
+        report = check_scenario(scenario, deep=True)
+        assert report.ok, report.failures
+        for spec in scenario.params.fsms:
+            assert f"fsm:{spec.name}" in report.checks
+
+    def test_broken_behavior_is_reported_not_raised(self):
+        scenario = generate_scenario(3, 0, "pipeline")
+        # Sabotage one behavior so synthesis/simulation cannot succeed;
+        # the harness must degrade to a failure record, never an exception.
+        victim = next(iter(scenario.behaviors))
+        scenario.behaviors[victim] = "not-a-callable"
+        report = check_scenario(scenario)
+        assert not report.ok
+        assert report.failures[0].scenario == scenario.name
+
+
+class TestRunCorpus:
+    def test_small_corpus_all_green(self):
+        report = run_corpus(3, len(FAMILIES))
+        assert report.ok, report.summary()
+        assert report.passed == len(FAMILIES)
+        assert sorted({r.family for r in report.scenarios}) == sorted(FAMILIES)
+
+    def test_progress_callback(self):
+        seen = []
+        run_corpus(3, 2, progress=lambda done, total, r: seen.append(done))
+        assert seen == [1, 2]
+
+    def test_summary_and_raise(self):
+        report = HarnessReport(seed=1, count=1, families=("pipeline",))
+        broken = ScenarioReport(name="s", family="pipeline", index=0)
+        broken.failures.append(
+            ScenarioFailure(scenario="s", check="differential", detail="boom")
+        )
+        report.scenarios.append(broken)
+        assert "FAIL s: [differential] boom" in report.summary()
+        with pytest.raises(ZooError, match="differential"):
+            report.raise_on_failure()

@@ -1,0 +1,56 @@
+"""Manifest reproducibility: same seed, same bytes."""
+
+import json
+
+import pytest
+
+from repro.zoo import (
+    ZooError,
+    build_manifest,
+    read_manifest,
+    render_manifest,
+    verify_manifest,
+    write_manifest,
+)
+
+
+class TestManifest:
+    def test_regeneration_is_byte_identical(self):
+        a = render_manifest(build_manifest(21, 12))
+        b = render_manifest(build_manifest(21, 12))
+        assert a == b
+
+    def test_no_timestamps(self):
+        document = build_manifest(21, 6)
+        assert "generated" not in render_manifest(document)
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "corpus.json")
+        document = build_manifest(21, 6)
+        write_manifest(path, document)
+        assert read_manifest(path) == json.loads(render_manifest(document))
+
+    def test_verify_ok(self):
+        assert verify_manifest(build_manifest(21, 6)) == []
+
+    def test_verify_detects_tampering(self):
+        document = build_manifest(21, 6)
+        victim = document["scenarios"][2]
+        victim["model_fingerprint"] = "0" * 64
+        recompute = build_manifest(21, 6)
+        document["corpus_digest"] = "not-" + str(recompute["corpus_digest"])
+        problems = verify_manifest(document)
+        assert problems
+        assert any(victim["name"] in problem for problem in problems)
+
+    def test_verify_flags_generator_version_skew(self):
+        document = build_manifest(21, 6)
+        document["generator_version"] = -1
+        problems = verify_manifest(document)
+        assert problems and "generator version" in problems[0]
+
+    def test_read_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(ZooError, match="not a zoo manifest"):
+            read_manifest(str(path))

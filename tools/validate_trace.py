@@ -14,9 +14,11 @@ documented synthesis keys.  ``--tree`` additionally requires the trace's
 spans to form a single rooted tree: every ``args.parent_id`` must resolve
 to another event in the document (no orphan roots from worker threads or
 retries).  ``--slo`` validates a ``GET /slo`` / ``repro slo-report
---json`` document, and ``--bench`` validates the ``"slo"`` section of
-``BENCH_obs.json``.  Exits non-zero with a message on the first
-violation; CI's smoke jobs run this after real ``repro`` invocations.
+--json`` document, and ``--bench`` validates the ``"slo"`` and ``"zoo"``
+sections of ``BENCH_obs.json`` (server latency objectives and
+"synthesize the zoo" throughput).  Exits non-zero with a message on the
+first violation; CI's smoke jobs run this after real ``repro``
+invocations.
 """
 
 from __future__ import annotations
@@ -248,6 +250,54 @@ def validate_bench_slo(document: Dict[str, Any]) -> None:
             )
 
 
+#: Fields the BENCH_obs.json "zoo" section must carry.
+BENCH_ZOO_FIELDS = (
+    "seed",
+    "models",
+    "families",
+    "corpus_digest",
+    "models_per_sec_cold",
+    "models_per_sec_warm",
+    "warm_hit_rate",
+    "cache_speedup",
+    "artifacts_identical",
+)
+
+
+def validate_bench_zoo(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless BENCH_obs.json carries a valid "zoo".
+
+    The section reports "synthesize the zoo" throughput — models/sec
+    over a fixed-seed generated corpus, cold and warm cache — plus the
+    corpus digest that pins the workload across PRs.
+    """
+    section = document.get("zoo")
+    if not isinstance(section, dict):
+        raise ValueError("BENCH document lacks a 'zoo' object")
+    for field in BENCH_ZOO_FIELDS:
+        if field not in section:
+            raise ValueError(f"'zoo' section lacks {field!r}")
+    for rate in ("models_per_sec_cold", "models_per_sec_warm"):
+        value = section[rate]
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"'zoo.{rate}' must be a positive number")
+    if section["models"] <= 0:
+        raise ValueError("'zoo.models' must be positive")
+    if not section["artifacts_identical"]:
+        raise ValueError(
+            "'zoo.artifacts_identical' is false: warm-cache synthesis "
+            "diverged from the cold flow"
+        )
+    hit_rate = section["warm_hit_rate"]
+    if not isinstance(hit_rate, (int, float)) or not 0.0 <= hit_rate <= 1.0:
+        raise ValueError("'zoo.warm_hit_rate' must be in [0, 1]")
+    if hit_rate < 1.0:
+        raise ValueError(
+            f"'zoo.warm_hit_rate' is {hit_rate}: some corpus models "
+            "missed the primed synthesis cache"
+        )
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -262,7 +312,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--slo", help="GET /slo report JSON file to validate")
     parser.add_argument(
-        "--bench", help="BENCH_obs.json whose 'slo' section to validate"
+        "--bench",
+        help="BENCH_obs.json whose 'slo' and 'zoo' sections to validate",
     )
     args = parser.parse_args(argv)
     if not (args.trace or args.metrics or args.slo or args.bench):
@@ -288,8 +339,11 @@ def main(argv=None) -> int:
             print(f"{args.slo}: valid SLO report")
         if args.bench:
             with open(args.bench, encoding="utf-8") as handle:
-                validate_bench_slo(json.load(handle))
+                bench = json.load(handle)
+            validate_bench_slo(bench)
             print(f"{args.bench}: valid BENCH slo section")
+            validate_bench_zoo(bench)
+            print(f"{args.bench}: valid BENCH zoo section")
     except (ValueError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
