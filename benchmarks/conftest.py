@@ -249,6 +249,75 @@ def zoo_bench(pytestconfig):
     return stats
 
 
+#: Fixed-seed corpus the analyzer throughput benchmark sweeps.
+ANALYSIS_SEED = 42
+ANALYSIS_COUNT = 30
+
+
+def _measure_analysis() -> dict:
+    """Static-analyzer throughput: models/sec over a fixed zoo corpus.
+
+    Synthesis is done up front (the analyzer is the unit under test, not
+    the flow), then every model runs all registered passes; per-pass wall
+    time comes from the ``analysis.pass.*`` obs timers so the breakdown
+    in BENCH_obs.json matches what any enabled recorder would see.
+    """
+    from repro.analysis import analyze, analyze_synthesized, pass_names
+    from repro.apps import crane
+    from repro.core import synthesize
+    from repro.zoo import generate_corpus
+
+    recorder = obs.Recorder()
+    with obs.use(recorder):
+        start = time.perf_counter()
+        crane_report = analyze_synthesized(crane.build_model())
+        crane_s = time.perf_counter() - start
+
+        pairs = []
+        for scenario in generate_corpus(ANALYSIS_SEED, ANALYSIS_COUNT):
+            result = synthesize(
+                scenario.model,
+                auto_allocate=scenario.params.auto_allocate,
+                behaviors=scenario.behaviors,
+            )
+            pairs.append((scenario, result.caam))
+        diagnostics = 0
+        errors = 0
+        start = time.perf_counter()
+        for scenario, caam in pairs:
+            report = analyze(
+                scenario.model, caam, subject=scenario.params.name
+            )
+            diagnostics += len(report.diagnostics)
+            errors += len(report.at_or_above("error"))
+        corpus_s = time.perf_counter() - start
+
+    passes = {}
+    for name in pass_names():
+        stat = recorder.metrics.timer_stat(f"analysis.pass.{name}")
+        if stat is not None:
+            passes[name] = {"calls": stat.count, "total_s": stat.total}
+    return {
+        "corpus_seed": ANALYSIS_SEED,
+        "corpus_models": ANALYSIS_COUNT,
+        "corpus_analyze_s": corpus_s,
+        "models_per_sec": ANALYSIS_COUNT / corpus_s if corpus_s else None,
+        "diagnostics": diagnostics,
+        "error_diagnostics": errors,
+        "crane_analyze_s": crane_s,
+        "crane_clean": crane_report.clean,
+        "passes": passes,
+    }
+
+
+@pytest.fixture(scope="session")
+def analysis_bench(pytestconfig):
+    """Run the analyzer sweep once; sessionfinish reuses the numbers."""
+    stats = _measure_analysis()
+    pytestconfig._analysis_bench = stats
+    return stats
+
+
 #: Admission-queue depths the server benchmark sweeps.
 SERVER_QUEUE_DEPTHS = (1, 8, 64)
 
@@ -364,6 +433,9 @@ def pytest_sessionfinish(session, exitstatus):
         session.config, "_server_bench", None
     ) or _measure_server()
     zoo_stats = getattr(session.config, "_zoo_bench", None) or _measure_zoo()
+    analysis_stats = getattr(
+        session.config, "_analysis_bench", None
+    ) or _measure_analysis()
 
     def total(name):
         stat = metrics.timer_stat(name)
@@ -385,6 +457,7 @@ def pytest_sessionfinish(session, exitstatus):
         # benchmarked queue depth.
         "slo": server_stats.get("slo", {}),
         "zoo": zoo_stats,
+        "analysis": analysis_stats,
         "simkernel": _measure_simkernel(),
         "metrics": metrics.to_dict(),
     }

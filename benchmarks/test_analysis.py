@@ -1,0 +1,53 @@
+"""Static-analyzer throughput over the zoo corpus and the case studies.
+
+The analyzer is the lint gate every model in the zoo sweep passes
+through, so its cost per model matters: this benchmark reports models/sec
+for the full five-pass pipeline on a fixed-seed corpus plus the per-pass
+wall-time breakdown.  The numbers land in the ``"analysis"`` section of
+``BENCH_obs.json`` (schema checked by ``tools/validate_trace.py
+--bench``).
+"""
+
+from benchmarks.conftest import ANALYSIS_COUNT, ANALYSIS_SEED
+
+
+def test_analyze_the_zoo(analysis_bench, paper_report):
+    stats = analysis_bench
+    assert stats["corpus_seed"] == ANALYSIS_SEED
+    assert stats["corpus_models"] == ANALYSIS_COUNT
+    assert stats["models_per_sec"] > 0
+    # The corpus-wide lint gate: generated models carry no error-severity
+    # findings, and crane is fully clean.
+    assert stats["error_diagnostics"] == 0
+    assert stats["crane_clean"]
+    # Every registered pass ran on every model (plus crane).
+    for name in ("structure", "channels", "fsm", "sdf", "dataflow"):
+        assert stats["passes"][name]["calls"] >= ANALYSIS_COUNT
+
+    slowest = max(
+        stats["passes"], key=lambda name: stats["passes"][name]["total_s"]
+    )
+    paper_report(
+        f"E7: analyze the zoo ({ANALYSIS_COUNT} models, seed "
+        f"{ANALYSIS_SEED})",
+        [
+            (
+                "five-pass analyze",
+                "n/a (new tooling)",
+                f"{stats['models_per_sec']:.0f} models/s",
+            ),
+            ("diagnostics", "warnings/notes only", f"{stats['diagnostics']}"),
+            ("error findings", "0", f"{stats['error_diagnostics']}"),
+            (
+                "crane analyze",
+                "clean",
+                f"{stats['crane_analyze_s'] * 1000:.1f} ms",
+            ),
+            (
+                "slowest pass",
+                "-",
+                f"{slowest} "
+                f"({stats['passes'][slowest]['total_s'] * 1000:.0f} ms total)",
+            ),
+        ],
+    )

@@ -1,0 +1,73 @@
+"""repro.analysis — multi-pass static analyzer for UML models and CAAMs.
+
+One diagnostic framework over every model level: stable ``RAxxx`` codes
+(:mod:`.diagnostics`), an open pass registry with obs instrumentation
+(:mod:`.registry`), SDF balance-equation/deadlock/buffer analysis
+(:mod:`.sdf`), and JSON + SARIF 2.1.0 emission (:mod:`.sarif`).  See
+``docs/analysis.md`` for the code table and suppression syntax.
+"""
+
+from .diagnostics import (
+    CODES,
+    SEVERITIES,
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    code_severity,
+    is_suppressed,
+    make_diagnostic,
+    severity_rank,
+)
+from .passes.fsm import fsm_diagnostics
+from .registry import (
+    AnalysisContext,
+    AnalysisPass,
+    analyze,
+    analyze_synthesized,
+    pass_names,
+    register_pass,
+    registered_passes,
+)
+from .sarif import SARIF_VERSION, to_sarif
+from .sdf import (
+    MAX_FIRINGS,
+    SdfAnalysis,
+    SdfEdge,
+    SdfGraph,
+    analyze_graph,
+    repetition_vector,
+    schedule_bounds,
+    sdf_from_caam,
+    sdf_from_uml,
+)
+
+__all__ = [
+    "CODES",
+    "MAX_FIRINGS",
+    "SARIF_VERSION",
+    "SEVERITIES",
+    "AnalysisContext",
+    "AnalysisError",
+    "AnalysisPass",
+    "AnalysisReport",
+    "Diagnostic",
+    "SdfAnalysis",
+    "SdfEdge",
+    "SdfGraph",
+    "analyze",
+    "analyze_graph",
+    "analyze_synthesized",
+    "code_severity",
+    "fsm_diagnostics",
+    "is_suppressed",
+    "make_diagnostic",
+    "pass_names",
+    "register_pass",
+    "registered_passes",
+    "repetition_vector",
+    "schedule_bounds",
+    "sdf_from_caam",
+    "sdf_from_uml",
+    "severity_rank",
+    "to_sarif",
+]

@@ -1,0 +1,12 @@
+"""Analysis passes, one module per diagnostic family.
+
+Each module exposes ``run(context) -> List[Diagnostic]`` plus the
+reusable per-check functions other subsystems call directly (e.g.
+``uml.validate`` delegates its channel checks to
+:mod:`.channels`).  Pass registration lives in
+:mod:`repro.analysis.registry`.
+"""
+
+from . import channels, dataflow, fsm, sdf, structure
+
+__all__ = ["channels", "dataflow", "fsm", "sdf", "structure"]

@@ -1,0 +1,303 @@
+"""RA2xx — channel protocol and concurrency analysis.
+
+The single implementation of the Set/Get channel checks: dangling gets
+(RA201), cyclic inter-thread channel paths (RA202), read-before-produce
+dataflow (RA203) and — new with the analyzer — unsynchronized concurrent
+writes (RA204) found by a happens-before pass over lifeline event
+orders.  :mod:`repro.uml.validate` delegates its channel checks here, so
+the message text of RA201/RA202/RA203 is the *contract* shared with the
+legacy ``Issue`` API and must stay byte-stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..diagnostics import Diagnostic, make_diagnostic
+
+
+def read_before_produce_diagnostics(
+    interaction,
+    *,
+    parameters: Tuple[str, ...] = (),
+    skip_feedback: bool = False,
+) -> List[Diagnostic]:
+    """RA203: variables consumed before any producer in their diagram.
+
+    Variables may legitimately arrive from IO reads or channel receives
+    in *other* diagrams, so this is a warning, not an error.  The
+    analyzer runs a sharper configuration than the legacy
+    ``uml.validate`` wrapper: ``parameters`` seeds the produced set with
+    the owning operation's parameter names (behaviour diagrams read
+    their inputs by design), and ``skip_feedback`` drops reads of
+    variables produced *later in the same diagram* — that is exactly the
+    crane/cyclic feedback idiom the §4.2.2 temporal-barrier pass exists
+    to break, not a modelling defect.
+    """
+    where = f"interaction {interaction.name!r}"
+    produced: set = set(parameters)
+    written_later: set = set()
+    if skip_feedback:
+        for message in interaction.messages():
+            written_later.update(message.variables_written())
+    diagnostics: List[Diagnostic] = []
+    for message in interaction.messages():
+        for var in message.variables_read():
+            if var not in produced:
+                if skip_feedback and var in written_later:
+                    continue
+                diagnostics.append(
+                    make_diagnostic(
+                        "RA203",
+                        f"variable {var!r} read by "
+                        f"{message.sender.name}->{message.receiver.name}"
+                        f".{message.operation} before any producer in "
+                        f"this diagram",
+                        location=where,
+                        element_ids=(getattr(message, "xmi_id", ""),),
+                        fix_hint=(
+                            "produce the variable earlier in this diagram "
+                            "or receive it over a channel"
+                        ),
+                    )
+                )
+        produced.update(message.variables_written())
+    return diagnostics
+
+
+def _channel_tables(model) -> Tuple[dict, dict, dict]:
+    """Index the model's inter-thread Set/Get traffic.
+
+    Returns ``(producers, consumers, graph)``: channel → set messages,
+    channel → ``(interaction name, get message)`` rows, and the
+    producer-thread → consumer-thread → [channel] adjacency used by the
+    cycle check.
+    """
+    producers: dict = {}
+    consumers: dict = {}
+    graph: dict = {}
+    for interaction in model.interactions:
+        for message in interaction.messages():
+            if not message.is_inter_thread:
+                continue
+            channel = message.channel_name
+            if message.is_send:
+                producers.setdefault(channel, []).append(message)
+                edge = (message.sender.name, message.receiver.name)
+            elif message.is_receive:
+                consumers.setdefault(channel, []).append(
+                    (interaction.name, message)
+                )
+                # get<Ch> flows data from the receiver (asked thread)
+                # back to the sender (asking thread).
+                edge = (message.receiver.name, message.sender.name)
+            else:
+                continue
+            graph.setdefault(edge[0], {}).setdefault(edge[1], []).append(
+                channel
+            )
+    return producers, consumers, graph
+
+
+def dangling_get_diagnostics(model) -> List[Diagnostic]:
+    """RA201: ``get<Ch>`` reads with no ``set<Ch>`` producer anywhere."""
+    producers, consumers, _ = _channel_tables(model)
+    diagnostics: List[Diagnostic] = []
+    for channel in sorted(consumers):
+        if channel in producers:
+            continue
+        for interaction_name, message in consumers[channel]:
+            diagnostics.append(
+                make_diagnostic(
+                    "RA201",
+                    f"channel {channel!r} is read by "
+                    f"{message.sender.name}<-{message.receiver.name}"
+                    f".{message.operation} but no thread ever writes it "
+                    f"(no matching set message); the get will block "
+                    f"forever",
+                    location=f"interaction {interaction_name!r}",
+                    element_ids=(getattr(message, "xmi_id", ""),),
+                    fix_hint=(
+                        f"add a set{channel.capitalize()} send on the "
+                        f"producing thread or drop the get"
+                    ),
+                )
+            )
+    return diagnostics
+
+
+def channel_cycles(graph: dict) -> List[List[str]]:
+    """Elementary cycles in the thread/channel graph, deterministically.
+
+    DFS from each thread in sorted order; a cycle is reported once, from
+    its lexicographically smallest member, as ``[a, b, ..., a]``.
+    """
+    cycles: List[List[str]] = []
+    seen: set = set()
+    for start in sorted(graph):
+        stack = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            for succ in sorted(graph.get(node, {})):
+                if succ == start:
+                    cycle = path + [start]
+                    if min(cycle) == start and tuple(cycle) not in seen:
+                        seen.add(tuple(cycle))
+                        cycles.append(cycle)
+                elif succ not in path and succ > start:
+                    stack.append((succ, path + [succ]))
+    return cycles
+
+
+def cycle_diagnostics(model) -> List[Diagnostic]:
+    """RA202: cyclic inter-thread channel paths (mutually blocking FIFOs).
+
+    The §4.2.2 barrier pass breaks *signal* cycles; a channel cycle means
+    mutually blocking FIFOs and deserves review, hence a warning.
+    """
+    _, _, graph = _channel_tables(model)
+    diagnostics: List[Diagnostic] = []
+    for cycle in channel_cycles(graph):
+        hops = []
+        for src, dst in zip(cycle, cycle[1:]):
+            channels = ",".join(sorted(set(graph[src][dst])))
+            hops.append(f"{src} -[{channels}]-> {dst}")
+        diagnostics.append(
+            make_diagnostic(
+                "RA202",
+                "cyclic inter-thread channel path: " + " ".join(hops),
+                location="model channels",
+                fix_hint=(
+                    "break the cycle with an initial token (UnitDelay "
+                    "barrier) or restructure the producers"
+                ),
+            )
+        )
+    return diagnostics
+
+
+def _happens_before(model) -> Dict[int, set]:
+    """Transitive happens-before over messages, as ``id(msg) -> reachable``.
+
+    Events on one lifeline are totally ordered top-to-bottom within an
+    interaction (a message is an event on both its sender and receiver,
+    which is what synchronizes the two orders); nothing orders events
+    across interactions.
+    """
+    successors: Dict[int, List[int]] = {}
+    for interaction in model.interactions:
+        messages = interaction.messages()
+        by_lifeline: Dict[str, List[int]] = {}
+        for position, message in enumerate(messages):
+            successors.setdefault(id(message), [])
+            for name in {message.sender.name, message.receiver.name}:
+                by_lifeline.setdefault(name, []).append(position)
+        for positions in by_lifeline.values():
+            for before, after in zip(positions, positions[1:]):
+                successors[id(messages[before])].append(id(messages[after]))
+
+    reachable: Dict[int, set] = {}
+
+    def visit(node: int) -> set:
+        if node in reachable:
+            return reachable[node]
+        reachable[node] = set()  # cycle guard; lifeline orders are acyclic
+        found: set = set()
+        for succ in successors.get(node, ()):
+            found.add(succ)
+            found |= visit(succ)
+        reachable[node] = found
+        return found
+
+    for node in list(successors):
+        visit(node)
+    return reachable
+
+
+def concurrent_write_diagnostics(model) -> List[Diagnostic]:
+    """RA204: one channel written by threads with no mutual ordering.
+
+    Two ``set<Ch>`` messages from *different* sender threads race unless
+    a happens-before path (through the lifeline event orders) connects
+    them; an unordered pair means the FIFO's interleaving — and thus the
+    consumer's token order — depends on scheduling.
+    """
+    producers, _, _ = _channel_tables(model)
+    hb = _happens_before(model)
+    diagnostics: List[Diagnostic] = []
+    for channel in sorted(producers):
+        writes = producers[channel]
+        reported: set = set()
+        for i, first in enumerate(writes):
+            for second in writes[i + 1:]:
+                left, right = first.sender.name, second.sender.name
+                if left == right:
+                    continue
+                pair = tuple(sorted((left, right)))
+                if pair in reported:
+                    continue
+                ordered = (
+                    id(second) in hb.get(id(first), set())
+                    or id(first) in hb.get(id(second), set())
+                )
+                if not ordered:
+                    reported.add(pair)
+                    diagnostics.append(
+                        make_diagnostic(
+                            "RA204",
+                            f"channel {channel!r} is written concurrently "
+                            f"by threads {pair[0]!r} and {pair[1]!r} with "
+                            f"no happens-before ordering between the "
+                            f"writes; the FIFO interleaving depends on "
+                            f"scheduling",
+                            location="model channels",
+                            element_ids=(
+                                getattr(first, "xmi_id", ""),
+                                getattr(second, "xmi_id", ""),
+                            ),
+                            fix_hint=(
+                                "give each producer its own channel or "
+                                "order the writes through an intermediate "
+                                "message"
+                            ),
+                        )
+                    )
+    return diagnostics
+
+
+def behavior_parameters(model) -> Dict[str, Tuple[str, ...]]:
+    """Interaction name -> parameter names of the operation it implements.
+
+    An interaction referenced as a ``uml``-bodied operation behaviour
+    reads the operation's parameters as free variables; those are inputs
+    by contract, not read-before-produce defects.
+    """
+    table: Dict[str, Tuple[str, ...]] = {}
+    for cls in model.all_classes():
+        for operation in cls.operations:
+            if operation.body_language != "uml" or not operation.body:
+                continue
+            names = tuple(p.name for p in operation.parameters)
+            table[operation.body] = table.get(operation.body, ()) + names
+    return table
+
+
+def run(context) -> List[Diagnostic]:
+    """The registered RA2xx pass body."""
+    model = context.model
+    if model is None:
+        return []
+    parameters = behavior_parameters(model)
+    diagnostics: List[Diagnostic] = []
+    for interaction in model.interactions:
+        diagnostics.extend(
+            read_before_produce_diagnostics(
+                interaction,
+                parameters=parameters.get(interaction.name, ()),
+                skip_feedback=True,
+            )
+        )
+    diagnostics.extend(dangling_get_diagnostics(model))
+    diagnostics.extend(cycle_diagnostics(model))
+    diagnostics.extend(concurrent_write_diagnostics(model))
+    return diagnostics

@@ -1,0 +1,129 @@
+"""RA4xx (dataflow) — block-diagram analysis over the synthesized CAAM.
+
+Three classic dataflow checks on the flattened block graph:
+
+- **RA403 unconnected inputs** — the slot compiler's compile-time
+  connectivity analysis re-exposed as diagnostics (the compiler itself
+  keeps raising at simulation time; the analyzer just reports earlier);
+- **RA404 dead blocks** — blocks whose output reaches no Scope, root
+  Outport or Terminator (skipped entirely for models with no sink at
+  all, e.g. the zoo's observationless ``layered`` family);
+- **RA405 constant signals** — forward constant propagation from
+  ``Constant`` blocks through stateless arithmetic; a statically
+  constant non-Constant block is foldable and usually means a modelling
+  shortcut.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..diagnostics import Diagnostic, make_diagnostic
+
+#: Block types whose output is constant when every input is constant.
+FOLDABLE = {"Gain", "Abs", "Saturation", "Sum", "Product"}
+
+#: Block types that observe their input (reverse-reachability roots).
+SINKS = {"Scope", "Outport", "Terminator", "ToWorkspace"}
+
+
+def run(context) -> List[Diagnostic]:
+    """The registered dataflow pass body (needs a synthesized CAAM)."""
+    from ...simulink.model import flatten
+    from ...simulink.validate import unconnected_inputs
+
+    caam = context.caam
+    if caam is None:
+        return []
+    diagnostics: List[Diagnostic] = []
+
+    for port in unconnected_inputs(caam):
+        diagnostics.append(
+            make_diagnostic(
+                "RA403",
+                f"input {port.index} of block {port.block.path!r} "
+                f"({port.block.block_type}) is not driven by any signal",
+                location=f"block {port.block.path!r}",
+                fix_hint="connect the input or drive it with a Constant",
+            )
+        )
+
+    blocks, edges = flatten(caam)
+    downstream: Dict[int, List[object]] = {}
+    upstream: Dict[int, List[object]] = {}
+    for src, dst in edges:
+        downstream.setdefault(id(src.block), []).append(dst.block)
+        upstream.setdefault(id(dst.block), []).append(src.block)
+
+    # -- RA404: reverse reachability from the observation points -----------
+    sinks = [b for b in blocks if b.block_type in SINKS]
+    if sinks:
+        alive: Set[int] = set()
+        frontier = [b for b in sinks]
+        while frontier:
+            block = frontier.pop()
+            if id(block) in alive:
+                continue
+            alive.add(id(block))
+            frontier.extend(upstream.get(id(block), ()))
+        dead = [
+            b
+            for b in blocks
+            if id(b) not in alive and b.block_type not in SINKS
+        ]
+        for block in sorted(dead, key=lambda b: b.path):
+            diagnostics.append(
+                make_diagnostic(
+                    "RA404",
+                    f"block {block.path!r} ({block.block_type}) reaches "
+                    f"no Scope, Outport or sink; its output is never "
+                    f"observed",
+                    location=f"block {block.path!r}",
+                    fix_hint="wire the block toward an output or drop it",
+                )
+            )
+    else:
+        dead = []
+
+    # -- RA405: forward constant propagation --------------------------------
+    constant: Set[int] = {
+        id(b) for b in blocks if b.block_type == "Constant"
+    }
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if id(block) in constant or block.block_type not in FOLDABLE:
+                continue
+            feeders = upstream.get(id(block), [])
+            if len(feeders) < block.num_inputs or not feeders:
+                continue
+            if all(id(feeder) in constant for feeder in feeders):
+                constant.add(id(block))
+                changed = True
+    folded = [
+        b
+        for b in blocks
+        if id(b) in constant and b.block_type != "Constant"
+    ]
+    for block in sorted(folded, key=lambda b: b.path):
+        diagnostics.append(
+            make_diagnostic(
+                "RA405",
+                f"block {block.path!r} ({block.block_type}) computes a "
+                f"statically constant value; the subgraph is foldable",
+                location=f"block {block.path!r}",
+                fix_hint="replace the subgraph with one Constant block",
+            )
+        )
+
+    context.info["dataflow"] = {
+        "blocks": len(blocks),
+        "unconnected_inputs": sum(
+            1 for d in diagnostics if d.code == "RA403"
+        ),
+        "dead_blocks": len(dead),
+        "constant_blocks": len(folded),
+        "sinks": len(sinks),
+    }
+    return diagnostics

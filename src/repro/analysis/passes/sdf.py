@@ -1,0 +1,88 @@
+"""RA4xx (SDF) — synchronous-dataflow consistency of the channel graph.
+
+Lifts the model onto an SDF graph (:mod:`repro.analysis.sdf`) — from the
+UML level when a front-end model is available (Set/Get channels with
+``loop`` multiplicities as rates), otherwise from the CAAM's
+``CommChannel`` connectivity — then solves the balance equations and
+simulates one periodic schedule:
+
+- **RA401** rate inconsistency: the balance equations have no non-zero
+  solution; the offending channels are named.
+- **RA402** insufficient-delay deadlock: a consistent graph whose
+  schedule stalls (a channel cycle with too few initial tokens).
+- **RA406** (note) repetition vector larger than the simulation cap;
+  buffer bounds were skipped.
+
+For rate-consistent scenarios the pass publishes the repetition vector
+and per-channel buffer bounds under ``report.info["sdf"]`` — the static
+inputs the ROADMAP's SDF static-schedule backend needs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..diagnostics import Diagnostic, make_diagnostic
+from ..sdf import analyze_graph, sdf_from_caam, sdf_from_uml
+
+
+def run(context) -> List[Diagnostic]:
+    """The registered SDF pass body."""
+    if context.model is not None:
+        graph = sdf_from_uml(context.model)
+        level = "uml"
+    elif context.caam is not None:
+        graph = sdf_from_caam(context.caam)
+        level = "caam"
+    else:
+        return []
+
+    analysis = analyze_graph(graph)
+    doc = analysis.to_dict()
+    doc["level"] = level
+    doc["actors"] = len(graph.actors)
+    doc["channels"] = len(graph.edges)
+    context.info["sdf"] = doc
+
+    diagnostics: List[Diagnostic] = []
+    for edge in analysis.conflicts:
+        diagnostics.append(
+            make_diagnostic(
+                "RA401",
+                f"SDF balance equations are inconsistent at channel "
+                f"{edge.channel!r} ({edge.src} -[{edge.produce}/"
+                f"{edge.consume}]-> {edge.dst}): no repetition vector "
+                f"exists",
+                location="model channels",
+                fix_hint=(
+                    "match the production and consumption rates "
+                    "(loop multiplicities) along the channel paths"
+                ),
+            )
+        )
+    if analysis.deadlocked:
+        blocked = ", ".join(analysis.blocked)
+        diagnostics.append(
+            make_diagnostic(
+                "RA402",
+                f"SDF schedule deadlocks: actors {blocked} wait on "
+                f"channels that never fill (insufficient initial "
+                f"tokens on a cycle)",
+                location="model channels",
+                fix_hint=(
+                    "add initial tokens (a UnitDelay barrier) on one "
+                    "channel of the cycle"
+                ),
+            )
+        )
+    if analysis.capped:
+        diagnostics.append(
+            make_diagnostic(
+                "RA406",
+                f"repetition vector sums to more than the simulation "
+                f"cap; buffer bounds were not computed "
+                f"({sum(analysis.repetition.values())} firings)",
+                location="model channels",
+            )
+        )
+    return diagnostics

@@ -1,0 +1,51 @@
+"""RA1xx — structural well-formedness of the UML front-end.
+
+This pass wraps the battle-tested checks of :mod:`repro.uml.validate`
+(stereotype application, message/operation resolution, arity, behaviour
+references, deployment) and lifts their :class:`~repro.uml.validate.Issue`
+records into coded diagnostics.  The check logic itself stays in
+``uml.validate`` — the analyzer adds codes, fix hints, and severities on
+top rather than forking the implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..diagnostics import CODES, Diagnostic
+
+#: Fix hints per structure code (the legacy Issue carries none).
+_HINTS = {
+    "RA101": "declare the operation on the receiver's classifier",
+    "RA102": "match the message arguments to the operation's inputs",
+    "RA103": "bind the lifeline to an instance",
+    "RA104": "apply the stereotype to an element of the right metaclass",
+    "RA105": "name an existing interaction or switch the body language",
+    "RA106": "allocate the thread to an <<SAengine>> node",
+    "RA107": "rename the operation or make the receiver a thread/IO object",
+}
+
+
+def run(context) -> List[Diagnostic]:
+    """The registered RA1xx pass body."""
+    from ...uml.validate import structural_issues
+
+    model = context.model
+    if model is None:
+        return []
+    diagnostics: List[Diagnostic] = []
+    for issue in structural_issues(
+        model, require_deployment=context.options.get("require_deployment", False)
+    ):
+        code = issue.code or "RA100"
+        severity = CODES[code][0] if code in CODES else issue.severity
+        diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                message=issue.message,
+                location=issue.location,
+                fix_hint=_HINTS.get(code, ""),
+            )
+        )
+    return diagnostics

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 emission for analyzer reports.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca
+of code-scanning UIs; emitting it makes ``repro analyze`` output land in
+any SARIF viewer or CI annotation surface.  One :func:`to_sarif` call
+produces one ``run`` covering any number of per-model reports: each
+diagnostic becomes a ``result`` whose ``ruleId`` is the stable ``RAxxx``
+code, with the rule table built from the code registry and logical
+locations naming the model element the finding points at.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .diagnostics import CODES, AnalysisReport, Diagnostic
+
+#: SARIF schema/version pinned by the emitter (and asserted by tests).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Our severity names -> SARIF result levels.
+_LEVELS = {"note": "note", "warning": "warning", "error": "error"}
+
+
+def _rule(code: str) -> Dict[str, Any]:
+    severity, description = CODES[code]
+    return {
+        "id": code,
+        "shortDescription": {"text": description},
+        "defaultConfiguration": {"level": _LEVELS[severity]},
+        "helpUri": f"https://example.invalid/repro/docs/analysis.md#{code.lower()}",
+    }
+
+
+def _result(
+    report: AnalysisReport, diagnostic: Diagnostic, rule_index: Dict[str, int],
+    *, suppressed: bool = False,
+) -> Dict[str, Any]:
+    logical: Dict[str, Any] = {
+        "fullyQualifiedName": f"{report.subject}::{diagnostic.location}"
+        if diagnostic.location
+        else report.subject,
+    }
+    result: Dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "ruleIndex": rule_index[diagnostic.code],
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [{"logicalLocations": [logical]}],
+    }
+    uri = report.info.get("uri")
+    if uri:
+        result["locations"][0]["physicalLocation"] = {
+            "artifactLocation": {"uri": str(uri)}
+        }
+    if diagnostic.element_ids:
+        result["partialFingerprints"] = {
+            "repro/elementIds": ",".join(diagnostic.element_ids)
+        }
+    if diagnostic.fix_hint:
+        result["message"]["markdown"] = (
+            f"{diagnostic.message}\n\n**Fix:** {diagnostic.fix_hint}"
+        )
+    if suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def to_sarif(reports: Sequence[AnalysisReport]) -> Dict[str, Any]:
+    """A SARIF 2.1.0 log document covering ``reports`` as one run."""
+    used = sorted(
+        {
+            d.code
+            for report in reports
+            for d in list(report.diagnostics) + list(report.suppressed)
+        }
+    )
+    rules = [_rule(code) for code in used]
+    rule_index = {code: position for position, code in enumerate(used)}
+    results: List[Dict[str, Any]] = []
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            results.append(_result(report, diagnostic, rule_index))
+        for diagnostic in report.suppressed:
+            results.append(
+                _result(report, diagnostic, rule_index, suppressed=True)
+            )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }

@@ -1,0 +1,362 @@
+"""Synchronous-dataflow consistency analysis over channel graphs.
+
+The paper's CAAM is a network of threads exchanging tokens over FIFO
+channels — exactly the shape of an SDF graph (Lee/Messerschmitt; Fakih's
+SDF-based code generation from Simulink models, arXiv:1701.04217, is the
+ROADMAP's static-schedule backend).  This module supplies the static
+properties that backend needs:
+
+- :func:`repetition_vector` solves the balance equations
+  ``r_src * produce == r_dst * consume`` per weakly-connected component
+  with exact rational arithmetic, yielding the smallest integer
+  repetition vector or the list of inconsistent edges;
+- :func:`schedule_bounds` runs a demand-driven periodic admissible
+  sequential schedule (PASS) simulation to detect insufficient-delay
+  deadlock and record the per-channel peak token count — a safe bounded
+  buffer size for that schedule;
+- :func:`sdf_from_uml` / :func:`sdf_from_caam` lift the two model levels
+  onto :class:`SdfGraph`: UML Set/Get channels carry their ``loop``
+  multiplicities as production/consumption rates, CAAM ``CommChannel``
+  blocks are single-rate with adjacent ``UnitDelay`` blocks counted as
+  initial tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import gcd, lcm
+from typing import Dict, List, Optional, Tuple
+
+#: Firing-count cap for the PASS simulation: beyond this the analysis
+#: reports "unbounded for us" (RA406) instead of burning CPU.  The
+#: synthetic §5.2 case study needs ~125k firings, so the cap sits well
+#: above it while still bounding adversarial rate blowups.
+MAX_FIRINGS = 500_000
+
+
+@dataclass(frozen=True)
+class SdfEdge:
+    """One FIFO channel: ``src`` produces ``produce`` tokens per firing,
+    ``dst`` consumes ``consume``; ``delay`` initial tokens break cycles."""
+
+    src: str
+    dst: str
+    channel: str
+    produce: int = 1
+    consume: int = 1
+    delay: int = 0
+
+
+@dataclass
+class SdfGraph:
+    """An SDF graph: named actors plus rated FIFO edges."""
+
+    actors: List[str] = field(default_factory=list)
+    edges: List[SdfEdge] = field(default_factory=list)
+
+    def add_actor(self, name: str) -> None:
+        """Register ``name`` once, preserving insertion order."""
+        if name not in self.actors:
+            self.actors.append(name)
+
+    def add_edge(self, edge: SdfEdge) -> None:
+        """Append an edge, auto-registering both endpoint actors."""
+        self.add_actor(edge.src)
+        self.add_actor(edge.dst)
+        self.edges.append(edge)
+
+
+@dataclass
+class SdfAnalysis:
+    """Everything the SDF pass computed for one graph."""
+
+    consistent: bool
+    #: Actor -> smallest positive integer repetition count (empty when
+    #: the balance equations are inconsistent).
+    repetition: Dict[str, int] = field(default_factory=dict)
+    #: Edges whose balance equation conflicts with the assigned rates.
+    conflicts: List[SdfEdge] = field(default_factory=list)
+    deadlocked: bool = False
+    #: Actors left with unfired repetitions when the schedule stalled.
+    blocked: List[str] = field(default_factory=list)
+    #: Channel -> peak token count under the simulated PASS (a safe
+    #: bounded buffer size); empty when deadlocked or capped.
+    buffer_bounds: Dict[str, int] = field(default_factory=dict)
+    #: True when the repetition vector exceeded :data:`MAX_FIRINGS` and
+    #: the buffer simulation was skipped.
+    capped: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """Render as a JSON-ready dict for ``report.info["sdf"]``."""
+        return {
+            "consistent": self.consistent,
+            "repetition": dict(self.repetition),
+            "conflicts": [
+                f"{e.src} -[{e.channel}]-> {e.dst}" for e in self.conflicts
+            ],
+            "deadlocked": self.deadlocked,
+            "blocked": list(self.blocked),
+            "buffer_bounds": dict(self.buffer_bounds),
+            "capped": self.capped,
+        }
+
+
+def repetition_vector(
+    graph: SdfGraph,
+) -> Tuple[Dict[str, int], List[SdfEdge]]:
+    """Solve the balance equations; return ``(repetition, conflicts)``.
+
+    Rates are propagated as exact :class:`~fractions.Fraction` ratios by
+    BFS over each weakly-connected component, then scaled to the
+    smallest positive integers per component.  An edge whose equation
+    contradicts the already-assigned rates lands in ``conflicts`` (and
+    the returned vector is empty).
+    """
+    neighbours: Dict[str, List[SdfEdge]] = {a: [] for a in graph.actors}
+    for edge in graph.edges:
+        neighbours[edge.src].append(edge)
+        neighbours[edge.dst].append(edge)
+
+    rates: Dict[str, Fraction] = {}
+    conflicts: List[SdfEdge] = []
+    for start in sorted(graph.actors):
+        if start in rates:
+            continue
+        component = [start]
+        rates[start] = Fraction(1)
+        frontier = [start]
+        while frontier:
+            actor = frontier.pop()
+            for edge in neighbours[actor]:
+                # r_src * produce == r_dst * consume
+                if edge.src in rates and edge.dst in rates:
+                    if rates[edge.src] * edge.produce != (
+                        rates[edge.dst] * edge.consume
+                    ):
+                        conflicts.append(edge)
+                    continue
+                if edge.src in rates:
+                    rates[edge.dst] = (
+                        rates[edge.src] * edge.produce / edge.consume
+                    )
+                    component.append(edge.dst)
+                    frontier.append(edge.dst)
+                elif edge.dst in rates:
+                    rates[edge.src] = (
+                        rates[edge.dst] * edge.consume / edge.produce
+                    )
+                    component.append(edge.src)
+                    frontier.append(edge.src)
+        # Scale this component to the smallest positive integer vector.
+        denominators = lcm(*(rates[a].denominator for a in component))
+        scaled = [rates[a] * denominators for a in component]
+        divisor = gcd(*(int(value) for value in scaled))
+        for actor, value in zip(component, scaled):
+            rates[actor] = Fraction(int(value) // max(divisor, 1))
+
+    if conflicts:
+        # Deterministic report order, one entry per offending channel.
+        unique = sorted(
+            set(conflicts), key=lambda e: (e.channel, e.src, e.dst)
+        )
+        return {}, unique
+    return {actor: int(rates[actor]) for actor in graph.actors}, []
+
+
+def schedule_bounds(
+    graph: SdfGraph,
+    repetition: Dict[str, int],
+    max_firings: int = MAX_FIRINGS,
+) -> SdfAnalysis:
+    """Simulate one PASS iteration: deadlock check plus buffer bounds.
+
+    Fires actors demand-driven in sorted-name order until every actor
+    has fired its repetition count.  If no actor can fire while some
+    still must, the graph deadlocks for lack of initial tokens — the
+    ``blocked`` actors name the cycle.  Peak per-channel token counts
+    are safe FIFO capacities for this schedule.
+    """
+    analysis = SdfAnalysis(consistent=True, repetition=dict(repetition))
+    total = sum(repetition.values())
+    if total > max_firings:
+        analysis.capped = True
+        return analysis
+
+    tokens: List[int] = [edge.delay for edge in graph.edges]
+    peak: List[int] = list(tokens)
+    incoming: Dict[str, List[int]] = {a: [] for a in graph.actors}
+    outgoing: Dict[str, List[int]] = {a: [] for a in graph.actors}
+    for position, edge in enumerate(graph.edges):
+        incoming[edge.dst].append(position)
+        outgoing[edge.src].append(position)
+
+    remaining = {a: repetition.get(a, 1) for a in graph.actors}
+
+    def can_fire(actor: str) -> bool:
+        return all(
+            tokens[i] >= graph.edges[i].consume for i in incoming[actor]
+        )
+
+    progress = True
+    while progress and any(remaining.values()):
+        progress = False
+        for actor in sorted(graph.actors):
+            while remaining[actor] > 0 and can_fire(actor):
+                for i in incoming[actor]:
+                    tokens[i] -= graph.edges[i].consume
+                for i in outgoing[actor]:
+                    tokens[i] += graph.edges[i].produce
+                    peak[i] = max(peak[i], tokens[i])
+                remaining[actor] -= 1
+                progress = True
+
+    if any(remaining.values()):
+        analysis.deadlocked = True
+        analysis.blocked = sorted(a for a, n in remaining.items() if n > 0)
+        return analysis
+
+    bounds: Dict[str, int] = {}
+    for position, edge in enumerate(graph.edges):
+        bounds[edge.channel] = max(
+            bounds.get(edge.channel, 0), peak[position]
+        )
+    analysis.buffer_bounds = bounds
+    return analysis
+
+
+def analyze_graph(graph: SdfGraph) -> SdfAnalysis:
+    """Full SDF analysis: balance equations, then deadlock/buffers."""
+    repetition, conflicts = repetition_vector(graph)
+    if conflicts:
+        return SdfAnalysis(consistent=False, conflicts=conflicts)
+    return schedule_bounds(graph, repetition)
+
+
+# ---------------------------------------------------------------------------
+# Graph builders for the two model levels
+# ---------------------------------------------------------------------------
+
+
+def sdf_from_uml(model: object) -> SdfGraph:
+    """The UML-level channel graph as SDF.
+
+    Actors are thread lifelines; each Set/Get channel becomes one edge
+    from the ``set`` sender to its receiver.  Production rate is the
+    total static multiplicity of the channel's ``set`` messages (``loop``
+    fragments multiply).  Consumption rate is the total multiplicity of
+    the channel's *explicit* ``get`` messages — one token per call, the
+    genuinely multi-rate case (didactic/synthetic idiom).  Implicit
+    (variable-named) consumption has no call of its own: the CAAM
+    realizes it as a single-rate signal the consumer samples once per
+    activation, absorbing the producer's whole burst — so its
+    consumption rate equals the production rate (a ``loop`` weight there
+    is the §4.2.3 task-graph communication cost, not a token rate).
+    """
+    graph = SdfGraph()
+    produced: Dict[Tuple[str, str, str], int] = {}
+    consumed: Dict[str, int] = {}
+    for interaction in model.interactions:  # type: ignore[attr-defined]
+        for lifeline in interaction.thread_lifelines():
+            graph.add_actor(lifeline.name)
+        for message in interaction.messages():
+            if not message.is_inter_thread:
+                continue
+            weight = interaction.message_multiplicity(message)
+            channel = message.channel_name
+            if message.is_send:
+                key = (message.sender.name, message.receiver.name, channel)
+                produced[key] = produced.get(key, 0) + weight
+            elif message.is_receive:
+                consumed[channel] = consumed.get(channel, 0) + weight
+    for (src, dst, channel), produce in produced.items():
+        graph.add_edge(
+            SdfEdge(
+                src=src,
+                dst=dst,
+                channel=channel,
+                produce=produce,
+                consume=consumed.get(channel, produce),
+                delay=0,
+            )
+        )
+    return graph
+
+
+def sdf_from_caam(caam: object) -> SdfGraph:
+    """The CAAM-level channel graph as SDF.
+
+    Actors are Thread-SS subsystems; every ``CommChannel`` block yields
+    one single-rate edge per (producing thread, consuming thread) pair,
+    with ``UnitDelay`` blocks directly adjacent to the channel counted
+    as initial tokens (the §4.2.2 barrier pass materializes delays that
+    way).
+    """
+    from ..simulink.caam import is_channel
+    from ..simulink.model import flatten
+
+    graph = SdfGraph()
+    threads = caam.threads()  # type: ignore[attr-defined]
+    prefixes = {block.path + "/": block.name for block in threads}
+    for block in threads:
+        graph.add_actor(block.name)
+
+    def owner(block: object) -> Optional[str]:
+        path = block.path + "/"  # type: ignore[attr-defined]
+        for prefix, name in prefixes.items():
+            if path.startswith(prefix):
+                return name
+        return None
+
+    _, edges = flatten(caam)
+    drivers: Dict[int, object] = {}
+    fanout: Dict[int, List[object]] = {}
+    for src, dst in edges:
+        if is_channel(dst.block):
+            drivers[id(dst.block)] = src.block
+        if is_channel(src.block):
+            fanout.setdefault(id(src.block), []).append(dst.block)
+
+    def trace_producer(block: object, delay: int) -> Tuple[Optional[str], int]:
+        """Follow UnitDelays upstream to the producing thread."""
+        while block is not None and owner(block) is None:
+            if getattr(block, "block_type", "") != "UnitDelay":
+                return None, delay
+            delay += 1
+            upstream = [s.block for s, d in edges if d.block is block]
+            block = upstream[0] if upstream else None
+        return (owner(block) if block is not None else None), delay
+
+    def trace_consumers(block: object, delay: int) -> List[Tuple[str, int]]:
+        """Follow UnitDelays downstream to the consuming threads."""
+        thread = owner(block)
+        if thread is not None:
+            return [(thread, delay)]
+        if getattr(block, "block_type", "") != "UnitDelay":
+            return []
+        found: List[Tuple[str, int]] = []
+        for s, d in edges:
+            if s.block is block:
+                found.extend(trace_consumers(d.block, delay + 1))
+        return found
+
+    for channel in caam.channels():  # type: ignore[attr-defined]
+        driver = drivers.get(id(channel))
+        if driver is None:
+            continue
+        src, delay_in = trace_producer(driver, 0)
+        if src is None:
+            continue
+        for dst_block in fanout.get(id(channel), []):
+            for dst, delay in trace_consumers(dst_block, delay_in):
+                graph.add_edge(
+                    SdfEdge(
+                        src=src,
+                        dst=dst,
+                        channel=channel.name,
+                        produce=1,
+                        consume=1,
+                        delay=delay,
+                    )
+                )
+    return graph

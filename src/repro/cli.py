@@ -8,6 +8,7 @@ tool exports) and drives every stage of the flow:
 
     repro demo crane crane.xmi          # export a case-study model as XMI
     repro validate crane.xmi            # UML well-formedness report
+    repro analyze crane.xmi --format sarif -o crane.sarif
     repro allocate crane.xmi            # task graph + linear clustering
     repro synthesize crane.xmi -o crane.mdl --summary
     repro codegen crane.xmi --backend java -o gen/
@@ -118,16 +119,75 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    from .analysis import severity_rank
     from .uml.validate import validate_model
 
     model = _load_model(args.model)
     issues = validate_model(model, require_deployment=args.require_deployment)
     for issue in issues:
         print(issue)
-    errors = [i for i in issues if i.severity == "error"]
     if not issues:
         print(f"model {model.name!r}: OK")
-    return 1 if errors else 0
+    floor = severity_rank(args.min_severity)
+    failing = [i for i in issues if severity_rank(i.severity) >= floor]
+    return 1 if failing else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import analyze_synthesized, pass_names, to_sarif
+
+    selected = None
+    if args.passes:
+        selected = [part.strip() for part in args.passes.split(",") if part.strip()]
+        unknown = [name for name in selected if name not in pass_names()]
+        if unknown:
+            raise CliError(
+                f"unknown analysis pass(es) {', '.join(map(repr, unknown))}; "
+                f"registered: {', '.join(pass_names())}"
+            )
+    reports = []
+    for path in args.models:
+        model = _load_model(path)
+        report = analyze_synthesized(
+            model,
+            subject=getattr(model, "name", path),
+            passes=selected,
+            suppress=args.suppress,
+            require_deployment=args.require_deployment,
+        )
+        # SARIF physical locations point back at the analyzed artifact.
+        report.info.setdefault("uri", path)
+        reports.append(report)
+
+    if args.format == "sarif":
+        payload = json.dumps(to_sarif(reports), indent=2, sort_keys=True)
+    elif args.format == "json":
+        payload = json.dumps(
+            {"reports": [report.to_json() for report in reports]},
+            indent=2,
+            sort_keys=True,
+        )
+    else:
+        payload = "\n".join(report.render_text() for report in reports)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.output}")
+        if args.format == "text":
+            for report in reports:
+                totals = report.counts()
+                print(
+                    f"{report.subject}: {totals['error']} error(s), "
+                    f"{totals['warning']} warning(s), {totals['note']} note(s)"
+                )
+    else:
+        print(payload)
+    failing = sum(
+        len(report.at_or_above(args.min_severity)) for report in reports
+    )
+    return 1 if failing else 0
 
 
 def _cmd_allocate(args: argparse.Namespace) -> int:
@@ -645,7 +705,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also require every thread to be deployed",
     )
+    p.add_argument(
+        "--min-severity",
+        choices=("note", "warning", "error"),
+        default="error",
+        help="exit 1 when any issue at/above this severity is found",
+    )
     p.set_defaults(handler=_cmd_validate)
+
+    p = sub.add_parser(
+        "analyze",
+        help="multi-pass static analysis (see docs/analysis.md)",
+    )
+    p.add_argument("models", nargs="+", help="XMI input file(s)")
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        help="write the report here instead of stdout",
+    )
+    p.add_argument(
+        "--min-severity",
+        choices=("note", "warning", "error"),
+        default="error",
+        help="exit 1 when any finding at/above this severity remains",
+    )
+    p.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="suppress a code (RA203), family (RA2xx) or prefix (RA2*); repeatable",
+    )
+    p.add_argument(
+        "--passes",
+        metavar="A,B,...",
+        help="run only these passes (default: all registered, in order)",
+    )
+    p.add_argument(
+        "--require-deployment",
+        action="store_true",
+        help="also require every thread to be deployed (RA106)",
+    )
+    p.set_defaults(handler=_cmd_analyze)
 
     p = sub.add_parser("allocate", help="task graph + linear clustering")
     p.add_argument("model", help="XMI input file")

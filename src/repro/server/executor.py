@@ -199,6 +199,67 @@ def _run_simulate(
     )
 
 
+def _run_analyze(
+    spec: JobSpec, model: Model, cancelled: CancelHook
+) -> JobOutcome:
+    """Synthesize, run every analysis pass, return the SARIF artifact.
+
+    The inline payload carries the counts/codes summary plus the SDF
+    structured results; the full SARIF 2.1.0 log is the artifact, so a
+    client can feed it straight to a code-scanning upload.
+    """
+    from ..analysis import AnalysisError, analyze_synthesized, pass_names
+
+    options = dict(spec.options)
+    suppress = options.get("suppress", [])
+    if not isinstance(suppress, list) or not all(
+        isinstance(p, str) for p in suppress
+    ):
+        raise FlowError("'suppress' must be a list of code patterns")
+    passes = options.get("passes")
+    if passes is not None:
+        if not isinstance(passes, list) or not all(
+            isinstance(p, str) for p in passes
+        ):
+            raise FlowError("'passes' must be a list of pass names")
+        unknown = sorted(set(passes) - set(pass_names()))
+        if unknown:
+            raise FlowError(
+                f"unknown analysis pass(es) {', '.join(map(repr, unknown))}; "
+                f"registered: {', '.join(pass_names())}"
+            )
+    synth_options = {
+        key: options[key] for key in ("use_cache",) if key in options
+    }
+    synth_options["validate"] = False
+    try:
+        report = analyze_synthesized(
+            model,
+            passes=passes,
+            suppress=suppress,
+            require_deployment=bool(options.get("require_deployment", False)),
+            synthesize_options=synth_options,
+        )
+    except AnalysisError as exc:
+        raise FlowError(str(exc)) from exc
+    _checkpoint(cancelled)
+    payload: Dict[str, Any] = {
+        "model": model.name,
+        "passes": list(report.passes),
+        "counts": report.counts(),
+        "codes": report.codes(),
+        "max_severity": report.max_severity(),
+        "suppressed": len(report.suppressed),
+        "sdf": report.info.get("sdf", {}),
+    }
+    return JobOutcome(
+        artifact_name=f"{model.name}.sarif",
+        artifact_text=json.dumps(report.to_sarif(), indent=2, sort_keys=True)
+        + "\n",
+        payload=payload,
+    )
+
+
 def execute(
     spec: JobSpec,
     *,
@@ -213,4 +274,6 @@ def execute(
         return _run_synthesize(spec, model, cancelled)
     if spec.kind == "simulate":
         return _run_simulate(spec, model, cancelled)
+    if spec.kind == "analyze":
+        return _run_analyze(spec, model, cancelled)
     return _run_explore(spec, model, cancelled, pool)

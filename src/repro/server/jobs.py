@@ -77,7 +77,7 @@ class StateError(RuntimeError):
 
 
 #: Job kinds the executor understands.
-KINDS = ("synthesize", "explore", "simulate")
+KINDS = ("synthesize", "explore", "simulate", "analyze")
 
 #: ``synthesize`` options a spec may forward (mirrors the keyword-only
 #: signature of :func:`repro.core.flow.synthesize`; ``behaviors`` is
@@ -105,6 +105,13 @@ EXPLORE_OPTIONS = frozenset(
 #: ``engine`` selects the simulator engine (slot-compiled by default).
 SIMULATE_OPTIONS = frozenset(
     {"steps", "stimuli", "monitor", "engine", "use_cache"}
+)
+
+#: ``analyze`` options a spec may forward.  ``suppress`` is a list of
+#: diagnostic-code patterns (``RA203``, ``RA2xx``, ``RA2*``); ``passes``
+#: restricts which registered passes run.
+ANALYZE_OPTIONS = frozenset(
+    {"passes", "suppress", "require_deployment", "use_cache"}
 )
 
 
@@ -135,6 +142,7 @@ class JobSpec:
             "synthesize": SYNTHESIZE_OPTIONS,
             "explore": EXPLORE_OPTIONS,
             "simulate": SIMULATE_OPTIONS,
+            "analyze": ANALYZE_OPTIONS,
         }[self.kind]
         unknown = sorted(set(self.options) - allowed)
         if unknown:

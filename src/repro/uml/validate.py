@@ -4,6 +4,14 @@ The synthesis tool refuses malformed inputs early with precise diagnostics
 rather than producing broken Simulink models.  ``validate_model`` collects
 every violation (it does not stop at the first), mirroring how modelling
 tools report batched diagnostics.
+
+Since the static analyzer (:mod:`repro.analysis`) landed, this module is
+a thin front: the structural checks live here (and are re-exposed as the
+analyzer's ``RA1xx`` structure pass), while every channel/dataflow check
+— dangling gets, channel cycles, read-before-produce — delegates to the
+``RA2xx`` pass in :mod:`repro.analysis.passes.channels`, so the message
+text comes from exactly one implementation.  Each :class:`Issue` carries
+the stable diagnostic ``code`` of the check that produced it.
 """
 
 from __future__ import annotations
@@ -35,6 +43,9 @@ class Issue:
     severity: str  # "error" | "warning"
     location: str
     message: str
+    #: Stable analyzer diagnostic code (``RA101`` ...); empty for issues
+    #: produced by third-party callers of this dataclass.
+    code: str = ""
 
     def __str__(self) -> str:
         return f"[{self.severity}] {self.location}: {self.message}"
@@ -51,31 +62,47 @@ def validate_model(
     Checks performed:
 
     - every applied stereotype exists in the profile registry and is
-      applicable to its element's metaclass;
+      applicable to its element's metaclass (RA104);
     - every message resolves to an operation of its receiver's classifier
-      (warning when the receiver is untyped, as for ``Platform``);
-    - message argument counts match the resolved operation's inputs;
+      (RA101; warning when the receiver is untyped, as for ``Platform``);
+    - message argument counts match the resolved operation's inputs
+      (RA102);
     - dataflow variables are produced before they are consumed within each
-      interaction;
+      interaction (RA203);
     - Set/Get naming is used only between threads or on ``<<IO>>`` objects
-      (warning otherwise);
+      (RA107, warning otherwise);
     - every ``get<Ch>`` channel read has a matching ``set<Ch>`` producer
-      somewhere in the model (warning naming the channel and both
+      somewhere in the model (RA201, warning naming the channel and both
       threads when dangling);
-    - the inter-thread channel graph is cycle-free (warning naming the
-      thread path and the channels on the cycle — the §4.2.2 barrier
+    - the inter-thread channel graph is cycle-free (RA202, warning naming
+      the thread path and the channels on the cycle — the §4.2.2 barrier
       pass breaks *signal* cycles, but a channel cycle means mutually
       blocking FIFOs and deserves review);
+    - no channel is written by concurrently unordered threads (RA204);
     - with ``require_deployment``, every thread lifeline appearing in an
-      interaction is allocated to a processor node.
+      interaction is allocated to a processor node (RA106).
     """
+    from ..analysis.passes import channels as _channels
+
     registry = registry or DEFAULT_REGISTRY
     issues: List[Issue] = []
     _check_stereotypes(model, registry, issues)
     for interaction in model.interactions:
-        _check_interaction(interaction, issues)
+        for message in interaction.messages():
+            _check_message(interaction, message, issues)
+        issues.extend(
+            _from_diagnostic(d)
+            for d in _channels.read_before_produce_diagnostics(interaction)
+        )
     _check_behavior_references(model, issues)
-    _check_channels(model, issues)
+    issues.extend(
+        _from_diagnostic(d)
+        for d in (
+            _channels.dangling_get_diagnostics(model)
+            + _channels.cycle_diagnostics(model)
+            + _channels.concurrent_write_diagnostics(model)
+        )
+    )
     if require_deployment:
         _check_deployment(model, issues)
     return issues
@@ -92,6 +119,43 @@ def check_model(model: Model, registry: Optional[ProfileRegistry] = None,
         raise ValidationError(errors)
 
 
+def structural_issues(
+    model: Model,
+    registry: Optional[ProfileRegistry] = None,
+    *,
+    require_deployment: bool = False,
+) -> List[Issue]:
+    """The RA1xx subset of :func:`validate_model` (no channel checks).
+
+    This is what the analyzer's structure pass runs; ``validate_model``
+    is this plus the delegated RA2xx channel/dataflow checks.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    issues: List[Issue] = []
+    _check_stereotypes(model, registry, issues)
+    for interaction in model.interactions:
+        for message in interaction.messages():
+            _check_message(interaction, message, issues)
+    _check_behavior_references(model, issues)
+    if require_deployment:
+        _check_deployment(model, issues)
+    return issues
+
+
+def _from_diagnostic(diagnostic) -> Issue:
+    """Convert an analyzer diagnostic to the legacy :class:`Issue` shape.
+
+    ``Diagnostic.severity`` may also be ``note``; those map to warnings
+    in this API (the analyzer CLI is the place to see full severities).
+    """
+    severity = diagnostic.severity if diagnostic.severity != "note" else (
+        "warning"
+    )
+    return Issue(
+        severity, diagnostic.location, diagnostic.message, diagnostic.code
+    )
+
+
 def _check_stereotypes(
     model: Model, registry: ProfileRegistry, issues: List[Issue]
 ) -> None:
@@ -101,29 +165,7 @@ def _check_stereotypes(
                 registry.validate_application(element, name)
             except StereotypeError as exc:
                 location = getattr(element, "qualified_name", "") or repr(element)
-                issues.append(Issue("error", location, str(exc)))
-
-
-def _check_interaction(interaction: Interaction, issues: List[Issue]) -> None:
-    where = f"interaction {interaction.name!r}"
-    produced: set = set()
-    for message in interaction.messages():
-        _check_message(interaction, message, issues)
-        for var in message.variables_read():
-            if var not in produced:
-                # Variables may legitimately arrive from IO reads or channel
-                # receives in *other* diagrams; only flag a warning here.
-                issues.append(
-                    Issue(
-                        "warning",
-                        where,
-                        f"variable {var!r} read by "
-                        f"{message.sender.name}->{message.receiver.name}"
-                        f".{message.operation} before any producer in "
-                        f"this diagram",
-                    )
-                )
-        produced.update(message.variables_written())
+                issues.append(Issue("error", location, str(exc), "RA104"))
 
 
 def _check_message(
@@ -136,7 +178,7 @@ def _check_message(
     receiver_instance = message.receiver.instance
     if receiver_instance is None:
         issues.append(
-            Issue("error", where, "receiver lifeline has no instance")
+            Issue("error", where, "receiver lifeline has no instance", "RA103")
         )
         return
     operation = message.resolved_operation()
@@ -151,6 +193,7 @@ def _check_message(
                 where,
                 f"classifier {receiver_instance.classifier.name!r} has no "
                 f"operation {message.operation!r}",
+                "RA101",
             )
         )
     else:
@@ -168,6 +211,7 @@ def _check_message(
                     where,
                     f"operation {operation.name!r} expects {expected} "
                     f"input argument(s), message provides {actual}",
+                    "RA102",
                 )
             )
     if (message.is_send or message.is_receive) and not (
@@ -180,6 +224,7 @@ def _check_message(
                     where,
                     "Set/Get naming convention used on a non-thread, "
                     "non-IO receiver; no channel will be inferred",
+                    "RA107",
                 )
             )
 
@@ -200,92 +245,9 @@ def _check_behavior_references(model: Model, issues: List[Issue]) -> None:
                         f"class {cls.name!r}, operation {operation.name!r}",
                         f"behaviour interaction {operation.body!r} not "
                         f"found; the call will map to an S-function",
+                        "RA105",
                     )
                 )
-
-
-def _check_channels(model: Model, issues: List[Issue]) -> None:
-    """Model-wide Set/Get channel checks: dangling reads and cycles.
-
-    Channels are a model-level concept (a ``set`` in one diagram feeds a
-    ``get`` in another), so unlike the per-interaction checks this one
-    sees every interaction at once.
-    """
-    # channel -> producing (sender) thread names / message descriptors.
-    producers: dict = {}
-    consumers: dict = {}
-    # producer thread -> {consumer thread -> [channel, ...]}
-    graph: dict = {}
-    for interaction in model.interactions:
-        for message in interaction.messages():
-            if not message.is_inter_thread:
-                continue
-            channel = message.channel_name
-            if message.is_send:
-                producers.setdefault(channel, []).append(message)
-                edge = (message.sender.name, message.receiver.name)
-            elif message.is_receive:
-                consumers.setdefault(channel, []).append(
-                    (interaction.name, message)
-                )
-                # get<Ch> flows data from the receiver (asked thread)
-                # back to the sender (asking thread).
-                edge = (message.receiver.name, message.sender.name)
-            else:
-                continue
-            graph.setdefault(edge[0], {}).setdefault(edge[1], []).append(
-                channel
-            )
-    for channel in sorted(consumers):
-        if channel in producers:
-            continue
-        for interaction_name, message in consumers[channel]:
-            issues.append(
-                Issue(
-                    "warning",
-                    f"interaction {interaction_name!r}",
-                    f"channel {channel!r} is read by "
-                    f"{message.sender.name}<-{message.receiver.name}"
-                    f".{message.operation} but no thread ever writes it "
-                    f"(no matching set message); the get will block "
-                    f"forever",
-                )
-            )
-    for cycle in _channel_cycles(graph):
-        hops = []
-        for src, dst in zip(cycle, cycle[1:]):
-            channels = ",".join(sorted(set(graph[src][dst])))
-            hops.append(f"{src} -[{channels}]-> {dst}")
-        issues.append(
-            Issue(
-                "warning",
-                "model channels",
-                "cyclic inter-thread channel path: " + " ".join(hops),
-            )
-        )
-
-
-def _channel_cycles(graph: dict) -> List[List[str]]:
-    """Elementary cycles in the thread/channel graph, deterministically.
-
-    DFS from each thread in sorted order; a cycle is reported once, from
-    its lexicographically smallest member, as ``[a, b, ..., a]``.
-    """
-    cycles: List[List[str]] = []
-    seen: set = set()
-    for start in sorted(graph):
-        stack = [(start, [start])]
-        while stack:
-            node, path = stack.pop()
-            for succ in sorted(graph.get(node, {})):
-                if succ == start:
-                    cycle = path + [start]
-                    if min(cycle) == start and tuple(cycle) not in seen:
-                        seen.add(tuple(cycle))
-                        cycles.append(cycle)
-                elif succ not in path and succ > start:
-                    stack.append((succ, path + [succ]))
-    return cycles
 
 
 def _check_deployment(model: Model, issues: List[Issue]) -> None:
@@ -299,5 +261,6 @@ def _check_deployment(model: Model, issues: List[Issue]) -> None:
                         f"interaction {interaction.name!r}",
                         f"thread {lifeline.name!r} is not deployed on any "
                         f"<<SAengine>> node",
+                        "RA106",
                     )
                 )

@@ -11,6 +11,7 @@ from .bench import measure_zoo
 from .generator import (
     FAMILIES,
     GENERATOR_VERSION,
+    PATHOLOGICAL_EXPECTED_CODES,
     PATHOLOGICAL_KINDS,
     FsmSpec,
     Scenario,
@@ -47,6 +48,7 @@ from .workload import scenario_job_spec
 __all__ = [
     "FAMILIES",
     "GENERATOR_VERSION",
+    "PATHOLOGICAL_EXPECTED_CODES",
     "PATHOLOGICAL_KINDS",
     "FsmSpec",
     "HarnessReport",

@@ -748,7 +748,25 @@ PATHOLOGICAL_KINDS = (
     "unknown_operation",
     "bad_arity",
     "read_before_produce",
+    "concurrent_write",
+    "fsm_unreachable",
+    "sdf_inconsistent",
 )
+
+#: Pathological kind -> the analyzer diagnostic code it must trigger.
+#: This is the negative-testing contract between the zoo and
+#: ``repro.analysis``: the harness (and ``tests/analysis``) assert each
+#: kind's model yields its documented code (see ``docs/analysis.md``).
+PATHOLOGICAL_EXPECTED_CODES: Dict[str, str] = {
+    "channel_cycle": "RA202",
+    "dangling_get": "RA201",
+    "unknown_operation": "RA101",
+    "bad_arity": "RA102",
+    "read_before_produce": "RA203",
+    "concurrent_write": "RA204",
+    "fsm_unreachable": "RA301",
+    "sdf_inconsistent": "RA401",
+}
 
 
 def generate_pathological(seed: int, kind: str) -> Model:
@@ -793,6 +811,50 @@ def generate_pathological(seed: int, kind: str) -> Model:
         b.thread("T1")
         sd = b.interaction("main")
         sd.call("T1", "T1", "use", args=["ghost"], result="out")
+    elif kind == "concurrent_write":
+        # Two producers write the same channel toward *different*
+        # receivers, so no lifeline event order connects the writes:
+        # the FIFO interleaving is scheduling-dependent (RA204).
+        for thread in ("A", "B", "C", "D"):
+            b.thread(thread)
+        sd = b.interaction("main")
+        sd.call("A", "A", "mkA", result="x")
+        sd.call("A", "B", "setData", args=["x"])
+        sd.call("C", "C", "mkC", result="y")
+        sd.call("C", "D", "setData", args=["y"])
+    elif kind == "fsm_unreachable":
+        b.thread("T1")
+        sd = b.interaction("main")
+        sd.call("T1", "T1", "tick", result="x")
+        b.model.add_state_machine(
+            build_state_machine(
+                FsmSpec(
+                    name=f"zoo_bad_{kind}_{seed}_ctl",
+                    states=("s0", "s1", "orphan"),
+                    initial="s0",
+                    events=("go",),
+                    transitions=(
+                        ("s0", "s1", "go", "", ""),
+                        ("s1", "s0", "go", "", ""),
+                    ),
+                )
+            )
+        )
+    elif kind == "sdf_inconsistent":
+        # Two channels between the same pair with conflicting rates:
+        # c1 carries 2 tokens per A-firing but B consumes 1 per firing,
+        # while c2 is 1:1 — the balance equations demand r_B == 2*r_A
+        # and r_B == r_A at once, so no repetition vector exists (RA401).
+        b.thread("A")
+        b.thread("B")
+        sd = b.interaction("main")
+        sd.call("A", "A", "mkP", result="p")
+        loop = sd.loop(iterations=2)
+        loop.call("A", "B", "setC1", args=["p"])
+        sd.call("A", "B", "setC2", args=["p"])
+        sd.call("B", "A", "getC1", result="x1")
+        sd.call("B", "A", "getC2", result="x2")
+        sd.call("B", "B", "useB", args=["x1", "x2"], result="z")
     else:
         raise ZooError(
             f"unknown pathological kind {kind!r}; pick from {PATHOLOGICAL_KINDS}"

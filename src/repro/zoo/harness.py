@@ -7,6 +7,9 @@ that must hold *whatever* the generator drew:
 - ``uml.validate`` reports no error-severity issues;
 - synthesis succeeds and the CAAM passes :func:`validate_caam`
   (structural rules, no orphan channels);
+- the static analyzer (:mod:`repro.analysis`) reports no error-severity
+  diagnostics, and its SDF pass emits a repetition vector plus buffer
+  bounds (or a rate-inconsistency/deadlock diagnostic) per scenario;
 - the ``cyclic`` family actually exercises §4.2.2: at least one
   temporal barrier is inserted, and disabling the pass raises
   :class:`AlgebraicLoopError` (deep mode);
@@ -30,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..analysis import analyze
 from ..core import synthesize
 from ..fsm import FsmSimulator, generate_c, generate_java
 from ..parallel.fingerprint import model_fingerprint
@@ -191,6 +195,37 @@ def check_scenario(scenario: Scenario, deep: bool = False) -> ScenarioReport:
         fail("caam-invariants", "; ".join(problems[:3]))
     else:
         passed("caam-invariants")
+
+    # 3b. Static analysis: the whole corpus is lint-clean at error
+    # severity, and the SDF pass delivers its contract — a repetition
+    # vector plus per-channel buffer bounds when the rates are
+    # consistent, an RA401/RA402 diagnostic otherwise.
+    analysis = analyze(scenario.model, result.caam, subject=params.name)
+    analysis_errors = analysis.at_or_above("error")
+    if analysis_errors:
+        fail("analyze", "; ".join(str(d) for d in analysis_errors[:3]))
+    else:
+        passed("analyze")
+    sdf = analysis.info.get("sdf", {})
+    if sdf.get("consistent"):
+        repetition_ok = len(sdf.get("repetition", {})) == sdf.get("actors")
+        bounds_ok = sdf.get("capped") or (
+            sdf.get("channels", 0) == 0 or bool(sdf.get("buffer_bounds"))
+        )
+        if sdf.get("deadlocked") and "RA402" not in analysis.codes():
+            fail("analyze-sdf", "deadlocked SDF graph without an RA402")
+        elif not repetition_ok or not bounds_ok:
+            fail(
+                "analyze-sdf",
+                "consistent SDF graph missing repetition vector or "
+                "buffer bounds",
+            )
+        else:
+            passed("analyze-sdf")
+    elif "RA401" not in analysis.codes():
+        fail("analyze-sdf", "inconsistent SDF graph without an RA401")
+    else:
+        passed("analyze-sdf")
 
     # 4. The cyclic family must force the §4.2.2 temporal-barrier pass.
     if params.family == "cyclic":

@@ -1,0 +1,123 @@
+"""CLI tests for ``repro analyze`` (and validate's severity gate)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def crane_xmi(tmp_path):
+    path = tmp_path / "crane.xmi"
+    assert main(["demo", "crane", str(path)]) == 0
+    return str(path)
+
+
+@pytest.fixture()
+def didactic_xmi(tmp_path):
+    path = tmp_path / "didactic.xmi"
+    assert main(["demo", "didactic", str(path)]) == 0
+    return str(path)
+
+
+class TestAnalyzeExitCodes:
+    def test_clean_model_exits_zero(self, crane_xmi, capsys):
+        assert main(["analyze", crane_xmi]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_warnings_pass_at_default_threshold(self, didactic_xmi):
+        # didactic's dead mult/calc chain is RA404 (warning), below the
+        # default --min-severity error
+        assert main(["analyze", didactic_xmi]) == 0
+
+    def test_warnings_fail_at_warning_threshold(self, didactic_xmi, capsys):
+        assert (
+            main(["analyze", didactic_xmi, "--min-severity", "warning"]) == 1
+        )
+        assert "RA404" in capsys.readouterr().out
+
+    def test_suppression_clears_the_gate(self, didactic_xmi):
+        code = main(
+            [
+                "analyze",
+                didactic_xmi,
+                "--min-severity",
+                "warning",
+                "--suppress",
+                "RA404",
+            ]
+        )
+        assert code == 0
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["analyze", "/nonexistent.xmi"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_pass_is_usage_error(self, crane_xmi, capsys):
+        assert main(["analyze", crane_xmi, "--passes", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestAnalyzeFormats:
+    def test_json_format(self, didactic_xmi, capsys):
+        assert main(["analyze", didactic_xmi, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        (report,) = doc["reports"]
+        assert report["subject"] == "didactic"
+        assert report["codes"] == ["RA404"]
+
+    def test_sarif_format(self, crane_xmi, didactic_xmi, capsys):
+        code = main(
+            ["analyze", crane_xmi, didactic_xmi, "--format", "sarif"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert {r["ruleId"] for r in run["results"]} == {"RA404"}
+        # physical locations point back at the analyzed files
+        uris = {
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in run["results"]
+        }
+        assert uris == {didactic_xmi}
+
+    def test_output_file(self, crane_xmi, tmp_path, capsys):
+        out = tmp_path / "crane.sarif"
+        code = main(
+            ["analyze", crane_xmi, "--format", "sarif", "-o", str(out)]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert json.loads(out.read_text())["version"] == "2.1.0"
+
+    def test_pass_selection(self, didactic_xmi, capsys):
+        # without the dataflow pass didactic is clean
+        code = main(
+            [
+                "analyze",
+                didactic_xmi,
+                "--passes",
+                "structure,channels,sdf",
+                "--min-severity",
+                "warning",
+            ]
+        )
+        assert code == 0
+        assert "0 warning(s)" in capsys.readouterr().out
+
+
+class TestValidateSeverityGate:
+    def test_default_still_passes_on_warnings(self, crane_xmi):
+        assert main(["validate", crane_xmi]) == 0
+
+    def test_min_severity_warning_fails(self, crane_xmi):
+        assert (
+            main(["validate", crane_xmi, "--min-severity", "warning"]) == 1
+        )
+
+    def test_clean_model_passes_any_threshold(self, didactic_xmi):
+        assert (
+            main(["validate", didactic_xmi, "--min-severity", "note"]) == 0
+        )

@@ -1,0 +1,161 @@
+"""Unit tests for the diagnostic model (repro.analysis.diagnostics)."""
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    SEVERITIES,
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    code_severity,
+    is_suppressed,
+    make_diagnostic,
+    severity_rank,
+)
+
+
+class TestSeverities:
+    def test_order_is_note_warning_error(self):
+        assert SEVERITIES == ("note", "warning", "error")
+        assert severity_rank("note") < severity_rank("warning")
+        assert severity_rank("warning") < severity_rank("error")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown severity"):
+            severity_rank("fatal")
+
+
+class TestCodeRegistry:
+    def test_every_code_has_a_valid_default_severity(self):
+        for code, (severity, description) in CODES.items():
+            assert severity in SEVERITIES, code
+            assert description, code
+
+    def test_code_families_cover_the_four_pass_groups(self):
+        families = {code[:3] for code in CODES}
+        assert families == {"RA1", "RA2", "RA3", "RA4"}
+
+    def test_code_severity_lookup(self):
+        assert code_severity("RA101") == "error"
+        assert code_severity("RA203") == "warning"
+        assert code_severity("RA304") == "note"
+        with pytest.raises(AnalysisError, match="unknown diagnostic code"):
+            code_severity("RA999")
+
+
+class TestMakeDiagnostic:
+    def test_defaults_severity_from_the_registry(self):
+        diagnostic = make_diagnostic("RA201", "ch is never written")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.code == "RA201"
+
+    def test_explicit_severity_override(self):
+        diagnostic = make_diagnostic("RA201", "boom", severity="error")
+        assert diagnostic.severity == "error"
+
+    def test_str_carries_code_severity_and_location(self):
+        diagnostic = make_diagnostic(
+            "RA101", "no operation f", location="interaction 'main'"
+        )
+        assert (
+            str(diagnostic)
+            == "RA101 [error] interaction 'main': no operation f"
+        )
+
+    def test_empty_element_ids_dropped(self):
+        diagnostic = make_diagnostic("RA101", "x", element_ids=("", "id1"))
+        assert diagnostic.element_ids == ("id1",)
+
+    def test_to_dict_omits_empty_optionals(self):
+        bare = make_diagnostic("RA101", "x").to_dict()
+        assert "element_ids" not in bare and "fix_hint" not in bare
+        rich = make_diagnostic(
+            "RA101", "x", element_ids=("e",), fix_hint="fix it"
+        ).to_dict()
+        assert rich["element_ids"] == ["e"]
+        assert rich["fix_hint"] == "fix it"
+
+
+class TestSuppression:
+    def test_exact_code(self):
+        assert is_suppressed("RA203", ["RA203"])
+        assert not is_suppressed("RA203", ["RA204"])
+
+    def test_family_wildcard(self):
+        assert is_suppressed("RA203", ["RA2xx"])
+        assert is_suppressed("RA203", ["RA2XX"])
+        assert not is_suppressed("RA303", ["RA2xx"])
+
+    def test_prefix_glob(self):
+        assert is_suppressed("RA203", ["RA2*"])
+        assert is_suppressed("RA203", ["RA*"])
+        assert not is_suppressed("RA203", ["RA3*"])
+
+    def test_case_insensitive_and_whitespace_tolerant(self):
+        assert is_suppressed("RA203", [" ra203 "])
+
+    def test_empty_patterns_match_nothing(self):
+        assert not is_suppressed("RA203", ["", "  "])
+
+
+def _report(*severities):
+    report = AnalysisReport(subject="m")
+    for number, severity in enumerate(severities):
+        code = {"note": "RA304", "warning": "RA203", "error": "RA101"}[severity]
+        report.diagnostics.append(
+            Diagnostic(code=code, severity=severity, message=f"d{number}")
+        )
+    return report
+
+
+class TestAnalysisReport:
+    def test_counts_and_max_severity(self):
+        report = _report("note", "warning", "warning", "error")
+        assert report.counts() == {"note": 1, "warning": 2, "error": 1}
+        assert report.max_severity() == "error"
+        assert not report.clean
+
+    def test_clean_report(self):
+        report = _report()
+        assert report.clean
+        assert report.max_severity() is None
+        assert report.counts() == {"note": 0, "warning": 0, "error": 0}
+
+    def test_at_or_above_threshold(self):
+        report = _report("note", "warning", "error")
+        assert len(report.at_or_above("note")) == 3
+        assert len(report.at_or_above("warning")) == 2
+        assert len(report.at_or_above("error")) == 1
+
+    def test_extend_routes_suppressed_codes(self):
+        report = AnalysisReport(subject="m")
+        report.extend(
+            [
+                make_diagnostic("RA203", "read early"),
+                make_diagnostic("RA101", "bad op"),
+            ],
+            ["RA2xx"],
+        )
+        assert [d.code for d in report.diagnostics] == ["RA101"]
+        assert [d.code for d in report.suppressed] == ["RA203"]
+
+    def test_render_text_lists_findings_and_summary(self):
+        report = _report("warning")
+        text = report.render_text()
+        assert "m: RA203 [warning]" in text
+        assert "0 error(s), 1 warning(s), 0 note(s)" in text
+
+    def test_render_text_counts_suppressed(self):
+        report = AnalysisReport(subject="m")
+        report.extend([make_diagnostic("RA203", "x")], ["RA203"])
+        assert "1 suppressed" in report.render_text()
+
+    def test_to_json_shape(self):
+        report = _report("error")
+        report.passes.append("structure")
+        doc = report.to_json()
+        assert doc["subject"] == "m"
+        assert doc["passes"] == ["structure"]
+        assert doc["codes"] == ["RA101"]
+        assert doc["diagnostics"][0]["code"] == "RA101"

@@ -1,0 +1,116 @@
+"""Pass registry and driver tests (repro.analysis.registry)."""
+
+import pytest
+
+from repro import obs
+from repro.analysis import (
+    AnalysisError,
+    analyze,
+    analyze_synthesized,
+    make_diagnostic,
+    pass_names,
+    register_pass,
+    registered_passes,
+)
+from repro.analysis import registry as registry_module
+from repro.uml import ModelBuilder
+
+
+def _clean_model():
+    b = ModelBuilder("demo")
+    b.thread("T1")
+    b.thread("T2")
+    sd = b.interaction("main")
+    sd.call("T1", "T1", "mk", result="v")
+    sd.call("T1", "T2", "setX", args=["v"])
+    return b.build()
+
+
+class TestRegistry:
+    def test_default_pass_order(self):
+        assert pass_names() == [
+            "structure",
+            "channels",
+            "fsm",
+            "sdf",
+            "dataflow",
+        ]
+
+    def test_registered_passes_carry_code_families(self):
+        families = {entry.name: entry.codes for entry in registered_passes()}
+        assert families["structure"] == "RA1xx"
+        assert families["channels"] == "RA2xx"
+        assert families["fsm"] == "RA3xx"
+
+    def test_custom_pass_runs_everywhere(self):
+        def nag(context):
+            return [make_diagnostic("RA304", "custom pass says hi")]
+
+        register_pass("nag", "RA3xx", nag)
+        try:
+            assert "nag" in pass_names()
+            report = analyze(_clean_model())
+            assert "nag" in report.passes
+            assert "RA304" in report.codes()
+        finally:
+            del registry_module._REGISTRY["nag"]
+        assert "nag" not in pass_names()
+
+
+class TestAnalyze:
+    def test_needs_model_or_caam(self):
+        with pytest.raises(AnalysisError, match="needs a UML model"):
+            analyze()
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown analysis pass"):
+            analyze(_clean_model(), passes=["structure", "nope"])
+
+    def test_subject_defaults_to_model_name(self):
+        assert analyze(_clean_model()).subject == "demo"
+        assert analyze(_clean_model(), subject="other").subject == "other"
+
+    def test_pass_subset_runs_only_selected(self):
+        report = analyze(_clean_model(), passes=["structure", "sdf"])
+        assert report.passes == ["structure", "sdf"]
+        assert "sdf" in report.info
+
+    def test_suppress_routes_to_suppressed(self):
+        b = ModelBuilder("m")
+        b.thread("T1")
+        b.thread("T2")
+        b.interaction("main").call("T1", "T2", "setX", args=["ghost"])
+        report = analyze(b.build(), suppress=["RA2xx"])
+        assert report.clean
+        assert [d.code for d in report.suppressed] == ["RA203"]
+
+    def test_obs_spans_and_counters(self):
+        rec = obs.Recorder()
+        with obs.use(rec):
+            analyze(_clean_model())
+        names = [span.name for span in rec.finished_spans()]
+        assert "analysis.analyze" in names
+        for name in pass_names():
+            assert f"analysis.pass.{name}" in names
+        assert rec.metrics.counter("analysis.runs") == 1.0
+
+
+class TestAnalyzeSynthesized:
+    def test_clean_model_gets_both_levels(self):
+        report = analyze_synthesized(_clean_model())
+        assert report.clean
+        assert "RA108" not in report.codes()
+        # the dataflow pass only runs with a CAAM; its info block proves
+        # synthesis happened and the CAAM-side passes saw it
+        assert report.info["dataflow"]["blocks"] > 0
+
+    def test_synthesis_failure_degrades_to_ra108(self):
+        b = ModelBuilder("m")
+        b.thread("T1")  # nothing to synthesize
+        report = analyze_synthesized(b.build())
+        assert report.codes() == ["RA108"]
+        assert "dataflow" not in report.info
+
+    def test_pass_selection_is_forwarded(self):
+        report = analyze_synthesized(_clean_model(), passes=["structure"])
+        assert report.passes == ["structure"]

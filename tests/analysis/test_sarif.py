@@ -1,0 +1,137 @@
+"""SARIF 2.1.0 emission tests (repro.analysis.sarif)."""
+
+from repro.analysis import AnalysisReport, make_diagnostic, to_sarif
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION
+
+
+def _report(subject="m", uri=None):
+    report = AnalysisReport(subject=subject)
+    if uri:
+        report.info["uri"] = uri
+    return report
+
+
+def test_log_shape_and_version():
+    report = _report()
+    report.extend([make_diagnostic("RA101", "no op f")], [])
+    doc = to_sarif([report])
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert doc["$schema"] == SARIF_SCHEMA
+    (run,) = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-analyze"
+    assert run["columnKind"] == "unicodeCodePoints"
+
+
+def test_rules_built_from_used_codes_only():
+    report = _report()
+    report.extend(
+        [
+            make_diagnostic("RA203", "read early"),
+            make_diagnostic("RA101", "no op"),
+            make_diagnostic("RA101", "no op either"),
+        ],
+        [],
+    )
+    run = to_sarif([report])["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    assert [rule["id"] for rule in rules] == ["RA101", "RA203"]
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in (
+            "note",
+            "warning",
+            "error",
+        )
+
+
+def test_result_rule_index_points_into_the_rule_table():
+    report = _report()
+    report.extend(
+        [make_diagnostic("RA203", "w"), make_diagnostic("RA101", "e")], []
+    )
+    run = to_sarif([report])["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_levels_follow_severity():
+    report = _report()
+    report.extend(
+        [
+            make_diagnostic("RA101", "e"),
+            make_diagnostic("RA203", "w"),
+            make_diagnostic("RA304", "n"),
+        ],
+        [],
+    )
+    run = to_sarif([report])["runs"][0]
+    assert [r["level"] for r in run["results"]] == [
+        "error",
+        "warning",
+        "note",
+    ]
+
+
+def test_logical_location_is_subject_and_location():
+    report = _report(subject="crane")
+    report.extend(
+        [make_diagnostic("RA101", "x", location="interaction 'main'")], []
+    )
+    (result,) = to_sarif([report])["runs"][0]["results"]
+    logical = result["locations"][0]["logicalLocations"][0]
+    assert logical["fullyQualifiedName"] == "crane::interaction 'main'"
+
+
+def test_physical_location_from_report_uri():
+    report = _report(uri="models/crane.xmi")
+    report.extend([make_diagnostic("RA101", "x")], [])
+    (result,) = to_sarif([report])["runs"][0]["results"]
+    physical = result["locations"][0]["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == "models/crane.xmi"
+    no_uri = _report()
+    no_uri.extend([make_diagnostic("RA101", "x")], [])
+    (bare,) = to_sarif([no_uri])["runs"][0]["results"]
+    assert "physicalLocation" not in bare["locations"][0]
+
+
+def test_element_ids_become_partial_fingerprints():
+    report = _report()
+    report.extend(
+        [make_diagnostic("RA101", "x", element_ids=("id1", "id2"))], []
+    )
+    (result,) = to_sarif([report])["runs"][0]["results"]
+    assert result["partialFingerprints"] == {"repro/elementIds": "id1,id2"}
+
+
+def test_fix_hint_becomes_markdown_message():
+    report = _report()
+    report.extend([make_diagnostic("RA101", "x", fix_hint="declare it")], [])
+    (result,) = to_sarif([report])["runs"][0]["results"]
+    assert "**Fix:** declare it" in result["message"]["markdown"]
+
+
+def test_suppressed_diagnostics_carry_suppressions():
+    report = _report()
+    report.extend(
+        [make_diagnostic("RA203", "w"), make_diagnostic("RA101", "e")],
+        ["RA2xx"],
+    )
+    run = to_sarif([report])["runs"][0]
+    by_rule = {r["ruleId"]: r for r in run["results"]}
+    assert by_rule["RA203"]["suppressions"] == [{"kind": "external"}]
+    assert "suppressions" not in by_rule["RA101"]
+    # suppressed codes still appear in the rule table
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+        "RA101",
+        "RA203",
+    ]
+
+
+def test_multiple_reports_share_one_run():
+    first, second = _report(subject="a"), _report(subject="b")
+    first.extend([make_diagnostic("RA101", "x")], [])
+    second.extend([make_diagnostic("RA203", "y")], [])
+    doc = to_sarif([first, second])
+    assert len(doc["runs"]) == 1
+    assert len(doc["runs"][0]["results"]) == 2

@@ -1,0 +1,188 @@
+"""Unit tests for the SDF solver (repro.analysis.sdf)."""
+
+from repro.analysis import (
+    SdfEdge,
+    SdfGraph,
+    analyze_graph,
+    repetition_vector,
+    schedule_bounds,
+    sdf_from_caam,
+    sdf_from_uml,
+)
+from repro.core import synthesize
+from repro.uml import ModelBuilder
+
+
+def _graph(*edges):
+    graph = SdfGraph()
+    for edge in edges:
+        graph.add_edge(edge)
+    return graph
+
+
+class TestRepetitionVector:
+    def test_single_rate_chain_is_all_ones(self):
+        graph = _graph(
+            SdfEdge("A", "B", "c1"), SdfEdge("B", "C", "c2")
+        )
+        repetition, conflicts = repetition_vector(graph)
+        assert conflicts == []
+        assert repetition == {"A": 1, "B": 1, "C": 1}
+
+    def test_multirate_chain_smallest_integers(self):
+        # A fires 3x per B firing (A produces 2, B consumes 6).
+        graph = _graph(SdfEdge("A", "B", "c", produce=2, consume=6))
+        repetition, conflicts = repetition_vector(graph)
+        assert conflicts == []
+        assert repetition == {"A": 3, "B": 1}
+
+    def test_classic_three_actor_example(self):
+        # Lee/Messerschmitt shape: rates 2->3, 1->2 give r = (3, 2, 1).
+        graph = _graph(
+            SdfEdge("A", "B", "ab", produce=2, consume=3),
+            SdfEdge("B", "C", "bc", produce=1, consume=2),
+        )
+        repetition, conflicts = repetition_vector(graph)
+        assert conflicts == []
+        assert repetition == {"A": 3, "B": 2, "C": 1}
+
+    def test_inconsistent_diamond_reports_the_conflict_edge(self):
+        graph = _graph(
+            SdfEdge("A", "B", "c1", produce=2, consume=1),
+            SdfEdge("A", "B", "c2", produce=1, consume=1),
+        )
+        repetition, conflicts = repetition_vector(graph)
+        assert repetition == {}
+        assert len(conflicts) == 1
+
+    def test_disconnected_components_solved_independently(self):
+        graph = _graph(
+            SdfEdge("A", "B", "c1", produce=2, consume=1),
+            SdfEdge("X", "Y", "c2", produce=1, consume=3),
+        )
+        repetition, conflicts = repetition_vector(graph)
+        assert conflicts == []
+        assert repetition == {"A": 1, "B": 2, "X": 3, "Y": 1}
+
+
+class TestScheduleBounds:
+    def test_acyclic_graph_has_buffer_bounds(self):
+        graph = _graph(SdfEdge("A", "B", "c", produce=2, consume=1))
+        analysis = analyze_graph(graph)
+        assert analysis.consistent and not analysis.deadlocked
+        assert analysis.repetition == {"A": 1, "B": 2}
+        assert analysis.buffer_bounds == {"c": 2}
+
+    def test_cycle_without_delay_deadlocks(self):
+        graph = _graph(
+            SdfEdge("A", "B", "ab"), SdfEdge("B", "A", "ba")
+        )
+        analysis = analyze_graph(graph)
+        assert analysis.deadlocked
+        assert analysis.blocked == ["A", "B"]
+        assert analysis.buffer_bounds == {}
+
+    def test_initial_token_breaks_the_cycle(self):
+        graph = _graph(
+            SdfEdge("A", "B", "ab"), SdfEdge("B", "A", "ba", delay=1)
+        )
+        analysis = analyze_graph(graph)
+        assert analysis.consistent and not analysis.deadlocked
+        assert analysis.buffer_bounds["ab"] >= 1
+
+    def test_firing_cap_reports_capped(self):
+        graph = _graph(SdfEdge("A", "B", "c", produce=2, consume=1))
+        analysis = schedule_bounds(graph, {"A": 1, "B": 2}, max_firings=2)
+        assert analysis.capped
+        assert analysis.buffer_bounds == {}
+
+    def test_to_dict_is_json_shaped(self):
+        doc = analyze_graph(
+            _graph(SdfEdge("A", "B", "c", produce=2, consume=1))
+        ).to_dict()
+        assert doc["consistent"] is True
+        assert doc["repetition"] == {"A": 1, "B": 2}
+        assert doc["buffer_bounds"] == {"c": 2}
+
+
+def _uml_pair(*, explicit, weight=1):
+    """Two threads with one channel; explicit get or implicit read."""
+    b = ModelBuilder("m")
+    b.thread("P")
+    b.thread("C")
+    sd = b.interaction("main")
+    sd.call("P", "P", "mk", result="v")
+    if weight > 1:
+        loop = sd.loop(iterations=weight)
+        loop.call("P", "C", "setD", args=["v"])
+    else:
+        sd.call("P", "C", "setD", args=["v"])
+    if explicit:
+        sd.call("C", "P", "getD", result="x")
+        sd.call("C", "C", "use", args=["x"], result="y")
+    else:
+        sd.call("C", "C", "use", args=["d"], result="y")
+    return b.build()
+
+
+class TestUmlLift:
+    def test_explicit_get_is_one_token_per_call(self):
+        graph = sdf_from_uml(_uml_pair(explicit=True, weight=3))
+        (edge,) = graph.edges
+        assert (edge.produce, edge.consume) == (3, 1)
+        repetition, _ = repetition_vector(graph)
+        assert repetition == {"P": 1, "C": 3}
+
+    def test_implicit_consumption_absorbs_the_burst(self):
+        # A loop weight on an implicitly consumed channel is the task
+        # graph's communication cost, not a token rate: the CAAM realizes
+        # it single-rate, so consumption matches production.
+        graph = sdf_from_uml(_uml_pair(explicit=False, weight=3))
+        (edge,) = graph.edges
+        assert (edge.produce, edge.consume) == (3, 3)
+        repetition, _ = repetition_vector(graph)
+        assert repetition == {"P": 1, "C": 1}
+
+    def test_actors_are_thread_lifelines(self):
+        graph = sdf_from_uml(_uml_pair(explicit=True))
+        assert sorted(graph.actors) == ["C", "P"]
+
+
+class TestCaamLift:
+    def test_channels_become_single_rate_edges(self):
+        model = _uml_pair(explicit=True)
+        caam = synthesize(model, validate=False).caam
+        graph = sdf_from_caam(caam)
+        assert sorted(graph.actors) == ["C", "P"]
+        assert [
+            (e.src, e.dst, e.produce, e.consume) for e in graph.edges
+        ] == [("P", "C", 1, 1)]
+
+    def test_channel_adjacent_unit_delay_counts_as_initial_token(self):
+        # A UnitDelay wired between a CommChannel and its consumer is
+        # the §4.2.2 barrier idiom at the communication level; the SDF
+        # lift must count it as an initial token on the edge.
+        from repro.simulink.caam import SWFIFO, CaamModel, make_channel
+        from repro.simulink.model import Block
+
+        caam = CaamModel("m")
+        caam.add_cpu("CPU1")
+        prod = caam.add_thread("CPU1", "P")
+        cons = caam.add_thread("CPU1", "C")
+        src = prod.system.add(Block("k", "Constant", inputs=0))
+        prod.system.connect(src.output(1), prod.add_outport("o").input(1))
+        sink = cons.system.add(Block("t", "Terminator", outputs=0))
+        cons.system.connect(cons.add_inport("i").output(1), sink.input(1))
+        cpu = caam.cpu("CPU1")
+        chan = cpu.system.add(make_channel("ch", SWFIFO))
+        delay = cpu.system.add(Block("z", "UnitDelay"))
+        cpu.system.connect(prod.output(1), chan.input(1))
+        cpu.system.connect(chan.output(1), delay.input(1))
+        cpu.system.connect(delay.output(1), cons.input(1))
+
+        graph = sdf_from_caam(caam)
+        assert [
+            (e.src, e.dst, e.channel, e.delay) for e in graph.edges
+        ] == [("P", "C", "ch", 1)]
+        analysis = analyze_graph(graph)
+        assert analysis.consistent and not analysis.deadlocked

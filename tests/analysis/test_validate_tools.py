@@ -1,0 +1,129 @@
+"""Unit tests for the analyzer-facing validators in ``tools/``."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+)
+from validate_sarif import validate_sarif  # noqa: E402
+from validate_sarif import main as sarif_main  # noqa: E402
+from validate_trace import validate_bench_analysis  # noqa: E402
+
+from repro.analysis import AnalysisReport, make_diagnostic, to_sarif
+
+
+def _bench_analysis():
+    passes = {
+        name: {"calls": 31, "total_s": 0.01}
+        for name in ("structure", "channels", "fsm", "sdf", "dataflow")
+    }
+    return {
+        "analysis": {
+            "corpus_seed": 42,
+            "corpus_models": 30,
+            "corpus_analyze_s": 0.05,
+            "models_per_sec": 600.0,
+            "diagnostics": 7,
+            "error_diagnostics": 0,
+            "crane_analyze_s": 0.008,
+            "crane_clean": True,
+            "passes": passes,
+        }
+    }
+
+
+class TestBenchAnalysis:
+    def test_valid_section_passes(self):
+        validate_bench_analysis(_bench_analysis())
+
+    def test_missing_section(self):
+        with pytest.raises(ValueError, match="lacks an 'analysis' object"):
+            validate_bench_analysis({})
+
+    def test_missing_field(self):
+        document = _bench_analysis()
+        del document["analysis"]["models_per_sec"]
+        with pytest.raises(ValueError, match="models_per_sec"):
+            validate_bench_analysis(document)
+
+    def test_error_findings_fail_the_gate(self):
+        document = _bench_analysis()
+        document["analysis"]["error_diagnostics"] = 3
+        with pytest.raises(ValueError, match="lint gate"):
+            validate_bench_analysis(document)
+
+    def test_missing_pass_timing(self):
+        document = _bench_analysis()
+        del document["analysis"]["passes"]["sdf"]
+        with pytest.raises(ValueError, match="'sdf'"):
+            validate_bench_analysis(document)
+
+    def test_undercounted_pass(self):
+        document = _bench_analysis()
+        document["analysis"]["passes"]["fsm"]["calls"] = 2
+        with pytest.raises(ValueError, match="ran 2 times"):
+            validate_bench_analysis(document)
+
+
+def _sarif_document():
+    report = AnalysisReport(subject="m")
+    report.info["uri"] = "m.xmi"
+    report.extend(
+        [
+            make_diagnostic("RA101", "no op", location="interaction 'main'"),
+            make_diagnostic("RA203", "read early"),
+        ],
+        [],
+    )
+    return to_sarif([report])
+
+
+class TestValidateSarif:
+    def test_emitter_output_is_valid(self):
+        assert validate_sarif(_sarif_document()) == 2
+
+    def test_wrong_version(self):
+        document = _sarif_document()
+        document["version"] = "2.0.0"
+        with pytest.raises(ValueError, match="version"):
+            validate_sarif(document)
+
+    def test_rule_index_mismatch(self):
+        document = _sarif_document()
+        document["runs"][0]["results"][0]["ruleIndex"] = 1
+        with pytest.raises(ValueError, match="resolves to"):
+            validate_sarif(document)
+
+    def test_bad_level(self):
+        document = _sarif_document()
+        document["runs"][0]["results"][0]["level"] = "fatal"
+        with pytest.raises(ValueError, match="bad level"):
+            validate_sarif(document)
+
+    def test_missing_logical_location(self):
+        document = _sarif_document()
+        del document["runs"][0]["results"][0]["locations"][0][
+            "logicalLocations"
+        ]
+        with pytest.raises(ValueError, match="logicalLocations"):
+            validate_sarif(document)
+
+    def test_suppressions_validated(self):
+        document = _sarif_document()
+        document["runs"][0]["results"][0]["suppressions"] = [
+            {"kind": "weird"}
+        ]
+        with pytest.raises(ValueError, match="suppression kind"):
+            validate_sarif(document)
+
+    def test_cli_min_results(self, tmp_path, capsys):
+        path = tmp_path / "log.sarif"
+        path.write_text(json.dumps(_sarif_document()))
+        assert sarif_main([str(path), "--min-results", "2"]) == 0
+        assert "valid SARIF 2.1.0" in capsys.readouterr().out
+        assert sarif_main([str(path), "--min-results", "3"]) == 1
+        assert "expected at least 3" in capsys.readouterr().err

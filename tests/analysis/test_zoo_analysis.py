@@ -1,0 +1,79 @@
+"""Analyzer contracts over the model zoo and the case studies.
+
+The corpus-wide gate: generated scenarios are lint-clean at error
+severity, every pathological kind maps to its documented diagnostic
+code, and the shipped case studies have a pinned analysis verdict.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import analyze, analyze_synthesized
+from repro.apps import crane, didactic, mjpeg, synthetic
+from repro.core import synthesize
+from repro.zoo import (
+    PATHOLOGICAL_EXPECTED_CODES,
+    PATHOLOGICAL_KINDS,
+    generate_pathological,
+    run_corpus,
+)
+from repro.zoo.strategies import scenarios
+
+
+class TestCaseStudies:
+    @pytest.mark.parametrize("app", [crane, mjpeg, synthetic])
+    def test_app_analyzes_clean_at_error(self, app):
+        report = analyze_synthesized(app.build_model())
+        assert report.at_or_above("error") == []
+
+    def test_crane_is_fully_clean(self):
+        assert analyze_synthesized(crane.build_model()).clean
+
+    def test_didactic_has_exactly_the_dead_chain_warnings(self):
+        report = analyze_synthesized(didactic.build_model())
+        assert report.codes() == ["RA404"]
+        assert report.counts()["warning"] == 2
+
+
+class TestPathologicalKinds:
+    def test_every_kind_has_an_expected_code(self):
+        assert set(PATHOLOGICAL_EXPECTED_CODES) == set(PATHOLOGICAL_KINDS)
+
+    @pytest.mark.parametrize(
+        "kind,code", sorted(PATHOLOGICAL_EXPECTED_CODES.items())
+    )
+    def test_kind_triggers_its_code(self, kind, code):
+        model = generate_pathological(1, kind)
+        report = analyze_synthesized(model, subject=kind)
+        assert code in report.codes(), report.render_text()
+
+
+@settings(
+    max_examples=int(os.environ.get("REPRO_ZOO_EXAMPLES", "15")),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=scenarios())
+def test_generated_scenarios_are_error_clean(scenario):
+    result = synthesize(
+        scenario.model,
+        auto_allocate=scenario.params.auto_allocate,
+        behaviors=scenario.behaviors,
+    )
+    report = analyze(
+        scenario.model, result.caam, subject=scenario.params.name
+    )
+    assert report.at_or_above("error") == [], report.render_text()
+    sdf = report.info["sdf"]
+    assert sdf["consistent"] and not sdf["deadlocked"]
+
+
+@pytest.mark.zoo
+def test_corpus_sweep_includes_the_analyzer_checks():
+    report = run_corpus(seed=7, count=18)
+    report.raise_on_failure()
+    for scenario in report.scenarios:
+        assert "analyze" in scenario.checks
+        assert "analyze-sdf" in scenario.checks

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate a SARIF 2.1.0 log produced by ``repro analyze --format sarif``.
+
+Usage::
+
+    python tools/validate_sarif.py crane.sarif [more.sarif ...]
+    python tools/validate_sarif.py --min-results 1 didactic.sarif
+
+Structural conformance checks for the subset of SARIF the analyzer
+emits: schema/version pinning, the tool.driver rule table, and — for
+every result — a resolvable ``ruleIndex``, a legal ``level``, a message,
+and at least one location.  ``--min-results`` additionally requires the
+log to carry that many results (CI's pathological-model smoke leg uses
+it to prove the analyzer actually fired).  Exits non-zero with a message
+on the first violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+SARIF_VERSION = "2.1.0"
+LEVELS = ("note", "warning", "error")
+
+
+def validate_sarif(document: Dict[str, Any]) -> int:
+    """Raise ``ValueError`` on the first violation; return result count."""
+    if not isinstance(document, dict):
+        raise ValueError("SARIF log must be a JSON object")
+    if document.get("version") != SARIF_VERSION:
+        raise ValueError(
+            f"'version' is {document.get('version')!r}, "
+            f"expected {SARIF_VERSION!r}"
+        )
+    if "$schema" not in document:
+        raise ValueError("log lacks '$schema'")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("'runs' must be a non-empty array")
+    total = 0
+    for run_index, run in enumerate(runs):
+        total += _validate_run(run, f"runs[{run_index}]")
+    return total
+
+
+def _validate_run(run: Dict[str, Any], where: str) -> int:
+    driver = run.get("tool", {}).get("driver")
+    if not isinstance(driver, dict):
+        raise ValueError(f"{where}: lacks 'tool.driver'")
+    if not driver.get("name"):
+        raise ValueError(f"{where}: driver has no 'name'")
+    rules = driver.get("rules")
+    if not isinstance(rules, list):
+        raise ValueError(f"{where}: 'tool.driver.rules' must be an array")
+    for position, rule in enumerate(rules):
+        label = f"{where}: rule #{position}"
+        if not rule.get("id"):
+            raise ValueError(f"{label} has no 'id'")
+        if not rule.get("shortDescription", {}).get("text"):
+            raise ValueError(f"{label} has no shortDescription text")
+        level = rule.get("defaultConfiguration", {}).get("level")
+        if level not in LEVELS:
+            raise ValueError(f"{label}: bad default level {level!r}")
+    results = run.get("results")
+    if not isinstance(results, list):
+        raise ValueError(f"{where}: 'results' must be an array")
+    for position, result in enumerate(results):
+        _validate_result(result, rules, f"{where}: result #{position}")
+    return len(results)
+
+
+def _validate_result(result: Dict[str, Any], rules, where: str) -> None:
+    rule_id = result.get("ruleId")
+    if not rule_id:
+        raise ValueError(f"{where} has no 'ruleId'")
+    index = result.get("ruleIndex")
+    if not isinstance(index, int) or not 0 <= index < len(rules):
+        raise ValueError(f"{where}: 'ruleIndex' {index!r} out of range")
+    if rules[index]["id"] != rule_id:
+        raise ValueError(
+            f"{where}: ruleIndex {index} resolves to "
+            f"{rules[index]['id']!r}, not {rule_id!r}"
+        )
+    if result.get("level") not in LEVELS:
+        raise ValueError(f"{where}: bad level {result.get('level')!r}")
+    if not result.get("message", {}).get("text"):
+        raise ValueError(f"{where} has no message text")
+    locations = result.get("locations")
+    if not isinstance(locations, list) or not locations:
+        raise ValueError(f"{where} has no locations")
+    logical = locations[0].get("logicalLocations")
+    if not isinstance(logical, list) or not logical:
+        raise ValueError(f"{where} has no logicalLocations")
+    if not logical[0].get("fullyQualifiedName"):
+        raise ValueError(f"{where}: logical location lacks a name")
+    for suppression in result.get("suppressions", []):
+        if suppression.get("kind") not in ("external", "inSource"):
+            raise ValueError(
+                f"{where}: bad suppression kind "
+                f"{suppression.get('kind')!r}"
+            )
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("logs", nargs="+", help="SARIF files to validate")
+    parser.add_argument(
+        "--min-results",
+        type=int,
+        default=0,
+        help="require at least this many results across each log",
+    )
+    args = parser.parse_args(argv)
+    try:
+        for path in args.logs:
+            with open(path, encoding="utf-8") as handle:
+                count = validate_sarif(json.load(handle))
+            if count < args.min_results:
+                raise ValueError(
+                    f"{path}: {count} result(s), expected at least "
+                    f"{args.min_results}"
+                )
+            print(f"{path}: valid SARIF {SARIF_VERSION} ({count} result(s))")
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

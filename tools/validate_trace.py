@@ -14,9 +14,10 @@ documented synthesis keys.  ``--tree`` additionally requires the trace's
 spans to form a single rooted tree: every ``args.parent_id`` must resolve
 to another event in the document (no orphan roots from worker threads or
 retries).  ``--slo`` validates a ``GET /slo`` / ``repro slo-report
---json`` document, and ``--bench`` validates the ``"slo"`` and ``"zoo"``
-sections of ``BENCH_obs.json`` (server latency objectives and
-"synthesize the zoo" throughput).  Exits non-zero with a message on the
+--json`` document, and ``--bench`` validates the ``"slo"``,
+``"zoo"`` and ``"analysis"`` sections of ``BENCH_obs.json`` (server
+latency objectives, "synthesize the zoo" throughput, and static-analyzer
+throughput with its per-pass breakdown).  Exits non-zero with a message on the
 first violation; CI's smoke jobs run this after real ``repro``
 invocations.
 """
@@ -298,6 +299,68 @@ def validate_bench_zoo(document: Dict[str, Any]) -> None:
         )
 
 
+#: Fields the BENCH_obs.json "analysis" section must carry.
+BENCH_ANALYSIS_FIELDS = (
+    "corpus_seed",
+    "corpus_models",
+    "corpus_analyze_s",
+    "models_per_sec",
+    "diagnostics",
+    "error_diagnostics",
+    "crane_analyze_s",
+    "crane_clean",
+    "passes",
+)
+
+#: Passes the analyzer registers by default; each must report a timing.
+BENCH_ANALYSIS_PASSES = ("structure", "channels", "fsm", "sdf", "dataflow")
+
+
+def validate_bench_analysis(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless BENCH_obs.json carries a valid "analysis".
+
+    The section reports static-analyzer throughput (models/sec over the
+    fixed-seed corpus) plus a per-pass wall-time breakdown, and asserts
+    the corpus-wide lint gate: zero error-severity findings.
+    """
+    section = document.get("analysis")
+    if not isinstance(section, dict):
+        raise ValueError("BENCH document lacks an 'analysis' object")
+    for field in BENCH_ANALYSIS_FIELDS:
+        if field not in section:
+            raise ValueError(f"'analysis' section lacks {field!r}")
+    rate = section["models_per_sec"]
+    if not isinstance(rate, (int, float)) or rate <= 0:
+        raise ValueError("'analysis.models_per_sec' must be a positive number")
+    if section["corpus_models"] <= 0:
+        raise ValueError("'analysis.corpus_models' must be positive")
+    if section["error_diagnostics"] != 0:
+        raise ValueError(
+            f"'analysis.error_diagnostics' is "
+            f"{section['error_diagnostics']}: the corpus lint gate "
+            f"requires zero error-severity findings"
+        )
+    if not section["crane_clean"]:
+        raise ValueError("'analysis.crane_clean' is false")
+    passes = section["passes"]
+    if not isinstance(passes, dict):
+        raise ValueError("'analysis.passes' must be an object")
+    for name in BENCH_ANALYSIS_PASSES:
+        entry = passes.get(name)
+        if not isinstance(entry, dict):
+            raise ValueError(f"'analysis.passes' lacks pass {name!r}")
+        for field in ("calls", "total_s"):
+            if field not in entry:
+                raise ValueError(
+                    f"'analysis.passes.{name}' lacks {field!r}"
+                )
+        if entry["calls"] < section["corpus_models"]:
+            raise ValueError(
+                f"'analysis.passes.{name}' ran {entry['calls']} times for "
+                f"{section['corpus_models']} corpus models"
+            )
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -344,6 +407,8 @@ def main(argv=None) -> int:
             print(f"{args.bench}: valid BENCH slo section")
             validate_bench_zoo(bench)
             print(f"{args.bench}: valid BENCH zoo section")
+            validate_bench_analysis(bench)
+            print(f"{args.bench}: valid BENCH analysis section")
     except (ValueError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
