@@ -318,6 +318,112 @@ def analysis_bench(pytestconfig):
     return stats
 
 
+#: Fixed-seed corpus the codegen throughput benchmark sweeps, and how
+#: many of those models get the expensive compile-and-pin differential.
+CODEGEN_SEED = 42
+CODEGEN_COUNT = 30
+CODEGEN_DIFF_COUNT = 5
+
+
+def _measure_codegen() -> dict:
+    """Static-schedule backend throughput: models/sec over the zoo corpus.
+
+    Synthesis is done up front (the backend is the unit under test);
+    every model is scheduled and emitted to C and Java, every manifest is
+    hash-verified, and — when a C compiler is available — the first few
+    models also run the full compile-and-pin differential against the
+    slot engine.
+    """
+    from repro.codegen import (
+        build_schedule,
+        cc_available,
+        differential_check,
+        generate,
+        verify_manifest,
+    )
+    from repro.codegen.trace import flatten_artifacts
+    from repro.core import synthesize
+    from repro.zoo import generate_corpus
+    from repro.zoo.generator import stimuli_for
+
+    synthesized = []
+    for scenario in generate_corpus(CODEGEN_SEED, CODEGEN_COUNT):
+        result = synthesize(
+            scenario.model,
+            auto_allocate=scenario.params.auto_allocate,
+            behaviors=scenario.behaviors,
+        )
+        synthesized.append((scenario, result))
+
+    start = time.perf_counter()
+    schedules = [
+        (scenario, result, build_schedule(result.caam))
+        for scenario, result in synthesized
+    ]
+    schedule_s = time.perf_counter() - start
+
+    buffers = 0
+    records = 0
+    verified = True
+    start = time.perf_counter()
+    generated = []
+    for scenario, result, schedule in schedules:
+        run = generate(
+            result.caam,
+            languages=("c", "java"),
+            uml_trace=result.mapping.context.trace,
+            schedule=schedule,
+        )
+        generated.append((scenario, result, run))
+        buffers += len(schedule.buffers)
+        records += len(run.manifest["records"])
+        if verify_manifest(run.manifest, flatten_artifacts(run.artifacts)):
+            verified = False
+    emit_s = time.perf_counter() - start
+
+    compiler = cc_available()
+    checked = identical = 0
+    if compiler:
+        for scenario, result, run in generated[:CODEGEN_DIFF_COUNT]:
+            params = scenario.params
+            inports = [b.name for b in run.schedule.inports]
+            episodes = stimuli_for(params, inports)
+            diff = differential_check(
+                result.caam, episodes, params.steps, schedule=run.schedule
+            )
+            checked += 1
+            if diff.ok:
+                identical += 1
+
+    return {
+        "corpus_seed": CODEGEN_SEED,
+        "corpus_models": CODEGEN_COUNT,
+        "schedule_s": schedule_s,
+        "emit_s": emit_s,
+        "models_per_sec_scheduled": (
+            CODEGEN_COUNT / schedule_s if schedule_s else None
+        ),
+        "models_per_sec_emitted": CODEGEN_COUNT / emit_s if emit_s else None,
+        "languages": ["c", "java"],
+        "buffers": buffers,
+        "manifest_records": records,
+        "manifests_verified": verified,
+        "differential": {
+            "checked": checked,
+            "bit_identical": identical,
+            "compiler": compiler,
+        },
+    }
+
+
+@pytest.fixture(scope="session")
+def codegen_bench(pytestconfig):
+    """Run the codegen sweep once; sessionfinish reuses the numbers."""
+    stats = _measure_codegen()
+    pytestconfig._codegen_bench = stats
+    return stats
+
+
 #: Admission-queue depths the server benchmark sweeps.
 SERVER_QUEUE_DEPTHS = (1, 8, 64)
 
@@ -436,6 +542,9 @@ def pytest_sessionfinish(session, exitstatus):
     analysis_stats = getattr(
         session.config, "_analysis_bench", None
     ) or _measure_analysis()
+    codegen_stats = getattr(
+        session.config, "_codegen_bench", None
+    ) or _measure_codegen()
 
     def total(name):
         stat = metrics.timer_stat(name)
@@ -458,6 +567,7 @@ def pytest_sessionfinish(session, exitstatus):
         "slo": server_stats.get("slo", {}),
         "zoo": zoo_stats,
         "analysis": analysis_stats,
+        "codegen": codegen_stats,
         "simkernel": _measure_simkernel(),
         "metrics": metrics.to_dict(),
     }

@@ -1,0 +1,57 @@
+"""Static-schedule backend throughput over the zoo corpus.
+
+The backend lowers every corpus CAAM to a PASS and emits C + Java with a
+hash-pinned traceability manifest; this benchmark reports models/sec for
+both stages and — when a C compiler is present — pins the first few
+models bit-for-bit against the slot engine.  The numbers land in the
+``"codegen"`` section of ``BENCH_obs.json`` (schema checked by
+``tools/validate_trace.py --bench``).
+"""
+
+from benchmarks.conftest import (
+    CODEGEN_COUNT,
+    CODEGEN_DIFF_COUNT,
+    CODEGEN_SEED,
+)
+
+
+def test_codegen_the_zoo(codegen_bench, paper_report):
+    stats = codegen_bench
+    assert stats["corpus_seed"] == CODEGEN_SEED
+    assert stats["corpus_models"] == CODEGEN_COUNT
+    assert stats["models_per_sec_scheduled"] > 0
+    assert stats["models_per_sec_emitted"] > 0
+    # Every generated manifest hash-verified against its artifacts.
+    assert stats["manifests_verified"]
+    # With a compiler on PATH, every checked model was bit-identical.
+    differential = stats["differential"]
+    if differential["compiler"]:
+        assert differential["checked"] == CODEGEN_DIFF_COUNT
+        assert differential["bit_identical"] == differential["checked"]
+
+    diff_cell = (
+        f"{differential['bit_identical']}/{differential['checked']} "
+        f"bit-identical"
+        if differential["compiler"]
+        else "skipped (no cc)"
+    )
+    paper_report(
+        f"E8: codegen the zoo ({CODEGEN_COUNT} models, seed "
+        f"{CODEGEN_SEED})",
+        [
+            (
+                "PASS scheduling",
+                "n/a (new backend)",
+                f"{stats['models_per_sec_scheduled']:.0f} models/s",
+            ),
+            (
+                "C+Java emission",
+                "n/a (new backend)",
+                f"{stats['models_per_sec_emitted']:.0f} models/s",
+            ),
+            ("ring buffers", "-", f"{stats['buffers']}"),
+            ("manifest records", "-", f"{stats['manifest_records']}"),
+            ("manifests verified", "all", "all" if stats["manifests_verified"] else "FAILED"),
+            ("differential", "bit-identical", diff_cell),
+        ],
+    )

@@ -86,6 +86,13 @@ class SdfAnalysis:
     #: True when the repetition vector exceeded :data:`MAX_FIRINGS` and
     #: the buffer simulation was skipped.
     capped: bool = False
+    #: The actor firing order of the simulated PASS, one entry per firing
+    #: (``sum(repetition.values())`` entries for a complete period).  This
+    #: is the sequential schedule the static code generation backend
+    #: replays; empty when the graph deadlocked or the simulation was
+    #: capped.  Deliberately excluded from :meth:`to_dict` — a period can
+    #: run to hundreds of thousands of firings.
+    firing_sequence: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         """Render as a JSON-ready dict for ``report.info["sdf"]``."""
@@ -113,6 +120,20 @@ def repetition_vector(
     contradicts the already-assigned rates lands in ``conflicts`` (and
     the returned vector is empty).
     """
+    # An SDF edge moves a positive number of tokens per firing; a
+    # zero-or-negative rate (or negative delay) is ill-formed and would
+    # otherwise divide by zero below — report it as a conflict.
+    degenerate = [
+        edge
+        for edge in graph.edges
+        if edge.produce < 1 or edge.consume < 1 or edge.delay < 0
+    ]
+    if degenerate:
+        unique = sorted(
+            set(degenerate), key=lambda e: (e.channel, e.src, e.dst)
+        )
+        return {}, unique
+
     neighbours: Dict[str, List[SdfEdge]] = {a: [] for a in graph.actors}
     for edge in graph.edges:
         neighbours[edge.src].append(edge)
@@ -209,11 +230,13 @@ def schedule_bounds(
                     tokens[i] += graph.edges[i].produce
                     peak[i] = max(peak[i], tokens[i])
                 remaining[actor] -= 1
+                analysis.firing_sequence.append(actor)
                 progress = True
 
     if any(remaining.values()):
         analysis.deadlocked = True
         analysis.blocked = sorted(a for a, n in remaining.items() if n > 0)
+        analysis.firing_sequence = []
         return analysis
 
     bounds: Dict[str, int] = {}

@@ -146,6 +146,10 @@ def behaviors() -> Dict[str, Callable]:
     def estimate(alpha: float) -> float:
         return alpha  # unit sway estimator
 
+    # Declarative mirrors for the static-schedule backend: both callbacks
+    # are the identity, i.e. the affine map 1.0 * x + 0.0.
+    jobctrl.codegen_spec = ("affine", 1.0, 0.0)  # type: ignore[attr-defined]
+    estimate.codegen_spec = ("affine", 1.0, 0.0)  # type: ignore[attr-defined]
     return {"jobctrl": jobctrl, "estimate": estimate}
 
 

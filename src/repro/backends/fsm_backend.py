@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..fsm.codegen import generate_c, generate_java
+from ..fsm.codegen import generate_artifacts
 from ..fsm.from_uml import fsm_from_state_machine
 from ..uml.deployment import DeploymentPlan
 from ..uml.model import Model
@@ -45,15 +45,5 @@ class FsmBackend:
         artifacts: Dict[str, str] = {}
         for machine in model.state_machines:
             fsm = fsm_from_state_machine(machine)
-            if self.language == "c":
-                artifacts[f"{fsm.name}.c"] = generate_c(fsm)
-            else:
-                class_name = _camel(fsm.name)
-                artifacts[f"{class_name}.java"] = generate_java(fsm, class_name)
+            artifacts.update(generate_artifacts(fsm, self.language))
         return artifacts
-
-
-def _camel(name: str) -> str:
-    import re
-
-    return "".join(p.capitalize() for p in re.split(r"[_\W]+", name) if p)

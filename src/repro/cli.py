@@ -238,6 +238,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 def _cmd_codegen(args: argparse.Namespace) -> int:
     from .backends import FsmBackend, JavaBackend, KpnBackend, SimulinkBackend
 
+    if args.backend == "sdf":
+        return _cmd_codegen_sdf(args)
     factories = {
         "simulink": lambda: SimulinkBackend(auto_allocate=args.auto_allocate),
         "java": JavaBackend,
@@ -248,7 +250,8 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
         backend = factories[args.backend]()
     except KeyError:
         raise CliError(
-            f"unknown backend {args.backend!r}; pick one of {sorted(factories)}"
+            f"unknown backend {args.backend!r}; pick one of "
+            f"{sorted(factories) + ['sdf']}"
         ) from None
     model = _load_model(args.model)
     artifacts = backend.generate(model)
@@ -258,6 +261,44 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(content)
         print(f"wrote {path} ({len(content)} bytes)")
+    return 0
+
+
+def _cmd_codegen_sdf(args: argparse.Namespace) -> int:
+    """The static-schedule backend: scheduled sources plus manifest."""
+    from .codegen import CodegenError, generate
+    from .core.flow import FlowError, synthesize
+
+    languages = tuple(args.lang) if args.lang else ("c",)
+    model = _load_model(args.model)
+    try:
+        result = synthesize(model, auto_allocate=args.auto_allocate)
+        generated = generate(
+            result.caam,
+            languages=languages,
+            uml_trace=result.mapping.context.trace,
+        )
+    except (FlowError, CodegenError) as exc:
+        raise CliError(f"codegen failed: {exc}") from exc
+    os.makedirs(args.output, exist_ok=True)
+    for language in languages:
+        for filename, content in generated.artifacts[language].items():
+            path = os.path.join(args.output, filename)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(content)
+            print(f"wrote {path} ({len(content)} bytes)")
+    manifest_path = args.trace_manifest or os.path.join(
+        args.output, "trace_manifest.json"
+    )
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        handle.write(generated.manifest_text)
+    print(f"wrote {manifest_path} ({len(generated.manifest_text)} bytes)")
+    stats = generated.schedule.stats()
+    print(
+        f"schedule: {stats['pes']} PE(s), {stats['blocks']} block(s), "
+        f"{stats['buffers']} buffer(s), firing order "
+        + " -> ".join(generated.schedule.firing_order)
+    )
     return 0
 
 
@@ -791,15 +832,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         required=True,
-        help="simulink | java | kpn | fsm",
+        help="simulink | java | kpn | fsm | sdf (static schedule)",
     )
     p.add_argument(
         "--language", default="c", help="fsm back-end language (c | java)"
     )
     p.add_argument(
-        "--auto-allocate", action="store_true", help="simulink back-end only"
+        "--lang",
+        action="append",
+        choices=("c", "java"),
+        help="sdf back-end target language(s); repeatable (default: c)",
     )
-    p.add_argument("-o", "--output", required=True, help="output directory")
+    p.add_argument(
+        "--auto-allocate",
+        action="store_true",
+        help="simulink and sdf back-ends only",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        "--out-dir",
+        dest="output",
+        required=True,
+        help="output directory",
+    )
+    p.add_argument(
+        "--trace-manifest",
+        help="sdf back-end: write the digital-thread manifest here "
+        "(default: <out-dir>/trace_manifest.json)",
+    )
     p.set_defaults(handler=_cmd_codegen)
 
     p = sub.add_parser(

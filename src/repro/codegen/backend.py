@@ -1,0 +1,128 @@
+"""Facade: one call from UML model or CAAM to sources plus manifest.
+
+``generate`` is what the CLI, the server's ``codegen`` job kind, the zoo
+harness and the benchmarks all share, so every caller gets the same obs
+spans (``codegen.schedule``, ``codegen.emit.<lang>``), the same counters
+and the same manifest layout for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs import recorder as _obs
+from . import cemit, javaemit
+from .schedule import CodegenError, StaticSchedule, build_schedule
+from .trace import build_manifest, flatten_artifacts, manifest_json
+
+#: Languages the scheduled backend can emit.
+LANGUAGES = ("c", "java")
+
+
+@dataclass
+class GenerationResult:
+    """Everything one generation run produced.
+
+    ``artifacts`` maps language → filename → source text; ``manifest``
+    is the digital-thread document (see :mod:`repro.codegen.trace`).
+    """
+
+    schedule: StaticSchedule
+    artifacts: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    manifest: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def files(self) -> Dict[str, str]:
+        """Filename → text over every language, plus the manifest."""
+        merged = flatten_artifacts(self.artifacts)
+        merged["trace_manifest.json"] = self.manifest_text
+        return merged
+
+    @property
+    def manifest_text(self) -> str:
+        return manifest_json(self.manifest)
+
+
+def generate(
+    caam,
+    languages: Sequence[str] = ("c",),
+    uml_trace: Optional[Any] = None,
+    schedule: Optional[StaticSchedule] = None,
+) -> GenerationResult:
+    """Lower ``caam`` to a static schedule and emit ``languages``.
+
+    ``uml_trace`` (a :class:`~repro.transform.trace.TraceStore`, normally
+    ``synthesis_result.mapping.context.trace``) enriches the manifest
+    with UML provenance; without it the CAAM mapping is still complete.
+    """
+    unknown = [lang for lang in languages if lang not in LANGUAGES]
+    if unknown:
+        raise CodegenError(
+            f"unsupported language(s) {unknown!r}; choose from {LANGUAGES}"
+        )
+    if not languages:
+        raise CodegenError("no languages requested")
+    rec = _obs.get()
+    if schedule is None:
+        with rec.span(
+            "codegen.schedule", category="codegen", model=caam.name
+        ) as span:
+            schedule = build_schedule(caam)
+            stats = schedule.stats()
+            span.set(**stats)
+        rec.incr("codegen.schedules")
+        rec.gauge("codegen.buffers", stats["buffers"])
+
+    artifacts: Dict[str, Dict[str, str]] = {}
+    emitters = {"c": cemit.generate_c, "java": javaemit.generate_java}
+    for language in languages:
+        with rec.span(
+            f"codegen.emit.{language}",
+            category="codegen",
+            model=schedule.name,
+        ) as span:
+            emitted = emitters[language](schedule)
+            span.set(
+                files=len(emitted),
+                bytes=sum(len(text) for text in emitted.values()),
+            )
+        artifacts[language] = emitted
+        rec.incr(f"codegen.emit.{language}.files", len(emitted))
+    rec.incr("codegen.models")
+    rec.incr(
+        "codegen.artifacts",
+        sum(len(emitted) for emitted in artifacts.values()),
+    )
+
+    manifest = build_manifest(schedule, artifacts, uml_trace=uml_trace)
+    return GenerationResult(
+        schedule=schedule, artifacts=artifacts, manifest=manifest
+    )
+
+
+def generate_from_model(
+    model,
+    languages: Sequence[str] = ("c",),
+    behaviors: Optional[Dict[str, Any]] = None,
+    auto_allocate: bool = False,
+) -> GenerationResult:
+    """Synthesize a UML ``model`` then :func:`generate` from its CAAM."""
+    from ..core.flow import synthesize
+
+    result = synthesize(
+        model, behaviors=behaviors, auto_allocate=auto_allocate
+    )
+    return generate(
+        result.caam,
+        languages=languages,
+        uml_trace=result.mapping.context.trace,
+    )
+
+
+__all__ = [
+    "LANGUAGES",
+    "GenerationResult",
+    "generate",
+    "generate_from_model",
+]

@@ -1,0 +1,262 @@
+"""Deterministic Java emission of a :class:`~repro.codegen.schedule.StaticSchedule`.
+
+This is the scheduled counterpart of :mod:`repro.backends.java_backend`:
+where the multithreaded backend emits one ``Runnable`` per UML thread and
+``ArrayBlockingQueue`` channels, this emitter lowers the *same* CAAM to a
+single allocation-free class replaying the SDF analyzer's PASS — fixed
+``double[]`` ring buffers, one private method per processing element, one
+``step()`` per schedule period.
+
+The emitted expressions come from the same :func:`~repro.codegen.cemit.
+block_statements` code path as the C emitter, through
+:data:`JAVA_DIALECT`: Java accepts C99 hexadecimal floating literals
+(``0x1.8p+1``), underscore identifiers, ``{ ... }`` statement blocks and
+the ``?:`` operator, so the two backends share one statement skeleton per
+block and cannot drift apart semantically.  Java's arithmetic is
+strictfp-equivalent for ``double`` on all supported JVMs (JEP 306), so
+the streams match the C program and the Python simulator bit for bit.
+
+The generated class also carries a package-private ``main`` speaking the
+same hexfloat stdin/stdout protocol as the C harness, so the differential
+check can pin a JVM run when one is available.
+"""
+
+from __future__ import annotations
+
+from math import isinf, isnan
+from typing import Dict, List
+
+from .cemit import Dialect, _Namer, _out_count, _pop_stmt, _push_stmt, block_statements
+from .identifiers import camel, sanitize
+from .schedule import CodegenError, StaticSchedule, ValueRef
+
+
+def java_double(value: float) -> str:
+    """Render ``value`` as an exact Java double constant."""
+    value = float(value)
+    if isnan(value):
+        return "Double.NaN"
+    if isinf(value):
+        return (
+            "Double.POSITIVE_INFINITY"
+            if value > 0
+            else "Double.NEGATIVE_INFINITY"
+        )
+    # float.hex() text is valid Java hexadecimal-floating-point syntax.
+    return value.hex()
+
+
+JAVA_DIALECT = Dialect(
+    double=java_double,
+    abs_fn="Math.abs",
+    sin_fn="Math.sin",
+    decl_double=lambda name, comment: (
+        f"    private double {name};  /* {comment} */"
+    ),
+    decl_flag=lambda name, comment: (
+        f"    private boolean {name};  /* {comment} */"
+    ),
+    flag_true="true",
+    flag_false="false",
+)
+
+
+def class_name_for(schedule: StaticSchedule) -> str:
+    """The Java type name emitted for ``schedule`` (``Crane`` for crane)."""
+    return camel(sanitize(schedule.name)) + "Schedule"
+
+
+def generate_java(schedule: StaticSchedule) -> Dict[str, str]:
+    """Emit ``{"<Class>.java": source}`` for ``schedule``."""
+    cls = class_name_for(schedule)
+    names = _Namer(schedule)
+
+    def ref(value: ValueRef) -> str:
+        if value.kind == "signal":
+            assert value.block is not None
+            if value.port > max(1, _out_count(value.block)):
+                raise CodegenError(
+                    f"block output {value.block.path!r}.out{value.port} is "
+                    f"consumed but never produced"
+                )
+            return names.signal(value.block, value.port)
+        if value.kind == "stim":
+            assert value.block is not None
+            return names.stim(value.block)
+        return f"rb{value.buffer_index}_pop"
+
+    signals: List[str] = []
+    states: List[str] = []
+    methods: List[str] = []
+    init_lines: List[str] = []
+
+    for inport in schedule.inports:
+        signals.append(f"    private double {names.stim(inport)};")
+
+    for pe in schedule.pes:
+        body: List[str] = []
+        updates: List[str] = []
+        for index in pe.pops:
+            body.append(_pop_stmt(schedule.buffers[index]))
+        for step in pe.blocks:
+            block = step.block
+            args = [ref(value) for value in step.inputs]
+            stmts, upd, decls, inits = block_statements(
+                block, args, names, JAVA_DIALECT
+            )
+            body.extend(stmts)
+            updates.extend(upd)
+            states.extend(decls)
+            init_lines.extend(inits)
+            for port in range(1, _out_count(block) + 1):
+                signals.append(
+                    f"    private double {names.signal(block, port)};"
+                )
+        for index in pe.pushes:
+            spec = schedule.buffers[index]
+            body.append(_push_stmt(spec, ref(spec.source)))
+        body.extend(updates)
+        if not body:
+            body.append("    /* no blocks scheduled on this PE */")
+        methods.append(
+            f"    private void {names.pe(pe.name)}() {{\n"
+            + "\n".join("    " + line for line in body)
+            + "\n    }"
+        )
+
+    buffer_decls: List[str] = []
+    for spec in schedule.buffers:
+        n = spec.index
+        buffer_decls.append(
+            f"    private final double[] rb{n} = "
+            f"new double[{spec.capacity}];"
+            f"  /* {spec.channel.path}"
+            + (f", {spec.delay} initial token(s)" if spec.delay else "")
+            + " */"
+        )
+        buffer_decls.append(
+            f"    private int rb{n}_head; private int rb{n}_tail; "
+            f"private double rb{n}_pop;"
+        )
+        for position, token in enumerate(spec.initial):
+            init_lines.append(
+                f"    rb{n}[{position}] = {java_double(token)};"
+            )
+        init_lines.append(
+            f"    rb{n}_head = 0; rb{n}_tail = {spec.delay}; "
+            f"rb{n}_pop = 0.0;"
+        )
+
+    step_body: List[str] = []
+    for position, inport in enumerate(schedule.inports):
+        step_body.append(f"    {names.stim(inport)} = inputs[{position}];")
+    for index in schedule.env_pushes:
+        spec = schedule.buffers[index]
+        step_body.append(_push_stmt(spec, ref(spec.source)))
+    for pe_name in schedule.firing_order:
+        step_body.append(f"    {names.pe(pe_name)}();")
+    for index in schedule.env_pops:
+        step_body.append(_pop_stmt(schedule.buffers[index]))
+    for position, value in enumerate(schedule.outport_refs):
+        expr = ref(value) if value is not None else "0.0"
+        step_body.append(f"    outputs[{position}] = {expr};")
+
+    analysis = schedule.analysis
+    repetition = ", ".join(
+        f"{actor}:{count}"
+        for actor, count in sorted(analysis.repetition.items())
+    )
+    order = " -> ".join(
+        schedule.firing_order if schedule.firing_order else ("<empty>",)
+    )
+    lines: List[str] = [
+        f"/* {cls}.java -- static-schedule realization of CAAM "
+        f"{schedule.name!r}.",
+        " * Generated by repro.codegen; do not edit.",
+        " *",
+        " * Periodic admissible sequential schedule (one call of step()",
+        f" * is one period): {order}",
+        f" * Repetition vector: {repetition or '<empty>'}",
+        " * Allocation-free after construction; buffers are fixed arrays",
+        " * sized from the SDF analyzer's PASS bounds.",
+        " */",
+        f"public final class {cls} {{",
+        f"    public static final int N_INPUTS = "
+        f"{len(schedule.inports)};",
+        f"    public static final int N_OUTPUTS = "
+        f"{len(schedule.outports)};",
+        "",
+        "    /* -- stimulus latches and block output signals -- */",
+    ]
+    lines.extend(signals or ["    /* (none) */"])
+    lines.append("")
+    lines.append("    /* -- block state -- */")
+    lines.extend(states or ["    /* (stateless) */"])
+    lines.append("")
+    lines.append("    /* -- channel ring buffers -- */")
+    lines.extend(buffer_decls or ["    /* (no channels) */"])
+    lines.append("")
+    lines.append(f"    public {cls}() {{")
+    lines.append("        init();")
+    lines.append("    }")
+    lines.append("")
+    lines.append(
+        "    /** Reset states and reload channel initial tokens. */"
+    )
+    lines.append("    public void init() {")
+    lines.extend(
+        ["    " + line for line in init_lines]
+        or ["        /* nothing to reset */"]
+    )
+    lines.append("    }")
+    lines.append("")
+    lines.extend(methods)
+    lines.append("")
+    lines.append(
+        "    /** Execute one schedule period (one firing of every PE). */"
+    )
+    lines.append("    public void step(double[] inputs, double[] outputs) {")
+    lines.extend(["    " + line for line in step_body] or ["        ;"])
+    lines.append("    }")
+    lines.append("")
+    lines.extend(_java_main(cls))
+    lines.append("}")
+    return {f"{cls}.java": "\n".join(lines) + "\n"}
+
+
+def _java_main(cls: str) -> List[str]:
+    """Hexfloat stdin/stdout driver matching the C differential harness."""
+    return [
+        "    /* Differential harness: reads 'episodes steps' then one",
+        "     * hexfloat stimulus line per step; writes one hexfloat",
+        "     * output line per step (same protocol as the C driver). */",
+        "    public static void main(String[] argv) throws Exception {",
+        "        java.io.BufferedReader in = new java.io.BufferedReader(",
+        "            new java.io.InputStreamReader(System.in));",
+        "        StringBuilder out = new StringBuilder();",
+        '        String[] head = in.readLine().trim().split("\\\\s+");',
+        "        int episodes = Integer.parseInt(head[0]);",
+        "        int steps = Integer.parseInt(head[1]);",
+        "        double[] inputs = new double[N_INPUTS];",
+        "        double[] outputs = new double[N_OUTPUTS];",
+        f"        {cls} schedule = new {cls}();",
+        "        for (int e = 0; e < episodes; ++e) {",
+        "            schedule.init();",
+        "            for (int s = 0; s < steps; ++s) {",
+        "                if (N_INPUTS > 0) {",
+        '                    String[] row = in.readLine().trim()'
+        '.split("\\\\s+");',
+        "                    for (int i = 0; i < N_INPUTS; ++i)",
+        "                        inputs[i] = Double.parseDouble(row[i]);",
+        "                } else { in.readLine(); }",
+        "                schedule.step(inputs, outputs);",
+        "                for (int i = 0; i < N_OUTPUTS; ++i) {",
+        "                    if (i > 0) out.append(' ');",
+        "                    out.append(Double.toHexString(outputs[i]));",
+        "                }",
+        "                out.append('\\n');",
+        "            }",
+        "        }",
+        "        System.out.print(out);",
+        "    }",
+    ]

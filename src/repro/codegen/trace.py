@@ -1,0 +1,313 @@
+"""Digital-thread traceability manifests for generated schedules.
+
+Certification-oriented MBSE flows demand that every generated artifact be
+traceable back through the toolchain: which UML element became which CAAM
+block became which C function, with content hashes proving the artifact
+on disk is the artifact the manifest describes.  This module builds that
+record as one machine-readable JSON document per generation run:
+
+- ``artifacts``   — every emitted file with its SHA-256 and size;
+- ``records``     — one entry per generated symbol (entry points, per-PE
+  step functions, ring buffers) mapping it to the CAAM blocks it
+  realizes and, when a transformation :class:`~repro.transform.trace.
+  TraceStore` is supplied, the UML elements those blocks came from;
+- ``requirements`` — one bit-identity requirement per root Outport with
+  a ready-to-paste differential test stub, closing the loop from
+  requirement to executable check.
+
+``tools/validate_trace_manifest.py`` re-verifies a manifest against a
+directory of artifacts offline; :func:`verify_manifest` is the library
+form the zoo harness and server tests call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from .schedule import StaticSchedule
+
+#: Manifest document identifier; bump on breaking layout changes.
+MANIFEST_SCHEMA = "repro.codegen.trace/1"
+
+#: Manifest keys every document must carry.
+REQUIRED_KEYS = (
+    "schema",
+    "model",
+    "generator",
+    "languages",
+    "schedule",
+    "artifacts",
+    "records",
+    "requirements",
+)
+
+
+def sha256_text(text: str) -> str:
+    """Hex SHA-256 of ``text`` encoded as UTF-8."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _describe(obj: Any) -> str:
+    name = (
+        getattr(obj, "qualified_name", "")
+        or getattr(obj, "path", "")
+        or getattr(obj, "name", "")
+    )
+    if name:
+        return str(name)
+    # Sequence-diagram messages have no name; render the exchange.
+    sender = getattr(obj, "sender", None)
+    receiver = getattr(obj, "receiver", None)
+    operation = getattr(obj, "operation", None)
+    if operation and sender is not None and receiver is not None:
+        return (
+            f"{getattr(sender, 'name', '?')}->"
+            f"{getattr(receiver, 'name', '?')}.{operation}"
+        )
+    return type(obj).__name__
+
+
+def _uml_index(uml_trace: Optional[Any]) -> Dict[str, List[str]]:
+    """CAAM element path → UML source descriptions, from a TraceStore."""
+    index: Dict[str, List[str]] = {}
+    if uml_trace is None:
+        return index
+    for link in uml_trace.links():
+        target = _describe(link.target)
+        source = _describe(link.source)
+        if source not in index.setdefault(target, []):
+            index[target].append(source)
+    return index
+
+
+def _uml_for(paths: Iterable[str], index: Mapping[str, List[str]]) -> List[str]:
+    found: List[str] = []
+    for path in paths:
+        for name in index.get(path, []):
+            if name not in found:
+                found.append(name)
+    return found
+
+
+def build_manifest(
+    schedule: StaticSchedule,
+    artifacts: Mapping[str, Mapping[str, str]],
+    uml_trace: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """The digital-thread manifest for one generation run.
+
+    ``artifacts`` maps language → ``{filename: text}`` as returned by the
+    emitters; ``uml_trace`` is the synthesis run's
+    :class:`~repro.transform.trace.TraceStore` (optional — without it the
+    UML columns are empty but the CAAM mapping is still complete).
+    """
+    analysis = schedule.analysis
+    index = _uml_index(uml_trace)
+    model = schedule.name
+
+    artifact_entries: List[Dict[str, Any]] = []
+    for language in sorted(artifacts):
+        for filename in sorted(artifacts[language]):
+            text = artifacts[language][filename]
+            artifact_entries.append(
+                {
+                    "file": filename,
+                    "language": language,
+                    "sha256": sha256_text(text),
+                    "bytes": len(text.encode("utf-8")),
+                }
+            )
+
+    files_by_language = {
+        language: sorted(artifacts[language]) for language in sorted(artifacts)
+    }
+
+    records: List[Dict[str, Any]] = []
+    for language, files in files_by_language.items():
+        records.append(
+            {
+                "kind": "entry",
+                "language": language,
+                "symbol": "init/step" if language == "java" else (
+                    f"{model}_init/{model}_step"
+                ),
+                "artifacts": files,
+                "caam_blocks": [model],
+                "uml_elements": _uml_for([model], index),
+            }
+        )
+    for pe in schedule.pes:
+        paths = [step.block.path for step in pe.blocks]
+        pe_paths = paths + [f"{model}/{pe.cpu}/{pe.name}" if pe.cpu else pe.name]
+        records.append(
+            {
+                "kind": "function",
+                "symbol": f"pe:{pe.name}",
+                "pe": pe.name,
+                "cpu": pe.cpu,
+                "artifacts": sorted(
+                    f for files in files_by_language.values() for f in files
+                ),
+                "caam_blocks": paths,
+                "uml_elements": _uml_for(pe_paths, index),
+            }
+        )
+    pe_cpu = {pe.name: pe.cpu for pe in schedule.pes}
+    for spec in schedule.buffers:
+        # Channels are materialized by the §4.2.1 inference pass, so the
+        # trace targets are the Set/Get *ports*, not the channel block;
+        # derive the port paths from the ``ch_<producer>_<var>`` naming.
+        candidates = [spec.channel.path]
+        for thread in sorted(pe_cpu):
+            prefix = f"ch_{thread}_"
+            if not spec.channel.name.startswith(prefix):
+                continue
+            var = spec.channel.name[len(prefix):]
+            cpu = pe_cpu.get(thread)
+            if cpu:
+                candidates.append(f"{model}/{cpu}/{thread}/{var}_out")
+            if spec.consumer_pe:
+                cpu = pe_cpu.get(spec.consumer_pe)
+                if cpu:
+                    candidates.append(
+                        f"{model}/{cpu}/{spec.consumer_pe}/{var}"
+                    )
+        records.append(
+            {
+                "kind": "buffer",
+                "symbol": f"rb{spec.index}",
+                "channel": spec.channel.path,
+                "capacity": spec.capacity,
+                "delay": spec.delay,
+                "producer": spec.producer_pe or "<env>",
+                "consumer": spec.consumer_pe or "<env>",
+                "artifacts": sorted(
+                    f for files in files_by_language.values() for f in files
+                ),
+                "caam_blocks": [spec.channel.path],
+                "uml_elements": _uml_for(candidates, index),
+            }
+        )
+
+    requirements: List[Dict[str, Any]] = []
+    tag = "".join(c for c in model.upper() if c.isalnum()) or "MODEL"
+    for position, outport in enumerate(schedule.outports):
+        req_id = f"REQ-{tag}-{position + 1:03d}"
+        requirements.append(
+            {
+                "id": req_id,
+                "text": (
+                    f"The generated schedule's output stream at root "
+                    f"Outport {outport.name!r} is bit-identical to the "
+                    f"reference simulator for every admissible stimulus."
+                ),
+                "outport": outport.name,
+                "test_stub": (
+                    f"def test_{tag.lower()}_outport_{position + 1}"
+                    f"_bit_identical():\n"
+                    f"    # {req_id}: pin {outport.name!r} against the "
+                    f"slot simulator.\n"
+                    f"    report = differential_check(caam, stimuli, "
+                    f"steps)\n"
+                    f"    assert report.ok, report.mismatches"
+                ),
+            }
+        )
+
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "model": model,
+        "generator": "repro.codegen",
+        "languages": sorted(artifacts),
+        "schedule": {
+            "pes": [pe.name for pe in schedule.pes],
+            "firing_order": list(schedule.firing_order),
+            "repetition": {
+                actor: count
+                for actor, count in sorted(analysis.repetition.items())
+            },
+            "buffers": len(schedule.buffers),
+            "initial_tokens": sum(len(b.initial) for b in schedule.buffers),
+            "inports": [b.name for b in schedule.inports],
+            "outports": [b.name for b in schedule.outports],
+        },
+        "artifacts": artifact_entries,
+        "records": records,
+        "requirements": requirements,
+    }
+
+
+def manifest_json(manifest: Mapping[str, Any]) -> str:
+    """Canonical serialized form (stable key order, trailing newline)."""
+    return json.dumps(manifest, indent=2, sort_keys=False) + "\n"
+
+
+def verify_manifest(
+    manifest: Mapping[str, Any],
+    sources: Mapping[str, str],
+) -> List[str]:
+    """Check ``manifest`` against artifact texts; return problem strings.
+
+    ``sources`` maps filename → content.  Empty result means the manifest
+    is well-formed, every artifact hash matches, and every record points
+    at listed artifacts.
+    """
+    problems: List[str] = []
+    for key in REQUIRED_KEYS:
+        if key not in manifest:
+            problems.append(f"manifest missing key {key!r}")
+    if problems:
+        return problems
+    if manifest["schema"] != MANIFEST_SCHEMA:
+        problems.append(
+            f"unknown schema {manifest['schema']!r} "
+            f"(expected {MANIFEST_SCHEMA!r})"
+        )
+    listed = set()
+    for entry in manifest["artifacts"]:
+        filename = entry.get("file", "<missing>")
+        listed.add(filename)
+        text = sources.get(filename)
+        if text is None:
+            problems.append(f"artifact {filename!r} not found")
+            continue
+        digest = sha256_text(text)
+        if digest != entry.get("sha256"):
+            problems.append(
+                f"artifact {filename!r} hash mismatch: manifest says "
+                f"{entry.get('sha256')!r}, content is {digest!r}"
+            )
+        size = len(text.encode("utf-8"))
+        if size != entry.get("bytes"):
+            problems.append(
+                f"artifact {filename!r} size mismatch: manifest says "
+                f"{entry.get('bytes')}, content is {size}"
+            )
+    for position, record in enumerate(manifest["records"]):
+        for filename in record.get("artifacts", []):
+            if filename not in listed:
+                problems.append(
+                    f"record #{position} ({record.get('symbol')}) points "
+                    f"at unlisted artifact {filename!r}"
+                )
+    outports = set(manifest["schedule"].get("outports", []))
+    for requirement in manifest["requirements"]:
+        if requirement.get("outport") not in outports:
+            problems.append(
+                f"requirement {requirement.get('id')} targets unknown "
+                f"outport {requirement.get('outport')!r}"
+            )
+    return problems
+
+
+def flatten_artifacts(
+    artifacts: Mapping[str, Mapping[str, str]],
+) -> Dict[str, str]:
+    """Merge per-language artifact maps into one filename → text map."""
+    merged: Dict[str, str] = {}
+    for language in sorted(artifacts):
+        for filename, text in artifacts[language].items():
+            merged[filename] = text
+    return merged

@@ -2,7 +2,7 @@
 execution — the control-flow back-end of the paper's design flow."""
 
 from .block import chart_block, threshold_events
-from .codegen import generate_c, generate_java
+from .codegen import generate_artifacts, generate_c, generate_header, generate_java
 from .from_uml import fsm_from_state_machine
 from .model import Fsm, FsmError, FsmState, FsmTransition
 from .simulator import (
@@ -25,7 +25,9 @@ __all__ = [
     "MAX_COMPLETION_CHAIN",
     "TraceEntry",
     "fsm_from_state_machine",
+    "generate_artifacts",
     "generate_c",
+    "generate_header",
     "generate_java",
     "simulate",
 ]

@@ -260,6 +260,77 @@ def _run_analyze(
     )
 
 
+def _run_codegen(
+    spec: JobSpec, model: Model, cancelled: CancelHook
+) -> JobOutcome:
+    """Synthesize, then run the static-schedule backend.
+
+    The artifact is the digital-thread trace manifest (the document an
+    auditor starts from); the generated sources travel inline in the
+    result payload keyed by filename, each already hash-pinned by the
+    manifest.
+    """
+    from ..codegen import CodegenError, generate
+    from ..codegen.backend import LANGUAGES
+    from ..codegen.trace import flatten_artifacts
+
+    options = dict(spec.options)
+    languages = options.get("languages", ["c"])
+    if (
+        not isinstance(languages, list)
+        or not languages
+        or not all(isinstance(lang, str) for lang in languages)
+    ):
+        raise FlowError("'languages' must be a non-empty list of strings")
+    unknown = sorted(set(languages) - set(LANGUAGES))
+    if unknown:
+        raise FlowError(
+            f"unknown codegen language(s) {', '.join(map(repr, unknown))}; "
+            f"valid languages are {', '.join(LANGUAGES)}"
+        )
+    synth_options = {
+        key: options[key]
+        for key in ("use_cache", "auto_allocate")
+        if key in options
+    }
+    result = synthesize(model, **synth_options)
+    _checkpoint(cancelled)
+    try:
+        generated = generate(
+            result.caam,
+            languages=tuple(languages),
+            uml_trace=result.mapping.context.trace,
+        )
+    except CodegenError as exc:
+        raise FlowError(str(exc)) from exc
+    _checkpoint(cancelled)
+    stats = generated.schedule.stats()
+    payload: Dict[str, Any] = {
+        "model": result.caam.name,
+        "languages": sorted(generated.artifacts),
+        "schedule": {
+            "pes": stats["pes"],
+            "blocks": stats["blocks"],
+            "buffers": stats["buffers"],
+            "firing_order": list(generated.schedule.firing_order),
+        },
+        "sources": flatten_artifacts(generated.artifacts),
+        "artifact_hashes": {
+            entry["file"]: entry["sha256"]
+            for entry in generated.manifest["artifacts"]
+        },
+        "requirements": [
+            requirement["id"]
+            for requirement in generated.manifest["requirements"]
+        ],
+    }
+    return JobOutcome(
+        artifact_name=f"{result.caam.name}.trace_manifest.json",
+        artifact_text=generated.manifest_text,
+        payload=payload,
+    )
+
+
 def execute(
     spec: JobSpec,
     *,
@@ -276,4 +347,6 @@ def execute(
         return _run_simulate(spec, model, cancelled)
     if spec.kind == "analyze":
         return _run_analyze(spec, model, cancelled)
+    if spec.kind == "codegen":
+        return _run_codegen(spec, model, cancelled)
     return _run_explore(spec, model, cancelled, pool)

@@ -77,7 +77,7 @@ class StateError(RuntimeError):
 
 
 #: Job kinds the executor understands.
-KINDS = ("synthesize", "explore", "simulate", "analyze")
+KINDS = ("synthesize", "explore", "simulate", "analyze", "codegen")
 
 #: ``synthesize`` options a spec may forward (mirrors the keyword-only
 #: signature of :func:`repro.core.flow.synthesize`; ``behaviors`` is
@@ -114,6 +114,13 @@ ANALYZE_OPTIONS = frozenset(
     {"passes", "suppress", "require_deployment", "use_cache"}
 )
 
+#: ``codegen`` options a spec may forward.  ``languages`` selects the
+#: static-schedule backend's targets (subset of ``("c", "java")``);
+#: ``auto_allocate`` is forwarded to synthesis.  The job's artifact is
+#: the digital-thread trace manifest; the generated sources travel in
+#: the result payload.
+CODEGEN_OPTIONS = frozenset({"languages", "auto_allocate", "use_cache"})
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -143,6 +150,7 @@ class JobSpec:
             "explore": EXPLORE_OPTIONS,
             "simulate": SIMULATE_OPTIONS,
             "analyze": ANALYZE_OPTIONS,
+            "codegen": CODEGEN_OPTIONS,
         }[self.kind]
         unknown = sorted(set(self.options) - allowed)
         if unknown:

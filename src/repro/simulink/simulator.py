@@ -89,6 +89,47 @@ class UnconnectedInputError(SimulationError):
     """An input port has no driver."""
 
 
+def feedthrough_order(
+    blocks: Sequence[Block], in_edges: Mapping[Block, Mapping[int, Port]]
+) -> List[Block]:
+    """Topologically order ``blocks`` along direct-feedthrough edges.
+
+    This is *the* evaluation order of the fixed-step engines, and the
+    static-schedule code generation backend (:mod:`repro.codegen`) calls
+    it too, so generated sources fire blocks in exactly the order the
+    simulator does.  Raises :class:`AlgebraicLoopError` when a cycle of
+    feedthrough blocks admits no order (the §4.2.2 deadlock).
+    """
+    successors: Dict[Block, List[Block]] = {b: [] for b in blocks}
+    indegree: Dict[Block, int] = {b: 0 for b in blocks}
+    for dst_block, sources in in_edges.items():
+        if dst_block not in indegree:
+            continue
+        if not libblocks.is_feedthrough(dst_block):
+            continue
+        for src in sources.values():
+            if src.block not in successors:
+                continue
+            successors[src.block].append(dst_block)
+            indegree[dst_block] += 1
+    # A deque keeps the FIFO discipline of the original list.pop(0)
+    # (same deterministic order) at O(1) per dequeue instead of O(n).
+    ready = deque(b for b in blocks if indegree[b] == 0)
+    ordered: List[Block] = []
+    while ready:
+        block = ready.popleft()
+        ordered.append(block)
+        for succ in successors[block]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if len(ordered) != len(blocks):
+        remaining = [b for b in blocks if indegree[b] > 0]
+        cycle = _find_cycle(remaining, in_edges)
+        raise AlgebraicLoopError([b.path for b in cycle])
+    return ordered
+
+
 @dataclass
 class SimulationResult:
     """Traces recorded over a run.
@@ -214,34 +255,7 @@ class Simulator:
     # -- scheduling -----------------------------------------------------------
     def _schedule(self) -> List[Block]:
         """Topologically order blocks along direct-feedthrough edges."""
-        successors: Dict[Block, List[Block]] = {b: [] for b in self._blocks}
-        indegree: Dict[Block, int] = {b: 0 for b in self._blocks}
-        for dst_block, sources in self._in_edges.items():
-            if dst_block not in indegree:
-                continue
-            if not libblocks.is_feedthrough(dst_block):
-                continue
-            for src in sources.values():
-                if src.block not in successors:
-                    continue
-                successors[src.block].append(dst_block)
-                indegree[dst_block] += 1
-        # A deque keeps the FIFO discipline of the original list.pop(0)
-        # (same deterministic order) at O(1) per dequeue instead of O(n).
-        ready = deque(b for b in self._blocks if indegree[b] == 0)
-        ordered: List[Block] = []
-        while ready:
-            block = ready.popleft()
-            ordered.append(block)
-            for succ in successors[block]:
-                indegree[succ] -= 1
-                if indegree[succ] == 0:
-                    ready.append(succ)
-        if len(ordered) != len(self._blocks):
-            remaining = [b for b in self._blocks if indegree[b] > 0]
-            cycle = _find_cycle(remaining, self._in_edges)
-            raise AlgebraicLoopError([b.path for b in cycle])
-        return ordered
+        return feedthrough_order(self._blocks, self._in_edges)
 
     def _compile_plan(self) -> List[tuple]:
         """Precompute per-block execution records for the hot loop.

@@ -621,11 +621,18 @@ def build_scenario(params: ScenarioParams) -> Scenario:
 
 
 def _affine(a: float, off: float) -> Callable[[float], float]:
-    return lambda x, _a=a, _b=off: _a * x + _b
+    fn = lambda x, _a=a, _b=off: _a * x + _b  # noqa: E731
+    # Declarative mirror of the lambda for the static-schedule backend:
+    # repro.codegen lowers the S-Function to `a * x + b` (one multiply,
+    # one add — the lambda's exact IEEE operation order).
+    fn.codegen_spec = ("affine", float(a), float(off))  # type: ignore[attr-defined]
+    return fn
 
 
 def _constant(off: float) -> Callable[[], float]:
-    return lambda _b=off: float(_b)
+    fn = lambda _b=off: float(_b)  # noqa: E731
+    fn.codegen_spec = ("constant", float(off))  # type: ignore[attr-defined]
+    return fn
 
 
 def _ensure_value(

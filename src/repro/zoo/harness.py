@@ -337,6 +337,54 @@ def check_scenario(scenario: Scenario, deep: bool = False) -> ScenarioReport:
                 )
                 continue
         passed(f"fsm:{spec.name}")
+
+    # 8. Static-schedule codegen: schedule + emit + manifest verification
+    # always; compile-and-pin against the slot engine when deep and a C
+    # compiler is on PATH.  Every zoo scenario is in the backend's domain
+    # (single-rate, declarative S-Function specs), so a CodegenError here
+    # is a real regression, not a skip.
+    from ..codegen import (
+        cc_available,
+        differential_check,
+        generate,
+        verify_manifest,
+    )
+    from ..codegen.trace import flatten_artifacts
+
+    try:
+        generated = generate(
+            result.caam,
+            languages=("c", "java"),
+            uml_trace=result.mapping.context.trace,
+        )
+    except Exception as exc:  # noqa: BLE001
+        fail("codegen", f"{type(exc).__name__}: {exc}")
+        return report
+    problems = verify_manifest(
+        generated.manifest, flatten_artifacts(generated.artifacts)
+    )
+    if problems:
+        fail("codegen-manifest", "; ".join(problems[:3]))
+    else:
+        passed("codegen-manifest")
+    if deep and cc_available():
+        try:
+            diff = differential_check(
+                result.caam,
+                episodes,
+                params.steps,
+                schedule=generated.schedule,
+            )
+        except Exception as exc:  # noqa: BLE001
+            fail("codegen-differential", f"{type(exc).__name__}: {exc}")
+            return report
+        if not diff.ok:
+            fail(
+                "codegen-differential",
+                "; ".join(str(m) for m in diff.mismatches[:3]),
+            )
+        else:
+            passed("codegen-differential")
     return report
 
 

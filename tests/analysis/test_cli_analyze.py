@@ -67,6 +67,32 @@ class TestAnalyzeFormats:
         assert report["subject"] == "didactic"
         assert report["codes"] == ["RA404"]
 
+    def test_json_format_carries_sdf_info(self, crane_xmi, capsys):
+        # The structured SDF results ride in the report's "info" mapping —
+        # the schema documented in docs/analysis.md and consumed by the
+        # static-schedule backend.
+        assert main(["analyze", crane_xmi, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        (report,) = doc["reports"]
+        sdf = report["info"]["sdf"]
+        assert set(sdf) == {
+            "level",
+            "actors",
+            "channels",
+            "consistent",
+            "deadlocked",
+            "capped",
+            "repetition",
+            "buffer_bounds",
+            "blocked",
+            "conflicts",
+        }
+        assert sdf["level"] == "uml"
+        assert sdf["consistent"] and not sdf["deadlocked"]
+        assert sdf["repetition"] == {"T1": 1, "T2": 1, "T3": 1}
+        assert set(sdf["buffer_bounds"]) == {"alpha", "ref", "xc"}
+        assert all(bound >= 1 for bound in sdf["buffer_bounds"].values())
+
     def test_sarif_format(self, crane_xmi, didactic_xmi, capsys):
         code = main(
             ["analyze", crane_xmi, didactic_xmi, "--format", "sarif"]

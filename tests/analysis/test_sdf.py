@@ -1,5 +1,8 @@
 """Unit tests for the SDF solver (repro.analysis.sdf)."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.analysis import (
     SdfEdge,
     SdfGraph,
@@ -95,6 +98,86 @@ class TestScheduleBounds:
         analysis = schedule_bounds(graph, {"A": 1, "B": 2}, max_firings=2)
         assert analysis.capped
         assert analysis.buffer_bounds == {}
+
+    def test_zero_rate_edge_is_a_conflict_not_a_crash(self):
+        # An SDF edge moves a positive token count per firing; a zero
+        # rate used to divide by zero in the balance equations.
+        for produce, consume in ((0, 1), (1, 0), (0, 0)):
+            graph = _graph(
+                SdfEdge("A", "B", "c", produce=produce, consume=consume)
+            )
+            repetition, conflicts = repetition_vector(graph)
+            assert repetition == {}
+            assert [e.channel for e in conflicts] == ["c"]
+            analysis = analyze_graph(graph)
+            assert not analysis.consistent
+            assert analysis.buffer_bounds == {}
+
+    def test_negative_delay_is_a_conflict(self):
+        graph = _graph(SdfEdge("A", "B", "c", delay=-1))
+        repetition, conflicts = repetition_vector(graph)
+        assert repetition == {} and len(conflicts) == 1
+
+    def test_self_loop_with_enough_initial_tokens_fires(self):
+        # A consistent self-loop (produce == consume) is live exactly
+        # when its initial tokens cover one firing's consumption; the
+        # bound is the initial marking (net token change is zero).
+        graph = _graph(
+            SdfEdge("A", "A", "self", produce=2, consume=2, delay=2)
+        )
+        analysis = analyze_graph(graph)
+        assert analysis.consistent and not analysis.deadlocked
+        assert analysis.repetition == {"A": 1}
+        assert analysis.buffer_bounds == {"self": 2}
+
+    def test_self_loop_starved_of_initial_tokens_deadlocks(self):
+        graph = _graph(
+            SdfEdge("A", "A", "self", produce=2, consume=2, delay=1)
+        )
+        analysis = analyze_graph(graph)
+        assert analysis.consistent and analysis.deadlocked
+        assert analysis.blocked == ["A"]
+
+    def test_rate_inconsistent_self_loop_is_a_conflict(self):
+        graph = _graph(SdfEdge("A", "A", "self", produce=1, consume=2))
+        repetition, conflicts = repetition_vector(graph)
+        assert repetition == {} and len(conflicts) == 1
+
+    def test_repetition_overflowing_small_ints_still_exact_and_capped(self):
+        # A 10-deep 10:1 downsampling... upsampling chain drives the last
+        # actor's repetition to 10^10 (past any 32-bit int).  The solver
+        # works in exact fractions, so the vector is still right, and the
+        # PASS simulation refuses to run it (capped, no bounds).
+        edges = [
+            SdfEdge(f"A{i}", f"A{i + 1}", f"c{i}", produce=10, consume=1)
+            for i in range(10)
+        ]
+        analysis = analyze_graph(_graph(*edges))
+        assert analysis.consistent
+        assert analysis.repetition["A10"] == 10**10
+        assert analysis.capped
+        assert analysis.buffer_bounds == {}
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        produce=st.integers(min_value=1, max_value=12),
+        consume=st.integers(min_value=1, max_value=12),
+        delay=st.integers(min_value=0, max_value=12),
+    )
+    def test_bound_covers_one_firing_each_way(self, produce, consume, delay):
+        # Property: for any live single-edge graph the computed FIFO
+        # capacity accommodates at least one producer burst and one
+        # consumer demand: bound >= max(produce, consume).
+        graph = _graph(
+            SdfEdge("A", "B", "c", produce=produce, consume=consume, delay=delay)
+        )
+        analysis = analyze_graph(graph)
+        assert analysis.consistent
+        assert not analysis.deadlocked
+        bound = analysis.buffer_bounds["c"]
+        assert bound >= max(produce, consume)
+        # and the bound is never looser than burst + initial marking
+        assert bound <= produce * analysis.repetition["A"] + delay
 
     def test_to_dict_is_json_shaped(self):
         doc = analyze_graph(

@@ -30,9 +30,11 @@ class TestFsmBackend:
     def test_c_generation(self):
         backend = FsmBackend("c")
         artifacts = backend.generate(_model_with_machine())
-        assert list(artifacts) == ["mode_switch.c"]
+        assert list(artifacts) == ["mode_switch.h", "mode_switch.c"]
         assert "STATE_OFF" in artifacts["mode_switch.c"]
         assert "EVENT_POWER" in artifacts["mode_switch.c"]
+        assert "#ifndef REPRO_MODE_SWITCH_H" in artifacts["mode_switch.h"]
+        assert "void mode_switch_init" in artifacts["mode_switch.h"]
 
     def test_java_generation(self):
         backend = FsmBackend("java")
@@ -58,4 +60,33 @@ class TestFsmBackend:
         region.add_transition(Transition(init, only))
         model.add_state_machine(machine2)
         artifacts = FsmBackend().generate(model)
-        assert set(artifacts) == {"mode_switch.c", "second.c"}
+        assert set(artifacts) == {
+            "mode_switch.c",
+            "mode_switch.h",
+            "second.c",
+            "second.h",
+        }
+
+    def test_free_form_machine_name_sanitized(self):
+        # UML machine names are free-form; the emitted symbol family and
+        # filenames must still be valid C/Java identifiers.
+        b = ModelBuilder("ctrl")
+        machine = StateMachine("lift controller-2")
+        region = machine.main_region()
+        init = region.add_vertex(Pseudostate())
+        idle = region.add_vertex(State("idle"))
+        region.add_transition(Transition(init, idle))
+        b.model.add_state_machine(machine)
+        model = b.build()
+
+        artifacts = FsmBackend("c").generate(model)
+        assert set(artifacts) == {"lift_controller_2.c", "lift_controller_2.h"}
+        assert "lift_controller_2_state_t" in artifacts["lift_controller_2.c"]
+        assert (
+            "#ifndef REPRO_LIFT_CONTROLLER_2_H"
+            in artifacts["lift_controller_2.h"]
+        )
+
+        java = FsmBackend("java").generate(model)
+        assert list(java) == ["LiftController2.java"]
+        assert "public class LiftController2" in java["LiftController2.java"]

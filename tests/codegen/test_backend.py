@@ -1,0 +1,65 @@
+"""Tests for the backend front door (repro.codegen.backend) and its obs."""
+
+import pytest
+
+from repro import obs
+from repro.codegen import CodegenError, generate, generate_from_model
+
+pytestmark = pytest.mark.codegen
+
+
+class TestGenerate:
+    def test_default_language_is_c(self, crane_result):
+        generated = generate(crane_result.caam)
+        assert sorted(generated.artifacts) == ["c"]
+        assert sorted(generated.artifacts["c"]) == ["crane.c", "crane.h"]
+
+    def test_unknown_language_rejected(self, crane_result):
+        with pytest.raises(CodegenError, match="unsupported language"):
+            generate(crane_result.caam, languages=("c", "cobol"))
+
+    def test_empty_languages_rejected(self, crane_result):
+        with pytest.raises(CodegenError, match="no languages"):
+            generate(crane_result.caam, languages=())
+
+    def test_files_merge_sources_and_manifest(self, crane_result):
+        generated = generate(crane_result.caam, languages=("c", "java"))
+        assert set(generated.files) == {
+            "crane.c",
+            "crane.h",
+            "CraneSchedule.java",
+            "trace_manifest.json",
+        }
+        assert generated.files["trace_manifest.json"] == generated.manifest_text
+
+    def test_generate_from_model_carries_uml_provenance(self, crane_model):
+        from repro.apps import crane
+
+        generated = generate_from_model(
+            crane_model, languages=("c",), behaviors=crane.behaviors()
+        )
+        buffers = [
+            r for r in generated.manifest["records"] if r["kind"] == "buffer"
+        ]
+        assert any(record["uml_elements"] for record in buffers)
+
+
+class TestObservability:
+    def test_spans_and_counters(self, crane_result):
+        recorder = obs.Recorder()
+        with obs.use(recorder):
+            generate(crane_result.caam, languages=("c", "java"))
+        names = [span.name for span in recorder.spans]
+        assert "codegen.schedule" in names
+        assert "codegen.emit.c" in names
+        assert "codegen.emit.java" in names
+        (schedule_span,) = [
+            s for s in recorder.spans if s.name == "codegen.schedule"
+        ]
+        assert schedule_span.attrs["pes"] == 3
+        registry = recorder.metrics
+        assert registry.counter("codegen.models") == 1
+        assert registry.counter("codegen.schedules") == 1
+        assert registry.counter("codegen.emit.c.files") == 2
+        assert registry.counter("codegen.emit.java.files") == 1
+        assert registry.counter("codegen.artifacts") == 3

@@ -1,0 +1,83 @@
+"""Unit tests for the C and Java emitters (repro.codegen.cemit/javaemit)."""
+
+import pytest
+
+from repro.codegen import build_schedule
+from repro.codegen.cemit import c_double, generate_c
+from repro.codegen.javaemit import class_name_for, generate_java
+
+pytestmark = pytest.mark.codegen
+
+
+@pytest.fixture(scope="module")
+def crane_schedule(crane_result):
+    return build_schedule(crane_result.caam)
+
+
+class TestCEmission:
+    def test_artifact_names(self, crane_schedule):
+        files = generate_c(crane_schedule)
+        assert sorted(files) == ["crane.c", "crane.h"]
+
+    def test_header_is_guarded_and_declares_the_api(self, crane_schedule):
+        header = generate_c(crane_schedule)["crane.h"]
+        assert "#ifndef REPRO_CRANE_H" in header
+        assert "#define CRANE_N_INPUTS 3" in header
+        assert "#define CRANE_N_OUTPUTS 1" in header
+        assert "void crane_init(void);" in header
+        assert "void crane_step(" in header
+
+    def test_no_dynamic_allocation_or_scheduler(self, crane_schedule):
+        source = generate_c(crane_schedule)["crane.c"]
+        assert "malloc(" not in source
+        assert "pthread" not in source
+        # ring buffers are statically sized arrays
+        assert "static double rb0[" in source
+
+    def test_floats_are_hex_exact(self, crane_schedule):
+        source = generate_c(crane_schedule)["crane.c"]
+        # At least one literal in C99 hex-float form (bit-exact round trip).
+        assert "0x1" in source
+
+    def test_embedded_harness_is_opt_in(self, crane_schedule):
+        source = generate_c(crane_schedule)["crane.c"]
+        assert "#ifdef REPRO_CODEGEN_MAIN" in source
+        assert source.count("{") == source.count("}")
+
+    def test_emission_is_deterministic(self, crane_schedule):
+        assert generate_c(crane_schedule) == generate_c(crane_schedule)
+
+
+class TestJavaEmission:
+    def test_class_name(self, crane_schedule):
+        assert class_name_for(crane_schedule) == "CraneSchedule"
+        files = generate_java(crane_schedule)
+        assert list(files) == ["CraneSchedule.java"]
+
+    def test_class_shape(self, crane_schedule):
+        source = generate_java(crane_schedule)["CraneSchedule.java"]
+        assert "public final class CraneSchedule" in source
+        assert "public static final int N_INPUTS = 3;" in source
+        assert "public static final int N_OUTPUTS = 1;" in source
+        assert "public void step(double[] inputs, double[] outputs)" in source
+        assert source.count("{") == source.count("}")
+
+    def test_ring_buffers_are_fixed_arrays(self, crane_schedule):
+        source = generate_java(crane_schedule)["CraneSchedule.java"]
+        assert "private final double[] rb0 = new double[" in source
+
+    def test_emission_is_deterministic(self, crane_schedule):
+        assert generate_java(crane_schedule) == generate_java(crane_schedule)
+
+
+class TestCDouble:
+    def test_special_values(self):
+        assert c_double(float("nan")) == "NAN"
+        assert c_double(float("inf")) == "INFINITY"
+        assert c_double(float("-inf")) == "-INFINITY"
+
+    def test_zero_and_exact_hex(self):
+        assert c_double(0.0) == "0x0.0p+0"
+        value = 0.1
+        assert c_double(value) == float.hex(value)
+        assert float.fromhex(c_double(value)) == value

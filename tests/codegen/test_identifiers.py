@@ -1,0 +1,66 @@
+"""Unit tests for the shared identifier sanitizer (repro.codegen.identifiers)."""
+
+from repro.codegen import SymbolTable, camel, header_guard, sanitize
+
+
+class TestSanitize:
+    def test_valid_identifier_passes_through(self):
+        assert sanitize("crane_ctrl2") == "crane_ctrl2"
+
+    def test_spaces_and_hyphens_collapse_to_underscores(self):
+        assert sanitize("lift controller-2") == "lift_controller_2"
+
+    def test_runs_of_invalid_characters_collapse_to_one(self):
+        assert sanitize("a -- b") == "a_b"
+
+    def test_leading_digit_gets_underscore_prefix(self):
+        assert sanitize("2fast") == "_2fast"
+
+    def test_empty_name_falls_back(self):
+        assert sanitize("   ") == "id"
+        assert sanitize("!!!", fallback="pe") == "pe"
+
+    def test_reserved_words_get_suffix(self):
+        assert sanitize("double") == "double_"
+        assert sanitize("class") == "class_"
+        assert sanitize("Switch") == "Switch_"  # case-insensitive
+
+    def test_deterministic(self):
+        assert sanitize("a b-c") == sanitize("a b-c")
+
+
+class TestCamel:
+    def test_snake_to_camel(self):
+        assert camel("mode_switch") == "ModeSwitch"
+
+    def test_free_form(self):
+        assert camel("lift-ctrl 2") == "LiftCtrl2"
+
+    def test_empty_falls_back(self):
+        assert camel("!!!") == "Model"
+
+    def test_leading_digit_prefixed(self):
+        assert camel("2nd stage") == "M2ndStage"
+
+
+class TestHeaderGuard:
+    def test_guard_macro_shape(self):
+        assert header_guard("crane") == "REPRO_CRANE_H"
+        assert header_guard("lift controller-2") == "REPRO_LIFT_CONTROLLER_2_H"
+
+
+class TestSymbolTable:
+    def test_same_name_same_symbol(self):
+        table = SymbolTable("v_")
+        assert table.symbol("x") == table.symbol("x") == "v_x"
+
+    def test_colliding_names_get_stable_suffixes(self):
+        table = SymbolTable()
+        first = table.symbol("a b")
+        second = table.symbol("a-b")
+        third = table.symbol("a.b")
+        assert first == "a_b"
+        assert second == "a_b_2"
+        assert third == "a_b_3"
+        # stable on re-query
+        assert table.symbol("a-b") == "a_b_2"

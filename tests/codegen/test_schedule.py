@@ -1,0 +1,65 @@
+"""Unit tests for PASS derivation (repro.codegen.schedule)."""
+
+import pytest
+
+from repro.codegen import CodegenError, build_schedule
+
+pytestmark = pytest.mark.codegen
+
+
+class TestCraneSchedule:
+    def test_one_pe_per_thread(self, crane_result):
+        schedule = build_schedule(crane_result.caam)
+        assert sorted(pe.name for pe in schedule.pes) == ["T1", "T2", "T3"]
+
+    def test_firing_order_is_a_pass(self, crane_result):
+        # Single-rate graph: every PE fires exactly once per period, and
+        # producers fire before their consumers (T3 reads all channels).
+        schedule = build_schedule(crane_result.caam)
+        order = schedule.firing_order
+        assert sorted(order) == ["T1", "T2", "T3"]
+        assert order.index("T3") > order.index("T1")
+        assert order.index("T3") > order.index("T2")
+
+    def test_buffers_sized_from_analyzer_bounds(self, crane_result):
+        schedule = build_schedule(crane_result.caam)
+        bounds = schedule.analysis.buffer_bounds
+        assert bounds  # the sdf pass produced real bounds
+        for buffer in schedule.buffers:
+            assert buffer.capacity >= 1
+            assert buffer.capacity >= buffer.delay
+
+    def test_stats_document(self, crane_result):
+        stats = build_schedule(crane_result.caam).stats()
+        assert stats == {
+            "pes": 3,
+            "blocks": 15,
+            "buffers": 3,
+            "initial_tokens": 0,
+            "inports": 3,
+            "outports": 1,
+        }
+
+    def test_schedule_is_deterministic(self, crane_result):
+        first = build_schedule(crane_result.caam)
+        second = build_schedule(crane_result.caam)
+        assert first.firing_order == second.firing_order
+        assert [b.capacity for b in first.buffers] == [
+            b.capacity for b in second.buffers
+        ]
+
+
+class TestRejections:
+    def test_opaque_callback_without_spec_rejected(self):
+        # An S-Function carrying only a Python callback cannot be lowered
+        # to static C/Java; the schedule builder must say which block.
+        from repro.apps import crane
+        from repro.core import synthesize
+
+        behaviors = crane.behaviors()
+        for callback in behaviors.values():
+            if hasattr(callback, "codegen_spec"):
+                del callback.codegen_spec
+        result = synthesize(crane.build_model(), behaviors=behaviors)
+        with pytest.raises(CodegenError, match="codegen_spec"):
+            build_schedule(result.caam)

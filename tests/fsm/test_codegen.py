@@ -4,7 +4,14 @@ import re
 
 import pytest
 
-from repro.fsm import Fsm, FsmError, generate_c, generate_java
+from repro.fsm import (
+    Fsm,
+    FsmError,
+    generate_artifacts,
+    generate_c,
+    generate_header,
+    generate_java,
+)
 
 
 def _machine():
@@ -72,6 +79,67 @@ class TestJavaGeneration:
     def test_balanced_braces(self):
         source = generate_java(_machine())
         assert source.count("{") == source.count("}")
+
+
+class TestHeaderGeneration:
+    def test_header_is_include_guarded(self):
+        header = generate_header(_machine())
+        assert header.count("REPRO_DOOR_H") == 3  # ifndef, define, endif
+        assert header.index("#ifndef REPRO_DOOR_H") < header.index(
+            "#define REPRO_DOOR_H"
+        )
+        assert header.rstrip().endswith("#endif /* REPRO_DOOR_H */")
+
+    def test_header_declares_types_and_prototypes(self):
+        header = generate_header(_machine())
+        assert "door_state_t" in header
+        assert "door_event_t" in header
+        assert "double cycles;" in header
+        assert "void door_init(door_t *fsm);" in header
+        assert "void door_dispatch(door_t *fsm, door_event_t event);" in header
+
+
+class TestIdentifierSanitization:
+    def _spaced_machine(self):
+        fsm = Fsm("lift controller-2")
+        fsm.add_state("idle", initial=True)
+        fsm.add_state("moving")
+        fsm.add_transition("idle", "moving", event="call")
+        return fsm
+
+    def test_machine_name_with_spaces_and_hyphens(self):
+        # Machine names are free-form UML strings; the symbol prefix is
+        # mangled through repro.codegen.identifiers.sanitize.
+        source = generate_c(self._spaced_machine())
+        assert "lift_controller_2_state_t" in source
+        assert "void lift_controller_2_init" in source
+        assert "lift controller" not in source
+
+    def test_header_guard_from_free_form_name(self):
+        header = generate_header(self._spaced_machine())
+        assert "#ifndef REPRO_LIFT_CONTROLLER_2_H" in header
+
+    def test_java_class_name_from_free_form_name(self):
+        source = generate_java(self._spaced_machine())
+        assert "public class LiftController2" in source
+
+    def test_artifacts_share_the_sanitized_stem(self):
+        fsm = self._spaced_machine()
+        c_files = generate_artifacts(fsm, "c")
+        assert set(c_files) == {"lift_controller_2.c", "lift_controller_2.h"}
+        assert '#include' in c_files["lift_controller_2.c"]
+        java_files = generate_artifacts(fsm, "java")
+        assert list(java_files) == ["LiftController2.java"]
+        with pytest.raises(FsmError, match="unsupported"):
+            generate_artifacts(fsm, "cobol")
+
+    def test_state_names_still_must_be_identifiers(self):
+        # States/variables/events appear verbatim inside guard and action
+        # expressions — they cannot be silently rewritten.
+        fsm = Fsm("ok name")
+        fsm.add_state("has space", initial=True)
+        with pytest.raises(FsmError, match="identifier"):
+            generate_c(fsm)
 
 
 class TestErrors:

@@ -1,5 +1,6 @@
 """Unit tests for the command-line interface (repro.cli)."""
 
+import json
 import os
 
 import pytest
@@ -181,6 +182,56 @@ class TestCodegen:
             == 0
         )
         assert os.listdir(out)
+
+    def test_sdf_backend_writes_sources_and_manifest(
+        self, crane_xmi, tmp_path, capsys
+    ):
+        out = tmp_path / "sdf"
+        code = main(
+            [
+                "codegen",
+                crane_xmi,
+                "--backend",
+                "sdf",
+                "--lang",
+                "c",
+                "--lang",
+                "java",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert sorted(os.listdir(out)) == [
+            "CraneSchedule.java",
+            "crane.c",
+            "crane.h",
+            "trace_manifest.json",
+        ]
+        output = capsys.readouterr().out
+        assert "schedule: 3 PE(s)" in output
+        assert "firing order T1 -> T2 -> T3" in output
+        manifest = json.loads((out / "trace_manifest.json").read_text())
+        assert manifest["schema"] == "repro.codegen.trace/1"
+
+    def test_sdf_backend_separate_manifest_path(self, crane_xmi, tmp_path):
+        out = tmp_path / "src"
+        manifest = tmp_path / "thread.json"
+        code = main(
+            [
+                "codegen",
+                crane_xmi,
+                "--backend",
+                "sdf",
+                "-o",
+                str(out),
+                "--trace-manifest",
+                str(manifest),
+            ]
+        )
+        assert code == 0
+        assert sorted(os.listdir(out)) == ["crane.c", "crane.h"]
+        assert json.loads(manifest.read_text())["model"] == "crane"
 
     def test_unknown_backend(self, crane_xmi, tmp_path, capsys):
         assert (

@@ -361,6 +361,64 @@ def validate_bench_analysis(document: Dict[str, Any]) -> None:
             )
 
 
+#: Fields the BENCH_obs.json "codegen" section must carry.
+BENCH_CODEGEN_FIELDS = (
+    "corpus_seed",
+    "corpus_models",
+    "schedule_s",
+    "emit_s",
+    "models_per_sec_scheduled",
+    "models_per_sec_emitted",
+    "languages",
+    "buffers",
+    "manifest_records",
+    "manifests_verified",
+    "differential",
+)
+
+
+def validate_bench_codegen(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless BENCH_obs.json carries a valid "codegen".
+
+    The section reports static-schedule backend throughput (models/sec
+    scheduled and emitted over the fixed-seed corpus), asserts every
+    generated manifest hash-verified, and — when a C compiler was
+    available — that every differential check was bit-identical.
+    """
+    section = document.get("codegen")
+    if not isinstance(section, dict):
+        raise ValueError("BENCH document lacks a 'codegen' object")
+    for field in BENCH_CODEGEN_FIELDS:
+        if field not in section:
+            raise ValueError(f"'codegen' section lacks {field!r}")
+    if section["corpus_models"] <= 0:
+        raise ValueError("'codegen.corpus_models' must be positive")
+    for rate in ("models_per_sec_scheduled", "models_per_sec_emitted"):
+        value = section[rate]
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"'codegen.{rate}' must be a positive number")
+    if not section["manifests_verified"]:
+        raise ValueError(
+            "'codegen.manifests_verified' is false: some generated "
+            "manifest failed hash verification"
+        )
+    languages = section["languages"]
+    if not isinstance(languages, list) or "c" not in languages:
+        raise ValueError("'codegen.languages' must be a list containing 'c'")
+    differential = section["differential"]
+    if not isinstance(differential, dict):
+        raise ValueError("'codegen.differential' must be an object")
+    for field in ("checked", "bit_identical", "compiler"):
+        if field not in differential:
+            raise ValueError(f"'codegen.differential' lacks {field!r}")
+    checked = differential["checked"]
+    if checked and differential["bit_identical"] != checked:
+        raise ValueError(
+            f"'codegen.differential': only {differential['bit_identical']} "
+            f"of {checked} checked models were bit-identical"
+        )
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -409,6 +467,8 @@ def main(argv=None) -> int:
             print(f"{args.bench}: valid BENCH zoo section")
             validate_bench_analysis(bench)
             print(f"{args.bench}: valid BENCH analysis section")
+            validate_bench_codegen(bench)
+            print(f"{args.bench}: valid BENCH codegen section")
     except (ValueError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

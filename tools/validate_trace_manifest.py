@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate a digital-thread traceability manifest against its artifacts.
+
+Usage::
+
+    python tools/validate_trace_manifest.py gen/trace_manifest.json
+    python tools/validate_trace_manifest.py gen/manifest.json --dir gen/
+
+Re-verifies everything ``repro.codegen.trace.verify_manifest`` checks,
+standalone (no repo import needed so release artifacts can be audited
+anywhere): the schema tag, that every listed artifact exists next to the
+manifest (or under ``--dir``) with a matching SHA-256 and byte size, that
+every traceability record points only at listed artifacts, and that
+every requirement targets a declared root Outport.  Exits non-zero with
+a message on the first violation; CI's ``codegen-smoke`` job runs this
+after a real ``repro codegen --backend sdf`` invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from typing import Any, Dict, List
+
+#: Must match repro.codegen.trace.MANIFEST_SCHEMA.
+MANIFEST_SCHEMA = "repro.codegen.trace/1"
+
+REQUIRED_KEYS = (
+    "schema",
+    "model",
+    "generator",
+    "languages",
+    "schedule",
+    "artifacts",
+    "records",
+    "requirements",
+)
+
+ARTIFACT_FIELDS = ("file", "language", "sha256", "bytes")
+
+RECORD_KINDS = ("entry", "function", "buffer")
+
+
+def validate_manifest(
+    manifest: Dict[str, Any], directory: str
+) -> List[str]:
+    """Return a list of problems (empty when the manifest verifies)."""
+    problems: List[str] = []
+    for key in REQUIRED_KEYS:
+        if key not in manifest:
+            problems.append(f"manifest missing key {key!r}")
+    if problems:
+        return problems
+    if manifest["schema"] != MANIFEST_SCHEMA:
+        problems.append(
+            f"unknown schema {manifest['schema']!r} "
+            f"(expected {MANIFEST_SCHEMA!r})"
+        )
+    artifacts = manifest["artifacts"]
+    if not isinstance(artifacts, list) or not artifacts:
+        problems.append("'artifacts' must be a non-empty array")
+        return problems
+    listed = set()
+    for index, entry in enumerate(artifacts):
+        if not isinstance(entry, dict):
+            problems.append(f"artifact #{index} is not an object")
+            continue
+        for field in ARTIFACT_FIELDS:
+            if field not in entry:
+                problems.append(f"artifact #{index} lacks {field!r}")
+        filename = entry.get("file")
+        if not filename:
+            continue
+        listed.add(filename)
+        path = os.path.join(directory, filename)
+        if not os.path.exists(path):
+            problems.append(f"artifact {filename!r} not found in {directory}")
+            continue
+        with open(path, "rb") as handle:
+            content = handle.read()
+        digest = hashlib.sha256(content).hexdigest()
+        if digest != entry.get("sha256"):
+            problems.append(
+                f"artifact {filename!r} hash mismatch: manifest says "
+                f"{entry.get('sha256')!r}, file is {digest!r}"
+            )
+        if len(content) != entry.get("bytes"):
+            problems.append(
+                f"artifact {filename!r} size mismatch: manifest says "
+                f"{entry.get('bytes')}, file is {len(content)} bytes"
+            )
+    records = manifest["records"]
+    if not isinstance(records, list) or not records:
+        problems.append("'records' must be a non-empty array")
+        return problems
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            problems.append(f"record #{index} is not an object")
+            continue
+        if record.get("kind") not in RECORD_KINDS:
+            problems.append(
+                f"record #{index}: unknown kind {record.get('kind')!r}"
+            )
+        if "symbol" not in record or "caam_blocks" not in record:
+            problems.append(
+                f"record #{index} lacks 'symbol' or 'caam_blocks'"
+            )
+        for filename in record.get("artifacts", []):
+            if filename not in listed:
+                problems.append(
+                    f"record #{index} ({record.get('symbol')}) points at "
+                    f"unlisted artifact {filename!r}"
+                )
+    outports = set(manifest["schedule"].get("outports", []))
+    for requirement in manifest["requirements"]:
+        if requirement.get("outport") not in outports:
+            problems.append(
+                f"requirement {requirement.get('id')} targets unknown "
+                f"outport {requirement.get('outport')!r}"
+            )
+        if "test_stub" not in requirement:
+            problems.append(
+                f"requirement {requirement.get('id')} lacks 'test_stub'"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("manifest", help="trace_manifest.json to validate")
+    parser.add_argument(
+        "--dir",
+        help="directory holding the artifacts (default: manifest's own)",
+    )
+    args = parser.parse_args(argv)
+    directory = args.dir or os.path.dirname(os.path.abspath(args.manifest))
+    try:
+        with open(args.manifest, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_manifest(manifest, directory)
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(
+        f"{args.manifest}: valid manifest for model "
+        f"{manifest['model']!r} — {len(manifest['artifacts'])} artifact(s) "
+        f"hash-verified, {len(manifest['records'])} record(s), "
+        f"{len(manifest['requirements'])} requirement(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
