@@ -219,6 +219,86 @@ def _measure_simkernel() -> dict:
     }
 
 
+#: Batch sizes for the looped-vs-batched `run_many` comparison.
+SIMBATCH_SIZES = (1, 32, 512)
+
+#: Steps per episode in the simbatch sweep (smaller than SIM_STEPS so the
+#: 512-episode looped leg stays affordable on CI).
+SIMBATCH_STEPS = 50
+
+
+def _measure_simbatch() -> dict:
+    """Looped vs batched ``run_many`` steps/sec on the crane CAAM.
+
+    The looped leg is the scalar slot engine with auto-dispatch disabled
+    (threshold pushed out of reach); the batched leg is the vectorized
+    ``batch`` engine.  Outputs are asserted byte-identical before any
+    timing is trusted — the batch engine's contract is bit-identity, so a
+    divergence voids the measurement.  Without NumPy the section records
+    ``available: false`` and no rates.
+    """
+    from repro.apps import crane
+    from repro.core import synthesize
+    from repro.simulink import (
+        ENGINE_BATCH,
+        ENGINE_SLOTS,
+        Simulator,
+        numpy_available,
+    )
+    from repro.simulink.batch import BATCH_THRESHOLD_ENV
+
+    if not numpy_available():
+        return {
+            "available": False,
+            "sim_steps": SIMBATCH_STEPS,
+            "batch_sizes": {},
+        }
+
+    caam = synthesize(crane.build_model(), behaviors=crane.behaviors()).caam
+
+    def best_of_three(simulator, stimuli):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            episodes = simulator.run_many(SIMBATCH_STEPS, stimuli)
+            best = min(best, time.perf_counter() - start)
+        return (SIMBATCH_STEPS * len(stimuli)) / best, episodes
+
+    sweep = {}
+    saved = os.environ.get(BATCH_THRESHOLD_ENV)
+    try:
+        for size in SIMBATCH_SIZES:
+            stimuli = [
+                {"In3": [5.0] * SIMBATCH_STEPS, "In1": [0.01 * k] * (k % 60)}
+                for k in range(size)
+            ]
+            os.environ[BATCH_THRESHOLD_ENV] = str(10**9)
+            looped_rate, looped = best_of_three(
+                Simulator(caam, engine=ENGINE_SLOTS), stimuli
+            )
+            os.environ.pop(BATCH_THRESHOLD_ENV, None)
+            batched_rate, batched = best_of_three(
+                Simulator(caam, engine=ENGINE_BATCH), stimuli
+            )
+            sweep[str(size)] = {
+                "looped_steps_per_sec": looped_rate,
+                "batched_steps_per_sec": batched_rate,
+                "speedup": batched_rate / looped_rate,
+                "outputs_identical": [r.to_csv() for r in batched]
+                == [r.to_csv() for r in looped],
+            }
+    finally:
+        if saved is None:
+            os.environ.pop(BATCH_THRESHOLD_ENV, None)
+        else:
+            os.environ[BATCH_THRESHOLD_ENV] = saved
+    return {
+        "available": True,
+        "sim_steps": SIMBATCH_STEPS,
+        "batch_sizes": sweep,
+    }
+
+
 #: Fixed-seed corpus the "synthesize the zoo" benchmark runs.
 ZOO_SEED = 42
 ZOO_COUNT = 60
@@ -569,6 +649,7 @@ def pytest_sessionfinish(session, exitstatus):
         "analysis": analysis_stats,
         "codegen": codegen_stats,
         "simkernel": _measure_simkernel(),
+        "simbatch": _measure_simbatch(),
         "metrics": metrics.to_dict(),
     }
     path = os.path.join(str(session.config.rootpath), "BENCH_obs.json")

@@ -117,6 +117,60 @@ def test_slot_engine_not_slower_than_reference(crane_caam, paper_report):
     )
 
 
+def test_batch_engine_10x_looped_at_512(crane_caam, paper_report):
+    """The perf-smoke gate for the vectorized batch engine.
+
+    At batch 512 the ``(episodes, slots)`` ndarray kernels must deliver at
+    least 10× the looped scalar engine's aggregate steps/sec — the lever
+    the DSE/zoo sweeps rely on — and the episodes must stay byte-identical
+    (exactness first, speed second).
+    """
+    pytest.importorskip("numpy")
+    import os
+
+    from repro.simulink import ENGINE_BATCH
+    from repro.simulink.batch import BATCH_THRESHOLD_ENV
+
+    steps, size = 50, 512
+    stimuli = [{"In3": [5.0] * steps} for _ in range(size)]
+
+    def steps_per_sec(engine, env=None):
+        saved = os.environ.get(BATCH_THRESHOLD_ENV)
+        if env is not None:
+            os.environ[BATCH_THRESHOLD_ENV] = env
+        try:
+            simulator = Simulator(crane_caam, engine=engine)
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                episodes = simulator.run_many(steps, stimuli)
+                best = min(best, time.perf_counter() - start)
+        finally:
+            if saved is None:
+                os.environ.pop(BATCH_THRESHOLD_ENV, None)
+            else:
+                os.environ[BATCH_THRESHOLD_ENV] = saved
+        return (steps * size) / best, episodes
+
+    looped_sps, looped = steps_per_sec(ENGINE_SLOTS, env=str(10**9))
+    batched_sps, batched = steps_per_sec(ENGINE_BATCH)
+    assert [r.to_csv() for r in batched] == [r.to_csv() for r in looped]
+    speedup = batched_sps / looped_sps
+    assert speedup >= 10.0, (
+        f"batch engine below the 10x gate at batch {size}: "
+        f"{batched_sps:,.0f} steps/s vs looped {looped_sps:,.0f} "
+        f"({speedup:.1f}x)"
+    )
+    paper_report(
+        f"batched vs looped run_many (crane, {size}x{steps} steps)",
+        [
+            ("looped steps/s", "n/a", f"{looped_sps:,.0f}"),
+            ("batched steps/s", "n/a", f"{batched_sps:,.0f}"),
+            ("speedup", "n/a", f"{speedup:.1f}x"),
+        ],
+    )
+
+
 def test_run_many_amortizes_compilation(benchmark, crane_caam):
     simulator = Simulator(crane_caam, engine=ENGINE_SLOTS)
     stimuli = [{"In3": [5.0] * 100} for _ in range(5)]

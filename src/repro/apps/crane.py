@@ -141,13 +141,17 @@ def behaviors() -> Dict[str, Callable]:
     """
 
     def jobctrl(cmd: float) -> float:
-        return cmd
+        return 1.0 * cmd + 0.0
 
     def estimate(alpha: float) -> float:
-        return alpha  # unit sway estimator
+        return 1.0 * alpha + 0.0  # unit sway estimator
 
-    # Declarative mirrors for the static-schedule backend: both callbacks
-    # are the identity, i.e. the affine map 1.0 * x + 0.0.
+    # Declarative mirrors for the static-schedule backend and the batch
+    # engine: the callbacks compute the affine map 1.0 * x + 0.0 with the
+    # very IEEE operations the spec declares, so every backend (scalar
+    # simulation, vectorized batch, generated C) stays bit-identical even
+    # for -0.0 inputs (1.0 * -0.0 + 0.0 is +0.0, which a bare identity
+    # would not reproduce).
     jobctrl.codegen_spec = ("affine", 1.0, 0.0)  # type: ignore[attr-defined]
     estimate.codegen_spec = ("affine", 1.0, 0.0)  # type: ignore[attr-defined]
     return {"jobctrl": jobctrl, "estimate": estimate}

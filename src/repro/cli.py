@@ -910,10 +910,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="write the traces to a CSV file")
     p.add_argument(
         "--engine",
-        choices=("slots", "reference"),
+        choices=("slots", "batch", "reference"),
         default=None,
         help=(
-            "execution engine: compiled slot kernels (default) or the "
+            "execution engine: compiled slot kernels (default), the "
+            "NumPy-vectorized batch engine (requires numpy), or the "
             "reference interpreter (default: $REPRO_SIM_ENGINE, else slots)"
         ),
     )

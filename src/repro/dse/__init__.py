@@ -10,6 +10,7 @@ from .estimate import (
     EstimationError,
     default_platform,
     estimate_allocation,
+    estimate_allocations,
 )
 from .explore import (
     Candidate,
@@ -29,6 +30,7 @@ __all__ = [
     "PartitionError",
     "default_platform",
     "estimate_allocation",
+    "estimate_allocations",
     "exhaustive_explore",
     "explore",
     "greedy_explore",

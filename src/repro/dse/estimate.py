@@ -32,6 +32,11 @@ from ..mpsoc.platform import Bus, Platform, Processor
 from ..obs import recorder as _obs
 from ..uml.deployment import DeploymentPlan
 
+try:  # NumPy is optional: the scalar estimator never needs it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
 
 class EstimationError(Exception):
     """Raised on inconsistent estimation inputs."""
@@ -243,6 +248,180 @@ def estimate_allocation(
         ),
         interval_cycles=max(busy.values(), default=0.0),
     )
+
+
+def estimate_allocations(
+    graph: TaskGraph,
+    plans: List[DeploymentPlan],
+    platform: Optional[Platform] = None,
+    *,
+    cycles_per_unit: float = 50.0,
+) -> List[CostEstimate]:
+    """Estimate many plans over one graph in a single vectorized pass.
+
+    Bit-identical to ``[estimate_allocation(graph, p, ...) for p in plans]``
+    — every float the scalar estimator produces is replayed with the same
+    IEEE operations in the same order, only across a ``(plans,)`` axis: the
+    per-edge channel costs are plan-independent, so the batched path
+    precomputes them once and selects per plan with the co-location mask;
+    accumulations, running maxima and the list-schedule sweep all follow
+    the scalar loop's op order (``np.where(b > a, b, a)`` is Python's
+    ``max(a, b)``).  Validation errors are raised for the same plan the
+    serial loop would hit first.  Without NumPy (or below two plans) this
+    transparently falls back to the serial loop.
+    """
+    plans = list(plans)
+    if not plans:
+        return []
+    if _np is None or len(plans) == 1:
+        return [
+            estimate_allocation(
+                graph, plan, platform, cycles_per_unit=cycles_per_unit
+            )
+            for plan in plans
+        ]
+    np = _np
+    for plan in plans:
+        for node in graph.node_weights:
+            if not plan.has_thread(node):
+                raise EstimationError(
+                    f"thread {node!r} has no CPU in the plan"
+                )
+    if platform is None:
+        # Only the bus/SWFIFO parameters feed channel_cost, and those are
+        # identical for every per-plan default platform the scalar path
+        # builds — one representative suffices.
+        platform = default_platform(plans[0].cpus)
+
+    tables = _tables_for(graph)
+    duration, computation, super_duration = _durations_for(
+        tables, graph, cycles_per_unit
+    )
+
+    nodes = list(graph.node_weights)
+    node_index = {node: i for i, node in enumerate(nodes)}
+    count = len(plans)
+    rows = np.arange(count)
+
+    # Dense per-plan CPU ids (first-appearance order over the node list —
+    # the same order the scalar path first touches each CPU, so the busy
+    # dict's value order maps onto ascending column index).
+    assign = np.empty((count, max(len(nodes), 1)), dtype=np.intp)
+    n_cpus = np.empty(count, dtype=np.intp)
+    for p, plan in enumerate(plans):
+        ids: Dict[str, int] = {}
+        row = assign[p]
+        for i, node in enumerate(nodes):
+            cpu = plan.cpu_of(node)
+            local = ids.get(cpu)
+            if local is None:
+                local = ids[cpu] = len(ids)
+            row[i] = local
+        n_cpus[p] = len(ids)
+
+    edge_items = list(graph.edges.items())
+    inter = np.zeros(count)
+    intra = np.zeros(count)
+    if edge_items:
+        edge_src = np.array(
+            [node_index[src] for (src, _dst) in graph.edges], dtype=np.intp
+        )
+        edge_dst = np.array(
+            [node_index[dst] for (_src, dst) in graph.edges], dtype=np.intp
+        )
+        cost_intra = np.array(
+            [
+                platform.channel_cost("SWFIFO", int(bits))
+                for bits in graph.edges.values()
+            ],
+            dtype=np.float64,
+        )
+        cost_inter = np.array(
+            [
+                platform.channel_cost("GFIFO", int(bits))
+                for bits in graph.edges.values()
+            ],
+            dtype=np.float64,
+        )
+        co = assign[:, edge_src] == assign[:, edge_dst]
+        for e in range(len(edge_items)):
+            mask = co[:, e]
+            intra[mask] += cost_intra[e]
+            inter[~mask] += cost_inter[e]
+        edge_cost = np.where(co, cost_intra, cost_inter)
+    else:
+        edge_cost = np.zeros((count, 0))
+
+    # -- list schedule (vectorized _schedule_tables) -------------------------
+    member_of = tables.member_of
+    super_delay: Dict[Tuple[str, str], object] = {}
+    for e, (src, dst) in enumerate(graph.edges):
+        a, b = member_of[src], member_of[dst]
+        if a != b:
+            key = (a, b)
+            cost = edge_cost[:, e]
+            current = super_delay.get(key)
+            if current is None:
+                super_delay[key] = np.where(cost > 0.0, cost, 0.0)
+            else:
+                super_delay[key] = np.where(cost > current, cost, current)
+    out_delays: Dict[str, List[Tuple[str, object]]] = {}
+    for (a, b), cost in super_delay.items():
+        out_delays.setdefault(a, []).append((b, cost))
+
+    earliest = {label: np.zeros(count) for label in super_duration}
+    width = int(n_cpus.max()) if nodes else 0
+    cpu_free = np.zeros((count, width))
+    makespan: Optional[object] = None
+    for label in tables.order:
+        cpu = assign[:, node_index[tables.anchors[label]]]
+        free = cpu_free[rows, cpu]
+        ready = earliest[label]
+        start = np.where(free > ready, free, ready)
+        end = start + super_duration[label]
+        cpu_free[rows, cpu] = end
+        makespan = (
+            end.copy()
+            if makespan is None
+            else np.where(end > makespan, end, makespan)
+        )
+        for successor, cost in out_delays.get(label, ()):
+            current = earliest[successor]
+            candidate = end + cost
+            earliest[successor] = np.where(
+                candidate > current, candidate, current
+            )
+    if makespan is None:
+        makespan = np.zeros(count)
+
+    # -- per-CPU busy time (initiation interval) -----------------------------
+    busy = np.zeros((count, width))
+    for node, cycles in duration.items():
+        busy[rows, assign[:, node_index[node]]] += cycles
+    for e, (src, _dst) in enumerate(graph.edges):
+        busy[rows, assign[:, node_index[src]]] += edge_cost[:, e]
+    if nodes:
+        # Sequential max in the scalar dict's value order (column 0 first),
+        # masking columns a plan never uses.
+        interval = busy[:, 0].copy()
+        for column in range(1, width):
+            values = busy[:, column]
+            better = (n_cpus > column) & (values > interval)
+            interval = np.where(better, values, interval)
+    else:
+        interval = np.zeros(count)
+
+    return [
+        CostEstimate(
+            makespan_cycles=float(makespan[p]),
+            computation_cycles=computation,
+            inter_cpu_cycles=float(inter[p]),
+            intra_cpu_cycles=float(intra[p]),
+            cpu_count=int(n_cpus[p]),
+            interval_cycles=float(interval[p]),
+        )
+        for p in range(count)
+    ]
 
 
 def _schedule_tables(

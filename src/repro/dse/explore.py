@@ -42,6 +42,7 @@ Exploration output is a pure function of its inputs:
 from __future__ import annotations
 
 import itertools
+import os
 import time
 from dataclasses import dataclass
 from typing import (
@@ -61,11 +62,29 @@ from ..core.clustering import linear_clustering
 from ..core.taskgraph import TaskGraph
 from ..mpsoc.platform import Platform
 from ..uml.deployment import DeploymentPlan
-from .estimate import CostEstimate, default_platform, estimate_allocation
+from .estimate import (
+    CostEstimate,
+    default_platform,
+    estimate_allocation,
+    estimate_allocations,
+)
 
 
 class ExplorationError(Exception):
     """Raised on infeasible exploration requests."""
+
+
+#: Set to ``0``/``false`` to force per-candidate serial estimation even when
+#: NumPy is available — the kill switch for the vectorized batch estimator.
+DSE_BATCH_ENV = "REPRO_DSE_BATCH"
+
+#: Minimum number of pending candidates before batching pays for itself.
+DSE_BATCH_MIN = 8
+
+
+def _batch_estimation_enabled() -> bool:
+    value = os.environ.get(DSE_BATCH_ENV, "1").strip().lower()
+    return value not in ("0", "false", "no", "off")
 
 
 @dataclass(frozen=True)
@@ -205,6 +224,48 @@ def _evaluate(
     return candidate
 
 
+def _evaluate_serial(
+    graph: TaskGraph,
+    variants: List[List[List[str]]],
+    platform: Optional[Platform],
+    cycles_per_unit: float,
+    objective: str,
+) -> List[Candidate]:
+    """Evaluate ``variants`` in-process, batching when it pays off.
+
+    Above :data:`DSE_BATCH_MIN` candidates (and unless ``REPRO_DSE_BATCH``
+    disables it) the estimates come from the vectorized
+    :func:`repro.dse.estimate.estimate_allocations`, which is bit-identical
+    to the per-candidate loop; ``dse.candidates`` still counts every
+    candidate and the ``dse.evaluate`` timer still records one observation
+    per candidate (the batch's wall time split evenly), so dashboards and
+    counter-pinning tests see the same totals either way.
+    """
+    if len(variants) < DSE_BATCH_MIN or not _batch_estimation_enabled():
+        return [
+            _evaluate(graph, clusters, platform, cycles_per_unit, objective)
+            for clusters in variants
+        ]
+    rec = _obs.get()
+    if rec.enabled:
+        start = time.perf_counter()
+    plans = [plan_from_clusters(clusters) for clusters in variants]
+    estimates = estimate_allocations(
+        graph, plans, platform, cycles_per_unit=cycles_per_unit
+    )
+    candidates = [
+        Candidate(plan=plan, estimate=estimate, objective=objective)
+        for plan, estimate in zip(plans, estimates)
+    ]
+    if rec.enabled:
+        share = (time.perf_counter() - start) / len(candidates)
+        for _ in candidates:
+            rec.observe("dse.evaluate", share)
+            rec.incr("dse.candidates")
+        rec.incr("dse.estimate.batched", len(candidates))
+    return candidates
+
+
 def _evaluate_many(
     graph: TaskGraph,
     variants: List[List[List[str]]],
@@ -245,10 +306,13 @@ def _evaluate_many(
     if use_pool:
         evaluated = pool.evaluate([variants[i] for i in pending])  # type: ignore[union-attr]
     else:
-        evaluated = [
-            _evaluate(graph, variants[i], platform, cycles_per_unit, objective)
-            for i in pending
-        ]
+        evaluated = _evaluate_serial(
+            graph,
+            [variants[i] for i in pending],
+            platform,
+            cycles_per_unit,
+            objective,
+        )
     for index, candidate in zip(pending, evaluated):
         results[index] = candidate
         if memo is not None:
@@ -332,10 +396,9 @@ def exhaustive_explore(
         ) as owned:
             candidates = owned.evaluate(partitions)
     else:
-        candidates = [
-            _evaluate(graph, clusters, platform, cycles_per_unit, objective)
-            for clusters in partitions
-        ]
+        candidates = _evaluate_serial(
+            graph, partitions, platform, cycles_per_unit, objective
+        )
     candidates.sort(key=candidate_sort_key)
     return candidates
 

@@ -482,6 +482,351 @@ register_kernel("Relay", _kernel_relay)
 register_kernel("Scope", _kernel_scope)
 
 
+# -- batch-kernel specialization ---------------------------------------------
+#
+# The vectorized batch engine (:mod:`repro.simulink.batch`) executes a whole
+# episode batch at once: the flat per-episode ``values`` list becomes one
+# ``(episodes, slots)`` float64 ndarray and each specialized kernel becomes a
+# single array op across the batch.  A *batch kernel factory* mirrors the
+# scalar factory above but binds twice: once at compile time (parameters,
+# slot indices) and once per run (episode count, the concrete arrays)::
+#
+#     factory(block, src_slots, out_base) -> BatchKernel | None
+#     BatchKernel.bind(np, ctx) -> (output_fn | None, update_fn | None,
+#                                   snapshot | None)
+#
+# ``ctx`` carries ``values`` (the 2-D slot array), ``episodes`` and
+# ``steps``; the per-step callables take the step index ``k``.  ``snapshot``
+# (for stateful kernels) maps an episode index to the scalar engine's state
+# object so the batch engine can expose scope histories and leave the
+# wrapped simulator in the same post-run state as the scalar loop.
+# ``BatchKernel.produced`` is the static output-phase write count, which the
+# batch engine checks against every consumer before trusting the kernel.
+#
+# Exactness contract: every vectorized op replays the scalar kernel's IEEE
+# operations in the same order (note the ``0.0`` accumulator seeds and the
+# ``where``-based min/max that reproduce Python's ``min``/``max``/``NaN``
+# and sign-of-zero behaviour), so batched results are bit-identical to the
+# scalar slot engine — the differential property the zoo harness and the
+# hypothesis suite enforce.  Factories decline (return ``None``) in exactly
+# the cases the scalar factories do, falling back to the per-episode
+# generic path.
+
+
+class BatchKernel:
+    """A compile-time batch specialization: static write count + binder."""
+
+    __slots__ = ("produced", "bind")
+
+    def __init__(self, produced: int, bind: Callable) -> None:
+        self.produced = produced
+        self.bind = bind
+
+
+_BATCH_KERNEL_FACTORIES: Dict[str, Callable[..., Optional[BatchKernel]]] = {}
+
+
+def register_batch_kernel(
+    block_type: str, factory: Callable[..., Optional[BatchKernel]]
+) -> None:
+    """Register a vectorized batch kernel for a block type."""
+    _BATCH_KERNEL_FACTORIES[block_type] = factory
+
+
+def batch_kernel_factory_for(
+    block_type: str,
+) -> Optional[Callable[..., Optional[BatchKernel]]]:
+    """The registered batch factory, or ``None`` (→ per-episode fallback)."""
+    return _BATCH_KERNEL_FACTORIES.get(block_type)
+
+
+def _batch_gain(block, src_slots, out_base):
+    gain = float(block.parameters.get("Gain", 1.0))
+    s, d = src_slots[0], out_base
+
+    def bind(np, ctx):
+        src = ctx.values[:, s]
+        dst = ctx.values[:, d]
+
+        def output(k, np=np, src=src, dst=dst, gain=gain):
+            np.multiply(src, gain, out=dst)
+
+        return output, None, None
+
+    return BatchKernel(1, bind)
+
+
+def _batch_sum(block, src_slots, out_base):
+    signs = str(block.parameters.get("Inputs", "+" * len(src_slots)))
+    signs = signs.replace("|", "")
+    if len(signs) != len(src_slots):
+        return None  # generic fallback reports the mismatch at run time
+    plus = tuple(sign == "+" for sign in signs)
+    d = out_base
+
+    def bind(np, ctx):
+        terms = tuple(
+            (add, ctx.values[:, s]) for add, s in zip(plus, src_slots)
+        )
+        dst = ctx.values[:, d]
+
+        def output(k, np=np, dst=dst, terms=terms):
+            # Seeding with 0.0 and accumulating term by term replays the
+            # reference accumulator exactly (0.0 + -0.0 is 0.0, and IEEE
+            # subtraction is addition of the negation bit-for-bit).
+            dst.fill(0.0)
+            for add, col in terms:
+                if add:
+                    np.add(dst, col, out=dst)
+                else:
+                    np.subtract(dst, col, out=dst)
+
+        return output, None, None
+
+    return BatchKernel(1, bind)
+
+
+def _batch_product(block, src_slots, out_base):
+    d = out_base
+
+    def bind(np, ctx):
+        cols = tuple(ctx.values[:, s] for s in src_slots)
+        dst = ctx.values[:, d]
+        if len(cols) == 2:
+            a, b = cols
+
+            def output(k, np=np, a=a, b=b, dst=dst):
+                np.multiply(a, b, out=dst)
+
+        else:
+
+            def output(k, np=np, cols=cols, dst=dst):
+                dst.fill(1.0)
+                for col in cols:
+                    np.multiply(dst, col, out=dst)
+
+        return output, None, None
+
+    return BatchKernel(1, bind)
+
+
+def _batch_saturation(block, src_slots, out_base):
+    lower = float(block.parameters.get("LowerLimit", -1.0))
+    upper = float(block.parameters.get("UpperLimit", 1.0))
+    s, d = src_slots[0], out_base
+
+    def bind(np, ctx):
+        src = ctx.values[:, s]
+        dst = ctx.values[:, d]
+
+        def output(k, np=np, src=src, dst=dst, lower=lower, upper=upper):
+            # where() mirrors Python's min(max(x, lower), upper): the
+            # input wins every comparison a NaN poisons, and the sign of
+            # zero follows the scalar tie-breaking exactly.
+            clipped = np.where(lower > src, lower, src)
+            dst[:] = np.where(upper < clipped, upper, clipped)
+
+        return output, None, None
+
+    return BatchKernel(1, bind)
+
+
+def _batch_abs(block, src_slots, out_base):
+    s, d = src_slots[0], out_base
+
+    def bind(np, ctx):
+        src = ctx.values[:, s]
+        dst = ctx.values[:, d]
+
+        def output(k, np=np, src=src, dst=dst):
+            np.absolute(src, out=dst)
+
+        return output, None, None
+
+    return BatchKernel(1, bind)
+
+
+def _batch_copy(block, src_slots, out_base):
+    """Pass-through batch kernel (CommChannel transport)."""
+    s, d = src_slots[0], out_base
+
+    def bind(np, ctx):
+        src = ctx.values[:, s]
+        dst = ctx.values[:, d]
+
+        def output(k, np=np, src=src, dst=dst):
+            np.copyto(dst, src)
+
+        return output, None, None
+
+    return BatchKernel(1, bind)
+
+
+def _batch_constant(block, src_slots, out_base):
+    value = float(block.parameters.get("Value", 0.0))
+    d = out_base
+
+    def bind(np, ctx):
+        # The slot never changes over a run: fill it once at bind time.
+        ctx.values[:, d] = value
+        return None, None, None
+
+    return BatchKernel(1, bind)
+
+
+def _batch_unit_delay(block, src_slots, out_base):
+    initial = float(block.parameters.get("InitialCondition", 0.0))
+    s, d = src_slots[0], out_base
+
+    def bind(np, ctx):
+        st = np.full(ctx.episodes, initial)
+        src = ctx.values[:, s]
+        dst = ctx.values[:, d]
+
+        def output(k, np=np, st=st, dst=dst):
+            np.copyto(dst, st)
+
+        def update(k, np=np, st=st, src=src):
+            np.copyto(st, src)
+
+        def snapshot(episode, st=st):
+            return float(st[episode])
+
+        return output, update, snapshot
+
+    return BatchKernel(1, bind)
+
+
+def _batch_relay(block, src_slots, out_base):
+    on_point = float(block.parameters.get("OnSwitchValue", 0.5))
+    off_point = float(block.parameters.get("OffSwitchValue", -0.5))
+    on_value = float(block.parameters.get("OnOutputValue", 1.0))
+    off_value = float(block.parameters.get("OffOutputValue", 0.0))
+    s, d = src_slots[0], out_base
+
+    def bind(np, ctx):
+        engaged = np.zeros(ctx.episodes, dtype=bool)
+        src = ctx.values[:, s]
+        dst = ctx.values[:, d]
+
+        def output(
+            k, np=np, engaged=engaged, src=src, dst=dst,
+            on_point=on_point, off_point=off_point,
+            on_value=on_value, off_value=off_value,
+        ):
+            # engaged' = engaged ? not(value <= off) : (value >= on) —
+            # both comparisons are False for NaN, matching the scalar
+            # hysteresis branch exactly.
+            np.copyto(
+                engaged,
+                np.where(engaged, ~(src <= off_point), src >= on_point),
+            )
+            dst[:] = np.where(engaged, on_value, off_value)
+
+        def snapshot(episode, engaged=engaged):
+            return bool(engaged[episode])
+
+        return output, None, snapshot
+
+    return BatchKernel(1, bind)
+
+
+def _batch_scope(block, src_slots, out_base):
+    if len(src_slots) != 1:
+        return None  # multi-input scopes record tuples; keep the generic path
+    s = src_slots[0]
+
+    def bind(np, ctx):
+        src = ctx.values[:, s]
+        trace = np.zeros((ctx.episodes, ctx.steps), order="F")
+
+        def update(k, trace=trace, src=src):
+            trace[:, k] = src
+
+        def snapshot(episode, trace=trace):
+            return trace[episode].tolist()
+
+        return None, update, snapshot
+
+    return BatchKernel(0, bind)
+
+
+def _batch_sfunction(block, src_slots, out_base):
+    """Vectorize the declarative S-function cases.
+
+    The ``codegen_spec`` attribute is the same declarative mirror the C
+    backend (:mod:`repro.codegen`) trusts: a stateless callback annotated
+    ``("affine", a, b)`` computes exactly ``a * x + b`` and ``("constant",
+    c)`` exactly ``c``, so the batch op replays the same IEEE operations.
+    Callback-less placeholders sum their inputs.  Anything else (stateful,
+    tuple-returning, unannotated) falls back to the per-episode path.
+    """
+    if block.parameters.get("Stateful"):
+        return None
+    callback = block.parameters.get("callback")
+    if callback is None:
+        produced = max(1, block.num_outputs)
+
+        def bind(np, ctx, produced=produced):
+            cols = tuple(ctx.values[:, s] for s in src_slots)
+            dsts = tuple(
+                ctx.values[:, out_base + j] for j in range(produced)
+            )
+
+            def output(k, np=np, cols=cols, dsts=dsts):
+                acc = dsts[0]
+                acc.fill(0.0)
+                for col in cols:
+                    np.add(acc, col, out=acc)
+                for dst in dsts[1:]:
+                    np.copyto(dst, acc)
+
+            return output, None, None
+
+        return BatchKernel(produced, bind)
+    spec = getattr(callback, "codegen_spec", None)
+    if not isinstance(spec, tuple) or not spec:
+        return None
+    if spec[0] == "affine" and len(spec) == 3 and len(src_slots) == 1:
+        a = float(spec[1])
+        b = float(spec[2])
+        s = src_slots[0]
+
+        def bind(np, ctx, a=a, b=b, s=s):
+            src = ctx.values[:, s]
+            dst = ctx.values[:, out_base]
+
+            def output(k, np=np, src=src, dst=dst, a=a, b=b):
+                np.multiply(src, a, out=dst)
+                np.add(dst, b, out=dst)
+
+            return output, None, None
+
+        return BatchKernel(1, bind)
+    if spec[0] == "constant" and len(spec) == 2 and not src_slots:
+        c = float(spec[1])
+
+        def bind(np, ctx, c=c):
+            ctx.values[:, out_base] = c
+            return None, None, None
+
+        return BatchKernel(1, bind)
+    return None
+
+
+register_batch_kernel("Gain", _batch_gain)
+register_batch_kernel("Sum", _batch_sum)
+register_batch_kernel("Product", _batch_product)
+register_batch_kernel("Saturation", _batch_saturation)
+register_batch_kernel("Abs", _batch_abs)
+register_batch_kernel("CommChannel", _batch_copy)
+register_batch_kernel("Constant", _batch_constant)
+register_batch_kernel("UnitDelay", _batch_unit_delay)
+register_batch_kernel("Relay", _batch_relay)
+register_batch_kernel("Scope", _batch_scope)
+register_batch_kernel("S-Function", _batch_sfunction)
+
+
 #: Platform-library method names recognized by the mapping (paper §4.1).
 #: Method name (lower-case) -> (BlockType, default parameters, inputs).
 PLATFORM_BLOCKS: Dict[str, Tuple[str, Dict[str, object], int]] = {

@@ -11,17 +11,23 @@ raises :class:`AlgebraicLoopError` naming the blocks on the cycle.  After
 the temporal-barrier pass has inserted a ``UnitDelay`` into each such cycle
 the model schedules and runs.
 
-Two execution engines share the schedule (see ``docs/performance.md``):
+Three execution engines share the schedule (see ``docs/performance.md``):
 
 - ``"slots"`` (default) — a compile-once plan assigns every signal
   ``(block, port)`` a dense integer slot in one preallocated flat list and
   binds each block to a closure that reads/writes slots directly;
   high-traffic types get specialized kernels, everything else falls back
   to the generic :class:`~repro.simulink.blocks.BlockSemantics` contract.
+  ``run_many`` transparently hands large batches to the ``batch`` engine
+  when NumPy is importable (threshold: ``REPRO_SIM_BATCH_THRESHOLD``).
+- ``"batch"`` — the slot plan lowered across a whole episode batch: one
+  ``(episodes, slots)`` float64 ndarray replaces the per-episode flat
+  list and every specialized kernel becomes a single vectorized array op
+  (:mod:`repro.simulink.batch`; requires NumPy).
 - ``"reference"`` — the original per-step dict interpreter, kept verbatim
   as the oracle the differential tests compare against.
 
-Both engines produce bit-identical results; select with the ``engine=``
+All engines produce bit-identical results; select with the ``engine=``
 argument or the ``REPRO_SIM_ENGINE`` environment variable.
 """
 
@@ -39,8 +45,9 @@ from .model import Block, Port, SimulinkError, SimulinkModel, flatten
 
 #: Engine names accepted by :class:`Simulator` and ``REPRO_SIM_ENGINE``.
 ENGINE_SLOTS = "slots"
+ENGINE_BATCH = "batch"
 ENGINE_REFERENCE = "reference"
-ENGINES = (ENGINE_SLOTS, ENGINE_REFERENCE)
+ENGINES = (ENGINE_SLOTS, ENGINE_BATCH, ENGINE_REFERENCE)
 
 #: Output-phase sample count per step for block types whose write pattern
 #: is statically known (either a specialized kernel or a fixed-arity
@@ -193,9 +200,11 @@ class Simulator:
     monitor:
         Optional block paths whose first output should be traced.
     engine:
-        ``"slots"`` (compiled, default) or ``"reference"`` (the original
-        interpreter, kept as the differential-test oracle).  ``None``
-        reads ``REPRO_SIM_ENGINE`` and falls back to ``"slots"``.
+        ``"slots"`` (compiled, default), ``"batch"`` (the slot plan
+        vectorized across episode batches; requires NumPy) or
+        ``"reference"`` (the original interpreter, kept as the
+        differential-test oracle).  ``None`` reads ``REPRO_SIM_ENGINE``
+        and falls back to ``"slots"``.
     """
 
     def __init__(
@@ -212,6 +221,14 @@ class Simulator:
                 f"unknown simulation engine {self.engine!r}; "
                 f"expected one of {ENGINES}"
             )
+        if self.engine == ENGINE_BATCH:
+            # Fail construction with an actionable message rather than
+            # deep inside the first run_many (scalar engines keep working
+            # in NumPy-less environments).
+            from .batch import require_numpy
+
+            require_numpy()
+        self._batch_sim = None
         self._blocks, edges = flatten(model)
         self._in_edges: Dict[Block, Dict[int, Port]] = {}
         for src, dst in edges:
@@ -227,7 +244,7 @@ class Simulator:
         #: Live signal slots observed on the last executed step (the
         #: dataflow analogue of queue depth; read by the obs layer).
         self._value_slots = 0
-        if self.engine == ENGINE_SLOTS:
+        if self.engine != ENGINE_REFERENCE:
             rec = _obs.get()
             if rec.enabled:
                 with rec.span(
@@ -484,6 +501,13 @@ class Simulator:
         self._sp_upd_fns = upd_fns
         self._sp_write_counts = write_counts
         self._sp_static_census = static_census
+        # Plan metadata kept for the batch lowering
+        # (:mod:`repro.simulink.batch` re-derives its vectorized ops from
+        # the very same slot assignment and gather-site analysis).
+        self._sp_slot_base = slot_base
+        self._sp_consumed_max = consumed_max
+        self._sp_runtime_checks = runtime_checks
+        self._sp_writes = writes
         self.compiled_slots = total
         self.compiled_specialized = specialized
         self.compiled_generic = generic
@@ -498,7 +522,7 @@ class Simulator:
                 self._state[block] = semantics.initial_state(block)
             else:
                 self._state[block] = None
-        if self.engine == ENGINE_SLOTS:
+        if self.engine != ENGINE_REFERENCE:
             states = self._sp_states
             for block, index in self._sp_state_index.items():
                 if libblocks.has_semantics(block.block_type):
@@ -562,9 +586,19 @@ class Simulator:
         ``run_many(n, [a, b])`` equals two cold ``run(n, ...)`` calls on
         separate simulators while paying plan compilation only once —
         the batch entry point the server and DSE sweeps amortize over.
+
+        Batches are handed to the vectorized ``batch`` engine
+        (:mod:`repro.simulink.batch`) when that engine was selected
+        explicitly, or — under the default ``slots`` engine — when the
+        batch is at least ``REPRO_SIM_BATCH_THRESHOLD`` episodes and
+        NumPy is importable.  The batched path is bit-identical to the
+        loop it replaces.
         """
+        batch = self._batch_engine_for(len(stimuli))
         rec = _obs.get()
         if not rec.enabled:
+            if batch is not None:
+                return batch.run_many(steps, stimuli)
             results = []
             for inputs in stimuli:
                 self.reset()
@@ -578,11 +612,15 @@ class Simulator:
             episodes=len(stimuli),
             steps=steps,
             engine=self.engine,
+            batched=batch is not None,
         ) as span:
-            results = []
-            for inputs in stimuli:
-                self.reset()
-                results.append(self._run_steps(steps, inputs))
+            if batch is not None:
+                results = batch.run_many(steps, stimuli)
+            else:
+                results = []
+                for inputs in stimuli:
+                    self.reset()
+                    results.append(self._run_steps(steps, inputs))
         elapsed = time.perf_counter() - start
         total = steps * len(stimuli)
         rate = total / elapsed if elapsed > 0 else 0.0
@@ -594,12 +632,36 @@ class Simulator:
         span.set(steps_per_sec=round(rate, 1))
         return results
 
+    def _batch_engine_for(self, episodes: int):
+        """The :class:`~repro.simulink.batch.BatchSimulator` to use for a
+        ``run_many`` of ``episodes`` episodes, or ``None`` for the scalar
+        loop.  ``engine="batch"`` always batches; the default ``slots``
+        engine auto-dispatches above the batch threshold when NumPy is
+        available; ``reference`` never batches (it is the oracle)."""
+        if self.engine == ENGINE_REFERENCE:
+            return None
+        from . import batch as libbatch
+
+        if self.engine != ENGINE_BATCH:
+            if episodes < libbatch.batch_threshold():
+                return None
+            if not libbatch.numpy_available():
+                return None
+        if self._batch_sim is None:
+            self._batch_sim = libbatch.BatchSimulator(self)
+        return self._batch_sim
+
     def _run_steps(
         self,
         steps: int,
         inputs: Optional[Mapping[str, Sequence[float]]] = None,
     ) -> SimulationResult:
-        """Dispatch to the engine selected at construction."""
+        """Dispatch to the engine selected at construction.
+
+        Single-episode runs under the ``batch`` engine use the scalar
+        slot loop — vectorizing across a batch of one would only add
+        ndarray overhead, and the two are bit-identical anyway.
+        """
         if self.engine == ENGINE_REFERENCE:
             return self._run_steps_reference(steps, inputs)
         return self._run_steps_slots(steps, inputs)

@@ -38,10 +38,12 @@ from ..core import synthesize
 from ..fsm import FsmSimulator, generate_c, generate_java
 from ..parallel.fingerprint import model_fingerprint
 from ..simulink import (
+    ENGINE_BATCH,
     ENGINE_REFERENCE,
     ENGINE_SLOTS,
     AlgebraicLoopError,
     Simulator,
+    numpy_available,
 )
 from ..simulink.caam import validate_caam
 from ..uml.validate import validate_model
@@ -147,8 +149,8 @@ def check_scenario(scenario: Scenario, deep: bool = False) -> ScenarioReport:
     """Run the whole flow over one scenario and check every invariant.
 
     ``deep`` adds the expensive checks (rebuild determinism, barrier
-    necessity, FSM codegen) used by the corpus acceptance sweep; the
-    fast subset is what the per-commit tests run.
+    necessity, batch-engine differential, FSM codegen) used by the corpus
+    acceptance sweep; the fast subset is what the per-commit tests run.
     """
     params = scenario.params
     report = ScenarioReport(
@@ -310,6 +312,33 @@ def check_scenario(scenario: Scenario, deep: bool = False) -> ScenarioReport:
         fail("run-many", "run_many differs from N single runs")
     else:
         passed("run-many")
+
+    # 6b. Batch-engine differential (deep): the vectorized batch engine
+    # must reproduce the scalar slot runs bit-for-bit, episode by episode,
+    # including ragged stimuli — exactness, not tolerance, is the contract.
+    if deep and numpy_available():
+        try:
+            vectorized = Simulator(result.caam, engine=ENGINE_BATCH).run_many(
+                params.steps, episodes
+            )
+        except Exception as exc:  # noqa: BLE001
+            fail("batch-differential", f"{type(exc).__name__}: {exc}")
+        else:
+            mismatched = [
+                number
+                for number, (got, want) in enumerate(
+                    zip(vectorized, batch)
+                )
+                if got.to_csv() != single_csvs[number]
+                or got.scopes != want.scopes
+            ]
+            if mismatched:
+                fail(
+                    "batch-differential",
+                    f"episodes diverge from scalar runs: {mismatched[:5]}",
+                )
+            else:
+                passed("batch-differential")
 
     # 7. Control-flow subsystems: lowering, deterministic simulation and
     # (deep) both code generators.

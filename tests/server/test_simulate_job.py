@@ -15,7 +15,7 @@ from repro.core.flow import FlowError, synthesize
 from repro.server import JobManager, JobSpec, JobState, SpecError
 from repro.server.executor import execute
 from repro.server.jobs import SIMULATE_OPTIONS
-from repro.simulink import Simulator
+from repro.simulink import Simulator, numpy_available
 
 from .test_manager import wait_for
 
@@ -104,13 +104,24 @@ class TestSimulateDifferential:
             assert job.outcome.artifact_name.endswith(".sim.json")
             assert json.loads(job.outcome.artifact_text) == expected
             assert job.outcome.payload["episodes"] == 2
-            assert job.outcome.payload["engine"] == "slots"
+            # With NumPy in the environment the job defaults to the
+            # vectorized batch engine; the artifact equality above pins
+            # it byte-for-byte against the looped library run.
+            expected_engine = "batch" if numpy_available() else "slots"
+            assert job.outcome.payload["engine"] == expected_engine
         finally:
             manager.shutdown()
 
-    def test_reference_engine_serves_identical_bytes(self):
-        slots = execute(
+    def test_engines_serve_identical_bytes(self):
+        default = execute(
             JobSpec(kind="simulate", demo="didactic", options={"steps": 15})
+        )
+        slots = execute(
+            JobSpec(
+                kind="simulate",
+                demo="didactic",
+                options={"steps": 15, "engine": "slots"},
+            )
         )
         reference = execute(
             JobSpec(
@@ -119,6 +130,30 @@ class TestSimulateDifferential:
                 options={"steps": 15, "engine": "reference"},
             )
         )
+        assert default.artifact_text == slots.artifact_text
         assert slots.artifact_text == reference.artifact_text
+        expected_engine = "batch" if numpy_available() else "slots"
+        assert default.payload["engine"] == expected_engine
         assert slots.payload["engine"] == "slots"
         assert reference.payload["engine"] == "reference"
+
+    @pytest.mark.skipif(not numpy_available(), reason="requires NumPy")
+    def test_batched_job_artifact_parity_with_looped_path(self):
+        """The batch engine's artifact is byte-identical to the looped one."""
+        stimuli = [
+            {"In1": [0.5 * k for k in range(steps)]} for steps in (3, 8, 0, 12)
+        ]
+        options = {"steps": 10, "stimuli": stimuli}
+        batched = execute(
+            JobSpec(kind="simulate", demo="didactic", options=dict(options))
+        )
+        looped = execute(
+            JobSpec(
+                kind="simulate",
+                demo="didactic",
+                options={**options, "engine": "slots"},
+            )
+        )
+        assert batched.payload["engine"] == "batch"
+        assert looped.payload["engine"] == "slots"
+        assert batched.artifact_text == looped.artifact_text

@@ -12,11 +12,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.simulink import (
+    ENGINE_BATCH,
     ENGINE_REFERENCE,
     ENGINE_SLOTS,
     Block,
     Simulator,
     SimulinkModel,
+    numpy_available,
+)
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="requires NumPy"
 )
 from repro.zoo.strategies import scenarios as zoo_scenarios
 
@@ -183,6 +189,44 @@ class TestRandomizedDifferential:
             _identical(episode, reference.run(steps, inputs=stimulus))
 
 
+@requires_numpy
+class TestBatchEngineDifferential:
+    """The vectorized batch engine against the scalar slot oracle."""
+
+    @given(_random_models())
+    @settings(max_examples=60, deadline=None)
+    def test_batch_run_many_bit_identical(self, case):
+        model, steps, stimuli, monitor = case
+        batched = Simulator(
+            model, monitor=monitor, engine=ENGINE_BATCH
+        ).run_many(steps, stimuli)
+        scalar = Simulator(model, monitor=monitor, engine=ENGINE_SLOTS)
+        for episode, stimulus in zip(batched, stimuli):
+            scalar.reset()
+            _identical(episode, scalar.run(steps, inputs=stimulus))
+
+    @given(_random_models())
+    @settings(max_examples=20, deadline=None)
+    def test_auto_dispatch_above_threshold_bit_identical(self, case):
+        model, steps, stimuli, monitor = case
+        # Pad the batch past the dispatch threshold so the plain slots
+        # engine takes the vectorized path on its own.
+        from repro.simulink import batch as libbatch
+
+        stimuli = (stimuli * libbatch.batch_threshold())[
+            : libbatch.batch_threshold() + 1
+        ]
+        dispatched = Simulator(
+            model, monitor=monitor, engine=ENGINE_SLOTS
+        )
+        episodes = dispatched.run_many(steps, stimuli)
+        assert dispatched._batch_sim is not None
+        scalar = Simulator(model, monitor=monitor, engine=ENGINE_REFERENCE)
+        for episode, stimulus in zip(episodes, stimuli):
+            scalar.reset()
+            _identical(episode, scalar.run(steps, inputs=stimulus))
+
+
 @pytest.fixture(scope="module")
 def crane_caam():
     from repro.apps import crane
@@ -218,6 +262,20 @@ class TestDemoPipelineDifferential:
         slots = Simulator(synthetic_caam, engine=ENGINE_SLOTS)
         reference = Simulator(synthetic_caam, engine=ENGINE_REFERENCE)
         _identical(slots.run(200), reference.run(200))
+
+    @requires_numpy
+    def test_crane_batch_engine_bit_identical(self, crane_caam):
+        stimuli = [
+            {"In1": [0.1 * k] * 60, "In3": [5.0] * (k % 70)}
+            for k in range(24)
+        ]
+        batched = Simulator(crane_caam, engine=ENGINE_BATCH).run_many(
+            60, stimuli
+        )
+        scalar = Simulator(crane_caam, engine=ENGINE_SLOTS)
+        for episode, stimulus in zip(batched, stimuli):
+            scalar.reset()
+            _identical(episode, scalar.run(60, inputs=stimulus))
 
 
 class TestZooScenarioDifferential:

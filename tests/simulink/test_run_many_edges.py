@@ -8,13 +8,26 @@ pad with 0.0, long traces truncate at `steps`), and on both engines.
 import pytest
 
 from repro.simulink import (
+    ENGINE_BATCH,
     ENGINE_REFERENCE,
     ENGINE_SLOTS,
     Block,
     SimulationError,
     Simulator,
     SimulinkModel,
+    numpy_available,
 )
+
+ENGINES_UNDER_TEST = [
+    ENGINE_SLOTS,
+    ENGINE_REFERENCE,
+    pytest.param(
+        ENGINE_BATCH,
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="requires NumPy"
+        ),
+    ),
+]
 
 
 def _model():
@@ -37,7 +50,7 @@ def _model():
     return model
 
 
-@pytest.mark.parametrize("engine", [ENGINE_SLOTS, ENGINE_REFERENCE])
+@pytest.mark.parametrize("engine", ENGINES_UNDER_TEST)
 class TestRunManyEdges:
     def test_empty_stimuli_list(self, engine):
         simulator = Simulator(_model(), engine=engine)
@@ -89,3 +102,10 @@ class TestRunManyEngineParity:
             6, stimuli
         )
         assert [r.to_csv() for r in slots] == [r.to_csv() for r in reference]
+
+    @pytest.mark.skipif(not numpy_available(), reason="requires NumPy")
+    def test_batch_engine_agrees_on_ragged_stimuli(self):
+        stimuli = [{"In1": [1.5, 2.5]}, {"In1": []}, {"In1": [0.0] * 9}, None]
+        slots = Simulator(_model(), engine=ENGINE_SLOTS).run_many(6, stimuli)
+        batch = Simulator(_model(), engine=ENGINE_BATCH).run_many(6, stimuli)
+        assert [r.to_csv() for r in batch] == [r.to_csv() for r in slots]

@@ -40,6 +40,15 @@ class TestCheckScenario:
         for spec in scenario.params.fsms:
             assert f"fsm:{spec.name}" in report.checks
 
+    def test_deep_adds_batch_differential_check(self):
+        pytest.importorskip("numpy")
+        for index, family in enumerate(("pipeline", "cyclic", "fsm")):
+            report = check_scenario(
+                generate_scenario(5, index, family), deep=True
+            )
+            assert report.ok, report.failures
+            assert "batch-differential" in report.checks
+
     def test_broken_behavior_is_reported_not_raised(self):
         scenario = generate_scenario(3, 0, "pipeline")
         # Sabotage one behavior so synthesis/simulation cannot succeed;

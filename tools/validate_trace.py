@@ -15,9 +15,11 @@ spans to form a single rooted tree: every ``args.parent_id`` must resolve
 to another event in the document (no orphan roots from worker threads or
 retries).  ``--slo`` validates a ``GET /slo`` / ``repro slo-report
 --json`` document, and ``--bench`` validates the ``"slo"``,
-``"zoo"`` and ``"analysis"`` sections of ``BENCH_obs.json`` (server
-latency objectives, "synthesize the zoo" throughput, and static-analyzer
-throughput with its per-pass breakdown).  Exits non-zero with a message on the
+``"zoo"``, ``"analysis"``, ``"codegen"`` and ``"simbatch"`` sections of
+``BENCH_obs.json`` (server latency objectives, "synthesize the zoo"
+throughput, static-analyzer throughput with its per-pass breakdown,
+static-schedule codegen throughput, and looped-vs-batched simulation
+rates).  Exits non-zero with a message on the
 first violation; CI's smoke jobs run this after real ``repro``
 invocations.
 """
@@ -419,6 +421,61 @@ def validate_bench_codegen(document: Dict[str, Any]) -> None:
         )
 
 
+BENCH_SIMBATCH_ROW_FIELDS = (
+    "looped_steps_per_sec",
+    "batched_steps_per_sec",
+    "speedup",
+    "outputs_identical",
+)
+
+
+def validate_bench_simbatch(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless BENCH_obs.json carries a valid "simbatch".
+
+    The section compares looped vs vectorized-batch ``run_many`` steps/sec
+    per batch size; every row must assert the two paths produced
+    byte-identical episode CSVs (the batch engine's contract is exactness,
+    so a divergent row voids the whole measurement).  When NumPy was
+    unavailable the section records ``available: false`` and is otherwise
+    empty.  The ≥10× speedup requirement at batch 512 is CI's perf-smoke
+    gate, not a schema property — a laptop on battery should still be able
+    to regenerate a *valid* document.
+    """
+    section = document.get("simbatch")
+    if not isinstance(section, dict):
+        raise ValueError("BENCH document lacks a 'simbatch' object")
+    if "available" not in section:
+        raise ValueError("'simbatch' section lacks 'available'")
+    sizes = section.get("batch_sizes")
+    if not isinstance(sizes, dict):
+        raise ValueError("'simbatch.batch_sizes' must be an object")
+    if not section["available"]:
+        return
+    for expected in ("1", "32", "512"):
+        if expected not in sizes:
+            raise ValueError(f"'simbatch.batch_sizes' lacks {expected!r}")
+    for size, row in sizes.items():
+        if not isinstance(row, dict):
+            raise ValueError(f"'simbatch.batch_sizes.{size}' must be an object")
+        for field in BENCH_SIMBATCH_ROW_FIELDS:
+            if field not in row:
+                raise ValueError(
+                    f"'simbatch.batch_sizes.{size}' lacks {field!r}"
+                )
+        for rate in ("looped_steps_per_sec", "batched_steps_per_sec"):
+            value = row[rate]
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(
+                    f"'simbatch.batch_sizes.{size}.{rate}' must be a "
+                    f"positive number"
+                )
+        if not row["outputs_identical"]:
+            raise ValueError(
+                f"'simbatch.batch_sizes.{size}': batched and looped "
+                f"episodes diverged — the measurement is void"
+            )
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -469,6 +526,8 @@ def main(argv=None) -> int:
             print(f"{args.bench}: valid BENCH analysis section")
             validate_bench_codegen(bench)
             print(f"{args.bench}: valid BENCH codegen section")
+            validate_bench_simbatch(bench)
+            print(f"{args.bench}: valid BENCH simbatch section")
     except (ValueError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
